@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure-level benchmark regenerates its figure at ``BENCH_SCALE`` (a
+fraction of the full experiment length) so the whole harness stays in the
+minutes range; run the experiments CLI (``repro-experiments all``) for the
+full-scale numbers recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: Workload scale used by figure-level benchmarks.
+BENCH_SCALE = 0.1
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Experiment configuration shared by all figure benchmarks."""
+    return ExperimentConfig(scale=BENCH_SCALE, seed=7)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy benchmark exactly once (still timed)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

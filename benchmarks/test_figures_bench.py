@@ -1,0 +1,126 @@
+"""One benchmark per reproduced figure.
+
+Each test times the regeneration of one paper figure at the reduced
+benchmark scale and sanity-checks the regenerated shape, so the harness
+doubles as a smoke test that every figure stays reproducible.
+"""
+
+from conftest import once
+
+from repro.experiments import (fig02_mcf_region_chart,
+                               fig03_gpd_phase_changes,
+                               fig04_gpd_stable_time,
+                               fig05_facerec_region_chart, fig06_ucr_median,
+                               fig07_ucr_over_time,
+                               fig08_pearson_properties, fig09_mcf_regions,
+                               fig10_mcf_correlation, fig11_gap_regions,
+                               fig13_lpd_phase_changes,
+                               fig14_lpd_stable_time, fig15_cost,
+                               fig16_interval_tree, fig17_speedup)
+from repro.experiments.config import ExperimentConfig
+
+#: Benchmark subsets keeping the sweep figures affordable while retaining
+#: their contrast (one flapper, one stable, one UCR-heavy, ...).
+FIG3_SUBSET = ("181.mcf", "178.galgel", "187.facerec", "254.gap",
+               "171.swim", "189.lucas")
+FIG6_SUBSET = ("254.gap", "186.crafty", "181.mcf", "171.swim", "176.gcc")
+FIG13_SUBSET = ("181.mcf", "254.gap", "189.lucas", "188.ammp")
+COST_SUBSET = ("176.gcc", "186.crafty", "301.apsi", "181.mcf", "171.swim",
+               "189.lucas")
+
+
+def test_fig02_bench(benchmark, bench_config):
+    result = once(benchmark, fig02_mcf_region_chart.run, bench_config)
+    assert result.rows
+    assert "146f0-14770" in result.extras["chart"].region_names
+
+
+def test_fig03_bench(benchmark, bench_config):
+    result = once(benchmark, fig03_gpd_phase_changes.run, bench_config,
+                  benchmarks=FIG3_SUBSET)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["178.galgel"][1] > by_name["171.swim"][1]
+
+
+def test_fig04_bench(benchmark, bench_config):
+    result = once(benchmark, fig04_gpd_stable_time.run, bench_config,
+                  benchmarks=FIG3_SUBSET)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["171.swim"][1] > by_name["187.facerec"][1]
+
+
+def test_fig05_bench(benchmark, bench_config):
+    result = once(benchmark, fig05_facerec_region_chart.run, bench_config)
+    values = dict((row[0], row[1]) for row in result.rows)
+    assert values["GPD phase changes"] >= 1
+
+
+def test_fig06_bench(benchmark, bench_config):
+    result = once(benchmark, fig06_ucr_median.run, bench_config,
+                  benchmarks=FIG6_SUBSET)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["254.gap"][2] is True
+    assert by_name["171.swim"][2] is False
+
+
+def test_fig07_bench(benchmark):
+    config = ExperimentConfig(scale=0.05, seed=7)
+    result = once(benchmark, fig07_ucr_over_time.run, config)
+    assert result.rows[-1][1] > 25.0
+
+
+def test_fig08_bench(benchmark, bench_config):
+    result = benchmark(fig08_pearson_properties.run, bench_config)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["shift bottleneck by 1 instruction"][1] < 0.3
+
+
+def test_fig09_bench(benchmark, bench_config):
+    result = once(benchmark, fig09_mcf_regions.run, bench_config)
+    assert result.rows[0][1] > result.rows[-1][1]
+
+
+def test_fig10_bench(benchmark, bench_config):
+    result = once(benchmark, fig10_mcf_correlation.run, bench_config)
+    assert all(row[1] > 0.9 for row in result.rows)
+
+
+def test_fig11_bench(benchmark, bench_config):
+    result = once(benchmark, fig11_gap_regions.run, bench_config)
+    assert result.rows
+
+
+def test_fig13_bench(benchmark, bench_config):
+    result = once(benchmark, fig13_lpd_phase_changes.run, bench_config,
+                  benchmarks=FIG13_SUBSET)
+    lucas = [row for row in result.rows if row[0] == "189.lucas"]
+    assert all(row[3] <= 2 for row in lucas)
+
+
+def test_fig14_bench(benchmark, bench_config):
+    result = once(benchmark, fig14_lpd_stable_time.run, bench_config,
+                  benchmarks=("189.lucas", "181.mcf"))
+    assert all(row[3] > 50.0 for row in result.rows)
+
+
+def test_fig15_bench(benchmark, bench_config):
+    result = once(benchmark, fig15_cost.run, bench_config,
+                  benchmarks=COST_SUBSET)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["176.gcc"][3] == max(row[3] for row in result.rows)
+
+
+def test_fig16_bench(benchmark, bench_config):
+    result = once(benchmark, fig16_interval_tree.run, bench_config,
+                  benchmarks=COST_SUBSET)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["176.gcc"][4] < 0.5
+    assert by_name["189.lucas"][4] > 1.0
+
+
+def test_fig17_bench(benchmark):
+    config = ExperimentConfig(scale=0.5, seed=7)
+    result = once(benchmark, fig17_speedup.run, config,
+                  benchmarks=("181.mcf", "172.mgrid"))
+    by_name = {row[0]: row for row in result.rows}
+    assert abs(by_name["172.mgrid"][1]) < 5.0

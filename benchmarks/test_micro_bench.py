@@ -1,0 +1,191 @@
+"""Micro-benchmarks of the hot primitives.
+
+These are the wall-clock companions to the operation-count cost model:
+Pearson's correlation (the LPD's per-region cost the paper wants to
+reduce), interval-tree stabbing vs. linear region scan (Figure 16's
+actual data structures), histogram filling, and the full monitor's
+per-interval pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import pearson_r, pearson_r_pure
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.histogram import RegionHistogram
+from repro.core.lpd import LocalPhaseDetector
+from repro.core.similarity import MEASURES
+from repro.regions.interval_tree import IntervalTree
+
+RNG = np.random.default_rng(42)
+
+
+# ---------------------------------------------------------------------------
+# Similarity computation (the paper: "the Pearson's metric involves time
+# consuming calculations")
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("slots", [32, 256, 1600])
+def test_pearson_vectorized(benchmark, slots):
+    x = RNG.integers(0, 500, size=slots).astype(float)
+    y = RNG.integers(0, 500, size=slots).astype(float)
+    result = benchmark(pearson_r, x, y)
+    assert -1.0 <= result <= 1.0
+
+
+def test_pearson_pure_python(benchmark):
+    x = RNG.integers(0, 500, size=256).astype(float)
+    y = RNG.integers(0, 500, size=256).astype(float)
+    result = benchmark(pearson_r_pure, x, y)
+    assert result == pytest.approx(pearson_r(x, y), abs=1e-9)
+
+
+@pytest.mark.parametrize("name", sorted(MEASURES))
+def test_similarity_measures(benchmark, name):
+    measure = MEASURES[name]
+    x = RNG.integers(0, 500, size=256).astype(float)
+    result = benchmark(measure, x, 2.0 * x)
+    assert result > 0.99
+
+
+# ---------------------------------------------------------------------------
+# Attribution data structures (Figure 16's actual wall clock)
+# ---------------------------------------------------------------------------
+
+def _regions(n):
+    return [(0x10000 + i * 0x200, 0x10000 + i * 0x200 + 0x100, i)
+            for i in range(n)]
+
+
+@pytest.mark.parametrize("n_regions", [4, 64, 512])
+def test_interval_tree_stab(benchmark, n_regions):
+    tree = IntervalTree(_regions(n_regions))
+    points = RNG.integers(0x10000, 0x10000 + n_regions * 0x200,
+                          size=256).tolist()
+
+    def stab_all():
+        return sum(len(tree.stab(p)) for p in points)
+
+    hits = benchmark(stab_all)
+    assert hits >= 0
+
+
+@pytest.mark.parametrize("n_regions", [4, 64, 512])
+def test_list_scan(benchmark, n_regions):
+    spans = [(s, e) for s, e, _ in _regions(n_regions)]
+    points = RNG.integers(0x10000, 0x10000 + n_regions * 0x200,
+                          size=256).tolist()
+
+    def scan_all():
+        hits = 0
+        for p in points:
+            for start, end in spans:
+                if start <= p < end:
+                    hits += 1
+        return hits
+
+    hits = benchmark(scan_all)
+    assert hits >= 0
+
+
+def test_interval_tree_build(benchmark):
+    intervals = _regions(512)
+    tree = benchmark(IntervalTree, intervals)
+    assert len(tree) == 512
+
+
+# ---------------------------------------------------------------------------
+# Histograms and detectors
+# ---------------------------------------------------------------------------
+
+def test_histogram_batch_fill(benchmark):
+    pcs = (0x10000 + 4 * RNG.integers(0, 256, size=2032)).astype(np.int64)
+    histogram = RegionHistogram(0x10000, 0x10000 + 256 * 4)
+
+    def fill():
+        histogram.clear()
+        return histogram.add_pcs(pcs)
+
+    assert benchmark(fill) == 2032
+
+
+def test_gpd_interval(benchmark):
+    pcs = RNG.integers(0x10000, 0x90000, size=2032)
+
+    detector = GlobalPhaseDetector()
+
+    def observe():
+        return detector.observe_buffer(pcs)
+
+    benchmark(observe)
+    assert detector.intervals_seen > 0
+
+
+def test_lpd_interval(benchmark):
+    counts = RNG.integers(0, 100, size=256).astype(float)
+    detector = LocalPhaseDetector(n_instructions=256)
+    state = {"i": 0}
+
+    def observe():
+        state["i"] += 1
+        return detector.observe(counts, state["i"])
+
+    benchmark(observe)
+    assert detector.active_intervals > 0
+
+
+def test_monitor_interval_pipeline(benchmark):
+    """One full monitor interval on a 64-region program."""
+    from repro.core import MonitorThresholds
+    from repro.monitor import RegionMonitor
+    from repro.program.binary import BinaryBuilder, loop
+
+    builder = BinaryBuilder(base=0x10000)
+    for i in range(64):
+        builder.procedure(f"p{i}", [loop(f"l{i}", body=28)],
+                          at=0x20000 + i * 0x400)
+    binary = builder.build()
+    monitor = RegionMonitor(binary,
+                            MonitorThresholds(buffer_size=2032))
+    starts = np.array([binary.loop_span(f"l{i}")[0] for i in range(64)])
+    # Concentrate each region's samples on a few hot slots so a single
+    # interval is enough for formation to build all 64 regions.
+    pcs = (starts[RNG.integers(0, 64, size=2032)]
+           + 4 * RNG.integers(0, 2, size=2032)).astype(np.int64)
+    monitor.process_interval(pcs)  # warm up: forms the regions
+
+    benchmark(monitor.process_interval, pcs)
+    assert len(monitor.live_regions()) == 64
+
+
+# ---------------------------------------------------------------------------
+# Phase classification / prediction
+# ---------------------------------------------------------------------------
+
+def test_phase_classifier(benchmark):
+    from repro.analysis.prediction import PhaseClassifier
+
+    vectors = [RNG.dirichlet(np.full(8, 0.5)) for _ in range(64)]
+    state = {"i": 0}
+    classifier = PhaseClassifier()
+
+    def classify_next():
+        state["i"] = (state["i"] + 1) % len(vectors)
+        return classifier.classify(vectors[state["i"]])
+
+    assert benchmark(classify_next) >= 0
+
+
+def test_markov_predictor(benchmark):
+    from repro.analysis.prediction import MarkovPhasePredictor
+
+    predictor = MarkovPhasePredictor(order=2)
+    sequence = list(RNG.integers(0, 4, size=64))
+    state = {"i": 0}
+
+    def observe_next():
+        state["i"] = (state["i"] + 1) % len(sequence)
+        predictor.observe(sequence[state["i"]])
+
+    benchmark(observe_next)
+    assert predictor.report().predictions > 0

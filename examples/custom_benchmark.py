@@ -1,0 +1,116 @@
+"""Define your own benchmark model from scratch and analyze it.
+
+Shows the full modeling workflow the synthetic SPEC suite uses, applied
+to a made-up "database" workload: a scan loop, a join loop whose
+bottleneck shifts when the working set outgrows the cache (a genuine
+*local* phase change), hash-table code called from a loop (UCR fodder),
+and periodic checkpointing.
+
+Run: ``python examples/custom_benchmark.py``
+"""
+
+import numpy as np
+
+from repro import MonitorThresholds, RegionMonitor, RegionSpec, \
+    simulate_sampling
+from repro.analysis.metrics import lpd_region_breakdown, run_gpd
+from repro.analysis.tables import format_table
+from repro.program import (BinaryBuilder, Periodic, Steady, WorkloadScript,
+                           call, loop, mixture, straight)
+from repro.program.behavior import bottleneck_profile, shifted_profile
+
+BUFFER = 1024
+PERIOD = 30_000
+
+
+def build_database_benchmark():
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("hash_probe", [straight(64)], at=0x14000)
+    builder.procedure("scan", [loop("scan_loop", body=36)], at=0x30000)
+    builder.procedure("join",
+                      [loop("join_loop",
+                            body=[straight(20), call("hash_probe"),
+                                  straight(8)])],
+                      at=0x60000)
+    builder.procedure("checkpoint", [loop("ckpt_loop", body=24)],
+                      at=0xA0000)
+    binary = builder.build()
+
+    join_slots = (binary.loop_span("join_loop")[1]
+                  - binary.loop_span("join_loop")[0]) // 4
+    join_in_cache = bottleneck_profile(join_slots, {6: 180.0})
+    join_thrashing = shifted_profile(join_in_cache, 11)
+
+    regions = {
+        "scan_loop": RegionSpec(
+            "scan_loop", *binary.loop_span("scan_loop"),
+            profiles={"main": bottleneck_profile(40, {12: 220.0})},
+            dpi=0.06, opt_potential=0.20),
+        "join_loop": RegionSpec(
+            "join_loop", *binary.loop_span("join_loop"),
+            profiles={"main": join_in_cache, "thrashing": join_thrashing},
+            dpi=0.09, opt_potential=0.25),
+        "ckpt_loop": RegionSpec(
+            "ckpt_loop", *binary.loop_span("ckpt_loop"),
+            profiles={"main": bottleneck_profile(28, {20: 120.0})},
+            dpi=0.02, opt_potential=0.05),
+        "hash_probe_code": RegionSpec(
+            "hash_probe_code", binary.procedure("hash_probe").start,
+            binary.procedure("hash_probe").end, is_loop=False,
+            profiles={"main": bottleneck_profile(64, {30: 200.0})}),
+    }
+
+    steady = mixture(("scan_loop", 0.35), ("join_loop", 0.35, "main"),
+                     ("hash_probe_code", 0.20), ("ckpt_loop", 0.10))
+    thrash = mixture(("scan_loop", 0.35), ("join_loop", 0.35, "thrashing"),
+                     ("hash_probe_code", 0.20), ("ckpt_loop", 0.10))
+    workload = WorkloadScript([
+        Steady(400_000_000, steady),
+        # The join's working set outgrows the cache: its bottleneck load
+        # moves — a real local phase change the LPD must catch.
+        Steady(400_000_000, thrash),
+        # Periodic checkpoint storms afterwards.
+        Periodic(400_000_000, (thrash, mixture(("ckpt_loop", 0.85),
+                                               ("scan_loop", 0.15))),
+                 switch_period=80_000_000),
+    ])
+    return binary, regions, workload
+
+
+def main() -> None:
+    binary, regions, workload = build_database_benchmark()
+    stream = simulate_sampling(regions, workload, PERIOD, seed=3)
+    print(f"custom 'database' benchmark: {stream.n_samples} samples, "
+          f"{stream.n_intervals(BUFFER)} intervals\n")
+
+    gpd = run_gpd(stream, BUFFER)
+    print(f"GPD: {len(gpd.events)} phase changes, "
+          f"{100 * gpd.stable_time_fraction():.0f}% stable\n")
+
+    monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=BUFFER))
+    monitor.process_stream(stream)
+    rows = [[row["region"], row["samples"], row["phase_changes"],
+             row["stable_pct"]] for row in lpd_region_breakdown(monitor)]
+    print(format_table(["region", "samples", "local changes", "stable%"],
+                       rows, title="Region monitor:"))
+    print(f"\nmedian UCR {100 * monitor.ucr.median():.0f}% "
+          f"(hash_probe is called from a loop, so loop-only formation "
+          f"cannot monitor it)")
+
+    interproc = RegionMonitor(binary, MonitorThresholds(buffer_size=BUFFER),
+                              interprocedural=True)
+    interproc.process_stream(stream)
+    print(f"with inter-procedural formation: median UCR "
+          f"{100 * interproc.ucr.median():.0f}%")
+
+    join = monitor.region_by_name(
+        f"{regions['join_loop'].start:x}-{regions['join_loop'].end:x}")
+    r_trace = [o.r_value for o in monitor.detector(join.rid).observations
+               if o.had_samples][2:]  # skip the warmup zeros
+    drop = int(np.argmin(r_trace)) + 2
+    print(f"\njoin loop r-trace dips to {min(r_trace):.2f} around interval "
+          f"{drop}: the cache-thrash transition was caught locally.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""The paper's running example: phase analysis of 181.mcf.
+
+Reproduces the Figure 2 / 9 / 10 story on the synthetic 181.mcf model:
+the region mix drifts (146f0-14770 fades, 142c8-14318 grows) and turns
+periodic late in the run; the centroid detector sees global phase changes
+and an unstable tail, while every region's local Pearson-r stays ~1.
+
+Run: ``python examples/mcf_phase_analysis.py [scale]``
+"""
+
+import sys
+
+from repro import MonitorThresholds, RegionMonitor, get_benchmark, \
+    simulate_sampling
+from repro.analysis.charts import RegionChart, phase_line
+from repro.analysis.metrics import ground_truth_region_matrix, run_gpd
+from repro.analysis.tables import format_table
+
+SAMPLING_PERIOD = 450_000
+BUFFER_SIZE = 2032
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    model = get_benchmark("181.mcf", scale=scale)
+    stream = simulate_sampling(model.regions, model.workload,
+                               SAMPLING_PERIOD, seed=7)
+    print(f"181.mcf @ {SAMPLING_PERIOD // 1000}k cycles/interrupt, "
+          f"{stream.n_intervals(BUFFER_SIZE)} intervals (scale {scale})\n")
+
+    # --- the region chart (paper Figure 2 / 9) -------------------------
+    names, matrix = ground_truth_region_matrix(stream, BUFFER_SIZE)
+    labeled = tuple(model.monitored_name(n) if n in model.regions else n
+                    for n in names)
+    gpd = run_gpd(stream, BUFFER_SIZE)
+    chart = RegionChart(labeled, matrix, phase_line(gpd))
+    print("Region chart (sample density per region over time; "
+          "^ = GPD-unstable):")
+    print(chart.render_ascii(width=72, top_k=5))
+    print(f"\nGPD: {len(gpd.events)} phase changes, stable "
+          f"{100 * gpd.stable_time_fraction():.0f}% of intervals")
+
+    # --- local phase detection (paper Figure 10) -----------------------
+    monitor = RegionMonitor(model.binary,
+                            MonitorThresholds(buffer_size=BUFFER_SIZE))
+    monitor.process_stream(stream)
+    rows = []
+    for workload_name in ("mcf_r1", "mcf_r2", "mcf_r3"):
+        region = monitor.region_by_name(model.monitored_name(workload_name))
+        detector = monitor.detector(region.rid)
+        r_values = [o.r_value for o in detector.observations
+                    if o.had_samples][2:]
+        rows.append([region.name,
+                     min(r_values) if r_values else 0.0,
+                     sum(r_values) / len(r_values) if r_values else 0.0,
+                     detector.phase_change_count(),
+                     100.0 * detector.stable_time_fraction()])
+    print()
+    print(format_table(
+        ["region", "min r", "mean r", "local changes", "stable%"], rows,
+        title="Per-region local phase detection (paper Figure 10):"))
+    print("\nTakeaway: the paper's headline — mcf looks phase-unstable "
+          "globally but every\nregion is locally stable, so LPD keeps its "
+          "optimizations deployed.")
+
+
+if __name__ == "__main__":
+    main()

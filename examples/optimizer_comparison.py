@@ -1,0 +1,72 @@
+"""RTO policy comparison: GPD-driven vs LPD-driven optimization.
+
+The Figure 17 experiment as a script: run both runtime-optimizer policies
+over identical PMU streams of one benchmark across sampling periods, and
+show the self-monitoring feedback loop undoing a harmful optimization.
+
+Run: ``python examples/optimizer_comparison.py [benchmark]``
+"""
+
+import sys
+
+from repro import RegionSpec, RtoConfig, RTOSystem, get_benchmark
+from repro.analysis.tables import format_table
+from repro.optimizer import compare_policies
+
+PERIODS = (100_000, 800_000, 1_500_000)
+
+
+def policy_sweep(name: str, scale: float) -> None:
+    model = get_benchmark(name, scale=scale)
+    rows = []
+    for period in PERIODS:
+        orig, lpd, speedup = compare_policies(
+            model.binary, model.regions, model.workload, period, seed=7)
+        rows.append([
+            f"{period // 1000}k",
+            100.0 * orig.stable_fraction,
+            orig.n_deployments, orig.n_unpatches,
+            100.0 * lpd.stable_fraction,
+            lpd.n_deployments, lpd.n_unpatches,
+            100.0 * speedup,
+        ])
+    print(format_table(
+        ["period", "orig stable%", "orig deploys", "orig unpatch",
+         "lpd stable%", "lpd deploys", "lpd unpatch", "LPD speedup%"],
+        rows, title=f"{name}: RTO_LPD vs RTO_ORIG (paper Figure 17)"))
+
+
+def self_monitoring_demo() -> None:
+    """A speculative prefetch that *hurts*: only self-monitoring saves us."""
+    model = get_benchmark("172.mgrid", scale=0.3)
+    regions = dict(model.regions)
+    victim = next(name for name, spec in regions.items() if spec.is_loop)
+    spec = regions[victim]
+    regions[victim] = RegionSpec(
+        victim, spec.start, spec.end,
+        profiles={"main": spec.profile().copy()},
+        dpi=0.10, opt_potential=-0.15)  # the prefetch pollutes the cache
+
+    naive = RTOSystem(model.binary, regions, model.workload, 100_000,
+                      RtoConfig(policy="lpd"), seed=7).run()
+    guarded = RTOSystem(model.binary, regions, model.workload, 100_000,
+                        RtoConfig(policy="lpd", self_monitoring=True),
+                        seed=7).run()
+    print("\nSelf-monitoring (paper section 3 / future work):")
+    print(f"  without feedback: {naive.total_cycles:,.0f} cycles "
+          f"(harmful optimization left deployed)")
+    print(f"  with feedback:    {guarded.total_cycles:,.0f} cycles "
+          f"({guarded.n_undone} optimization(s) undone)")
+    gain = naive.total_cycles / guarded.total_cycles - 1.0
+    print(f"  feedback recovered {100 * gain:.2f}% of runtime")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "181.mcf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    policy_sweep(name, scale)
+    self_monitoring_demo()
+
+
+if __name__ == "__main__":
+    main()

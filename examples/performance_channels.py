@@ -1,0 +1,80 @@
+"""Performance-metric phase detection: CPI and DPI channels.
+
+The paper's prototype GPD watches more than the PC centroid: "other
+metrics of performance, such as CPI and DPI (Data Cache Misses per
+Instruction), are used to determine if the program performance
+characteristics have changed."  This example builds a workload whose
+*working set never moves* — the same loop executes throughout — but whose
+performance character degrades mid-run (its data outgrows the cache: CPI
+and DPI jump).  The centroid channel is blind to it; the composite
+detector catches it.
+
+Run: ``python examples/performance_channels.py``
+"""
+
+from repro import CompositeGlobalDetector, RegionSpec, simulate_sampling
+from repro.analysis.tables import format_table
+from repro.program import BinaryBuilder, Steady, WorkloadScript, loop, \
+    mixture
+from repro.program.behavior import bottleneck_profile
+
+BUFFER = 1024
+PERIOD = 10_000
+
+
+def build_workload():
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("kernel", [loop("hot", body=44)], at=0x20000)
+    binary = builder.build()
+    span = binary.loop_span("hot")
+    profile = bottleneck_profile(48, {15: 200.0})
+    # Same loop, same hot instruction — but once the data set outgrows the
+    # cache, every iteration stalls: CPI 1.1 -> 3.2, DPI 30 -> 120 MPKI.
+    in_cache = RegionSpec("hot_fast", *span, profiles={"main": profile},
+                          cpi=1.1, dpi=0.030)
+    thrashing = RegionSpec("hot_slow", span[0], span[1],
+                           profiles={"main": profile}, cpi=3.2, dpi=0.120)
+    # Two workload regions sharing one address span model the two
+    # performance regimes of the same code.
+    regions = {"hot_fast": in_cache, "hot_slow": thrashing}
+    workload = WorkloadScript([
+        Steady(250_000_000, mixture(("hot_fast", 1.0))),
+        Steady(250_000_000, mixture(("hot_slow", 1.0))),
+    ])
+    return regions, workload
+
+
+def main() -> None:
+    regions, workload = build_workload()
+    stream = simulate_sampling(regions, workload, PERIOD, seed=11)
+    n = stream.n_intervals(BUFFER)
+    print(f"{n} intervals; working set constant, cache behavior degrades "
+          f"at the midpoint\n")
+
+    rows = []
+    for label, channels in (("centroid only", ("centroid",)),
+                            ("cpi only", ("cpi",)),
+                            ("dpi only", ("dpi",)),
+                            ("composite (all)", CompositeGlobalDetector.CHANNELS)):
+        detector = CompositeGlobalDetector(channels=channels,
+                                           performance_smoothing=0.15)
+        detector.process_stream(stream, BUFFER)
+        rows.append([label, detector.phase_change_count(),
+                     100.0 * detector.stable_time_fraction()])
+    print(format_table(["detector", "phase changes", "stable%"], rows,
+                       title="Who sees the performance phase change?"))
+
+    cpis = stream.interval_cpi(BUFFER)
+    dpis = stream.interval_dpi(BUFFER)
+    print(f"\nCPI:  first third {cpis[: n // 3].mean():.2f}  ->  "
+          f"last third {cpis[-n // 3:].mean():.2f}")
+    print(f"MPKI: first third {dpis[: n // 3].mean():.1f}  ->  "
+          f"last third {dpis[-n // 3:].mean():.1f}")
+    print("\nTakeaway: the centroid channel alone misses pure "
+          "performance-characteristic\nchanges; the CPI/DPI channels are "
+          "what let the optimizer re-evaluate its\nstrategy (e.g. inject "
+          "prefetches) when behavior, not code, changes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Phase classification and next-phase prediction.
+
+The paper's footnote 1 imagines optimizations for "the next incoming
+phase" (e.g. instruction-cache prefetching before a working-set switch
+lands).  That requires knowing which recurring phase comes next.  This
+example classifies 187.facerec's intervals into recurring phases (leader
+clustering over region-share signatures) and runs a Markov predictor
+over the phase sequence — periodic programs turn out to be almost
+perfectly predictable.
+
+Run: ``python examples/phase_prediction.py [benchmark] [scale]``
+"""
+
+import sys
+
+import numpy as np
+
+from repro import get_benchmark, simulate_sampling
+from repro.analysis.metrics import ground_truth_region_matrix
+from repro.analysis.prediction import MarkovPhasePredictor, PhaseClassifier
+from repro.analysis.tables import format_table
+
+BUFFER = 2032
+PERIOD = 45_000
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "187.facerec"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    model = get_benchmark(name, scale=scale)
+    stream = simulate_sampling(model.regions, model.workload, PERIOD,
+                               seed=7)
+    names, matrix = ground_truth_region_matrix(stream, BUFFER)
+
+    classifier = PhaseClassifier()
+    phase_ids = classifier.classify_matrix(matrix)
+    print(f"{name}: {len(phase_ids)} intervals -> "
+          f"{classifier.n_phases} recurring phases\n")
+
+    rows = []
+    for phase_id in range(classifier.n_phases):
+        signature = classifier.phase_signature(phase_id)
+        dominant = names[int(np.argmax(signature))]
+        occupancy = 100.0 * phase_ids.count(phase_id) / len(phase_ids)
+        rows.append([phase_id, dominant,
+                     100.0 * float(signature.max()), occupancy])
+    print(format_table(
+        ["phase", "dominant region", "dominant share%", "occupancy%"],
+        rows, title="Discovered phases:"))
+
+    strip = "".join(str(min(p, 9)) for p in phase_ids[:72])
+    print(f"\nphase sequence (first 72 intervals): {strip}")
+
+    rows = []
+    for order in (1, 2, 3):
+        report = MarkovPhasePredictor(order=order).observe_sequence(
+            phase_ids)
+        rows.append([order, report.predictions,
+                     100.0 * report.accuracy])
+    print()
+    print(format_table(["Markov order", "predictions", "accuracy%"], rows,
+                       title="Next-phase prediction:"))
+    print("\nTakeaway: periodic working sets make the phase sequence "
+          "highly predictable —\nexactly the information a next-phase "
+          "prefetcher (paper footnote 1) needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Quickstart: build a tiny program, sample it, detect phases both ways.
+
+Demonstrates the core loop of the library on a hand-built two-loop
+program whose working set shifts halfway through:
+
+1. lay out a synthetic binary with the :class:`BinaryBuilder` DSL;
+2. describe each region's behavior (hot instructions, DPI);
+3. script the workload (steady phase -> working-set shift);
+4. sample it with the PMU simulator;
+5. run the centroid-based Global Phase Detector and the region monitor
+   with per-region Local Phase Detection, and compare what they saw.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (GlobalPhaseDetector, MonitorThresholds, RegionMonitor,
+                   RegionSpec, simulate_sampling)
+from repro.analysis.tables import format_table
+from repro.program import (BinaryBuilder, Steady, WorkloadScript, loop,
+                           mixture, straight)
+from repro.program.behavior import bottleneck_profile
+
+SAMPLING_PERIOD = 20_000
+BUFFER_SIZE = 512
+
+
+def build_program():
+    """A binary with two hot loops and a little cold glue code."""
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("init", [straight(24)], at=0x10000)
+    builder.procedure("kernel_a", [loop("loop_a", body=28)], at=0x20000)
+    builder.procedure("kernel_b", [loop("loop_b", body=44)], at=0x80000)
+    binary = builder.build()
+
+    regions = {
+        # loop_a stalls on one cache-missing load (slot 9).
+        "loop_a": RegionSpec(
+            "loop_a", *binary.loop_span("loop_a"),
+            profiles={"main": bottleneck_profile(32, {9: 250.0})},
+            dpi=0.08, opt_potential=0.25),
+        # loop_b has two milder bottlenecks.
+        "loop_b": RegionSpec(
+            "loop_b", *binary.loop_span("loop_b"),
+            profiles={"main": bottleneck_profile(48, {15: 90.0, 33: 60.0})},
+            dpi=0.03, opt_potential=0.10),
+        "init_code": RegionSpec(
+            "init_code", binary.procedure("init").start,
+            binary.procedure("init").end, is_loop=False),
+    }
+
+    workload = WorkloadScript([
+        Steady(60_000_000, mixture(("loop_a", 0.75), ("loop_b", 0.15),
+                                   ("init_code", 0.10))),
+        # The working set shifts: loop_b takes over.
+        Steady(60_000_000, mixture(("loop_a", 0.15), ("loop_b", 0.75),
+                                   ("init_code", 0.10))),
+    ])
+    return binary, regions, workload
+
+
+def main() -> None:
+    binary, regions, workload = build_program()
+    stream = simulate_sampling(regions, workload, SAMPLING_PERIOD, seed=1)
+    print(f"simulated {stream.n_samples} samples over "
+          f"{workload.total_cycles:,} cycles "
+          f"({stream.n_intervals(BUFFER_SIZE)} buffer intervals)\n")
+
+    # --- global phase detection (the baseline) -------------------------
+    gpd = GlobalPhaseDetector()
+    for value in stream.centroids(BUFFER_SIZE):
+        gpd.observe_centroid(float(value))
+    print("Global (centroid) phase detector:")
+    for event in gpd.events:
+        print(f"  interval {event.interval_index:>3}: {event.kind.value} "
+              f"({event.detail})")
+    print(f"  stable {100 * gpd.stable_time_fraction():.0f}% of intervals\n")
+
+    # --- region monitoring with local phase detection ------------------
+    monitor = RegionMonitor(binary,
+                            MonitorThresholds(buffer_size=BUFFER_SIZE))
+    monitor.process_stream(stream)
+    rows = []
+    for region in monitor.all_regions():
+        detector = monitor.detector(region.rid)
+        rows.append([region.name, region.kind.value,
+                     detector.phase_change_count(),
+                     100.0 * detector.stable_time_fraction(),
+                     detector.last_r])
+    print(format_table(
+        ["region", "kind", "local changes", "stable%", "final r"], rows,
+        title="Region monitor (local phase detection):"))
+    print(f"\nmedian UCR: {100 * monitor.ucr.median():.1f}%  "
+          f"formation triggers: {monitor.ucr.n_triggers}")
+    print("\nTakeaway: the global detector sees the working-set shift as a "
+          "phase change;\nthe per-region detectors stay stable because "
+          "each loop's own behavior never changed.")
+
+
+if __name__ == "__main__":
+    main()

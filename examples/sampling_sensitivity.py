@@ -1,0 +1,63 @@
+"""Sampling-period sensitivity: GPD vs LPD on one benchmark.
+
+The paper's central comparison (Figures 3/4 vs. 13/14): sweep the
+sampling period and watch the centroid-based global detector flap at fine
+periods while per-region local detection barely moves.
+
+Run: ``python examples/sampling_sensitivity.py [benchmark] [scale]``
+e.g. ``python examples/sampling_sensitivity.py 187.facerec 0.5``
+"""
+
+import sys
+
+from repro import MonitorThresholds, RegionMonitor, get_benchmark, \
+    simulate_sampling
+from repro.analysis.metrics import lpd_region_breakdown, run_gpd
+from repro.analysis.tables import format_table
+
+PERIODS = (45_000, 150_000, 450_000, 900_000)
+BUFFER_SIZE = 2032
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "187.facerec"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    model = get_benchmark(name, scale=scale)
+    print(f"{name} (scale {scale}): {model.description}\n")
+
+    gpd_rows = []
+    lpd_rows = []
+    for period in PERIODS:
+        stream = simulate_sampling(model.regions, model.workload, period,
+                                   seed=7)
+        detector = run_gpd(stream, BUFFER_SIZE)
+        gpd_rows.append([f"{period // 1000}k",
+                         stream.n_intervals(BUFFER_SIZE),
+                         len(detector.events),
+                         100.0 * detector.stable_time_fraction()])
+
+        monitor = RegionMonitor(model.binary,
+                                MonitorThresholds(buffer_size=BUFFER_SIZE))
+        monitor.process_stream(stream)
+        breakdown = lpd_region_breakdown(monitor)[:4]
+        total_changes = sum(row["phase_changes"] for row in breakdown)
+        mean_stable = (sum(row["stable_pct"] for row in breakdown)
+                       / len(breakdown)) if breakdown else 0.0
+        lpd_rows.append([f"{period // 1000}k", len(breakdown),
+                         total_changes, mean_stable])
+
+    print(format_table(
+        ["period", "intervals", "phase changes", "stable%"], gpd_rows,
+        title="Global (centroid) phase detection:"))
+    print()
+    print(format_table(
+        ["period", "top regions", "local changes (sum)", "mean stable%"],
+        lpd_rows,
+        title="Local phase detection (top regions by samples):"))
+    print("\nTakeaway: GPD's phase-change count swings with the sampling "
+          "period; LPD's\nper-region counts barely move — the paper's "
+          "robustness claim.")
+
+
+if __name__ == "__main__":
+    main()

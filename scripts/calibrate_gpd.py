@@ -1,0 +1,20 @@
+"""Calibration: GPD phase changes and stable% per benchmark x period."""
+import sys, time
+import numpy as np
+from repro.program.spec2000 import get_benchmark, FIG3_BENCHMARKS
+from repro.sampling import simulate_sampling
+from repro.analysis.metrics import run_gpd
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+names = sys.argv[2].split(",") if len(sys.argv) > 2 else list(FIG3_BENCHMARKS)
+periods = (45_000, 450_000, 900_000)
+print(f"{'benchmark':<14} " + "".join(f"{p//1000:>6}k chg {'stab%':>6} " for p in periods))
+for name in names:
+    model = get_benchmark(name, scale)
+    row = f"{name:<14} "
+    t0 = time.time()
+    for period in periods:
+        stream = simulate_sampling(model.regions, model.workload, period, seed=7)
+        det = run_gpd(stream, 2032)
+        row += f"{len(det.events):>9} {100*det.stable_time_fraction():>6.1f} "
+    print(row + f"  ({time.time()-t0:.1f}s)")

@@ -1,0 +1,27 @@
+"""Calibration: Figures 13/14 — per-region LPD phase changes and stable%."""
+import sys, time
+from repro.core import MonitorThresholds
+from repro.monitor import RegionMonitor
+from repro.program.spec2000 import get_benchmark, FIG13_BENCHMARKS
+from repro.sampling import simulate_sampling
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+names = sys.argv[2].split(",") if len(sys.argv) > 2 else list(FIG13_BENCHMARKS)
+periods = (45_000, 450_000, 900_000)
+for name in names:
+    model = get_benchmark(name, scale)
+    t0 = time.time()
+    for wname in model.selected_region_names:
+        print(f"{name:>13} {wname:<10}", end=" ")
+        for period in periods:
+            stream = simulate_sampling(model.regions, model.workload, period, seed=7)
+            mon = RegionMonitor(model.binary, MonitorThresholds())
+            mon.process_stream(stream)
+            target = model.monitored_name(wname)
+            try:
+                region = mon.region_by_name(target)
+                det = mon.detector(region.rid)
+                print(f"{det.phase_change_count():>5}chg {100*det.stable_time_fraction():>5.1f}%", end="  ")
+            except Exception:
+                print("  not-formed ", end="  ")
+        print(f" ({time.time()-t0:.1f}s)")

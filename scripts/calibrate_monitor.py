@@ -1,0 +1,29 @@
+"""Calibration: Figures 6 (UCR median), 15 (cost), 16 (tree vs list)."""
+import sys, time
+from repro.core import MonitorThresholds
+from repro.costs import CostLedger
+from repro.monitor import RegionMonitor
+from repro.program.spec2000 import get_benchmark, FIG6_BENCHMARKS
+from repro.sampling import simulate_sampling
+from repro.analysis.metrics import run_gpd
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+names = sys.argv[2].split(",") if len(sys.argv) > 2 else list(FIG6_BENCHMARKS)
+print(f"{'benchmark':<14}{'ucr_med':>8}{'regs':>6}{'gpd%':>10}{'lpd%':>9}{'x slower':>9}{'tree/list':>10}")
+for name in names:
+    t0 = time.time()
+    model = get_benchmark(name, scale)
+    stream = simulate_sampling(model.regions, model.workload, 45_000, seed=7)
+    total = stream.total_cycles
+    gl = CostLedger()
+    run_gpd(stream, 2032, ledger=gl)
+    mon = RegionMonitor(model.binary, MonitorThresholds())
+    mon.process_stream(stream)
+    tree = RegionMonitor(model.binary, MonitorThresholds(), attribution="tree")
+    tree.process_stream(stream)
+    gpd_pct = 100*gl.overhead_fraction(total, gl.gpd_ops)
+    lpd_pct = 100*mon.ledger.overhead_fraction(total, mon.ledger.monitor_ops)
+    factor = (tree.ledger.attribution_ops + tree.ledger.tree_maintenance_ops) / max(mon.ledger.attribution_ops,1)
+    print(f"{name:<14}{mon.ucr.median():>8.2f}{len(mon.all_regions()):>6}"
+          f"{gpd_pct:>9.4f}%{lpd_pct:>8.3f}%{lpd_pct/max(gpd_pct,1e-9):>9.0f}{factor:>10.2f}"
+          f"   ({time.time()-t0:.1f}s)")

@@ -1,0 +1,18 @@
+"""Calibration: Figure 17 — RTO_LPD speedup over RTO_ORIG."""
+import sys, time
+from repro.program.spec2000 import get_benchmark, FIG17_BENCHMARKS
+from repro.optimizer import compare_policies
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+periods = (100_000, 800_000, 1_500_000)
+print(f"{'benchmark':<12}" + "".join(f"{p//1000:>8}k" for p in periods) + "   (orig stable% / lpd stable%)")
+for name in FIG17_BENCHMARKS:
+    model = get_benchmark(name, scale)
+    row = f"{name:<12}"
+    info = []
+    for period in periods:
+        orig, lpd, speedup = compare_policies(
+            model.binary, model.regions, model.workload, period, seed=11)
+        row += f"{100*speedup:>8.1f}%"
+        info.append(f"{100*orig.stable_fraction:.0f}/{100*lpd.stable_fraction:.0f}")
+    print(row + "   " + " ".join(info))

@@ -1,0 +1,92 @@
+"""repro — Region Monitoring for Local Phase Detection.
+
+A production-quality reproduction of Das, Lu & Hsu, *Region Monitoring for
+Local Phase Detection in Dynamic Optimization Systems* (CGO 2006).
+
+The package layers, bottom up:
+
+* :mod:`repro.program` — synthetic binaries (CFGs, natural loops, call
+  graphs), per-region behavior profiles, workload scripts, and the
+  synthetic SPEC CPU2000 suite the paper evaluates on.
+* :mod:`repro.sampling` — the PMU simulator: periodic cycle sampling into
+  the 2032-entry user buffer.
+* :mod:`repro.core` — the detectors: the centroid-based Global Phase
+  Detector (Figure 1) and the Pearson-correlation Local Phase Detector
+  (Figure 12), plus pluggable similarity measures.
+* :mod:`repro.regions` — monitored regions, list / interval-tree sample
+  attribution, loop-based region formation, UCR accounting, pruning.
+* :mod:`repro.monitor` — the region-monitoring framework tying it all
+  together, plus self-monitoring of deployed optimizations.
+* :mod:`repro.optimizer` — the simulated runtime optimizer comparing the
+  GPD-driven and LPD-driven policies (Figure 17).
+* :mod:`repro.experiments` — one module per paper figure.
+
+Quickstart::
+
+    from repro import (GlobalPhaseDetector, LocalPhaseDetector,
+                       RegionMonitor, get_benchmark, simulate_sampling)
+
+    model = get_benchmark("181.mcf", scale=0.1)
+    stream = simulate_sampling(model.regions, model.workload,
+                               sampling_period=45_000, seed=7)
+    monitor = RegionMonitor(model.binary)
+    monitor.process_stream(stream)
+    print(monitor.phase_change_counts())
+"""
+
+from repro.core import (GlobalPhaseDetector, GpdThresholds,
+                        LocalPhaseDetector, LpdThresholds,
+                        MonitorThresholds, PhaseEvent, PhaseEventKind,
+                        PhaseState, RegionHistogram, pearson_r)
+from repro.costs import CostLedger
+from repro.errors import ReproError
+from repro.core.performance import CompositeGlobalDetector
+from repro.monitor import OnlineSession, RegionMonitor, SelfMonitor, Verdict
+from repro.optimizer import RtoConfig, RTOSystem, compare_policies
+from repro.program import (BinaryBuilder, RegionSpec, SyntheticBinary,
+                           WorkloadScript)
+from repro.program.spec2000 import (BenchmarkModel, benchmark_names,
+                                    get_benchmark)
+from repro.regions import IntervalTree, RegionFormation, RegionRegistry
+from repro.sampling import (PMUSimulator, SampleBuffer, SampleStream,
+                            simulate_sampling)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GlobalPhaseDetector",
+    "GpdThresholds",
+    "LocalPhaseDetector",
+    "LpdThresholds",
+    "MonitorThresholds",
+    "PhaseEvent",
+    "PhaseEventKind",
+    "PhaseState",
+    "RegionHistogram",
+    "pearson_r",
+    "CostLedger",
+    "ReproError",
+    "CompositeGlobalDetector",
+    "OnlineSession",
+    "RegionMonitor",
+    "SelfMonitor",
+    "Verdict",
+    "RtoConfig",
+    "RTOSystem",
+    "compare_policies",
+    "BinaryBuilder",
+    "RegionSpec",
+    "SyntheticBinary",
+    "WorkloadScript",
+    "BenchmarkModel",
+    "benchmark_names",
+    "get_benchmark",
+    "IntervalTree",
+    "RegionFormation",
+    "RegionRegistry",
+    "PMUSimulator",
+    "SampleBuffer",
+    "SampleStream",
+    "simulate_sampling",
+    "__version__",
+]

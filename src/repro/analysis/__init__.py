@@ -1,0 +1,33 @@
+"""Analysis helpers: metrics, charts, table rendering."""
+
+from repro.analysis.charts import RegionChart, phase_line
+from repro.analysis.comparison import SchemeResult, compare_detectors
+from repro.analysis.export import export_results, write_csv, write_json
+from repro.analysis.prediction import (MarkovPhasePredictor,
+                                       PhaseClassifier, PredictionReport)
+from repro.analysis.metrics import (gpd_phase_changes,
+                                    gpd_stable_percentage,
+                                    ground_truth_region_matrix,
+                                    lpd_region_breakdown, run_gpd,
+                                    select_top_regions)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "RegionChart",
+    "phase_line",
+    "SchemeResult",
+    "compare_detectors",
+    "export_results",
+    "write_csv",
+    "write_json",
+    "MarkovPhasePredictor",
+    "PhaseClassifier",
+    "PredictionReport",
+    "gpd_phase_changes",
+    "gpd_stable_percentage",
+    "ground_truth_region_matrix",
+    "lpd_region_breakdown",
+    "run_gpd",
+    "select_top_regions",
+    "format_table",
+]

@@ -1,0 +1,103 @@
+"""Region charts: the stacked-area pictures of Figures 2, 5 and 9.
+
+A region chart is an ``(intervals, regions)`` sample-count matrix plus an
+optional global-phase line (high = unstable, 0 = stable).  The experiment
+harness prints a numeric digest and an ASCII rendering; the underlying
+series are exposed for anyone who wants to plot them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gpd import GlobalPhaseDetector
+
+__all__ = ["RegionChart", "phase_line"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def phase_line(detector: GlobalPhaseDetector, high: int = 1) -> np.ndarray:
+    """The paper's thick line: ``high`` while unstable, 0 while stable."""
+    values = np.full(len(detector.observations), high, dtype=np.int64)
+    from repro.core.states import PhaseState
+
+    for index, observation in enumerate(detector.observations):
+        if observation.state in (PhaseState.STABLE,
+                                 PhaseState.LESS_UNSTABLE):
+            values[index] = 0
+    return values
+
+
+@dataclass(frozen=True)
+class RegionChart:
+    """A stacked per-region sample chart over intervals.
+
+    Attributes
+    ----------
+    region_names:
+        Column labels.
+    matrix:
+        ``(intervals, regions)`` sample counts.  With overlapping regions
+        the row sums exceed the buffer size, as the paper notes for its
+        Figure 2.
+    phase:
+        Optional per-interval phase indicator (0 = stable).
+    """
+
+    region_names: tuple[str, ...]
+    matrix: np.ndarray
+    phase: np.ndarray | None = None
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def top_regions(self, k: int) -> list[tuple[str, int]]:
+        """The *k* regions with the most samples, with their totals."""
+        totals = self.matrix.sum(axis=0)
+        order = np.argsort(totals)[::-1][:k]
+        return [(self.region_names[i], int(totals[i])) for i in order]
+
+    def region_series(self, name: str) -> np.ndarray:
+        """One region's per-interval sample counts."""
+        try:
+            column = self.region_names.index(name)
+        except ValueError:
+            raise KeyError(f"no region named {name!r} in chart") from None
+        return self.matrix[:, column].copy()
+
+    def downsampled(self, n_buckets: int) -> "RegionChart":
+        """Average the chart into *n_buckets* time buckets for display."""
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be positive")
+        if self.n_intervals == 0:
+            return self
+        buckets = np.array_split(np.arange(self.n_intervals),
+                                 min(n_buckets, self.n_intervals))
+        matrix = np.stack([self.matrix[idx].mean(axis=0)
+                           for idx in buckets])
+        phase = None
+        if self.phase is not None:
+            phase = np.array([self.phase[idx].mean() for idx in buckets])
+        return RegionChart(self.region_names, matrix, phase)
+
+    def render_ascii(self, width: int = 72, top_k: int = 6) -> str:
+        """Density strips per region plus the phase line, for terminals."""
+        chart = self.downsampled(width)
+        lines = []
+        for name, _total in self.top_regions(top_k):
+            series = chart.region_series(name)
+            peak = series.max() or 1.0
+            strip = "".join(
+                _SHADES[min(int(value / peak * (len(_SHADES) - 1)),
+                            len(_SHADES) - 1)]
+                for value in series)
+            lines.append(f"{name:>16} |{strip}|")
+        if chart.phase is not None:
+            strip = "".join("^" if value > 0.5 else "_"
+                            for value in chart.phase)
+            lines.append(f"{'phase unstable':>16} |{strip}|")
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Side-by-side comparison of every phase-detection scheme on one stream.
+
+One call runs the centroid GPD, the composite (CPI/DPI) GPD, the two
+related-work baselines (BBV, working set) and the region monitor's local
+detection over the *same* sample stream, and returns a comparable row per
+scheme — the "detector zoo" view used by the benchmarks and handy for
+exploring new workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import run_gpd
+from repro.core.baselines import (BasicBlockVectorDetector,
+                                  WorkingSetDetector)
+from repro.core.performance import CompositeGlobalDetector
+from repro.core.thresholds import MonitorThresholds
+from repro.monitor.region_monitor import RegionMonitor
+from repro.program.binary import SyntheticBinary
+from repro.sampling.events import SampleStream
+
+__all__ = ["SchemeResult", "compare_detectors"]
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """One detection scheme's outcome on a stream.
+
+    Attributes
+    ----------
+    scheme:
+        ``"centroid"``, ``"composite"``, ``"bbv"``, ``"working_set"`` or
+        ``"lpd"``.
+    phase_changes:
+        Total phase changes (for LPD: summed over regions).
+    stable_fraction:
+        Fraction of intervals in a stable phase (for LPD: mean over
+        regions with samples).
+    scope:
+        ``"global"`` or ``"local"``.
+    """
+
+    scheme: str
+    phase_changes: int
+    stable_fraction: float
+    scope: str
+
+
+def compare_detectors(stream: SampleStream,
+                      binary: SyntheticBinary | None = None,
+                      buffer_size: int = 2032,
+                      schemes: tuple[str, ...] = ("centroid", "composite",
+                                                  "bbv", "working_set",
+                                                  "lpd")
+                      ) -> list[SchemeResult]:
+    """Run the requested schemes over one stream.
+
+    ``binary`` is required for the ``"lpd"`` scheme (region formation
+    needs the program); omit it to compare only the global schemes.
+    """
+    results: list[SchemeResult] = []
+    for scheme in schemes:
+        if scheme == "centroid":
+            detector = run_gpd(stream, buffer_size)
+            results.append(SchemeResult(
+                scheme, len(detector.events),
+                detector.stable_time_fraction(), "global"))
+        elif scheme == "composite":
+            composite = CompositeGlobalDetector()
+            composite.process_stream(stream, buffer_size)
+            results.append(SchemeResult(
+                scheme, composite.phase_change_count(),
+                composite.stable_time_fraction(), "global"))
+        elif scheme in ("bbv", "working_set"):
+            baseline = (BasicBlockVectorDetector() if scheme == "bbv"
+                        else WorkingSetDetector())
+            for _index, window in stream.intervals(buffer_size):
+                baseline.observe_buffer(stream.pcs[window])
+            results.append(SchemeResult(
+                scheme, baseline.phase_change_count(),
+                baseline.stable_time_fraction(), "global"))
+        elif scheme == "lpd":
+            if binary is None:
+                raise ValueError(
+                    "the 'lpd' scheme needs the program binary for "
+                    "region formation")
+            monitor = RegionMonitor(
+                binary, MonitorThresholds(buffer_size=buffer_size))
+            monitor.process_stream(stream)
+            fractions = [f for f in
+                         monitor.stable_time_fractions().values()]
+            mean_stable = (sum(fractions) / len(fractions)
+                           if fractions else 0.0)
+            results.append(SchemeResult(
+                scheme, monitor.total_events(), mean_stable, "local"))
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+    return results

@@ -1,0 +1,83 @@
+"""Exporting experiment results to JSON and CSV.
+
+The experiment harness renders text tables for the terminal; downstream
+users (plotting scripts, regression dashboards) want machine-readable
+series.  One JSON document or CSV file per experiment result.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import ExperimentResult
+
+__all__ = ["result_to_dict", "write_json", "write_csv", "export_results"]
+
+
+def _plain(value: object) -> object:
+    """Coerce numpy scalars and other exotics to JSON-safe values."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_to_dict(result: "ExperimentResult") -> dict:
+    """A JSON-ready dictionary of one experiment result (extras dropped)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[_plain(cell) for cell in row] for row in result.rows],
+        "notes": result.notes,
+    }
+
+
+def write_json(result: "ExperimentResult", path: str | Path) -> Path:
+    """Write one result as a JSON document; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def write_csv(result: "ExperimentResult", path: str | Path) -> Path:
+    """Write one result's rows as CSV; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow([_plain(cell) for cell in row])
+    return path
+
+
+def export_results(results: Iterable["ExperimentResult"],
+                   directory: str | Path,
+                   formats: tuple[str, ...] = ("json", "csv")
+                   ) -> list[Path]:
+    """Export several results into *directory*; returns written paths.
+
+    File names follow the experiment ids: ``fig03.json`` / ``fig03.csv``.
+    """
+    unknown = set(formats) - {"json", "csv"}
+    if unknown:
+        raise ValueError(f"unknown export formats {sorted(unknown)}; "
+                         f"supported: json, csv")
+    directory = Path(directory)
+    written: list[Path] = []
+    for result in results:
+        if "json" in formats:
+            written.append(write_json(
+                result, directory / f"{result.experiment_id}.json"))
+        if "csv" in formats:
+            written.append(write_csv(
+                result, directory / f"{result.experiment_id}.csv"))
+    return written

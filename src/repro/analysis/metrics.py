@@ -1,0 +1,93 @@
+"""Metric extraction shared by the experiment harness.
+
+Thin, well-named wrappers that turn detector/monitor runs into the
+statistics the paper's figures report: phase-change counts, percent of
+time in stable phase, per-region breakdowns, region selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.thresholds import GpdThresholds
+from repro.costs import CostLedger
+from repro.monitor.region_monitor import RegionMonitor
+from repro.sampling.events import SampleStream
+
+__all__ = [
+    "run_gpd",
+    "gpd_phase_changes",
+    "gpd_stable_percentage",
+    "lpd_region_breakdown",
+    "select_top_regions",
+]
+
+
+def run_gpd(stream: SampleStream, buffer_size: int,
+            thresholds: GpdThresholds | None = None,
+            ledger: CostLedger | None = None) -> GlobalPhaseDetector:
+    """Feed every interval centroid of a stream to a fresh GPD."""
+    detector = GlobalPhaseDetector(thresholds)
+    centroids = stream.centroids(buffer_size)
+    for value in centroids:
+        if ledger is not None:
+            ledger.charge_gpd_interval(buffer_size)
+        detector.observe_centroid(float(value))
+    return detector
+
+
+def gpd_phase_changes(stream: SampleStream, buffer_size: int,
+                      thresholds: GpdThresholds | None = None) -> int:
+    """Figure 3's statistic: GPD phase changes over a run."""
+    return len(run_gpd(stream, buffer_size, thresholds).events)
+
+
+def gpd_stable_percentage(stream: SampleStream, buffer_size: int,
+                          thresholds: GpdThresholds | None = None) -> float:
+    """Figure 4's statistic: % of intervals in a declared-stable phase."""
+    return 100.0 * run_gpd(stream, buffer_size,
+                           thresholds).stable_time_fraction()
+
+
+def lpd_region_breakdown(monitor: RegionMonitor) -> list[dict]:
+    """Per-region rows for Figures 13 and 14, largest regions first.
+
+    Each row carries the region name, total samples, local phase-change
+    count and stable-time percentage.
+    """
+    rows = []
+    regions, matrix = monitor.region_sample_matrix()
+    totals = matrix.sum(axis=0)
+    for region, total in zip(regions, totals):
+        detector = monitor.detector(region.rid)
+        rows.append({
+            "region": region.name,
+            "rid": region.rid,
+            "samples": int(total),
+            "phase_changes": detector.phase_change_count(),
+            "stable_pct": 100.0 * detector.stable_time_fraction(),
+        })
+    rows.sort(key=lambda row: row["samples"], reverse=True)
+    return rows
+
+
+def select_top_regions(monitor: RegionMonitor, k: int) -> list[str]:
+    """Names of the *k* regions with the most samples (the paper's
+    "regions 1, 2 etc. selected by the dynamic optimizer")."""
+    return [row["region"] for row in lpd_region_breakdown(monitor)[:k]]
+
+
+def ground_truth_region_matrix(stream: SampleStream,
+                               buffer_size: int) -> tuple[list[str],
+                                                          np.ndarray]:
+    """(names, intervals x regions) sample-count matrix from simulator
+    ground truth — the raw material of the paper's region charts."""
+    n = stream.n_intervals(buffer_size)
+    n_regions = len(stream.region_names)
+    matrix = np.zeros((n, n_regions), dtype=np.int64)
+    ids = stream.region_ids[:n * buffer_size].reshape(n, buffer_size)
+    for interval in range(n):
+        matrix[interval] = np.bincount(ids[interval],
+                                       minlength=n_regions)
+    return list(stream.region_names), matrix

@@ -1,0 +1,194 @@
+"""Phase classification and next-phase prediction.
+
+The paper's footnote 1 sketches the payoff of knowing the *next* phase:
+"with the help of compiler annotations, future dynamic optimization
+systems may deploy inter-region optimizations, such as instruction cache
+prefetching for the next incoming phase", and its related work covers
+phase tracking *and prediction* (Sherwood et al. [6]).  This module
+provides the two pieces that sit on top of the region monitor:
+
+* :class:`PhaseClassifier` — assigns each interval a recurring **phase
+  id** online, using leader clustering over the interval's normalized
+  region-share vector (the software analogue of [6]'s signature table):
+  an interval joins the first known phase whose signature is within a
+  Manhattan-distance threshold, else it founds a new phase.
+* :class:`MarkovPhasePredictor` — an order-*k* Markov predictor over the
+  phase-id sequence with running accuracy, the structure [6] implements
+  in hardware.
+
+Together they answer "which recurring behavior is this interval, and
+which one comes next?" — the hook a next-phase prefetcher would use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["PhaseClassifier", "MarkovPhasePredictor", "PredictionReport"]
+
+
+class PhaseClassifier:
+    """Online leader clustering of interval signatures into phase ids.
+
+    Parameters
+    ----------
+    distance_threshold:
+        Maximum Manhattan distance (over normalized share vectors, so in
+        [0, 2]) between an interval and a phase's signature for the
+        interval to join that phase.
+    max_phases:
+        Safety cap on distinct phases; further outliers are assigned to
+        the nearest existing phase.
+    """
+
+    def __init__(self, distance_threshold: float = 0.30,
+                 max_phases: int = 64) -> None:
+        if not 0.0 < distance_threshold < 2.0:
+            raise ConfigError("distance_threshold must lie in (0, 2)")
+        if max_phases < 1:
+            raise ConfigError("max_phases must be positive")
+        self.distance_threshold = distance_threshold
+        self.max_phases = max_phases
+        self._signatures: list[np.ndarray] = []
+        self._members: list[int] = []
+        self.assignments: list[int] = []
+
+    @staticmethod
+    def _normalize(vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        total = vector.sum()
+        if total <= 0.0:
+            return np.zeros_like(vector)
+        return vector / total
+
+    def classify(self, shares: np.ndarray) -> int:
+        """Assign one interval's region-share vector a phase id."""
+        vector = self._normalize(shares)
+        best_id, best_distance = -1, float("inf")
+        for phase_id, signature in enumerate(self._signatures):
+            if signature.size != vector.size:
+                raise ConfigError(
+                    f"share vector has {vector.size} entries, classifier "
+                    f"was built with {signature.size}")
+            distance = float(np.abs(signature - vector).sum())
+            if distance < best_distance:
+                best_id, best_distance = phase_id, distance
+        if best_id >= 0 and (best_distance <= self.distance_threshold
+                             or len(self._signatures) >= self.max_phases):
+            # Update the phase signature as a running mean of its members.
+            count = self._members[best_id]
+            self._signatures[best_id] = (
+                (self._signatures[best_id] * count + vector) / (count + 1))
+            self._members[best_id] += 1
+            self.assignments.append(best_id)
+            return best_id
+        self._signatures.append(vector.copy())
+        self._members.append(1)
+        phase_id = len(self._signatures) - 1
+        self.assignments.append(phase_id)
+        return phase_id
+
+    def classify_matrix(self, matrix: np.ndarray) -> list[int]:
+        """Classify every row of an (intervals x regions) share matrix."""
+        return [self.classify(row) for row in np.asarray(matrix)]
+
+    @property
+    def n_phases(self) -> int:
+        """Distinct phases discovered so far."""
+        return len(self._signatures)
+
+    def phase_signature(self, phase_id: int) -> np.ndarray:
+        """The running-mean signature of one phase."""
+        try:
+            return self._signatures[phase_id].copy()
+        except IndexError:
+            raise ConfigError(f"no phase {phase_id}") from None
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Accuracy summary of a predictor run.
+
+    Attributes
+    ----------
+    predictions:
+        Total predictions scored (intervals after warmup).
+    correct:
+        Predictions that matched the next phase id.
+    """
+
+    predictions: int
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions (0 with no predictions)."""
+        if self.predictions == 0:
+            return 0.0
+        return self.correct / self.predictions
+
+
+class MarkovPhasePredictor:
+    """Order-*k* Markov predictor over a phase-id sequence.
+
+    Parameters
+    ----------
+    order:
+        History length: the prediction context is the last *order* phase
+        ids.
+    """
+
+    def __init__(self, order: int = 1) -> None:
+        if order < 1:
+            raise ConfigError("order must be at least 1")
+        self.order = order
+        self._table: dict[tuple[int, ...], Counter] = {}
+        self._history: list[int] = []
+        self._predictions = 0
+        self._correct = 0
+
+    def predict(self) -> int | None:
+        """Predict the next phase id, or ``None`` without enough history.
+
+        Falls back to shorter contexts (down to order 1) when the full
+        context has never been seen.
+        """
+        if not self._history:
+            return None
+        for span in range(min(self.order, len(self._history)), 0, -1):
+            context = tuple(self._history[-span:])
+            counter = self._table.get(context)
+            if counter:
+                return counter.most_common(1)[0][0]
+        return self._history[-1]  # last-value fallback
+
+    def observe(self, phase_id: int) -> None:
+        """Score the pending prediction against *phase_id* and learn."""
+        prediction = self.predict()
+        if prediction is not None:
+            self._predictions += 1
+            if prediction == phase_id:
+                self._correct += 1
+        for span in range(1, self.order + 1):
+            if len(self._history) >= span:
+                context = tuple(self._history[-span:])
+                self._table.setdefault(context, Counter())[phase_id] += 1
+        self._history.append(phase_id)
+        if len(self._history) > self.order:
+            del self._history[:-self.order]
+
+    def observe_sequence(self, phase_ids: list[int]) -> PredictionReport:
+        """Feed a whole sequence; returns the accuracy report."""
+        for phase_id in phase_ids:
+            self.observe(phase_id)
+        return self.report()
+
+    def report(self) -> PredictionReport:
+        """Accuracy so far."""
+        return PredictionReport(predictions=self._predictions,
+                                correct=self._correct)

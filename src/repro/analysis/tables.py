@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one cell: floats get 3 significant-ish decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned monospace table.
+
+    Numeric columns are right-aligned, text columns left-aligned.
+    """
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} "
+                f"columns")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    numeric = []
+    for column in range(len(headers)):
+        numeric.append(all(
+            isinstance(row[column], (int, float)) and
+            not isinstance(row[column], bool)
+            for row in rows) if rows else False)
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered)
+    return "\n".join(lines)

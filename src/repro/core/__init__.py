@@ -1,0 +1,66 @@
+"""Phase-detection core: the paper's contribution and its baseline.
+
+Exports the centroid-based Global Phase Detector (GPD, Figure 1), the
+per-region Local Phase Detector (LPD, Figure 12), Pearson's correlation and
+the alternative similarity measures, sample histograms, and threshold
+configuration objects.
+"""
+
+from repro.core.baselines import (BasicBlockVectorDetector,
+                                  WorkingSetDetector)
+from repro.core.centroid import BandOfStability, CentroidHistory, centroid
+from repro.core.correlation import pearson_r, pearson_r_pure, pearson_r_strict
+from repro.core.gpd import GlobalPhaseDetector, GpdObservation
+from repro.core.histogram import INSTRUCTION_BYTES, RegionHistogram
+from repro.core.lpd import LocalPhaseDetector, LpdObservation
+from repro.core.performance import (PERFORMANCE_CHANNEL_THRESHOLDS,
+                                    ChannelEvent, CompositeGlobalDetector)
+from repro.core.similarity import (MEASURES, CosineSimilarity,
+                                   ManhattanOverlap, PearsonSimilarity,
+                                   SimilarityMeasure, TopKJaccard,
+                                   get_measure)
+from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
+                               count_phase_changes, is_stable_state,
+                               transition_crosses_boundary)
+from repro.core.thresholds import (DEFAULT_BUFFER_SIZE, DEFAULT_R_THRESHOLD,
+                                   DEFAULT_UCR_THRESHOLD, GpdThresholds,
+                                   LpdThresholds, MonitorThresholds)
+
+__all__ = [
+    "BasicBlockVectorDetector",
+    "WorkingSetDetector",
+    "BandOfStability",
+    "CentroidHistory",
+    "centroid",
+    "pearson_r",
+    "pearson_r_pure",
+    "pearson_r_strict",
+    "GlobalPhaseDetector",
+    "GpdObservation",
+    "INSTRUCTION_BYTES",
+    "RegionHistogram",
+    "LocalPhaseDetector",
+    "LpdObservation",
+    "PERFORMANCE_CHANNEL_THRESHOLDS",
+    "ChannelEvent",
+    "CompositeGlobalDetector",
+    "MEASURES",
+    "CosineSimilarity",
+    "ManhattanOverlap",
+    "PearsonSimilarity",
+    "SimilarityMeasure",
+    "TopKJaccard",
+    "get_measure",
+    "PhaseEvent",
+    "PhaseEventKind",
+    "PhaseState",
+    "count_phase_changes",
+    "is_stable_state",
+    "transition_crosses_boundary",
+    "DEFAULT_BUFFER_SIZE",
+    "DEFAULT_R_THRESHOLD",
+    "DEFAULT_UCR_THRESHOLD",
+    "GpdThresholds",
+    "LpdThresholds",
+    "MonitorThresholds",
+]

@@ -1,0 +1,187 @@
+"""Related-work phase detectors: BBV similarity and working-set analysis.
+
+The paper's related-work section (§4) positions local phase detection
+against two established *global* techniques, both implemented here so the
+repository can compare all three on identical sample streams:
+
+* **Basic-block-vector (BBV) similarity** — Sherwood et al. [4][5][6]:
+  summarize each interval as a vector of per-code-unit execution
+  frequencies and compare consecutive intervals' (normalized) vectors by
+  Manhattan distance.  "Their scheme ... takes into account the
+  frequencies of execution."
+* **Working-set signatures** — Dhodapkar & Smith [1][8]: summarize each
+  interval as the *set* of code units touched; a phase change is a large
+  relative set difference.  "The earlier scheme only determines if the
+  instruction/branch/procedure was executed in the current interval."
+
+Our code units are fixed-size address chunks (a software analogue of the
+hardware accumulator tables those papers propose), so both detectors run
+straight off PC sample buffers.  Both remain *global* detectors — one
+verdict per interval for the whole program — which is exactly the
+contrast with per-region LPD the comparison experiments exercise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
+                               is_stable_state)
+from repro.errors import ConfigError
+
+__all__ = ["BasicBlockVectorDetector", "WorkingSetDetector"]
+
+#: Default code-unit granularity: 32 instructions (128 bytes), the scale
+#: of a small basic block region.
+DEFAULT_CHUNK_BYTES = 128
+
+
+class _ChunkedIntervalDetector:
+    """Shared machinery: chunk PC buffers, compare consecutive summaries.
+
+    Subclasses implement :meth:`_difference` over two chunk-count
+    dictionaries, returning a dissimilarity in [0, 1].  The state machine
+    follows the literature these schemes come from: one dissimilar pair
+    of consecutive intervals *is* a phase boundary (no grace), while
+    declaring a stable phase takes two consecutive similar comparisons.
+    This immediate-flip behavior is part of why global interval-pair
+    schemes are sampling-sensitive — the contrast the comparison tests
+    draw against the LPD.
+    """
+
+    def __init__(self, threshold: float,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ConfigError("threshold must lie in (0, 1)")
+        if chunk_bytes < 4:
+            raise ConfigError("chunk_bytes must be at least 4")
+        self.threshold = threshold
+        self.chunk_bytes = chunk_bytes
+        self._previous: dict[int, int] | None = None
+        self._state = PhaseState.UNSTABLE
+        self._interval_index = -1
+        self.events: list[PhaseEvent] = []
+        self.dissimilarities: list[float] = []
+        self._stable_intervals = 0
+
+    # -- subclass hook ---------------------------------------------------
+
+    def _difference(self, previous: dict[int, int],
+                    current: dict[int, int]) -> float:
+        raise NotImplementedError
+
+    # -- public surface -----------------------------------------------------
+
+    @property
+    def state(self) -> PhaseState:
+        """Current machine state."""
+        return self._state
+
+    @property
+    def in_stable_phase(self) -> bool:
+        """Whether the detector currently declares a stable phase."""
+        return is_stable_state(self._state)
+
+    def _chunks(self, pcs: np.ndarray) -> dict[int, int]:
+        chunk_ids, counts = np.unique(
+            np.asarray(pcs, dtype=np.int64) // self.chunk_bytes,
+            return_counts=True)
+        return dict(zip((int(c) for c in chunk_ids),
+                        (int(n) for n in counts)))
+
+    def observe_buffer(self, pcs: np.ndarray) -> PhaseEvent | None:
+        """Process one interval's PC buffer; returns any phase change."""
+        self._interval_index += 1
+        current = self._chunks(pcs)
+        if self._previous is None:
+            dissimilarity = 1.0
+        else:
+            dissimilarity = self._difference(self._previous, current)
+        self.dissimilarities.append(dissimilarity)
+        self._previous = current
+        event = self._step(dissimilarity)
+        if is_stable_state(self._state):
+            self._stable_intervals += 1
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    def _step(self, dissimilarity: float) -> PhaseEvent | None:
+        similar = dissimilarity <= self.threshold
+        before = self._state
+        if self._state is PhaseState.UNSTABLE:
+            if similar:
+                self._state = PhaseState.LESS_UNSTABLE
+        elif self._state is PhaseState.LESS_UNSTABLE:
+            self._state = (PhaseState.STABLE if similar
+                           else PhaseState.UNSTABLE)
+        elif self._state is PhaseState.STABLE:
+            if not similar:
+                self._state = PhaseState.UNSTABLE
+        if is_stable_state(before) != is_stable_state(self._state):
+            kind = (PhaseEventKind.BECAME_STABLE
+                    if is_stable_state(self._state)
+                    else PhaseEventKind.BECAME_UNSTABLE)
+            return PhaseEvent(interval_index=self._interval_index,
+                              kind=kind, state_from=before,
+                              state_to=self._state,
+                              detail=f"diff={dissimilarity:.3f}")
+        return None
+
+    def stable_time_fraction(self) -> float:
+        """Fraction of intervals on the stable side."""
+        if self._interval_index < 0:
+            return 0.0
+        return self._stable_intervals / (self._interval_index + 1)
+
+    def phase_change_count(self) -> int:
+        """Phase changes emitted so far."""
+        return len(self.events)
+
+
+class BasicBlockVectorDetector(_ChunkedIntervalDetector):
+    """Sherwood-style BBV similarity over consecutive intervals.
+
+    Dissimilarity is half the Manhattan distance between the two
+    intervals' *normalized* chunk-frequency vectors — 0 for identical
+    distributions, 1 for disjoint working sets.  The default threshold
+    (0.25) is in the range the SimPoint literature uses for interval
+    classification.
+    """
+
+    def __init__(self, threshold: float = 0.25,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        super().__init__(threshold, chunk_bytes)
+
+    def _difference(self, previous: dict[int, int],
+                    current: dict[int, int]) -> float:
+        total_prev = sum(previous.values()) or 1
+        total_curr = sum(current.values()) or 1
+        distance = 0.0
+        for chunk in previous.keys() | current.keys():
+            distance += abs(previous.get(chunk, 0) / total_prev
+                            - current.get(chunk, 0) / total_curr)
+        return 0.5 * distance
+
+
+class WorkingSetDetector(_ChunkedIntervalDetector):
+    """Dhodapkar-style working-set signatures over consecutive intervals.
+
+    Dissimilarity is the *relative working-set distance*
+    ``|A Δ B| / |A ∪ B|`` over the sets of touched chunks — execution
+    frequencies are deliberately ignored, the defining difference from
+    the BBV scheme that the paper's related-work section points out.
+    """
+
+    def __init__(self, threshold: float = 0.5,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        super().__init__(threshold, chunk_bytes)
+
+    def _difference(self, previous: dict[int, int],
+                    current: dict[int, int]) -> float:
+        set_prev = set(previous)
+        set_curr = set(current)
+        union = len(set_prev | set_curr)
+        if union == 0:
+            return 0.0
+        return len(set_prev ^ set_curr) / union

@@ -1,0 +1,131 @@
+"""Centroid computation and the Band of Stability (paper section 2.1).
+
+The centroid scheme's premise: "the average value of program counter
+obtained by sampling the program counter at periodic time intervals does not
+deviate much.  When it does deviate, it often indicates a phase change."
+
+On every buffer overflow the mean (centroid) of the buffered PC samples is
+computed.  A history of centroids yields an expectation value ``E`` and a
+standard deviation ``SD``; the *Band of Stability* (BOS) spans
+``[E - SD, E + SD]``.  The drift ``delta`` of a new centroid is zero inside
+the band and the distance to the nearer bound outside it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def centroid(pcs: Sequence[int] | np.ndarray) -> float:
+    """Mean program-counter value of one interval's samples."""
+    array = np.asarray(pcs, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot compute the centroid of an empty buffer")
+    return float(array.mean())
+
+
+@dataclass(frozen=True, slots=True)
+class BandOfStability:
+    """The BOS of a centroid history: ``[expectation - sd, expectation + sd]``.
+
+    Attributes
+    ----------
+    expectation:
+        ``E``, the mean of the centroid history.
+    sd:
+        ``SD``, the standard deviation of the centroid history.
+    """
+
+    expectation: float
+    sd: float
+
+    @property
+    def lower(self) -> float:
+        """Lower bound ``E - SD`` of the band."""
+        return self.expectation - self.sd
+
+    @property
+    def upper(self) -> float:
+        """Upper bound ``E + SD`` of the band."""
+        return self.expectation + self.sd
+
+    def drift(self, value: float) -> float:
+        """The paper's delta: 0 inside the band, distance to it outside."""
+        if value < self.lower:
+            return self.lower - value
+        if value > self.upper:
+            return value - self.upper
+        return 0.0
+
+    def drift_ratio(self, value: float) -> float:
+        """Drift normalized by ``E`` so it can be compared to TH1–TH4.
+
+        The thresholds are percentages; an address-scale drift must be
+        normalized by an address-scale quantity, and ``E`` is the natural
+        one.  A non-positive expectation (impossible for real text
+        addresses) makes the ratio infinite, which keeps the detector
+        unstable rather than dividing by zero.
+        """
+        delta = self.drift(value)
+        if self.expectation <= 0.0:
+            return float("inf") if delta > 0.0 else 0.0
+        return delta / self.expectation
+
+    def is_too_thick(self, divisor: float = 6.0) -> bool:
+        """The paper's thickness check: the band is too thick unless
+        ``SD < E / divisor``."""
+        return not self.sd < self.expectation / divisor
+
+
+class CentroidHistory:
+    """Sliding window of past centroids with BOS computation.
+
+    Parameters
+    ----------
+    length:
+        Maximum number of centroids retained (the detector's memory).
+    """
+
+    def __init__(self, length: int = 8) -> None:
+        if length < 2:
+            raise ConfigError("centroid history length must be at least 2")
+        self._values: deque[float] = deque(maxlen=length)
+
+    def push(self, value: float) -> None:
+        """Append a new centroid, evicting the oldest beyond the window."""
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """The retained centroids, oldest first."""
+        return tuple(self._values)
+
+    def can_compute_band(self) -> bool:
+        """``True`` once at least two centroids are available."""
+        return len(self._values) >= 2
+
+    def band(self) -> BandOfStability:
+        """Compute the band of stability over the retained centroids."""
+        if not self.can_compute_band():
+            raise ValueError("need at least two centroids to compute a band")
+        array = np.asarray(self._values, dtype=np.float64)
+        return BandOfStability(expectation=float(array.mean()),
+                               sd=float(array.std()))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Push several centroids in order."""
+        for value in values:
+            self.push(value)
+
+    def clear(self) -> None:
+        """Forget all history (used when the detector resets)."""
+        self._values.clear()

@@ -1,0 +1,139 @@
+"""Pearson's coefficient of correlation, the paper's similarity measure.
+
+Section 3.2.1 defines local phase similarity as Pearson's r between the
+*stable set* of samples and the *current set* of samples for a region, both
+expressed as per-instruction histograms::
+
+            sum(x_i y_i) - (1/n) sum(x_i) sum(y_i)
+    r = ---------------------------------------------
+        sqrt(sum(x_i^2) - (1/n)(sum x_i)^2) *
+        sqrt(sum(y_i^2) - (1/n)(sum y_i)^2)
+
+Two properties the paper highlights (Figure 8) and that the tests pin down:
+
+* shifting the bottleneck by one instruction drives r toward 0 (they
+  measure -0.056), so bottleneck shifts are detected quickly;
+* multiplying all counts by a constant (more samples, same relative
+  frequencies) keeps r ≈ 1 (they measure 0.998), so sampling-rate
+  variations do not masquerade as phase changes.
+
+Pearson's r is undefined when either vector has zero variance.  For the
+detector's purpose the right reading of that degenerate case is: a flat
+histogram compared against a proportional flat histogram is *the same
+behavior* (r := 1.0), while anything else is *different* (r := 0.0).
+:func:`pearson_r` implements that convention; :func:`pearson_r_strict`
+returns ``None`` instead for callers that want to handle it themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "pearson_r",
+    "pearson_r_strict",
+    "pearson_r_pure",
+]
+
+#: Relative tolerance for the proportionality test in the degenerate case.
+_PROPORTIONAL_RTOL = 1e-9
+
+
+def _as_float_array(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {array.shape}")
+    return array
+
+
+def _degenerate_r(x: np.ndarray, y: np.ndarray) -> float:
+    """Resolve r for vectors where at least one side has zero variance.
+
+    Both-flat vectors that are proportional (including both all-zero) count
+    as perfectly correlated behavior; any other combination counts as a
+    change of behavior.
+    """
+    x_flat = bool(np.allclose(x, x[0]))
+    y_flat = bool(np.allclose(y, y[0]))
+    if x_flat and y_flat:
+        return 1.0
+    return 0.0
+
+
+def pearson_r(x: Sequence[float] | np.ndarray,
+              y: Sequence[float] | np.ndarray) -> float:
+    """Pearson's r with the detector's degenerate-case convention.
+
+    Parameters
+    ----------
+    x, y:
+        Equal-length vectors of per-instruction sample counts.
+
+    Returns
+    -------
+    float
+        A value in [-1.0, 1.0].  Zero-variance inputs resolve per the
+        module docstring instead of raising.
+    """
+    strict = pearson_r_strict(x, y)
+    if strict is not None:
+        return strict
+    return _degenerate_r(_as_float_array(x), _as_float_array(y))
+
+
+def pearson_r_strict(x: Sequence[float] | np.ndarray,
+                     y: Sequence[float] | np.ndarray) -> float | None:
+    """Pearson's r, or ``None`` when it is mathematically undefined."""
+    xa = _as_float_array(x)
+    ya = _as_float_array(y)
+    if xa.shape != ya.shape:
+        raise ValueError(
+            f"vectors must have equal length, got {xa.size} and {ya.size}")
+    if xa.size < 2:
+        return None
+    n = xa.size
+    sum_x = float(xa.sum())
+    sum_y = float(ya.sum())
+    sum_xy = float((xa * ya).sum())
+    sum_x2 = float((xa * xa).sum())
+    sum_y2 = float((ya * ya).sum())
+    var_x = sum_x2 - (sum_x * sum_x) / n
+    var_y = sum_y2 - (sum_y * sum_y) / n
+    if var_x <= 0.0 or var_y <= 0.0:
+        return None
+    numerator = sum_xy - (sum_x * sum_y) / n
+    r = numerator / math.sqrt(var_x * var_y)
+    # Floating-point roundoff can push |r| epsilon past 1; clamp.
+    return max(-1.0, min(1.0, r))
+
+
+def pearson_r_pure(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pure-Python reference implementation of :func:`pearson_r`.
+
+    Follows the paper's formula term by term.  Used by the tests as an
+    oracle for the vectorized implementation and by the cost model to count
+    the arithmetic operations a runtime optimizer would pay per region.
+    """
+    xs = [float(v) for v in x]
+    ys = [float(v) for v in y]
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"vectors must have equal length, got {len(xs)} and {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return _degenerate_r(np.asarray(xs or [0.0]), np.asarray(ys or [0.0]))
+    sum_x = sum(xs)
+    sum_y = sum(ys)
+    sum_xy = sum(a * b for a, b in zip(xs, ys))
+    sum_x2 = sum(a * a for a in xs)
+    sum_y2 = sum(b * b for b in ys)
+    var_x = sum_x2 - (sum_x * sum_x) / n
+    var_y = sum_y2 - (sum_y * sum_y) / n
+    if var_x <= 0.0 or var_y <= 0.0:
+        return _degenerate_r(np.asarray(xs), np.asarray(ys))
+    numerator = sum_xy - (sum_x * sum_y) / n
+    r = numerator / math.sqrt(var_x * var_y)
+    return max(-1.0, min(1.0, r))

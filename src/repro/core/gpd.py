@@ -1,0 +1,224 @@
+"""The centroid-based Global Phase Detector (paper Figure 1).
+
+This is the baseline the paper measures against: the phase detector used by
+the ADORE-family prototype runtime optimizers.  Aggregate information — the
+mean PC of a whole sample buffer — is compared against the Band of Stability
+derived from the centroid history.
+
+Reconstruction notes
+--------------------
+Figure 1 itself is a state diagram whose edge labels do not survive in the
+text, but the prose fixes every constraint:
+
+* thresholds TH1=1%, TH2=5%, TH3=10%, TH4=67% (empirical);
+* the drift ``delta`` of the current centroid from the BOS drives
+  transitions;
+* "a timer is associated with the less stable state before transitioning to
+  the stable state ... to ensure that the centroid maintains a low delta
+  for some time before triggering a stable phase";
+* "before transitioning into less stable phase, a check is also made to
+  ensure that band of stability is not too thick by ensuring that SD is
+  less than 1/6 of E".
+
+We realize those constraints as a five-state machine::
+
+    WARMUP --(history >= 2)--> UNSTABLE
+
+    UNSTABLE      --(ratio <= TH3 and band thin)--> LESS_STABLE (timer reset)
+    LESS_STABLE   --(ratio <= TH1, timer-1 == 0)--> STABLE      [phase change]
+    LESS_STABLE   --(ratio <= TH2)--------------->  stay (timer pauses)
+    LESS_STABLE   --(ratio >  TH2)--------------->  UNSTABLE
+    STABLE        --(ratio <= TH2)--------------->  stay
+    STABLE        --(TH2 < ratio <= TH4)--------->  LESS_UNSTABLE (grace)
+    STABLE        --(ratio >  TH4)--------------->  UNSTABLE    [phase change]
+    LESS_UNSTABLE --(ratio <= TH1)--------------->  STABLE      (recovery)
+    LESS_UNSTABLE --(ratio >  TH1)--------------->  UNSTABLE    [phase change]
+
+``LESS_UNSTABLE`` is a one-interval grace for moderate drift: a single
+out-of-band interval (sampling noise) recovers, a second consecutive one
+revokes the stable declaration.  A drift beyond TH4 is a collapse that
+skips the grace entirely.
+
+where ``ratio = delta / E``.  The paper's thick phase line is binary
+(stable = 0), so the detector surfaces
+:attr:`GlobalPhaseDetector.in_stable_phase` as "a stable phase has been
+declared and not yet revoked": it turns on when ``STABLE`` is entered,
+survives the ``LESS_UNSTABLE`` excursion state, and turns off when the
+machine falls back to ``UNSTABLE``.  Phase-change events are emitted exactly
+on the declare/revoke edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.centroid import BandOfStability, CentroidHistory, centroid
+from repro.core.states import PhaseEvent, PhaseEventKind, PhaseState
+from repro.core.thresholds import GpdThresholds
+
+__all__ = ["GlobalPhaseDetector", "GpdObservation"]
+
+
+@dataclass(frozen=True, slots=True)
+class GpdObservation:
+    """Diagnostic record of one interval processed by the GPD.
+
+    Attributes
+    ----------
+    interval_index:
+        Running interval counter.
+    centroid_value:
+        Mean PC of the interval's buffer.
+    band:
+        The band of stability the centroid was compared against, or
+        ``None`` while warming up.
+    drift_ratio:
+        ``delta / E`` for this interval (``inf`` with a degenerate band).
+    state:
+        Machine state *after* processing the interval.
+    event:
+        The phase change emitted by this interval, if any.
+    """
+
+    interval_index: int
+    centroid_value: float
+    band: BandOfStability | None
+    drift_ratio: float
+    state: PhaseState
+    event: PhaseEvent | None
+
+
+class GlobalPhaseDetector:
+    """Centroid-based global phase detection (the paper's GPD baseline).
+
+    Feed one buffer of PC samples per interval via :meth:`observe_buffer`
+    (or a precomputed centroid via :meth:`observe_centroid`); read back the
+    current :attr:`state`, :attr:`in_stable_phase`, and the accumulated
+    :attr:`events` and :attr:`observations`.
+    """
+
+    def __init__(self, thresholds: GpdThresholds | None = None) -> None:
+        self.thresholds = thresholds or GpdThresholds()
+        self._history = CentroidHistory(self.thresholds.history_length)
+        self._state = PhaseState.WARMUP
+        self._declared_stable = False
+        self._timer = self.thresholds.dwell_intervals
+        self._interval_index = -1
+        self.events: list[PhaseEvent] = []
+        self.observations: list[GpdObservation] = []
+
+    # -- public surface --------------------------------------------------
+
+    @property
+    def state(self) -> PhaseState:
+        """Current machine state."""
+        return self._state
+
+    @property
+    def in_stable_phase(self) -> bool:
+        """Whether the detector currently declares a stable phase.
+
+        True from the moment STABLE is first entered until the machine
+        falls back to UNSTABLE — LESS_UNSTABLE keeps the declaration alive,
+        matching the paper's binary stable/unstable trace line.
+        """
+        return self._declared_stable
+
+    @property
+    def intervals_seen(self) -> int:
+        """Number of intervals processed so far."""
+        return self._interval_index + 1
+
+    def observe_buffer(self, pcs: Sequence[int] | np.ndarray) -> PhaseEvent | None:
+        """Process one full sample buffer; return the phase change, if any."""
+        return self.observe_centroid(centroid(pcs))
+
+    def observe_centroid(self, value: float) -> PhaseEvent | None:
+        """Process one interval given its precomputed centroid."""
+        self._interval_index += 1
+        band: BandOfStability | None = None
+        ratio = float("inf")
+        if self._history.can_compute_band():
+            band = self._history.band()
+            ratio = band.drift_ratio(value)
+        event = self._step(band, ratio)
+        self._history.push(value)
+        self.observations.append(GpdObservation(
+            interval_index=self._interval_index,
+            centroid_value=value,
+            band=band,
+            drift_ratio=ratio,
+            state=self._state,
+            event=event,
+        ))
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    def stable_interval_count(self) -> int:
+        """Number of processed intervals that ended in a declared-stable phase."""
+        stable_states = (PhaseState.STABLE, PhaseState.LESS_UNSTABLE)
+        return sum(1 for obs in self.observations if obs.state in stable_states)
+
+    def stable_time_fraction(self) -> float:
+        """Fraction of intervals spent in a declared-stable phase (Figure 4)."""
+        if not self.observations:
+            return 0.0
+        return self.stable_interval_count() / len(self.observations)
+
+    # -- state machine ----------------------------------------------------
+
+    def _step(self, band: BandOfStability | None, ratio: float) -> PhaseEvent | None:
+        th = self.thresholds
+        before = self._state
+        before_declared = self._declared_stable
+
+        if self._state is PhaseState.WARMUP:
+            if band is not None:
+                self._state = PhaseState.UNSTABLE
+        elif self._state is PhaseState.UNSTABLE:
+            assert band is not None
+            band_ok = not band.is_too_thick(th.thickness_divisor)
+            if ratio <= th.th3 and band_ok:
+                self._state = PhaseState.LESS_STABLE
+                self._timer = th.dwell_intervals
+        elif self._state is PhaseState.LESS_STABLE:
+            if ratio <= th.th1:
+                self._timer -= 1
+                if self._timer <= 0:
+                    self._state = PhaseState.STABLE
+                    self._declared_stable = True
+            elif ratio <= th.th2:
+                pass  # tolerable drift: hold the state, timer pauses
+            else:
+                self._state = PhaseState.UNSTABLE
+        elif self._state is PhaseState.STABLE:
+            if ratio <= th.th2:
+                pass
+            elif ratio <= th.th4:
+                self._state = PhaseState.LESS_UNSTABLE
+            else:
+                self._state = PhaseState.UNSTABLE
+                self._declared_stable = False
+        elif self._state is PhaseState.LESS_UNSTABLE:
+            if ratio <= th.th1:
+                self._state = PhaseState.STABLE
+            else:
+                # Second consecutive drifting interval: revoke.
+                self._state = PhaseState.UNSTABLE
+                self._declared_stable = False
+
+        if self._declared_stable != before_declared:
+            kind = (PhaseEventKind.BECAME_STABLE if self._declared_stable
+                    else PhaseEventKind.BECAME_UNSTABLE)
+            return PhaseEvent(
+                interval_index=self._interval_index,
+                kind=kind,
+                state_from=before,
+                state_to=self._state,
+                detail=f"drift_ratio={ratio:.4g}",
+            )
+        return None

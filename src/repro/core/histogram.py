@@ -1,0 +1,132 @@
+"""Per-region sample histograms.
+
+The local phase detector compares *sets of samples* for a region between
+intervals.  A :class:`RegionHistogram` maps each instruction slot of a code
+region (fixed-width instructions, 4 bytes on the paper's SPARC target) to
+the number of PC samples that landed on it during one interval.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import AddressError
+
+#: Instruction width in bytes (SPARC V9, the paper's target ISA).
+INSTRUCTION_BYTES = 4
+
+
+class RegionHistogram:
+    """Sample counts per instruction slot of an address range.
+
+    Parameters
+    ----------
+    start, end:
+        Half-open byte address range ``[start, end)`` of the region.
+        ``end - start`` must be a positive multiple of the instruction
+        width.
+    """
+
+    __slots__ = ("start", "end", "_counts")
+
+    def __init__(self, start: int, end: int) -> None:
+        if start < 0 or end <= start:
+            raise AddressError(
+                f"invalid region range [{start:#x}, {end:#x})")
+        if (end - start) % INSTRUCTION_BYTES != 0:
+            raise AddressError(
+                f"region size {end - start} is not a multiple of the "
+                f"{INSTRUCTION_BYTES}-byte instruction width")
+        self.start = start
+        self.end = end
+        self._counts = np.zeros(
+            (end - start) // INSTRUCTION_BYTES, dtype=np.int64)
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def from_counts(cls, start: int,
+                    counts: Iterable[int] | np.ndarray) -> "RegionHistogram":
+        """Build a histogram directly from a per-instruction count vector."""
+        values = np.asarray(list(counts) if not isinstance(counts, np.ndarray)
+                            else counts, dtype=np.int64)
+        if values.ndim != 1 or values.size == 0:
+            raise AddressError("counts must be a non-empty 1-D vector")
+        histogram = cls(start, start + values.size * INSTRUCTION_BYTES)
+        histogram._counts[:] = values
+        return histogram
+
+    def copy(self) -> "RegionHistogram":
+        """Return an independent copy of this histogram."""
+        clone = RegionHistogram(self.start, self.end)
+        clone._counts[:] = self._counts
+        return clone
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_sample(self, pc: int) -> None:
+        """Record one PC sample.  The PC must lie inside the region."""
+        if not self.start <= pc < self.end:
+            raise AddressError(
+                f"pc {pc:#x} outside region [{self.start:#x}, {self.end:#x})")
+        self._counts[(pc - self.start) // INSTRUCTION_BYTES] += 1
+
+    def add_pcs(self, pcs: np.ndarray) -> int:
+        """Record a batch of PC samples, ignoring those outside the region.
+
+        Returns the number of samples that fell inside the region.
+        """
+        pcs = np.asarray(pcs, dtype=np.int64)
+        inside = pcs[(pcs >= self.start) & (pcs < self.end)]
+        if inside.size:
+            slots = (inside - self.start) // INSTRUCTION_BYTES
+            self._counts += np.bincount(slots, minlength=self._counts.size)
+        return int(inside.size)
+
+    def clear(self) -> None:
+        """Reset all counts to zero."""
+        self._counts[:] = 0
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only view of the per-instruction count vector."""
+        view = self._counts.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def n_instructions(self) -> int:
+        """Number of instruction slots in the region."""
+        return int(self._counts.size)
+
+    def total(self) -> int:
+        """Total number of samples recorded."""
+        return int(self._counts.sum())
+
+    def is_empty(self) -> bool:
+        """``True`` if no samples have been recorded."""
+        return self.total() == 0
+
+    def hottest(self) -> int:
+        """Address of the instruction with the most samples."""
+        return self.start + int(self._counts.argmax()) * INSTRUCTION_BYTES
+
+    def __len__(self) -> int:
+        return self.n_instructions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegionHistogram):
+            return NotImplemented
+        return (self.start == other.start and self.end == other.end
+                and bool(np.array_equal(self._counts, other._counts)))
+
+    def __hash__(self) -> int:  # pragma: no cover - hashing not supported
+        raise TypeError("RegionHistogram is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (f"RegionHistogram([{self.start:#x}, {self.end:#x}), "
+                f"total={self.total()})")

@@ -1,0 +1,251 @@
+"""The Local Phase Detector (paper Figure 12).
+
+One detector instance is attached to each monitored code region.  Per
+interval it receives the region's sample histogram and compares it to the
+region's *stable set* (``prev_hist`` in the paper's figure) using Pearson's
+coefficient of correlation (or a pluggable cheaper measure).
+
+Behavior fixed by the paper's prose:
+
+* "Initially, a phase starts in the unstable state.  After two intervals,
+  an r-value can be computed.  If this value is greater than a threshold
+  r_t, then the state changes to less unstable."
+* "As long as the phase is unstable or less unstable, the stable set of
+  samples is updated to reflect the current set of samples.  Once the phase
+  stabilizes, the stable set of samples is frozen till the state moves to
+  an unstable state."
+* "When no samples are obtained in an interval for a region, the value of
+  r returned is the same as during the last interval" — and no state
+  update happens (section 3.2.2: "Local phase detection will not try to
+  compute region characteristics when no samples are obtained").
+* Before any execution, r reads as 0 ("Initially, we see a value of 0 for
+  both regions, as these regions do not execute from the start").
+* r_t = 0.8.
+
+The machine::
+
+    UNSTABLE      --(r >= r_t)--> LESS_UNSTABLE   (stable set updated)
+    UNSTABLE      --(r <  r_t)--> stay            (stable set updated)
+    LESS_UNSTABLE --(r >= r_t)--> STABLE          [phase change; set frozen]
+    LESS_UNSTABLE --(r <  r_t)--> UNSTABLE        (stable set updated)
+    STABLE        --(r >= r_t)--> stay            (set stays frozen)
+    STABLE        --(r <  r_t)--> LESS_STABLE     (grace; set stays frozen)
+    LESS_STABLE   --(r >= r_t)--> STABLE          (recovery)
+    LESS_STABLE   --(r <  r_t)--> UNSTABLE        [phase change; set updated]
+
+``LESS_STABLE`` mirrors ``LESS_UNSTABLE``: one discordant interval does not
+immediately revoke a stable phase, two in a row do.  Both phase-change
+edges (the paper's dotted lines) are emitted as :class:`PhaseEvent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.histogram import RegionHistogram
+from repro.core.similarity import PearsonSimilarity, SimilarityMeasure
+from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
+                               is_stable_state)
+from repro.core.thresholds import LpdThresholds
+
+__all__ = ["LocalPhaseDetector", "LpdObservation"]
+
+
+@dataclass(frozen=True, slots=True)
+class LpdObservation:
+    """Diagnostic record of one interval processed by a local detector.
+
+    Attributes
+    ----------
+    interval_index:
+        Global interval counter supplied by the caller.
+    r_value:
+        Similarity score reported for the interval.  Holds the previous
+        value when the region received no samples.
+    had_samples:
+        Whether the region executed during the interval.
+    state:
+        Machine state after processing.
+    event:
+        Phase change emitted by this interval, if any.
+    """
+
+    interval_index: int
+    r_value: float
+    had_samples: bool
+    state: PhaseState
+    event: PhaseEvent | None
+
+
+class LocalPhaseDetector:
+    """Per-region phase detector using histogram similarity (LPD).
+
+    Parameters
+    ----------
+    n_instructions:
+        Number of instruction slots in the monitored region (used by the
+        size-adaptive threshold extension).
+    thresholds:
+        LPD knobs; defaults to the paper's r_t = 0.8, non-adaptive.
+    measure:
+        Similarity strategy; defaults to the paper's Pearson correlation.
+    """
+
+    def __init__(self,
+                 n_instructions: int,
+                 thresholds: LpdThresholds | None = None,
+                 measure: SimilarityMeasure | None = None) -> None:
+        if n_instructions < 1:
+            raise ValueError("a region must contain at least one instruction")
+        self.n_instructions = n_instructions
+        self.thresholds = thresholds or LpdThresholds()
+        self.measure: SimilarityMeasure = measure or PearsonSimilarity()
+        self._state = PhaseState.UNSTABLE
+        self._stable_set: np.ndarray | None = None
+        self._last_r = 0.0
+        self.events: list[PhaseEvent] = []
+        self.observations: list[LpdObservation] = []
+        #: Intervals in which the region executed.
+        self.active_intervals = 0
+        #: Active intervals that ended on the stable side of the machine.
+        self.stable_intervals = 0
+
+    # -- public surface ---------------------------------------------------
+
+    @property
+    def state(self) -> PhaseState:
+        """Current machine state."""
+        return self._state
+
+    @property
+    def in_stable_phase(self) -> bool:
+        """Whether the region is currently in a locally stable phase."""
+        return is_stable_state(self._state)
+
+    @property
+    def last_r(self) -> float:
+        """Most recently reported similarity value (0 before execution)."""
+        return self._last_r
+
+    @property
+    def effective_threshold(self) -> float:
+        """The r-threshold in force for this region's size."""
+        return self.thresholds.threshold_for_size(self.n_instructions)
+
+    def stable_set(self) -> np.ndarray | None:
+        """Copy of the current stable-set histogram, or ``None`` if unset."""
+        return None if self._stable_set is None else self._stable_set.copy()
+
+    def observe(self,
+                histogram: RegionHistogram | np.ndarray | None,
+                interval_index: int) -> PhaseEvent | None:
+        """Process one interval's histogram for this region.
+
+        Pass ``None`` (or an all-zero histogram) when the region received
+        no samples: the r-value holds and the state is untouched.
+        Returns the phase change emitted, if any.
+        """
+        counts = self._extract_counts(histogram)
+        if counts is None:
+            self.observations.append(LpdObservation(
+                interval_index=interval_index,
+                r_value=self._last_r,
+                had_samples=False,
+                state=self._state,
+                event=None,
+            ))
+            return None
+
+        self.active_intervals += 1
+        if self._stable_set is None:
+            # First interval with samples: nothing to compare against yet.
+            # The paper: "After two intervals, an r-value can be computed."
+            self._stable_set = counts
+            event = None
+        else:
+            self._last_r = float(self.measure(self._stable_set, counts))
+            event = self._step(counts, interval_index)
+
+        if is_stable_state(self._state):
+            self.stable_intervals += 1
+        self.observations.append(LpdObservation(
+            interval_index=interval_index,
+            r_value=self._last_r,
+            had_samples=True,
+            state=self._state,
+            event=event,
+        ))
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    def stable_time_fraction(self) -> float:
+        """Fraction of the region's active intervals spent stable (Fig 14)."""
+        if self.active_intervals == 0:
+            return 0.0
+        return self.stable_intervals / self.active_intervals
+
+    def phase_change_count(self) -> int:
+        """Number of phase changes emitted so far (Figure 13)."""
+        return len(self.events)
+
+    # -- internals ----------------------------------------------------------
+
+    def _extract_counts(
+            self,
+            histogram: RegionHistogram | np.ndarray | None) -> np.ndarray | None:
+        if histogram is None:
+            return None
+        if isinstance(histogram, RegionHistogram):
+            if histogram.is_empty():
+                return None
+            counts = np.asarray(histogram.counts, dtype=np.float64)
+        else:
+            counts = np.asarray(histogram, dtype=np.float64)
+            if counts.sum() == 0:
+                return None
+        if counts.size != self.n_instructions:
+            raise ValueError(
+                f"histogram has {counts.size} slots, detector expects "
+                f"{self.n_instructions}")
+        return counts.copy()
+
+    def _step(self, counts: np.ndarray, interval_index: int) -> PhaseEvent | None:
+        similar = self._last_r >= self.effective_threshold
+        before = self._state
+
+        if self._state is PhaseState.UNSTABLE:
+            self._state = (PhaseState.LESS_UNSTABLE if similar
+                           else PhaseState.UNSTABLE)
+            self._stable_set = counts
+        elif self._state is PhaseState.LESS_UNSTABLE:
+            if similar:
+                self._state = PhaseState.STABLE
+                # Stable set frozen from here on.
+            else:
+                self._state = PhaseState.UNSTABLE
+                self._stable_set = counts
+        elif self._state is PhaseState.STABLE:
+            if not similar:
+                self._state = PhaseState.LESS_STABLE
+        elif self._state is PhaseState.LESS_STABLE:
+            if similar:
+                self._state = PhaseState.STABLE
+            else:
+                self._state = PhaseState.UNSTABLE
+                self._stable_set = counts
+
+        if is_stable_state(before) != is_stable_state(self._state):
+            kind = (PhaseEventKind.BECAME_STABLE
+                    if is_stable_state(self._state)
+                    else PhaseEventKind.BECAME_UNSTABLE)
+            return PhaseEvent(
+                interval_index=interval_index,
+                kind=kind,
+                state_from=before,
+                state_to=self._state,
+                detail=f"r={self._last_r:.4f}",
+            )
+        return None

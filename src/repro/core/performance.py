@@ -1,0 +1,202 @@
+"""Multi-metric global phase detection: centroid + CPI + DPI channels.
+
+The paper (sections 1-2) describes the full GPD of the prototype systems:
+"global metrics like average program counter value are used to find new
+code regions, and other metrics of performance, such as CPI and DPI (Data
+Cache Misses per Instruction), are used to determine if the program
+performance characteristics have changed", all "compar[ing] aggregate
+metrics ... over fixed time intervals".
+
+Each metric channel reuses the centroid detector's Band-of-Stability
+machinery (:class:`~repro.core.gpd.GlobalPhaseDetector` operates on any
+scalar series).  The composite detector declares the program phase stable
+only while *every* channel is stable, and reports a phase change whenever
+the conjunction flips — so a CPI regression with an unchanged working set
+(or vice versa) is still a phase change, exactly the behavior the paper
+attributes to the prototype systems.
+
+The paper does not publish CPI/DPI threshold values; the performance
+channels default to a relaxed threshold set (performance metrics are
+noisier relative to their mean than text-address centroids) and both are
+overridable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.states import PhaseEvent, PhaseEventKind, PhaseState
+from repro.core.thresholds import GpdThresholds
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps core below
+    from repro.sampling.events import SampleStream  # sampling in layering
+
+__all__ = ["PERFORMANCE_CHANNEL_THRESHOLDS", "ChannelEvent",
+           "CompositeGlobalDetector"]
+
+#: Default thresholds for the CPI and DPI channels (relaxed relative to
+#: the centroid channel; reconstructed, see module docstring).
+PERFORMANCE_CHANNEL_THRESHOLDS = GpdThresholds(
+    th1=0.03, th2=0.10, th3=0.20, th4=0.80, thickness_divisor=3.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelEvent:
+    """A phase change on one metric channel."""
+
+    channel: str
+    event: PhaseEvent
+
+
+class CompositeGlobalDetector:
+    """GPD over multiple aggregate metrics (centroid, CPI, DPI).
+
+    Parameters
+    ----------
+    centroid_thresholds:
+        Thresholds for the PC-centroid channel (defaults to the paper's
+        TH1-TH4).
+    performance_thresholds:
+        Thresholds shared by the CPI and DPI channels.
+    channels:
+        Which channels to run; any subset of {"centroid", "cpi", "dpi"}.
+    performance_smoothing:
+        EWMA factor applied to the CPI/DPI series before detection
+        (``smoothed = a*value + (1-a)*previous``).  Per-interval
+        performance metrics carry multinomial sampling noise far larger
+        (relative to their mean) than PC centroids — DPI especially, for
+        low-miss programs — so the prototype-style detectors smooth them.
+        1.0 disables smoothing.
+    """
+
+    CHANNELS = ("centroid", "cpi", "dpi")
+
+    def __init__(self,
+                 centroid_thresholds: GpdThresholds | None = None,
+                 performance_thresholds: GpdThresholds | None = None,
+                 channels: tuple[str, ...] = CHANNELS,
+                 performance_smoothing: float = 0.25) -> None:
+        if not channels:
+            raise ConfigError("need at least one metric channel")
+        unknown = set(channels) - set(self.CHANNELS)
+        if unknown:
+            raise ConfigError(f"unknown channels {sorted(unknown)}; "
+                              f"known: {self.CHANNELS}")
+        if not 0.0 < performance_smoothing <= 1.0:
+            raise ConfigError("performance_smoothing must lie in (0, 1]")
+        self.performance_smoothing = performance_smoothing
+        self._smoothed: dict[str, float] = {}
+        performance = (performance_thresholds
+                       or PERFORMANCE_CHANNEL_THRESHOLDS)
+        self._detectors: dict[str, GlobalPhaseDetector] = {}
+        for channel in channels:
+            thresholds = (centroid_thresholds if channel == "centroid"
+                          else performance)
+            self._detectors[channel] = GlobalPhaseDetector(thresholds)
+        self._interval_index = -1
+        self._declared_stable = False
+        self.channel_events: list[ChannelEvent] = []
+        #: Composite phase changes: flips of the all-channels-stable
+        #: conjunction.
+        self.events: list[PhaseEvent] = []
+        self._stable_intervals = 0
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def channels(self) -> tuple[str, ...]:
+        """Active channel names."""
+        return tuple(self._detectors)
+
+    def detector(self, channel: str) -> GlobalPhaseDetector:
+        """The underlying per-channel detector."""
+        try:
+            return self._detectors[channel]
+        except KeyError:
+            raise ConfigError(f"no channel {channel!r}; active: "
+                              f"{self.channels}") from None
+
+    @property
+    def in_stable_phase(self) -> bool:
+        """Stable only while *every* channel declares stability."""
+        return self._declared_stable
+
+    @property
+    def intervals_seen(self) -> int:
+        """Intervals processed so far."""
+        return self._interval_index + 1
+
+    def observe_interval(self, centroid: float | None = None,
+                         cpi: float | None = None,
+                         dpi: float | None = None) -> list[ChannelEvent]:
+        """Process one interval's metric values.
+
+        Every active channel must receive its value.  Returns the channel
+        events emitted this interval; composite flips are appended to
+        :attr:`events`.
+        """
+        self._interval_index += 1
+        values = {"centroid": centroid, "cpi": cpi, "dpi": dpi}
+        emitted: list[ChannelEvent] = []
+        for channel, detector in self._detectors.items():
+            value = values[channel]
+            if value is None:
+                raise ConfigError(
+                    f"channel {channel!r} is active but received no value")
+            value = float(value)
+            if channel != "centroid" and self.performance_smoothing < 1.0:
+                alpha = self.performance_smoothing
+                previous = self._smoothed.get(channel, value)
+                value = alpha * value + (1.0 - alpha) * previous
+                self._smoothed[channel] = value
+            event = detector.observe_centroid(value)
+            if event is not None:
+                channel_event = ChannelEvent(channel, event)
+                emitted.append(channel_event)
+                self.channel_events.append(channel_event)
+        now_stable = all(d.in_stable_phase
+                         for d in self._detectors.values())
+        if now_stable != self._declared_stable:
+            kind = (PhaseEventKind.BECAME_STABLE if now_stable
+                    else PhaseEventKind.BECAME_UNSTABLE)
+            blamed = ",".join(ce.channel for ce in emitted) or "composite"
+            self.events.append(PhaseEvent(
+                interval_index=self._interval_index, kind=kind,
+                state_from=PhaseState.STABLE if self._declared_stable
+                else PhaseState.UNSTABLE,
+                state_to=PhaseState.STABLE if now_stable
+                else PhaseState.UNSTABLE,
+                detail=f"channels={blamed}"))
+            self._declared_stable = now_stable
+        if self._declared_stable:
+            self._stable_intervals += 1
+        return emitted
+
+    def process_stream(self, stream: "SampleStream",
+                       buffer_size: int) -> "CompositeGlobalDetector":
+        """Feed a whole sample stream, one interval at a time."""
+        centroids = stream.centroids(buffer_size)
+        cpis = stream.interval_cpi(buffer_size)
+        dpis = stream.interval_dpi(buffer_size)
+        for index in range(centroids.size):
+            self.observe_interval(
+                centroid=float(centroids[index])
+                if "centroid" in self._detectors else None,
+                cpi=float(cpis[index]) if "cpi" in self._detectors
+                else None,
+                dpi=float(dpis[index]) if "dpi" in self._detectors
+                else None)
+        return self
+
+    def stable_time_fraction(self) -> float:
+        """Fraction of intervals with every channel stable."""
+        if self.intervals_seen == 0:
+            return 0.0
+        return self._stable_intervals / self.intervals_seen
+
+    def phase_change_count(self) -> int:
+        """Composite phase changes (conjunction flips)."""
+        return len(self.events)

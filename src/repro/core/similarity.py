@@ -1,0 +1,149 @@
+"""Pluggable similarity measures for local phase detection.
+
+The paper's detector uses Pearson's coefficient of correlation, but its
+future-work section asks for "cheaper means of measuring similarity as the
+Pearson's metric involves time consuming calculations".  This module makes
+the measure a pluggable strategy and provides three cheaper alternatives
+with the same interface and the same two required properties (Figure 8):
+
+* a bottleneck shift by one instruction must score as *dissimilar*;
+* a uniform scaling of all counts must score as *similar*.
+
+Every measure maps a pair of equal-length count vectors to a score in
+[-1, 1] where higher means more similar, so the LPD's ``r >= r_t`` test and
+state machine work unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.correlation import pearson_r
+
+__all__ = [
+    "SimilarityMeasure",
+    "PearsonSimilarity",
+    "CosineSimilarity",
+    "ManhattanOverlap",
+    "TopKJaccard",
+    "MEASURES",
+    "get_measure",
+]
+
+
+class SimilarityMeasure(Protocol):
+    """Strategy interface: score two per-instruction count vectors."""
+
+    #: Short identifier used in configs and experiment output.
+    name: str
+
+    def __call__(self, stable: np.ndarray, current: np.ndarray) -> float:
+        """Return a similarity score in [-1, 1]; higher is more similar."""
+        ...
+
+
+class PearsonSimilarity:
+    """The paper's measure: Pearson's coefficient of correlation.
+
+    Cost per comparison: ~10 multiply-adds per instruction slot plus two
+    square roots (see :mod:`repro.core.correlation`).
+    """
+
+    name = "pearson"
+
+    def __call__(self, stable: np.ndarray, current: np.ndarray) -> float:
+        return pearson_r(stable, current)
+
+
+class CosineSimilarity:
+    """Cosine of the angle between the two count vectors.
+
+    Cheaper than Pearson (no mean subtraction) and naturally invariant to
+    uniform scaling.  Because raw counts are non-negative the score lies in
+    [0, 1]; a bottleneck shift between disjoint hot slots scores 0.
+    """
+
+    name = "cosine"
+
+    def __call__(self, stable: np.ndarray, current: np.ndarray) -> float:
+        a = np.asarray(stable, dtype=np.float64)
+        b = np.asarray(current, dtype=np.float64)
+        norm = float(np.linalg.norm(a) * np.linalg.norm(b))
+        if norm == 0.0:
+            return 1.0 if a.sum() == b.sum() else 0.0
+        return float(np.dot(a, b) / norm)
+
+
+class ManhattanOverlap:
+    """One minus the L1 distance between the *normalized* histograms.
+
+    Equivalent to the histogram-intersection kernel on relative
+    frequencies: ``1 - 0.5 * sum(|p_i - q_i|)``.  Costs one pass of adds
+    and absolute values — the cheapest dense measure here.
+    """
+
+    name = "manhattan"
+
+    def __call__(self, stable: np.ndarray, current: np.ndarray) -> float:
+        a = np.asarray(stable, dtype=np.float64)
+        b = np.asarray(current, dtype=np.float64)
+        total_a = a.sum()
+        total_b = b.sum()
+        if total_a == 0.0 or total_b == 0.0:
+            return 1.0 if total_a == total_b else 0.0
+        return float(1.0 - 0.5 * np.abs(a / total_a - b / total_b).sum())
+
+
+class TopKJaccard:
+    """Jaccard similarity of the top-k hot instruction *sets*.
+
+    The sparsest measure: only the identity of the k hottest slots matters,
+    not their counts, so it is trivially scale-invariant and extremely
+    cheap for large regions (a partial sort).  It is blunter than Pearson —
+    redistributions among the same hot slots go unnoticed — which is
+    exactly the cost/fidelity trade-off the ablation benchmark quantifies.
+    """
+
+    def __init__(self, k: int = 8) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.name = f"topk{k}"
+
+    def _hot_set(self, counts: np.ndarray) -> frozenset[int]:
+        nonzero = np.flatnonzero(counts)
+        if nonzero.size == 0:
+            return frozenset()
+        if nonzero.size <= self.k:
+            return frozenset(int(i) for i in nonzero)
+        order = np.argpartition(counts, -self.k)[-self.k:]
+        return frozenset(int(i) for i in order if counts[i] > 0)
+
+    def __call__(self, stable: np.ndarray, current: np.ndarray) -> float:
+        a = self._hot_set(np.asarray(stable))
+        b = self._hot_set(np.asarray(current))
+        if not a and not b:
+            return 1.0
+        union = len(a | b)
+        return len(a & b) / union if union else 1.0
+
+
+#: Registry of the built-in measures by name.
+MEASURES: dict[str, SimilarityMeasure] = {
+    "pearson": PearsonSimilarity(),
+    "cosine": CosineSimilarity(),
+    "manhattan": ManhattanOverlap(),
+    "topk8": TopKJaccard(8),
+}
+
+
+def get_measure(name: str) -> SimilarityMeasure:
+    """Look up a built-in similarity measure by name."""
+    try:
+        return MEASURES[name]
+    except KeyError:
+        known = ", ".join(sorted(MEASURES))
+        raise KeyError(f"unknown similarity measure {name!r}; "
+                       f"known measures: {known}") from None

@@ -1,0 +1,100 @@
+"""Phase states and phase-change events shared by both detectors.
+
+The paper's two detectors (the centroid-based *Global Phase Detector* of
+Figure 1 and the Pearson-correlation *Local Phase Detector* of Figure 12)
+are both small finite state machines.  Their state sets overlap, so a single
+:class:`PhaseState` enum serves both; each detector documents which subset it
+uses.
+
+The paper draws "dotted" transitions for the edges that constitute a *phase
+change*: crossing the boundary between the stable side of the machine and the
+unstable side.  :func:`is_stable_state` defines that boundary and
+:class:`PhaseEvent` records each crossing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class PhaseState(enum.Enum):
+    """States used by the GPD and LPD state machines.
+
+    ``WARMUP`` is GPD-only (not enough centroid history to compute a band of
+    stability yet).  The LPD uses ``UNSTABLE``, ``LESS_UNSTABLE``,
+    ``LESS_STABLE`` and ``STABLE`` as in Figure 12 of the paper.
+    """
+
+    WARMUP = "warmup"
+    UNSTABLE = "unstable"
+    LESS_UNSTABLE = "less_unstable"
+    LESS_STABLE = "less_stable"
+    STABLE = "stable"
+
+
+#: States that count as "in a stable phase" for phase-change accounting.
+#:
+#: ``LESS_STABLE`` sits on the stable side: it is the grace state entered
+#: from ``STABLE`` on a single bad observation, before the detector commits
+#: to a phase change.  ``LESS_UNSTABLE`` sits on the unstable side: the
+#: detector has seen promising observations but has not yet declared a
+#: stable phase.
+_STABLE_SIDE = frozenset({PhaseState.STABLE, PhaseState.LESS_STABLE})
+
+
+def is_stable_state(state: PhaseState) -> bool:
+    """Return ``True`` if *state* lies on the stable side of the machine."""
+    return state in _STABLE_SIDE
+
+
+class PhaseEventKind(enum.Enum):
+    """The two kinds of phase change (the paper's dotted transitions)."""
+
+    BECAME_STABLE = "became_stable"
+    BECAME_UNSTABLE = "became_unstable"
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseEvent:
+    """A single phase change emitted by a detector.
+
+    Attributes
+    ----------
+    interval_index:
+        Index of the sample-buffer interval at which the change occurred.
+    kind:
+        Whether the detector moved into or out of a stable phase.
+    state_from, state_to:
+        The concrete machine states on either side of the transition.
+    detail:
+        Free-form diagnostic string (e.g. the drift ratio or r-value that
+        triggered the transition).
+    """
+
+    interval_index: int
+    kind: PhaseEventKind
+    state_from: PhaseState
+    state_to: PhaseState
+    detail: str = ""
+
+    def is_stabilization(self) -> bool:
+        """Return ``True`` if this event entered a stable phase."""
+        return self.kind is PhaseEventKind.BECAME_STABLE
+
+
+def count_phase_changes(events: Iterable[PhaseEvent]) -> int:
+    """Count phase changes the way the paper's Figures 3 and 13 do.
+
+    Every crossing of the stable/unstable boundary — in either direction —
+    is a phase change (the paper: "the dotted lines indicate the state
+    transitions that correspond to a phase change (moving from unstable to
+    stable or vice versa)").
+    """
+    return sum(1 for _ in events)
+
+
+def transition_crosses_boundary(before: PhaseState, after: PhaseState) -> bool:
+    """Return ``True`` if moving *before* → *after* is a phase change."""
+    return is_stable_state(before) != is_stable_state(after)

@@ -1,0 +1,177 @@
+"""Threshold configuration objects for the two phase detectors.
+
+The paper gives concrete values for every knob:
+
+* GPD (section 2.1): thresholds TH1–TH4 "have been determined empirically as
+  1%, 5%, 10% and 67% respectively"; the band of stability must satisfy
+  ``SD < E / 6`` before the detector may leave the unstable state; a timer
+  is associated with the less-stable state before the stable state is
+  entered.
+* LPD (section 3.2.1): the correlation threshold ``r_t`` is 0.8.
+* Region monitoring (section 3.1 / Figure 6): region formation triggers when
+  more than 30% of an interval's samples fall in the unmonitored code
+  region.
+* The sample buffer holds 2032 samples (section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Default size of the user sample buffer (paper section 2.2).
+DEFAULT_BUFFER_SIZE = 2032
+
+#: Default UCR percentage above which region formation triggers (Figure 6).
+DEFAULT_UCR_THRESHOLD = 0.30
+
+#: Default Pearson correlation threshold r_t (section 3.2.1).
+DEFAULT_R_THRESHOLD = 0.8
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True, slots=True)
+class GpdThresholds:
+    """Knobs of the centroid-based global phase detector (Figure 1).
+
+    All of ``th1``–``th4`` are expressed as fractions of the expectation
+    value ``E`` of the centroid history: the drift ``delta`` of the current
+    centroid outside the band of stability is compared against
+    ``thN * E``.
+
+    Attributes
+    ----------
+    th1:
+        Tight-drift threshold: below it the less-stable dwell timer ticks
+        and a wandering less-unstable detector may recover to stable.
+    th2:
+        Stable-tolerance threshold: a stable phase survives drift up to it.
+    th3:
+        Unstable-exit threshold: the unstable state may be left only while
+        drift is below it (and the band is not too thick).
+    th4:
+        Collapse threshold: drift beyond it throws any state straight back
+        to unstable.
+    thickness_divisor:
+        The band-of-stability thickness check: require ``SD < E / divisor``
+        (the paper uses 6) before leaving the unstable state.
+    dwell_intervals:
+        Number of consecutive tight-drift intervals required in the
+        less-stable state before declaring a stable phase (the paper's
+        "timer"; the exact duration is not given — we default to 2).
+    history_length:
+        Number of past centroids kept for computing ``E`` and ``SD``.
+    """
+
+    th1: float = 0.01
+    th2: float = 0.05
+    th3: float = 0.10
+    th4: float = 0.67
+    thickness_divisor: float = 6.0
+    dwell_intervals: int = 2
+    history_length: int = 8
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.th1 <= self.th2 <= self.th3 <= self.th4,
+                 "GPD thresholds must satisfy 0 < th1 <= th2 <= th3 <= th4")
+        _require(self.thickness_divisor > 0.0,
+                 "thickness_divisor must be positive")
+        _require(self.dwell_intervals >= 1,
+                 "dwell_intervals must be at least 1")
+        _require(self.history_length >= 2,
+                 "history_length must be at least 2")
+
+
+@dataclass(frozen=True, slots=True)
+class LpdThresholds:
+    """Knobs of the Pearson-correlation local phase detector (Figure 12).
+
+    Attributes
+    ----------
+    r_threshold:
+        Correlation value at or above which two intervals are "similar"
+        (the paper's r_t = 0.8).
+    adaptive:
+        Enable the size-adaptive threshold the paper sketches in section
+        3.2.2 ("we are investigating the use of a threshold based on the
+        size of region"): large regions get a relaxed threshold because the
+        granularity assumption breaks down for them (the 188.ammp
+        aberration).
+    adaptive_reference_size:
+        Region size (in instructions) at which the adaptive threshold
+        equals ``r_threshold``; larger regions relax linearly down to
+        ``adaptive_floor``.
+    adaptive_floor:
+        Lower bound of the adaptive threshold.
+    """
+
+    r_threshold: float = DEFAULT_R_THRESHOLD
+    adaptive: bool = False
+    adaptive_reference_size: int = 256
+    adaptive_floor: float = 0.6
+
+    def __post_init__(self) -> None:
+        _require(-1.0 < self.r_threshold <= 1.0,
+                 "r_threshold must lie in (-1, 1]")
+        _require(self.adaptive_reference_size >= 1,
+                 "adaptive_reference_size must be positive")
+        if self.adaptive:
+            _require(-1.0 < self.adaptive_floor <= self.r_threshold,
+                     "adaptive_floor must lie in (-1, r_threshold]")
+
+    def threshold_for_size(self, n_instructions: int) -> float:
+        """Return the effective r-threshold for a region of the given size.
+
+        With ``adaptive`` off this is always ``r_threshold``.  With it on,
+        regions up to ``adaptive_reference_size`` instructions use
+        ``r_threshold`` and larger regions relax toward ``adaptive_floor``
+        proportionally to ``log2(size / reference)``.
+        """
+        if not self.adaptive or n_instructions <= self.adaptive_reference_size:
+            return self.r_threshold
+        import math
+
+        excess = math.log2(n_instructions / self.adaptive_reference_size)
+        relaxed = self.r_threshold - 0.1 * excess
+        return max(self.adaptive_floor, relaxed)
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorThresholds:
+    """Knobs of the region-monitoring framework (section 3.1).
+
+    Attributes
+    ----------
+    buffer_size:
+        Number of samples per interval (buffer overflow granularity).
+    ucr_threshold:
+        Fraction of samples in the unmonitored code region above which
+        region formation triggers.
+    formation_hot_fraction:
+        During formation, addresses accounting for at least this fraction
+        of UCR samples are considered hot seeds.
+    formation_max_seeds:
+        Upper bound on seeds examined per formation trigger.
+    lpd: LpdThresholds
+        Per-region phase-detector thresholds.
+    """
+
+    buffer_size: int = DEFAULT_BUFFER_SIZE
+    ucr_threshold: float = DEFAULT_UCR_THRESHOLD
+    formation_hot_fraction: float = 0.001
+    formation_max_seeds: int = 128
+    lpd: LpdThresholds = field(default_factory=LpdThresholds)
+
+    def __post_init__(self) -> None:
+        _require(self.buffer_size >= 2, "buffer_size must be at least 2")
+        _require(0.0 < self.ucr_threshold < 1.0,
+                 "ucr_threshold must lie in (0, 1)")
+        _require(0.0 < self.formation_hot_fraction <= 1.0,
+                 "formation_hot_fraction must lie in (0, 1]")
+        _require(self.formation_max_seeds >= 1,
+                 "formation_max_seeds must be positive")

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also catching programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object was constructed with invalid values."""
+
+
+class AddressError(ReproError):
+    """An address or address range was malformed (e.g. end before start)."""
+
+
+class RegionError(ReproError):
+    """A region operation failed (unknown region, overlapping id, ...)."""
+
+
+class FormationError(RegionError):
+    """Region formation could not build a region for a hot address."""
+
+
+class WorkloadError(ReproError):
+    """A workload script is malformed (empty mixture, negative duration)."""
+
+
+class SamplingError(ReproError):
+    """The PMU simulator was driven with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown or bad target."""

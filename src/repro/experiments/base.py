@@ -1,0 +1,69 @@
+"""Experiment result container and shared helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.core import MonitorThresholds
+from repro.experiments.config import ExperimentConfig
+from repro.monitor import RegionMonitor
+from repro.program.spec2000 import BenchmarkModel, get_benchmark
+from repro.sampling import SampleStream, simulate_sampling
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One reproduced table/figure as printable rows.
+
+    Attributes
+    ----------
+    experiment_id:
+        ``"fig03"`` etc.
+    title:
+        Human-readable caption (what the paper's figure showed).
+    headers, rows:
+        The regenerated series.
+    notes:
+        Reproduction caveats (scaling, known magnitude gaps).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+    extras: dict = field(default_factory=dict, repr=False)
+
+    def to_table(self) -> str:
+        """Render the result as an aligned text table."""
+        text = format_table(self.headers, self.rows,
+                            title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            text += f"\n  note: {self.notes}"
+        return text
+
+
+def benchmark_for(name: str, config: ExperimentConfig) -> BenchmarkModel:
+    """Load a benchmark at the experiment's scale."""
+    return get_benchmark(name, scale=config.scale)
+
+
+def stream_for(model: BenchmarkModel, period: int,
+               config: ExperimentConfig) -> SampleStream:
+    """Simulate one benchmark run at a sampling period."""
+    return simulate_sampling(model.regions, model.workload, period,
+                             seed=config.seed)
+
+
+def monitored_run(model: BenchmarkModel, period: int,
+                  config: ExperimentConfig,
+                  attribution: str = "list") -> RegionMonitor:
+    """Run a fresh region monitor over one benchmark stream."""
+    stream = stream_for(model, period, config)
+    monitor = RegionMonitor(
+        model.binary,
+        MonitorThresholds(buffer_size=config.buffer_size),
+        attribution=attribution)
+    monitor.process_stream(stream)
+    return monitor

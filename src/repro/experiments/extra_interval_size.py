@@ -1,0 +1,61 @@
+"""Bonus experiment: GPD sensitivity to the interval (buffer) size.
+
+Not a numbered paper figure — it quantifies the claim of §2.3 that the
+centroid scheme "is sensitive to sampling period, interval size and
+thresholds.  Interval size is usually determined by the sampling period,
+but can be independently set."  At a fixed 45k sampling period, sweeping
+the buffer size moves the interval duration exactly like sweeping the
+period does, and the GPD's verdicts swing with it while per-region LPD
+barely moves.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import run_gpd
+from repro.core.thresholds import MonitorThresholds
+from repro.experiments.base import (ExperimentResult, benchmark_for,
+                                    stream_for)
+from repro.experiments.config import (BASE_PERIOD, DEFAULT_CONFIG,
+                                      ExperimentConfig)
+from repro.monitor import RegionMonitor
+
+EXPERIMENT_ID = "ivalsize"
+TITLE = "GPD vs LPD sensitivity to interval size (paper §2.3)"
+
+BUFFER_SIZES = (508, 1016, 2032, 4064, 8128)
+BENCHMARK = "187.facerec"
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """One row per buffer size on the flapper benchmark."""
+    model = benchmark_for(BENCHMARK, config)
+    stream = stream_for(model, BASE_PERIOD, config)
+    headers = ["buffer size", "intervals", "GPD changes", "GPD stable%",
+               "LPD changes (sum)", "LPD stable% (mean)"]
+    rows: list[list] = []
+    for buffer_size in BUFFER_SIZES:
+        gpd = run_gpd(stream, buffer_size)
+        monitor = RegionMonitor(
+            model.binary, MonitorThresholds(buffer_size=buffer_size))
+        monitor.process_stream(stream)
+        fractions = list(monitor.stable_time_fractions().values())
+        mean_stable = (100.0 * sum(fractions) / len(fractions)
+                       if fractions else 0.0)
+        rows.append([buffer_size, stream.n_intervals(buffer_size),
+                     len(gpd.events),
+                     100.0 * gpd.stable_time_fraction(),
+                     monitor.total_events(), mean_stable])
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers,
+        rows=rows,
+        notes=(f"{BENCHMARK} at the fixed {BASE_PERIOD // 1000}k period: "
+               "the same run flips from flapping to averaged as the "
+               "interval grows; the per-region counts stay flat"))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,83 @@
+"""Figure 7: % of samples in the UCR over time for 254.gap and 186.crafty.
+
+Paper: "Even after frequent region formation triggers in 254.gap, the
+percentage of samples in UCR remains high.  186.crafty tries to form
+regions on every buffer overflow but the percentage of samples in UCR
+does not reduce.  This is due to a current limitation of the region
+building algorithm" — the hot code lives in procedures called from loops,
+where the loop-only builder cannot operate.
+
+The experiment also runs the paper's proposed fix ("there is no
+fundamental limitation to building inter-procedural regions") to show the
+UCR collapsing once the inter-procedural extension is enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MonitorThresholds
+from repro.experiments.base import (ExperimentResult, benchmark_for,
+                                    stream_for)
+from repro.experiments.config import (BASE_PERIOD, DEFAULT_CONFIG,
+                                      ExperimentConfig)
+from repro.monitor import RegionMonitor
+
+EXPERIMENT_ID = "fig07"
+TITLE = "% samples in UCR over time: 254.gap and 186.crafty (Figure 7)"
+
+BENCHMARKS = ("254.gap", "186.crafty")
+N_BUCKETS = 10
+
+
+def ucr_series(benchmark: str, config: ExperimentConfig,
+               interprocedural: bool = False) -> tuple[list[float], int]:
+    """Per-interval UCR fractions plus the formation-trigger count."""
+    model = benchmark_for(benchmark, config)
+    stream = stream_for(model, BASE_PERIOD, config)
+    monitor = RegionMonitor(
+        model.binary, MonitorThresholds(buffer_size=config.buffer_size),
+        interprocedural=interprocedural)
+    monitor.process_stream(stream)
+    return monitor.ucr.history, monitor.ucr.n_triggers
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Bucketed UCR% time series for both benchmarks, loop-only and
+    inter-procedural."""
+    headers = ["time bucket"]
+    columns: list[list[float]] = []
+    triggers: dict[str, int] = {}
+    for name in BENCHMARKS:
+        for interproc in (False, True):
+            label = f"{name} {'interproc' if interproc else 'loop-only'}"
+            history, n_triggers = ucr_series(name, config, interproc)
+            headers.append(f"{label} UCR%")
+            buckets = np.array_split(np.asarray(history),
+                                     min(N_BUCKETS, max(len(history), 1)))
+            columns.append([100.0 * float(b.mean()) if b.size else 0.0
+                            for b in buckets])
+            triggers[label] = n_triggers
+    n_rows = max(len(c) for c in columns)
+    rows: list[list] = []
+    for index in range(n_rows):
+        row: list = [index]
+        for column in columns:
+            row.append(column[index] if index < len(column) else 0.0)
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers,
+        rows=rows,
+        notes=("loop-only formation leaves both benchmarks >30% UCR "
+               "despite triggering every interval "
+               f"(triggers: {triggers}); the inter-procedural extension "
+               "collapses it"),
+        extras={"triggers": triggers})
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

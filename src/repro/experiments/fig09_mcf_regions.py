@@ -1,0 +1,58 @@
+"""Figure 9: the three named regions of 181.mcf over time.
+
+Paper: "a region 146f0-14770 ... takes up a large fraction of execution
+time in the beginning and it diminishes towards the end, whereas another
+region (142c8-14318) initially takes a small fraction of execution but
+later executes for a larger fraction."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import ground_truth_region_matrix
+from repro.experiments.base import (ExperimentResult, benchmark_for,
+                                    stream_for)
+from repro.experiments.config import (BASE_PERIOD, DEFAULT_CONFIG,
+                                      ExperimentConfig)
+
+EXPERIMENT_ID = "fig09"
+TITLE = "181.mcf regions 146f0-14770 / 142c8-14318 / 13134-133d4 (Fig 9)"
+
+PAPER_REGIONS = ("mcf_r1", "mcf_r2", "mcf_r3")
+N_BUCKETS = 10
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Per-time-bucket sample share of the three paper regions."""
+    model = benchmark_for("181.mcf", config)
+    stream = stream_for(model, BASE_PERIOD, config)
+    names, matrix = ground_truth_region_matrix(stream, config.buffer_size)
+    columns = {workload_name: names.index(workload_name)
+               for workload_name in PAPER_REGIONS}
+    shares = matrix / np.maximum(matrix.sum(axis=1, keepdims=True), 1)
+    buckets = np.array_split(np.arange(matrix.shape[0]),
+                             min(N_BUCKETS, max(matrix.shape[0], 1)))
+    headers = (["time bucket"]
+               + [f"{model.monitored_name(n)} share%" for n in PAPER_REGIONS])
+    rows: list[list] = []
+    for index, bucket in enumerate(buckets):
+        row: list = [index]
+        for workload_name in PAPER_REGIONS:
+            column = columns[workload_name]
+            row.append(100.0 * float(shares[bucket, column].mean()))
+        rows.append(row)
+    first, last = rows[0], rows[-1]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers,
+        rows=rows,
+        notes=(f"146f0-14770 share falls {first[1]:.0f}% -> {last[1]:.0f}%; "
+               f"142c8-14318 rises {first[2]:.0f}% -> {last[2]:.0f}%"))
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,69 @@
+"""Figure 17: speedup of RTO_LPD over RTO_ORIG.
+
+Paper: "Speedup of RTO_LPD over RTO_ORIG where the original RTO uses the
+centroid scheme and unpatches traces when phase is unstable.  Three
+sampling periods have been used viz. 100K, 800K and 1.5M
+cycles/interrupt."  Key shapes: "for mcf, the speedup obtained from LPD
+increases as sampling period is increased ... For gap the reverse is
+true"; mgrid "does not show much performance difference".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, benchmark_for
+from repro.experiments.config import (DEFAULT_CONFIG, RTO_PERIODS,
+                                      ExperimentConfig)
+from repro.optimizer import compare_policies
+from repro.program.spec2000 import FIG17_BENCHMARKS
+
+EXPERIMENT_ID = "fig17"
+TITLE = "Speedup of RTO_LPD over RTO_ORIG (paper Figure 17)"
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        benchmarks: tuple[str, ...] = FIG17_BENCHMARKS,
+        n_seeds: int = 3) -> ExperimentResult:
+    """One row per benchmark; columns per sampling period.
+
+    Coarse sampling periods yield few intervals per run, so the statistic
+    is averaged over ``n_seeds`` PMU seeds (the paper averages over
+    repeated hardware runs).
+    """
+    headers = (["benchmark"]
+               + [f"speedup% @{p // 1000}k" for p in RTO_PERIODS]
+               + [f"orig stable% @{p // 1000}k" for p in RTO_PERIODS])
+    rows: list[list] = []
+    results: dict[tuple[str, int], tuple] = {}
+    for name in benchmarks:
+        model = benchmark_for(name, config)
+        speedups: list[float] = []
+        stables: list[float] = []
+        for period in RTO_PERIODS:
+            total_speedup = 0.0
+            total_stable = 0.0
+            for offset in range(n_seeds):
+                orig, lpd, speedup = compare_policies(
+                    model.binary, model.regions, model.workload, period,
+                    seed=config.seed + offset)
+                total_speedup += speedup
+                total_stable += orig.stable_fraction
+            results[(name, period)] = (orig, lpd)
+            speedups.append(100.0 * total_speedup / n_seeds)
+            stables.append(100.0 * total_stable / n_seeds)
+        rows.append([name] + speedups + stables)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers,
+        rows=rows,
+        notes=("mcf's gain grows with the sampling period (GPD starves in "
+               "the periodic tail), gap's shrinks, mgrid ~0 — the paper's "
+               "three shapes.  Magnitudes are model-bound; the paper "
+               "reports up to 23.8% (mcf @1.5M) and 9.5% (gap @100k)."),
+        extras={"results": results})
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

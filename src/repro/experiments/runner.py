@@ -1,0 +1,120 @@
+"""CLI runner: regenerate any or all of the paper's figures.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments fig03 fig04
+    repro-experiments all --scale 0.25 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (extra_detector_zoo, extra_interval_size,
+                               fig02_mcf_region_chart,
+                               fig03_gpd_phase_changes,
+                               fig04_gpd_stable_time,
+                               fig05_facerec_region_chart, fig06_ucr_median,
+                               fig07_ucr_over_time,
+                               fig08_pearson_properties, fig09_mcf_regions,
+                               fig10_mcf_correlation, fig11_gap_regions,
+                               fig13_lpd_phase_changes,
+                               fig14_lpd_stable_time, fig15_cost,
+                               fig16_interval_tree, fig17_speedup)
+from repro.experiments.config import ExperimentConfig
+
+#: Registry of every reproducible figure (Figures 1 and 12 are state
+#: diagrams, reproduced as code in repro.core.gpd / repro.core.lpd).
+EXPERIMENTS: dict[str, Callable] = {
+    module.EXPERIMENT_ID: module.run
+    for module in (
+        fig02_mcf_region_chart, fig03_gpd_phase_changes,
+        fig04_gpd_stable_time, fig05_facerec_region_chart,
+        fig06_ucr_median, fig07_ucr_over_time, fig08_pearson_properties,
+        fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
+        fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
+        fig16_interval_tree, fig17_speedup, extra_detector_zoo,
+        extra_interval_size,
+    )
+}
+
+TITLES: dict[str, str] = {
+    module.EXPERIMENT_ID: module.TITLE
+    for module in (
+        fig02_mcf_region_chart, fig03_gpd_phase_changes,
+        fig04_gpd_stable_time, fig05_facerec_region_chart,
+        fig06_ucr_median, fig07_ucr_over_time, fig08_pearson_properties,
+        fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
+        fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
+        fig16_interval_tree, fig17_speedup, extra_detector_zoo,
+        extra_interval_size,
+    )
+}
+
+#: The figure experiments run by default ('all'); the extras ('zoo',
+#: 'ivalsize') run only when named explicitly.
+DEFAULT_SET = tuple(sorted(eid for eid in EXPERIMENTS
+                           if eid.startswith("fig")))
+
+
+def run_experiment(experiment_id: str,
+                   config: ExperimentConfig):
+    """Run one figure's experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return runner(config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-experiments`` script."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*", default=["all"],
+                        help="figure ids (fig02..fig17) or 'all'")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload duration multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="PMU seed (default 7)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--out", type=str, default=None, metavar="DIR",
+                        help="also export results (JSON + CSV) into DIR")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(f"{experiment_id}  {TITLES[experiment_id]}")
+        return 0
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    requested = args.experiments
+    if requested == ["all"] or requested == []:
+        requested = list(DEFAULT_SET)
+
+    results = []
+    for experiment_id in requested:
+        started = time.time()
+        result = run_experiment(experiment_id, config)
+        results.append(result)
+        print(result.to_table())
+        print(f"  ({time.time() - started:.1f}s)")
+        print()
+    if args.out is not None:
+        from repro.analysis.export import export_results
+
+        written = export_results(results, args.out)
+        print(f"exported {len(written)} files to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

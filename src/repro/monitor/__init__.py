@@ -1,0 +1,13 @@
+"""Region-monitoring framework: the paper's section 3 machinery."""
+
+from repro.monitor.online import OnlineSession
+from repro.monitor.region_monitor import IntervalReport, RegionMonitor
+from repro.monitor.self_monitoring import SelfMonitor, Verdict
+
+__all__ = [
+    "IntervalReport",
+    "OnlineSession",
+    "RegionMonitor",
+    "SelfMonitor",
+    "Verdict",
+]

@@ -1,0 +1,325 @@
+"""The region-monitoring framework (paper section 3).
+
+This ties together everything below it: per interval (buffer overflow) it
+
+1. distributes the samples across the monitored regions (list or interval
+   tree), sending the leftovers to the UCR;
+2. triggers **region formation** when the UCR fraction exceeds the
+   threshold, growing the monitored set from hot unmonitored addresses;
+3. runs each region's **local phase detector** on the region's histogram
+   (or lets it hold when the region did not execute);
+4. optionally **prunes** cold regions;
+5. charges every step's work to the cost ledger.
+
+The monitor achieves "the dual goal of phase detection and monitoring of
+deployed optimizations": phase events stream out per region, and per-region
+per-interval statistics feed :mod:`repro.monitor.self_monitoring`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lpd import LocalPhaseDetector
+from repro.core.similarity import SimilarityMeasure
+from repro.core.states import PhaseEvent
+from repro.core.thresholds import MonitorThresholds
+from repro.costs import CostLedger
+from repro.errors import RegionError
+from repro.program.binary import SyntheticBinary
+from repro.regions.attribution import make_attributor
+from repro.regions.formation import FormationOutcome, RegionFormation
+from repro.regions.pruning import PruningPolicy, RegionActivity
+from repro.regions.region import Region
+from repro.regions.registry import RegionRegistry
+from repro.regions.ucr import UcrTracker
+from repro.sampling.events import SampleStream
+
+__all__ = ["IntervalReport", "RegionMonitor"]
+
+
+@dataclass(frozen=True)
+class IntervalReport:
+    """What happened during one monitored interval.
+
+    Attributes
+    ----------
+    interval_index:
+        The interval's position in the run.
+    ucr_fraction:
+        Fraction of samples left unmonitored this interval.
+    formation:
+        Outcome of the formation trigger, if one fired.
+    events:
+        ``(rid, PhaseEvent)`` pairs for every local phase change.
+    region_samples:
+        rid -> samples attributed this interval (regions with zero
+        samples are omitted).
+    pruned:
+        rids evicted at the end of the interval.
+    """
+
+    interval_index: int
+    ucr_fraction: float
+    formation: FormationOutcome | None
+    events: tuple[tuple[int, PhaseEvent], ...]
+    region_samples: dict[int, int] = field(default_factory=dict)
+    pruned: tuple[int, ...] = ()
+
+
+class RegionMonitor:
+    """Online region monitoring with local phase detection.
+
+    Parameters
+    ----------
+    binary:
+        The monitored program (for region formation).
+    thresholds:
+        Buffer size, UCR trigger, and per-region LPD knobs.
+    attribution:
+        ``"list"`` or ``"tree"`` (paper section 3.2.3).
+    measure:
+        Similarity measure for the per-region detectors (default
+        Pearson).
+    interprocedural:
+        Enable the whole-procedure formation fallback.
+    trace_formation:
+        Enable hot-path trace regions for hot non-loop code.
+    annotations:
+        Optional compiler-annotation table consulted first by formation.
+    pruning:
+        Optional eviction policy for cold regions.
+    ledger:
+        Cost ledger; a fresh one is created if not supplied.
+    """
+
+    def __init__(self, binary: SyntheticBinary,
+                 thresholds: MonitorThresholds | None = None,
+                 attribution: str = "list",
+                 measure: SimilarityMeasure | None = None,
+                 interprocedural: bool = False,
+                 trace_formation: bool = False,
+                 annotations=None,
+                 pruning: PruningPolicy | None = None,
+                 ledger: CostLedger | None = None) -> None:
+        self.binary = binary
+        self.thresholds = thresholds or MonitorThresholds()
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.registry = RegionRegistry()
+        self.attributor = make_attributor(attribution, self.registry,
+                                          self.ledger)
+        self.formation = RegionFormation(
+            binary, self.registry,
+            hot_fraction=self.thresholds.formation_hot_fraction,
+            max_seeds=self.thresholds.formation_max_seeds,
+            interprocedural=interprocedural,
+            trace_fallback=trace_formation,
+            annotations=annotations)
+        self.ucr = UcrTracker(self.thresholds.ucr_threshold)
+        self.pruning = pruning
+        self._measure = measure
+        self._detectors: dict[int, LocalPhaseDetector] = {}
+        self._retired: dict[int, tuple[Region, LocalPhaseDetector]] = {}
+        self._activity: dict[int, RegionActivity] = {}
+        self._formed_at: dict[int, int] = {}
+        self._interval_index = -1
+        self.reports: list[IntervalReport] = []
+        #: Per-region data-cache miss-rate observations (interval, rate),
+        #: recorded when miss flags accompany the samples.  This is the
+        #: raw material of self-monitoring (paper: "monitoring the
+        #: performance of a region ... to determine the impact of
+        #: deployed optimizations").
+        self._miss_rates: dict[int, list[tuple[int, float]]] = {}
+
+    # -- region plumbing ------------------------------------------------------
+
+    def _install_region(self, region: Region) -> None:
+        detector = LocalPhaseDetector(
+            n_instructions=region.n_instructions,
+            thresholds=self.thresholds.lpd,
+            measure=self._measure)
+        self._detectors[region.rid] = detector
+        self._activity[region.rid] = RegionActivity(rid=region.rid)
+        self._formed_at[region.rid] = max(region.formed_at_interval, 0)
+
+    def add_region(self, start: int, end: int) -> Region:
+        """Manually register a region (bypassing formation)."""
+        from repro.regions.region import RegionKind
+
+        region = self.registry.add(start, end, kind=RegionKind.MANUAL,
+                                   formed_at_interval=self._interval_index)
+        self._install_region(region)
+        return region
+
+    def detector(self, rid: int) -> LocalPhaseDetector:
+        """The local phase detector of a live or retired region."""
+        if rid in self._detectors:
+            return self._detectors[rid]
+        if rid in self._retired:
+            return self._retired[rid][1]
+        raise RegionError(f"no detector for region id {rid}")
+
+    def region_record(self, rid: int) -> Region:
+        """The region record for a live or retired region id."""
+        if rid in self.registry:
+            return self.registry.get(rid)
+        if rid in self._retired:
+            return self._retired[rid][0]
+        raise RegionError(f"no region with id {rid}")
+
+    def live_regions(self) -> list[Region]:
+        """Currently monitored regions, in formation order."""
+        return self.registry.regions()
+
+    def all_regions(self) -> list[Region]:
+        """Live plus pruned regions."""
+        regions = self.registry.regions() \
+            + [region for region, _ in self._retired.values()]
+        return sorted(regions, key=lambda r: r.rid)
+
+    def region_by_name(self, name: str) -> Region:
+        """Look up a region (live or retired) by its ``start-end`` name."""
+        for region in self.all_regions():
+            if region.name == name:
+                return region
+        raise RegionError(f"no region named {name!r}")
+
+    # -- the per-interval pipeline ---------------------------------------------
+
+    def process_interval(self, pcs: np.ndarray,
+                         interval_index: int | None = None,
+                         miss_flags: np.ndarray | None = None
+                         ) -> IntervalReport:
+        """Handle one buffer overflow; returns the interval's report.
+
+        ``miss_flags`` (optional, one bool per sample) enables per-region
+        data-cache miss-rate tracking for self-monitoring.
+        """
+        self._interval_index = (self._interval_index + 1
+                                if interval_index is None
+                                else interval_index)
+        index = self._interval_index
+        pcs = np.asarray(pcs, dtype=np.int64)
+        if miss_flags is not None:
+            miss_flags = np.asarray(miss_flags, dtype=bool)
+            if miss_flags.size != pcs.size:
+                raise RegionError(
+                    f"miss_flags has {miss_flags.size} entries, "
+                    f"expected {pcs.size}")
+
+        # 1. Distribute samples (cost charged by the attributor).
+        result = self.attributor.attribute(pcs)
+
+        # 2. UCR accounting and formation trigger.
+        formation_outcome: FormationOutcome | None = None
+        if self.ucr.record(result.ucr_fraction, index):
+            formation_outcome = self.formation.form(result.ucr_pcs, index)
+            for region in formation_outcome.new_regions:
+                self._install_region(region)
+
+        # 3. Local phase detection per live region.  Regions formed this
+        #    interval start observing from the next one (their samples for
+        #    this interval were counted as UCR).
+        events: list[tuple[int, PhaseEvent]] = []
+        region_samples: dict[int, int] = {}
+        new_rids = set()
+        if formation_outcome is not None:
+            new_rids = {r.rid for r in formation_outcome.new_regions}
+        for region in self.registry.regions():
+            rid = region.rid
+            if rid in new_rids:
+                continue
+            counts = result.region_counts.get(rid)
+            n_samples = 0 if counts is None else int(counts.sum())
+            if n_samples:
+                region_samples[rid] = n_samples
+                self.ledger.charge_similarity(region.n_instructions)
+                if miss_flags is not None:
+                    inside = (pcs >= region.start) & (pcs < region.end)
+                    rate = float(miss_flags[inside].mean())
+                    self._miss_rates.setdefault(rid, []).append(
+                        (index, rate))
+            self.ledger.charge_lpd_state()
+            event = self._detectors[rid].observe(counts, index)
+            if event is not None:
+                events.append((rid, event))
+            self._activity[rid].record(n_samples, result.n_samples)
+
+        # 4. Pruning.
+        pruned: list[int] = []
+        if self.pruning is not None:
+            for region in list(self.registry.regions()):
+                activity = self._activity[region.rid]
+                age = index - self._formed_at[region.rid]
+                if self.pruning.should_prune(activity, age):
+                    self.registry.remove(region.rid)
+                    self._retired[region.rid] = (
+                        region, self._detectors.pop(region.rid))
+                    self._activity.pop(region.rid)
+                    pruned.append(region.rid)
+
+        report = IntervalReport(
+            interval_index=index,
+            ucr_fraction=result.ucr_fraction,
+            formation=formation_outcome,
+            events=tuple(events),
+            region_samples=region_samples,
+            pruned=tuple(pruned))
+        self.reports.append(report)
+        return report
+
+    def process_stream(self, stream: SampleStream,
+                       track_misses: bool = False) -> list[IntervalReport]:
+        """Process a whole sample stream, one buffer interval at a time.
+
+        With ``track_misses`` on, the stream's data-cache miss flags feed
+        per-region miss-rate tracking (see :meth:`region_miss_rates`).
+        """
+        buffer_size = self.thresholds.buffer_size
+        reports = []
+        for index, window in stream.intervals(buffer_size):
+            miss = stream.dcache_miss[window] if track_misses else None
+            reports.append(self.process_interval(
+                stream.pcs[window], index, miss_flags=miss))
+        return reports
+
+    def region_miss_rates(self, rid: int) -> list[tuple[int, float]]:
+        """(interval, miss-rate) observations for a region.
+
+        Empty unless the stream was processed with miss tracking.
+        """
+        self.detector(rid)  # validates the id
+        return list(self._miss_rates.get(rid, []))
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    @property
+    def intervals_processed(self) -> int:
+        """Number of intervals handled so far."""
+        return len(self.reports)
+
+    def phase_change_counts(self) -> dict[int, int]:
+        """rid -> number of local phase changes (Figure 13's statistic)."""
+        return {region.rid: self.detector(region.rid).phase_change_count()
+                for region in self.all_regions()}
+
+    def stable_time_fractions(self) -> dict[int, float]:
+        """rid -> fraction of active intervals spent stable (Figure 14)."""
+        return {region.rid: self.detector(region.rid).stable_time_fraction()
+                for region in self.all_regions()}
+
+    def total_events(self) -> int:
+        """All local phase changes across all regions."""
+        return sum(self.phase_change_counts().values())
+
+    def region_sample_matrix(self) -> tuple[list[Region], np.ndarray]:
+        """(regions, intervals x regions sample-count matrix) for charts."""
+        regions = self.all_regions()
+        index = {region.rid: i for i, region in enumerate(regions)}
+        matrix = np.zeros((len(self.reports), len(regions)), dtype=np.int64)
+        for row, report in enumerate(self.reports):
+            for rid, count in report.region_samples.items():
+                matrix[row, index[rid]] = count
+        return regions, matrix

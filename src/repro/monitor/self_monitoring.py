@@ -1,0 +1,128 @@
+"""Self-monitoring: verifying the benefit of deployed optimizations.
+
+The paper motivates region monitoring with a second goal beyond phase
+detection: "the optimization deployed may not be beneficial ... due to the
+speculative nature of some optimizations like data pre-fetching", so the
+monitor should "create a framework for developing a feedback mechanism to
+monitor deployed optimizations.  This would allow us to undo ineffective
+optimizations deployed to a region."
+
+This module implements that feedback loop over any per-region performance
+characteristic (the runtime optimizer feeds it DPI — data-cache misses per
+instruction, the metric a prefetching optimization moves):
+
+* while a region is unoptimized, observations build the **baseline**;
+* after deployment, ``verify_intervals`` observations build the
+  **post-deployment** estimate;
+* the verdict compares them with a relative tolerance.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field
+
+
+class Verdict(enum.Enum):
+    """Outcome of verifying one deployed optimization."""
+
+    UNDECIDED = "undecided"     # not enough post-deployment observations
+    BENEFICIAL = "beneficial"   # the metric improved beyond tolerance
+    NEUTRAL = "neutral"         # within tolerance either way
+    HARMFUL = "harmful"         # the metric regressed beyond tolerance
+
+
+@dataclass
+class _RegionFeedback:
+    baseline: list[float] = field(default_factory=list)
+    deployed: list[float] = field(default_factory=list)
+    is_deployed: bool = False
+
+
+class SelfMonitor:
+    """Per-region optimization-benefit verification.
+
+    Parameters
+    ----------
+    verify_intervals:
+        Post-deployment observations required before a verdict.
+    tolerance:
+        Relative change in the metric below which the verdict is NEUTRAL.
+    baseline_window:
+        Most recent unoptimized observations retained for the baseline.
+    """
+
+    def __init__(self, verify_intervals: int = 4, tolerance: float = 0.10,
+                 baseline_window: int = 16) -> None:
+        if verify_intervals < 1:
+            raise ValueError("verify_intervals must be positive")
+        if tolerance < 0.0:
+            raise ValueError("tolerance must be non-negative")
+        if baseline_window < 1:
+            raise ValueError("baseline_window must be positive")
+        self.verify_intervals = verify_intervals
+        self.tolerance = tolerance
+        self.baseline_window = baseline_window
+        self._regions: dict[int, _RegionFeedback] = {}
+
+    def _feedback(self, rid: int) -> _RegionFeedback:
+        return self._regions.setdefault(rid, _RegionFeedback())
+
+    # -- deployment lifecycle -------------------------------------------------
+
+    def mark_deployed(self, rid: int) -> None:
+        """An optimization was deployed to the region: start verifying."""
+        feedback = self._feedback(rid)
+        feedback.is_deployed = True
+        feedback.deployed.clear()
+
+    def mark_unpatched(self, rid: int) -> None:
+        """The region's optimization was removed: back to baseline mode."""
+        feedback = self._feedback(rid)
+        feedback.is_deployed = False
+        feedback.deployed.clear()
+
+    def observe(self, rid: int, metric: float) -> None:
+        """Record one interval's metric for the region (lower = better)."""
+        if metric < 0.0:
+            raise ValueError("metric must be non-negative")
+        feedback = self._feedback(rid)
+        if feedback.is_deployed:
+            feedback.deployed.append(metric)
+        else:
+            feedback.baseline.append(metric)
+            if len(feedback.baseline) > self.baseline_window:
+                del feedback.baseline[0]
+
+    # -- verdicts -------------------------------------------------------------
+
+    def verdict(self, rid: int) -> Verdict:
+        """Current verdict for the region's deployed optimization."""
+        feedback = self._regions.get(rid)
+        if feedback is None or not feedback.is_deployed \
+                or len(feedback.deployed) < self.verify_intervals \
+                or not feedback.baseline:
+            return Verdict.UNDECIDED
+        baseline = statistics.fmean(feedback.baseline)
+        after = statistics.fmean(
+            feedback.deployed[-self.verify_intervals:])
+        if baseline == 0.0:
+            return Verdict.NEUTRAL if after == 0.0 else Verdict.HARMFUL
+        change = (after - baseline) / baseline
+        if change <= -self.tolerance:
+            return Verdict.BENEFICIAL
+        if change >= self.tolerance:
+            return Verdict.HARMFUL
+        return Verdict.NEUTRAL
+
+    def should_undo(self, rid: int) -> bool:
+        """Whether the optimizer should undo the region's optimization."""
+        return self.verdict(rid) is Verdict.HARMFUL
+
+    def baseline_of(self, rid: int) -> float | None:
+        """Mean baseline metric, or ``None`` with no observations."""
+        feedback = self._regions.get(rid)
+        if feedback is None or not feedback.baseline:
+            return None
+        return statistics.fmean(feedback.baseline)

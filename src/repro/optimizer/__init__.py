@@ -1,0 +1,23 @@
+"""Runtime-optimizer simulation: traces, timing, policy comparison."""
+
+from repro.optimizer.optimization import (DEFAULT_DEPLOY_COST, Optimization,
+                                          OptimizationKind)
+from repro.optimizer.rto import (RtoConfig, RtoResult, RTOSystem,
+                                 compare_policies)
+from repro.optimizer.timing import RtoTiming, TimingModel
+from repro.optimizer.traces import TraceAction, TraceCache, TraceEvent
+
+__all__ = [
+    "DEFAULT_DEPLOY_COST",
+    "Optimization",
+    "OptimizationKind",
+    "RtoConfig",
+    "RtoResult",
+    "RTOSystem",
+    "compare_policies",
+    "RtoTiming",
+    "TimingModel",
+    "TraceAction",
+    "TraceCache",
+    "TraceEvent",
+]

@@ -1,0 +1,70 @@
+"""Optimization catalog for the simulated runtime optimizer.
+
+The paper's prototype (ADORE on SPARC) deploys prefetching-style
+optimizations to hot regions; reference [13] reports 35%/8%/9%/16% speedups
+for mcf/mgrid/gap/fma3d.  We model an optimization's effect as a *gain*:
+the fraction of the region's execution cycles removed while the optimized
+trace is deployed.  Negative gains model the speculative failures
+(prefetches that pollute the cache) that motivate self-monitoring.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class OptimizationKind(enum.Enum):
+    """What kind of transformation the trace carries."""
+
+    PREFETCH = "prefetch"          # data prefetch injection (the paper's)
+    TRACE_LAYOUT = "trace_layout"  # straightened code layout
+    GENERIC = "generic"
+
+
+#: Default one-time cost of building, optimizing and patching one trace
+#: (cycles).  ADORE-style optimizers run trace selection and code
+#: generation on a helper thread; the patching itself still costs the
+#: application pipeline flushes and icache churn.
+DEFAULT_DEPLOY_COST = 2_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class Optimization:
+    """A deployable optimization for one region.
+
+    Attributes
+    ----------
+    region_name:
+        Workload-region name the optimization targets.
+    gain:
+        Fraction of the region's cycles removed while deployed (negative =
+        the optimization hurts).
+    kind:
+        Transformation category.
+    deploy_cost:
+        One-time cycle cost per deployment event.
+    """
+
+    region_name: str
+    gain: float
+    kind: OptimizationKind = OptimizationKind.PREFETCH
+    deploy_cost: int = DEFAULT_DEPLOY_COST
+
+    def __post_init__(self) -> None:
+        if not -1.0 < self.gain < 1.0:
+            raise ConfigError(
+                f"optimization gain {self.gain} outside (-1, 1)")
+        if self.deploy_cost < 0:
+            raise ConfigError("deploy_cost must be non-negative")
+
+    def observed_dpi(self, baseline_dpi: float) -> float:
+        """The region's DPI while this optimization is deployed.
+
+        A working prefetch covers misses proportionally to its gain; a
+        harmful one (negative gain) adds misses.  This is the metric the
+        self-monitor watches.
+        """
+        return max(0.0, baseline_dpi * (1.0 - 2.0 * self.gain))

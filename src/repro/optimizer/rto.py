@@ -1,0 +1,342 @@
+"""The simulated runtime optimizer: GPD-driven vs. LPD-driven policies.
+
+Reproduces the comparison of the paper's section 3.2.4 (Figure 17):
+
+* **RTO_ORIG** — the original centroid-based system, modified as the paper
+  describes for a fair comparison: it "unpatch[es] traces on a phase
+  change, so that optimizations could be re-evaluated using performance
+  characteristics of the original code when the phase stabilizes".  While
+  the global phase is stable, every sufficiently hot candidate region gets
+  an optimized trace; when the global phase destabilizes, *all* traces are
+  unpatched.
+* **RTO_LPD** — the proposed system: a region monitor forms regions and
+  runs a local phase detector per region; a region's trace is deployed
+  when *its* phase stabilizes and unpatched when *its* phase changes,
+  independent of every other region.
+
+Both policies run over the same PMU sample stream (same seed), so the only
+difference is the phase-detection policy — exactly the controlled variable
+of the paper's experiment.  Optionally, a self-monitor verifies deployed
+optimizations by watching the region's DPI and undoes harmful ones
+(the paper's feedback mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.states import PhaseEventKind
+from repro.core.thresholds import GpdThresholds, MonitorThresholds
+from repro.costs import CostLedger
+from repro.errors import ConfigError
+from repro.monitor.region_monitor import RegionMonitor
+from repro.monitor.self_monitoring import SelfMonitor
+from repro.optimizer.optimization import (DEFAULT_DEPLOY_COST, Optimization,
+                                          OptimizationKind)
+from repro.optimizer.timing import RtoTiming, TimingModel
+from repro.optimizer.traces import TraceCache
+from repro.program.behavior import RegionSpec
+from repro.program.binary import SyntheticBinary
+from repro.program.workload import WorkloadScript
+from repro.sampling.events import SampleStream
+from repro.sampling.pmu import simulate_sampling
+
+__all__ = ["RtoConfig", "RtoResult", "RTOSystem", "compare_policies"]
+
+
+@dataclass(frozen=True, slots=True)
+class RtoConfig:
+    """Policy and cost knobs of one RTO run.
+
+    Attributes
+    ----------
+    policy:
+        ``"orig"`` (GPD-driven) or ``"lpd"`` (region-monitor-driven).
+    hot_share:
+        Minimum fraction of an interval's samples a candidate region needs
+        before the ORIG policy optimizes it.
+    deploy_cost:
+        Cycles charged per deployment event.
+    charge_detector_overhead:
+        Charge detector operations to the critical path.  Off by default:
+        the paper notes region monitoring "can occur in a separate thread,
+        in parallel to the main program".
+    self_monitoring:
+        Verify deployed optimizations via DPI feedback and undo harmful
+        ones (LPD policy only — ORIG has no per-region monitoring, which
+        is the point).
+    gpd:
+        Thresholds for the ORIG policy's detector.
+    monitor:
+        Thresholds for the LPD policy's region monitor.
+    """
+
+    policy: str = "lpd"
+    hot_share: float = 0.05
+    deploy_cost: int = DEFAULT_DEPLOY_COST
+    charge_detector_overhead: bool = False
+    self_monitoring: bool = False
+    gpd: GpdThresholds = field(default_factory=GpdThresholds)
+    monitor: MonitorThresholds = field(default_factory=MonitorThresholds)
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("orig", "lpd"):
+            raise ConfigError(f"unknown policy {self.policy!r}")
+        if not 0.0 < self.hot_share < 1.0:
+            raise ConfigError("hot_share must lie in (0, 1)")
+        if self.deploy_cost < 0:
+            raise ConfigError("deploy_cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class RtoResult:
+    """Outcome of one policy run.
+
+    Attributes
+    ----------
+    policy:
+        Which policy produced this result.
+    timing:
+        Cycle accounting (base, saved, overheads).
+    n_deployments, n_unpatches:
+        Trace-cache event counts.
+    n_undone:
+        Deployments reverted by self-monitoring.
+    ledger:
+        Detector cost ledger of the run.
+    stable_fraction:
+        Fraction of intervals the driving detector called stable (GPD
+        declaration for ORIG; mean per-region stable fraction for LPD).
+    """
+
+    policy: str
+    timing: RtoTiming
+    n_deployments: int
+    n_unpatches: int
+    n_undone: int
+    ledger: CostLedger
+    stable_fraction: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Effective optimized duration."""
+        return self.timing.total_cycles
+
+    def speedup_over(self, other: "RtoResult") -> float:
+        """Relative speedup of this run over *other*."""
+        return self.timing.speedup_vs(other.timing)
+
+
+class RTOSystem:
+    """One benchmark + sampling period + policy, ready to run.
+
+    Parameters
+    ----------
+    binary:
+        The program (needed by LPD region formation).
+    regions:
+        Workload-region table; loop regions with non-zero
+        ``opt_potential`` are optimization candidates.
+    workload:
+        The benchmark's workload script.
+    sampling_period:
+        PMU cycles per interrupt.
+    config:
+        Policy and cost knobs.
+    seed:
+        PMU seed — use the same seed across policies for a paired
+        comparison.
+    """
+
+    def __init__(self, binary: SyntheticBinary,
+                 regions: dict[str, RegionSpec], workload: WorkloadScript,
+                 sampling_period: int, config: RtoConfig | None = None,
+                 seed: int = 0) -> None:
+        self.binary = binary
+        self.regions = dict(regions)
+        self.workload = workload
+        self.sampling_period = sampling_period
+        self.config = config or RtoConfig()
+        self.seed = seed
+
+    # -- candidate plumbing ----------------------------------------------
+
+    def _candidates(self) -> dict[str, Optimization]:
+        """Optimizations for every loop region, keyed by region name."""
+        candidates = {}
+        for name, spec in self.regions.items():
+            if spec.is_loop:
+                candidates[name] = Optimization(
+                    region_name=name, gain=spec.opt_potential,
+                    kind=OptimizationKind.PREFETCH,
+                    deploy_cost=self.config.deploy_cost)
+        return candidates
+
+    def _span_index(self) -> dict[tuple[int, int], str]:
+        """Map of (start, end) span -> workload region name."""
+        return {(spec.start, spec.end): name
+                for name, spec in self.regions.items()}
+
+    def _share_matrix(self, stream: SampleStream, n_intervals: int,
+                      buffer_size: int,
+                      names: list[str]) -> np.ndarray:
+        """Per-interval sample share of each candidate region."""
+        shares = np.zeros((n_intervals, len(names)))
+        if n_intervals == 0:
+            return shares
+        window = stream.pcs[:n_intervals * buffer_size].reshape(
+            n_intervals, buffer_size)
+        for column, name in enumerate(names):
+            spec = self.regions[name]
+            inside = (window >= spec.start) & (window < spec.end)
+            shares[:, column] = inside.mean(axis=1)
+        return shares
+
+    def _timing_model(self, n_intervals: int,
+                      buffer_size: int) -> TimingModel:
+        return TimingModel(
+            pieces=self.workload.compile(),
+            total_cycles=self.workload.total_cycles,
+            interval_cycles=buffer_size * self.sampling_period,
+            n_intervals=n_intervals,
+            region_order=sorted(self.regions))
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, stream: SampleStream | None = None) -> RtoResult:
+        """Simulate the configured policy; returns its result."""
+        if stream is None:
+            stream = simulate_sampling(self.regions, self.workload,
+                                       self.sampling_period, seed=self.seed)
+        if self.config.policy == "orig":
+            return self._run_orig(stream)
+        return self._run_lpd(stream)
+
+    def _finish(self, policy: str, stream: SampleStream, traces: TraceCache,
+                ledger: CostLedger, stable_fraction: float,
+                n_undone: int, buffer_size: int) -> RtoResult:
+        n_intervals = stream.n_intervals(buffer_size)
+        timing_model = self._timing_model(n_intervals, buffer_size)
+        active = traces.active_matrix(n_intervals, timing_model.region_order)
+        gains = {name: opt.gain
+                 for name, opt in self._candidates().items()}
+        detector_overhead = (ledger.total_ops
+                             if self.config.charge_detector_overhead
+                             else 0.0)
+        timing = timing_model.evaluate(
+            active, gains, traces.n_deployments, self.config.deploy_cost,
+            detector_overhead=detector_overhead)
+        return RtoResult(policy=policy, timing=timing,
+                         n_deployments=traces.n_deployments,
+                         n_unpatches=traces.n_unpatches,
+                         n_undone=n_undone, ledger=ledger,
+                         stable_fraction=stable_fraction)
+
+    def _run_orig(self, stream: SampleStream) -> RtoResult:
+        buffer_size = self.config.monitor.buffer_size
+        n_intervals = stream.n_intervals(buffer_size)
+        candidates = self._candidates()
+        names = sorted(candidates)
+        shares = self._share_matrix(stream, n_intervals, buffer_size, names)
+        centroids = stream.centroids(buffer_size)
+
+        detector = GlobalPhaseDetector(self.config.gpd)
+        ledger = CostLedger()
+        traces = TraceCache()
+        for interval in range(n_intervals):
+            ledger.charge_gpd_interval(buffer_size)
+            event = detector.observe_centroid(float(centroids[interval]))
+            if event is not None \
+                    and event.kind is PhaseEventKind.BECAME_UNSTABLE:
+                traces.unpatch_all(interval)
+            if detector.in_stable_phase:
+                for column, name in enumerate(names):
+                    if shares[interval, column] >= self.config.hot_share:
+                        traces.deploy(name, interval)
+        return self._finish("orig", stream, traces, ledger,
+                            detector.stable_time_fraction(), 0, buffer_size)
+
+    def _run_lpd(self, stream: SampleStream) -> RtoResult:
+        buffer_size = self.config.monitor.buffer_size
+        monitor = RegionMonitor(self.binary, self.config.monitor)
+        span_index = self._span_index()
+        candidates = self._candidates()
+        self_monitor = SelfMonitor() if self.config.self_monitoring else None
+        undone: set[str] = set()
+        n_undone = 0
+        traces = TraceCache()
+
+        for interval, window in stream.intervals(buffer_size):
+            report = monitor.process_interval(stream.pcs[window], interval)
+            for rid, event in report.events:
+                region = monitor.region_record(rid)
+                name = span_index.get((region.start, region.end))
+                if name is None or name not in candidates:
+                    continue
+                if event.kind is PhaseEventKind.BECAME_STABLE:
+                    if name not in undone:
+                        if traces.deploy(name, interval) \
+                                and self_monitor is not None:
+                            self_monitor.mark_deployed(rid)
+                else:
+                    if traces.unpatch(name, interval) \
+                            and self_monitor is not None:
+                        self_monitor.mark_unpatched(rid)
+            if self_monitor is not None:
+                self._self_monitor_step(monitor, traces, span_index,
+                                        candidates, self_monitor, undone,
+                                        interval)
+                n_undone = len(undone)
+
+        fractions = monitor.stable_time_fractions()
+        stable_fraction = (float(np.mean(list(fractions.values())))
+                           if fractions else 0.0)
+        return self._finish("lpd", stream, traces, monitor.ledger,
+                            stable_fraction, n_undone, buffer_size)
+
+    def _self_monitor_step(self, monitor: RegionMonitor, traces: TraceCache,
+                           span_index: dict[tuple[int, int], str],
+                           candidates: dict[str, Optimization],
+                           self_monitor: SelfMonitor, undone: set[str],
+                           interval: int) -> None:
+        """Feed per-region DPI to the self-monitor and undo harmful
+        optimizations."""
+        for region in monitor.live_regions():
+            name = span_index.get((region.start, region.end))
+            if name is None or name not in candidates:
+                continue
+            spec = self.regions[name]
+            deployed = traces.is_deployed(name)
+            metric = (candidates[name].observed_dpi(spec.dpi) if deployed
+                      else spec.dpi)
+            self_monitor.observe(region.rid, metric)
+            if deployed and self_monitor.should_undo(region.rid):
+                traces.unpatch(name, interval)
+                self_monitor.mark_unpatched(region.rid)
+                undone.add(name)
+
+
+def compare_policies(binary: SyntheticBinary,
+                     regions: dict[str, RegionSpec],
+                     workload: WorkloadScript, sampling_period: int,
+                     seed: int = 0,
+                     config_overrides: dict | None = None
+                     ) -> tuple[RtoResult, RtoResult, float]:
+    """Run ORIG and LPD on the same stream; return both plus the speedup.
+
+    The returned float is the Figure 17 statistic: the relative speedup of
+    RTO_LPD over RTO_ORIG.
+    """
+    overrides = config_overrides or {}
+    stream = simulate_sampling(regions, workload, sampling_period,
+                               seed=seed)
+    orig = RTOSystem(binary, regions, workload, sampling_period,
+                     RtoConfig(policy="orig", **overrides),
+                     seed=seed).run(stream)
+    lpd = RTOSystem(binary, regions, workload, sampling_period,
+                    RtoConfig(policy="lpd", **overrides),
+                    seed=seed).run(stream)
+    return orig, lpd, lpd.speedup_over(orig)

@@ -1,0 +1,132 @@
+"""Execution-time accounting for the simulated runtime optimizer.
+
+The workload timeline is exact ground truth for how many cycles each region
+executes in each interval, so the payoff of a deployment schedule can be
+integrated analytically::
+
+    saved = sum over (interval, region) of
+            active[interval, region] * region_cycles[interval, region]
+                                     * gain[region]
+    total = base_cycles - saved + deployment_overhead (+ detector overhead)
+
+This replaces the paper's wall-clock measurement on the UltraSPARC with a
+model whose *relative* outcomes (which policy deploys more of the time on
+which regions) carry the comparison — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.program.workload import Piece, region_cycles_per_window
+
+__all__ = ["TimingModel", "RtoTiming"]
+
+
+@dataclass(frozen=True)
+class RtoTiming:
+    """Cycle accounting of one policy run.
+
+    Attributes
+    ----------
+    base_cycles:
+        Unoptimized program duration.
+    saved_cycles:
+        Cycles removed by live optimizations.
+    deploy_overhead_cycles:
+        One-time deployment costs, summed.
+    detector_overhead_cycles:
+        Phase-detection work (0 unless the run charges it to the critical
+        path; the paper notes monitoring can run on a separate core).
+    """
+
+    base_cycles: float
+    saved_cycles: float
+    deploy_overhead_cycles: float
+    detector_overhead_cycles: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        """Effective optimized duration."""
+        return (self.base_cycles - self.saved_cycles
+                + self.deploy_overhead_cycles
+                + self.detector_overhead_cycles)
+
+    def speedup_vs(self, other: "RtoTiming") -> float:
+        """Relative speedup of *self* over *other* (0.10 = 10% faster)."""
+        if self.total_cycles <= 0:
+            raise ConfigError("degenerate timing: non-positive duration")
+        return other.total_cycles / self.total_cycles - 1.0
+
+    def speedup_vs_baseline(self) -> float:
+        """Relative speedup of this run over no optimization at all."""
+        if self.total_cycles <= 0:
+            raise ConfigError("degenerate timing: non-positive duration")
+        return self.base_cycles / self.total_cycles - 1.0
+
+
+class TimingModel:
+    """Per-interval region-cycle ground truth for one benchmark run.
+
+    Parameters
+    ----------
+    pieces:
+        Compiled workload timeline.
+    total_cycles:
+        Workload duration.
+    interval_cycles:
+        Cycles per buffer interval (buffer size x sampling period).
+    n_intervals:
+        Complete intervals in the run.
+    region_order:
+        Region names defining matrix columns.
+    """
+
+    def __init__(self, pieces: list[Piece], total_cycles: int,
+                 interval_cycles: int, n_intervals: int,
+                 region_order: list[str]) -> None:
+        if interval_cycles <= 0:
+            raise ConfigError("interval_cycles must be positive")
+        if n_intervals < 0:
+            raise ConfigError("n_intervals must be non-negative")
+        self.total_cycles = total_cycles
+        self.interval_cycles = interval_cycles
+        self.n_intervals = n_intervals
+        self.region_order = list(region_order)
+        self.cycles_matrix = region_cycles_per_window(
+            pieces, interval_cycles, n_intervals, self.region_order)
+
+    def evaluate(self, active: np.ndarray, gains: dict[str, float],
+                 n_deployments: int, deploy_cost: int,
+                 detector_overhead: float = 0.0) -> RtoTiming:
+        """Integrate a deployment schedule into cycle accounting.
+
+        Parameters
+        ----------
+        active:
+            Boolean ``(n_intervals, n_regions)`` activity matrix aligned
+            with ``region_order``.
+        gains:
+            Region name -> gain fraction (missing regions gain 0).
+        n_deployments:
+            Deployment events (each pays ``deploy_cost``).
+        deploy_cost:
+            Cycles per deployment event.
+        detector_overhead:
+            Detector cycles charged to the critical path, if any.
+        """
+        if active.shape != self.cycles_matrix.shape:
+            raise ConfigError(
+                f"activity matrix shape {active.shape} does not match "
+                f"timing matrix {self.cycles_matrix.shape}")
+        gain_vector = np.array([gains.get(name, 0.0)
+                                for name in self.region_order])
+        saved = float((self.cycles_matrix * active * gain_vector).sum())
+        return RtoTiming(
+            base_cycles=float(self.total_cycles),
+            saved_cycles=saved,
+            deploy_overhead_cycles=float(n_deployments * deploy_cost),
+            detector_overhead_cycles=float(detector_overhead))

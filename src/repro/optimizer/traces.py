@@ -1,0 +1,127 @@
+"""Deployed-trace bookkeeping: patching and unpatching over intervals.
+
+The modified RTO the paper compares against "unpatch[es] traces on a phase
+change, so that optimizations could be re-evaluated ... when the phase
+stabilizes".  The trace cache records every deploy/unpatch with its
+interval timestamp and can render an activity matrix: which regions'
+optimizations were live during which intervals.
+
+Deployment latency: a trace deployed during interval *t* (the optimizer
+reacts to that interval's buffer) is effective from interval *t + 1*; an
+unpatch at *t* removes the benefit from *t + 1* as well.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class TraceAction(enum.Enum):
+    """What happened to a region's trace."""
+
+    DEPLOY = "deploy"
+    UNPATCH = "unpatch"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One deploy or unpatch, timestamped by interval."""
+
+    interval_index: int
+    action: TraceAction
+    region_name: str
+
+
+@dataclass
+class _Deployment:
+    region_name: str
+    start_interval: int
+    end_interval: int | None = None  # None = still deployed
+
+
+class TraceCache:
+    """Tracks which regions have live optimized traces."""
+
+    def __init__(self) -> None:
+        self._active: dict[str, _Deployment] = {}
+        self._history: list[_Deployment] = []
+        self.events: list[TraceEvent] = []
+
+    # -- mutation ---------------------------------------------------------
+
+    def deploy(self, region_name: str, interval_index: int) -> bool:
+        """Deploy a trace for the region; no-op if already deployed.
+
+        Returns ``True`` if a new deployment happened.
+        """
+        if region_name in self._active:
+            return False
+        deployment = _Deployment(region_name, interval_index)
+        self._active[region_name] = deployment
+        self._history.append(deployment)
+        self.events.append(TraceEvent(interval_index, TraceAction.DEPLOY,
+                                      region_name))
+        return True
+
+    def unpatch(self, region_name: str, interval_index: int) -> bool:
+        """Remove the region's trace; no-op if none is deployed."""
+        deployment = self._active.pop(region_name, None)
+        if deployment is None:
+            return False
+        deployment.end_interval = interval_index
+        self.events.append(TraceEvent(interval_index, TraceAction.UNPATCH,
+                                      region_name))
+        return True
+
+    def unpatch_all(self, interval_index: int) -> int:
+        """Unpatch every live trace (the GPD policy's phase-change
+        response); returns how many were removed."""
+        removed = 0
+        for region_name in list(self._active):
+            if self.unpatch(region_name, interval_index):
+                removed += 1
+        return removed
+
+    # -- queries ------------------------------------------------------------
+
+    def is_deployed(self, region_name: str) -> bool:
+        """Whether the region currently has a live trace."""
+        return region_name in self._active
+
+    @property
+    def n_deployments(self) -> int:
+        """Total deployment events over the run."""
+        return sum(1 for e in self.events if e.action is TraceAction.DEPLOY)
+
+    @property
+    def n_unpatches(self) -> int:
+        """Total unpatch events over the run."""
+        return sum(1 for e in self.events if e.action is TraceAction.UNPATCH)
+
+    def active_matrix(self, n_intervals: int,
+                      region_order: list[str]) -> np.ndarray:
+        """Boolean ``(n_intervals, n_regions)`` activity matrix.
+
+        Entry ``[i, r]`` is ``True`` when region ``r``'s optimization was
+        effective during interval ``i`` — i.e. it was deployed strictly
+        before ``i`` and not unpatched before ``i``.
+        """
+        if n_intervals < 0:
+            raise ConfigError("n_intervals must be non-negative")
+        index = {name: i for i, name in enumerate(region_order)}
+        matrix = np.zeros((n_intervals, len(region_order)), dtype=bool)
+        for deployment in self._history:
+            column = index.get(deployment.region_name)
+            if column is None:
+                continue
+            first = deployment.start_interval + 1
+            last = (n_intervals if deployment.end_interval is None
+                    else deployment.end_interval + 1)
+            if first < last:
+                matrix[first:min(last, n_intervals), column] = True
+        return matrix

@@ -1,0 +1,54 @@
+"""Synthetic program substrate: binaries, behaviors, workloads."""
+
+from repro.program.behavior import (RegionSpec, blended_profile,
+                                    bottleneck_profile, shifted_profile,
+                                    uniform_profile)
+from repro.program.binary import (BinaryBuilder, CallSite, LoopShape,
+                                  Straight, SyntheticBinary, call, loop,
+                                  straight)
+from repro.program.cfg import ControlFlowGraph, Edge
+from repro.program.instructions import (CONTROL_FLOW, BasicBlock,
+                                        Instruction, Opcode)
+from repro.program.loops import (Loop, find_natural_loops,
+                                 innermost_loop_containing)
+from repro.program.procedures import Procedure
+from repro.program.workload import (Component, Drift, Mixture, Periodic,
+                                    Piece, Steady, WorkloadScript, mixture,
+                                    region_cycles,
+                                    region_cycles_per_window)
+
+__all__ = [
+    "RegionSpec",
+    "blended_profile",
+    "bottleneck_profile",
+    "shifted_profile",
+    "uniform_profile",
+    "BinaryBuilder",
+    "CallSite",
+    "LoopShape",
+    "Straight",
+    "SyntheticBinary",
+    "call",
+    "loop",
+    "straight",
+    "ControlFlowGraph",
+    "Edge",
+    "CONTROL_FLOW",
+    "BasicBlock",
+    "Instruction",
+    "Opcode",
+    "Loop",
+    "find_natural_loops",
+    "innermost_loop_containing",
+    "Procedure",
+    "Component",
+    "Drift",
+    "Mixture",
+    "Periodic",
+    "Piece",
+    "Steady",
+    "WorkloadScript",
+    "mixture",
+    "region_cycles",
+    "region_cycles_per_window",
+]

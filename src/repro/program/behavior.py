@@ -1,0 +1,184 @@
+"""Per-region execution behavior: sample-distribution profiles and traits.
+
+A *workload region* is a span of the synthetic binary (usually a named
+loop) together with:
+
+* one or more **profiles** — relative per-instruction weights describing
+  where cycle samples land while the region executes a given behavior
+  (e.g. which loads are missing the cache).  Switching a region between
+  profiles with different hot slots is how benchmark models encode real
+  local phase changes; keeping one profile while the region's *share* of
+  execution changes encodes mcf's globally-visible-but-locally-stable
+  drift.
+* **traits** the optimizer's payoff model uses: CPI, DPI (data-cache
+  misses per instruction) and the fraction of the region's cycles a
+  deployed optimization can remove (``opt_potential``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.errors import WorkloadError
+
+__all__ = [
+    "bottleneck_profile",
+    "uniform_profile",
+    "shifted_profile",
+    "blended_profile",
+    "RegionSpec",
+]
+
+
+def _normalize(weights: np.ndarray) -> np.ndarray:
+    total = weights.sum()
+    if total <= 0.0:
+        raise WorkloadError("profile weights must sum to a positive value")
+    return weights / total
+
+
+def uniform_profile(n_slots: int) -> np.ndarray:
+    """A flat profile: every instruction equally likely to be sampled."""
+    if n_slots < 1:
+        raise WorkloadError("profile needs at least one slot")
+    return np.full(n_slots, 1.0 / n_slots)
+
+
+def bottleneck_profile(n_slots: int, hot: dict[int, float],
+                       base: float = 1.0) -> np.ndarray:
+    """A profile with a low uniform floor and a few hot instructions.
+
+    Parameters
+    ----------
+    n_slots:
+        Region size in instructions.
+    hot:
+        Map of slot index -> weight *added* on top of the floor.  A cache-
+        missing load with weight 300 against ``base`` 1.0 reproduces the
+        single-spike histograms of the paper's Figure 8.
+    base:
+        Floor weight given to every slot.
+    """
+    if n_slots < 1:
+        raise WorkloadError("profile needs at least one slot")
+    weights = np.full(n_slots, float(base))
+    for slot, weight in hot.items():
+        if not 0 <= slot < n_slots:
+            raise WorkloadError(
+                f"hot slot {slot} outside region of {n_slots} slots")
+        if weight < 0.0:
+            raise WorkloadError("hot-slot weights must be non-negative")
+        weights[slot] += weight
+    return _normalize(weights)
+
+
+def shifted_profile(profile: np.ndarray, by: int = 1) -> np.ndarray:
+    """The same profile with every slot rotated *by* positions.
+
+    This is Figure 8's "shift bottleneck by 1 inst" transformation: the
+    workload models use it to create genuine local phase changes.
+    """
+    return _normalize(np.roll(np.asarray(profile, dtype=np.float64), by))
+
+
+def blended_profile(a: np.ndarray, b: np.ndarray, t: float) -> np.ndarray:
+    """Linear blend ``(1-t)*a + t*b`` of two equal-length profiles."""
+    if not 0.0 <= t <= 1.0:
+        raise WorkloadError(f"blend factor {t} outside [0, 1]")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise WorkloadError("blended profiles must have equal length")
+    return _normalize((1.0 - t) * a + t * b)
+
+
+@dataclass
+class RegionSpec:
+    """A workload region: an address span plus behavior profiles and traits.
+
+    Attributes
+    ----------
+    name:
+        Workload-level region name (benchmark models use the paper's
+        names, e.g. ``"146f0-14770"``).
+    start, end:
+        Half-open byte address span, usually a named loop of the binary.
+    profiles:
+        Profile name -> normalized per-slot weights.  Must contain
+        ``"main"``, the default profile.
+    cpi:
+        Cycles per instruction while executing this region.
+    dpi:
+        Data-cache misses per instruction (drives miss flags in the sample
+        stream and the prefetching payoff model).
+    opt_potential:
+        Fraction of the region's cycles a deployed optimization removes
+        (negative values model optimizations that hurt, exercising
+        self-monitoring).
+    is_loop:
+        ``False`` marks spans that are *not* loops (hot code in callees) —
+        loop-only region formation cannot monitor them and their samples
+        stay in the UCR, the gap/crafty pathology.
+    """
+
+    name: str
+    start: int
+    end: int
+    profiles: dict[str, np.ndarray] = field(default_factory=dict)
+    cpi: float = 1.0
+    dpi: float = 0.005
+    opt_potential: float = 0.0
+    is_loop: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise WorkloadError(
+                f"region {self.name!r} has invalid span "
+                f"[{self.start:#x}, {self.end:#x})")
+        if (self.end - self.start) % INSTRUCTION_BYTES != 0:
+            raise WorkloadError(
+                f"region {self.name!r} span is not instruction-aligned")
+        if not self.profiles:
+            self.profiles = {"main": uniform_profile(self.n_slots)}
+        if "main" not in self.profiles:
+            raise WorkloadError(
+                f"region {self.name!r} must define a 'main' profile")
+        for profile_name, weights in self.profiles.items():
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.size != self.n_slots:
+                raise WorkloadError(
+                    f"profile {profile_name!r} of region {self.name!r} has "
+                    f"{weights.size} slots, region has {self.n_slots}")
+            self.profiles[profile_name] = _normalize(weights)
+        if self.cpi <= 0.0:
+            raise WorkloadError(f"region {self.name!r} needs positive CPI")
+        if not 0.0 <= self.dpi <= 1.0:
+            raise WorkloadError(f"region {self.name!r} DPI outside [0, 1]")
+        if not -1.0 < self.opt_potential < 1.0:
+            raise WorkloadError(
+                f"region {self.name!r} opt_potential outside (-1, 1)")
+
+    @property
+    def n_slots(self) -> int:
+        """Region size in instruction slots."""
+        return (self.end - self.start) // INSTRUCTION_BYTES
+
+    def profile(self, name: str = "main") -> np.ndarray:
+        """Look up a profile by name."""
+        try:
+            return self.profiles[name]
+        except KeyError:
+            known = ", ".join(sorted(self.profiles))
+            raise WorkloadError(
+                f"region {self.name!r} has no profile {name!r} "
+                f"(profiles: {known})") from None
+
+    @classmethod
+    def for_loop(cls, name: str, span: tuple[int, int],
+                 **kwargs) -> "RegionSpec":
+        """Build a spec for a named loop span from a binary."""
+        start, end = span
+        return cls(name=name, start=start, end=end, **kwargs)

@@ -1,0 +1,459 @@
+"""The synthetic binary: procedures laid out in one address space.
+
+A :class:`BinaryBuilder` assembles procedures from *shapes* — straight-line
+runs, loops (optionally nested), and call sites — at explicit or
+automatically assigned addresses.  Explicit placement lets the benchmark
+models pin loops to the exact address ranges the paper names (e.g. 181.mcf's
+regions ``146f0-14770``, ``142c8-14318`` and ``13134-133d4``).
+
+The built :class:`SyntheticBinary` answers the queries region formation
+needs: which procedure contains an address, which is the innermost natural
+loop around it, and — for the inter-procedural extension — which caller
+loop invokes a given hot procedure.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.errors import AddressError
+from repro.program.instructions import BasicBlock, Instruction, Opcode
+from repro.program.loops import Loop, innermost_loop_containing
+from repro.program.procedures import Procedure
+
+__all__ = [
+    "Straight",
+    "LoopShape",
+    "CallSite",
+    "BranchShape",
+    "loop",
+    "straight",
+    "call",
+    "branch",
+    "BinaryBuilder",
+    "SyntheticBinary",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shapes: the layout DSL
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Straight:
+    """A straight-line block of *n* instructions (every 4th is a load)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise AddressError("straight shape needs at least 1 instruction")
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """A block of *n* instructions ending in a call to *callee*."""
+
+    callee: str
+    n: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise AddressError("call shape needs at least 1 instruction")
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+
+@dataclass(frozen=True)
+class LoopShape:
+    """A natural loop: header block, body shapes, latch block.
+
+    Attributes
+    ----------
+    name:
+        Loop label registered in the binary's named-range table; workload
+        models reference loops by these names.
+    body:
+        Shapes inside the loop (may nest further loops).
+    header_n, latch_n:
+        Instruction counts of the header and latch blocks.
+    """
+
+    name: str
+    body: tuple = ()
+    header_n: int = 2
+    latch_n: int = 2
+
+    def __post_init__(self) -> None:
+        if self.header_n < 1 or self.latch_n < 1:
+            raise AddressError("loop header/latch need >= 1 instruction")
+        if not self.body:
+            raise AddressError(f"loop {self.name!r} has an empty body")
+
+    @property
+    def size(self) -> int:
+        return (self.header_n + self.latch_n
+                + sum(shape.size for shape in self.body))
+
+
+@dataclass(frozen=True)
+class BranchShape:
+    """An if/else diamond: a test block, two arms, control re-joins after.
+
+    Attributes
+    ----------
+    then_shapes, else_shapes:
+        The two arms (each a shape sequence; may nest further shapes).
+    test_n:
+        Instruction count of the test block (ends in a branch).
+    """
+
+    then_shapes: tuple = ()
+    else_shapes: tuple = ()
+    test_n: int = 2
+
+    def __post_init__(self) -> None:
+        if self.test_n < 1:
+            raise AddressError("branch test block needs >= 1 instruction")
+        if not self.then_shapes or not self.else_shapes:
+            raise AddressError("branch needs both a then and an else arm")
+
+    @property
+    def size(self) -> int:
+        return (self.test_n
+                + sum(shape.size for shape in self.then_shapes)
+                + sum(shape.size for shape in self.else_shapes))
+
+
+def straight(n: int) -> Straight:
+    """Shorthand constructor for a straight-line shape."""
+    return Straight(n)
+
+
+def branch(then_shapes: int | list | tuple,
+           else_shapes: int | list | tuple, test_n: int = 2) -> BranchShape:
+    """Shorthand constructor for an if/else diamond.
+
+    Each arm may be an instruction count (one straight block) or a list
+    of nested shapes.
+    """
+
+    def resolve(arm) -> tuple:
+        if isinstance(arm, int):
+            return (Straight(arm),)
+        return tuple(arm)
+
+    return BranchShape(then_shapes=resolve(then_shapes),
+                       else_shapes=resolve(else_shapes), test_n=test_n)
+
+
+def call(callee: str, n: int = 4) -> CallSite:
+    """Shorthand constructor for a call-site shape."""
+    return CallSite(callee, n)
+
+
+def loop(name: str, *, body: int | list | tuple,
+         header_n: int = 2, latch_n: int = 2) -> LoopShape:
+    """Shorthand constructor for a loop shape.
+
+    ``body`` may be an instruction count (one straight block) or a list of
+    nested shapes.  ``loop("x", body=28)`` spans exactly ``28 + 4``
+    instructions with the default header and latch sizes.
+    """
+    if isinstance(body, int):
+        shapes: tuple = (Straight(body),)
+    else:
+        shapes = tuple(body)
+    return LoopShape(name=name, body=shapes, header_n=header_n,
+                     latch_n=latch_n)
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class _PendingProcedure:
+    name: str
+    shapes: tuple
+    start: int
+
+
+def _make_instructions(start: int, n: int, *, last: Opcode | None = None,
+                       last_target: int | None = None) -> list[Instruction]:
+    """Emit *n* instructions at *start*; every 4th is a load, the last may
+    be a control-flow instruction."""
+    instructions = []
+    for i in range(n):
+        address = start + i * INSTRUCTION_BYTES
+        if i == n - 1 and last is not None:
+            instructions.append(Instruction(address, last, last_target))
+        elif i % 4 == 3:
+            instructions.append(Instruction(address, Opcode.LOAD))
+        else:
+            instructions.append(Instruction(address, Opcode.ALU))
+    return instructions
+
+
+class BinaryBuilder:
+    """Incrementally lays out procedures and produces a SyntheticBinary.
+
+    Parameters
+    ----------
+    base:
+        Address where automatic placement starts.
+    gap:
+        Byte gap inserted between automatically placed procedures.
+    """
+
+    def __init__(self, base: int = 0x10000, gap: int = 0x40) -> None:
+        if base % INSTRUCTION_BYTES != 0 or gap % INSTRUCTION_BYTES != 0:
+            raise AddressError("base and gap must be instruction-aligned")
+        self._base = base
+        self._gap = gap
+        self._pending: list[_PendingProcedure] = []
+        self._cursor = base
+
+    def procedure(self, name: str, shapes: list | tuple,
+                  at: int | None = None) -> "BinaryBuilder":
+        """Add a procedure made of *shapes*, optionally at a fixed address.
+
+        Returns ``self`` for chaining.
+        """
+        if any(p.name == name for p in self._pending):
+            raise AddressError(f"duplicate procedure name {name!r}")
+        if not shapes:
+            raise AddressError(f"procedure {name!r} has no shapes")
+        start = self._cursor if at is None else at
+        if start % INSTRUCTION_BYTES != 0:
+            raise AddressError(f"procedure start {start:#x} is unaligned")
+        size_bytes = sum(s.size for s in shapes) * INSTRUCTION_BYTES
+        pending = _PendingProcedure(name=name, shapes=tuple(shapes),
+                                    start=start)
+        for other in self._pending:
+            other_size = sum(s.size for s in other.shapes) * INSTRUCTION_BYTES
+            if start < other.start + other_size and other.start < start + size_bytes:
+                raise AddressError(
+                    f"procedure {name!r} at {start:#x} overlaps "
+                    f"{other.name!r}")
+        self._pending.append(pending)
+        self._cursor = max(self._cursor, start + size_bytes + self._gap)
+        return self
+
+    def build(self) -> "SyntheticBinary":
+        """Resolve call targets, emit all blocks, and return the binary."""
+        entries = {p.name: p.start for p in self._pending}
+        procedures: list[Procedure] = []
+        named_loops: dict[str, tuple[int, int]] = {}
+        call_edges: set[tuple[str, str]] = set()
+
+        for pending in self._pending:
+            blocks: list[BasicBlock] = []
+            self._emit_shapes(pending, pending.shapes, pending.start, None,
+                              blocks, named_loops, call_edges, entries,
+                              top_level=True)
+            procedures.append(Procedure(pending.name, pending.start, blocks))
+        return SyntheticBinary(procedures, named_loops,
+                               frozenset(call_edges))
+
+    # -- emission -----------------------------------------------------------
+
+    def _emit_shapes(self, pending: _PendingProcedure, shapes: tuple,
+                     start: int, after: int | None,
+                     blocks: list[BasicBlock],
+                     named_loops: dict[str, tuple[int, int]],
+                     call_edges: set[tuple[str, str]],
+                     entries: dict[str, int], *,
+                     top_level: bool = False) -> None:
+        """Emit a shape sequence starting at *start*; control continues to
+        *after* when the sequence completes (``None`` = procedure return)."""
+        cursor = start
+        boundaries = []
+        for shape in shapes:
+            boundaries.append(cursor)
+            cursor += shape.size * INSTRUCTION_BYTES
+        for index, shape in enumerate(shapes):
+            shape_start = boundaries[index]
+            is_last = index == len(shapes) - 1
+            shape_after = after if is_last else boundaries[index + 1]
+            terminal = is_last and after is None and top_level
+            self._emit_one(pending, shape, shape_start, shape_after, blocks,
+                           named_loops, call_edges, entries,
+                           terminal=terminal)
+
+    def _emit_one(self, pending: _PendingProcedure, shape, start: int,
+                  after: int | None, blocks: list[BasicBlock],
+                  named_loops: dict[str, tuple[int, int]],
+                  call_edges: set[tuple[str, str]],
+                  entries: dict[str, int], *, terminal: bool) -> None:
+        if isinstance(shape, Straight):
+            last = Opcode.RET if terminal else None
+            instructions = _make_instructions(start, shape.n, last=last)
+            successors = () if after is None else (after,)
+            blocks.append(BasicBlock(start, tuple(instructions), successors))
+        elif isinstance(shape, CallSite):
+            if shape.callee not in entries:
+                raise AddressError(
+                    f"procedure {pending.name!r} calls unknown procedure "
+                    f"{shape.callee!r}")
+            instructions = _make_instructions(
+                start, shape.n, last=Opcode.CALL,
+                last_target=entries[shape.callee])
+            successors = () if after is None else (after,)
+            blocks.append(BasicBlock(start, tuple(instructions), successors))
+            call_edges.add((pending.name, shape.callee))
+        elif isinstance(shape, BranchShape):
+            test_start = start
+            then_start = test_start + shape.test_n * INSTRUCTION_BYTES
+            then_size = sum(s.size for s in shape.then_shapes) \
+                * INSTRUCTION_BYTES
+            else_start = then_start + then_size
+            test_instr = _make_instructions(
+                test_start, shape.test_n, last=Opcode.BRANCH,
+                last_target=else_start)
+            blocks.append(BasicBlock(test_start, tuple(test_instr),
+                                     (then_start, else_start)))
+            self._emit_shapes(pending, shape.then_shapes, then_start,
+                              after, blocks, named_loops, call_edges,
+                              entries)
+            self._emit_shapes(pending, shape.else_shapes, else_start,
+                              after, blocks, named_loops, call_edges,
+                              entries)
+        elif isinstance(shape, LoopShape):
+            if shape.name in named_loops:
+                raise AddressError(f"duplicate loop name {shape.name!r}")
+            header_start = start
+            body_start = header_start + shape.header_n * INSTRUCTION_BYTES
+            body_size = sum(s.size for s in shape.body) * INSTRUCTION_BYTES
+            latch_start = body_start + body_size
+            loop_end = latch_start + shape.latch_n * INSTRUCTION_BYTES
+            header_succ = ((body_start,) if after is None
+                           else (body_start, after))
+            header_instr = _make_instructions(
+                header_start, shape.header_n, last=Opcode.BRANCH,
+                last_target=body_start)
+            blocks.append(BasicBlock(header_start, tuple(header_instr),
+                                     header_succ))
+            self._emit_shapes(pending, shape.body, body_start, latch_start,
+                              blocks, named_loops, call_edges, entries)
+            latch_instr = _make_instructions(
+                latch_start, shape.latch_n, last=Opcode.BRANCH,
+                last_target=header_start)
+            blocks.append(BasicBlock(latch_start, tuple(latch_instr),
+                                     (header_start,)))
+            named_loops[shape.name] = (header_start, loop_end)
+        else:
+            raise AddressError(f"unknown shape {shape!r}")
+
+
+# ---------------------------------------------------------------------------
+# The built binary
+# ---------------------------------------------------------------------------
+
+class SyntheticBinary:
+    """An immutable laid-out binary with procedure / loop lookup.
+
+    Parameters
+    ----------
+    procedures:
+        The binary's procedures (non-overlapping address ranges).
+    named_loops:
+        Loop label -> (start, end) address span, as registered by the
+        builder.
+    call_edges:
+        (caller name, callee name) pairs.
+    """
+
+    def __init__(self, procedures: list[Procedure],
+                 named_loops: dict[str, tuple[int, int]] | None = None,
+                 call_edges: frozenset[tuple[str, str]] = frozenset()) -> None:
+        if not procedures:
+            raise AddressError("a binary needs at least one procedure")
+        self._procedures = sorted(procedures, key=lambda p: p.start)
+        for left, right in zip(self._procedures, self._procedures[1:]):
+            if left.end > right.start:
+                raise AddressError(
+                    f"procedures {left.name!r} and {right.name!r} overlap")
+        self._by_name = {p.name: p for p in self._procedures}
+        self._starts = [p.start for p in self._procedures]
+        self.named_loops = dict(named_loops or {})
+        self.call_edges = call_edges
+
+    # -- procedure queries ------------------------------------------------
+
+    @property
+    def procedures(self) -> list[Procedure]:
+        """The procedures, in address order."""
+        return list(self._procedures)
+
+    def procedure(self, name: str) -> Procedure:
+        """Look up a procedure by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AddressError(f"no procedure named {name!r}") from None
+
+    def procedure_at(self, address: int) -> Procedure | None:
+        """The procedure containing *address*, or ``None``."""
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index < 0:
+            return None
+        candidate = self._procedures[index]
+        return candidate if candidate.contains(address) else None
+
+    @property
+    def text_range(self) -> tuple[int, int]:
+        """Span from the first procedure's start to the last one's end."""
+        return self._procedures[0].start, self._procedures[-1].end
+
+    # -- loop queries ------------------------------------------------------
+
+    def innermost_loop_at(self, address: int) -> Loop | None:
+        """The innermost natural loop containing *address*, or ``None``."""
+        procedure = self.procedure_at(address)
+        if procedure is None:
+            return None
+        return innermost_loop_containing(procedure.loops, address)
+
+    def all_loops(self) -> list[tuple[Procedure, Loop]]:
+        """Every (procedure, loop) pair in the binary."""
+        return [(procedure, lp) for procedure in self._procedures
+                for lp in procedure.loops]
+
+    def loop_span(self, name: str) -> tuple[int, int]:
+        """Address span of a named loop."""
+        try:
+            return self.named_loops[name]
+        except KeyError:
+            raise AddressError(f"no loop named {name!r}") from None
+
+    # -- call-graph queries -------------------------------------------------
+
+    def callers_of(self, callee: str) -> set[str]:
+        """Names of procedures that call *callee*."""
+        return {caller for caller, target in self.call_edges
+                if target == callee}
+
+    def caller_loop_of(self, callee: str) -> tuple[Procedure, Loop] | None:
+        """A caller loop that invokes *callee*, if any caller calls it from
+        inside a loop.  Used by inter-procedural region formation."""
+        entry = self.procedure(callee).entry
+        for caller_name in sorted(self.callers_of(callee)):
+            caller = self.procedure(caller_name)
+            loops = caller.calls_inside_loops()
+            if entry in loops:
+                return caller, loops[entry]
+        return None
+
+    def __repr__(self) -> str:
+        lo, hi = self.text_range
+        return (f"SyntheticBinary({len(self._procedures)} procedures, "
+                f"text [{lo:#x}, {hi:#x}))")

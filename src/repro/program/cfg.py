@@ -1,0 +1,197 @@
+"""Control-flow graphs over basic blocks, with dominator computation.
+
+Region formation in the paper builds regions that "are primarily loops".
+Finding loops in a binary requires a CFG and dominators: a back edge is an
+edge whose target dominates its source, and each back edge induces a
+natural loop.  This module provides the per-procedure CFG and the classic
+iterative dominator analysis (Cooper/Harvey/Kennedy style, on reverse
+post-order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.program.instructions import BasicBlock
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A directed CFG edge between block start addresses."""
+
+    source: int
+    target: int
+
+
+class ControlFlowGraph:
+    """CFG of one procedure: blocks keyed by start address plus edges.
+
+    Parameters
+    ----------
+    entry:
+        Start address of the entry block.
+    blocks:
+        All blocks of the procedure.  Successor addresses must refer to
+        blocks in this collection.
+    """
+
+    def __init__(self, entry: int, blocks: list[BasicBlock]) -> None:
+        self._blocks: dict[int, BasicBlock] = {}
+        for block in blocks:
+            if block.start in self._blocks:
+                raise AddressError(
+                    f"duplicate basic block at {block.start:#x}")
+            self._blocks[block.start] = block
+        if entry not in self._blocks:
+            raise AddressError(f"entry block {entry:#x} not in block set")
+        for block in blocks:
+            for succ in block.successors:
+                if succ not in self._blocks:
+                    raise AddressError(
+                        f"block {block.start:#x} names unknown successor "
+                        f"{succ:#x}")
+        self.entry = entry
+        self._predecessors: dict[int, list[int]] = {
+            start: [] for start in self._blocks}
+        for block in blocks:
+            for succ in block.successors:
+                self._predecessors[succ].append(block.start)
+        self._rpo: list[int] | None = None
+        self._idom: dict[int, int] | None = None
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def blocks(self) -> dict[int, BasicBlock]:
+        """Blocks keyed by start address."""
+        return dict(self._blocks)
+
+    def block(self, start: int) -> BasicBlock:
+        """The block starting at *start*."""
+        try:
+            return self._blocks[start]
+        except KeyError:
+            raise AddressError(f"no basic block at {start:#x}") from None
+
+    def successors(self, start: int) -> tuple[int, ...]:
+        """Successor block addresses of the block at *start*."""
+        return self.block(start).successors
+
+    def predecessors(self, start: int) -> tuple[int, ...]:
+        """Predecessor block addresses of the block at *start*."""
+        self.block(start)
+        return tuple(self._predecessors[start])
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block_containing(self, address: int) -> BasicBlock | None:
+        """The block whose range contains *address*, if any."""
+        for block in self._blocks.values():
+            if block.contains(address):
+                return block
+        return None
+
+    # -- traversal ------------------------------------------------------------
+
+    def reverse_post_order(self) -> list[int]:
+        """Block addresses in reverse post-order from the entry.
+
+        Unreachable blocks are excluded (they cannot be part of a natural
+        loop reached from the entry).
+        """
+        if self._rpo is not None:
+            return list(self._rpo)
+        visited: set[int] = set()
+        order: list[int] = []
+
+        def visit(start: int) -> None:
+            # Iterative DFS to keep deep CFGs off the Python stack.
+            stack: list[tuple[int, int]] = [(start, 0)]
+            visited.add(start)
+            while stack:
+                node, index = stack[-1]
+                succs = self.block(node).successors
+                if index < len(succs):
+                    stack[-1] = (node, index + 1)
+                    nxt = succs[index]
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        self._rpo = order
+        return list(order)
+
+    def reachable(self) -> set[int]:
+        """Start addresses of blocks reachable from the entry."""
+        return set(self.reverse_post_order())
+
+    # -- dominators ------------------------------------------------------------
+
+    def immediate_dominators(self) -> dict[int, int]:
+        """Immediate dominator of every reachable block.
+
+        The entry maps to itself.  Classic iterative algorithm over
+        reverse post-order.
+        """
+        if self._idom is not None:
+            return dict(self._idom)
+        rpo = self.reverse_post_order()
+        position = {start: i for i, start in enumerate(rpo)}
+        idom: dict[int, int] = {self.entry: self.entry}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while position[a] > position[b]:
+                    a = idom[a]
+                while position[b] > position[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in rpo:
+                if node == self.entry:
+                    continue
+                candidates = [p for p in self._predecessors[node]
+                              if p in idom]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for pred in candidates[1:]:
+                    new_idom = intersect(new_idom, pred)
+                if idom.get(node) != new_idom:
+                    idom[node] = new_idom
+                    changed = True
+        self._idom = idom
+        return dict(idom)
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether block *a* dominates block *b* (reflexive)."""
+        idom = self.immediate_dominators()
+        if b not in idom:
+            return False
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom[node]
+            if parent == node:
+                return False
+            node = parent
+
+    def back_edges(self) -> list[Edge]:
+        """Edges whose target dominates their source (loop back edges)."""
+        edges = []
+        for start in self.reverse_post_order():
+            for succ in self.block(start).successors:
+                if self.dominates(succ, start):
+                    edges.append(Edge(source=start, target=succ))
+        return edges

@@ -1,0 +1,135 @@
+"""Instructions and basic blocks of the synthetic binary model.
+
+The paper's system operates on SPARC binaries: fixed 4-byte instructions,
+procedures made of basic blocks, loops as the primary unit of optimization.
+We model exactly as much of that as region formation and sample attribution
+need: addresses, opcode classes (loads matter for DPI and prefetching),
+branch targets, and block boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.errors import AddressError
+
+
+class Opcode(enum.Enum):
+    """Coarse instruction classes; enough to drive the behavior models."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    FP = "fp"
+    BRANCH = "branch"
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+
+
+#: Opcodes that transfer control and therefore end a basic block.
+CONTROL_FLOW = frozenset({Opcode.BRANCH, Opcode.CALL, Opcode.RET})
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One fixed-width instruction.
+
+    Attributes
+    ----------
+    address:
+        Byte address; must be 4-byte aligned.
+    opcode:
+        Coarse class of the instruction.
+    target:
+        Branch or call target address (``None`` for non-control-flow
+        instructions and returns).
+    """
+
+    address: int
+    opcode: Opcode = Opcode.ALU
+    target: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.address < 0 or self.address % INSTRUCTION_BYTES != 0:
+            raise AddressError(
+                f"instruction address {self.address:#x} is not "
+                f"{INSTRUCTION_BYTES}-byte aligned")
+        if self.target is not None and self.opcode not in CONTROL_FLOW:
+            raise AddressError(
+                f"{self.opcode.value} instruction cannot have a target")
+
+    @property
+    def is_control_flow(self) -> bool:
+        """Whether this instruction may transfer control."""
+        return self.opcode in CONTROL_FLOW
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether this instruction accesses memory."""
+        return self.opcode in (Opcode.LOAD, Opcode.STORE)
+
+
+@dataclass(frozen=True, slots=True)
+class BasicBlock:
+    """A straight-line run of instructions with a single entry and exit.
+
+    Attributes
+    ----------
+    start:
+        Address of the first instruction.
+    instructions:
+        The block's instructions, in address order and contiguous.
+    successors:
+        Start addresses of the blocks control may flow to next, *within
+        the same procedure* (calls fall through; returns have none).
+    """
+
+    start: int
+    instructions: tuple[Instruction, ...]
+    successors: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise AddressError(f"basic block at {self.start:#x} is empty")
+        if self.instructions[0].address != self.start:
+            raise AddressError(
+                f"block start {self.start:#x} does not match first "
+                f"instruction {self.instructions[0].address:#x}")
+        expected = self.start
+        for instruction in self.instructions:
+            if instruction.address != expected:
+                raise AddressError(
+                    f"non-contiguous instruction at "
+                    f"{instruction.address:#x}, expected {expected:#x}")
+            expected += INSTRUCTION_BYTES
+
+    @property
+    def end(self) -> int:
+        """One past the last instruction byte (half-open range end)."""
+        return self.start + len(self.instructions) * INSTRUCTION_BYTES
+
+    @property
+    def n_instructions(self) -> int:
+        """Number of instructions in the block."""
+        return len(self.instructions)
+
+    def contains(self, address: int) -> bool:
+        """Whether *address* lies inside the block's range."""
+        return self.start <= address < self.end
+
+    @property
+    def terminator(self) -> Instruction:
+        """The last instruction of the block."""
+        return self.instructions[-1]
+
+    def call_targets(self) -> tuple[int, ...]:
+        """Addresses of procedures this block calls."""
+        return tuple(i.target for i in self.instructions
+                     if i.opcode is Opcode.CALL and i.target is not None)
+
+    def __repr__(self) -> str:
+        return (f"BasicBlock([{self.start:#x}, {self.end:#x}), "
+                f"{self.n_instructions} instr, succ={[hex(s) for s in self.successors]})")

@@ -1,0 +1,124 @@
+"""Natural-loop detection over a procedure's CFG.
+
+The region builder "looks only for loops within procedures" (paper section
+3.1): each CFG back edge ``n -> h`` (where ``h`` dominates ``n``) induces a
+natural loop consisting of ``h`` plus every block that can reach ``n``
+without passing through ``h``.  Loops sharing a header are merged.  The
+loop's *address range* — the span from its lowest block start to its
+highest block end — is what becomes a monitored region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.cfg import ControlFlowGraph
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A natural loop of one procedure.
+
+    Attributes
+    ----------
+    header:
+        Start address of the loop header block.
+    blocks:
+        Start addresses of all blocks in the loop body (header included).
+    start, end:
+        Half-open byte address span covering every block of the loop.
+        Blocks of a natural loop need not be contiguous, but the region
+        builder monitors the covering span, exactly like a trace selector
+        that patches the loop's extent.
+    parent:
+        Header of the innermost enclosing loop, or ``None`` for a
+        top-level loop.
+    """
+
+    header: int
+    blocks: frozenset[int] = field(repr=False)
+    start: int = 0
+    end: int = 0
+    parent: int | None = None
+
+    @property
+    def n_instructions(self) -> int:
+        """Instruction slots in the covering address span."""
+        from repro.core.histogram import INSTRUCTION_BYTES
+
+        return (self.end - self.start) // INSTRUCTION_BYTES
+
+    def contains_address(self, address: int) -> bool:
+        """Whether *address* lies in the loop's covering span."""
+        return self.start <= address < self.end
+
+    def contains_block(self, block_start: int) -> bool:
+        """Whether the block at *block_start* belongs to the loop body."""
+        return block_start in self.blocks
+
+
+def _natural_loop_blocks(cfg: ControlFlowGraph, source: int,
+                         header: int) -> set[int]:
+    """Blocks of the natural loop induced by back edge ``source -> header``."""
+    body = {header, source}
+    worklist = [source]
+    while worklist:
+        node = worklist.pop()
+        if node == header:
+            continue
+        for pred in cfg.predecessors(node):
+            if pred not in body:
+                body.add(pred)
+                worklist.append(pred)
+    return body
+
+
+def find_natural_loops(cfg: ControlFlowGraph) -> list[Loop]:
+    """All natural loops of *cfg*, innermost-first, with nesting links.
+
+    Loops that share a header (multiple back edges to the same block) are
+    merged into one loop, as is conventional.
+    """
+    merged: dict[int, set[int]] = {}
+    for edge in cfg.back_edges():
+        body = _natural_loop_blocks(cfg, edge.source, edge.target)
+        merged.setdefault(edge.target, set()).update(body)
+
+    loops: list[Loop] = []
+    for header, body in merged.items():
+        start = min(cfg.block(b).start for b in body)
+        end = max(cfg.block(b).end for b in body)
+        loops.append(Loop(header=header, blocks=frozenset(body),
+                          start=start, end=end))
+
+    # Establish nesting: loop A is nested in B iff A's blocks are a strict
+    # subset of B's.  The parent is the smallest such B.
+    by_header = {loop.header: loop for loop in loops}
+    nested: list[Loop] = []
+    for loop in loops:
+        enclosing = [other for other in loops
+                     if other.header != loop.header
+                     and loop.blocks < other.blocks]
+        parent = None
+        if enclosing:
+            parent = min(enclosing, key=lambda o: len(o.blocks)).header
+        nested.append(Loop(header=loop.header, blocks=loop.blocks,
+                           start=loop.start, end=loop.end, parent=parent))
+    # Innermost (fewest blocks) first, so "first match" finds the
+    # innermost loop containing an address.
+    nested.sort(key=lambda loop: len(loop.blocks))
+    del by_header
+    return nested
+
+
+def innermost_loop_containing(loops: list[Loop], address: int) -> Loop | None:
+    """The innermost loop whose body contains *address*, or ``None``.
+
+    Containment is tested against the loop body's actual blocks when the
+    address falls in one, falling back to the covering span (the region
+    that would be monitored).
+    """
+    candidates = [loop for loop in loops if loop.contains_address(address)]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda loop: loop.end - loop.start)

@@ -1,0 +1,105 @@
+"""Procedures: named, contiguous spans of basic blocks with a CFG.
+
+The paper's region builder respects procedure boundaries: "a region
+formation algorithm that looks only for loops within procedures may find
+samples in a procedure that is called in a loop.  Since procedure
+boundaries are crossed, no regions are formed."  Procedures are therefore
+first-class: loops are found per procedure, and the call graph records the
+call-in-loop relationships the inter-procedural extension exploits.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.errors import AddressError
+from repro.program.cfg import ControlFlowGraph
+from repro.program.instructions import BasicBlock
+from repro.program.loops import Loop, find_natural_loops
+
+
+class Procedure:
+    """One procedure of the synthetic binary.
+
+    Parameters
+    ----------
+    name:
+        Symbolic name (e.g. ``"refresh_potential"``).
+    entry:
+        Entry block start address.
+    blocks:
+        All basic blocks, which must tile a contiguous address range.
+    """
+
+    def __init__(self, name: str, entry: int,
+                 blocks: list[BasicBlock]) -> None:
+        if not blocks:
+            raise AddressError(f"procedure {name!r} has no blocks")
+        ordered = sorted(blocks, key=lambda b: b.start)
+        for left, right in zip(ordered, ordered[1:]):
+            if left.end != right.start:
+                raise AddressError(
+                    f"procedure {name!r} has a gap between {left.end:#x} "
+                    f"and {right.start:#x}")
+        self.name = name
+        self.entry = entry
+        self._blocks = ordered
+        self.cfg = ControlFlowGraph(entry, ordered)
+
+    @property
+    def start(self) -> int:
+        """First byte address of the procedure."""
+        return self._blocks[0].start
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address (half-open)."""
+        return self._blocks[-1].end
+
+    @property
+    def blocks(self) -> list[BasicBlock]:
+        """The procedure's blocks in address order."""
+        return list(self._blocks)
+
+    @property
+    def n_instructions(self) -> int:
+        """Total instruction count."""
+        return sum(b.n_instructions for b in self._blocks)
+
+    def contains(self, address: int) -> bool:
+        """Whether *address* lies inside the procedure."""
+        return self.start <= address < self.end
+
+    @cached_property
+    def loops(self) -> list[Loop]:
+        """Natural loops of the procedure, innermost first."""
+        return find_natural_loops(self.cfg)
+
+    def call_targets(self) -> set[int]:
+        """Entry addresses of every procedure this one calls."""
+        targets: set[int] = set()
+        for block in self._blocks:
+            targets.update(block.call_targets())
+        return targets
+
+    def calls_inside_loops(self) -> dict[int, Loop]:
+        """Map of call-target entry address -> innermost loop making the call.
+
+        This is the structure the inter-procedural region-formation
+        extension needs: a callee that is hot because it is invoked from a
+        caller's loop can be folded into that loop's region.
+        """
+        result: dict[int, Loop] = {}
+        for block in self._blocks:
+            if not block.call_targets():
+                continue
+            for loop in self.loops:  # innermost first
+                if loop.contains_block(block.start):
+                    for target in block.call_targets():
+                        result.setdefault(target, loop)
+                    break
+        return result
+
+    def __repr__(self) -> str:
+        return (f"Procedure({self.name!r}, [{self.start:#x}, {self.end:#x}), "
+                f"{len(self._blocks)} blocks, {len(self.loops)} loops)")

@@ -1,0 +1,1075 @@
+"""Synthetic models of the paper's SPEC CPU2000 benchmarks.
+
+The paper evaluates on SPEC CPU2000 binaries running on UltraSPARC
+hardware; we cannot run those, so each benchmark is modeled as a synthetic
+binary plus a workload script *calibrated to the behavior the paper
+describes for that program* (see DESIGN.md §2).  Every builder's docstring
+quotes the claim it encodes.  Three address ranges are bit-exact with the
+paper: 181.mcf's regions ``13134-133d4``, ``142c8-14318`` and
+``146f0-14770`` (Figure 9) and 254.gap's ``7ba2c-7ba78`` and ``8d25c-8d314``
+(Figure 11).
+
+Durations are expressed in units of the 45k-period buffer interval
+(``INTERVAL_45K`` = 2032 samples x 45000 cycles ≈ 91.4M cycles); a model
+with duration 1000 yields ~1000 intervals at the 45k sampling period, ~100
+at 450k and ~50 at 900k, which is what makes the sampling-period
+sensitivity experiments (Figures 3/4 vs. 13/14) meaningful.  Absolute
+phase-change counts therefore scale with the modeled duration; the paper's
+SPARC runs were longer, so shapes and orderings — not absolute counts —
+are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.thresholds import DEFAULT_BUFFER_SIZE
+from repro.errors import ConfigError
+from repro.program.behavior import RegionSpec, bottleneck_profile
+from repro.program.binary import BinaryBuilder, SyntheticBinary, call, loop, straight
+from repro.program.workload import (Drift, Mixture, Periodic, Steady,
+                                    WorkloadScript, mixture)
+
+__all__ = [
+    "INTERVAL_45K",
+    "BenchmarkModel",
+    "SUITE",
+    "FIG3_BENCHMARKS",
+    "FIG6_BENCHMARKS",
+    "FIG13_BENCHMARKS",
+    "FIG15_BENCHMARKS",
+    "FIG16_BENCHMARKS",
+    "FIG17_BENCHMARKS",
+    "get_benchmark",
+    "benchmark_names",
+]
+
+#: Cycles per buffer interval at the 45k-cycle sampling period.
+INTERVAL_45K = DEFAULT_BUFFER_SIZE * 45_000
+
+
+@dataclass(frozen=True)
+class BenchmarkModel:
+    """One synthetic benchmark: binary + regions + workload.
+
+    Attributes
+    ----------
+    name:
+        SPEC-style name (``"181.mcf"``).
+    binary:
+        The synthetic binary (loops at concrete addresses).
+    regions:
+        Workload-region table feeding the PMU simulator and the optimizer.
+    workload:
+        The benchmark's phase script.
+    description:
+        The paper-reported behavior this model encodes.
+    selected_region_names:
+        Workload-region names in the paper's r1, r2, ... order for the
+        per-region figures (13/14).
+    """
+
+    name: str
+    binary: SyntheticBinary
+    regions: dict[str, RegionSpec]
+    workload: WorkloadScript
+    description: str
+    selected_region_names: tuple[str, ...] = ()
+
+    def region_span(self, workload_name: str) -> tuple[int, int]:
+        """Address span of a workload region (= its monitored-region name)."""
+        spec = self.regions[workload_name]
+        return spec.start, spec.end
+
+    def monitored_name(self, workload_name: str) -> str:
+        """The ``start-end`` name the region monitor will give this region."""
+        start, end = self.region_span(workload_name)
+        return f"{start:x}-{end:x}"
+
+
+def _rng_for(name: str) -> np.random.Generator:
+    """Deterministic per-benchmark RNG (stable across processes)."""
+    return np.random.default_rng(zlib.crc32(name.encode()))
+
+
+def _hot_profile(slots: int, rng: np.random.Generator,
+                 n_hot: int = 2) -> np.ndarray:
+    """A generic loop profile: a couple of hot (cache-missing) loads."""
+    hot_slots = rng.choice(slots, size=min(n_hot, slots), replace=False)
+    weights = {int(slot): float(rng.uniform(30.0, 90.0))
+               for slot in hot_slots}
+    return bottleneck_profile(slots, weights)
+
+
+# ---------------------------------------------------------------------------
+# Binary construction helpers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _LoopSite:
+    """A loop to lay out: one procedure wrapping one loop."""
+
+    name: str
+    at: int
+    slots: int  # total span, header + body + latch
+
+    def __post_init__(self) -> None:
+        if self.slots < 5:
+            raise ConfigError(f"loop {self.name!r} needs >= 5 slots")
+
+
+@dataclass(frozen=True)
+class _ProcSite:
+    """A non-loop procedure (UCR fodder), optionally called from a loop."""
+
+    name: str
+    at: int
+    slots: int
+    called_from_loop: bool = True
+
+
+def _build_binary(loops: list[_LoopSite], procs: list[_ProcSite] = (),
+                  driver_at: int = 0x0F000) -> SyntheticBinary:
+    """Lay out loops and UCR procedures, plus a driver that calls the
+    call-in-loop procedures from inside a loop (the gap/crafty shape)."""
+    builder = BinaryBuilder(base=driver_at)
+    for site in procs:
+        builder.procedure(site.name, [straight(site.slots)], at=site.at)
+    for site in loops:
+        builder.procedure(f"p_{site.name}",
+                          [loop(site.name, body=site.slots - 4)],
+                          at=site.at)
+    callees = [site.name for site in procs if site.called_from_loop]
+    if callees:
+        shapes = [straight(2)]
+        body = [straight(2)] + [call(name) for name in callees]
+        shapes.append(loop("_driver_loop", body=body))
+        shapes.append(straight(2))
+        builder.procedure("_driver", shapes, at=driver_at)
+    return builder.build()
+
+
+def _loop_region(binary: SyntheticBinary, name: str,
+                 profiles: dict[str, np.ndarray] | None = None,
+                 **traits) -> RegionSpec:
+    """RegionSpec for a named loop of the binary."""
+    start, end = binary.loop_span(name)
+    return RegionSpec(name=name, start=start, end=end,
+                      profiles=profiles or {}, **traits)
+
+
+def _proc_region(binary: SyntheticBinary, name: str,
+                 profiles: dict[str, np.ndarray] | None = None,
+                 **traits) -> RegionSpec:
+    """RegionSpec for a non-loop procedure (UCR-destined code)."""
+    procedure = binary.procedure(name)
+    return RegionSpec(name=name, start=procedure.start, end=procedure.end,
+                      profiles=profiles or {}, is_loop=False, **traits)
+
+
+def _duration(intervals: float) -> int:
+    """Cycles for a duration given in 45k-interval units."""
+    return int(round(intervals * INTERVAL_45K))
+
+
+# ---------------------------------------------------------------------------
+# Generic builders (the stable / multi-phase / flapper templates)
+# ---------------------------------------------------------------------------
+
+def _generic_suite_model(name: str, *, loop_plan: list[tuple[int, int, float]],
+                         ucr_weight: float, phases: list[dict] | None,
+                         duration_intervals: float,
+                         flapper: dict | None = None,
+                         opt_potential: float = 0.05,
+                         dpi: float = 0.01,
+                         called_from_loop: bool = True,
+                         selected: int = 2) -> BenchmarkModel:
+    """Shared machinery for the suite's less-special benchmarks.
+
+    Parameters
+    ----------
+    loop_plan:
+        ``(address, slots, weight)`` per loop; weights are relative among
+        loops and scaled to ``1 - ucr_weight``.
+    ucr_weight:
+        Share of execution in non-loop procedure code.
+    phases:
+        Optional list of ``{"intervals": n, "weights": [per-loop relative
+        weights]}`` dictionaries, executed in order as Steady segments; the
+        default is one steady phase using ``loop_plan`` weights.
+    flapper:
+        Optional ``{"switch_intervals": s, "swing": fraction,
+        "intervals": n}``: append a Periodic segment that moves ``swing``
+        of the loop weight mass between the lowest- and highest-address
+        loops every ``s`` intervals — the pattern behind the paper's
+        sampling-period sensitivity.
+    """
+    rng = _rng_for(name)
+    loops = [_LoopSite(f"{name.split('.')[-1]}_l{i}", at, slots)
+             for i, (at, slots, _weight) in enumerate(loop_plan)]
+    procs = []
+    if ucr_weight > 0.0:
+        procs = [_ProcSite(f"{name.split('.')[-1]}_u0", 0x16000, 96,
+                           called_from_loop)]
+    binary = _build_binary(loops, procs)
+
+    regions: dict[str, RegionSpec] = {}
+    for site, (_at, slots, _weight) in zip(loops, loop_plan):
+        regions[site.name] = _loop_region(
+            binary, site.name,
+            profiles={"main": _hot_profile(slots, rng)},
+            dpi=dpi, opt_potential=opt_potential)
+    for proc_site in procs:
+        regions[proc_site.name] = _proc_region(
+            binary, proc_site.name,
+            profiles={"main": _hot_profile(proc_site.slots, rng)},
+            dpi=0.004)
+
+    loop_names = [site.name for site in loops]
+    base_weights = np.array([w for (_a, _s, w) in loop_plan], dtype=float)
+
+    def mix_for(weights: np.ndarray) -> Mixture:
+        weights = np.asarray(weights, dtype=float)
+        weights = weights / weights.sum() * (1.0 - ucr_weight)
+        parts = [(n, float(w)) for n, w in zip(loop_names, weights)
+                 if w > 1e-9]
+        if ucr_weight > 0.0:
+            parts.append((procs[0].name, ucr_weight))
+        return mixture(*parts)
+
+    segments: list = []
+    if phases:
+        for phase in phases:
+            segments.append(Steady(_duration(phase["intervals"]),
+                                   mix_for(np.asarray(phase["weights"]))))
+    else:
+        segments.append(Steady(_duration(duration_intervals),
+                               mix_for(base_weights)))
+
+    if flapper:
+        # Move `swing` of the loop weight mass between the low-address and
+        # high-address halves of the loop set: a working-set tilt the
+        # centroid sees, scaled proportionally so it works for any weight
+        # distribution.
+        addresses = np.array([a for (a, _s, _w) in loop_plan], dtype=float)
+        low_half = addresses <= np.median(addresses)
+        total = base_weights.sum()
+        delta = flapper["swing"] * total
+
+        def tilted(toward_low: bool) -> np.ndarray:
+            source = ~low_half if toward_low else low_half
+            sink = low_half if toward_low else ~low_half
+            weights = base_weights.copy()
+            movable = min(delta, weights[source].sum() * 0.9)
+            weights[source] *= 1.0 - movable / weights[source].sum()
+            weights[sink] *= 1.0 + movable / weights[sink].sum()
+            return weights
+
+        segments.append(Periodic(
+            _duration(flapper["intervals"]),
+            (mix_for(tilted(True)), mix_for(tilted(False))),
+            switch_period=_duration(flapper["switch_intervals"])))
+
+    workload = WorkloadScript(segments)
+    return BenchmarkModel(
+        name=name, binary=binary, regions=regions, workload=workload,
+        description=f"generic suite model for {name}",
+        selected_region_names=tuple(loop_names[:selected]))
+
+
+# ---------------------------------------------------------------------------
+# 181.mcf — Figures 2, 9, 10, 13, 14, 17
+# ---------------------------------------------------------------------------
+
+def _build_mcf() -> BenchmarkModel:
+    """181.mcf, the paper's running example.
+
+    Encoded claims: region ``146f0-14770`` "takes up a large fraction of
+    execution time in the beginning and it diminishes towards the end,
+    whereas another region (``142c8-14318``) initially takes a small
+    fraction of execution but later executes for a larger fraction"; the
+    application "shows a transition from non-periodic to periodic behavior
+    of regions"; "the phase remains unstable for quite some time towards
+    the end of execution"; "at low sampling rates (1,500,000
+    cycles/interrupt), 181.mcf stays in an unstable phase for a long
+    time"; locally, "in spite of changes in the fraction of execution time
+    of regions, the samples show very high correlation between intervals"
+    (Figure 10).
+    """
+    rng = _rng_for("181.mcf")
+    loops = [
+        _LoopSite("mcf_r3", 0x13134, 168),   # 13134-133d4
+        _LoopSite("mcf_r2", 0x142C8, 20),    # 142c8-14318
+        _LoopSite("mcf_r1", 0x146F0, 32),    # 146f0-14770
+        _LoopSite("mcf_r4", 0x60000, 64),    # refresh/aux loop, far away
+    ]
+    procs = [_ProcSite("mcf_u0", 0x16000, 96, called_from_loop=False)]
+    binary = _build_binary(loops, procs)
+    regions = {
+        "mcf_r1": _loop_region(binary, "mcf_r1",
+                               profiles={"main": bottleneck_profile(
+                                   32, {9: 320.0, 21: 60.0})},
+                               dpi=0.09, opt_potential=0.32),
+        "mcf_r2": _loop_region(binary, "mcf_r2",
+                               profiles={"main": bottleneck_profile(
+                                   20, {6: 260.0, 14: 70.0})},
+                               dpi=0.09, opt_potential=0.30),
+        "mcf_r3": _loop_region(binary, "mcf_r3",
+                               profiles={"main": bottleneck_profile(
+                                   168, {40: 220.0, 90: 120.0, 150: 60.0})},
+                               dpi=0.07, opt_potential=0.22),
+        "mcf_r4": _loop_region(binary, "mcf_r4",
+                               profiles={"main": _hot_profile(64, rng)},
+                               dpi=0.03, opt_potential=0.10),
+        "mcf_u0": _proc_region(binary, "mcf_u0",
+                               profiles={"main": _hot_profile(96, rng)},
+                               dpi=0.01),
+    }
+
+    def mix(r1, r2, r3, r4, u=0.10):
+        return mixture(("mcf_r1", r1), ("mcf_r2", r2), ("mcf_r3", r3),
+                       ("mcf_r4", r4), ("mcf_u0", u))
+
+    early = mix(0.52, 0.04, 0.20, 0.14)
+    mid_a = mix(0.38, 0.18, 0.20, 0.14)
+    mid_b = mix(0.30, 0.18, 0.20, 0.22)
+    late = mix(0.06, 0.44, 0.18, 0.22)
+    tail_p = mix(0.05, 0.48, 0.17, 0.20)
+    tail_q = mix(0.05, 0.22, 0.17, 0.46)
+    workload = WorkloadScript([
+        Steady(_duration(100), early),
+        Drift(_duration(180), early, mid_a, steps=12),
+        Steady(_duration(60), mid_b),
+        Drift(_duration(180), mid_b, late, steps=12),
+        Steady(_duration(80), late),
+        # The periodic tail: non-periodic -> periodic transition.  The
+        # 60-interval switch period resolves at the 45k-100k sampling
+        # periods (many quick phase changes, mostly stable) but aliases
+        # against the larger 800k-1.5M intervals, which is what leaves
+        # the GPD unstable there — and RTO_LPD ahead (Figure 17).
+        Periodic(_duration(900), (tail_p, tail_q),
+                 switch_period=_duration(60)),
+    ])
+    return BenchmarkModel(
+        name="181.mcf", binary=binary, regions=regions, workload=workload,
+        description=("region trade-off with late periodic behavior; "
+                     "locally stable throughout (r ~ 1)"),
+        selected_region_names=("mcf_r1", "mcf_r2"))
+
+
+# ---------------------------------------------------------------------------
+# 187.facerec — Figures 3, 4, 5, 13, 14
+# ---------------------------------------------------------------------------
+
+def _build_facerec() -> BenchmarkModel:
+    """187.facerec: "periodically executes switches between 2 sets of
+    regions.  This causes frequent phase changes" although "there are few
+    actual phase changes" (Figure 5); it "spends a large percentage of
+    time in unstable phase"."""
+    rng = _rng_for("187.facerec")
+    loops = [
+        _LoopSite("face_f1", 0x18000, 48),
+        _LoopSite("face_f2", 0x1C000, 40),
+        _LoopSite("face_f3", 0x90000, 56),
+        _LoopSite("face_f4", 0x98000, 36),
+    ]
+    procs = [_ProcSite("face_u0", 0x20000, 64, called_from_loop=False)]
+    binary = _build_binary(loops, procs)
+    regions = {site.name: _loop_region(
+        binary, site.name, profiles={"main": _hot_profile(site.slots, rng)},
+        dpi=0.02, opt_potential=0.08) for site in loops}
+    regions["face_u0"] = _proc_region(
+        binary, "face_u0", profiles={"main": _hot_profile(64, rng)})
+
+    set_a = mixture(("face_f1", 0.55), ("face_f2", 0.28),
+                    ("face_f3", 0.05), ("face_u0", 0.12))
+    set_b = mixture(("face_f3", 0.52), ("face_f4", 0.31),
+                    ("face_f1", 0.05), ("face_u0", 0.12))
+    workload = WorkloadScript([
+        Steady(_duration(40), set_a),
+        Periodic(_duration(960), (set_b, set_a),
+                 switch_period=_duration(14)),
+    ])
+    return BenchmarkModel(
+        name="187.facerec", binary=binary, regions=regions,
+        workload=workload,
+        description="periodic switching between two region sets",
+        selected_region_names=("face_f1", "face_f3", "face_f4"))
+
+
+# ---------------------------------------------------------------------------
+# 254.gap — Figures 3, 4, 6, 7, 11, 13, 14, 17
+# ---------------------------------------------------------------------------
+
+def _build_gap() -> BenchmarkModel:
+    """254.gap: ">30% samples in UCR" that stays high "even after frequent
+    region formation triggers" (Figures 6/7); "a large number of phase
+    changes at low sampling periods and few phase changes as sampling
+    period increases"; region ``7ba2c-7ba78`` "is more stable than"
+    ``8d25c-8d314`` (Figure 11); one "short lived region with few samples"
+    racks up ~120 local phase changes at the 45k period (Figure 13)."""
+    rng = _rng_for("254.gap")
+    loops = [
+        _LoopSite("gap_g4", 0x30000, 40),
+        _LoopSite("gap_g3", 0x50000, 24),            # short-lived, erratic
+        _LoopSite("gap_g1", 0x7BA2C, 19),            # 7ba2c-7ba78
+        _LoopSite("gap_g2", 0x8D25C, 46),            # 8d25c-8d314
+    ]
+    procs = [
+        _ProcSite("gap_u1", 0x20000, 80),
+        _ProcSite("gap_u2", 0x28000, 64),
+    ]
+    binary = _build_binary(loops, procs)
+
+    g2_base = bottleneck_profile(46, {12: 200.0, 30: 90.0})
+    g2_alt = bottleneck_profile(46, {20: 200.0, 38: 90.0})
+    g3_profiles = {
+        f"p{k}": bottleneck_profile(24, {(3 + 5 * k) % 24: 180.0,
+                                         (11 + 5 * k) % 24: 70.0})
+        for k in range(4)
+    }
+    g3_profiles["main"] = g3_profiles["p0"]
+    regions = {
+        "gap_g1": _loop_region(binary, "gap_g1",
+                               profiles={"main": bottleneck_profile(
+                                   19, {5: 240.0, 13: 50.0})},
+                               dpi=0.04, opt_potential=0.16),
+        "gap_g2": _loop_region(binary, "gap_g2",
+                               profiles={"main": g2_base, "alt": g2_alt},
+                               dpi=0.04, opt_potential=0.15),
+        "gap_g3": _loop_region(binary, "gap_g3", profiles=g3_profiles,
+                               dpi=0.02, opt_potential=0.02),
+        "gap_g4": _loop_region(binary, "gap_g4",
+                               profiles={"main": _hot_profile(40, rng)},
+                               dpi=0.03, opt_potential=0.13),
+        "gap_u1": _proc_region(binary, "gap_u1",
+                               profiles={"main": _hot_profile(80, rng)}),
+        "gap_u2": _proc_region(binary, "gap_u2",
+                               profiles={"main": _hot_profile(64, rng)}),
+    }
+
+    def base_mix(g2_profile: str, toward_g1: bool) -> Mixture:
+        shift = 0.10 if toward_g1 else 0.0
+        return mixture(("gap_g1", 0.18 + shift),
+                       ("gap_g2", 0.21, g2_profile),
+                       ("gap_g4", 0.28 - shift),
+                       ("gap_u1", 0.20), ("gap_u2", 0.13))
+
+    def burst_mix(g2_profile: str, burst_profile: str) -> Mixture:
+        return mixture(("gap_g3", 0.30, burst_profile),
+                       ("gap_g1", 0.12), ("gap_g2", 0.13, g2_profile),
+                       ("gap_g4", 0.12),
+                       ("gap_u1", 0.20), ("gap_u2", 0.13))
+
+    def macro_mixtures(g2_profile: str) -> tuple[Mixture, ...]:
+        # 48-interval macro-cycle, expressed as 2-interval slots: 20
+        # intervals leaning g4, a 4-interval burst of the erratic
+        # short-lived region g3, 20 intervals leaning g1, another burst.
+        # The ~24-interval half-period keeps the GPD flapping at the
+        # 45k-100k sampling periods while the 450k+ intervals average it
+        # away; the bursts carry the LPD-visible instability and rotate
+        # their profile across four concatenated macro-cycles.
+        slots: list[Mixture] = []
+        for cycle in range(4):
+            slots += [base_mix(g2_profile, False)] * 6
+            slots += [burst_mix(g2_profile, f"p{cycle % 4}")] * 2
+            slots += [base_mix(g2_profile, True)] * 6
+        return tuple(slots)
+
+    # g2 flips its bottleneck profile at half-time — the "less stable"
+    # region of Figure 11.
+    workload = WorkloadScript([
+        Periodic(_duration(750), macro_mixtures("main"),
+                 switch_period=_duration(2)),
+        Periodic(_duration(750), macro_mixtures("alt"),
+                 switch_period=_duration(2)),
+    ])
+    return BenchmarkModel(
+        name="254.gap", binary=binary, regions=regions, workload=workload,
+        description=("persistently high UCR; fine-grained global jitter; "
+                     "one stable and one less-stable region plus an "
+                     "erratic short-lived one"),
+        selected_region_names=("gap_g1", "gap_g2", "gap_g3", "gap_g4"))
+
+
+# ---------------------------------------------------------------------------
+# 188.ammp — Figures 13, 14 (the near-threshold aberration)
+# ---------------------------------------------------------------------------
+
+def _build_ammp() -> BenchmarkModel:
+    """188.ammp: "an aberration showing large number of phase changes at
+    low sampling periods.  We observed that the r value lies just below
+    the threshold.  Since the region is very large, the granularity
+    limitation breaks down" (section 3.2.2).  One 1600-instruction loop
+    whose hot-slot set wanders on a ~1.3-interval time scale: at 45k the
+    buffer sees one wander step at a time (r straddles 0.8), at 900k it
+    averages ~15 steps (r ~ 0.99)."""
+    rng = _rng_for("188.ammp")
+    loops = [
+        _LoopSite("ammp_a1", 0x40000, 1600),
+        _LoopSite("ammp_a2", 0x20000, 32),
+    ]
+    procs = [_ProcSite("ammp_u0", 0x16000, 96, called_from_loop=False)]
+    binary = _build_binary(loops, procs)
+
+    common = {int(s): 80.0 for s in rng.choice(1600, size=12,
+                                               replace=False)}
+    wander_profiles: dict[str, np.ndarray] = {}
+    for k in range(4):
+        variable = {int(s): 63.0
+                    for s in rng.choice(1600, size=6, replace=False)}
+        wander_profiles[f"w{k}"] = bottleneck_profile(
+            1600, {**common, **variable})
+    wander_profiles["main"] = wander_profiles["w0"]
+
+    regions = {
+        "ammp_a1": _loop_region(binary, "ammp_a1",
+                                profiles=wander_profiles, dpi=0.05,
+                                opt_potential=0.12),
+        "ammp_a2": _loop_region(binary, "ammp_a2",
+                                profiles={"main": _hot_profile(32, rng)},
+                                dpi=0.02, opt_potential=0.05),
+        "ammp_u0": _proc_region(binary, "ammp_u0",
+                                profiles={"main": _hot_profile(96, rng)}),
+    }
+    wander_mixes = tuple(
+        mixture(("ammp_a1", 0.80, f"w{k}"), ("ammp_a2", 0.10),
+                ("ammp_u0", 0.10))
+        for k in range(4))
+    workload = WorkloadScript([
+        Periodic(_duration(800), wander_mixes,
+                 switch_period=_duration(1.3)),
+    ])
+    return BenchmarkModel(
+        name="188.ammp", binary=binary, regions=regions, workload=workload,
+        description="huge region with near-threshold r at fine periods",
+        selected_region_names=("ammp_a1", "ammp_a2"))
+
+
+# ---------------------------------------------------------------------------
+# 186.crafty — Figures 6, 7 (UCR that formation cannot reduce)
+# ---------------------------------------------------------------------------
+
+def _build_crafty() -> BenchmarkModel:
+    """186.crafty: "tries to form regions on every buffer overflow but the
+    percentage of samples in UCR does not reduce.  This is due to a
+    current limitation of the region building algorithm" (Figure 7) — its
+    hot code sits in procedures called from loops.  Also one of the
+    many-region programs whose local-phase-detection cost is significant
+    (Figure 15)."""
+    rng = _rng_for("186.crafty")
+    loops = [_LoopSite(f"crafty_l{i}", 0x30000 + i * 0x400,
+                       int(rng.integers(8, 25)))
+             for i in range(140)]
+    procs = [
+        _ProcSite("crafty_u1", 0x20000, 120),
+        _ProcSite("crafty_u2", 0x24000, 100),
+        _ProcSite("crafty_u3", 0x28000, 80),
+    ]
+    binary = _build_binary(loops, procs)
+    regions = {site.name: _loop_region(
+        binary, site.name,
+        profiles={"main": bottleneck_profile(
+            site.slots, {int(rng.integers(0, site.slots)): 300.0})},
+        dpi=0.02, opt_potential=0.06) for site in loops}
+    for proc_site in procs:
+        regions[proc_site.name] = _proc_region(
+            binary, proc_site.name,
+            profiles={"main": bottleneck_profile(
+                proc_site.slots,
+                {int(rng.integers(0, proc_site.slots)): 250.0,
+                 int(rng.integers(0, proc_site.slots)): 120.0})},
+            dpi=0.01)
+
+    loop_weights = rng.dirichlet(np.full(len(loops), 0.8)) * 0.58
+    parts = [(site.name, float(w))
+             for site, w in zip(loops, loop_weights) if w > 1e-5]
+    parts += [("crafty_u1", 0.18), ("crafty_u2", 0.14),
+              ("crafty_u3", 0.10)]
+    workload = WorkloadScript([Steady(_duration(800), mixture(*parts))])
+    return BenchmarkModel(
+        name="186.crafty", binary=binary, regions=regions,
+        workload=workload,
+        description="many small regions; ~42% UCR in call-in-loop code",
+        selected_region_names=tuple(
+            site.name for site, w in zip(loops, loop_weights))[:2])
+
+
+# ---------------------------------------------------------------------------
+# 178.galgel — the extreme sampling-period flapper of Figure 3
+# ---------------------------------------------------------------------------
+
+def _build_galgel() -> BenchmarkModel:
+    """178.galgel: the tallest bar of Figure 3 — thousands of GPD phase
+    changes at the 45k period, none at 450k/900k.  Modeled as tight
+    periodic switching between two widely separated region sets that the
+    45k interval resolves and the larger intervals average away."""
+    rng = _rng_for("178.galgel")
+    loops = [
+        _LoopSite("galgel_l0", 0x20000, 64),
+        _LoopSite("galgel_l1", 0x24000, 48),
+        _LoopSite("galgel_l2", 0xA0000, 72),
+        _LoopSite("galgel_l3", 0xA8000, 56),
+    ]
+    procs = [_ProcSite("galgel_u0", 0x16000, 64, called_from_loop=False)]
+    binary = _build_binary(loops, procs)
+    regions = {site.name: _loop_region(
+        binary, site.name, profiles={"main": _hot_profile(site.slots, rng)},
+        dpi=0.02, opt_potential=0.08) for site in loops}
+    regions["galgel_u0"] = _proc_region(
+        binary, "galgel_u0", profiles={"main": _hot_profile(64, rng)})
+
+    set_a = mixture(("galgel_l0", 0.52), ("galgel_l1", 0.33),
+                    ("galgel_l2", 0.07), ("galgel_u0", 0.08))
+    set_b = mixture(("galgel_l2", 0.50), ("galgel_l3", 0.35),
+                    ("galgel_l0", 0.07), ("galgel_u0", 0.08))
+    workload = WorkloadScript([
+        Steady(_duration(30), set_a),
+        Periodic(_duration(970), (set_b, set_a),
+                 switch_period=_duration(12)),
+    ])
+    return BenchmarkModel(
+        name="178.galgel", binary=binary, regions=regions,
+        workload=workload,
+        description="extreme two-set flapper; worst case for GPD at 45k",
+        selected_region_names=("galgel_l0", "galgel_l2"))
+
+
+# ---------------------------------------------------------------------------
+# 164.gzip (ref input 5) — Figures 6, 13, 14
+# ---------------------------------------------------------------------------
+
+def _build_gzip() -> BenchmarkModel:
+    """164.gzip(ref5): block-structured compression — the working set
+    cycles between deflate-side and inflate/IO-side code every input
+    block.  Figure 13 shows four monitored regions, all locally stable."""
+    rng = _rng_for("164.gzip")
+    loops = [
+        _LoopSite("gzip_l0", 0x18000, 40),   # longest_match
+        _LoopSite("gzip_l1", 0x1A000, 28),   # deflate inner
+        _LoopSite("gzip_l2", 0x70000, 48),   # huffman
+        _LoopSite("gzip_l3", 0x74000, 24),   # crc/copy
+    ]
+    procs = [_ProcSite("gzip_u0", 0x16000, 48, called_from_loop=False)]
+    binary = _build_binary(loops, procs)
+    regions = {site.name: _loop_region(
+        binary, site.name, profiles={"main": _hot_profile(site.slots, rng)},
+        dpi=0.015, opt_potential=0.07) for site in loops}
+    regions["gzip_u0"] = _proc_region(
+        binary, "gzip_u0", profiles={"main": _hot_profile(48, rng)})
+
+    deflate = mixture(("gzip_l0", 0.46), ("gzip_l1", 0.30),
+                      ("gzip_l2", 0.10), ("gzip_l3", 0.04),
+                      ("gzip_u0", 0.10))
+    huffman = mixture(("gzip_l2", 0.48), ("gzip_l3", 0.28),
+                      ("gzip_l0", 0.10), ("gzip_l1", 0.04),
+                      ("gzip_u0", 0.10))
+    workload = WorkloadScript([
+        Periodic(_duration(800), (deflate, huffman),
+                 switch_period=_duration(40)),
+    ])
+    return BenchmarkModel(
+        name="164.gzip", binary=binary, regions=regions, workload=workload,
+        description="block-periodic working set; locally stable regions",
+        selected_region_names=("gzip_l0", "gzip_l1", "gzip_l2", "gzip_l3"))
+
+
+# ---------------------------------------------------------------------------
+# 191.fma3d — Figure 17's mild case
+# ---------------------------------------------------------------------------
+
+def _build_fma3d() -> BenchmarkModel:
+    """191.fma3d: [13] reports a 16% prefetching speedup.  Modeled with a
+    mid-execution section of fine-grained jitter that the 45k-100k
+    intervals resolve (costing the GPD-driven optimizer stability) and the
+    800k+ intervals smooth over — giving LPD a modest, shrinking edge in
+    Figure 17."""
+    rng = _rng_for("191.fma3d")
+    loops = [
+        _LoopSite("fma_l0", 0x28000, 96),
+        _LoopSite("fma_l1", 0x2C000, 64),
+        _LoopSite("fma_l2", 0x88000, 80),
+        _LoopSite("fma_l3", 0x8C000, 48),
+    ]
+    procs = [_ProcSite("fma_u0", 0x16000, 64, called_from_loop=False)]
+    binary = _build_binary(loops, procs)
+    regions = {site.name: _loop_region(
+        binary, site.name, profiles={"main": _hot_profile(site.slots, rng)},
+        dpi=0.04, opt_potential=0.16) for site in loops}
+    regions["fma_u0"] = _proc_region(
+        binary, "fma_u0", profiles={"main": _hot_profile(64, rng)})
+
+    solve = mixture(("fma_l0", 0.42), ("fma_l1", 0.28), ("fma_l2", 0.14),
+                    ("fma_l3", 0.06), ("fma_u0", 0.10))
+    solve_hi = mixture(("fma_l0", 0.30), ("fma_l1", 0.28),
+                       ("fma_l2", 0.26), ("fma_l3", 0.06),
+                       ("fma_u0", 0.10))
+    output = mixture(("fma_l2", 0.44), ("fma_l3", 0.30), ("fma_l0", 0.16),
+                     ("fma_u0", 0.10))
+    workload = WorkloadScript([
+        Steady(_duration(350), solve),
+        Periodic(_duration(800), (solve, solve_hi),
+                 switch_period=_duration(5)),
+        Steady(_duration(350), output),
+    ])
+    return BenchmarkModel(
+        name="191.fma3d", binary=binary, regions=regions,
+        workload=workload,
+        description="solver with fine-grained mid-run jitter",
+        selected_region_names=("fma_l0", "fma_l1", "fma_l2", "fma_l3"))
+
+
+# ---------------------------------------------------------------------------
+# 176.gcc — the many-region cost case (Figures 6, 15, 16)
+# ---------------------------------------------------------------------------
+
+def _build_gcc() -> BenchmarkModel:
+    """176.gcc(2): short-running, excluded from the Figure 3/4 sweep, but
+    the heaviest region-monitoring client: hundreds of monitored regions
+    make its local-phase-detection cost the tallest bar of Figure 15 and
+    the interval tree's biggest win in Figure 16."""
+    rng = _rng_for("176.gcc")
+    loops = []
+    address = 0x30000
+    for i in range(380):
+        slots = int(rng.integers(12, 64))
+        loops.append(_LoopSite(f"gcc_l{i}", address, slots))
+        address += (slots * 4 + 0x80 + 3) & ~0x3
+    procs = [
+        _ProcSite("gcc_u1", 0x20000, 120),
+        _ProcSite("gcc_u2", 0x26000, 96),
+    ]
+    binary = _build_binary(loops, procs)
+    regions = {site.name: _loop_region(
+        binary, site.name,
+        profiles={"main": bottleneck_profile(
+            site.slots, {int(rng.integers(0, site.slots)): 400.0})},
+        dpi=0.015, opt_potential=0.04) for site in loops}
+    for proc_site in procs:
+        regions[proc_site.name] = _proc_region(
+            binary, proc_site.name,
+            profiles={"main": _hot_profile(proc_site.slots, rng)})
+
+    weights = rng.dirichlet(np.full(len(loops), 1.2)) * 0.78
+    parts = [(site.name, float(w)) for site, w in zip(loops, weights)
+             if w > 1e-6]
+    parts += [("gcc_u1", 0.13), ("gcc_u2", 0.09)]
+    workload = WorkloadScript([Steady(_duration(200), mixture(*parts))])
+    return BenchmarkModel(
+        name="176.gcc", binary=binary, regions=regions, workload=workload,
+        description="hundreds of small regions; monitoring cost worst case",
+        selected_region_names=("gcc_l0", "gcc_l1"))
+
+
+# ---------------------------------------------------------------------------
+# Remaining suite members via the generic templates
+# ---------------------------------------------------------------------------
+
+def _build_wupwise() -> BenchmarkModel:
+    """168.wupwise: stable numeric kernel with a gentle periodic tilt —
+    visible phase changes at the 45k period only."""
+    return _generic_suite_model(
+        "168.wupwise",
+        loop_plan=[(0x20000, 64, 0.40), (0x24000, 48, 0.28),
+                   (0x60000, 56, 0.20), (0x64000, 40, 0.12)],
+        ucr_weight=0.06, phases=[{"intervals": 60,
+                                  "weights": [0.40, 0.28, 0.20, 0.12]}],
+        duration_intervals=800,
+        flapper={"switch_intervals": 14, "swing": 0.15, "intervals": 740},
+        dpi=0.012, opt_potential=0.06)
+
+
+def _build_swim() -> BenchmarkModel:
+    """171.swim: three stable stencil loops; essentially zero phase
+    changes at every sampling period."""
+    return _generic_suite_model(
+        "171.swim",
+        loop_plan=[(0x20000, 96, 0.45), (0x26000, 80, 0.35),
+                   (0x2C000, 64, 0.14)],
+        ucr_weight=0.06, phases=None, duration_intervals=800,
+        dpi=0.02, opt_potential=0.07)
+
+
+def _build_mgrid() -> BenchmarkModel:
+    """172.mgrid: stable multigrid loops; [13] reports an 8% prefetching
+    speedup.  Figure 17: "does not show much performance difference" —
+    both policies keep it optimized because the phase is always stable."""
+    return _generic_suite_model(
+        "172.mgrid",
+        loop_plan=[(0x20000, 88, 0.32), (0x25000, 72, 0.26),
+                   (0x2A000, 64, 0.22), (0x2F000, 48, 0.12)],
+        ucr_weight=0.08, phases=None, duration_intervals=1500,
+        dpi=0.03, opt_potential=0.08)
+
+
+def _build_applu() -> BenchmarkModel:
+    """173.applu: a handful of solver phases; few GPD changes."""
+    return _generic_suite_model(
+        "173.applu",
+        loop_plan=[(0x20000, 96, 0.35), (0x26000, 80, 0.30),
+                   (0x68000, 72, 0.18), (0x6E000, 48, 0.09)],
+        ucr_weight=0.08,
+        phases=[{"intervals": 300, "weights": [0.45, 0.25, 0.14, 0.08]},
+                {"intervals": 250, "weights": [0.20, 0.42, 0.20, 0.10]},
+                {"intervals": 250, "weights": [0.30, 0.25, 0.28, 0.09]}],
+        duration_intervals=800, dpi=0.02, opt_potential=0.06)
+
+
+def _build_vpr() -> BenchmarkModel:
+    """175.vpr: place phase then route phase, with moderate jitter."""
+    return _generic_suite_model(
+        "175.vpr",
+        loop_plan=[(0x20000, 56, 0.38), (0x24000, 40, 0.22),
+                   (0x70000, 64, 0.22), (0x74000, 32, 0.08)],
+        ucr_weight=0.10,
+        phases=[{"intervals": 350, "weights": [0.55, 0.30, 0.04, 0.01]},
+                {"intervals": 100, "weights": [0.30, 0.20, 0.30, 0.10]}],
+        duration_intervals=800,
+        flapper={"switch_intervals": 30, "swing": 0.16, "intervals": 350},
+        dpi=0.02, opt_potential=0.06)
+
+
+def _build_mesa() -> BenchmarkModel:
+    """177.mesa: stable rendering loops with one working-set change."""
+    return _generic_suite_model(
+        "177.mesa",
+        loop_plan=[(0x20000, 72, 0.40), (0x25000, 56, 0.30),
+                   (0x64000, 48, 0.20)],
+        ucr_weight=0.10,
+        phases=[{"intervals": 400, "weights": [0.55, 0.30, 0.05]},
+                {"intervals": 400, "weights": [0.25, 0.35, 0.35]}],
+        duration_intervals=800, dpi=0.01, opt_potential=0.05)
+
+
+def _build_equake() -> BenchmarkModel:
+    """183.equake: one dominant sparse-matrix loop; very stable."""
+    return _generic_suite_model(
+        "183.equake",
+        loop_plan=[(0x20000, 120, 0.62), (0x28000, 48, 0.20),
+                   (0x2C000, 40, 0.10)],
+        ucr_weight=0.08, phases=None, duration_intervals=800,
+        dpi=0.05, opt_potential=0.12)
+
+
+def _build_lucas() -> BenchmarkModel:
+    """189.lucas: two FFT loops, fully stable (Figure 13: zero local
+    phase changes for both regions at every period)."""
+    return _generic_suite_model(
+        "189.lucas",
+        loop_plan=[(0x20000, 112, 0.55), (0x28000, 96, 0.35)],
+        ucr_weight=0.10, phases=None, duration_intervals=800,
+        dpi=0.02, opt_potential=0.07)
+
+
+def _build_parser() -> BenchmarkModel:
+    """197.parser: many small parsing loops (a Figure 15/16 cost case)
+    over a mildly phased workload."""
+    rng = _rng_for("197.parser")
+    plan = []
+    address = 0x30000
+    weights = rng.dirichlet(np.full(150, 1.0))
+    for i in range(150):
+        slots = int(rng.integers(8, 32))
+        plan.append((address, slots, float(weights[i])))
+        address += slots * 4 + 0x100
+    return _generic_suite_model(
+        "197.parser", loop_plan=plan, ucr_weight=0.18, phases=None,
+        duration_intervals=600, dpi=0.015, opt_potential=0.05)
+
+
+def _build_sixtrack() -> BenchmarkModel:
+    """200.sixtrack: stable tracking loops."""
+    return _generic_suite_model(
+        "200.sixtrack",
+        loop_plan=[(0x20000, 104, 0.48), (0x27000, 88, 0.30),
+                   (0x2D000, 56, 0.14)],
+        ucr_weight=0.08, phases=None, duration_intervals=800,
+        dpi=0.01, opt_potential=0.05)
+
+
+def _build_vortex() -> BenchmarkModel:
+    """255.vortex(3): an object database with many regions and a high-ish
+    UCR share; several working-set phases."""
+    rng = _rng_for("255.vortex")
+    plan = []
+    address = 0x30000
+    weights = rng.dirichlet(np.full(90, 1.0))
+    for i in range(90):
+        slots = int(rng.integers(12, 40))
+        plan.append((address, slots, float(weights[i])))
+        address += slots * 4 + 0x100
+    return _generic_suite_model(
+        "255.vortex", loop_plan=plan, ucr_weight=0.24,
+        phases=[{"intervals": 170, "weights": list(weights)},
+                {"intervals": 170,
+                 "weights": list(np.roll(weights, 30))},
+                {"intervals": 160,
+                 "weights": list(np.roll(weights, 60))}],
+        duration_intervals=500, dpi=0.015, opt_potential=0.05)
+
+
+def _build_bzip2() -> BenchmarkModel:
+    """256.bzip2(3): block-periodic compressor; moderate GPD flapping at
+    the 45k period, and enough regions to be in Figure 16's tree-win
+    list."""
+    rng = _rng_for("256.bzip2")
+    plan = []
+    address = 0x30000
+    weights = rng.dirichlet(np.full(35, 1.5))
+    for i in range(35):
+        slots = int(rng.integers(12, 48))
+        plan.append((address, slots, float(weights[i])))
+        address += slots * 4 + 0x2000
+    return _generic_suite_model(
+        "256.bzip2", loop_plan=plan, ucr_weight=0.12,
+        phases=[{"intervals": 100, "weights": list(weights)}],
+        duration_intervals=800,
+        flapper={"switch_intervals": 25, "swing": 0.22, "intervals": 700},
+        dpi=0.02, opt_potential=0.06)
+
+
+def _build_twolf() -> BenchmarkModel:
+    """300.twolf: placement/annealing with slow phases."""
+    return _generic_suite_model(
+        "300.twolf",
+        loop_plan=[(0x20000, 64, 0.40), (0x24000, 48, 0.28),
+                   (0x60000, 40, 0.18)],
+        ucr_weight=0.14,
+        phases=[{"intervals": 400, "weights": [0.50, 0.30, 0.06]},
+                {"intervals": 400, "weights": [0.34, 0.30, 0.22]}],
+        duration_intervals=800, dpi=0.025, opt_potential=0.07)
+
+
+def _build_apsi() -> BenchmarkModel:
+    """301.apsi: a couple dozen *large* loops — the per-region similarity
+    computation, not attribution, dominates its monitoring cost
+    (Figure 15)."""
+    rng = _rng_for("301.apsi")
+    plan = []
+    address = 0x30000
+    weights = rng.dirichlet(np.full(22, 2.0))
+    for i in range(22):
+        plan.append((address, 256, float(weights[i])))
+        address += 256 * 4 + 0x400
+    return _generic_suite_model(
+        "301.apsi", loop_plan=plan, ucr_weight=0.10, phases=None,
+        duration_intervals=400, dpi=0.02, opt_potential=0.05)
+
+
+def _build_art() -> BenchmarkModel:
+    """179.art: small stable network-simulation loops (Figure 16 only)."""
+    return _generic_suite_model(
+        "179.art",
+        loop_plan=[(0x20000, 48, 0.55), (0x23000, 40, 0.30)],
+        ucr_weight=0.10, phases=None, duration_intervals=300,
+        dpi=0.06, opt_potential=0.10)
+
+
+# ---------------------------------------------------------------------------
+# Registry and figure membership
+# ---------------------------------------------------------------------------
+
+SUITE = {
+    "164.gzip": _build_gzip,
+    "168.wupwise": _build_wupwise,
+    "171.swim": _build_swim,
+    "172.mgrid": _build_mgrid,
+    "173.applu": _build_applu,
+    "175.vpr": _build_vpr,
+    "176.gcc": _build_gcc,
+    "177.mesa": _build_mesa,
+    "178.galgel": _build_galgel,
+    "179.art": _build_art,
+    "181.mcf": _build_mcf,
+    "183.equake": _build_equake,
+    "186.crafty": _build_crafty,
+    "187.facerec": _build_facerec,
+    "188.ammp": _build_ammp,
+    "189.lucas": _build_lucas,
+    "191.fma3d": _build_fma3d,
+    "197.parser": _build_parser,
+    "200.sixtrack": _build_sixtrack,
+    "254.gap": _build_gap,
+    "255.vortex": _build_vortex,
+    "256.bzip2": _build_bzip2,
+    "300.twolf": _build_twolf,
+    "301.apsi": _build_apsi,
+}
+
+#: Figure 3/4's 21 benchmarks ("short running benchmarks were excluded").
+FIG3_BENCHMARKS = (
+    "168.wupwise", "171.swim", "172.mgrid", "173.applu", "175.vpr",
+    "177.mesa", "178.galgel", "181.mcf", "183.equake", "186.crafty",
+    "187.facerec", "188.ammp", "189.lucas", "191.fma3d", "197.parser",
+    "200.sixtrack", "254.gap", "255.vortex", "256.bzip2", "300.twolf",
+    "301.apsi",
+)
+
+#: Figure 6's 23 benchmarks (adds the short-running gzip and gcc).
+FIG6_BENCHMARKS = ("164.gzip", "176.gcc") + FIG3_BENCHMARKS
+
+#: Figure 13/14's selected benchmarks (large phase-change counts at low
+#: sampling periods under the centroid scheme).
+FIG13_BENCHMARKS = (
+    "181.mcf", "187.facerec", "254.gap", "164.gzip", "178.galgel",
+    "189.lucas", "191.fma3d", "188.ammp",
+)
+
+#: Figure 15's benchmarks (cost of region monitoring).
+FIG15_BENCHMARKS = FIG6_BENCHMARKS
+
+#: Figure 16's benchmarks (adds 179.art).
+FIG16_BENCHMARKS = ("164.gzip", "168.wupwise", "171.swim", "172.mgrid",
+                    "173.applu", "175.vpr", "176.gcc", "177.mesa",
+                    "178.galgel", "179.art", "181.mcf", "183.equake",
+                    "186.crafty", "187.facerec", "188.ammp", "189.lucas",
+                    "191.fma3d", "197.parser", "200.sixtrack", "254.gap",
+                    "255.vortex", "256.bzip2", "300.twolf", "301.apsi")
+
+#: Figure 17's performance subset.
+FIG17_BENCHMARKS = ("181.mcf", "172.mgrid", "254.gap", "191.fma3d")
+
+
+def benchmark_names() -> list[str]:
+    """All modeled benchmark names, sorted."""
+    return sorted(SUITE)
+
+
+@lru_cache(maxsize=96)
+def _cached_benchmark(name: str, scale: float) -> BenchmarkModel:
+    try:
+        builder = SUITE[name]
+    except KeyError:
+        known = ", ".join(sorted(SUITE))
+        raise ConfigError(
+            f"unknown benchmark {name!r}; known: {known}") from None
+    model = builder()
+    if scale != 1.0:
+        model = BenchmarkModel(
+            name=model.name, binary=model.binary, regions=model.regions,
+            workload=model.workload.scaled(scale),
+            description=model.description,
+            selected_region_names=model.selected_region_names)
+    return model
+
+
+def get_benchmark(name: str, scale: float = 1.0) -> BenchmarkModel:
+    """Build (and cache) a benchmark model.
+
+    Parameters
+    ----------
+    name:
+        A :data:`SUITE` key, e.g. ``"181.mcf"``.
+    scale:
+        Duration multiplier: experiments run at 1.0; tests use small
+        scales for speed.  Switching periods are *not* scaled (they are
+        part of the modeled behavior), so very small scales shrink the
+        number of intervals, not the phase structure.
+    """
+    if scale <= 0.0:
+        raise ConfigError("scale must be positive")
+    return _cached_benchmark(name, float(scale))

@@ -1,0 +1,123 @@
+"""CLI for inspecting the synthetic benchmark suite.
+
+Usage::
+
+    repro-suite                      # inventory of all models
+    repro-suite 181.mcf              # full description of one model
+    repro-suite 181.mcf --scale 0.5  # at a reduced scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.program.spec2000 import (INTERVAL_45K, BenchmarkModel,
+                                    benchmark_names, get_benchmark)
+from repro.program.workload import Drift, Periodic, Steady, region_cycles
+
+
+def _intervals(cycles: int) -> float:
+    return cycles / INTERVAL_45K
+
+
+def inventory_table() -> str:
+    """One row per model: size and structure at a glance."""
+    rows = []
+    for name in benchmark_names():
+        model = get_benchmark(name)
+        n_loops = sum(1 for spec in model.regions.values() if spec.is_loop)
+        n_ucr = len(model.regions) - n_loops
+        rows.append([
+            name,
+            n_loops,
+            n_ucr,
+            len(model.workload.segments),
+            _intervals(model.workload.total_cycles),
+            model.description[:48],
+        ])
+    return format_table(
+        ["benchmark", "loops", "ucr procs", "segments",
+         "intervals@45k", "behavior"],
+        rows, title="Synthetic SPEC CPU2000 suite")
+
+
+def describe(model: BenchmarkModel) -> str:
+    """A multi-section description of one model."""
+    lines = [f"{model.name}: {model.description}", ""]
+
+    lo, hi = model.binary.text_range
+    n_loops = len(model.binary.all_loops())
+    lines.append(f"binary: text [{lo:#x}, {hi:#x}), "
+                 f"{len(model.binary.procedures)} procedures, "
+                 f"{n_loops} natural loops")
+    lines.append("")
+
+    shares = region_cycles(model.workload.compile())
+    total = sum(shares.values())
+    region_rows = []
+    for name, spec in sorted(model.regions.items(),
+                             key=lambda kv: -shares.get(kv[0], 0.0)):
+        region_rows.append([
+            name,
+            f"{spec.start:x}-{spec.end:x}",
+            spec.n_slots,
+            "loop" if spec.is_loop else "proc",
+            100.0 * shares.get(name, 0.0) / total,
+            spec.cpi,
+            1000.0 * spec.dpi,
+            100.0 * spec.opt_potential,
+        ])
+    lines.append(format_table(
+        ["region", "span", "slots", "kind", "cycles%", "CPI", "MPKI",
+         "opt%"], region_rows, title="regions"))
+    lines.append("")
+
+    segment_rows = []
+    for index, segment in enumerate(model.workload.segments[:12]):
+        if isinstance(segment, Steady):
+            kind, detail = "steady", "-"
+        elif isinstance(segment, Periodic):
+            kind = "periodic"
+            detail = (f"{len(segment.mixtures)} mixtures every "
+                      f"{_intervals(segment.switch_period):.1f} ivals")
+        elif isinstance(segment, Drift):
+            kind, detail = "drift", f"{segment.steps} steps"
+        else:  # pragma: no cover - no other segment kinds shipped
+            kind, detail = type(segment).__name__, "-"
+        segment_rows.append([index, kind,
+                             _intervals(segment.duration), detail])
+    title = "workload segments"
+    if len(model.workload.segments) > 12:
+        title += f" (first 12 of {len(model.workload.segments)})"
+    lines.append(format_table(
+        ["#", "kind", "intervals@45k", "detail"], segment_rows,
+        title=title))
+    if model.selected_region_names:
+        lines.append("")
+        selected = ", ".join(
+            f"r{i + 1}={model.monitored_name(n)}"
+            for i, n in enumerate(model.selected_region_names))
+        lines.append(f"selected regions (Figures 13/14): {selected}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-suite`` script."""
+    parser = argparse.ArgumentParser(
+        description="Inspect the synthetic SPEC CPU2000 benchmark suite.")
+    parser.add_argument("benchmark", nargs="?", default=None,
+                        help="model to describe (default: inventory)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload duration multiplier")
+    args = parser.parse_args(argv)
+    if args.benchmark is None:
+        print(inventory_table())
+    else:
+        print(describe(get_benchmark(args.benchmark, scale=args.scale)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

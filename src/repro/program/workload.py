@@ -1,0 +1,330 @@
+"""Workload scripts: how a benchmark's execution unfolds over virtual time.
+
+A workload is a sequence of *segments*; each segment describes, for a span
+of virtual cycles, the **mixture** of regions the program executes (with
+cycle-share weights and a profile choice per region).  Three segment kinds
+cover every behavior the paper's benchmarks exhibit:
+
+* :class:`Steady` — one mixture for the whole duration (stable phases);
+* :class:`Periodic` — round-robin between mixtures every ``switch_period``
+  cycles (facerec's 2-set switching, galgel's flapping, ammp's fine-scale
+  profile wander);
+* :class:`Drift` — linear interpolation between two mixtures (mcf's
+  gradual trade-off between regions, Figure 9).
+
+Scripts *compile* into a flat list of :class:`Piece` — half-open cycle
+ranges with a fixed mixture — which the PMU simulator walks.  The compiled
+timeline is also the ground truth for the optimizer's timing model
+(:func:`region_cycles`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "Component",
+    "Mixture",
+    "mixture",
+    "Steady",
+    "Periodic",
+    "Drift",
+    "Piece",
+    "WorkloadScript",
+    "region_cycles",
+    "region_cycles_per_window",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Component:
+    """One region's participation in a mixture.
+
+    Attributes
+    ----------
+    region:
+        Workload-region name (a key of the benchmark's region table).
+    weight:
+        Relative cycle share (normalized across the mixture).
+    profile:
+        Which of the region's profiles is active.
+    """
+
+    region: str
+    weight: float
+    profile: str = "main"
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise WorkloadError(
+                f"component {self.region!r} needs positive weight")
+
+
+@dataclass(frozen=True, slots=True)
+class Mixture:
+    """A normalized set of components active at one point in time."""
+
+    components: tuple[Component, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise WorkloadError("a mixture needs at least one component")
+        keys = [(c.region, c.profile) for c in self.components]
+        if len(set(keys)) != len(keys):
+            raise WorkloadError("duplicate (region, profile) in mixture")
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalized weight vector, aligned with :attr:`components`."""
+        raw = np.array([c.weight for c in self.components])
+        return raw / raw.sum()
+
+    def region_shares(self) -> dict[str, float]:
+        """Cycle share per region (summing profiles of the same region)."""
+        shares: dict[str, float] = {}
+        for component, weight in zip(self.components, self.weights):
+            shares[component.region] = shares.get(component.region, 0.0) \
+                + float(weight)
+        return shares
+
+
+def mixture(*components: Component | tuple) -> Mixture:
+    """Build a mixture from components or ``(region, weight[, profile])``
+    tuples."""
+    resolved = []
+    for item in components:
+        if isinstance(item, Component):
+            resolved.append(item)
+        else:
+            resolved.append(Component(*item))
+    return Mixture(tuple(resolved))
+
+
+# ---------------------------------------------------------------------------
+# Segments
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Steady:
+    """One mixture held for ``duration`` cycles."""
+
+    duration: int
+    mix: Mixture
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError("segment duration must be positive")
+
+    def pieces(self, start: int) -> list["Piece"]:
+        return [Piece(start, start + self.duration, self.mix)]
+
+
+@dataclass(frozen=True, slots=True)
+class Periodic:
+    """Round-robin between ``mixtures`` every ``switch_period`` cycles."""
+
+    duration: int
+    mixtures: tuple[Mixture, ...]
+    switch_period: int
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError("segment duration must be positive")
+        if len(self.mixtures) < 2:
+            raise WorkloadError("periodic segment needs >= 2 mixtures")
+        if self.switch_period <= 0:
+            raise WorkloadError("switch_period must be positive")
+        if self.duration // self.switch_period > 500_000:
+            raise WorkloadError(
+                "periodic segment would compile to more than 500k pieces; "
+                "increase switch_period or split the segment")
+
+    def pieces(self, start: int) -> list["Piece"]:
+        result = []
+        cursor = start
+        end = start + self.duration
+        index = 0
+        while cursor < end:
+            piece_end = min(cursor + self.switch_period, end)
+            result.append(Piece(cursor, piece_end,
+                                self.mixtures[index % len(self.mixtures)]))
+            cursor = piece_end
+            index += 1
+        return result
+
+
+@dataclass(frozen=True, slots=True)
+class Drift:
+    """Linear interpolation from ``mix_from`` to ``mix_to`` in ``steps``."""
+
+    duration: int
+    mix_from: Mixture
+    mix_to: Mixture
+    steps: int = 32
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError("segment duration must be positive")
+        if self.steps < 2:
+            raise WorkloadError("drift needs at least 2 steps")
+
+    def pieces(self, start: int) -> list["Piece"]:
+        # Union of (region, profile) keys; missing components lerp from/to 0.
+        keys: list[tuple[str, str]] = []
+        for mix in (self.mix_from, self.mix_to):
+            for component in mix.components:
+                key = (component.region, component.profile)
+                if key not in keys:
+                    keys.append(key)
+
+        def weight_in(mix: Mixture, key: tuple[str, str]) -> float:
+            shares = dict(zip(
+                [(c.region, c.profile) for c in mix.components],
+                mix.weights))
+            return float(shares.get(key, 0.0))
+
+        result = []
+        boundaries = np.linspace(start, start + self.duration,
+                                 self.steps + 1).astype(np.int64)
+        for step in range(self.steps):
+            t = (step + 0.5) / self.steps
+            components = []
+            for region, profile in keys:
+                weight = ((1.0 - t) * weight_in(self.mix_from,
+                                                (region, profile))
+                          + t * weight_in(self.mix_to, (region, profile)))
+                if weight > 1e-12:
+                    components.append(Component(region, weight, profile))
+            if int(boundaries[step + 1]) > int(boundaries[step]):
+                result.append(Piece(int(boundaries[step]),
+                                    int(boundaries[step + 1]),
+                                    Mixture(tuple(components))))
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Compiled timeline
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Piece:
+    """A half-open cycle range ``[start, end)`` with a fixed mixture."""
+
+    start: int
+    end: int
+    mix: Mixture
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class WorkloadScript:
+    """An ordered list of segments compiled into a piece timeline."""
+
+    def __init__(self, segments: list) -> None:
+        if not segments:
+            raise WorkloadError("a workload needs at least one segment")
+        self.segments = list(segments)
+        self._pieces: list[Piece] | None = None
+
+    @property
+    def total_cycles(self) -> int:
+        """Total virtual duration of the workload."""
+        return sum(segment.duration for segment in self.segments)
+
+    def compile(self) -> list[Piece]:
+        """Flatten all segments into a contiguous piece timeline."""
+        if self._pieces is None:
+            pieces: list[Piece] = []
+            cursor = 0
+            for segment in self.segments:
+                pieces.extend(segment.pieces(cursor))
+                cursor += segment.duration
+            self._pieces = pieces
+        return list(self._pieces)
+
+    def region_names(self) -> list[str]:
+        """All region names referenced anywhere in the script, in first-use
+        order."""
+        names: list[str] = []
+        for piece in self.compile():
+            for component in piece.mix.components:
+                if component.region not in names:
+                    names.append(component.region)
+        return names
+
+    def scaled(self, factor: float) -> "WorkloadScript":
+        """A copy with every duration (and switch period) multiplied by
+        *factor* — used to shrink experiments for tests.
+
+        Durations below one cycle are clamped to 1.
+        """
+        if factor <= 0.0:
+            raise WorkloadError("scale factor must be positive")
+
+        def scale(value: int) -> int:
+            return max(1, int(round(value * factor)))
+
+        scaled_segments: list = []
+        for segment in self.segments:
+            if isinstance(segment, Steady):
+                scaled_segments.append(
+                    Steady(scale(segment.duration), segment.mix))
+            elif isinstance(segment, Periodic):
+                scaled_segments.append(Periodic(
+                    scale(segment.duration), segment.mixtures,
+                    segment.switch_period))
+            elif isinstance(segment, Drift):
+                scaled_segments.append(Drift(
+                    scale(segment.duration), segment.mix_from,
+                    segment.mix_to, segment.steps))
+            else:  # pragma: no cover - custom segment kinds scale themselves
+                scaled_segments.append(segment.scaled(factor))
+        return WorkloadScript(scaled_segments)
+
+
+# ---------------------------------------------------------------------------
+# Timing ground truth
+# ---------------------------------------------------------------------------
+
+def region_cycles(pieces: list[Piece]) -> dict[str, float]:
+    """Exact cycles attributable to each region over the whole timeline."""
+    totals: dict[str, float] = {}
+    for piece in pieces:
+        for region, share in piece.mix.region_shares().items():
+            totals[region] = totals.get(region, 0.0) \
+                + share * piece.duration
+    return totals
+
+
+def region_cycles_per_window(pieces: list[Piece], window_cycles: int,
+                             n_windows: int,
+                             region_order: list[str]) -> np.ndarray:
+    """Exact per-region cycles in each fixed window (interval) of the run.
+
+    Returns an ``(n_windows, n_regions)`` matrix; used by the optimizer's
+    timing model to credit savings interval by interval.
+    """
+    if window_cycles <= 0 or n_windows < 0:
+        raise WorkloadError("window parameters must be positive")
+    index = {name: i for i, name in enumerate(region_order)}
+    matrix = np.zeros((n_windows, len(region_order)))
+    for piece in pieces:
+        shares = piece.mix.region_shares()
+        first = piece.start // window_cycles
+        last = (piece.end - 1) // window_cycles if piece.end > piece.start \
+            else first
+        for window in range(first, min(last, n_windows - 1) + 1):
+            lo = max(piece.start, window * window_cycles)
+            hi = min(piece.end, (window + 1) * window_cycles)
+            if hi <= lo:
+                continue
+            for region, share in shares.items():
+                if region in index:
+                    matrix[window, index[region]] += share * (hi - lo)
+    return matrix

@@ -1,0 +1,86 @@
+"""Compiler-provided region annotations for formation.
+
+The paper twice points at compiler help as the way past the runtime
+region builder's limits: "we also plan to use compiler annotations to
+improve region formation in the future" (§3.1) and footnote 1's
+compiler-annotated inter-region optimizations.  An
+:class:`AnnotationTable` models the simplest useful contract: the
+compiler ships, alongside the binary, a list of code spans it considers
+units of optimization (outlined loops, hot inlined bodies, manually
+annotated kernels).  Region formation consults the table before falling
+back to its own loop/trace analysis, so hot code the runtime analysis
+cannot classify still becomes a monitored region.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.errors import RegionError
+
+__all__ = ["Annotation", "AnnotationTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class Annotation:
+    """One compiler-declared optimization unit.
+
+    Attributes
+    ----------
+    start, end:
+        Half-open code span.
+    label:
+        Compiler-side name (function/loop id), for diagnostics.
+    """
+
+    start: int
+    end: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise RegionError(
+                f"invalid annotation span [{self.start:#x}, {self.end:#x})")
+        if (self.end - self.start) % INSTRUCTION_BYTES != 0:
+            raise RegionError(
+                f"annotation span [{self.start:#x}, {self.end:#x}) is not "
+                f"instruction-aligned")
+
+    def contains(self, address: int) -> bool:
+        """Whether *address* lies inside the annotated span."""
+        return self.start <= address < self.end
+
+
+class AnnotationTable:
+    """Sorted, non-overlapping compiler annotations with point lookup."""
+
+    def __init__(self, annotations: list[Annotation] | None = None) -> None:
+        self._annotations = sorted(annotations or [],
+                                   key=lambda a: a.start)
+        for left, right in zip(self._annotations, self._annotations[1:]):
+            if left.end > right.start:
+                raise RegionError(
+                    f"annotations {left.label or hex(left.start)!r} and "
+                    f"{right.label or hex(right.start)!r} overlap")
+        self._starts = [a.start for a in self._annotations]
+
+    @classmethod
+    def from_spans(cls, spans: list[tuple]) -> "AnnotationTable":
+        """Build from ``(start, end[, label])`` tuples."""
+        return cls([Annotation(*span) for span in spans])
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def __iter__(self):
+        return iter(self._annotations)
+
+    def lookup(self, address: int) -> Annotation | None:
+        """The annotation covering *address*, or ``None``."""
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index < 0:
+            return None
+        candidate = self._annotations[index]
+        return candidate if candidate.contains(address) else None

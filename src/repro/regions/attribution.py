@@ -1,0 +1,204 @@
+"""Sample-to-region attribution strategies.
+
+On every buffer overflow "performance counter samples are distributed
+across regions" (paper section 3.1), incrementing per-instruction counters
+in *every* region containing each sample (overlapping regions all count —
+that is why the paper's region charts stack above the buffer size).
+Samples contained in no region belong to the unmonitored code region (UCR).
+
+Two strategies, matching the paper's section 3.2.3:
+
+* :class:`ListAttributor` — scan the region list per sample, ``O(n)``;
+* :class:`TreeAttributor` — stab a centered interval tree per sample,
+  ``O(log n + k)``, rebuilt whenever the region set changes.
+
+Both produce identical results; they differ only in the work they charge
+to the :class:`~repro.costs.CostLedger`.  Functionally the hot loop is
+vectorized over the interval's samples (grouped by unique PC — sampled PCs
+repeat heavily because hot instructions are hot), while the charged cost
+follows each strategy's per-sample model, which is what Figures 15 and 16
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.costs import (LIST_OPS_PER_CHECK, TREE_QUERY_BASE_OPS,
+                         CostLedger)
+from repro.regions.interval_tree import Interval, IntervalTree
+from repro.regions.registry import RegionRegistry
+
+__all__ = ["AttributionResult", "ListAttributor", "TreeAttributor",
+           "make_attributor"]
+
+
+@dataclass(frozen=True)
+class AttributionResult:
+    """Outcome of distributing one interval's samples.
+
+    Attributes
+    ----------
+    region_counts:
+        rid -> per-instruction-slot count vector, for regions that
+        received at least one sample.
+    ucr_pcs:
+        The PC values (with multiplicity) that fell in no region.
+    n_samples:
+        Interval size.
+    n_hits:
+        Total region increments (>= samples attributed, because regions
+        may overlap).
+    """
+
+    region_counts: dict[int, np.ndarray]
+    ucr_pcs: np.ndarray
+    n_samples: int
+    n_hits: int
+
+    @property
+    def ucr_fraction(self) -> float:
+        """Fraction of the interval's samples left unmonitored."""
+        if self.n_samples == 0:
+            return 0.0
+        return self.ucr_pcs.size / self.n_samples
+
+    def total_for(self, rid: int) -> int:
+        """Samples attributed to one region (0 if it got none)."""
+        counts = self.region_counts.get(rid)
+        return 0 if counts is None else int(counts.sum())
+
+
+class _AttributorBase:
+    """Shared machinery: unique-PC grouping and histogram scatter."""
+
+    def __init__(self, registry: RegionRegistry,
+                 ledger: CostLedger | None = None) -> None:
+        self.registry = registry
+        self.ledger = ledger if ledger is not None else CostLedger()
+
+    def _resolve(self, unique_pcs: np.ndarray) -> list[list[int]]:
+        """Per unique PC, the rids of the regions containing it.
+
+        Subclasses implement this with their strategy and charge costs.
+        """
+        raise NotImplementedError
+
+    def attribute(self, pcs: np.ndarray) -> AttributionResult:
+        """Distribute one interval's samples across the live regions."""
+        pcs = np.asarray(pcs, dtype=np.int64)
+        regions = {r.rid: r for r in self.registry.regions()}
+        unique_pcs, counts = np.unique(pcs, return_counts=True)
+        hits_per_pc = self._resolve(unique_pcs)
+
+        region_counts: dict[int, np.ndarray] = {}
+        ucr_mask = np.zeros(unique_pcs.size, dtype=bool)
+        n_hits = 0
+        for index, rids in enumerate(hits_per_pc):
+            if not rids:
+                ucr_mask[index] = True
+                continue
+            pc = int(unique_pcs[index])
+            multiplicity = int(counts[index])
+            n_hits += multiplicity * len(rids)
+            for rid in rids:
+                region = regions[rid]
+                vector = region_counts.get(rid)
+                if vector is None:
+                    vector = np.zeros(region.n_instructions, dtype=np.int64)
+                    region_counts[rid] = vector
+                slot = (pc - region.start) // INSTRUCTION_BYTES
+                vector[slot] += multiplicity
+        ucr_pcs = np.repeat(unique_pcs[ucr_mask], counts[ucr_mask])
+        return AttributionResult(region_counts=region_counts,
+                                 ucr_pcs=ucr_pcs,
+                                 n_samples=int(pcs.size),
+                                 n_hits=n_hits)
+
+
+class ListAttributor(_AttributorBase):
+    """Linear region-list scan: per-sample cost ``O(n_regions)``."""
+
+    name = "list"
+
+    def _resolve(self, unique_pcs: np.ndarray) -> list[list[int]]:
+        regions = self.registry.regions()
+        results: list[list[int]] = []
+        for pc in unique_pcs:
+            pc = int(pc)
+            results.append([r.rid for r in regions if r.contains(pc)])
+        return results
+
+    def attribute(self, pcs: np.ndarray) -> AttributionResult:
+        result = super().attribute(pcs)
+        self.ledger.charge_list_attribution(
+            n_samples=result.n_samples,
+            n_regions=len(self.registry),
+            n_hits=result.n_hits)
+        return result
+
+
+class TreeAttributor(_AttributorBase):
+    """Interval-tree stabbing: per-sample cost ``O(log n + k)``.
+
+    The tree is rebuilt lazily whenever the registry version changes
+    (formation or pruning events); rebuild cost is charged to the ledger.
+    """
+
+    name = "tree"
+
+    def __init__(self, registry: RegionRegistry,
+                 ledger: CostLedger | None = None) -> None:
+        super().__init__(registry, ledger)
+        self._tree: IntervalTree | None = None
+        self._tree_version = -1
+
+    def _current_tree(self) -> IntervalTree:
+        if self._tree is None or self._tree_version != self.registry.version:
+            intervals = [Interval(r.start, r.end, r.rid)
+                         for r in self.registry.regions()]
+            self._tree = IntervalTree(intervals)
+            self._tree_version = self.registry.version
+            self.ledger.charge_tree_build(len(intervals))
+        return self._tree
+
+    def _resolve(self, unique_pcs: np.ndarray) -> list[list[int]]:
+        tree = self._current_tree()
+        self._pending_query_ops = 0
+        self._per_pc_cost: list[int] = []
+        results: list[list[int]] = []
+        for pc in unique_pcs:
+            results.append(tree.stab(int(pc)))
+            self._per_pc_cost.append(tree.last_query_cost
+                                     + TREE_QUERY_BASE_OPS)
+        return results
+
+    def attribute(self, pcs: np.ndarray) -> AttributionResult:
+        pcs = np.asarray(pcs, dtype=np.int64)
+        unique_pcs, counts = np.unique(pcs, return_counts=True)
+        result = super().attribute(pcs)
+        # Per-sample cost model: each sample pays its PC's query cost.
+        query_ops = int(np.dot(np.asarray(self._per_pc_cost, dtype=np.int64),
+                               counts)) if unique_pcs.size else 0
+        self.ledger.charge_tree_attribution(query_ops=query_ops,
+                                            n_hits=result.n_hits)
+        return result
+
+
+def make_attributor(strategy: str, registry: RegionRegistry,
+                    ledger: CostLedger | None = None) -> _AttributorBase:
+    """Factory: ``"list"`` or ``"tree"``."""
+    if strategy == "list":
+        return ListAttributor(registry, ledger)
+    if strategy == "tree":
+        return TreeAttributor(registry, ledger)
+    raise ValueError(f"unknown attribution strategy {strategy!r}; "
+                     f"expected 'list' or 'tree'")
+
+
+def estimated_list_ops(n_samples: int, n_regions: int) -> int:
+    """Closed-form list-scan cost (used by cost-model sanity tests)."""
+    return n_samples * n_regions * LIST_OPS_PER_CHECK

@@ -1,0 +1,72 @@
+"""Region pruning: evicting cold regions from the monitor.
+
+Paper section 3.2.3 lists pruning among the ways to reduce region-
+monitoring cost: "we can remove infrequently executing and relatively cold
+regions from the region monitor".  The policy here evicts a region once it
+has been idle (no samples) for a configurable number of consecutive
+intervals, or when its share of recent samples stays below a floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RegionActivity:
+    """Rolling activity statistics the monitor keeps per region."""
+
+    rid: int
+    idle_intervals: int = 0
+    lifetime_samples: int = 0
+    recent_shares: list[float] = field(default_factory=list)
+
+    def record(self, n_samples: int, interval_total: int,
+               window: int = 16) -> None:
+        """Update with one interval's attribution outcome."""
+        if n_samples > 0:
+            self.idle_intervals = 0
+        else:
+            self.idle_intervals += 1
+        self.lifetime_samples += n_samples
+        share = n_samples / interval_total if interval_total else 0.0
+        self.recent_shares.append(share)
+        if len(self.recent_shares) > window:
+            del self.recent_shares[0]
+
+
+@dataclass(frozen=True, slots=True)
+class PruningPolicy:
+    """When to evict a region.
+
+    Attributes
+    ----------
+    max_idle_intervals:
+        Evict after this many consecutive intervals without samples
+        (``None`` disables the idle rule).
+    min_recent_share:
+        Evict when the mean share over the recent window falls below this
+        (``None`` disables the cold rule).
+    grace_intervals:
+        Never evict within this many intervals of formation, so freshly
+        formed regions get a chance to accumulate samples.
+    """
+
+    max_idle_intervals: int | None = 32
+    min_recent_share: float | None = None
+    grace_intervals: int = 8
+
+    def should_prune(self, activity: RegionActivity, age_intervals: int) -> bool:
+        """Decide eviction for one region given its activity and age."""
+        if age_intervals < self.grace_intervals:
+            return False
+        if self.max_idle_intervals is not None \
+                and activity.idle_intervals >= self.max_idle_intervals:
+            return True
+        if self.min_recent_share is not None and activity.recent_shares:
+            window_full = len(activity.recent_shares) >= self.grace_intervals
+            mean_share = sum(activity.recent_shares) \
+                / len(activity.recent_shares)
+            if window_full and mean_share < self.min_recent_share:
+                return True
+        return False

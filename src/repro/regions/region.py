@@ -1,0 +1,74 @@
+"""Monitored code regions.
+
+A region is the unit of optimization and of local phase detection: an
+address interval (primarily a loop span) with an identity.  The paper names
+regions by their address range (e.g. ``146f0-14770``); we do the same.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.errors import RegionError
+
+
+class RegionKind(enum.Enum):
+    """How a region came to be monitored."""
+
+    LOOP = "loop"                    # natural loop found by formation
+    INTERPROCEDURAL = "interproc"    # callee folded in by the extension
+    TRACE = "trace"                  # hot-path trace (future-work builder)
+    ANNOTATED = "annotated"          # compiler-declared optimization unit
+    MANUAL = "manual"                # registered directly by the caller
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A monitored address interval.
+
+    Attributes
+    ----------
+    rid:
+        Registry-unique integer id.
+    start, end:
+        Half-open byte address span.
+    kind:
+        Provenance of the region.
+    formed_at_interval:
+        Interval index at which formation created it (-1 = pre-registered).
+    """
+
+    rid: int
+    start: int
+    end: int
+    kind: RegionKind = RegionKind.LOOP
+    formed_at_interval: int = -1
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise RegionError(
+                f"invalid region span [{self.start:#x}, {self.end:#x})")
+        if (self.end - self.start) % INSTRUCTION_BYTES != 0:
+            raise RegionError(
+                f"region span [{self.start:#x}, {self.end:#x}) is not "
+                f"instruction-aligned")
+
+    @property
+    def name(self) -> str:
+        """Paper-style name: the hex address range."""
+        return f"{self.start:x}-{self.end:x}"
+
+    @property
+    def n_instructions(self) -> int:
+        """Region size in instruction slots."""
+        return (self.end - self.start) // INSTRUCTION_BYTES
+
+    def contains(self, address: int) -> bool:
+        """Whether *address* lies inside the region."""
+        return self.start <= address < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        """Whether the two regions share any address."""
+        return self.start < other.end and other.start < self.end

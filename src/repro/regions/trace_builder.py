@@ -1,0 +1,123 @@
+"""Hot-path trace selection for region formation.
+
+The paper's region builder handles loops and notes "In the future,
+regions can also include functions or traces."  This module implements
+NET-style trace selection (as in Dynamo [2] / DynamoRIO [3], the systems
+the paper's related work credits with trace-based code coverage): starting
+from a hot seed block, repeatedly follow the *hottest* successor —
+hotness measured by the PC samples that triggered formation — until the
+path revisits a block, runs cold, or hits the size cap.
+
+The selected trace's covering address span becomes a monitored region
+(kind :attr:`~repro.regions.region.RegionKind.TRACE`), giving the monitor
+coverage of hot non-loop code (e.g. branchy procedure bodies) that the
+loop-only builder leaves in the UCR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.program.procedures import Procedure
+
+__all__ = ["Trace", "block_hotness", "build_trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A selected hot path through one procedure.
+
+    Attributes
+    ----------
+    blocks:
+        Start addresses of the trace's blocks, in path order.
+    start, end:
+        Covering half-open address span (the monitored region).
+    heat:
+        Total samples over the trace's blocks.
+    """
+
+    blocks: tuple[int, ...]
+    start: int
+    end: int
+    heat: int
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_instructions(self) -> int:
+        return (self.end - self.start) // INSTRUCTION_BYTES
+
+
+def block_hotness(procedure: Procedure,
+                  pcs: np.ndarray) -> dict[int, int]:
+    """Sample count per basic block of *procedure* for a PC batch.
+
+    Samples outside the procedure are ignored.
+    """
+    pcs = np.asarray(pcs, dtype=np.int64)
+    inside = pcs[(pcs >= procedure.start) & (pcs < procedure.end)]
+    hotness: dict[int, int] = {}
+    if inside.size == 0:
+        return hotness
+    blocks = procedure.blocks
+    starts = np.array([block.start for block in blocks], dtype=np.int64)
+    # Blocks tile the procedure contiguously, so searchsorted maps each
+    # PC to its block.
+    indices = np.searchsorted(starts, inside, side="right") - 1
+    for index, count in zip(*np.unique(indices, return_counts=True)):
+        hotness[int(starts[index])] = int(count)
+    return hotness
+
+
+def build_trace(procedure: Procedure, hotness: dict[int, int],
+                seed_address: int, max_blocks: int = 16,
+                min_heat_ratio: float = 0.05) -> Trace | None:
+    """Grow a hot trace from the block containing *seed_address*.
+
+    Parameters
+    ----------
+    procedure:
+        The procedure to trace within (traces never cross procedures —
+        the same boundary the paper's loop builder respects).
+    hotness:
+        Per-block sample counts (from :func:`block_hotness`).
+    seed_address:
+        The hot address formation is trying to cover.
+    max_blocks:
+        Trace length cap.
+    min_heat_ratio:
+        Stop when the hottest successor's samples fall below this
+        fraction of the seed block's.
+
+    Returns ``None`` when the seed lies outside the procedure.
+    """
+    seed_block = procedure.cfg.block_containing(seed_address)
+    if seed_block is None:
+        return None
+    seed_heat = max(hotness.get(seed_block.start, 0), 1)
+    path = [seed_block.start]
+    visited = {seed_block.start}
+    current = seed_block.start
+    while len(path) < max_blocks:
+        successors = procedure.cfg.successors(current)
+        candidates = [(hotness.get(succ, 0), succ) for succ in successors
+                      if succ not in visited]
+        if not candidates:
+            break
+        heat, hottest = max(candidates)
+        if heat < min_heat_ratio * seed_heat:
+            break
+        path.append(hottest)
+        visited.add(hottest)
+        current = hottest
+    start = min(procedure.cfg.block(b).start for b in path)
+    end = max(procedure.cfg.block(b).end for b in path)
+    total_heat = sum(hotness.get(b, 0) for b in path)
+    return Trace(blocks=tuple(path), start=start, end=end,
+                 heat=total_heat)

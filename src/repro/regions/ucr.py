@@ -1,0 +1,63 @@
+"""Unmonitored Code Region (UCR) accounting.
+
+All samples that fall in no monitored region are attributed "to a single
+unmonitored region, which we call the unmonitored code region (UCR)"
+(paper section 3.1).  The tracker records the per-interval UCR fraction,
+answers the trigger test against the threshold (30% in the paper's study,
+Figure 6), and produces the statistics Figures 6 and 7 plot.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.thresholds import DEFAULT_UCR_THRESHOLD
+
+
+class UcrTracker:
+    """Per-interval UCR fraction history with trigger bookkeeping."""
+
+    def __init__(self, threshold: float = DEFAULT_UCR_THRESHOLD) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("UCR threshold must lie in (0, 1)")
+        self.threshold = threshold
+        self._history: list[float] = []
+        self._triggers: list[int] = []
+
+    def record(self, fraction: float, interval_index: int) -> bool:
+        """Record one interval's UCR fraction; returns whether the fraction
+        exceeds the formation threshold."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"UCR fraction {fraction} outside [0, 1]")
+        self._history.append(fraction)
+        should_trigger = fraction > self.threshold
+        if should_trigger:
+            self._triggers.append(interval_index)
+        return should_trigger
+
+    @property
+    def history(self) -> list[float]:
+        """Per-interval UCR fractions (Figure 7's time series)."""
+        return list(self._history)
+
+    @property
+    def trigger_intervals(self) -> list[int]:
+        """Interval indices at which formation was triggered."""
+        return list(self._triggers)
+
+    @property
+    def n_triggers(self) -> int:
+        """Total formation triggers so far."""
+        return len(self._triggers)
+
+    def median(self) -> float:
+        """Median UCR fraction over the run (Figure 6's statistic)."""
+        if not self._history:
+            return 0.0
+        return float(statistics.median(self._history))
+
+    def mean(self) -> float:
+        """Mean UCR fraction over the run."""
+        if not self._history:
+            return 0.0
+        return float(statistics.fmean(self._history))

@@ -1,0 +1,14 @@
+"""PMU sampling substrate: sample records, the user buffer, the simulator."""
+
+from repro.sampling.buffer import OverflowHandler, SampleBuffer
+from repro.sampling.events import Sample, SampleStream
+from repro.sampling.pmu import PMUSimulator, simulate_sampling
+
+__all__ = [
+    "OverflowHandler",
+    "SampleBuffer",
+    "Sample",
+    "SampleStream",
+    "PMUSimulator",
+    "simulate_sampling",
+]

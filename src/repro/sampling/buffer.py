@@ -1,0 +1,103 @@
+"""The user sample buffer with overflow delivery.
+
+The paper's system accumulates PMU samples into a fixed-size user buffer
+(2032 entries); "whenever the user buffer overflows", the buffered samples
+are delivered to the phase detector / region monitor and the buffer is
+reset.  This module models that contract for online (sample-at-a-time)
+consumers; bulk experiments slice :class:`~repro.sampling.events.SampleStream`
+directly, which is equivalent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.thresholds import DEFAULT_BUFFER_SIZE
+from repro.errors import SamplingError
+
+#: Signature of an overflow consumer: receives the full PC buffer and the
+#: interval index.
+OverflowHandler = Callable[[np.ndarray, int], None]
+
+
+class SampleBuffer:
+    """Fixed-capacity PC buffer that fires a handler on overflow.
+
+    Parameters
+    ----------
+    capacity:
+        Number of samples per interval (default: the paper's 2032).
+    on_overflow:
+        Called with ``(pcs, interval_index)`` every time the buffer fills.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_BUFFER_SIZE,
+                 on_overflow: OverflowHandler | None = None) -> None:
+        if capacity < 1:
+            raise SamplingError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._store = np.empty(capacity, dtype=np.int64)
+        self._fill = 0
+        self._interval_index = 0
+        self._handlers: list[OverflowHandler] = []
+        if on_overflow is not None:
+            self._handlers.append(on_overflow)
+
+    # -- consumers -----------------------------------------------------------
+
+    def subscribe(self, handler: OverflowHandler) -> None:
+        """Register an additional overflow consumer."""
+        self._handlers.append(handler)
+
+    # -- producers -----------------------------------------------------------
+
+    def push(self, pc: int) -> bool:
+        """Add one sample; returns ``True`` if this push caused overflow."""
+        self._store[self._fill] = pc
+        self._fill += 1
+        if self._fill == self.capacity:
+            self._deliver()
+            return True
+        return False
+
+    def push_many(self, pcs: np.ndarray) -> int:
+        """Add a batch of samples; returns the number of overflows fired."""
+        pcs = np.asarray(pcs, dtype=np.int64)
+        overflows = 0
+        offset = 0
+        while offset < pcs.size:
+            take = min(self.capacity - self._fill, pcs.size - offset)
+            self._store[self._fill:self._fill + take] = \
+                pcs[offset:offset + take]
+            self._fill += take
+            offset += take
+            if self._fill == self.capacity:
+                self._deliver()
+                overflows += 1
+        return overflows
+
+    def _deliver(self) -> None:
+        buffered = self._store.copy()
+        index = self._interval_index
+        self._interval_index += 1
+        self._fill = 0
+        for handler in self._handlers:
+            handler(buffered, index)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def fill(self) -> int:
+        """Samples currently buffered (always < capacity)."""
+        return self._fill
+
+    @property
+    def intervals_delivered(self) -> int:
+        """Number of overflows fired so far."""
+        return self._interval_index
+
+    def pending(self) -> np.ndarray:
+        """Copy of the samples buffered since the last overflow."""
+        return self._store[:self._fill].copy()

@@ -1,0 +1,168 @@
+"""Sample records and sample streams.
+
+The hardware PMU delivers, on every sampling interrupt, the interrupted
+program counter plus event information (we model the data-cache-miss flag
+the prefetching optimizer cares about).  A whole run's samples are kept as
+a struct-of-arrays :class:`SampleStream` so detectors can process millions
+of samples with vectorized slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One PMU sample (scalar view, used by unit tests and small runs)."""
+
+    pc: int
+    cycle: int
+    dcache_miss: bool = False
+    region_id: int = -1
+
+
+@dataclass(frozen=True)
+class SampleStream:
+    """All samples of one simulated run, as parallel arrays.
+
+    Attributes
+    ----------
+    pcs:
+        Sampled program-counter values (int64).
+    cycles:
+        Virtual cycle of each sampling interrupt (int64, ascending).
+    dcache_miss:
+        Whether the sampled instruction missed the data cache (bool).
+    region_ids:
+        Ground-truth index into :attr:`region_names` for the workload
+        region each sample was drawn from.  This is simulator-side truth
+        used by charts and tests — the detectors never see it.
+    region_names:
+        Workload-region names indexing :attr:`region_ids`.
+    sampling_period:
+        Cycles between interrupts.
+    total_cycles:
+        Virtual duration of the run.
+    """
+
+    pcs: np.ndarray
+    cycles: np.ndarray
+    dcache_miss: np.ndarray
+    region_ids: np.ndarray
+    region_names: tuple[str, ...]
+    sampling_period: int
+    total_cycles: int
+    #: Instructions retired between the previous interrupt and this one
+    #: (derived from the sampled region's CPI).  Optional: streams built
+    #: without it fall back to one instruction per cycle.
+    instr_delta: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = self.pcs.size
+        for name in ("cycles", "dcache_miss", "region_ids"):
+            if getattr(self, name).size != n:
+                raise SamplingError(
+                    f"stream array {name!r} has size "
+                    f"{getattr(self, name).size}, expected {n}")
+        if self.instr_delta is not None and self.instr_delta.size != n:
+            raise SamplingError(
+                f"stream array 'instr_delta' has size "
+                f"{self.instr_delta.size}, expected {n}")
+        if self.sampling_period <= 0:
+            raise SamplingError("sampling_period must be positive")
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of samples in the stream."""
+        return int(self.pcs.size)
+
+    def n_intervals(self, buffer_size: int) -> int:
+        """Number of *complete* buffer intervals in the stream."""
+        if buffer_size < 1:
+            raise SamplingError("buffer_size must be positive")
+        return self.n_samples // buffer_size
+
+    def intervals(self, buffer_size: int) -> Iterator[tuple[int, slice]]:
+        """Yield ``(interval_index, slice)`` for each full buffer.
+
+        The trailing partial buffer (which never overflowed, hence was
+        never delivered to the phase detector) is dropped — matching the
+        real system, where analysis happens on buffer overflow only.
+        """
+        for index in range(self.n_intervals(buffer_size)):
+            yield index, slice(index * buffer_size,
+                               (index + 1) * buffer_size)
+
+    def interval_pcs(self, buffer_size: int, index: int) -> np.ndarray:
+        """PC samples of one interval."""
+        n = self.n_intervals(buffer_size)
+        if not 0 <= index < n:
+            raise SamplingError(
+                f"interval {index} out of range (stream has {n})")
+        return self.pcs[index * buffer_size:(index + 1) * buffer_size]
+
+    def centroids(self, buffer_size: int) -> np.ndarray:
+        """Per-interval centroid (mean PC) vector, vectorized.
+
+        Equivalent to feeding each interval's buffer to
+        :func:`repro.core.centroid.centroid`, but computed in one reshape.
+        """
+        n = self.n_intervals(buffer_size)
+        if n == 0:
+            return np.empty(0)
+        trimmed = self.pcs[:n * buffer_size].astype(np.float64)
+        return trimmed.reshape(n, buffer_size).mean(axis=1)
+
+    def _instr(self) -> np.ndarray:
+        """Instruction deltas, defaulting to CPI = 1 when not simulated."""
+        if self.instr_delta is not None:
+            return self.instr_delta
+        return np.full(self.n_samples, float(self.sampling_period))
+
+    def interval_cpi(self, buffer_size: int) -> np.ndarray:
+        """Per-interval aggregate CPI (cycles per retired instruction).
+
+        This is one of the paper's global performance metrics: "aggregate
+        metrics like CPI over fixed time intervals".
+        """
+        n = self.n_intervals(buffer_size)
+        if n == 0:
+            return np.empty(0)
+        instr = self._instr()[:n * buffer_size].reshape(n, buffer_size)
+        cycles_per_interval = float(buffer_size * self.sampling_period)
+        return cycles_per_interval / np.maximum(instr.sum(axis=1), 1.0)
+
+    def interval_dpi(self, buffer_size: int) -> np.ndarray:
+        """Per-interval aggregate DPI, as misses per kilo-instruction.
+
+        Each sample's miss flag is a Bernoulli draw of the sampled
+        region's misses-per-instruction; weighting flags by the
+        instructions each sample stands for gives the per-instruction
+        estimate the paper's DPI metric uses.
+        """
+        n = self.n_intervals(buffer_size)
+        if n == 0:
+            return np.empty(0)
+        instr = self._instr()[:n * buffer_size].reshape(n, buffer_size)
+        flags = self.dcache_miss[:n * buffer_size].astype(np.float64)
+        flags = flags.reshape(n, buffer_size)
+        weighted = (flags * instr).sum(axis=1)
+        return 1000.0 * weighted / np.maximum(instr.sum(axis=1), 1.0)
+
+    def samples(self) -> Iterator[Sample]:
+        """Iterate scalar :class:`Sample` views (slow path, tests only)."""
+        for i in range(self.n_samples):
+            yield Sample(pc=int(self.pcs[i]), cycle=int(self.cycles[i]),
+                         dcache_miss=bool(self.dcache_miss[i]),
+                         region_id=int(self.region_ids[i]))
+
+    def region_name_of(self, sample_index: int) -> str:
+        """Ground-truth region name of one sample."""
+        rid = int(self.region_ids[sample_index])
+        return self.region_names[rid]

@@ -1,0 +1,150 @@
+"""Unit tests for the analysis helpers: metrics, charts, tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.charts import RegionChart, phase_line
+from repro.analysis.metrics import (gpd_phase_changes,
+                                    gpd_stable_percentage,
+                                    ground_truth_region_matrix,
+                                    lpd_region_breakdown, run_gpd,
+                                    select_top_regions)
+from repro.analysis.tables import format_cell, format_table
+from repro.core import MonitorThresholds
+from repro.costs import CostLedger
+from repro.monitor import RegionMonitor
+from repro.program.behavior import RegionSpec, bottleneck_profile
+from repro.program.binary import BinaryBuilder, loop
+from repro.program.workload import Steady, WorkloadScript, mixture
+from repro.sampling import simulate_sampling
+
+
+def small_setup():
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("p_a", [loop("a", body=12)], at=0x20000)
+    builder.procedure("p_b", [loop("b", body=12)], at=0x40000)
+    binary = builder.build()
+    regions = {
+        "a": RegionSpec("a", *binary.loop_span("a"),
+                        profiles={"main": bottleneck_profile(16, {4: 90.0})}),
+        "b": RegionSpec("b", *binary.loop_span("b"),
+                        profiles={"main": bottleneck_profile(16, {9: 90.0})}),
+    }
+    workload = WorkloadScript([
+        Steady(30_000_000, mixture(("a", 0.7), ("b", 0.3))),
+    ])
+    stream = simulate_sampling(regions, workload, 3000, seed=1)
+    return binary, stream
+
+
+class TestMetrics:
+    def test_run_gpd_charges_ledger(self):
+        _binary, stream = small_setup()
+        ledger = CostLedger()
+        detector = run_gpd(stream, 512, ledger=ledger)
+        assert detector.intervals_seen == stream.n_intervals(512)
+        assert ledger.gpd_ops > 0
+
+    def test_phase_change_and_stable_wrappers(self):
+        _binary, stream = small_setup()
+        changes = gpd_phase_changes(stream, 512)
+        stable = gpd_stable_percentage(stream, 512)
+        detector = run_gpd(stream, 512)
+        assert changes == len(detector.events)
+        assert stable == pytest.approx(
+            100 * detector.stable_time_fraction())
+
+    def test_lpd_region_breakdown_sorted_by_samples(self):
+        binary, stream = small_setup()
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=512))
+        monitor.process_stream(stream)
+        rows = lpd_region_breakdown(monitor)
+        assert len(rows) == 2
+        assert rows[0]["samples"] >= rows[1]["samples"]
+        assert {"region", "phase_changes", "stable_pct"} <= rows[0].keys()
+
+    def test_select_top_regions(self):
+        binary, stream = small_setup()
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=512))
+        monitor.process_stream(stream)
+        top = select_top_regions(monitor, 1)
+        assert len(top) == 1
+        assert top[0] == f"{0x20000:x}-{0x20000 + 64:x}"
+
+    def test_ground_truth_matrix(self):
+        _binary, stream = small_setup()
+        names, matrix = ground_truth_region_matrix(stream, 512)
+        assert matrix.shape == (stream.n_intervals(512), len(names))
+        assert matrix.sum() == stream.n_intervals(512) * 512
+
+
+class TestRegionChart:
+    def chart(self):
+        matrix = np.array([[10, 0], [8, 2], [3, 8], [0, 10]])
+        phase = np.array([1, 1, 0, 0])
+        return RegionChart(("alpha", "beta"), matrix, phase)
+
+    def test_top_regions(self):
+        chart = self.chart()
+        assert chart.top_regions(1) == [("alpha", 21)]
+        assert chart.top_regions(2)[1] == ("beta", 20)
+
+    def test_region_series(self):
+        chart = self.chart()
+        assert chart.region_series("beta").tolist() == [0, 2, 8, 10]
+        with pytest.raises(KeyError):
+            chart.region_series("ghost")
+
+    def test_downsample(self):
+        chart = self.chart().downsampled(2)
+        assert chart.n_intervals == 2
+        assert chart.matrix[0, 0] == pytest.approx(9.0)
+        assert chart.phase.tolist() == [1.0, 0.0]
+
+    def test_downsample_validation(self):
+        with pytest.raises(ValueError):
+            self.chart().downsampled(0)
+
+    def test_render_ascii(self):
+        text = self.chart().render_ascii(width=4, top_k=2)
+        lines = text.splitlines()
+        assert len(lines) == 3  # two regions + phase line
+        assert "alpha" in lines[0]
+        assert "^" in lines[-1] and "_" in lines[-1]
+
+    def test_phase_line_from_detector(self):
+        from repro.core import GlobalPhaseDetector
+        detector = GlobalPhaseDetector()
+        for _ in range(10):
+            detector.observe_centroid(1000.0)
+        line = phase_line(detector)
+        assert line[0] == 1      # warmup = unstable
+        assert line[-1] == 0     # settled stable
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(0.0) == "0"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(0.1234567) == "0.1235"
+        assert format_cell(123456.0) == "123,456"
+        assert format_cell("text") == "text"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "count"],
+                             [["a", 1], ["bbbb", 22]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # Numeric column right-aligned: the ones digit lines up.
+        assert lines[3].rstrip().endswith("1")
+        assert lines[4].rstrip().endswith("22")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table

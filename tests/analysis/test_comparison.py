@@ -1,0 +1,60 @@
+"""Tests for the detector-zoo comparison helper."""
+
+import pytest
+
+from repro.analysis.comparison import SchemeResult, compare_detectors
+from repro.program.spec2000 import get_benchmark
+from repro.sampling import simulate_sampling
+
+
+def stream_and_binary(name="187.facerec", scale=0.2):
+    model = get_benchmark(name, scale)
+    stream = simulate_sampling(model.regions, model.workload, 45_000,
+                               seed=7)
+    return stream, model.binary
+
+
+class TestCompareDetectors:
+    def test_all_schemes_run(self):
+        stream, binary = stream_and_binary()
+        results = compare_detectors(stream, binary)
+        assert [r.scheme for r in results] == [
+            "centroid", "composite", "bbv", "working_set", "lpd"]
+        for result in results:
+            assert isinstance(result, SchemeResult)
+            assert 0.0 <= result.stable_fraction <= 1.0
+            assert result.phase_changes >= 0
+        assert results[-1].scope == "local"
+        assert all(r.scope == "global" for r in results[:-1])
+
+    def test_local_beats_global_on_the_flapper(self):
+        stream, binary = stream_and_binary("187.facerec")
+        results = {r.scheme: r for r in compare_detectors(stream, binary)}
+        assert results["lpd"].phase_changes \
+            < results["centroid"].phase_changes
+        assert results["lpd"].stable_fraction \
+            > results["centroid"].stable_fraction
+
+    def test_global_subset_without_binary(self):
+        stream, _binary = stream_and_binary()
+        results = compare_detectors(stream,
+                                    schemes=("centroid", "bbv"))
+        assert len(results) == 2
+
+    def test_lpd_requires_binary(self):
+        stream, _binary = stream_and_binary()
+        with pytest.raises(ValueError, match="binary"):
+            compare_detectors(stream, schemes=("lpd",))
+
+    def test_unknown_scheme_rejected(self):
+        stream, binary = stream_and_binary()
+        with pytest.raises(ValueError, match="unknown scheme"):
+            compare_detectors(stream, binary, schemes=("oracle",))
+
+    def test_stable_program_all_schemes_stable(self):
+        stream, binary = stream_and_binary("171.swim", 0.2)
+        for result in compare_detectors(stream, binary):
+            assert result.stable_fraction > 0.8, result.scheme
+            # The composite detector's DPI channel occasionally blips on
+            # sampling noise; everything stays in the single digits.
+            assert result.phase_changes <= 6, result.scheme

@@ -1,0 +1,78 @@
+"""Tests for experiment-result export (JSON/CSV) and the --out flag."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (export_results, result_to_dict,
+                                   write_csv, write_json)
+from repro.experiments.base import ExperimentResult
+
+
+def sample_result(experiment_id="fig99"):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="Synthetic result",
+        headers=["name", "count", "ratio"],
+        rows=[["alpha", 3, 0.5], ["beta", np.int64(7), np.float64(1.25)]],
+        notes="a note",
+        extras={"unserializable": object()})
+
+
+class TestResultToDict:
+    def test_roundtrips_core_fields(self):
+        data = result_to_dict(sample_result())
+        assert data["experiment_id"] == "fig99"
+        assert data["headers"] == ["name", "count", "ratio"]
+        assert data["rows"][0] == ["alpha", 3, 0.5]
+        assert data["notes"] == "a note"
+        assert "extras" not in data  # extras hold live objects, dropped
+
+    def test_numpy_scalars_coerced(self):
+        data = result_to_dict(sample_result())
+        assert data["rows"][1] == ["beta", 7, 1.25]
+        json.dumps(data)  # must be serializable
+
+
+class TestWriters:
+    def test_write_json(self, tmp_path):
+        path = write_json(sample_result(), tmp_path / "deep/dir/out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["title"] == "Synthetic result"
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(sample_result(), tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["name", "count", "ratio"]
+        assert rows[1] == ["alpha", "3", "0.5"]
+        assert len(rows) == 3
+
+    def test_export_results_names_by_id(self, tmp_path):
+        results = [sample_result("fig01"), sample_result("fig02")]
+        written = export_results(results, tmp_path)
+        names = sorted(p.name for p in written)
+        assert names == ["fig01.csv", "fig01.json", "fig02.csv",
+                         "fig02.json"]
+
+    def test_export_single_format(self, tmp_path):
+        written = export_results([sample_result()], tmp_path,
+                                 formats=("json",))
+        assert [p.suffix for p in written] == [".json"]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown export formats"):
+            export_results([sample_result()], tmp_path, formats=("xml",))
+
+
+class TestRunnerIntegration:
+    def test_out_flag_writes_files(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "results"
+        assert main(["fig08", "--out", str(out)]) == 0
+        assert (out / "fig08.json").exists()
+        assert (out / "fig08.csv").exists()
+        assert "exported 2 files" in capsys.readouterr().out

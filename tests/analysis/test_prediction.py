@@ -1,0 +1,159 @@
+"""Tests for phase classification and next-phase prediction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import ground_truth_region_matrix
+from repro.analysis.prediction import (MarkovPhasePredictor,
+                                       PhaseClassifier, PredictionReport)
+from repro.errors import ConfigError
+
+PHASE_A = np.array([0.8, 0.1, 0.1])
+PHASE_B = np.array([0.1, 0.8, 0.1])
+PHASE_C = np.array([0.1, 0.1, 0.8])
+
+
+def noisy(vector, rng, sigma=0.02):
+    return np.clip(vector + rng.normal(0.0, sigma, vector.size), 0.0, 1.0)
+
+
+class TestPhaseClassifier:
+    def test_identical_intervals_share_a_phase(self):
+        classifier = PhaseClassifier()
+        ids = [classifier.classify(PHASE_A) for _ in range(5)]
+        assert ids == [0] * 5
+        assert classifier.n_phases == 1
+
+    def test_distinct_behaviors_get_distinct_phases(self):
+        classifier = PhaseClassifier()
+        a = classifier.classify(PHASE_A)
+        b = classifier.classify(PHASE_B)
+        c = classifier.classify(PHASE_C)
+        assert len({a, b, c}) == 3
+
+    def test_recurrence_reuses_ids(self):
+        rng = np.random.default_rng(3)
+        classifier = PhaseClassifier()
+        sequence = [PHASE_A, PHASE_B] * 10
+        ids = [classifier.classify(noisy(v, rng)) for v in sequence]
+        assert classifier.n_phases == 2
+        assert ids == [0, 1] * 10
+
+    def test_signature_is_running_mean(self):
+        # Threshold wide enough that both vectors join one phase.
+        classifier = PhaseClassifier(distance_threshold=0.5)
+        classifier.classify(np.array([1.0, 0.0]))
+        classifier.classify(np.array([0.8, 0.2]))
+        signature = classifier.phase_signature(0)
+        assert signature[0] == pytest.approx(0.9)
+        assert signature.sum() == pytest.approx(1.0)
+
+    def test_max_phases_cap(self):
+        classifier = PhaseClassifier(distance_threshold=0.01, max_phases=2)
+        vectors = [np.array([1.0, 0, 0]), np.array([0, 1.0, 0]),
+                   np.array([0, 0, 1.0]), np.array([0.5, 0.5, 0])]
+        ids = [classifier.classify(v) for v in vectors]
+        assert classifier.n_phases == 2
+        assert max(ids) <= 1
+
+    def test_zero_vector_handled(self):
+        classifier = PhaseClassifier()
+        assert classifier.classify(np.zeros(3)) == 0
+
+    def test_dimension_mismatch_rejected(self):
+        classifier = PhaseClassifier()
+        classifier.classify(PHASE_A)
+        with pytest.raises(ConfigError):
+            classifier.classify(np.array([0.5, 0.5]))
+
+    def test_unknown_phase_lookup(self):
+        with pytest.raises(ConfigError):
+            PhaseClassifier().phase_signature(0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            PhaseClassifier(distance_threshold=0.0)
+        with pytest.raises(ConfigError):
+            PhaseClassifier(max_phases=0)
+
+    def test_classify_matrix(self):
+        classifier = PhaseClassifier()
+        matrix = np.stack([PHASE_A, PHASE_A, PHASE_B])
+        assert classifier.classify_matrix(matrix) == [0, 0, 1]
+
+
+class TestMarkovPredictor:
+    def test_no_prediction_without_history(self):
+        predictor = MarkovPhasePredictor()
+        assert predictor.predict() is None
+        assert predictor.report().accuracy == 0.0
+
+    def test_perfect_on_periodic_sequence(self):
+        predictor = MarkovPhasePredictor(order=1)
+        report = predictor.observe_sequence([0, 1] * 20)
+        # After learning the alternation, everything is predictable.
+        assert report.accuracy > 0.9
+
+    def test_order_two_needed_for_period_three_with_repeats(self):
+        # Sequence 0,0,1,0,0,1...: after a 0, the next is 0 or 1 depending
+        # on the *previous two* — order 1 caps near 2/3, order 2 nails it.
+        sequence = [0, 0, 1] * 30
+        low = MarkovPhasePredictor(order=1).observe_sequence(sequence)
+        high = MarkovPhasePredictor(order=2).observe_sequence(sequence)
+        assert high.accuracy > low.accuracy
+        assert high.accuracy > 0.9
+
+    def test_random_sequence_near_chance(self):
+        rng = np.random.default_rng(0)
+        sequence = list(rng.integers(0, 4, size=400))
+        report = MarkovPhasePredictor(order=1).observe_sequence(sequence)
+        assert report.accuracy < 0.45
+
+    def test_constant_sequence(self):
+        report = MarkovPhasePredictor().observe_sequence([7] * 10)
+        assert report.accuracy == 1.0
+
+    def test_report_counts(self):
+        predictor = MarkovPhasePredictor()
+        predictor.observe(0)       # no prediction scored (no history)
+        predictor.observe(0)
+        report = predictor.report()
+        assert isinstance(report, PredictionReport)
+        assert report.predictions == 1
+
+    def test_order_validation(self):
+        with pytest.raises(ConfigError):
+            MarkovPhasePredictor(order=0)
+
+
+class TestEndToEnd:
+    def test_facerec_phases_are_predictable(self):
+        """The paper's footnote-1 scenario: facerec's periodic two-set
+        switching yields a recurring, *predictable* phase sequence — the
+        information a next-phase prefetcher would exploit."""
+        from repro.program.spec2000 import get_benchmark
+        from repro.sampling import simulate_sampling
+
+        model = get_benchmark("187.facerec", 0.3)
+        stream = simulate_sampling(model.regions, model.workload, 45_000,
+                                   seed=7)
+        _names, matrix = ground_truth_region_matrix(stream, 2032)
+        ids = PhaseClassifier().classify_matrix(matrix)
+        assert 2 <= max(ids) + 1 <= 6  # a few recurring phases
+        report = MarkovPhasePredictor(order=2).observe_sequence(ids)
+        assert report.accuracy > 0.8
+
+    def test_multi_phase_program_less_predictable_than_periodic(self):
+        from repro.program.spec2000 import get_benchmark
+        from repro.sampling import simulate_sampling
+
+        def accuracy(name):
+            model = get_benchmark(name, 0.3)
+            stream = simulate_sampling(model.regions, model.workload,
+                                       45_000, seed=7)
+            _names, matrix = ground_truth_region_matrix(stream, 2032)
+            ids = PhaseClassifier().classify_matrix(matrix)
+            return MarkovPhasePredictor(order=2).observe_sequence(
+                ids).accuracy
+
+        assert accuracy("187.facerec") >= accuracy("254.gap") - 0.05

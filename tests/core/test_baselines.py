@@ -1,0 +1,164 @@
+"""Unit tests for the related-work baseline detectors (BBV, working set)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (BasicBlockVectorDetector,
+                                  WorkingSetDetector)
+from repro.core.states import PhaseEventKind
+from repro.errors import ConfigError
+
+RNG = np.random.default_rng(6)
+
+
+def buffer_at(base, n=512, spread=256):
+    return base + 4 * RNG.integers(0, spread // 4, size=n)
+
+
+def feed(detector, buffers):
+    events = []
+    for pcs in buffers:
+        event = detector.observe_buffer(pcs)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+@pytest.mark.parametrize("cls", [BasicBlockVectorDetector,
+                                 WorkingSetDetector])
+class TestSharedBehavior:
+    def test_starts_unstable(self, cls):
+        detector = cls()
+        assert not detector.in_stable_phase
+        assert detector.stable_time_fraction() == 0.0
+
+    def test_steady_working_set_stabilizes(self, cls):
+        detector = cls()
+        feed(detector, [buffer_at(0x10000) for _ in range(8)])
+        assert detector.in_stable_phase
+        assert detector.phase_change_count() == 1
+        assert detector.events[0].kind is PhaseEventKind.BECAME_STABLE
+
+    def test_working_set_move_destabilizes(self, cls):
+        detector = cls()
+        feed(detector, [buffer_at(0x10000) for _ in range(8)])
+        feed(detector, [buffer_at(0x90000) for _ in range(3)])
+        kinds = [e.kind for e in detector.events]
+        assert PhaseEventKind.BECAME_UNSTABLE in kinds
+
+    def test_single_blip_costs_two_phase_changes(self, cls):
+        # Interval-pair schemes have no grace: a one-interval excursion
+        # produces a dissimilar comparison on the way out AND on the way
+        # back — the sampling sensitivity the paper criticizes.
+        detector = cls()
+        feed(detector, [buffer_at(0x10000) for _ in range(8)])
+        detector.observe_buffer(buffer_at(0x90000))
+        feed(detector, [buffer_at(0x10000) for _ in range(4)])
+        assert detector.in_stable_phase  # eventually recovers
+        assert detector.phase_change_count() >= 3
+
+    def test_dissimilarity_log(self, cls):
+        detector = cls()
+        feed(detector, [buffer_at(0x10000)] * 3)
+        assert len(detector.dissimilarities) == 3
+        assert detector.dissimilarities[0] == 1.0  # nothing to compare
+        assert all(0.0 <= d <= 1.0 for d in detector.dissimilarities)
+
+    def test_threshold_validation(self, cls):
+        with pytest.raises(ConfigError):
+            cls(threshold=0.0)
+        with pytest.raises(ConfigError):
+            cls(threshold=1.0)
+
+    def test_chunk_validation(self, cls):
+        with pytest.raises(ConfigError):
+            cls(chunk_bytes=2)
+
+
+class TestSchemeDifferences:
+    def test_bbv_sees_frequency_shift_working_set_does_not(self):
+        """The paper's §4 distinction: Dhodapkar's scheme 'only determines
+        if the instruction ... was executed', Sherwood's also weighs
+        frequencies.  Shift execution weight between two always-touched
+        chunks: BBV reacts, the working-set detector does not."""
+        chunk_a, chunk_b = 0x10000, 0x10000 + 0x400
+
+        def mixed(frac_a, n=512):
+            n_a = int(n * frac_a)
+            return np.concatenate([
+                buffer_at(chunk_a, n_a, spread=128),
+                buffer_at(chunk_b, n - n_a, spread=128)])
+
+        bbv = BasicBlockVectorDetector(threshold=0.25)
+        ws = WorkingSetDetector(threshold=0.5)
+        for _ in range(6):
+            for detector in (bbv, ws):
+                detector.observe_buffer(mixed(0.9))
+        for _ in range(4):
+            for detector in (bbv, ws):
+                detector.observe_buffer(mixed(0.1))
+        # BBV saw the frequency shift (destabilize + restabilize on the
+        # new distribution); the working-set detector never blinked.
+        assert bbv.phase_change_count() >= 3
+        assert ws.phase_change_count() == 1
+        assert ws.in_stable_phase
+
+    def test_bbv_scale_invariance(self):
+        # Same distribution, different buffer sizes: no change.
+        detector = BasicBlockVectorDetector()
+        feed(detector, [buffer_at(0x10000, n=512)] * 4)
+        detector.observe_buffer(buffer_at(0x10000, n=2048))
+        assert detector.in_stable_phase
+
+    def test_working_set_distance_extremes(self):
+        detector = WorkingSetDetector()
+        same = detector._difference({1: 5, 2: 5}, {1: 9, 2: 1})
+        disjoint = detector._difference({1: 5, 2: 5}, {3: 5, 4: 5})
+        assert same == 0.0
+        assert disjoint == 1.0
+        assert detector._difference({}, {}) == 0.0
+
+    def test_bbv_distance_extremes(self):
+        detector = BasicBlockVectorDetector()
+        same = detector._difference({1: 5, 2: 5}, {1: 50, 2: 50})
+        disjoint = detector._difference({1: 10}, {2: 10})
+        assert same == pytest.approx(0.0)
+        assert disjoint == pytest.approx(1.0)
+
+
+class TestOnSimulatedStreams:
+    def test_periodic_program_flaps_frequency_sensitive_schemes(self):
+        """facerec-style periodic switching defeats the frequency-aware
+        global detector (BBV), the same pathology as the centroid GPD;
+        the set-based working-set scheme barely reacts because every
+        region stays *resident* at low weight — the coarseness the
+        paper's related-work section attributes to it."""
+        from repro.program.spec2000 import get_benchmark
+        from repro.sampling import simulate_sampling
+
+        model = get_benchmark("187.facerec", 0.25)
+        stream = simulate_sampling(model.regions, model.workload, 45_000,
+                                   seed=7)
+        counts = {}
+        for cls in (BasicBlockVectorDetector, WorkingSetDetector):
+            detector = cls()
+            for _index, window in stream.intervals(2032):
+                detector.observe_buffer(stream.pcs[window])
+            counts[cls.__name__] = detector.phase_change_count()
+        assert counts["BasicBlockVectorDetector"] >= 8
+        assert counts["WorkingSetDetector"] \
+            < counts["BasicBlockVectorDetector"]
+
+    def test_stable_program_is_stable_under_all_schemes(self):
+        from repro.program.spec2000 import get_benchmark
+        from repro.sampling import simulate_sampling
+
+        model = get_benchmark("171.swim", 0.25)
+        stream = simulate_sampling(model.regions, model.workload, 45_000,
+                                   seed=7)
+        for cls in (BasicBlockVectorDetector, WorkingSetDetector):
+            detector = cls()
+            for _index, window in stream.intervals(2032):
+                detector.observe_buffer(stream.pcs[window])
+            assert detector.phase_change_count() <= 2, cls.__name__
+            assert detector.stable_time_fraction() > 0.9, cls.__name__

@@ -1,0 +1,95 @@
+"""Unit tests for centroid math and the Band of Stability."""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import BandOfStability, CentroidHistory, centroid
+from repro.errors import ConfigError
+
+
+class TestCentroid:
+    def test_mean_of_samples(self):
+        assert centroid([0x1000, 0x2000]) == pytest.approx(0x1800)
+
+    def test_single_sample(self):
+        assert centroid([0x4000]) == 0x4000
+
+    def test_empty_buffer_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_accepts_numpy_array(self):
+        assert centroid(np.array([10, 20, 30])) == pytest.approx(20.0)
+
+
+class TestBandOfStability:
+    def test_bounds(self):
+        band = BandOfStability(expectation=1000.0, sd=50.0)
+        assert band.lower == 950.0
+        assert band.upper == 1050.0
+
+    def test_drift_zero_inside_band(self):
+        band = BandOfStability(1000.0, 50.0)
+        for value in (950.0, 1000.0, 1050.0):
+            assert band.drift(value) == 0.0
+
+    def test_drift_distance_outside_band(self):
+        band = BandOfStability(1000.0, 50.0)
+        assert band.drift(900.0) == pytest.approx(50.0)
+        assert band.drift(1150.0) == pytest.approx(100.0)
+
+    def test_drift_ratio_normalizes_by_expectation(self):
+        band = BandOfStability(1000.0, 50.0)
+        assert band.drift_ratio(1150.0) == pytest.approx(0.1)
+        assert band.drift_ratio(1000.0) == 0.0
+
+    def test_drift_ratio_degenerate_expectation(self):
+        band = BandOfStability(0.0, 0.0)
+        assert band.drift_ratio(10.0) == float("inf")
+        assert band.drift_ratio(0.0) == 0.0
+
+    def test_thickness_check_matches_paper_rule(self):
+        # SD must be strictly less than E/6 for the band to be thin enough.
+        assert not BandOfStability(600.0, 99.0).is_too_thick()
+        assert BandOfStability(600.0, 100.0).is_too_thick()
+        assert BandOfStability(600.0, 101.0).is_too_thick()
+
+    def test_thickness_custom_divisor(self):
+        band = BandOfStability(100.0, 30.0)
+        assert band.is_too_thick(6.0)
+        assert not band.is_too_thick(3.0)
+
+
+class TestCentroidHistory:
+    def test_requires_length_two(self):
+        with pytest.raises(ConfigError):
+            CentroidHistory(1)
+
+    def test_band_needs_two_values(self):
+        history = CentroidHistory(4)
+        history.push(100.0)
+        assert not history.can_compute_band()
+        with pytest.raises(ValueError):
+            history.band()
+        history.push(200.0)
+        assert history.can_compute_band()
+
+    def test_band_statistics(self):
+        history = CentroidHistory(8)
+        history.extend([10.0, 20.0, 30.0])
+        band = history.band()
+        assert band.expectation == pytest.approx(20.0)
+        assert band.sd == pytest.approx(np.std([10.0, 20.0, 30.0]))
+
+    def test_window_eviction(self):
+        history = CentroidHistory(3)
+        history.extend([1.0, 2.0, 3.0, 4.0])
+        assert history.values == (2.0, 3.0, 4.0)
+        assert len(history) == 3
+
+    def test_clear(self):
+        history = CentroidHistory(3)
+        history.extend([1.0, 2.0])
+        history.clear()
+        assert len(history) == 0
+        assert not history.can_compute_band()

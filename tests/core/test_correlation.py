@@ -1,0 +1,113 @@
+"""Unit tests for Pearson's coefficient of correlation.
+
+Pins down the formula against the paper's Figure 8 anchor values and the
+degenerate-case conventions the LPD relies on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import pearson_r, pearson_r_pure, pearson_r_strict
+
+# The three distributions of Figure 8 (10 instruction slots).  "Original" is
+# a single-bottleneck histogram; shifting the bottleneck by one instruction
+# must destroy the correlation; scaling all counts must preserve it.
+ORIGINAL = [10.0, 12.0, 11.0, 13.0, 350.0, 12.0, 11.0, 10.0, 13.0, 12.0]
+SHIFTED = [10.0, 12.0, 11.0, 13.0, 12.0, 350.0, 11.0, 10.0, 13.0, 12.0]
+SCALED = [3.0 * v for v in ORIGINAL]
+
+
+class TestFigure8Properties:
+    def test_identical_distributions_are_perfectly_correlated(self):
+        assert pearson_r(ORIGINAL, ORIGINAL) == pytest.approx(1.0)
+
+    def test_bottleneck_shift_destroys_correlation(self):
+        r = pearson_r(ORIGINAL, SHIFTED)
+        # Paper reports r = -0.056 for its instance of this shape: near
+        # zero, slightly negative.
+        assert -0.3 < r < 0.1
+
+    def test_uniform_scaling_preserves_correlation(self):
+        r = pearson_r(ORIGINAL, SCALED)
+        # Paper reports r = 0.998 for scaling plus sampling noise; exact
+        # scaling gives exactly 1.
+        assert r == pytest.approx(1.0)
+
+    def test_scaling_with_noise_stays_high(self):
+        rng = np.random.default_rng(8)
+        noisy = np.asarray(SCALED) + rng.normal(0.0, 2.0, size=len(SCALED))
+        assert pearson_r(ORIGINAL, noisy) > 0.99
+
+
+class TestAgainstNumpyOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_corrcoef_on_random_vectors(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 100, size=32).astype(float)
+        y = rng.integers(0, 100, size=32).astype(float)
+        expected = float(np.corrcoef(x, y)[0, 1])
+        assert pearson_r(x, y) == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pure_python_matches_vectorized(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        x = rng.integers(0, 50, size=17).astype(float)
+        y = rng.integers(0, 50, size=17).astype(float)
+        assert pearson_r_pure(x, y) == pytest.approx(pearson_r(x, y),
+                                                     abs=1e-12)
+
+
+class TestEdgeCases:
+    def test_perfect_anticorrelation(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [4.0, 3.0, 2.0, 1.0]
+        assert pearson_r(x, y) == pytest.approx(-1.0)
+
+    def test_result_is_clamped_to_unit_interval(self):
+        x = [1e9, 2e9, 3e9]
+        y = [2e9, 4e9, 6e9]
+        assert pearson_r(x, y) <= 1.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="equal length"):
+            pearson_r([1.0, 2.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="equal length"):
+            pearson_r_pure([1.0], [1.0, 2.0])
+
+    def test_two_dimensional_input_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pearson_r(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_strict_returns_none_for_zero_variance(self):
+        assert pearson_r_strict([5.0, 5.0, 5.0], [1.0, 2.0, 3.0]) is None
+        assert pearson_r_strict([1.0, 2.0, 3.0], [0.0, 0.0, 0.0]) is None
+
+    def test_strict_returns_none_for_single_element(self):
+        assert pearson_r_strict([1.0], [2.0]) is None
+
+    def test_degenerate_both_flat_counts_as_similar(self):
+        assert pearson_r([5.0, 5.0, 5.0], [7.0, 7.0, 7.0]) == 1.0
+        assert pearson_r([0.0, 0.0], [0.0, 0.0]) == 1.0
+
+    def test_degenerate_one_flat_counts_as_dissimilar(self):
+        assert pearson_r([5.0, 5.0, 5.0], [1.0, 9.0, 5.0]) == 0.0
+        assert pearson_r([1.0, 9.0, 5.0], [5.0, 5.0, 5.0]) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(77)
+        x = rng.integers(0, 30, size=12).astype(float)
+        y = rng.integers(0, 30, size=12).astype(float)
+        assert pearson_r(x, y) == pytest.approx(pearson_r(y, x))
+
+    def test_translation_invariance(self):
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        y = np.array([9.0, 2.0, 6.0, 5.0, 3.0])
+        assert pearson_r(x + 100.0, y) == pytest.approx(pearson_r(x, y))
+
+    def test_not_nan_for_any_small_integer_pair(self):
+        for a in range(3):
+            for b in range(3):
+                r = pearson_r([float(a), float(b)], [float(b), float(a)])
+                assert not math.isnan(r)

@@ -1,0 +1,177 @@
+"""Unit tests for the centroid-based Global Phase Detector (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.states import PhaseEventKind, PhaseState
+from repro.core.thresholds import GpdThresholds
+from repro.errors import ConfigError
+
+
+def feed_centroids(detector, values):
+    for value in values:
+        detector.observe_centroid(float(value))
+
+
+def fresh_detector(**overrides):
+    defaults = dict(dwell_intervals=2, history_length=8)
+    defaults.update(overrides)
+    return GlobalPhaseDetector(GpdThresholds(**defaults))
+
+
+class TestWarmup:
+    def test_starts_in_warmup(self):
+        detector = fresh_detector()
+        assert detector.state is PhaseState.WARMUP
+        assert not detector.in_stable_phase
+
+    def test_leaves_warmup_after_two_centroids(self):
+        detector = fresh_detector()
+        detector.observe_centroid(1000.0)
+        assert detector.state is PhaseState.WARMUP
+        detector.observe_centroid(1000.0)
+        # Second observation computes no band yet at step time for the
+        # first but history now has 2; third observation sees a band.
+        detector.observe_centroid(1000.0)
+        assert detector.state is not PhaseState.WARMUP
+
+    def test_interval_counter(self):
+        detector = fresh_detector()
+        feed_centroids(detector, [1.0, 2.0, 3.0])
+        assert detector.intervals_seen == 3
+
+
+class TestStabilization:
+    def test_steady_centroids_reach_stable(self):
+        detector = fresh_detector()
+        feed_centroids(detector, [1000.0] * 10)
+        assert detector.state is PhaseState.STABLE
+        assert detector.in_stable_phase
+        events = detector.events
+        assert len(events) == 1
+        assert events[0].kind is PhaseEventKind.BECAME_STABLE
+
+    def test_dwell_timer_delays_stability(self):
+        # With a longer dwell the stable declaration arrives later.
+        quick = fresh_detector(dwell_intervals=1)
+        slow = fresh_detector(dwell_intervals=4)
+        series = [1000.0] * 12
+        feed_centroids(quick, series)
+        feed_centroids(slow, series)
+        quick_idx = quick.events[0].interval_index
+        slow_idx = slow.events[0].interval_index
+        assert quick_idx < slow_idx
+
+    def test_thick_band_blocks_stabilization(self):
+        # Alternate far-apart centroids: SD stays >= E/6, detector must
+        # never leave UNSTABLE.
+        detector = fresh_detector()
+        feed_centroids(detector, [1000.0, 3000.0] * 10)
+        assert detector.state in (PhaseState.UNSTABLE, PhaseState.WARMUP)
+        assert detector.events == []
+
+    def test_buffer_interface_equivalent_to_centroid(self):
+        a = fresh_detector()
+        b = fresh_detector()
+        rng = np.random.default_rng(5)
+        for _ in range(8):
+            pcs = rng.integers(0x10000, 0x10100, size=64)
+            a.observe_buffer(pcs)
+            b.observe_centroid(float(pcs.mean()))
+        assert a.state is b.state
+        assert len(a.events) == len(b.events)
+
+
+class TestDestabilization:
+    def stable_detector(self):
+        detector = fresh_detector()
+        feed_centroids(detector, [1000.0] * 10)
+        assert detector.in_stable_phase
+        return detector
+
+    def test_large_jump_revokes_stability(self):
+        detector = self.stable_detector()
+        detector.observe_centroid(900000.0)
+        assert detector.state is PhaseState.UNSTABLE
+        assert not detector.in_stable_phase
+        assert detector.events[-1].kind is PhaseEventKind.BECAME_UNSTABLE
+
+    def test_moderate_drift_goes_less_unstable_without_event(self):
+        detector = self.stable_detector()
+        events_before = len(detector.events)
+        # Drift between TH2 (5%) and TH4 (67%) of E=1000: e.g. +30%.
+        detector.observe_centroid(1300.0)
+        assert detector.state is PhaseState.LESS_UNSTABLE
+        assert detector.in_stable_phase  # declaration survives excursion
+        assert len(detector.events) == events_before
+
+    def test_less_unstable_recovers_to_stable(self):
+        detector = self.stable_detector()
+        detector.observe_centroid(1300.0)
+        assert detector.state is PhaseState.LESS_UNSTABLE
+        # Return to the band: recovery without a phase-change event.
+        feed_centroids(detector, [1000.0] * 3)
+        assert detector.state is PhaseState.STABLE
+        kinds = [e.kind for e in detector.events]
+        assert kinds.count(PhaseEventKind.BECAME_UNSTABLE) == 0
+
+    def test_small_drift_keeps_stable(self):
+        detector = self.stable_detector()
+        detector.observe_centroid(1030.0)  # 3% < TH2
+        assert detector.state is PhaseState.STABLE
+
+
+class TestAccounting:
+    def test_stable_time_fraction_zero_without_observations(self):
+        assert fresh_detector().stable_time_fraction() == 0.0
+
+    def test_stable_time_fraction_counts_stable_intervals(self):
+        detector = fresh_detector()
+        feed_centroids(detector, [1000.0] * 20)
+        fraction = detector.stable_time_fraction()
+        assert 0.5 < fraction < 1.0
+        assert detector.stable_interval_count() == round(fraction * 20)
+
+    def test_observation_log_shape(self):
+        detector = fresh_detector()
+        feed_centroids(detector, [1000.0] * 5)
+        assert len(detector.observations) == 5
+        assert [o.interval_index for o in detector.observations] == list(range(5))
+        assert detector.observations[0].band is None
+        assert detector.observations[-1].band is not None
+
+    def test_flapping_workload_produces_many_events(self):
+        # Periodic centroid swings (the facerec pathology): the detector
+        # should repeatedly stabilize and destabilize.
+        detector = fresh_detector(history_length=4)
+        pattern = ([1000.0] * 8 + [50000.0] * 8) * 6
+        feed_centroids(detector, pattern)
+        stable_events = [e for e in detector.events
+                         if e.kind is PhaseEventKind.BECAME_STABLE]
+        unstable_events = [e for e in detector.events
+                           if e.kind is PhaseEventKind.BECAME_UNSTABLE]
+        assert len(stable_events) >= 3
+        assert len(unstable_events) >= 3
+
+
+class TestThresholdValidation:
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            GpdThresholds(th1=0.2, th2=0.1)
+
+    def test_dwell_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            GpdThresholds(dwell_intervals=0)
+
+    def test_history_must_hold_two(self):
+        with pytest.raises(ConfigError):
+            GpdThresholds(history_length=1)
+
+    def test_defaults_match_paper(self):
+        th = GpdThresholds()
+        assert th.th1 == pytest.approx(0.01)
+        assert th.th2 == pytest.approx(0.05)
+        assert th.th3 == pytest.approx(0.10)
+        assert th.th4 == pytest.approx(0.67)
+        assert th.thickness_divisor == 6.0

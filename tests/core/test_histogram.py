@@ -1,0 +1,125 @@
+"""Unit tests for RegionHistogram."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import INSTRUCTION_BYTES, RegionHistogram
+from repro.errors import AddressError
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        h = RegionHistogram(0x1000, 0x1040)
+        assert h.n_instructions == 16
+        assert h.total() == 0
+        assert h.is_empty()
+
+    def test_end_before_start_raises(self):
+        with pytest.raises(AddressError):
+            RegionHistogram(0x1000, 0x1000)
+        with pytest.raises(AddressError):
+            RegionHistogram(0x2000, 0x1000)
+
+    def test_negative_start_raises(self):
+        with pytest.raises(AddressError):
+            RegionHistogram(-4, 8)
+
+    def test_unaligned_size_raises(self):
+        with pytest.raises(AddressError, match="instruction width"):
+            RegionHistogram(0x1000, 0x1001)
+
+    def test_from_counts(self):
+        h = RegionHistogram.from_counts(0x400, [1, 2, 3])
+        assert h.start == 0x400
+        assert h.end == 0x400 + 3 * INSTRUCTION_BYTES
+        assert list(h.counts) == [1, 2, 3]
+
+    def test_from_counts_empty_raises(self):
+        with pytest.raises(AddressError):
+            RegionHistogram.from_counts(0x400, [])
+
+
+class TestSampling:
+    def test_add_sample_increments_correct_slot(self):
+        h = RegionHistogram(0x1000, 0x1010)
+        h.add_sample(0x1008)
+        assert list(h.counts) == [0, 0, 1, 0]
+        assert h.total() == 1
+
+    def test_add_sample_outside_region_raises(self):
+        h = RegionHistogram(0x1000, 0x1010)
+        with pytest.raises(AddressError):
+            h.add_sample(0x0FFC)
+        with pytest.raises(AddressError):
+            h.add_sample(0x1010)
+
+    def test_add_sample_unaligned_pc_maps_to_slot(self):
+        # Real PMUs can report skidded PCs; byte addresses within an
+        # instruction map to that instruction's slot.
+        h = RegionHistogram(0x1000, 0x1010)
+        h.add_sample(0x1002)
+        assert list(h.counts) == [1, 0, 0, 0]
+
+    def test_add_pcs_filters_and_counts(self):
+        h = RegionHistogram(0x1000, 0x1010)
+        pcs = np.array([0x0FF0, 0x1000, 0x1004, 0x1004, 0x100C, 0x2000])
+        inside = h.add_pcs(pcs)
+        assert inside == 4
+        assert list(h.counts) == [1, 2, 0, 1]
+
+    def test_add_pcs_empty_array(self):
+        h = RegionHistogram(0x1000, 0x1010)
+        assert h.add_pcs(np.array([], dtype=np.int64)) == 0
+        assert h.is_empty()
+
+    def test_add_pcs_matches_scalar_adds(self):
+        rng = np.random.default_rng(3)
+        pcs = rng.integers(0x1000, 0x1100, size=500) & ~0x3
+        batch = RegionHistogram(0x1000, 0x1100)
+        scalar = RegionHistogram(0x1000, 0x1100)
+        batch.add_pcs(pcs)
+        for pc in pcs:
+            scalar.add_sample(int(pc))
+        assert batch == scalar
+
+
+class TestInspection:
+    def test_hottest(self):
+        h = RegionHistogram.from_counts(0x2000, [3, 9, 1])
+        assert h.hottest() == 0x2004
+
+    def test_clear(self):
+        h = RegionHistogram.from_counts(0x2000, [3, 9, 1])
+        h.clear()
+        assert h.is_empty()
+
+    def test_copy_is_independent(self):
+        h = RegionHistogram.from_counts(0x2000, [1, 1])
+        c = h.copy()
+        c.add_sample(0x2000)
+        assert h.counts[0] == 1
+        assert c.counts[0] == 2
+
+    def test_counts_view_is_readonly(self):
+        h = RegionHistogram(0x1000, 0x1010)
+        with pytest.raises(ValueError):
+            h.counts[0] = 5
+
+    def test_equality(self):
+        a = RegionHistogram.from_counts(0x1000, [1, 2])
+        b = RegionHistogram.from_counts(0x1000, [1, 2])
+        c = RegionHistogram.from_counts(0x1000, [2, 1])
+        d = RegionHistogram.from_counts(0x2000, [1, 2])
+        assert a == b
+        assert a != c
+        assert a != d
+        assert a.__eq__(42) is NotImplemented
+
+    def test_len_and_repr(self):
+        h = RegionHistogram(0x1000, 0x1020)
+        assert len(h) == 8
+        assert "0x1000" in repr(h)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(RegionHistogram(0x1000, 0x1010))

@@ -1,0 +1,223 @@
+"""Unit tests for the Local Phase Detector (Figure 12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import RegionHistogram
+from repro.core.lpd import LocalPhaseDetector
+from repro.core.similarity import ManhattanOverlap
+from repro.core.states import PhaseEventKind, PhaseState
+from repro.core.thresholds import LpdThresholds
+
+HOT = np.array([5.0, 8.0, 200.0, 9.0, 6.0, 7.0, 5.0, 4.0])
+SHIFTED = np.array([5.0, 8.0, 9.0, 200.0, 6.0, 7.0, 5.0, 4.0])
+
+
+def detector(**kwargs):
+    return LocalPhaseDetector(n_instructions=HOT.size, **kwargs)
+
+
+def feed(det, histograms, start_index=0):
+    events = []
+    for offset, hist in enumerate(histograms):
+        event = det.observe(hist, start_index + offset)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class TestInitialState:
+    def test_starts_unstable_with_r_zero(self):
+        det = detector()
+        assert det.state is PhaseState.UNSTABLE
+        assert det.last_r == 0.0
+        assert not det.in_stable_phase
+
+    def test_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            LocalPhaseDetector(n_instructions=0)
+
+    def test_first_interval_sets_stable_set_without_r(self):
+        det = detector()
+        det.observe(HOT, 0)
+        # "After two intervals, an r-value can be computed": after one,
+        # r still reads 0 and the state is unchanged.
+        assert det.last_r == 0.0
+        assert det.state is PhaseState.UNSTABLE
+        assert np.array_equal(det.stable_set(), HOT)
+
+
+class TestStabilization:
+    def test_three_similar_intervals_reach_stable(self):
+        det = detector()
+        events = feed(det, [HOT, HOT, HOT])
+        assert det.state is PhaseState.STABLE
+        assert len(events) == 1
+        assert events[0].kind is PhaseEventKind.BECAME_STABLE
+        assert events[0].interval_index == 2
+
+    def test_scaled_histograms_stabilize(self):
+        # Sampling-rate variation: same shape, different magnitude.
+        det = detector()
+        feed(det, [HOT, 2.5 * HOT, 0.5 * HOT, 4.0 * HOT])
+        assert det.state is PhaseState.STABLE
+
+    def test_stable_set_frozen_once_stable(self):
+        det = detector()
+        feed(det, [HOT, HOT, HOT])
+        frozen = det.stable_set()
+        feed(det, [1.7 * HOT], start_index=3)
+        assert np.array_equal(det.stable_set(), frozen)
+
+    def test_stable_set_updates_while_unstable(self):
+        det = detector()
+        det.observe(HOT, 0)
+        det.observe(SHIFTED, 1)  # dissimilar: stays unstable, set updated
+        assert np.array_equal(det.stable_set(), SHIFTED)
+
+    def test_dissimilar_interval_interrupts_stabilization(self):
+        det = detector()
+        det.observe(HOT, 0)
+        det.observe(HOT, 1)          # -> LESS_UNSTABLE
+        assert det.state is PhaseState.LESS_UNSTABLE
+        det.observe(SHIFTED, 2)      # back to UNSTABLE, no event ever
+        assert det.state is PhaseState.UNSTABLE
+        assert det.events == []
+
+
+class TestDestabilization:
+    def stable(self):
+        det = detector()
+        feed(det, [HOT, HOT, HOT])
+        assert det.state is PhaseState.STABLE
+        return det
+
+    def test_single_bad_interval_gives_grace_not_phase_change(self):
+        det = self.stable()
+        det.observe(SHIFTED, 3)
+        assert det.state is PhaseState.LESS_STABLE
+        assert det.in_stable_phase
+        assert len(det.events) == 1  # only the stabilization
+
+    def test_two_bad_intervals_trigger_phase_change(self):
+        det = self.stable()
+        det.observe(SHIFTED, 3)
+        event = det.observe(SHIFTED, 4)
+        assert det.state is PhaseState.UNSTABLE
+        assert event is not None
+        assert event.kind is PhaseEventKind.BECAME_UNSTABLE
+        # Stable set re-seeded from the new behavior.
+        assert np.array_equal(det.stable_set(), SHIFTED)
+
+    def test_recovery_from_grace(self):
+        det = self.stable()
+        det.observe(SHIFTED, 3)
+        det.observe(HOT, 4)
+        assert det.state is PhaseState.STABLE
+        assert len(det.events) == 1
+
+    def test_bottleneck_shift_then_restabilize(self):
+        det = self.stable()
+        feed(det, [SHIFTED] * 4, start_index=3)
+        assert det.state is PhaseState.STABLE
+        kinds = [e.kind for e in det.events]
+        assert kinds == [PhaseEventKind.BECAME_STABLE,
+                         PhaseEventKind.BECAME_UNSTABLE,
+                         PhaseEventKind.BECAME_STABLE]
+
+
+class TestEmptyIntervals:
+    def test_none_holds_r_and_state(self):
+        det = detector()
+        feed(det, [HOT, HOT, HOT])
+        r_before = det.last_r
+        state_before = det.state
+        det.observe(None, 3)
+        assert det.last_r == r_before
+        assert det.state is state_before
+        assert not det.observations[-1].had_samples
+
+    def test_zero_histogram_treated_as_no_samples(self):
+        det = detector()
+        det.observe(np.zeros(HOT.size), 0)
+        assert det.active_intervals == 0
+        assert det.stable_set() is None
+
+    def test_gap_in_execution_does_not_destabilize(self):
+        # Paper section 3.2.2: regions sampled only in some intervals keep
+        # their local phase across the gaps.
+        det = detector()
+        feed(det, [HOT, HOT, HOT])
+        feed(det, [None, None, None, HOT], start_index=3)
+        assert det.state is PhaseState.STABLE
+        assert len(det.events) == 1
+
+    def test_region_histogram_interface(self):
+        det = LocalPhaseDetector(n_instructions=4)
+        h = RegionHistogram.from_counts(0x1000, [1, 50, 2, 1])
+        empty = RegionHistogram(0x1000, 0x1010)
+        feed(det, [h, h, empty, h])
+        assert det.state is PhaseState.STABLE
+        assert det.active_intervals == 3
+
+    def test_size_mismatch_raises(self):
+        det = LocalPhaseDetector(n_instructions=4)
+        with pytest.raises(ValueError, match="slots"):
+            det.observe(np.ones(5), 0)
+
+
+class TestAccounting:
+    def test_stable_time_fraction(self):
+        det = detector()
+        feed(det, [HOT] * 10)
+        # Intervals 0 and 1 are unstable/less-unstable; 2..9 stable.
+        assert det.active_intervals == 10
+        assert det.stable_time_fraction() == pytest.approx(8 / 10)
+
+    def test_stable_time_fraction_empty(self):
+        assert detector().stable_time_fraction() == 0.0
+
+    def test_phase_change_count(self):
+        det = detector()
+        feed(det, [HOT, HOT, HOT] + [SHIFTED] * 4)
+        assert det.phase_change_count() == 3
+
+    def test_observation_records_r_values(self):
+        det = detector()
+        feed(det, [HOT, HOT, SHIFTED])
+        rs = [o.r_value for o in det.observations]
+        assert rs[0] == 0.0
+        assert rs[1] == pytest.approx(1.0)
+        assert rs[2] < 0.8
+
+
+class TestThresholds:
+    def test_custom_threshold_changes_behavior(self):
+        # A mildly-noisy histogram: similar enough for r_t=0.5 but not 0.99.
+        rng = np.random.default_rng(11)
+        noisy = HOT + rng.normal(0.0, 15.0, size=HOT.size)
+        strict = detector(thresholds=LpdThresholds(r_threshold=0.999))
+        loose = detector(thresholds=LpdThresholds(r_threshold=0.5))
+        for det in (strict, loose):
+            feed(det, [HOT, noisy, noisy])
+        assert loose.in_stable_phase
+        assert not strict.in_stable_phase
+
+    def test_adaptive_threshold_relaxes_for_large_regions(self):
+        th = LpdThresholds(adaptive=True, adaptive_reference_size=64)
+        small = LocalPhaseDetector(32, thresholds=th)
+        large = LocalPhaseDetector(4096, thresholds=th)
+        assert small.effective_threshold == pytest.approx(0.8)
+        assert large.effective_threshold < 0.8
+        assert large.effective_threshold >= th.adaptive_floor
+
+    def test_adaptive_threshold_floor(self):
+        th = LpdThresholds(adaptive=True, adaptive_reference_size=16,
+                           adaptive_floor=0.7)
+        huge = LocalPhaseDetector(1 << 20, thresholds=th)
+        assert huge.effective_threshold == pytest.approx(0.7)
+
+    def test_alternative_measure_plugs_in(self):
+        det = LocalPhaseDetector(HOT.size, measure=ManhattanOverlap())
+        feed(det, [HOT, HOT, HOT])
+        assert det.in_stable_phase

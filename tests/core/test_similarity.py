@@ -1,0 +1,130 @@
+"""Unit tests for the pluggable similarity measures.
+
+Every measure must satisfy the two Figure 8 properties that make a
+similarity metric usable for local phase detection: scale invariance
+(sampling-rate changes are not phase changes) and bottleneck-shift
+sensitivity (a moved hot instruction is one).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (MEASURES, CosineSimilarity,
+                                   ManhattanOverlap, PearsonSimilarity,
+                                   TopKJaccard, get_measure)
+
+ORIGINAL = np.array([10.0, 12.0, 11.0, 13.0, 350.0, 12.0, 11.0, 10.0, 13.0,
+                     12.0])
+SHIFTED = np.array([10.0, 12.0, 11.0, 13.0, 12.0, 350.0, 11.0, 10.0, 13.0,
+                    12.0])
+
+ALL_MEASURES = [PearsonSimilarity(), CosineSimilarity(), ManhattanOverlap(),
+                TopKJaccard(3)]
+
+
+@pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+class TestRequiredProperties:
+    def test_identity_scores_near_one(self, measure):
+        assert measure(ORIGINAL, ORIGINAL) == pytest.approx(1.0)
+
+    def test_scale_invariance(self, measure):
+        assert measure(ORIGINAL, 7.0 * ORIGINAL) == pytest.approx(1.0,
+                                                                  abs=1e-9)
+
+    def test_bottleneck_shift_scores_below_threshold(self, measure):
+        assert measure(ORIGINAL, SHIFTED) < 0.8
+
+    def test_score_bounded(self, measure):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            a = rng.integers(0, 200, size=10).astype(float)
+            b = rng.integers(0, 200, size=10).astype(float)
+            score = measure(a, b)
+            assert -1.0 <= score <= 1.0
+
+    def test_symmetric(self, measure):
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, 50, size=12).astype(float)
+        b = rng.integers(0, 50, size=12).astype(float)
+        assert measure(a, b) == pytest.approx(measure(b, a))
+
+
+class TestCosine:
+    def test_zero_vectors(self):
+        measure = CosineSimilarity()
+        zero = np.zeros(4)
+        assert measure(zero, zero) == 1.0
+        assert measure(zero, np.ones(4)) == 0.0
+
+    def test_orthogonal_hot_sets(self):
+        measure = CosineSimilarity()
+        a = np.array([100.0, 0.0, 0.0, 0.0])
+        b = np.array([0.0, 100.0, 0.0, 0.0])
+        assert measure(a, b) == pytest.approx(0.0)
+
+
+class TestManhattan:
+    def test_disjoint_distributions_score_zero(self):
+        measure = ManhattanOverlap()
+        a = np.array([10.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 10.0])
+        assert measure(a, b) == pytest.approx(0.0)
+
+    def test_zero_totals(self):
+        measure = ManhattanOverlap()
+        zero = np.zeros(3)
+        assert measure(zero, zero) == 1.0
+        assert measure(zero, np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_half_overlap(self):
+        measure = ManhattanOverlap()
+        a = np.array([1.0, 1.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 1.0, 1.0])
+        assert measure(a, b) == pytest.approx(0.0)
+        c = np.array([1.0, 0.0, 1.0, 0.0])
+        assert measure(a, c) == pytest.approx(0.5)
+
+
+class TestTopK:
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            TopKJaccard(0)
+
+    def test_same_hot_set_scores_one(self):
+        measure = TopKJaccard(2)
+        a = np.array([100.0, 90.0, 1.0, 1.0])
+        b = np.array([50.0, 200.0, 2.0, 0.0])
+        assert measure(a, b) == 1.0
+
+    def test_disjoint_hot_sets_score_zero(self):
+        measure = TopKJaccard(2)
+        a = np.array([100.0, 90.0, 1.0, 1.0])
+        b = np.array([1.0, 2.0, 100.0, 90.0])
+        assert measure(a, b) == 0.0
+
+    def test_both_empty(self):
+        measure = TopKJaccard(2)
+        assert measure(np.zeros(4), np.zeros(4)) == 1.0
+
+    def test_fewer_nonzero_than_k(self):
+        measure = TopKJaccard(8)
+        a = np.array([5.0, 0.0, 0.0, 0.0])
+        assert measure(a, a) == 1.0
+
+    def test_ignores_zero_slots_in_top_k(self):
+        measure = TopKJaccard(3)
+        a = np.array([10.0, 5.0, 0.0, 0.0])
+        b = np.array([10.0, 5.0, 0.0, 0.0])
+        # Top-3 partition must not pull in zero-count slots.
+        assert measure(a, b) == 1.0
+
+
+class TestRegistry:
+    def test_known_measures_present(self):
+        for name in ("pearson", "cosine", "manhattan", "topk8"):
+            assert get_measure(name).name == name
+            assert name in MEASURES
+
+    def test_unknown_measure_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known measures"):
+            get_measure("euclid")

@@ -1,0 +1,49 @@
+"""Unit tests for phase states and event accounting."""
+
+import pytest
+
+from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
+                               count_phase_changes, is_stable_state,
+                               transition_crosses_boundary)
+
+
+class TestStableBoundary:
+    def test_stable_side(self):
+        assert is_stable_state(PhaseState.STABLE)
+        assert is_stable_state(PhaseState.LESS_STABLE)
+
+    def test_unstable_side(self):
+        assert not is_stable_state(PhaseState.UNSTABLE)
+        assert not is_stable_state(PhaseState.LESS_UNSTABLE)
+        assert not is_stable_state(PhaseState.WARMUP)
+
+    def test_boundary_crossings(self):
+        assert transition_crosses_boundary(PhaseState.LESS_UNSTABLE,
+                                           PhaseState.STABLE)
+        assert transition_crosses_boundary(PhaseState.LESS_STABLE,
+                                           PhaseState.UNSTABLE)
+        assert not transition_crosses_boundary(PhaseState.STABLE,
+                                               PhaseState.LESS_STABLE)
+        assert not transition_crosses_boundary(PhaseState.UNSTABLE,
+                                               PhaseState.LESS_UNSTABLE)
+
+
+class TestPhaseEvent:
+    def event(self, kind=PhaseEventKind.BECAME_STABLE):
+        return PhaseEvent(interval_index=3, kind=kind,
+                          state_from=PhaseState.LESS_UNSTABLE,
+                          state_to=PhaseState.STABLE, detail="r=0.95")
+
+    def test_is_stabilization(self):
+        assert self.event().is_stabilization()
+        assert not self.event(PhaseEventKind.BECAME_UNSTABLE).is_stabilization()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            self.event().interval_index = 5
+
+    def test_count_phase_changes(self):
+        events = [self.event(), self.event(PhaseEventKind.BECAME_UNSTABLE)]
+        assert count_phase_changes(events) == 2
+        assert count_phase_changes([]) == 0
+        assert count_phase_changes(iter(events)) == 2

@@ -1,0 +1,136 @@
+"""Robustness tests: the monitor under degenerate and adversarial input."""
+
+import numpy as np
+import pytest
+
+from repro.core import MonitorThresholds
+from repro.monitor import RegionMonitor
+from repro.program.binary import BinaryBuilder, loop, straight
+
+
+def tiny_binary():
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("p", [loop("l", body=12), straight(4)], at=0x20000)
+    return builder.build()
+
+
+class TestDegenerateInput:
+    def test_empty_interval(self):
+        monitor = RegionMonitor(tiny_binary(),
+                                MonitorThresholds(buffer_size=16))
+        report = monitor.process_interval(np.array([], dtype=np.int64))
+        assert report.ucr_fraction == 0.0
+        assert report.formation is None
+        assert monitor.intervals_processed == 1
+
+    def test_all_samples_outside_binary(self):
+        # Hot code the binary has no description of (JITed code, another
+        # DSO): formation fails every interval, nothing crashes.
+        monitor = RegionMonitor(tiny_binary(),
+                                MonitorThresholds(buffer_size=16))
+        pcs = np.full(16, 0x9000000, dtype=np.int64)
+        for _ in range(4):
+            report = monitor.process_interval(pcs)
+        assert report.ucr_fraction == 1.0
+        assert monitor.ucr.n_triggers == 4
+        assert monitor.live_regions() == []
+        assert report.formation.seeds_failed >= 1
+
+    def test_single_constant_pc(self):
+        binary = tiny_binary()
+        span = binary.loop_span("l")
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=16))
+        pcs = np.full(16, span[0] + 8, dtype=np.int64)
+        for index in range(6):
+            monitor.process_interval(pcs, index)
+        region = monitor.live_regions()[0]
+        detector = monitor.detector(region.rid)
+        # A single-instruction histogram is degenerate for Pearson but
+        # resolves as "same behavior" — the region stabilizes.
+        assert detector.in_stable_phase
+
+    def test_minimum_buffer_size(self):
+        binary = tiny_binary()
+        span = binary.loop_span("l")
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=2))
+        for index in range(10):
+            monitor.process_interval(
+                np.array([span[0], span[0] + 8], dtype=np.int64), index)
+        assert monitor.intervals_processed == 10
+
+    def test_alternating_empty_and_full_intervals(self):
+        binary = tiny_binary()
+        span = binary.loop_span("l")
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=8))
+        rng = np.random.default_rng(0)
+        hot = (span[0] + 4 * rng.integers(0, 14, size=8)).astype(np.int64)
+        empty = np.array([], dtype=np.int64)
+        for index in range(12):
+            monitor.process_interval(hot if index % 2 == 0 else empty,
+                                     index)
+        region = monitor.live_regions()[0]
+        detector = monitor.detector(region.rid)
+        # Empty intervals are no-sample observations: the state holds.
+        assert detector.active_intervals == 5  # formed at 0, active 2,4,..
+
+    def test_interval_indices_can_be_sparse(self):
+        binary = tiny_binary()
+        span = binary.loop_span("l")
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=8))
+        pcs = np.full(8, span[0] + 8, dtype=np.int64)
+        for index in (0, 10, 20, 30):
+            report = monitor.process_interval(pcs, index)
+            assert report.interval_index == index
+
+    def test_unaligned_pcs_attributed(self):
+        # PMU skid can deliver mid-instruction byte addresses.
+        binary = tiny_binary()
+        span = binary.loop_span("l")
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=8))
+        pcs = np.full(8, span[0] + 9, dtype=np.int64)  # off by one byte
+        for index in range(4):
+            monitor.process_interval(pcs, index)
+        assert monitor.live_regions(), "skidded samples still form regions"
+
+
+class TestAdversarialPatterns:
+    def test_region_churn_with_pruning_and_reformation(self):
+        """Regions that keep dying and coming back must not leak state."""
+        from repro.regions.pruning import PruningPolicy
+
+        binary = tiny_binary()
+        span = binary.loop_span("l")
+        monitor = RegionMonitor(
+            binary, MonitorThresholds(buffer_size=8),
+            pruning=PruningPolicy(max_idle_intervals=2, grace_intervals=1))
+        rng = np.random.default_rng(1)
+        hot = (span[0] + 4 * rng.integers(0, 14, size=8)).astype(np.int64)
+        cold = np.full(8, 0x9000000, dtype=np.int64)
+        for cycle in range(5):
+            base = cycle * 8
+            for offset in range(2):
+                monitor.process_interval(hot, base + offset)
+            for offset in range(2, 8):
+                monitor.process_interval(cold, base + offset)
+        # The loop's span was pruned and re-formed repeatedly; ids differ
+        # but every retired detector stays queryable.
+        all_regions = monitor.all_regions()
+        assert len(all_regions) >= 2
+        for region in all_regions:
+            monitor.detector(region.rid)
+
+    def test_interleaved_histogram_shapes_never_crash(self):
+        binary = tiny_binary()
+        span = binary.loop_span("l")
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=32))
+        rng = np.random.default_rng(2)
+        for index in range(30):
+            slot = int(rng.integers(0, 14))
+            pcs = np.full(32, span[0] + 4 * slot, dtype=np.int64)
+            monitor.process_interval(pcs, index)
+        region = monitor.live_regions()[0]
+        detector = monitor.detector(region.rid)
+        # Wildly jumping single-slot histograms: lots of phase changes,
+        # but the accounting stays consistent.
+        assert detector.active_intervals == 30 - 1  # formed at interval 0
+        assert detector.stable_intervals <= detector.active_intervals

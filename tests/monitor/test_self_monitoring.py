@@ -1,0 +1,112 @@
+"""Unit tests for self-monitoring of deployed optimizations."""
+
+import pytest
+
+from repro.monitor.self_monitoring import SelfMonitor, Verdict
+
+
+def feed(monitor, rid, values, deployed=False):
+    if deployed:
+        monitor.mark_deployed(rid)
+    for value in values:
+        monitor.observe(rid, value)
+
+
+class TestLifecycle:
+    def test_undecided_without_baseline(self):
+        monitor = SelfMonitor(verify_intervals=2)
+        monitor.mark_deployed(0)
+        feed(monitor, 0, [0.1, 0.1])
+        assert monitor.verdict(0) is Verdict.UNDECIDED
+
+    def test_undecided_before_enough_post_observations(self):
+        monitor = SelfMonitor(verify_intervals=4)
+        feed(monitor, 0, [0.2, 0.2])
+        monitor.mark_deployed(0)
+        feed(monitor, 0, [0.1, 0.1])
+        assert monitor.verdict(0) is Verdict.UNDECIDED
+
+    def test_undecided_when_never_deployed(self):
+        monitor = SelfMonitor()
+        feed(monitor, 0, [0.2] * 10)
+        assert monitor.verdict(0) is Verdict.UNDECIDED
+        assert monitor.verdict(99) is Verdict.UNDECIDED
+
+
+class TestVerdicts:
+    def monitor_with_baseline(self, baseline=0.2):
+        monitor = SelfMonitor(verify_intervals=3, tolerance=0.10)
+        feed(monitor, 0, [baseline] * 5)
+        monitor.mark_deployed(0)
+        return monitor
+
+    def test_beneficial_when_metric_drops(self):
+        monitor = self.monitor_with_baseline()
+        feed(monitor, 0, [0.05, 0.05, 0.05])
+        assert monitor.verdict(0) is Verdict.BENEFICIAL
+        assert not monitor.should_undo(0)
+
+    def test_harmful_when_metric_rises(self):
+        # The speculative-prefetch-gone-wrong case the paper motivates.
+        monitor = self.monitor_with_baseline()
+        feed(monitor, 0, [0.35, 0.35, 0.35])
+        assert monitor.verdict(0) is Verdict.HARMFUL
+        assert monitor.should_undo(0)
+
+    def test_neutral_within_tolerance(self):
+        monitor = self.monitor_with_baseline()
+        feed(monitor, 0, [0.21, 0.19, 0.20])
+        assert monitor.verdict(0) is Verdict.NEUTRAL
+
+    def test_zero_baseline(self):
+        monitor = SelfMonitor(verify_intervals=2)
+        feed(monitor, 0, [0.0, 0.0])
+        monitor.mark_deployed(0)
+        feed(monitor, 0, [0.0, 0.0])
+        assert monitor.verdict(0) is Verdict.NEUTRAL
+        monitor.mark_deployed(1)
+        feed(monitor, 1, [0.0])  # baseline for rid 1 via separate path
+        monitor.mark_unpatched(1)
+        feed(monitor, 1, [0.0])
+        monitor.mark_deployed(1)
+        feed(monitor, 1, [0.1, 0.1])
+        assert monitor.verdict(1) is Verdict.HARMFUL
+
+    def test_unpatch_resets_to_baseline_mode(self):
+        monitor = self.monitor_with_baseline()
+        feed(monitor, 0, [0.35, 0.35, 0.35])
+        assert monitor.should_undo(0)
+        monitor.mark_unpatched(0)
+        assert monitor.verdict(0) is Verdict.UNDECIDED
+        # Post-unpatch observations feed the baseline again.
+        feed(monitor, 0, [0.25])
+        assert monitor.baseline_of(0) == pytest.approx(
+            (0.2 * 5 + 0.25) / 6)
+
+    def test_verdict_uses_recent_window(self):
+        monitor = self.monitor_with_baseline()
+        # Early bad intervals followed by genuinely better ones: verdict
+        # follows the last verify_intervals observations.
+        feed(monitor, 0, [0.4, 0.4, 0.4, 0.05, 0.05, 0.05])
+        assert monitor.verdict(0) is Verdict.BENEFICIAL
+
+
+class TestBookkeeping:
+    def test_baseline_window_bounded(self):
+        monitor = SelfMonitor(baseline_window=4)
+        feed(monitor, 0, [1.0] * 10 + [0.0] * 4)
+        assert monitor.baseline_of(0) == pytest.approx(0.0)
+
+    def test_baseline_of_unknown_region(self):
+        assert SelfMonitor().baseline_of(7) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfMonitor(verify_intervals=0)
+        with pytest.raises(ValueError):
+            SelfMonitor(tolerance=-0.1)
+        with pytest.raises(ValueError):
+            SelfMonitor(baseline_window=0)
+        monitor = SelfMonitor()
+        with pytest.raises(ValueError):
+            monitor.observe(0, -1.0)

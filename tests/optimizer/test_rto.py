@@ -1,0 +1,153 @@
+"""Integration tests for the RTO policy simulation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.optimizer import RtoConfig, RTOSystem, compare_policies
+from repro.program.behavior import RegionSpec, bottleneck_profile
+from repro.program.binary import BinaryBuilder, loop, straight
+from repro.program.spec2000 import INTERVAL_45K
+from repro.program.workload import Periodic, Steady, WorkloadScript, mixture
+from repro.sampling import simulate_sampling
+
+BUFFER = 2032
+
+
+def build_system():
+    """Two hot loops far apart; loop 'a' has real optimization potential."""
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("p_a", [loop("a", body=28)], at=0x20000)
+    builder.procedure("p_b", [loop("b", body=44)], at=0x90000)
+    builder.procedure("cold", [straight(32)], at=0x16000)
+    binary = builder.build()
+    regions = {
+        "a": RegionSpec("a", *binary.loop_span("a"),
+                        profiles={"main": bottleneck_profile(32, {9: 200.0})},
+                        dpi=0.10, opt_potential=0.30),
+        "b": RegionSpec("b", *binary.loop_span("b"),
+                        profiles={"main": bottleneck_profile(48, {20: 150.0})},
+                        dpi=0.02, opt_potential=0.10),
+        "cold_code": RegionSpec("cold_code", binary.procedure("cold").start,
+                                binary.procedure("cold").end, is_loop=False),
+    }
+    return binary, regions
+
+
+def steady_workload(intervals=40):
+    return WorkloadScript([Steady(
+        intervals * INTERVAL_45K,
+        mixture(("a", 0.55), ("b", 0.35), ("cold_code", 0.10)))])
+
+
+def flapping_workload(intervals=60):
+    mix_a = mixture(("a", 0.70), ("b", 0.20), ("cold_code", 0.10))
+    mix_b = mixture(("a", 0.20), ("b", 0.70), ("cold_code", 0.10))
+    return WorkloadScript([Periodic(
+        intervals * INTERVAL_45K, (mix_a, mix_b),
+        switch_period=12 * INTERVAL_45K)])
+
+
+class TestPolicies:
+    def test_orig_deploys_on_stable_workload(self):
+        binary, regions = build_system()
+        system = RTOSystem(binary, regions, steady_workload(), 45_000,
+                           RtoConfig(policy="orig"), seed=3)
+        result = system.run()
+        assert result.policy == "orig"
+        assert result.n_deployments >= 2  # both hot loops
+        assert result.timing.saved_cycles > 0
+        assert result.stable_fraction > 0.7
+        assert result.total_cycles < result.timing.base_cycles
+
+    def test_lpd_deploys_on_stable_workload(self):
+        binary, regions = build_system()
+        system = RTOSystem(binary, regions, steady_workload(), 45_000,
+                           RtoConfig(policy="lpd"), seed=3)
+        result = system.run()
+        assert result.policy == "lpd"
+        assert result.n_deployments >= 2
+        assert result.timing.saved_cycles > 0
+
+    def test_flapping_workload_starves_orig_not_lpd(self):
+        # The paper's core result in miniature: global flapping unpatches
+        # ORIG's traces while LPD's regions remain locally stable.
+        binary, regions = build_system()
+        orig, lpd, speedup = compare_policies(
+            binary, regions, flapping_workload(), 45_000, seed=3)
+        assert orig.n_unpatches > 0
+        assert lpd.stable_fraction > orig.stable_fraction
+        assert speedup > 0.0
+
+    def test_same_stream_used_for_fair_comparison(self):
+        binary, regions = build_system()
+        orig, lpd, _ = compare_policies(binary, regions,
+                                        steady_workload(), 45_000, seed=3)
+        assert orig.timing.base_cycles == lpd.timing.base_cycles
+
+    def test_detector_overhead_charging(self):
+        binary, regions = build_system()
+        workload = steady_workload()
+        free = RTOSystem(binary, regions, workload, 45_000,
+                         RtoConfig(policy="lpd"), seed=3).run()
+        charged = RTOSystem(
+            binary, regions, workload, 45_000,
+            RtoConfig(policy="lpd", charge_detector_overhead=True),
+            seed=3).run()
+        assert charged.timing.detector_overhead_cycles > 0
+        assert free.timing.detector_overhead_cycles == 0
+        assert charged.total_cycles > free.total_cycles
+
+    def test_non_loop_regions_never_optimized(self):
+        binary, regions = build_system()
+        result = RTOSystem(binary, regions, steady_workload(), 45_000,
+                           RtoConfig(policy="orig"), seed=3).run()
+        # Only two loop candidates exist.
+        assert result.n_deployments <= 2
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RtoConfig(policy="magic")
+        with pytest.raises(ConfigError):
+            RtoConfig(hot_share=0.0)
+        with pytest.raises(ConfigError):
+            RtoConfig(deploy_cost=-1)
+
+
+class TestSelfMonitoring:
+    def build_harmful_system(self):
+        """Loop 'a' has a *negative* optimization potential: the deployed
+        prefetch hurts, and only self-monitoring can catch it."""
+        binary, regions = build_system()
+        spec = regions["a"]
+        regions["a"] = RegionSpec(
+            "a", spec.start, spec.end,
+            profiles={"main": spec.profile().copy()},
+            dpi=0.10, opt_potential=-0.20)
+        return binary, regions
+
+    def test_harmful_optimization_undone(self):
+        binary, regions = self.build_harmful_system()
+        config = RtoConfig(policy="lpd", self_monitoring=True)
+        result = RTOSystem(binary, regions, steady_workload(60), 45_000,
+                           config, seed=3).run()
+        assert result.n_undone >= 1
+
+    def test_without_self_monitoring_harm_persists(self):
+        binary, regions = self.build_harmful_system()
+        with_sm = RTOSystem(binary, regions, steady_workload(60), 45_000,
+                            RtoConfig(policy="lpd", self_monitoring=True),
+                            seed=3).run()
+        without_sm = RTOSystem(binary, regions, steady_workload(60),
+                               45_000, RtoConfig(policy="lpd"),
+                               seed=3).run()
+        assert without_sm.n_undone == 0
+        # Undoing the harmful optimization must not run slower.
+        assert with_sm.total_cycles <= without_sm.total_cycles
+
+    def test_beneficial_optimizations_not_undone(self):
+        binary, regions = build_system()
+        config = RtoConfig(policy="lpd", self_monitoring=True)
+        result = RTOSystem(binary, regions, steady_workload(60), 45_000,
+                           config, seed=3).run()
+        assert result.n_undone == 0
+        assert result.timing.saved_cycles > 0

@@ -1,0 +1,146 @@
+"""Unit tests for trace bookkeeping and the timing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.optimizer.optimization import Optimization, OptimizationKind
+from repro.optimizer.timing import RtoTiming, TimingModel
+from repro.optimizer.traces import TraceAction, TraceCache
+from repro.program.workload import Steady, WorkloadScript, mixture
+
+
+class TestOptimization:
+    def test_gain_bounds(self):
+        Optimization("r", 0.3)
+        Optimization("r", -0.2)
+        with pytest.raises(ConfigError):
+            Optimization("r", 1.0)
+        with pytest.raises(ConfigError):
+            Optimization("r", 0.1, deploy_cost=-1)
+
+    def test_observed_dpi(self):
+        helpful = Optimization("r", 0.25)
+        harmful = Optimization("r", -0.25)
+        assert helpful.observed_dpi(0.10) == pytest.approx(0.05)
+        assert harmful.observed_dpi(0.10) == pytest.approx(0.15)
+        # Never negative even for huge gains.
+        assert Optimization("r", 0.9).observed_dpi(0.1) == 0.0
+
+    def test_kind_default(self):
+        assert Optimization("r", 0.1).kind is OptimizationKind.PREFETCH
+
+
+class TestTraceCache:
+    def test_deploy_unpatch_cycle(self):
+        cache = TraceCache()
+        assert cache.deploy("a", 3)
+        assert cache.is_deployed("a")
+        assert not cache.deploy("a", 4)  # idempotent
+        assert cache.unpatch("a", 7)
+        assert not cache.is_deployed("a")
+        assert not cache.unpatch("a", 8)
+        assert cache.n_deployments == 1
+        assert cache.n_unpatches == 1
+
+    def test_unpatch_all(self):
+        cache = TraceCache()
+        cache.deploy("a", 0)
+        cache.deploy("b", 1)
+        assert cache.unpatch_all(5) == 2
+        assert not cache.is_deployed("a")
+        actions = [e.action for e in cache.events]
+        assert actions.count(TraceAction.UNPATCH) == 2
+
+    def test_activity_matrix_latency(self):
+        cache = TraceCache()
+        cache.deploy("a", 2)
+        cache.unpatch("a", 5)
+        matrix = cache.active_matrix(8, ["a"])
+        # Effective from interval 3 through 5 inclusive.
+        assert matrix[:, 0].tolist() == [False, False, False, True, True,
+                                         True, False, False]
+
+    def test_activity_matrix_still_deployed(self):
+        cache = TraceCache()
+        cache.deploy("a", 0)
+        matrix = cache.active_matrix(4, ["a"])
+        assert matrix[:, 0].tolist() == [False, True, True, True]
+
+    def test_redeploy_after_unpatch(self):
+        cache = TraceCache()
+        cache.deploy("a", 0)
+        cache.unpatch("a", 2)
+        cache.deploy("a", 4)
+        matrix = cache.active_matrix(7, ["a"])
+        assert matrix[:, 0].tolist() == [False, True, True, False, False,
+                                         True, True]
+
+    def test_unknown_region_ignored_in_matrix(self):
+        cache = TraceCache()
+        cache.deploy("ghost", 0)
+        matrix = cache.active_matrix(3, ["a"])
+        assert not matrix.any()
+
+    def test_negative_intervals_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceCache().active_matrix(-1, ["a"])
+
+
+class TestTimingModel:
+    def model(self):
+        script = WorkloadScript([
+            Steady(1000, mixture(("a", 0.6), ("b", 0.4))),
+        ])
+        return TimingModel(script.compile(), script.total_cycles,
+                           interval_cycles=100, n_intervals=10,
+                           region_order=["a", "b"])
+
+    def test_cycles_matrix(self):
+        model = self.model()
+        assert model.cycles_matrix.shape == (10, 2)
+        assert model.cycles_matrix.sum() == pytest.approx(1000.0)
+        assert model.cycles_matrix[0, 0] == pytest.approx(60.0)
+
+    def test_evaluate_savings(self):
+        model = self.model()
+        active = np.ones((10, 2), dtype=bool)
+        timing = model.evaluate(active, {"a": 0.5}, n_deployments=2,
+                                deploy_cost=10)
+        # Region a executes 600 cycles; half saved.
+        assert timing.saved_cycles == pytest.approx(300.0)
+        assert timing.deploy_overhead_cycles == 20.0
+        assert timing.total_cycles == pytest.approx(1000 - 300 + 20)
+
+    def test_partial_activity(self):
+        model = self.model()
+        active = np.zeros((10, 2), dtype=bool)
+        active[5:, 0] = True
+        timing = model.evaluate(active, {"a": 0.5, "b": 0.9},
+                                n_deployments=1, deploy_cost=0)
+        assert timing.saved_cycles == pytest.approx(0.5 * 60 * 5)
+
+    def test_shape_mismatch_rejected(self):
+        model = self.model()
+        with pytest.raises(ConfigError):
+            model.evaluate(np.ones((9, 2), dtype=bool), {}, 0, 0)
+
+    def test_speedups(self):
+        fast = RtoTiming(base_cycles=1000, saved_cycles=200,
+                         deploy_overhead_cycles=0)
+        slow = RtoTiming(base_cycles=1000, saved_cycles=0,
+                         deploy_overhead_cycles=0)
+        assert fast.speedup_vs(slow) == pytest.approx(0.25)
+        assert slow.speedup_vs(fast) == pytest.approx(-0.2)
+        assert fast.speedup_vs_baseline() == pytest.approx(0.25)
+
+    def test_detector_overhead_included(self):
+        timing = RtoTiming(base_cycles=1000, saved_cycles=100,
+                           deploy_overhead_cycles=10,
+                           detector_overhead_cycles=5)
+        assert timing.total_cycles == pytest.approx(915.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TimingModel([], 0, interval_cycles=0, n_intervals=1,
+                        region_order=[])

@@ -1,0 +1,106 @@
+"""Unit tests for profiles and RegionSpec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.program.behavior import (RegionSpec, blended_profile,
+                                    bottleneck_profile, shifted_profile,
+                                    uniform_profile)
+
+
+class TestProfiles:
+    def test_uniform_is_normalized(self):
+        p = uniform_profile(10)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.allclose(p, 0.1)
+
+    def test_uniform_requires_slots(self):
+        with pytest.raises(WorkloadError):
+            uniform_profile(0)
+
+    def test_bottleneck_spike(self):
+        p = bottleneck_profile(10, {4: 300.0})
+        assert p.argmax() == 4
+        assert p.sum() == pytest.approx(1.0)
+        assert p[4] > 0.9
+
+    def test_bottleneck_validation(self):
+        with pytest.raises(WorkloadError):
+            bottleneck_profile(10, {10: 1.0})
+        with pytest.raises(WorkloadError):
+            bottleneck_profile(10, {0: -1.0})
+
+    def test_shifted_profile_moves_spike(self):
+        p = bottleneck_profile(10, {4: 300.0})
+        q = shifted_profile(p, 1)
+        assert q.argmax() == 5
+        assert q.sum() == pytest.approx(1.0)
+
+    def test_shift_wraps(self):
+        p = bottleneck_profile(4, {3: 100.0})
+        assert shifted_profile(p, 1).argmax() == 0
+
+    def test_blended_profile(self):
+        a = bottleneck_profile(6, {0: 100.0})
+        b = bottleneck_profile(6, {5: 100.0})
+        mid = blended_profile(a, b, 0.5)
+        assert mid.sum() == pytest.approx(1.0)
+        assert mid[0] == pytest.approx(mid[5])
+        assert np.allclose(blended_profile(a, b, 0.0), a)
+        assert np.allclose(blended_profile(a, b, 1.0), b)
+
+    def test_blend_validation(self):
+        a = uniform_profile(4)
+        with pytest.raises(WorkloadError):
+            blended_profile(a, uniform_profile(5), 0.5)
+        with pytest.raises(WorkloadError):
+            blended_profile(a, a, 1.5)
+
+
+class TestRegionSpec:
+    def test_defaults_and_slots(self):
+        spec = RegionSpec("r", 0x1000, 0x1040)
+        assert spec.n_slots == 16
+        assert "main" in spec.profiles
+        assert spec.profile().sum() == pytest.approx(1.0)
+
+    def test_invalid_span(self):
+        with pytest.raises(WorkloadError):
+            RegionSpec("r", 0x1000, 0x1000)
+        with pytest.raises(WorkloadError):
+            RegionSpec("r", 0x1000, 0x1001)
+
+    def test_profile_length_validated(self):
+        with pytest.raises(WorkloadError):
+            RegionSpec("r", 0x1000, 0x1040,
+                       profiles={"main": uniform_profile(8)})
+
+    def test_main_profile_required(self):
+        with pytest.raises(WorkloadError):
+            RegionSpec("r", 0x1000, 0x1040,
+                       profiles={"other": uniform_profile(16)})
+
+    def test_profiles_are_normalized_on_init(self):
+        spec = RegionSpec("r", 0x1000, 0x1010,
+                          profiles={"main": np.array([1.0, 1.0, 1.0, 1.0])})
+        assert spec.profile().sum() == pytest.approx(1.0)
+
+    def test_unknown_profile_raises_with_list(self):
+        spec = RegionSpec("r", 0x1000, 0x1010)
+        with pytest.raises(WorkloadError, match="profiles: main"):
+            spec.profile("ghost")
+
+    def test_trait_validation(self):
+        with pytest.raises(WorkloadError):
+            RegionSpec("r", 0x1000, 0x1010, cpi=0.0)
+        with pytest.raises(WorkloadError):
+            RegionSpec("r", 0x1000, 0x1010, dpi=1.5)
+        with pytest.raises(WorkloadError):
+            RegionSpec("r", 0x1000, 0x1010, opt_potential=1.0)
+
+    def test_for_loop_constructor(self):
+        spec = RegionSpec.for_loop("hot", (0x2000, 0x2080), dpi=0.02)
+        assert spec.start == 0x2000
+        assert spec.n_slots == 32
+        assert spec.dpi == 0.02

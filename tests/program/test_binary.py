@@ -1,0 +1,217 @@
+"""Unit tests for the binary builder and SyntheticBinary queries."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.program.binary import (BinaryBuilder, LoopShape, call, loop,
+                                  straight)
+from repro.program.instructions import Opcode
+
+
+def toy_binary():
+    b = BinaryBuilder(base=0x10000)
+    b.procedure("helper", [straight(16)])
+    b.procedure("main", [
+        straight(8),
+        loop("outer", body=[straight(4), loop("inner", body=12),
+                            call("helper")]),
+        straight(4),
+    ], at=0x20000)
+    return b.build()
+
+
+class TestShapes:
+    def test_shape_sizes(self):
+        assert straight(7).size == 7
+        assert call("x", 5).size == 5
+        assert loop("l", body=10).size == 14  # header 2 + 10 + latch 2
+        nested = loop("o", body=[straight(3), loop("i", body=4)])
+        assert nested.size == 2 + 3 + (2 + 4 + 2) + 2
+
+    def test_shape_validation(self):
+        with pytest.raises(AddressError):
+            straight(0)
+        with pytest.raises(AddressError):
+            call("x", 0)
+        with pytest.raises(AddressError):
+            LoopShape("l", body=())
+        with pytest.raises(AddressError):
+            loop("l", body=4, header_n=0)
+
+
+class TestBuilder:
+    def test_explicit_placement(self):
+        b = BinaryBuilder(base=0x10000)
+        b.procedure("p", [loop("hot", body=28)], at=0x146EC)
+        # header 2 instructions after the procedure start
+        binary = b.build()
+        start, end = binary.loop_span("hot")
+        assert start == 0x146EC
+        assert end == 0x146EC + 32 * 4
+
+    def test_duplicate_procedure_rejected(self):
+        b = BinaryBuilder()
+        b.procedure("p", [straight(4)])
+        with pytest.raises(AddressError):
+            b.procedure("p", [straight(4)])
+
+    def test_duplicate_loop_name_rejected(self):
+        b = BinaryBuilder()
+        b.procedure("p", [loop("l", body=4)])
+        b.procedure("q", [loop("l", body=4)])
+        with pytest.raises(AddressError):
+            b.build()
+
+    def test_overlapping_placement_rejected(self):
+        b = BinaryBuilder(base=0x1000)
+        b.procedure("p", [straight(64)], at=0x1000)
+        with pytest.raises(AddressError):
+            b.procedure("q", [straight(4)], at=0x1010)
+
+    def test_unknown_callee_rejected(self):
+        b = BinaryBuilder()
+        b.procedure("p", [call("ghost")])
+        with pytest.raises(AddressError):
+            b.build()
+
+    def test_unaligned_placement_rejected(self):
+        b = BinaryBuilder()
+        with pytest.raises(AddressError):
+            b.procedure("p", [straight(4)], at=0x1002)
+
+    def test_load_pattern(self):
+        # Non-terminal block: every 4th instruction is a load.  The final
+        # block of a procedure ends in RET instead, which may displace the
+        # last load.
+        binary = BinaryBuilder().procedure(
+            "p", [straight(8), straight(4)]).build()
+        block = binary.procedure("p").blocks[0]
+        loads = [i for i in block.instructions if i.opcode is Opcode.LOAD]
+        assert len(loads) == 2  # slots 3 and 7
+        last = binary.procedure("p").blocks[-1].terminator
+        assert last.opcode is Opcode.RET
+
+
+class TestBinaryQueries:
+    def test_procedure_lookup(self):
+        binary = toy_binary()
+        assert binary.procedure("main").name == "main"
+        with pytest.raises(AddressError):
+            binary.procedure("ghost")
+
+    def test_procedure_at(self):
+        binary = toy_binary()
+        main = binary.procedure("main")
+        assert binary.procedure_at(main.start) is main
+        assert binary.procedure_at(main.end - 4) is main
+        assert binary.procedure_at(main.end) is None
+        assert binary.procedure_at(0x0) is None
+
+    def test_loops_discovered_match_named_spans(self):
+        binary = toy_binary()
+        main = binary.procedure("main")
+        assert len(main.loops) == 2
+        spans = {(lp.start, lp.end) for lp in main.loops}
+        assert binary.loop_span("inner") in spans
+        assert binary.loop_span("outer") in spans
+
+    def test_innermost_loop_at(self):
+        binary = toy_binary()
+        inner_start, inner_end = binary.loop_span("inner")
+        outer_start, outer_end = binary.loop_span("outer")
+        hit = binary.innermost_loop_at(inner_start + 8)
+        assert (hit.start, hit.end) == (inner_start, inner_end)
+        hit = binary.innermost_loop_at(outer_start)
+        assert (hit.start, hit.end) == (outer_start, outer_end)
+        assert binary.innermost_loop_at(binary.procedure("helper").start) \
+            is None
+
+    def test_call_graph(self):
+        binary = toy_binary()
+        assert binary.callers_of("helper") == {"main"}
+        assert binary.callers_of("main") == set()
+
+    def test_caller_loop_of(self):
+        binary = toy_binary()
+        found = binary.caller_loop_of("helper")
+        assert found is not None
+        procedure, lp = found
+        assert procedure.name == "main"
+        assert (lp.start, lp.end) == binary.loop_span("outer")
+
+    def test_text_range_and_repr(self):
+        binary = toy_binary()
+        lo, hi = binary.text_range
+        assert lo == 0x10000
+        assert hi == binary.procedure("main").end
+        assert "2 procedures" in repr(binary)
+
+    def test_all_loops(self):
+        binary = toy_binary()
+        loops = binary.all_loops()
+        assert len(loops) == 2
+        assert all(proc.name == "main" for proc, _ in loops)
+
+    def test_unknown_loop_span(self):
+        with pytest.raises(AddressError):
+            toy_binary().loop_span("ghost")
+
+    def test_procedures_must_not_overlap(self):
+        from repro.program.procedures import Procedure
+        from repro.program.binary import SyntheticBinary
+        from repro.program.instructions import BasicBlock, Instruction
+
+        def proc(name, start, n):
+            instrs = tuple(Instruction(start + 4 * i) for i in range(n))
+            return Procedure(name, start, [BasicBlock(start, instrs)])
+
+        with pytest.raises(AddressError):
+            SyntheticBinary([proc("a", 0x1000, 8), proc("b", 0x1010, 8)])
+        with pytest.raises(AddressError):
+            SyntheticBinary([])
+
+
+class TestBranchShape:
+    def test_branch_size(self):
+        from repro.program.binary import branch
+
+        shape = branch(then_shapes=6, else_shapes=8, test_n=2)
+        assert shape.size == 16
+
+    def test_branch_validation(self):
+        from repro.errors import AddressError
+        from repro.program.binary import BranchShape, branch
+
+        with pytest.raises(AddressError):
+            branch(then_shapes=4, else_shapes=4, test_n=0)
+        with pytest.raises(AddressError):
+            BranchShape(then_shapes=(), else_shapes=(straight(4),))
+
+    def test_diamond_cfg_structure(self):
+        from repro.program.binary import branch
+
+        builder = BinaryBuilder(base=0x10000)
+        builder.procedure("f", [straight(2),
+                                branch(then_shapes=4, else_shapes=4),
+                                straight(2)])
+        binary = builder.build()
+        cfg = binary.procedure("f").cfg
+        test_block = cfg.block(0x10008)
+        assert len(test_block.successors) == 2
+        then_start, else_start = test_block.successors
+        join = cfg.block(then_start).successors[0]
+        assert cfg.block(else_start).successors == (join,)
+        assert cfg.dominates(0x10008, join)
+        assert not cfg.dominates(then_start, join)
+
+    def test_nested_branch_in_loop(self):
+        from repro.program.binary import branch
+
+        builder = BinaryBuilder(base=0x10000)
+        builder.procedure("g", [loop("l", body=[branch(4, 4)]),
+                                straight(2)])
+        binary = builder.build()
+        loops = binary.procedure("g").loops
+        assert len(loops) == 1
+        span = binary.loop_span("l")
+        assert (loops[0].start, loops[0].end) == span

@@ -1,0 +1,176 @@
+"""Unit tests for the CFG, dominators, and natural-loop detection."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.program.cfg import ControlFlowGraph
+from repro.program.instructions import BasicBlock, Instruction, Opcode
+from repro.program.loops import find_natural_loops, innermost_loop_containing
+
+
+def make_block(start, n, successors=()):
+    instructions = tuple(Instruction(start + 4 * i) for i in range(n))
+    return BasicBlock(start, instructions, tuple(successors))
+
+
+def diamond_cfg():
+    """entry -> (left | right) -> join."""
+    blocks = [
+        make_block(0x0, 2, (0x8, 0x10)),
+        make_block(0x8, 2, (0x18,)),
+        make_block(0x10, 2, (0x18,)),
+        make_block(0x18, 2, ()),
+    ]
+    return ControlFlowGraph(0x0, blocks)
+
+
+def self_loop_cfg():
+    """entry -> loop(self) -> exit."""
+    blocks = [
+        make_block(0x0, 2, (0x8,)),
+        make_block(0x8, 4, (0x8, 0x18)),
+        make_block(0x18, 2, ()),
+    ]
+    return ControlFlowGraph(0x0, blocks)
+
+
+def nested_loop_cfg():
+    """entry -> H1 -> H2 -> body -> latch2(H2) -> latch1(H1) -> exit.
+
+    H1 heads the outer loop, H2 the inner.
+    """
+    blocks = [
+        make_block(0x00, 2, (0x08,)),          # entry
+        make_block(0x08, 2, (0x10, 0x30)),     # H1: outer header
+        make_block(0x10, 2, (0x18, 0x28)),     # H2: inner header
+        make_block(0x18, 2, (0x20,)),          # inner body
+        make_block(0x20, 2, (0x10,)),          # latch2 -> H2
+        make_block(0x28, 2, (0x08,)),          # latch1 -> H1
+        make_block(0x30, 2, ()),               # exit
+    ]
+    return ControlFlowGraph(0x00, blocks)
+
+
+class TestCfgConstruction:
+    def test_duplicate_block_rejected(self):
+        blocks = [make_block(0x0, 2), make_block(0x0, 2)]
+        with pytest.raises(AddressError):
+            ControlFlowGraph(0x0, blocks)
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(AddressError):
+            ControlFlowGraph(0x100, [make_block(0x0, 2)])
+
+    def test_unknown_successor_rejected(self):
+        with pytest.raises(AddressError):
+            ControlFlowGraph(0x0, [make_block(0x0, 2, (0x999,))])
+
+    def test_predecessors(self):
+        cfg = diamond_cfg()
+        assert set(cfg.predecessors(0x18)) == {0x8, 0x10}
+        assert cfg.predecessors(0x0) == ()
+
+    def test_block_containing(self):
+        cfg = diamond_cfg()
+        assert cfg.block_containing(0xC).start == 0x8
+        assert cfg.block_containing(0x999) is None
+
+
+class TestTraversal:
+    def test_rpo_starts_at_entry(self):
+        rpo = diamond_cfg().reverse_post_order()
+        assert rpo[0] == 0x0
+        assert rpo[-1] == 0x18
+        assert len(rpo) == 4
+
+    def test_unreachable_blocks_excluded(self):
+        blocks = [make_block(0x0, 2, (0x8,)), make_block(0x8, 2),
+                  make_block(0x20, 2)]
+        cfg = ControlFlowGraph(0x0, blocks)
+        assert 0x20 not in cfg.reachable()
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-block chain: iterative DFS must handle it.
+        blocks = [make_block(i * 8, 2, ((i + 1) * 8,))
+                  for i in range(4999)]
+        blocks.append(make_block(4999 * 8, 2))
+        cfg = ControlFlowGraph(0x0, blocks)
+        assert len(cfg.reverse_post_order()) == 5000
+
+
+class TestDominators:
+    def test_diamond(self):
+        cfg = diamond_cfg()
+        idom = cfg.immediate_dominators()
+        assert idom[0x8] == 0x0
+        assert idom[0x10] == 0x0
+        assert idom[0x18] == 0x0  # join dominated by entry, not branches
+
+    def test_dominates_is_reflexive_and_respects_entry(self):
+        cfg = diamond_cfg()
+        assert cfg.dominates(0x8, 0x8)
+        assert cfg.dominates(0x0, 0x18)
+        assert not cfg.dominates(0x8, 0x18)
+
+    def test_back_edges_in_self_loop(self):
+        edges = self_loop_cfg().back_edges()
+        assert len(edges) == 1
+        assert edges[0].source == 0x8
+        assert edges[0].target == 0x8
+
+    def test_no_back_edges_in_dag(self):
+        assert diamond_cfg().back_edges() == []
+
+    def test_nested_loop_back_edges(self):
+        edges = {(e.source, e.target)
+                 for e in nested_loop_cfg().back_edges()}
+        assert edges == {(0x20, 0x10), (0x28, 0x08)}
+
+
+class TestNaturalLoops:
+    def test_self_loop(self):
+        loops = find_natural_loops(self_loop_cfg())
+        assert len(loops) == 1
+        assert loops[0].header == 0x8
+        assert loops[0].blocks == frozenset({0x8})
+        assert (loops[0].start, loops[0].end) == (0x8, 0x18)
+
+    def test_nested_loops_with_parents(self):
+        loops = find_natural_loops(nested_loop_cfg())
+        assert len(loops) == 2
+        inner, outer = loops  # innermost first
+        assert inner.header == 0x10
+        assert outer.header == 0x08
+        assert inner.parent == outer.header
+        assert outer.parent is None
+        assert inner.blocks < outer.blocks
+
+    def test_loop_spans(self):
+        loops = find_natural_loops(nested_loop_cfg())
+        inner, outer = loops
+        assert (inner.start, inner.end) == (0x10, 0x28)
+        assert (outer.start, outer.end) == (0x08, 0x30)
+        assert inner.n_instructions == 6
+        assert outer.n_instructions == 10
+
+    def test_innermost_containing(self):
+        loops = find_natural_loops(nested_loop_cfg())
+        hit = innermost_loop_containing(loops, 0x18)
+        assert hit is not None and hit.header == 0x10
+        hit = innermost_loop_containing(loops, 0x28)  # only in outer span
+        assert hit is not None and hit.header == 0x08
+        assert innermost_loop_containing(loops, 0x100) is None
+
+    def test_merged_back_edges_share_header(self):
+        # Two back edges to the same header merge into one loop.
+        blocks = [
+            make_block(0x00, 2, (0x08,)),
+            make_block(0x08, 2, (0x10, 0x18)),   # header
+            make_block(0x10, 2, (0x08,)),        # latch A
+            make_block(0x18, 2, (0x08, 0x20)),   # latch B / exit test
+            make_block(0x20, 2, ()),
+        ]
+        cfg = ControlFlowGraph(0x00, blocks)
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 1
+        assert loops[0].blocks == frozenset({0x08, 0x10, 0x18})

@@ -1,0 +1,48 @@
+"""Tests for the random program generator."""
+
+import pytest
+
+from repro.program.generator import random_program
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_programs_are_valid(self, seed):
+        program = random_program(seed)
+        # Workload only references declared regions.
+        for name in program.workload.region_names():
+            assert name in program.regions
+        # Every loop region has a discoverable natural loop.
+        for spec in program.regions.values():
+            loop = program.binary.innermost_loop_at(spec.start + 8)
+            if spec.is_loop:
+                assert loop is not None
+            else:
+                assert loop is None
+        assert program.workload.total_cycles > 0
+
+    def test_deterministic_per_seed(self):
+        a = random_program(42)
+        b = random_program(42)
+        assert a.binary.text_range == b.binary.text_range
+        assert sorted(a.regions) == sorted(b.regions)
+        assert a.workload.total_cycles == b.workload.total_cycles
+
+    def test_seeds_vary_structure(self):
+        shapes = {random_program(seed).binary.text_range
+                  for seed in range(10)}
+        assert len(shapes) > 1
+
+    def test_ucr_procedure_called_from_loop_when_present(self):
+        for seed in range(20):
+            program = random_program(seed)
+            if "ucr_proc" in program.regions:
+                assert program.binary.caller_loop_of("ucr_proc") is not None
+                break
+        else:
+            pytest.fail("no generated program included a UCR procedure")
+
+    def test_respects_max_loops(self):
+        program = random_program(3, max_loops=2)
+        loops = [spec for spec in program.regions.values() if spec.is_loop]
+        assert 1 <= len(loops) <= 2

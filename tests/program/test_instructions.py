@@ -1,0 +1,71 @@
+"""Unit tests for instructions and basic blocks."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.program.instructions import BasicBlock, Instruction, Opcode
+
+
+def block(start, n, successors=(), last=None, last_target=None):
+    instructions = []
+    for i in range(n):
+        addr = start + 4 * i
+        if i == n - 1 and last is not None:
+            instructions.append(Instruction(addr, last, last_target))
+        else:
+            instructions.append(Instruction(addr))
+    return BasicBlock(start, tuple(instructions), tuple(successors))
+
+
+class TestInstruction:
+    def test_alignment_enforced(self):
+        with pytest.raises(AddressError):
+            Instruction(0x1001)
+        with pytest.raises(AddressError):
+            Instruction(-4)
+
+    def test_target_only_on_control_flow(self):
+        Instruction(0x1000, Opcode.BRANCH, 0x2000)
+        Instruction(0x1000, Opcode.CALL, 0x2000)
+        with pytest.raises(AddressError):
+            Instruction(0x1000, Opcode.ALU, 0x2000)
+
+    def test_classification(self):
+        assert Instruction(0x0, Opcode.BRANCH, 0x10).is_control_flow
+        assert Instruction(0x0, Opcode.RET).is_control_flow
+        assert not Instruction(0x0, Opcode.LOAD).is_control_flow
+        assert Instruction(0x0, Opcode.LOAD).is_memory
+        assert Instruction(0x0, Opcode.STORE).is_memory
+        assert not Instruction(0x0, Opcode.FP).is_memory
+
+
+class TestBasicBlock:
+    def test_basic_properties(self):
+        b = block(0x1000, 4, successors=(0x1010,))
+        assert b.end == 0x1010
+        assert b.n_instructions == 4
+        assert b.contains(0x100C)
+        assert not b.contains(0x1010)
+        assert b.terminator.address == 0x100C
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(AddressError):
+            BasicBlock(0x1000, ())
+
+    def test_start_mismatch_rejected(self):
+        instr = (Instruction(0x1004),)
+        with pytest.raises(AddressError):
+            BasicBlock(0x1000, instr)
+
+    def test_non_contiguous_rejected(self):
+        instr = (Instruction(0x1000), Instruction(0x1008))
+        with pytest.raises(AddressError):
+            BasicBlock(0x1000, instr)
+
+    def test_call_targets(self):
+        b = block(0x1000, 3, last=Opcode.CALL, last_target=0x4000)
+        assert b.call_targets() == (0x4000,)
+        assert block(0x1000, 3).call_targets() == ()
+
+    def test_repr_mentions_range(self):
+        assert "0x1000" in repr(block(0x1000, 2))

@@ -1,0 +1,87 @@
+"""Direct unit tests for Procedure (gaps, call-in-loop analysis)."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.program.binary import BinaryBuilder, call, loop, straight
+from repro.program.instructions import BasicBlock, Instruction, Opcode
+from repro.program.procedures import Procedure
+
+
+def make_block(start, n, successors=(), last=None, last_target=None):
+    instructions = []
+    for i in range(n):
+        addr = start + 4 * i
+        if i == n - 1 and last is not None:
+            instructions.append(Instruction(addr, last, last_target))
+        else:
+            instructions.append(Instruction(addr))
+    return BasicBlock(start, tuple(instructions), tuple(successors))
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        blocks = [make_block(0x1000, 4, (0x1010,)), make_block(0x1010, 4)]
+        procedure = Procedure("f", 0x1000, blocks)
+        assert procedure.start == 0x1000
+        assert procedure.end == 0x1020
+        assert procedure.n_instructions == 8
+        assert procedure.contains(0x101C)
+        assert not procedure.contains(0x1020)
+        assert "f" in repr(procedure)
+
+    def test_blocks_sorted_by_address(self):
+        blocks = [make_block(0x1010, 4), make_block(0x1000, 4, (0x1010,))]
+        procedure = Procedure("f", 0x1000, blocks)
+        assert [b.start for b in procedure.blocks] == [0x1000, 0x1010]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AddressError):
+            Procedure("f", 0x1000, [])
+
+    def test_gap_rejected(self):
+        blocks = [make_block(0x1000, 4, (0x1020,)), make_block(0x1020, 4)]
+        with pytest.raises(AddressError, match="gap"):
+            Procedure("f", 0x1000, blocks)
+
+    def test_loops_cached(self):
+        blocks = [make_block(0x1000, 2, (0x1008,)),
+                  make_block(0x1008, 4, (0x1008, 0x1018)),
+                  make_block(0x1018, 2)]
+        procedure = Procedure("f", 0x1000, blocks)
+        assert procedure.loops is procedure.loops  # cached_property
+
+
+class TestCallAnalysis:
+    def build(self):
+        builder = BinaryBuilder(base=0x10000)
+        builder.procedure("leaf_a", [straight(8)])
+        builder.procedure("leaf_b", [straight(8)])
+        builder.procedure("main", [
+            call("leaf_a"),                       # call OUTSIDE any loop
+            loop("l", body=[straight(2), call("leaf_b")]),
+            straight(2),
+        ], at=0x20000)
+        return builder.build()
+
+    def test_call_targets(self):
+        binary = self.build()
+        main = binary.procedure("main")
+        targets = main.call_targets()
+        assert binary.procedure("leaf_a").entry in targets
+        assert binary.procedure("leaf_b").entry in targets
+
+    def test_calls_inside_loops_distinguishes(self):
+        binary = self.build()
+        main = binary.procedure("main")
+        in_loop = main.calls_inside_loops()
+        assert binary.procedure("leaf_b").entry in in_loop
+        assert binary.procedure("leaf_a").entry not in in_loop
+        loop_span = binary.loop_span("l")
+        found = in_loop[binary.procedure("leaf_b").entry]
+        assert (found.start, found.end) == loop_span
+
+    def test_caller_loop_of_respects_loop_membership(self):
+        binary = self.build()
+        assert binary.caller_loop_of("leaf_b") is not None
+        assert binary.caller_loop_of("leaf_a") is None

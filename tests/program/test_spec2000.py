@@ -1,0 +1,162 @@
+"""Tests for the synthetic SPEC CPU2000 suite models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.program.spec2000 import (FIG3_BENCHMARKS, FIG6_BENCHMARKS,
+                                    FIG13_BENCHMARKS, FIG16_BENCHMARKS,
+                                    FIG17_BENCHMARKS, SUITE,
+                                    benchmark_names, get_benchmark)
+
+#: A small scale that keeps every model's total runtime tiny.
+SCALE = 0.02
+
+
+class TestRegistry:
+    def test_suite_has_24_models(self):
+        assert len(SUITE) == 24
+        assert benchmark_names() == sorted(SUITE)
+
+    def test_figure_membership(self):
+        assert len(FIG3_BENCHMARKS) == 21
+        assert len(FIG6_BENCHMARKS) == 23
+        assert len(FIG13_BENCHMARKS) == 8
+        assert len(FIG16_BENCHMARKS) == 24
+        assert set(FIG17_BENCHMARKS) == {"181.mcf", "172.mgrid", "254.gap",
+                                         "191.fma3d"}
+        assert "176.gcc" not in FIG3_BENCHMARKS  # short running, excluded
+        assert set(FIG3_BENCHMARKS) <= set(FIG6_BENCHMARKS)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigError, match="unknown benchmark"):
+            get_benchmark("999.doom")
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigError):
+            get_benchmark("181.mcf", scale=0.0)
+
+    def test_caching_returns_same_object(self):
+        a = get_benchmark("181.mcf", SCALE)
+        b = get_benchmark("181.mcf", SCALE)
+        assert a is b
+
+    def test_scaling_shrinks_duration(self):
+        full = get_benchmark("171.swim", 1.0)
+        small = get_benchmark("171.swim", 0.1)
+        assert small.workload.total_cycles == pytest.approx(
+            full.workload.total_cycles * 0.1, rel=0.01)
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+class TestEveryModelIsWellFormed:
+    def test_workload_references_known_regions(self, name):
+        model = get_benchmark(name, SCALE)
+        for region_name in model.workload.region_names():
+            assert region_name in model.regions
+
+    def test_loop_regions_match_binary_loops(self, name):
+        model = get_benchmark(name, SCALE)
+        for region_name, spec in model.regions.items():
+            if not spec.is_loop:
+                continue
+            found = model.binary.innermost_loop_at(spec.start + 8)
+            assert found is not None, \
+                f"{name}: loop region {region_name} has no binary loop"
+
+    def test_non_loop_regions_have_no_loop(self, name):
+        model = get_benchmark(name, SCALE)
+        for region_name, spec in model.regions.items():
+            if spec.is_loop:
+                continue
+            assert model.binary.innermost_loop_at(spec.start + 8) is None, \
+                f"{name}: UCR region {region_name} sits inside a loop"
+
+    def test_selected_regions_exist(self, name):
+        model = get_benchmark(name, SCALE)
+        for region_name in model.selected_region_names:
+            assert region_name in model.regions
+            assert model.monitored_name(region_name)
+
+    def test_mixture_weights_cover_execution(self, name):
+        model = get_benchmark(name, SCALE)
+        for piece in model.workload.compile()[:50]:
+            shares = piece.mix.region_shares()
+            assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestPaperAddresses:
+    def test_mcf_regions_match_figure_9(self):
+        model = get_benchmark("181.mcf", SCALE)
+        assert model.monitored_name("mcf_r1") == "146f0-14770"
+        assert model.monitored_name("mcf_r2") == "142c8-14318"
+        assert model.monitored_name("mcf_r3") == "13134-133d4"
+
+    def test_gap_regions_match_figure_11(self):
+        model = get_benchmark("254.gap", SCALE)
+        assert model.monitored_name("gap_g1") == "7ba2c-7ba78"
+        assert model.monitored_name("gap_g2") == "8d25c-8d314"
+
+
+class TestEncodedBehaviors:
+    """Cheap behavioral checks on the workload ground truth (no detector
+    runs — those live in the integration tests)."""
+
+    def test_mcf_region_tradeoff(self):
+        from repro.program.workload import region_cycles_per_window
+
+        model = get_benchmark("181.mcf", 0.1)
+        pieces = model.workload.compile()
+        window = model.workload.total_cycles // 10
+        matrix = region_cycles_per_window(pieces, window, 10,
+                                          ["mcf_r1", "mcf_r2"])
+        shares = matrix / matrix.sum(axis=1, keepdims=True)
+        assert shares[0, 0] > shares[-1, 0]  # r1 fades
+        assert shares[0, 1] < shares[-1, 1]  # r2 grows
+
+    def test_facerec_alternates_sets(self):
+        model = get_benchmark("187.facerec", 0.1)
+        pieces = model.workload.compile()
+        dominant = []
+        for piece in pieces:
+            shares = piece.mix.region_shares()
+            dominant.append(max(shares, key=shares.get))
+        assert "face_f1" in dominant and "face_f3" in dominant
+
+    def test_gap_ucr_weight_above_threshold(self):
+        model = get_benchmark("254.gap", 0.1)
+        piece = model.workload.compile()[0]
+        shares = piece.mix.region_shares()
+        ucr = shares.get("gap_u1", 0) + shares.get("gap_u2", 0)
+        assert ucr > 0.30
+
+    def test_crafty_ucr_weight_above_threshold(self):
+        model = get_benchmark("186.crafty", 0.1)
+        shares = model.workload.compile()[0].mix.region_shares()
+        ucr = sum(v for k, v in shares.items() if k.startswith("crafty_u"))
+        assert ucr > 0.30
+
+    def test_gcc_has_hundreds_of_loops(self):
+        model = get_benchmark("176.gcc", SCALE)
+        n_loops = sum(1 for spec in model.regions.values() if spec.is_loop)
+        assert n_loops >= 300
+
+    def test_ammp_has_one_huge_region(self):
+        model = get_benchmark("188.ammp", SCALE)
+        big = model.regions["ammp_a1"]
+        assert big.n_slots == 1600
+        assert len(big.profiles) >= 4  # the wandering profiles
+
+    def test_fig17_benchmarks_have_opt_potential(self):
+        for name in FIG17_BENCHMARKS:
+            model = get_benchmark(name, SCALE)
+            potentials = [spec.opt_potential
+                          for spec in model.regions.values()
+                          if spec.is_loop]
+            assert max(potentials) > 0.0
+
+    def test_descriptions_present(self):
+        for name in benchmark_names():
+            model = get_benchmark(name, SCALE)
+            assert model.description
+            assert model.name == name

@@ -1,0 +1,50 @@
+"""Tests for the repro-suite inspection CLI."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.program.suite_cli import describe, inventory_table, main
+from repro.program.spec2000 import benchmark_names, get_benchmark
+
+
+class TestInventory:
+    def test_lists_every_model(self):
+        table = inventory_table()
+        for name in benchmark_names():
+            assert name in table
+        assert "intervals@45k" in table
+
+    def test_main_without_args_prints_inventory(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Synthetic SPEC CPU2000 suite" in out
+        assert "181.mcf" in out
+
+
+class TestDescribe:
+    def test_mcf_description_sections(self):
+        text = describe(get_benchmark("181.mcf", 0.1))
+        assert "146f0-14770" in text
+        assert "natural loops" in text
+        assert "workload segments" in text
+        assert "selected regions" in text
+        assert "periodic" in text and "drift" in text
+
+    def test_gap_shows_proc_regions(self):
+        text = describe(get_benchmark("254.gap", 0.1))
+        assert "proc" in text  # the UCR procedures
+        assert "7ba2c-7ba78" in text
+
+    def test_long_segment_lists_truncated(self):
+        text = describe(get_benchmark("173.applu", 0.1))
+        assert "steady" in text
+
+    def test_main_with_benchmark(self, capsys):
+        assert main(["172.mgrid", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "172.mgrid" in out
+        assert "regions" in out
+
+    def test_main_unknown_benchmark(self):
+        with pytest.raises(ConfigError):
+            main(["999.doom"])

@@ -1,0 +1,154 @@
+"""Unit tests for workload scripts and timeline compilation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.program.workload import (Component, Drift, Mixture, Periodic,
+                                    Steady, WorkloadScript, mixture,
+                                    region_cycles,
+                                    region_cycles_per_window)
+
+MIX_A = mixture(("a", 0.7), ("b", 0.3))
+MIX_B = mixture(("b", 1.0))
+
+
+class TestMixture:
+    def test_weights_normalized(self):
+        assert MIX_A.weights.sum() == pytest.approx(1.0)
+        assert MIX_A.weights[0] == pytest.approx(0.7)
+
+    def test_tuple_shorthand_with_profile(self):
+        mix = mixture(("a", 1.0, "alt"))
+        assert mix.components[0].profile == "alt"
+
+    def test_component_positive_weight(self):
+        with pytest.raises(WorkloadError):
+            Component("a", 0.0)
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(WorkloadError):
+            Mixture(())
+
+    def test_duplicate_region_profile_rejected(self):
+        with pytest.raises(WorkloadError):
+            mixture(("a", 0.5), ("a", 0.5))
+
+    def test_same_region_different_profiles_allowed(self):
+        mix = mixture(("a", 0.5, "p0"), ("a", 0.5, "p1"))
+        assert mix.region_shares() == {"a": pytest.approx(1.0)}
+
+
+class TestSegments:
+    def test_steady_pieces(self):
+        pieces = Steady(1000, MIX_A).pieces(500)
+        assert len(pieces) == 1
+        assert (pieces[0].start, pieces[0].end) == (500, 1500)
+        assert pieces[0].duration == 1000
+
+    def test_periodic_alternation(self):
+        seg = Periodic(1000, (MIX_A, MIX_B), switch_period=300)
+        pieces = seg.pieces(0)
+        assert [p.start for p in pieces] == [0, 300, 600, 900]
+        assert pieces[0].mix is MIX_A
+        assert pieces[1].mix is MIX_B
+        assert pieces[3].end == 1000  # truncated final piece
+
+    def test_periodic_validation(self):
+        with pytest.raises(WorkloadError):
+            Periodic(1000, (MIX_A,), 100)
+        with pytest.raises(WorkloadError):
+            Periodic(1000, (MIX_A, MIX_B), 0)
+        with pytest.raises(WorkloadError, match="500k pieces"):
+            Periodic(10**9, (MIX_A, MIX_B), 1)
+
+    def test_drift_interpolates_weights(self):
+        seg = Drift(1000, mixture(("a", 1.0)), mixture(("b", 1.0)), steps=4)
+        pieces = seg.pieces(0)
+        assert len(pieces) == 4
+        first_shares = pieces[0].mix.region_shares()
+        last_shares = pieces[-1].mix.region_shares()
+        assert first_shares["a"] > 0.8
+        assert last_shares["b"] > 0.8
+        # Every piece's shares sum to 1.
+        for piece in pieces:
+            assert sum(piece.mix.region_shares().values()) \
+                == pytest.approx(1.0)
+
+    def test_drift_pieces_tile_duration(self):
+        pieces = Drift(997, MIX_A, MIX_B, steps=7).pieces(100)
+        assert pieces[0].start == 100
+        assert pieces[-1].end == 1097
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.end == right.start
+
+    def test_duration_validation(self):
+        for bad in (Steady, ):
+            with pytest.raises(WorkloadError):
+                bad(0, MIX_A)
+        with pytest.raises(WorkloadError):
+            Drift(100, MIX_A, MIX_B, steps=1)
+
+
+class TestWorkloadScript:
+    def test_compile_concatenates_segments(self):
+        script = WorkloadScript([Steady(100, MIX_A), Steady(200, MIX_B)])
+        pieces = script.compile()
+        assert [(p.start, p.end) for p in pieces] == [(0, 100), (100, 300)]
+        assert script.total_cycles == 300
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadScript([])
+
+    def test_region_names_in_first_use_order(self):
+        script = WorkloadScript([Steady(100, MIX_A), Steady(100, MIX_B)])
+        assert script.region_names() == ["a", "b"]
+
+    def test_scaled_shrinks_durations(self):
+        script = WorkloadScript([
+            Steady(1000, MIX_A),
+            Periodic(2000, (MIX_A, MIX_B), 500),
+            Drift(1000, MIX_A, MIX_B, steps=4),
+        ])
+        small = script.scaled(0.1)
+        assert small.total_cycles == pytest.approx(400, abs=2)
+        # Switch period is NOT scaled: the switching time scale is part of
+        # the modeled behavior; only run length shrinks.
+        assert small.segments[1].switch_period == 500
+
+    def test_scale_factor_validation(self):
+        script = WorkloadScript([Steady(100, MIX_A)])
+        with pytest.raises(WorkloadError):
+            script.scaled(0.0)
+
+
+class TestTimingGroundTruth:
+    def test_region_cycles_totals(self):
+        script = WorkloadScript([Steady(1000, MIX_A), Steady(1000, MIX_B)])
+        totals = region_cycles(script.compile())
+        assert totals["a"] == pytest.approx(700.0)
+        assert totals["b"] == pytest.approx(1300.0)
+        assert sum(totals.values()) == pytest.approx(2000.0)
+
+    def test_window_matrix_conserves_cycles(self):
+        script = WorkloadScript([
+            Steady(1000, MIX_A),
+            Periodic(1000, (MIX_A, MIX_B), 150),
+        ])
+        matrix = region_cycles_per_window(script.compile(), 250, 8,
+                                          ["a", "b"])
+        assert matrix.shape == (8, 2)
+        assert matrix.sum() == pytest.approx(2000.0)
+        totals = region_cycles(script.compile())
+        assert matrix[:, 0].sum() == pytest.approx(totals["a"])
+        assert matrix[:, 1].sum() == pytest.approx(totals["b"])
+
+    def test_window_matrix_piece_split_across_windows(self):
+        script = WorkloadScript([Steady(1000, mixture(("a", 1.0)))])
+        matrix = region_cycles_per_window(script.compile(), 300, 3, ["a"])
+        assert matrix[:, 0].tolist() == [300.0, 300.0, 300.0]
+
+    def test_window_matrix_validation(self):
+        with pytest.raises(WorkloadError):
+            region_cycles_per_window([], 0, 2, ["a"])

@@ -1,0 +1,163 @@
+"""Property-based tests on the phase-detection core (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.centroid import BandOfStability, CentroidHistory
+from repro.core.correlation import pearson_r, pearson_r_pure
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.histogram import RegionHistogram
+from repro.core.lpd import LocalPhaseDetector
+from repro.core.similarity import (CosineSimilarity, ManhattanOverlap,
+                                   PearsonSimilarity, TopKJaccard)
+from repro.core.states import is_stable_state
+
+count_vectors = st.lists(st.integers(min_value=0, max_value=10_000),
+                         min_size=2, max_size=64)
+
+
+def paired_vectors():
+    return st.integers(min_value=2, max_value=64).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 10_000), min_size=n, max_size=n),
+            st.lists(st.integers(0, 10_000), min_size=n, max_size=n)))
+
+
+class TestPearsonProperties:
+    @given(paired_vectors())
+    def test_bounded_and_symmetric(self, pair):
+        x, y = pair
+        r = pearson_r(x, y)
+        assert -1.0 <= r <= 1.0
+        assert r == pearson_r(y, x)
+
+    @given(count_vectors)
+    def test_self_correlation_is_one(self, x):
+        assert pearson_r(x, x) == 1.0
+
+    @given(count_vectors, st.floats(min_value=0.01, max_value=1000.0))
+    def test_scale_invariance(self, x, factor):
+        scaled = [v * factor for v in x]
+        assert abs(pearson_r(x, scaled) - 1.0) < 1e-9
+
+    @given(paired_vectors(), st.integers(0, 10_000))
+    def test_translation_invariance(self, pair, offset):
+        x, y = pair
+        shifted = [v + offset for v in x]
+        assert abs(pearson_r(shifted, y) - pearson_r(x, y)) < 1e-6
+
+    @given(paired_vectors())
+    @settings(max_examples=50)
+    def test_pure_matches_vectorized(self, pair):
+        x, y = pair
+        assert abs(pearson_r_pure(x, y) - pearson_r(x, y)) < 1e-9
+
+
+class TestSimilarityMeasureProperties:
+    measures = [PearsonSimilarity(), CosineSimilarity(),
+                ManhattanOverlap(), TopKJaccard(4)]
+
+    @given(paired_vectors())
+    @settings(max_examples=40)
+    def test_all_measures_bounded_and_symmetric(self, pair):
+        x = np.asarray(pair[0], dtype=float)
+        y = np.asarray(pair[1], dtype=float)
+        for measure in self.measures:
+            score = measure(x, y)
+            assert -1.0 <= score <= 1.0 + 1e-12, measure.name
+            assert abs(score - measure(y, x)) < 1e-9, measure.name
+
+    @given(count_vectors, st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=40)
+    def test_all_measures_scale_invariant(self, x, factor):
+        a = np.asarray(x, dtype=float)
+        for measure in self.measures:
+            assert measure(a, factor * a) > 1.0 - 1e-6, measure.name
+
+
+class TestBandProperties:
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e9,
+                              allow_nan=False), min_size=2, max_size=32),
+           st.floats(min_value=0.0, max_value=2e9, allow_nan=False))
+    def test_drift_non_negative_and_zero_inside(self, values, probe):
+        history = CentroidHistory(32)
+        history.extend(values)
+        band = history.band()
+        drift = band.drift(probe)
+        assert drift >= 0.0
+        if band.lower <= probe <= band.upper:
+            assert drift == 0.0
+        else:
+            assert drift > 0.0
+
+    @given(st.floats(min_value=1.0, max_value=1e9),
+           st.floats(min_value=0.0, max_value=1e9))
+    def test_band_bounds_ordered(self, expectation, sd):
+        band = BandOfStability(expectation, sd)
+        assert band.lower <= band.upper
+
+
+class TestDetectorInvariants:
+    @given(st.lists(st.floats(min_value=1e3, max_value=1e7,
+                              allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_gpd_event_log_alternates(self, centroids):
+        detector = GlobalPhaseDetector()
+        for value in centroids:
+            detector.observe_centroid(value)
+        kinds = [e.kind.value for e in detector.events]
+        # Events must strictly alternate stable/unstable, starting stable.
+        for index, kind in enumerate(kinds):
+            expected = ("became_stable" if index % 2 == 0
+                        else "became_unstable")
+            assert kind == expected
+        assert len(detector.observations) == len(centroids)
+
+    @given(st.lists(st.one_of(
+        st.none(),
+        st.lists(st.integers(0, 500), min_size=8, max_size=8)),
+        min_size=0, max_size=60))
+    @settings(max_examples=40)
+    def test_lpd_event_log_alternates_and_counts(self, histograms):
+        detector = LocalPhaseDetector(n_instructions=8)
+        for index, counts in enumerate(histograms):
+            vector = None if counts is None else np.asarray(counts, float)
+            detector.observe(vector, index)
+        kinds = [e.kind.value for e in detector.events]
+        for index, kind in enumerate(kinds):
+            expected = ("became_stable" if index % 2 == 0
+                        else "became_unstable")
+            assert kind == expected
+        assert detector.stable_intervals <= detector.active_intervals
+        assert is_stable_state(detector.state) == detector.in_stable_phase
+        assert 0.0 <= detector.stable_time_fraction() <= 1.0
+
+    @given(st.lists(st.integers(0, 1000), min_size=4, max_size=32))
+    @settings(max_examples=40)
+    def test_lpd_constant_behavior_never_destabilizes(self, counts):
+        vector = np.asarray(counts, dtype=float)
+        if vector.sum() == 0:
+            return
+        detector = LocalPhaseDetector(n_instructions=vector.size)
+        for index in range(20):
+            detector.observe(vector, index)
+        assert detector.phase_change_count() <= 1  # only stabilization
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.integers(0, 63), min_size=0, max_size=500))
+    def test_total_equals_samples_added(self, offsets):
+        histogram = RegionHistogram(0x1000, 0x1000 + 64 * 4)
+        for offset in offsets:
+            histogram.add_sample(0x1000 + offset * 4)
+        assert histogram.total() == len(offsets)
+
+    @given(st.lists(st.integers(0, 2**20), min_size=0, max_size=300))
+    def test_batch_add_counts_inside_only(self, raw):
+        pcs = np.asarray([v * 4 for v in raw], dtype=np.int64)
+        histogram = RegionHistogram(0x1000, 0x2000)
+        inside = histogram.add_pcs(pcs)
+        expected = int(((pcs >= 0x1000) & (pcs < 0x2000)).sum())
+        assert inside == expected
+        assert histogram.total() == expected

@@ -1,0 +1,136 @@
+"""Property-based tests over randomly generated programs (hypothesis).
+
+Uses :mod:`repro.program.generator` to build arbitrary valid binaries and
+workloads and checks pipeline-level invariants: attribution conserves
+samples, the two attribution strategies agree, formation only builds
+regions around real loops, and the monitor's accounting stays consistent.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MonitorThresholds
+from repro.monitor import RegionMonitor
+from repro.program.generator import random_program
+from repro.regions.attribution import ListAttributor, TreeAttributor
+from repro.regions.region import RegionKind
+from repro.regions.registry import RegionRegistry
+from repro.sampling import simulate_sampling
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def simulate(seed: int, period: int = 25_000):
+    program = random_program(seed)
+    stream = simulate_sampling(program.regions, program.workload, period,
+                               seed=seed)
+    return program, stream
+
+
+class TestSamplingProperties:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_samples_land_in_declared_regions(self, seed):
+        program, stream = simulate(seed)
+        spans = [(spec.start, spec.end)
+                 for spec in program.regions.values()]
+        for pc in np.unique(stream.pcs):
+            assert any(start <= pc < end for start, end in spans)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_simulation_deterministic(self, seed):
+        _, first = simulate(seed)
+        _, second = simulate(seed)
+        assert np.array_equal(first.pcs, second.pcs)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_sample_count_bounded_by_period(self, seed):
+        program, stream = simulate(seed)
+        upper = program.workload.total_cycles // stream.sampling_period
+        assert 0 <= stream.n_samples <= upper + 1
+
+
+class TestAttributionProperties:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_strategies_agree_and_conserve(self, seed):
+        program, stream = simulate(seed)
+        registry = RegionRegistry()
+        for spec in program.regions.values():
+            if spec.is_loop:
+                registry.add(spec.start, spec.end)
+        pcs = stream.pcs[:2000]
+        if pcs.size == 0:
+            return
+        list_result = ListAttributor(registry).attribute(pcs)
+        tree_result = TreeAttributor(registry).attribute(pcs)
+        # Conservation: every sample is attributed or UCR (regions from
+        # distinct loop procedures never overlap here).
+        attributed = sum(int(v.sum())
+                         for v in list_result.region_counts.values())
+        assert attributed + list_result.ucr_pcs.size == pcs.size
+        # Agreement between strategies.
+        assert sorted(list_result.region_counts) == \
+            sorted(tree_result.region_counts)
+        for rid, counts in list_result.region_counts.items():
+            assert np.array_equal(counts, tree_result.region_counts[rid])
+
+
+class TestMonitorProperties:
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_monitor_invariants(self, seed):
+        program, stream = simulate(seed)
+        monitor = RegionMonitor(program.binary,
+                                MonitorThresholds(buffer_size=256))
+        monitor.process_stream(stream)
+        # 1. Formed loop regions correspond to real binary loops.
+        for region in monitor.all_regions():
+            if region.kind is RegionKind.LOOP:
+                loop = program.binary.innermost_loop_at(region.start)
+                assert loop is not None
+        # 2. UCR fractions are valid and the history is complete.
+        assert len(monitor.ucr.history) == monitor.intervals_processed
+        assert all(0.0 <= f <= 1.0 for f in monitor.ucr.history)
+        # 3. Per-region accounting is self-consistent.
+        for rid, count in monitor.phase_change_counts().items():
+            detector = monitor.detector(rid)
+            assert count == len(detector.events)
+            assert detector.stable_intervals <= detector.active_intervals
+        # 4. The sample matrix matches the reports.
+        _regions, matrix = monitor.region_sample_matrix()
+        assert matrix.shape[0] == monitor.intervals_processed
+        assert int(matrix.sum()) == sum(
+            sum(report.region_samples.values())
+            for report in monitor.reports)
+
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_interprocedural_resolves_superset_per_trigger(self, seed):
+        """On one identical formation trigger, the inter-procedural rule
+        resolves a superset of the loop-only rule's seeds.
+
+        (A whole-run UCR comparison is NOT monotone: resolving more code
+        early can drop UCR below the trigger threshold sooner, ending
+        formation with some cold loops unformed — a real property of
+        threshold-triggered formation.)
+        """
+        from repro.regions.formation import RegionFormation
+        from repro.regions.registry import RegionRegistry
+
+        program, stream = simulate(seed)
+        pcs = stream.pcs[:512]
+        if pcs.size == 0:
+            return
+        plain = RegionFormation(program.binary, RegionRegistry())
+        interproc = RegionFormation(program.binary, RegionRegistry(),
+                                    interprocedural=True)
+        plain_outcome = plain.form(pcs)
+        interproc_outcome = interproc.form(pcs)
+        assert set(interproc_outcome.failed_addresses) \
+            <= set(plain_outcome.failed_addresses)
+        assert interproc_outcome.seeds_resolved \
+            >= plain_outcome.seeds_resolved

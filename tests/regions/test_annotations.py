@@ -1,0 +1,109 @@
+"""Tests for compiler annotations guiding region formation."""
+
+import numpy as np
+import pytest
+
+from repro.core import MonitorThresholds
+from repro.errors import RegionError
+from repro.monitor import RegionMonitor
+from repro.program.binary import BinaryBuilder, branch, loop, straight
+from repro.regions.annotations import Annotation, AnnotationTable
+from repro.regions.formation import RegionFormation
+from repro.regions.region import RegionKind
+from repro.regions.registry import RegionRegistry
+
+
+class TestAnnotationTable:
+    def test_lookup(self):
+        table = AnnotationTable.from_spans([
+            (0x1000, 0x1100, "kernel_a"),
+            (0x2000, 0x2080),
+        ])
+        assert table.lookup(0x1040).label == "kernel_a"
+        assert table.lookup(0x2000).start == 0x2000
+        assert table.lookup(0x1100) is None
+        assert table.lookup(0x0) is None
+        assert len(table) == 2
+
+    def test_iteration_sorted(self):
+        table = AnnotationTable.from_spans([(0x2000, 0x2080),
+                                            (0x1000, 0x1100)])
+        assert [a.start for a in table] == [0x1000, 0x2000]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(RegionError, match="overlap"):
+            AnnotationTable.from_spans([(0x1000, 0x1100),
+                                        (0x10F0, 0x1200)])
+
+    def test_span_validation(self):
+        with pytest.raises(RegionError):
+            Annotation(0x1000, 0x1000)
+        with pytest.raises(RegionError):
+            Annotation(0x1000, 0x1003)
+
+    def test_empty_table(self):
+        table = AnnotationTable()
+        assert len(table) == 0
+        assert table.lookup(0x1000) is None
+
+
+class TestAnnotatedFormation:
+    def build_binary(self):
+        builder = BinaryBuilder(base=0x10000)
+        builder.procedure("branchy", [
+            straight(4), branch(then_shapes=12, else_shapes=8),
+            straight(6),
+        ], at=0x20000)
+        builder.procedure("p_l", [loop("l", body=12)], at=0x30000)
+        return builder.build()
+
+    def test_annotation_covers_unbuildable_code(self):
+        binary = self.build_binary()
+        procedure = binary.procedure("branchy")
+        table = AnnotationTable.from_spans(
+            [(procedure.start, procedure.end, "branchy_kernel")])
+        formation = RegionFormation(binary, RegionRegistry(),
+                                    annotations=table)
+        outcome = formation.form(
+            np.full(100, procedure.start + 8, dtype=np.int64))
+        assert outcome.formed_any
+        region = outcome.new_regions[0]
+        assert region.kind is RegionKind.ANNOTATED
+        assert (region.start, region.end) \
+            == (procedure.start, procedure.end)
+
+    def test_annotation_takes_precedence_over_loop(self):
+        binary = self.build_binary()
+        span = binary.loop_span("l")
+        table = AnnotationTable.from_spans([(span[0], span[1], "the_loop")])
+        formation = RegionFormation(binary, RegionRegistry(),
+                                    annotations=table)
+        outcome = formation.form(np.full(100, span[0] + 8,
+                                         dtype=np.int64))
+        assert outcome.new_regions[0].kind is RegionKind.ANNOTATED
+
+    def test_unannotated_code_falls_back_to_loops(self):
+        binary = self.build_binary()
+        span = binary.loop_span("l")
+        table = AnnotationTable.from_spans([(0x50000, 0x50100)])
+        formation = RegionFormation(binary, RegionRegistry(),
+                                    annotations=table)
+        outcome = formation.form(np.full(100, span[0] + 8,
+                                         dtype=np.int64))
+        assert outcome.new_regions[0].kind is RegionKind.LOOP
+
+    def test_monitor_accepts_annotations(self):
+        binary = self.build_binary()
+        procedure = binary.procedure("branchy")
+        table = AnnotationTable.from_spans(
+            [(procedure.start, procedure.end, "branchy_kernel")])
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=16),
+                                annotations=table)
+        rng = np.random.default_rng(0)
+        pcs = (procedure.start
+               + 4 * rng.integers(0, 8, size=16)).astype(np.int64)
+        for index in range(5):
+            monitor.process_interval(pcs, index)
+        kinds = {r.kind for r in monitor.all_regions()}
+        assert RegionKind.ANNOTATED in kinds
+        assert monitor.ucr.history[-1] == 0.0

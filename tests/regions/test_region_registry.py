@@ -1,0 +1,104 @@
+"""Unit tests for Region and RegionRegistry."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.regions.region import Region, RegionKind
+from repro.regions.registry import RegionRegistry
+
+
+class TestRegion:
+    def test_paper_style_name(self):
+        region = Region(rid=0, start=0x146F0, end=0x14770)
+        assert region.name == "146f0-14770"
+        assert region.n_instructions == 32
+
+    def test_span_validation(self):
+        with pytest.raises(RegionError):
+            Region(rid=0, start=0x1000, end=0x1000)
+        with pytest.raises(RegionError):
+            Region(rid=0, start=0x1000, end=0x1001)
+        with pytest.raises(RegionError):
+            Region(rid=0, start=-4, end=0x1000)
+
+    def test_contains_and_overlaps(self):
+        a = Region(rid=0, start=0x1000, end=0x1100)
+        b = Region(rid=1, start=0x1080, end=0x1200)
+        c = Region(rid=2, start=0x1100, end=0x1200)
+        assert a.contains(0x1000)
+        assert not a.contains(0x1100)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open ranges just touch
+
+
+class TestRegistry:
+    def test_add_assigns_sequential_ids(self):
+        registry = RegionRegistry()
+        r0 = registry.add(0x1000, 0x1100)
+        r1 = registry.add(0x2000, 0x2100)
+        assert (r0.rid, r1.rid) == (0, 1)
+        assert len(registry) == 2
+        assert [r.rid for r in registry] == [0, 1]
+
+    def test_duplicate_span_rejected(self):
+        registry = RegionRegistry()
+        registry.add(0x1000, 0x1100)
+        with pytest.raises(RegionError):
+            registry.add(0x1000, 0x1100)
+
+    def test_remove(self):
+        registry = RegionRegistry()
+        region = registry.add(0x1000, 0x1100)
+        removed = registry.remove(region.rid)
+        assert removed is region
+        assert len(registry) == 0
+        with pytest.raises(RegionError):
+            registry.remove(region.rid)
+        with pytest.raises(RegionError):
+            registry.get(region.rid)
+
+    def test_version_bumps_on_mutation(self):
+        registry = RegionRegistry()
+        v0 = registry.version
+        region = registry.add(0x1000, 0x1100)
+        v1 = registry.version
+        registry.remove(region.rid)
+        v2 = registry.version
+        assert v0 < v1 < v2
+
+    def test_removed_span_can_be_readded(self):
+        registry = RegionRegistry()
+        region = registry.add(0x1000, 0x1100)
+        registry.remove(region.rid)
+        again = registry.add(0x1000, 0x1100)
+        assert again.rid != region.rid
+
+    def test_covering_finds_overlapping_regions(self):
+        registry = RegionRegistry()
+        outer = registry.add(0x1000, 0x1200)
+        inner = registry.add(0x1080, 0x1100)
+        hits = registry.covering(0x1090)
+        assert [r.rid for r in hits] == [outer.rid, inner.rid]
+        assert registry.covering(0x2000) == []
+
+    def test_span_queries(self):
+        registry = RegionRegistry()
+        registry.add(0x1000, 0x1200)
+        assert registry.has_span(0x1000, 0x1200)
+        assert not registry.has_span(0x1000, 0x1100)
+        assert registry.span_covered(0x1080, 0x1100)
+        assert not registry.span_covered(0x1080, 0x1300)
+
+    def test_contains_by_id(self):
+        registry = RegionRegistry()
+        region = registry.add(0x1000, 0x1100)
+        assert region.rid in registry
+        assert 99 not in registry
+
+    def test_kind_and_formation_interval_recorded(self):
+        registry = RegionRegistry()
+        region = registry.add(0x1000, 0x1100,
+                              kind=RegionKind.INTERPROCEDURAL,
+                              formed_at_interval=7)
+        assert region.kind is RegionKind.INTERPROCEDURAL
+        assert region.formed_at_interval == 7

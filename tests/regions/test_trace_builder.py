@@ -1,0 +1,190 @@
+"""Tests for hot-path trace selection and trace-based formation."""
+
+import numpy as np
+import pytest
+
+from repro.core import MonitorThresholds
+from repro.monitor import RegionMonitor
+from repro.program.behavior import RegionSpec, bottleneck_profile
+from repro.program.binary import BinaryBuilder, branch, loop, straight
+from repro.program.workload import Steady, WorkloadScript, mixture
+from repro.regions.formation import RegionFormation
+from repro.regions.region import RegionKind
+from repro.regions.registry import RegionRegistry
+from repro.regions.trace_builder import Trace, block_hotness, build_trace
+from repro.sampling import simulate_sampling
+
+
+def diamond_binary():
+    """A branchy, loop-free procedure: test -> (hot arm | cold arm) ->
+    tail."""
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("branchy", [
+        straight(4),
+        branch(then_shapes=12, else_shapes=8),
+        straight(6),
+    ], at=0x20000)
+    return builder.build()
+
+
+def pcs_over(span, count, rng=None):
+    start, end = span
+    rng = rng or np.random.default_rng(0)
+    slots = rng.integers(0, (end - start) // 4, size=count)
+    return (start + 4 * slots).astype(np.int64)
+
+
+class TestBlockHotness:
+    def test_counts_per_block(self):
+        binary = diamond_binary()
+        procedure = binary.procedure("branchy")
+        entry = procedure.blocks[0]
+        pcs = np.concatenate([
+            np.full(30, entry.start, dtype=np.int64),
+            np.full(10, procedure.blocks[2].start, dtype=np.int64),
+            np.full(5, 0x90000, dtype=np.int64),  # outside: ignored
+        ])
+        hotness = block_hotness(procedure, pcs)
+        assert hotness[entry.start] == 30
+        assert hotness[procedure.blocks[2].start] == 10
+        assert sum(hotness.values()) == 40
+
+    def test_empty(self):
+        binary = diamond_binary()
+        procedure = binary.procedure("branchy")
+        assert block_hotness(procedure,
+                             np.array([], dtype=np.int64)) == {}
+
+
+class TestBuildTrace:
+    def trace_through(self, hot_arm_weight, cold_arm_weight):
+        binary = diamond_binary()
+        procedure = binary.procedure("branchy")
+        blocks = procedure.blocks
+        entry, test, then_arm, else_arm, tail = blocks
+        hotness = {entry.start: 100, test.start: 100,
+                   then_arm.start: hot_arm_weight,
+                   else_arm.start: cold_arm_weight, tail.start: 90}
+        trace = build_trace(procedure, hotness, entry.start)
+        return blocks, trace
+
+    def test_follows_hot_arm(self):
+        blocks, trace = self.trace_through(hot_arm_weight=80,
+                                           cold_arm_weight=5)
+        entry, test, then_arm, else_arm, tail = blocks
+        assert trace.blocks == (entry.start, test.start, then_arm.start,
+                                tail.start)
+        assert else_arm.start not in trace.blocks
+
+    def test_follows_other_arm_when_hotter(self):
+        blocks, trace = self.trace_through(hot_arm_weight=5,
+                                           cold_arm_weight=80)
+        else_arm = blocks[3]
+        assert else_arm.start in trace.blocks
+
+    def test_stops_at_cold_successor(self):
+        binary = diamond_binary()
+        procedure = binary.procedure("branchy")
+        entry = procedure.blocks[0]
+        # Only the entry is hot: everything downstream is below the
+        # heat-ratio cutoff.
+        trace = build_trace(procedure, {entry.start: 100}, entry.start)
+        assert trace.blocks == (entry.start,)
+
+    def test_stops_at_cycle(self):
+        builder = BinaryBuilder(base=0x10000)
+        builder.procedure("loopy", [loop("l", body=8), straight(2)],
+                          at=0x20000)
+        binary = builder.build()
+        procedure = binary.procedure("loopy")
+        hotness = {block.start: 50 for block in procedure.blocks}
+        trace = build_trace(procedure, hotness,
+                            procedure.blocks[0].start)
+        # Visits each loop block at most once.
+        assert len(set(trace.blocks)) == len(trace.blocks)
+
+    def test_max_blocks_cap(self):
+        builder = BinaryBuilder(base=0x10000)
+        builder.procedure("long", [straight(4)] * 30, at=0x20000)
+        binary = builder.build()
+        procedure = binary.procedure("long")
+        hotness = {block.start: 50 for block in procedure.blocks}
+        trace = build_trace(procedure, hotness, procedure.start,
+                            max_blocks=5)
+        assert trace.n_blocks == 5
+
+    def test_seed_outside_procedure(self):
+        binary = diamond_binary()
+        procedure = binary.procedure("branchy")
+        assert build_trace(procedure, {}, 0x90000) is None
+
+    def test_span_and_heat(self):
+        blocks, trace = self.trace_through(80, 5)
+        assert trace.start == blocks[0].start
+        assert trace.end >= blocks[-1].end
+        assert trace.heat == 100 + 100 + 80 + 90
+        assert trace.n_instructions \
+            == (trace.end - trace.start) // 4
+        assert isinstance(trace, Trace)
+
+
+class TestTraceFormation:
+    def test_formation_builds_trace_region_for_branchy_code(self):
+        binary = diamond_binary()
+        procedure = binary.procedure("branchy")
+        registry = RegionRegistry()
+        formation = RegionFormation(binary, registry, trace_fallback=True)
+        rng = np.random.default_rng(1)
+        pcs = pcs_over((procedure.start, procedure.end), 500, rng)
+        outcome = formation.form(pcs)
+        assert outcome.formed_any
+        assert outcome.new_regions[0].kind is RegionKind.TRACE
+
+    def test_without_fallback_branchy_code_fails(self):
+        binary = diamond_binary()
+        formation = RegionFormation(binary, RegionRegistry())
+        procedure = binary.procedure("branchy")
+        pcs = pcs_over((procedure.start, procedure.end), 500)
+        outcome = formation.form(pcs)
+        assert not outcome.formed_any
+        assert outcome.seeds_failed > 0
+
+    def test_loop_still_preferred_over_trace(self):
+        builder = BinaryBuilder(base=0x10000)
+        builder.procedure("p", [loop("l", body=12), straight(2)],
+                          at=0x20000)
+        binary = builder.build()
+        formation = RegionFormation(binary, RegionRegistry(),
+                                    trace_fallback=True)
+        span = binary.loop_span("l")
+        outcome = formation.form(
+            np.full(100, span[0] + 8, dtype=np.int64))
+        assert outcome.new_regions[0].kind is RegionKind.LOOP
+
+    def test_monitor_with_trace_formation_reduces_ucr(self):
+        """A crafty-shaped workload: hot branchy procedure code that
+        loop-only formation cannot monitor."""
+        binary = diamond_binary()
+        procedure = binary.procedure("branchy")
+        slots = (procedure.end - procedure.start) // 4
+        regions = {
+            "branchy_code": RegionSpec(
+                "branchy_code", procedure.start, procedure.end,
+                is_loop=False,
+                profiles={"main": bottleneck_profile(
+                    slots, {3: 150.0, 8: 100.0})}),
+        }
+        workload = WorkloadScript([
+            Steady(30_000_000, mixture(("branchy_code", 1.0)))])
+        stream = simulate_sampling(regions, workload, 2000, seed=2)
+
+        loop_only = RegionMonitor(binary,
+                                  MonitorThresholds(buffer_size=512))
+        loop_only.process_stream(stream)
+        traced = RegionMonitor(binary, MonitorThresholds(buffer_size=512),
+                               trace_formation=True)
+        traced.process_stream(stream)
+        assert loop_only.ucr.median() > 0.9
+        assert traced.ucr.median() < loop_only.ucr.median()
+        kinds = {r.kind for r in traced.all_regions()}
+        assert RegionKind.TRACE in kinds

@@ -1,0 +1,97 @@
+"""Unit tests for UCR tracking and region pruning policy."""
+
+import pytest
+
+from repro.regions.pruning import PruningPolicy, RegionActivity
+from repro.regions.ucr import UcrTracker
+
+
+class TestUcrTracker:
+    def test_trigger_above_threshold(self):
+        tracker = UcrTracker(threshold=0.30)
+        assert not tracker.record(0.30, 0)  # strictly-above semantics
+        assert tracker.record(0.31, 1)
+        assert tracker.trigger_intervals == [1]
+        assert tracker.n_triggers == 1
+
+    def test_history_and_median(self):
+        tracker = UcrTracker()
+        for index, fraction in enumerate([0.1, 0.5, 0.2]):
+            tracker.record(fraction, index)
+        assert tracker.history == [0.1, 0.5, 0.2]
+        assert tracker.median() == pytest.approx(0.2)
+        assert tracker.mean() == pytest.approx(0.8 / 3)
+
+    def test_empty_statistics(self):
+        tracker = UcrTracker()
+        assert tracker.median() == 0.0
+        assert tracker.mean() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UcrTracker(threshold=0.0)
+        with pytest.raises(ValueError):
+            UcrTracker(threshold=1.0)
+        tracker = UcrTracker()
+        with pytest.raises(ValueError):
+            tracker.record(1.5, 0)
+
+
+class TestRegionActivity:
+    def test_idle_counting(self):
+        activity = RegionActivity(rid=0)
+        activity.record(10, 100)
+        assert activity.idle_intervals == 0
+        activity.record(0, 100)
+        activity.record(0, 100)
+        assert activity.idle_intervals == 2
+        activity.record(5, 100)
+        assert activity.idle_intervals == 0
+        assert activity.lifetime_samples == 15
+
+    def test_share_window_bounded(self):
+        activity = RegionActivity(rid=0)
+        for _ in range(40):
+            activity.record(10, 100, window=16)
+        assert len(activity.recent_shares) == 16
+        assert activity.recent_shares[-1] == pytest.approx(0.1)
+
+
+class TestPruningPolicy:
+    def test_idle_rule(self):
+        policy = PruningPolicy(max_idle_intervals=4, grace_intervals=2)
+        activity = RegionActivity(rid=0)
+        for _ in range(4):
+            activity.record(0, 100)
+        assert policy.should_prune(activity, age_intervals=10)
+
+    def test_grace_period_protects_young_regions(self):
+        policy = PruningPolicy(max_idle_intervals=1, grace_intervals=8)
+        activity = RegionActivity(rid=0)
+        activity.record(0, 100)
+        assert not policy.should_prune(activity, age_intervals=3)
+        assert policy.should_prune(activity, age_intervals=8)
+
+    def test_cold_share_rule(self):
+        policy = PruningPolicy(max_idle_intervals=None,
+                               min_recent_share=0.05, grace_intervals=4)
+        activity = RegionActivity(rid=0)
+        for _ in range(8):
+            activity.record(1, 100)  # 1% share, never idle long
+        assert policy.should_prune(activity, age_intervals=20)
+
+    def test_active_region_survives(self):
+        policy = PruningPolicy(max_idle_intervals=4, min_recent_share=0.05,
+                               grace_intervals=2)
+        activity = RegionActivity(rid=0)
+        for _ in range(10):
+            activity.record(50, 100)
+        assert not policy.should_prune(activity, age_intervals=20)
+
+    def test_disabled_rules(self):
+        policy = PruningPolicy(max_idle_intervals=None,
+                               min_recent_share=None)
+        activity = RegionActivity(rid=0)
+        for _ in range(100):
+            activity.record(0, 100)
+        assert not policy.should_prune(activity, age_intervals=200)

@@ -1,0 +1,75 @@
+"""Unit tests for the cost ledger."""
+
+import pytest
+
+from repro.costs import (CENTROID_OPS_PER_SAMPLE, GPD_STATE_OPS_PER_INTERVAL,
+                         HIT_OPS, LIST_OPS_PER_CHECK, PEARSON_OPS_PER_SLOT,
+                         CostLedger)
+
+
+class TestCharging:
+    def test_gpd_interval(self):
+        ledger = CostLedger()
+        ledger.charge_gpd_interval(2032)
+        assert ledger.gpd_ops == (2032 * CENTROID_OPS_PER_SAMPLE
+                                  + GPD_STATE_OPS_PER_INTERVAL)
+        assert ledger.monitor_ops == 0
+
+    def test_list_attribution(self):
+        ledger = CostLedger()
+        ledger.charge_list_attribution(n_samples=100, n_regions=5,
+                                       n_hits=80)
+        assert ledger.attribution_ops == (100 * 5 * LIST_OPS_PER_CHECK
+                                          + 80 * HIT_OPS)
+
+    def test_similarity(self):
+        ledger = CostLedger()
+        ledger.charge_similarity(64)
+        assert ledger.similarity_ops == 64 * PEARSON_OPS_PER_SLOT
+
+    def test_tree_build_log_factor(self):
+        ledger = CostLedger()
+        ledger.charge_tree_build(0)
+        assert ledger.tree_maintenance_ops == 0
+        ledger.charge_tree_build(16)
+        small = ledger.tree_maintenance_ops
+        ledger2 = CostLedger()
+        ledger2.charge_tree_build(1024)
+        assert ledger2.tree_maintenance_ops > small
+        # n log n, not n^2: 64x regions costs ~160x, far below 4096x.
+        assert ledger2.tree_maintenance_ops < small * 64 * 4
+
+
+class TestAggregation:
+    def test_totals(self):
+        ledger = CostLedger()
+        ledger.charge_gpd_interval(100)
+        ledger.charge_list_attribution(100, 2, 90)
+        ledger.charge_similarity(10)
+        ledger.charge_lpd_state()
+        assert ledger.total_ops == ledger.gpd_ops + ledger.monitor_ops
+        assert ledger.monitor_ops == (ledger.attribution_ops
+                                      + ledger.similarity_ops
+                                      + ledger.lpd_state_ops)
+
+    def test_overhead_fraction(self):
+        ledger = CostLedger()
+        ledger.charge_gpd_interval(100)
+        total = ledger.total_ops
+        assert ledger.overhead_fraction(10_000) == pytest.approx(
+            total / 10_000)
+        assert ledger.overhead_fraction(10_000, ops=50) == pytest.approx(
+            0.005)
+        with pytest.raises(ValueError):
+            ledger.overhead_fraction(0)
+
+    def test_merged_with(self):
+        a = CostLedger()
+        a.charge_gpd_interval(10)
+        b = CostLedger()
+        b.charge_similarity(8)
+        merged = a.merged_with(b)
+        assert merged.gpd_ops == a.gpd_ops
+        assert merged.similarity_ops == b.similarity_ops
+        # Originals untouched.
+        assert a.similarity_ops == 0

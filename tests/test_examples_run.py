@@ -1,0 +1,40 @@
+"""Every shipped example must run to completion (small scales)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, argv) — arguments pick small scales where supported.
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("mcf_phase_analysis.py", ["0.1"]),
+    ("sampling_sensitivity.py", ["187.facerec", "0.1"]),
+    ("optimizer_comparison.py", ["172.mgrid", "0.1"]),
+    ("custom_benchmark.py", []),
+    ("performance_channels.py", []),
+    ("phase_prediction.py", ["187.facerec", "0.1"]),
+]
+
+
+@pytest.mark.parametrize("script,argv", EXAMPLES,
+                         ids=[name for name, _ in EXAMPLES])
+def test_example_runs(script, argv):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    # Every example prints a substantive report, not just a banner.
+    assert len(completed.stdout) > 300, completed.stdout
+
+
+def test_examples_directory_is_covered():
+    shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    tested = {name for name, _ in EXAMPLES}
+    assert shipped == tested, (
+        f"examples and test list out of sync: {shipped ^ tested}")

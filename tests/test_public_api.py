@@ -1,0 +1,77 @@
+"""API-surface hygiene: the public interface stays importable and
+documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PUBLIC_PACKAGES = [
+    "repro.core",
+    "repro.program",
+    "repro.sampling",
+    "repro.regions",
+    "repro.monitor",
+    "repro.optimizer",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestTopLevelApi:
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_public_classes_have_documented_public_methods(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if not inspect.isclass(obj):
+                continue
+            for method_name, member in inspect.getmembers(obj):
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(member) \
+                        and member.__qualname__.startswith(obj.__name__):
+                    assert member.__doc__, \
+                        f"{obj.__name__}.{method_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+class TestSubpackages:
+    def test_package_exports_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_package_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if inspect.isclass(obj) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_library_raises_only_its_hierarchy_for_config_errors(self):
+        from repro import GpdThresholds, ReproError
+
+        with pytest.raises(ReproError):
+            GpdThresholds(th1=0.5, th2=0.1)
