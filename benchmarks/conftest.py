@@ -8,10 +8,24 @@ full-scale numbers recorded in EXPERIMENTS.md.
 
 import pytest
 
+from repro.experiments.cache import get_cache
 from repro.experiments.config import ExperimentConfig
 
 #: Workload scale used by figure-level benchmarks.
 BENCH_SCALE = 0.1
+
+
+@pytest.fixture(autouse=True)
+def _cold_cache():
+    """Clear the simulation cache around each benchmark.
+
+    Without this, whichever figure benchmark runs first would warm the
+    process-wide cache and every later benchmark would measure cached
+    lookups instead of its own cold cost.
+    """
+    get_cache().clear()
+    yield
+    get_cache().clear()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,116 @@
+"""Performance-engine benchmarks: cache + batched attribution vs. seed.
+
+These record the engine's headline speedups in the ``BENCH_*.json``
+trajectory (see ``scripts/bench_compare.py``):
+
+* the fig03+fig04 figure pair, where the cross-figure stream/GPD cache
+  removes fig04's re-simulation of every stream fig03 just produced;
+* the fig13+fig14 figure pair, where the monitor cache removes fig14's
+  re-monitoring and batched attribution speeds up the monitors
+  themselves;
+* the scalar-reference monitor baseline those pairs are compared against.
+
+Each ``*_engine`` benchmark also times the matching seed-equivalent path
+once (``cache_disabled`` + the ``"-scalar"`` attribution references) and
+records the measured speedup in ``extra_info`` so every snapshot carries
+the engine-vs-seed ratio for this host.
+"""
+
+import time
+
+from conftest import once
+
+from repro.experiments import cache as cache_module
+from repro.experiments import (fig03_gpd_phase_changes,
+                               fig04_gpd_stable_time,
+                               fig13_lpd_phase_changes,
+                               fig14_lpd_stable_time)
+from repro.experiments.base import benchmark_for, monitored_run
+from repro.experiments.config import GPD_PERIODS
+
+FIG3_SUBSET = ("181.mcf", "178.galgel", "187.facerec", "254.gap",
+               "171.swim", "189.lucas")
+FIG13_SUBSET = ("181.mcf", "254.gap", "189.lucas", "188.ammp")
+
+
+def _record_speedup(benchmark, seed_seconds: float) -> None:
+    benchmark.extra_info["seed_pair_seconds"] = round(seed_seconds, 4)
+    try:
+        median = benchmark.stats.stats.median
+    except AttributeError:  # pragma: no cover - harness internals moved
+        return
+    if median > 0:
+        benchmark.extra_info["speedup_vs_seed"] = round(
+            seed_seconds / median, 2)
+
+
+def test_fig03_fig04_pair_engine(benchmark, bench_config):
+    """The GPD figure pair with the cross-figure cache (fresh each round)."""
+    store = cache_module.get_cache()
+
+    def pair():
+        store.clear()
+        fig03_gpd_phase_changes.run(bench_config, benchmarks=FIG3_SUBSET)
+        return fig04_gpd_stable_time.run(bench_config,
+                                         benchmarks=FIG3_SUBSET)
+
+    result = once(benchmark, pair)
+    assert result.rows
+
+    started = time.perf_counter()
+    with cache_module.cache_disabled():
+        fig03_gpd_phase_changes.run(bench_config, benchmarks=FIG3_SUBSET)
+        fig04_gpd_stable_time.run(bench_config, benchmarks=FIG3_SUBSET)
+    _record_speedup(benchmark, time.perf_counter() - started)
+
+
+def test_fig13_fig14_pair_engine(benchmark, bench_config):
+    """The LPD figure pair: monitor cache + batched attribution."""
+    store = cache_module.get_cache()
+
+    def pair():
+        store.clear()
+        fig13_lpd_phase_changes.run(bench_config, benchmarks=FIG13_SUBSET)
+        return fig14_lpd_stable_time.run(bench_config,
+                                         benchmarks=FIG13_SUBSET)
+
+    result = once(benchmark, pair)
+    assert result.rows
+
+    # Seed equivalent: each figure re-simulates and re-monitors every
+    # (benchmark, period) run with the per-PC scalar attribution loop.
+    started = time.perf_counter()
+    with cache_module.cache_disabled():
+        for _figure in range(2):
+            for name in FIG13_SUBSET:
+                model = benchmark_for(name, bench_config)
+                for period in GPD_PERIODS:
+                    monitored_run(model, period, bench_config,
+                                  attribution="list-scalar")
+    _record_speedup(benchmark, time.perf_counter() - started)
+
+
+def test_monitor_scalar_reference(benchmark, bench_config):
+    """Scalar per-PC monitor baseline (the pre-engine hot path)."""
+    model = benchmark_for("181.mcf", bench_config)
+
+    def run():
+        with cache_module.cache_disabled():
+            return monitored_run(model, 45_000, bench_config,
+                                 attribution="list-scalar")
+
+    monitor = once(benchmark, run)
+    assert monitor.intervals_processed > 0
+
+
+def test_monitor_batched(benchmark, bench_config):
+    """Batched monitor on the same run as the scalar reference."""
+    model = benchmark_for("181.mcf", bench_config)
+
+    def run():
+        with cache_module.cache_disabled():
+            return monitored_run(model, 45_000, bench_config,
+                                 attribution="list")
+
+    monitor = once(benchmark, run)
+    assert monitor.intervals_processed > 0

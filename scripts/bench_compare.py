@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Bench regression guard: run the pytest-benchmark suite and track it.
+
+Runs the benchmark harness (``benchmarks/``), writes a slim
+``BENCH_<timestamp>.json`` trajectory snapshot at the repo root, and
+compares per-test medians against the most recent previous snapshot:
+exits non-zero when any benchmark's median regressed by more than the
+threshold (default 25%).  The accumulating ``BENCH_*.json`` files are the
+repository's performance trajectory — each snapshot also records the
+host's CPU count and the git revision it measured.
+
+Usage::
+
+    python scripts/bench_compare.py                      # full suite
+    python scripts/bench_compare.py --select benchmarks/test_figures_bench.py
+    python scripts/bench_compare.py --threshold 0.4 --dry-run
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Snapshot filename pattern; the lexicographic sort of the timestamp is
+#: the chronological order.
+SNAPSHOT_PATTERN = "BENCH_*.json"
+
+
+def run_benchmarks(select: str, pytest_args: list[str]) -> dict:
+    """Run the benchmark suite; return pytest-benchmark's JSON payload."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = os.path.join(tmp, "bench.json")
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src)
+        command = [sys.executable, "-m", "pytest", select, "-q",
+                   f"--benchmark-json={json_path}", *pytest_args]
+        print("+", " ".join(command))
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(
+                f"benchmark run failed (exit {completed.returncode})")
+        with open(json_path) as handle:
+            return json.load(handle)
+
+
+def slim_snapshot(payload: dict) -> dict:
+    """Reduce pytest-benchmark output to the tracked trajectory fields."""
+    benchmarks = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench["stats"]
+        benchmarks[bench["fullname"]] = {
+            "median": stats["median"],
+            "mean": stats["mean"],
+            "stddev": stats["stddev"],
+            "rounds": stats["rounds"],
+            "extra_info": bench.get("extra_info", {}),
+        }
+    return {
+        "datetime": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(),
+        "git_rev": _git_rev(),
+        "cpu_count": os.cpu_count(),
+        "machine_info": payload.get("machine_info", {}),
+        "benchmarks": benchmarks,
+    }
+
+
+def _git_rev() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def previous_snapshot() -> tuple[str, dict] | None:
+    """The most recent BENCH_*.json at the repo root, if any."""
+    paths = sorted(glob.glob(os.path.join(REPO_ROOT, SNAPSHOT_PATTERN)))
+    if not paths:
+        return None
+    with open(paths[-1]) as handle:
+        return paths[-1], json.load(handle)
+
+
+def compare(current: dict, previous: dict,
+            threshold: float) -> list[str]:
+    """Median-regression report lines; empty when everything is fine."""
+    regressions = []
+    before = previous.get("benchmarks", {})
+    for name, stats in current["benchmarks"].items():
+        old = before.get(name)
+        if old is None or old["median"] <= 0:
+            continue
+        ratio = stats["median"] / old["median"]
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{name}: median {old['median']:.4f}s -> "
+                f"{stats['median']:.4f}s ({ratio:.2f}x, "
+                f"threshold {1.0 + threshold:.2f}x)")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark suite and guard the trajectory.")
+    parser.add_argument("--select", default="benchmarks",
+                        help="pytest target to benchmark "
+                             "(default: the whole benchmarks/ suite)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed median regression fraction "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="compare only; do not write a new snapshot")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments forwarded to pytest "
+                             "(after --)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmarks(args.select, args.pytest_args)
+    snapshot = slim_snapshot(payload)
+    if not snapshot["benchmarks"]:
+        raise SystemExit("no benchmarks were collected")
+
+    baseline = previous_snapshot()
+    regressions: list[str] = []
+    if baseline is not None:
+        path, previous = baseline
+        regressions = compare(snapshot, previous, args.threshold)
+        print(f"compared {len(snapshot['benchmarks'])} benchmarks "
+              f"against {os.path.basename(path)}")
+    else:
+        print("no previous snapshot; recording the first trajectory point")
+
+    if not args.dry_run:
+        stamp = datetime.datetime.now().strftime("%Y%m%d-%H%M%S")
+        out_path = os.path.join(REPO_ROOT, f"BENCH_{stamp}.json")
+        with open(out_path, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.basename(out_path)}")
+
+    if regressions:
+        print("MEDIAN REGRESSIONS:")
+        for line in regressions:
+            print(" ", line)
+        return 1
+    print("no median regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,23 @@
-"""Experiment result container and shared helpers."""
+"""Experiment result container and shared helpers.
+
+The simulation helpers (:func:`stream_for`, :func:`gpd_run`,
+:func:`monitored_run`) are pure functions of ``(benchmark, period,
+config)`` and route through the process-wide
+:class:`~repro.experiments.cache.SimulationCache`, so figures sharing the
+same runs (fig03/fig04, fig13/fig14, fig06/fig15/fig16, ...) simulate and
+monitor each one exactly once.  Cached monitors and detectors are shared
+objects — treat them as read-only summaries.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.metrics import run_gpd
 from repro.analysis.tables import format_table
 from repro.core import MonitorThresholds
+from repro.core.gpd import GlobalPhaseDetector
+from repro.experiments.cache import GLOBAL_CACHE, GpdKey, MonitorKey, StreamKey
 from repro.experiments.config import ExperimentConfig
 from repro.monitor import RegionMonitor
 from repro.program.spec2000 import BenchmarkModel, get_benchmark
@@ -51,19 +63,48 @@ def benchmark_for(name: str, config: ExperimentConfig) -> BenchmarkModel:
 
 def stream_for(model: BenchmarkModel, period: int,
                config: ExperimentConfig) -> SampleStream:
-    """Simulate one benchmark run at a sampling period."""
-    return simulate_sampling(model.regions, model.workload, period,
-                             seed=config.seed)
+    """Simulate one benchmark run at a sampling period (cached)."""
+    key = StreamKey(benchmark=model.name, scale=config.scale,
+                    period=period, seed=config.seed)
+    return GLOBAL_CACHE.stream(
+        key, lambda: simulate_sampling(model.regions, model.workload,
+                                       period, seed=config.seed))
+
+
+def gpd_run(model: BenchmarkModel, period: int,
+            config: ExperimentConfig) -> GlobalPhaseDetector:
+    """Run the global phase detector over one benchmark stream (cached).
+
+    The returned detector is a shared, completed run — read-only.
+    Experiments that need fresh cost charging (fig15) call
+    :func:`~repro.analysis.metrics.run_gpd` directly with their ledger.
+    """
+    key = GpdKey(benchmark=model.name, scale=config.scale, period=period,
+                 seed=config.seed, buffer_size=config.buffer_size)
+    return GLOBAL_CACHE.detector(
+        key, lambda: run_gpd(stream_for(model, period, config),
+                             config.buffer_size))
 
 
 def monitored_run(model: BenchmarkModel, period: int,
                   config: ExperimentConfig,
                   attribution: str = "list") -> RegionMonitor:
-    """Run a fresh region monitor over one benchmark stream."""
-    stream = stream_for(model, period, config)
-    monitor = RegionMonitor(
-        model.binary,
-        MonitorThresholds(buffer_size=config.buffer_size),
-        attribution=attribution)
-    monitor.process_stream(stream)
-    return monitor
+    """Run a region monitor over one benchmark stream (cached).
+
+    The returned monitor is a shared, completed run — read-only.
+    """
+    key = MonitorKey(benchmark=model.name, scale=config.scale,
+                     period=period, seed=config.seed,
+                     buffer_size=config.buffer_size,
+                     attribution=attribution)
+
+    def compute() -> RegionMonitor:
+        stream = stream_for(model, period, config)
+        monitor = RegionMonitor(
+            model.binary,
+            MonitorThresholds(buffer_size=config.buffer_size),
+            attribution=attribution)
+        monitor.process_stream(stream)
+        return monitor
+
+    return GLOBAL_CACHE.monitor(key, compute)

@@ -1,0 +1,225 @@
+"""Cross-figure simulation/monitor cache (the perf engine's memo layer).
+
+Several figures consume *identical* ``(benchmark, scale, period, seed)``
+PMU streams — fig04 re-simulates every stream fig03 just produced, fig14
+re-monitors fig13's runs, and fig06/fig15/fig16 share their list-monitor
+runs — and everything downstream of a stream is a pure function of the
+experiment configuration.  The :class:`SimulationCache` memoizes the three
+expensive artifact kinds behind :mod:`repro.experiments.base`:
+
+* raw :class:`~repro.sampling.SampleStream` simulations, keyed
+  ``(benchmark, scale, period, seed)``;
+* completed :class:`~repro.monitor.RegionMonitor` runs, keyed
+  ``(benchmark, scale, period, seed, buffer_size, attribution)``;
+* completed global-phase-detector runs, keyed
+  ``(benchmark, scale, period, seed, buffer_size)``.
+
+Cached monitors and detectors are shared objects: callers must treat them
+as read-only summaries (every in-tree experiment does).
+
+Process model: each process owns one :data:`GLOBAL_CACHE` guarded by an
+``RLock`` (safe under threads and under nested ``monitored_run`` →
+``stream_for`` lookups).  Worker processes of the parallel runner each
+build their own cache and ship finished artifacts back to the parent,
+which injects them via the ``put_*`` methods — results are therefore
+bit-identical whether a key was computed here or in a worker, because
+every computation is seeded by its key.  The cache is bounded LRU so
+full-scale sweeps cannot grow memory without limit, and it can be
+disabled globally (the runner's ``--no-cache``) or temporarily
+(:func:`cache_disabled`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = ["StreamKey", "MonitorKey", "GpdKey", "WarmTask", "CacheStats",
+           "SimulationCache", "GLOBAL_CACHE", "get_cache", "set_enabled",
+           "cache_disabled"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class StreamKey:
+    """Identity of one simulated PMU stream."""
+
+    benchmark: str
+    scale: float
+    period: int
+    seed: int
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorKey:
+    """Identity of one completed region-monitor run."""
+
+    benchmark: str
+    scale: float
+    period: int
+    seed: int
+    buffer_size: int
+    attribution: str
+
+
+@dataclass(frozen=True, slots=True)
+class GpdKey:
+    """Identity of one completed global-phase-detector run."""
+
+    benchmark: str
+    scale: float
+    period: int
+    seed: int
+    buffer_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class WarmTask:
+    """One unit of parallel pre-computation for the ``--jobs`` runner.
+
+    ``kind`` selects the artifact: ``"stream"`` (simulation only),
+    ``"gpd"`` (stream + global detector) or ``"monitor"`` (stream +
+    region-monitor run with the given attribution strategy).
+    """
+
+    kind: str
+    benchmark: str
+    period: int
+    attribution: str = "list"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters and store sizes for reporting."""
+
+    hits: int
+    misses: int
+    streams: int
+    monitors: int
+    detectors: int
+
+    def __str__(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.streams} streams, {self.monitors} monitors, "
+                f"{self.detectors} detectors held)")
+
+
+class SimulationCache:
+    """Bounded, lock-guarded memo store for experiment artifacts.
+
+    Parameters
+    ----------
+    max_entries:
+        Per-store LRU bound (streams, monitors and detectors are bounded
+        independently).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.RLock()
+        self._streams: OrderedDict[StreamKey, object] = OrderedDict()
+        self._monitors: OrderedDict[MonitorKey, object] = OrderedDict()
+        self._detectors: OrderedDict[GpdKey, object] = OrderedDict()
+
+    # -- generic memoization ------------------------------------------------
+
+    def _memoize(self, store: OrderedDict, key, compute: Callable[[], T]) -> T:
+        if not self.enabled:
+            return compute()
+        with self._lock:
+            if key in store:
+                store.move_to_end(key)
+                self.hits += 1
+                return store[key]
+            self.misses += 1
+            value = compute()
+            store[key] = value
+            while len(store) > self.max_entries:
+                store.popitem(last=False)
+            return value
+
+    def _put(self, store: OrderedDict, key, value) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            store[key] = value
+            store.move_to_end(key)
+            while len(store) > self.max_entries:
+                store.popitem(last=False)
+
+    # -- typed entry points --------------------------------------------------
+
+    def stream(self, key: StreamKey, compute: Callable[[], T]) -> T:
+        """The stream for *key*, computing and retaining it on a miss."""
+        return self._memoize(self._streams, key, compute)
+
+    def monitor(self, key: MonitorKey, compute: Callable[[], T]) -> T:
+        """The monitor run for *key*, computing and retaining on a miss."""
+        return self._memoize(self._monitors, key, compute)
+
+    def detector(self, key: GpdKey, compute: Callable[[], T]) -> T:
+        """The GPD run for *key*, computing and retaining on a miss."""
+        return self._memoize(self._detectors, key, compute)
+
+    def put_stream(self, key: StreamKey, value) -> None:
+        """Inject a stream computed elsewhere (a worker process)."""
+        self._put(self._streams, key, value)
+
+    def put_monitor(self, key: MonitorKey, value) -> None:
+        """Inject a monitor run computed elsewhere."""
+        self._put(self._monitors, key, value)
+
+    def put_detector(self, key: GpdKey, value) -> None:
+        """Inject a GPD run computed elsewhere."""
+        self._put(self._detectors, key, value)
+
+    # -- management -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._streams.clear()
+            self._monitors.clear()
+            self._detectors.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> CacheStats:
+        """Current counters and store sizes."""
+        with self._lock:
+            return CacheStats(hits=self.hits, misses=self.misses,
+                              streams=len(self._streams),
+                              monitors=len(self._monitors),
+                              detectors=len(self._detectors))
+
+
+#: The per-process cache every experiment helper routes through.
+GLOBAL_CACHE = SimulationCache()
+
+
+def get_cache() -> SimulationCache:
+    """The process-wide :class:`SimulationCache`."""
+    return GLOBAL_CACHE
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable or disable memoization (``--no-cache``)."""
+    GLOBAL_CACHE.enabled = enabled
+
+
+@contextmanager
+def cache_disabled():
+    """Temporarily bypass the cache (fresh computation guaranteed)."""
+    previous = GLOBAL_CACHE.enabled
+    GLOBAL_CACHE.enabled = False
+    try:
+        yield
+    finally:
+        GLOBAL_CACHE.enabled = previous

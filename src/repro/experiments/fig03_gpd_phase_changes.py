@@ -9,15 +9,23 @@ mcf, ...), while most programs sit near zero at every period.
 
 from __future__ import annotations
 
-from repro.analysis.metrics import run_gpd
 from repro.experiments.base import (ExperimentResult, benchmark_for,
-                                    stream_for)
+                                    gpd_run)
+from repro.experiments.cache import WarmTask
 from repro.experiments.config import (DEFAULT_CONFIG, GPD_PERIODS,
                                       ExperimentConfig)
 from repro.program.spec2000 import FIG3_BENCHMARKS
 
 EXPERIMENT_ID = "fig03"
 TITLE = "GPD phase changes vs. sampling period (paper Figure 3)"
+
+
+def warm_targets(config: ExperimentConfig,
+                 benchmarks: tuple[str, ...] = FIG3_BENCHMARKS
+                 ) -> list[WarmTask]:
+    """The (benchmark, period) runs the parallel runner can precompute."""
+    return [WarmTask("gpd", name, period)
+            for name in benchmarks for period in GPD_PERIODS]
 
 
 def run(config: ExperimentConfig = DEFAULT_CONFIG,
@@ -30,8 +38,7 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG,
         model = benchmark_for(name, config)
         row: list = [name]
         for period in GPD_PERIODS:
-            stream = stream_for(model, period, config)
-            detector = run_gpd(stream, config.buffer_size)
+            detector = gpd_run(model, period, config)
             detectors[(name, period)] = detector
             row.append(len(detector.events))
         rows.append(row)

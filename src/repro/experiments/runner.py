@@ -4,7 +4,23 @@ Usage::
 
     repro-experiments --list
     repro-experiments fig03 fig04
-    repro-experiments all --scale 0.25 --seed 7
+    repro-experiments all --scale 0.25 --seed 7 --jobs 4
+    repro-experiments fig15 --no-cache --profile
+
+The performance engine behind the runner:
+
+* every figure's simulation/monitor runs are memoized in the process-wide
+  :class:`~repro.experiments.cache.SimulationCache`, so figures sharing
+  runs (fig03/fig04, fig13/fig14, fig06/fig15/fig16) compute each one
+  once (``--no-cache`` restores fresh computation);
+* with ``--jobs N`` the deduplicated (benchmark, period) work-list of the
+  selected figures is fanned out over a ``ProcessPoolExecutor`` first and
+  the finished runs are injected into the cache, so the serial figure
+  assembly that follows is pure lookups.  Every task is seeded by its key
+  (benchmark, scale, period, seed), so results are bit-identical to a
+  serial run at any job count;
+* ``--profile`` prints a cProfile top-20 cumulative table for the figure
+  phase, so hot-path work is measured rather than guessed.
 """
 
 from __future__ import annotations
@@ -26,34 +42,32 @@ from repro.experiments import (extra_detector_zoo, extra_interval_size,
                                fig13_lpd_phase_changes,
                                fig14_lpd_stable_time, fig15_cost,
                                fig16_interval_tree, fig17_speedup)
+from repro.experiments import base, cache
+from repro.experiments.cache import WarmTask
 from repro.experiments.config import ExperimentConfig
+
+_MODULES = (
+    fig02_mcf_region_chart, fig03_gpd_phase_changes,
+    fig04_gpd_stable_time, fig05_facerec_region_chart,
+    fig06_ucr_median, fig07_ucr_over_time, fig08_pearson_properties,
+    fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
+    fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
+    fig16_interval_tree, fig17_speedup, extra_detector_zoo,
+    extra_interval_size,
+)
 
 #: Registry of every reproducible figure (Figures 1 and 12 are state
 #: diagrams, reproduced as code in repro.core.gpd / repro.core.lpd).
 EXPERIMENTS: dict[str, Callable] = {
-    module.EXPERIMENT_ID: module.run
-    for module in (
-        fig02_mcf_region_chart, fig03_gpd_phase_changes,
-        fig04_gpd_stable_time, fig05_facerec_region_chart,
-        fig06_ucr_median, fig07_ucr_over_time, fig08_pearson_properties,
-        fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
-        fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
-        fig16_interval_tree, fig17_speedup, extra_detector_zoo,
-        extra_interval_size,
-    )
+    module.EXPERIMENT_ID: module.run for module in _MODULES
 }
 
 TITLES: dict[str, str] = {
-    module.EXPERIMENT_ID: module.TITLE
-    for module in (
-        fig02_mcf_region_chart, fig03_gpd_phase_changes,
-        fig04_gpd_stable_time, fig05_facerec_region_chart,
-        fig06_ucr_median, fig07_ucr_over_time, fig08_pearson_properties,
-        fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
-        fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
-        fig16_interval_tree, fig17_speedup, extra_detector_zoo,
-        extra_interval_size,
-    )
+    module.EXPERIMENT_ID: module.TITLE for module in _MODULES
+}
+
+MODULES: dict[str, object] = {
+    module.EXPERIMENT_ID: module for module in _MODULES
 }
 
 #: The figure experiments run by default ('all'); the extras ('zoo',
@@ -74,6 +88,91 @@ def run_experiment(experiment_id: str,
     return runner(config)
 
 
+def collect_warm_tasks(experiment_ids: list[str],
+                       config: ExperimentConfig) -> list[WarmTask]:
+    """Deduplicated precomputation work-list for the selected figures.
+
+    Only full-suite figures declare ``warm_targets``; tasks shared
+    between figures (fig03/fig04's streams, fig13/fig14's monitors,
+    fig06/fig15/fig16's list monitors) appear once.
+    """
+    tasks: list[WarmTask] = []
+    seen: set[WarmTask] = set()
+    for experiment_id in experiment_ids:
+        module = MODULES.get(experiment_id)
+        warm = getattr(module, "warm_targets", None)
+        if warm is None:
+            continue
+        for task in warm(config):
+            if task not in seen:
+                seen.add(task)
+                tasks.append(task)
+    return tasks
+
+
+def _warm_worker(payload: tuple[WarmTask, ExperimentConfig]):
+    """Compute one warm task in a worker process.
+
+    Returns every artifact the task produced (the stream plus the
+    derived detector/monitor) so the parent can seed its cache with all
+    of them.  Determinism: everything is derived from (benchmark, scale,
+    period, seed), so a worker's result is bit-identical to what the
+    parent would have computed serially.
+    """
+    task, config = payload
+    model = base.benchmark_for(task.benchmark, config)
+    stream = base.stream_for(model, task.period, config)
+    detector = None
+    monitor = None
+    if task.kind == "gpd":
+        detector = base.gpd_run(model, task.period, config)
+    elif task.kind == "monitor":
+        monitor = base.monitored_run(model, task.period, config,
+                                     attribution=task.attribution)
+    return task, stream, detector, monitor
+
+
+def warm_cache_parallel(tasks: list[WarmTask], config: ExperimentConfig,
+                        jobs: int) -> int:
+    """Fan the warm work-list out over *jobs* processes; seed the cache.
+
+    Returns the number of tasks computed.  Falls back to in-process
+    computation when there is nothing to parallelize.
+    """
+    if not tasks:
+        return 0
+    store = cache.get_cache()
+    if jobs <= 1 or len(tasks) == 1:
+        for task, stream, detector, monitor in map(
+                _warm_worker, ((t, config) for t in tasks)):
+            _seed_cache(store, config, task, stream, detector, monitor)
+        return len(tasks)
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for task, stream, detector, monitor in pool.map(
+                _warm_worker, ((t, config) for t in tasks), chunksize=1):
+            _seed_cache(store, config, task, stream, detector, monitor)
+    return len(tasks)
+
+
+def _seed_cache(store: cache.SimulationCache, config: ExperimentConfig,
+                task: WarmTask, stream, detector, monitor) -> None:
+    """Inject one warm task's artifacts into the parent cache."""
+    store.put_stream(
+        cache.StreamKey(task.benchmark, config.scale, task.period,
+                        config.seed), stream)
+    if detector is not None:
+        store.put_detector(
+            cache.GpdKey(task.benchmark, config.scale, task.period,
+                         config.seed, config.buffer_size), detector)
+    if monitor is not None:
+        store.put_monitor(
+            cache.MonitorKey(task.benchmark, config.scale, task.period,
+                             config.seed, config.buffer_size,
+                             task.attribution), monitor)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` script."""
     parser = argparse.ArgumentParser(
@@ -84,6 +183,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload duration multiplier (default 1.0)")
     parser.add_argument("--seed", type=int, default=7,
                         help="PMU seed (default 7)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the shared "
+                             "(benchmark, period) runs (default 1: serial; "
+                             "same seed => identical figures at any N)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the cross-figure simulation cache")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a cProfile top-20 cumulative table "
+                             "for the figure phase")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     parser.add_argument("--out", type=str, default=None, metavar="DIR",
@@ -94,11 +202,33 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in sorted(EXPERIMENTS):
             print(f"{experiment_id}  {TITLES[experiment_id]}")
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    if args.no_cache:
+        cache.set_enabled(False)
 
     config = ExperimentConfig(scale=args.scale, seed=args.seed)
     requested = args.experiments
     if requested == ["all"] or requested == []:
         requested = list(DEFAULT_SET)
+
+    started_total = time.time()
+    if args.jobs > 1 and not args.no_cache:
+        tasks = collect_warm_tasks(requested, config)
+        if tasks:
+            warm_started = time.time()
+            warmed = warm_cache_parallel(tasks, config, args.jobs)
+            print(f"warmed {warmed} shared runs with {args.jobs} workers "
+                  f"({time.time() - warm_started:.1f}s)")
+            print()
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     results = []
     for experiment_id in requested:
@@ -108,6 +238,17 @@ def main(argv: list[str] | None = None) -> int:
         print(result.to_table())
         print(f"  ({time.time() - started:.1f}s)")
         print()
+
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(20)
+
+    if not args.no_cache:
+        print(f"total {time.time() - started_total:.1f}s; "
+              f"cache: {cache.get_cache().stats()}")
     if args.out is not None:
         from repro.analysis.export import export_results
 

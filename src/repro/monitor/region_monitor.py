@@ -232,7 +232,7 @@ class RegionMonitor:
             if rid in new_rids:
                 continue
             counts = result.region_counts.get(rid)
-            n_samples = 0 if counts is None else int(counts.sum())
+            n_samples = result.total_for(rid)
             if n_samples:
                 region_samples[rid] = n_samples
                 self.ledger.charge_similarity(region.n_instructions)

@@ -8,21 +8,33 @@ Samples contained in no region belong to the unmonitored code region (UCR).
 
 Two strategies, matching the paper's section 3.2.3:
 
-* :class:`ListAttributor` — scan the region list per sample, ``O(n)``;
-* :class:`TreeAttributor` — stab a centered interval tree per sample,
-  ``O(log n + k)``, rebuilt whenever the region set changes.
+* :class:`ListAttributor` — region-list membership, charged ``O(n)`` per
+  sample;
+* :class:`TreeAttributor` — interval-tree stabbing, charged
+  ``O(log n + k)`` per sample, rebuilt whenever the region set changes.
 
 Both produce identical results; they differ only in the work they charge
-to the :class:`~repro.costs.CostLedger`.  Functionally the hot loop is
-vectorized over the interval's samples (grouped by unique PC — sampled PCs
-repeat heavily because hot instructions are hot), while the charged cost
-follows each strategy's per-sample model, which is what Figures 15 and 16
-measure.
+to the :class:`~repro.costs.CostLedger`.  Functionally both hot paths are
+fully batched: the interval's samples are grouped by unique PC (sampled
+PCs repeat heavily because hot instructions are hot), membership is
+resolved for the whole unique-PC vector at once (boolean interval masks
+for the list scheme, a ``np.searchsorted`` segment lookup over the tree's
+piecewise-constant stab table for the tree scheme), and the per-region
+histograms are assembled with ``np.bincount``.  The *charged* cost still
+follows each strategy's per-sample model — for the tree, the exact
+node-list comparison count a scalar stab would have measured — which is
+what Figures 15 and 16 measure.
+
+The pre-vectorization per-PC reference implementations are kept as
+:class:`ScalarListAttributor` / :class:`ScalarTreeAttributor`
+(``"list-scalar"`` / ``"tree-scalar"``): they are the oracle the property
+tests compare the batched paths against, byte for byte, and the baseline
+the benchmark suite measures speedups over.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,6 +45,7 @@ from repro.regions.interval_tree import Interval, IntervalTree
 from repro.regions.registry import RegionRegistry
 
 __all__ = ["AttributionResult", "ListAttributor", "TreeAttributor",
+           "ScalarListAttributor", "ScalarTreeAttributor",
            "make_attributor"]
 
 
@@ -58,6 +71,9 @@ class AttributionResult:
     ucr_pcs: np.ndarray
     n_samples: int
     n_hits: int
+    #: rid -> total samples attributed, precomputed during assembly so the
+    #: monitor's per-region loop never re-sums count vectors.
+    region_totals: dict[int, int] = field(default_factory=dict)
 
     @property
     def ucr_fraction(self) -> float:
@@ -68,27 +84,169 @@ class AttributionResult:
 
     def total_for(self, rid: int) -> int:
         """Samples attributed to one region (0 if it got none)."""
+        total = self.region_totals.get(rid)
+        if total is not None:
+            return total
         counts = self.region_counts.get(rid)
         return 0 if counts is None else int(counts.sum())
 
 
 class _AttributorBase:
-    """Shared machinery: unique-PC grouping and histogram scatter."""
+    """Shared machinery: unique-PC grouping and batched histogram assembly.
+
+    Subclasses implement :meth:`_resolve_batch` (membership for the whole
+    unique-PC vector at once) and :meth:`_charge` (their cost model); the
+    base class owns the strategy-independent assembly of
+    :class:`AttributionResult`.
+    """
 
     def __init__(self, registry: RegionRegistry,
                  ledger: CostLedger | None = None) -> None:
         self.registry = registry
         self.ledger = ledger if ledger is not None else CostLedger()
 
-    def _resolve(self, unique_pcs: np.ndarray) -> list[list[int]]:
-        """Per unique PC, the rids of the regions containing it.
+    def _resolve_batch(self, unique_pcs: np.ndarray) -> dict[int, np.ndarray]:
+        """rid -> index array (into ``unique_pcs``) of contained PCs.
 
-        Subclasses implement this with their strategy and charge costs.
+        Regions containing no PC may be omitted.  Subclasses implement
+        this with their strategy; cost is charged in :meth:`_charge`.
         """
+        raise NotImplementedError
+
+    def _charge(self, result: AttributionResult, unique_pcs: np.ndarray,
+                counts: np.ndarray) -> None:
+        """Charge this interval's modeled work to the ledger."""
         raise NotImplementedError
 
     def attribute(self, pcs: np.ndarray) -> AttributionResult:
         """Distribute one interval's samples across the live regions."""
+        pcs = np.asarray(pcs, dtype=np.int64)
+        unique_pcs, counts = np.unique(pcs, return_counts=True)
+        hits_by_rid = self._resolve_batch(unique_pcs)
+
+        region_counts: dict[int, np.ndarray] = {}
+        region_totals: dict[int, int] = {}
+        covered = np.zeros(unique_pcs.size, dtype=bool)
+        n_hits = 0
+        for rid in sorted(hits_by_rid):
+            index = hits_by_rid[rid]
+            if index.size == 0:
+                continue
+            region = self.registry.get(rid)
+            covered[index] = True
+            multiplicity = counts[index]
+            total = int(multiplicity.sum())
+            n_hits += total
+            slots = (unique_pcs[index] - region.start) // INSTRUCTION_BYTES
+            region_counts[rid] = np.bincount(
+                slots, weights=multiplicity,
+                minlength=region.n_instructions).astype(np.int64)
+            region_totals[rid] = total
+        ucr_pcs = np.repeat(unique_pcs[~covered], counts[~covered])
+        result = AttributionResult(region_counts=region_counts,
+                                   ucr_pcs=ucr_pcs,
+                                   n_samples=int(pcs.size),
+                                   n_hits=n_hits,
+                                   region_totals=region_totals)
+        self._charge(result, unique_pcs, counts)
+        return result
+
+
+class ListAttributor(_AttributorBase):
+    """Region-list membership: per-sample charged cost ``O(n_regions)``.
+
+    Resolution is one boolean interval mask per region over the unique-PC
+    vector; the charged cost stays the scalar scan's
+    ``n_samples * n_regions`` checks.
+    """
+
+    name = "list"
+
+    def _resolve_batch(self, unique_pcs: np.ndarray) -> dict[int, np.ndarray]:
+        return {region.rid: np.flatnonzero(
+                    (unique_pcs >= region.start) & (unique_pcs < region.end))
+                for region in self.registry.regions()}
+
+    def _charge(self, result: AttributionResult, unique_pcs: np.ndarray,
+                counts: np.ndarray) -> None:
+        self.ledger.charge_list_attribution(
+            n_samples=result.n_samples,
+            n_regions=len(self.registry),
+            n_hits=result.n_hits)
+
+
+class TreeAttributor(_AttributorBase):
+    """Interval-tree stabbing: per-sample charged cost ``O(log n + k)``.
+
+    The tree is rebuilt lazily whenever the registry version changes
+    (formation or pruning events); rebuild cost is charged to the ledger.
+    Stab results and scalar stab costs are piecewise constant in the
+    query point (see :meth:`IntervalTree.segments`), so the batch resolves
+    every unique PC with one ``np.searchsorted`` into the segment table
+    while charging exactly the operations per-PC stabbing would have
+    measured.
+    """
+
+    name = "tree"
+
+    def __init__(self, registry: RegionRegistry,
+                 ledger: CostLedger | None = None) -> None:
+        super().__init__(registry, ledger)
+        self._tree: IntervalTree | None = None
+        self._tree_version = -1
+        self._per_pc_cost = np.empty(0, dtype=np.int64)
+
+    def _current_tree(self) -> IntervalTree:
+        if self._tree is None or self._tree_version != self.registry.version:
+            intervals = [Interval(r.start, r.end, r.rid)
+                         for r in self.registry.regions()]
+            self._tree = IntervalTree(intervals)
+            self._tree_version = self.registry.version
+            self.ledger.charge_tree_build(len(intervals))
+        return self._tree
+
+    def _resolve_batch(self, unique_pcs: np.ndarray) -> dict[int, np.ndarray]:
+        tree = self._current_tree()
+        boundaries = tree.stab_boundaries()
+        segment = np.searchsorted(boundaries, unique_pcs, side="right")
+        # Group PCs by segment with one stable sort; each group shares one
+        # memoized representative stab (result and exact scalar cost).
+        order = np.argsort(segment, kind="stable")
+        grouped = segment[order]
+        present, first = np.unique(grouped, return_index=True)
+        group_end = np.append(first[1:], grouped.size)
+        cost = np.empty(unique_pcs.size, dtype=np.int64)
+        hits: dict[int, list[np.ndarray]] = {}
+        for i, seg in enumerate(present):
+            rids, seg_cost = tree.segment_stab(int(seg))
+            index = order[first[i]:group_end[i]]
+            cost[index] = seg_cost
+            for rid in rids:
+                hits.setdefault(rid, []).append(index)
+        self._per_pc_cost = cost + TREE_QUERY_BASE_OPS
+        return {rid: np.concatenate(parts) for rid, parts in hits.items()}
+
+    def _charge(self, result: AttributionResult, unique_pcs: np.ndarray,
+                counts: np.ndarray) -> None:
+        # Per-sample cost model: each sample pays its PC's query cost.
+        query_ops = int(self._per_pc_cost @ counts) if unique_pcs.size else 0
+        self.ledger.charge_tree_attribution(query_ops=query_ops,
+                                            n_hits=result.n_hits)
+
+
+class _ScalarAttributorBase(_AttributorBase):
+    """Reference per-PC attribution (the pre-vectorization hot path).
+
+    Kept verbatim as the equivalence oracle: the property tests assert the
+    batched attributors reproduce these results — counts, UCR, hit totals
+    and ledger charges — bit for bit.
+    """
+
+    def _resolve(self, unique_pcs: np.ndarray) -> list[list[int]]:
+        """Per unique PC, the rids of the regions containing it."""
+        raise NotImplementedError
+
+    def attribute(self, pcs: np.ndarray) -> AttributionResult:
         pcs = np.asarray(pcs, dtype=np.int64)
         regions = {r.rid: r for r in self.registry.regions()}
         unique_pcs, counts = np.unique(pcs, return_counts=True)
@@ -113,90 +271,75 @@ class _AttributorBase:
                 slot = (pc - region.start) // INSTRUCTION_BYTES
                 vector[slot] += multiplicity
         ucr_pcs = np.repeat(unique_pcs[ucr_mask], counts[ucr_mask])
-        return AttributionResult(region_counts=region_counts,
-                                 ucr_pcs=ucr_pcs,
-                                 n_samples=int(pcs.size),
-                                 n_hits=n_hits)
-
-
-class ListAttributor(_AttributorBase):
-    """Linear region-list scan: per-sample cost ``O(n_regions)``."""
-
-    name = "list"
-
-    def _resolve(self, unique_pcs: np.ndarray) -> list[list[int]]:
-        regions = self.registry.regions()
-        results: list[list[int]] = []
-        for pc in unique_pcs:
-            pc = int(pc)
-            results.append([r.rid for r in regions if r.contains(pc)])
-        return results
-
-    def attribute(self, pcs: np.ndarray) -> AttributionResult:
-        result = super().attribute(pcs)
-        self.ledger.charge_list_attribution(
-            n_samples=result.n_samples,
-            n_regions=len(self.registry),
-            n_hits=result.n_hits)
+        result = AttributionResult(
+            region_counts=region_counts,
+            ucr_pcs=ucr_pcs,
+            n_samples=int(pcs.size),
+            n_hits=n_hits,
+            region_totals={rid: int(vector.sum())
+                           for rid, vector in region_counts.items()})
+        self._charge(result, unique_pcs, counts)
         return result
 
 
-class TreeAttributor(_AttributorBase):
-    """Interval-tree stabbing: per-sample cost ``O(log n + k)``.
+class ScalarListAttributor(_ScalarAttributorBase):
+    """Per-PC linear region-list scan (reference for :class:`ListAttributor`)."""
 
-    The tree is rebuilt lazily whenever the registry version changes
-    (formation or pruning events); rebuild cost is charged to the ledger.
-    """
+    name = "list-scalar"
 
-    name = "tree"
+    def _resolve(self, unique_pcs: np.ndarray) -> list[list[int]]:
+        regions = self.registry.regions()
+        return [[r.rid for r in regions if r.contains(int(pc))]
+                for pc in unique_pcs]
+
+    _charge = ListAttributor._charge
+
+
+class ScalarTreeAttributor(_ScalarAttributorBase):
+    """Per-PC interval-tree stabbing (reference for :class:`TreeAttributor`)."""
+
+    name = "tree-scalar"
+
+    _current_tree = TreeAttributor._current_tree
 
     def __init__(self, registry: RegionRegistry,
                  ledger: CostLedger | None = None) -> None:
         super().__init__(registry, ledger)
         self._tree: IntervalTree | None = None
         self._tree_version = -1
-
-    def _current_tree(self) -> IntervalTree:
-        if self._tree is None or self._tree_version != self.registry.version:
-            intervals = [Interval(r.start, r.end, r.rid)
-                         for r in self.registry.regions()]
-            self._tree = IntervalTree(intervals)
-            self._tree_version = self.registry.version
-            self.ledger.charge_tree_build(len(intervals))
-        return self._tree
+        self._per_pc_cost = np.empty(0, dtype=np.int64)
 
     def _resolve(self, unique_pcs: np.ndarray) -> list[list[int]]:
         tree = self._current_tree()
-        self._pending_query_ops = 0
-        self._per_pc_cost: list[int] = []
         results: list[list[int]] = []
+        per_pc_cost: list[int] = []
         for pc in unique_pcs:
             results.append(tree.stab(int(pc)))
-            self._per_pc_cost.append(tree.last_query_cost
-                                     + TREE_QUERY_BASE_OPS)
+            per_pc_cost.append(tree.last_query_cost + TREE_QUERY_BASE_OPS)
+        self._per_pc_cost = np.asarray(per_pc_cost, dtype=np.int64)
         return results
 
-    def attribute(self, pcs: np.ndarray) -> AttributionResult:
-        pcs = np.asarray(pcs, dtype=np.int64)
-        unique_pcs, counts = np.unique(pcs, return_counts=True)
-        result = super().attribute(pcs)
-        # Per-sample cost model: each sample pays its PC's query cost.
-        query_ops = int(np.dot(np.asarray(self._per_pc_cost, dtype=np.int64),
-                               counts)) if unique_pcs.size else 0
-        self.ledger.charge_tree_attribution(query_ops=query_ops,
-                                            n_hits=result.n_hits)
-        return result
+    _charge = TreeAttributor._charge
+
+
+_STRATEGIES = {
+    "list": ListAttributor,
+    "tree": TreeAttributor,
+    "list-scalar": ScalarListAttributor,
+    "tree-scalar": ScalarTreeAttributor,
+}
 
 
 def make_attributor(strategy: str, registry: RegionRegistry,
                     ledger: CostLedger | None = None) -> _AttributorBase:
-    """Factory: ``"list"`` or ``"tree"``."""
-    if strategy == "list":
-        return ListAttributor(registry, ledger)
-    if strategy == "tree":
-        return TreeAttributor(registry, ledger)
-    raise ValueError(f"unknown attribution strategy {strategy!r}; "
-                     f"expected 'list' or 'tree'")
+    """Factory: ``"list"``, ``"tree"``, or a ``"-scalar"`` reference."""
+    try:
+        cls = _STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ValueError(f"unknown attribution strategy {strategy!r}; "
+                         f"expected one of: {known}") from None
+    return cls(registry, ledger)
 
 
 def estimated_list_ops(n_samples: int, n_regions: int) -> int:

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 __all__ = ["IntervalTree", "Interval"]
 
 
@@ -84,6 +86,8 @@ class IntervalTree:
                     for iv in intervals]
         self._intervals = resolved
         self._root = _build(list(resolved))
+        self._boundaries: np.ndarray | None = None
+        self._segment_stabs: dict[int, tuple[list[int], int]] = {}
         #: Comparisons performed by the most recent query (cost probe).
         self.last_query_cost = 0
 
@@ -133,6 +137,53 @@ class IntervalTree:
         self.last_query_cost = cost
         hits.sort()
         return hits
+
+    def stab_boundaries(self) -> np.ndarray:
+        """Cut points between which stab results and costs are constant.
+
+        Every branch :meth:`stab` takes is an integer comparison against a
+        node center or an interval endpoint, so both the stab *result* and
+        the stab *cost* are piecewise constant in the query point, with
+        pieces delimited by the sorted cut set
+        ``{center, center + 1, start, end}``.  Segment ``i`` covers points
+        ``p`` with ``boundaries[i-1] <= p < boundaries[i]`` (segment 0 is
+        everything below ``boundaries[0]``); map query points to segments
+        with ``np.searchsorted(boundaries, points, side="right")``.
+        """
+        if self._boundaries is None:
+            cuts: set[int] = set()
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                if node is None:
+                    continue
+                cuts.add(node.center)
+                cuts.add(node.center + 1)
+                stack.append(node.left)
+                stack.append(node.right)
+            for iv in self._intervals:
+                cuts.add(iv.start)
+                cuts.add(iv.end)
+            self._boundaries = np.array(sorted(cuts), dtype=np.int64)
+        return self._boundaries
+
+    def segment_stab(self, segment: int) -> tuple[list[int], int]:
+        """``(payloads, query_cost)`` shared by every point of a segment.
+
+        Evaluated by stabbing one representative point and memoized (the
+        tree is immutable), so repeated batch queries pay for each distinct
+        segment once regardless of how many points land in it.
+        """
+        cached = self._segment_stabs.get(segment)
+        if cached is None:
+            boundaries = self.stab_boundaries()
+            representative = (int(boundaries[segment - 1]) if segment > 0
+                              else int(boundaries[0]) - 1
+                              if boundaries.size else 0)
+            hits = self.stab(representative)
+            cached = (hits, self.last_query_cost)
+            self._segment_stabs[segment] = cached
+        return cached
 
     def stab_naive(self, point: int) -> list[int]:
         """Linear-scan oracle used by the tests and the list cost model."""

@@ -1,0 +1,164 @@
+"""Equivalence oracles for the performance engine (hypothesis).
+
+The engine's batched attribution (`"list"`/`"tree"`) and the simulation
+cache are pure optimizations: they must reproduce, byte for byte, what the
+per-PC scalar references (`"list-scalar"`/`"tree-scalar"`) and a fresh
+uncached computation produce.  These tests drive random registries, random
+sample vectors and whole random-program monitor pipelines through both
+sides and compare everything observable: counts, UCR samples, hit totals,
+ledger charges, reports and phase statistics.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MonitorThresholds
+from repro.costs import CostLedger
+from repro.experiments import cache as cache_module
+from repro.experiments.base import benchmark_for, monitored_run
+from repro.experiments.config import ExperimentConfig
+from repro.monitor import RegionMonitor
+from repro.program.generator import random_program
+from repro.regions.attribution import make_attributor
+from repro.regions.registry import RegionRegistry
+from repro.sampling import simulate_sampling
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_registry(rng: np.random.Generator,
+                    max_regions: int = 16) -> RegionRegistry:
+    """A random region table, overlapping spans included."""
+    registry = RegionRegistry()
+    for _ in range(int(rng.integers(0, max_regions + 1))):
+        start = int(rng.integers(0, 0x4000)) & ~0x3
+        length = (int(rng.integers(4, 0x400)) & ~0x3) or 4
+        if not registry.has_span(start, start + length):
+            registry.add(start, start + length)
+    return registry
+
+
+def random_pcs(rng: np.random.Generator) -> np.ndarray:
+    return (rng.integers(0, 0x4800, size=int(rng.integers(0, 3000)))
+            & ~0x3).astype(np.int64)
+
+
+def assert_results_identical(batched, scalar) -> None:
+    assert batched.n_samples == scalar.n_samples
+    assert batched.n_hits == scalar.n_hits
+    assert np.array_equal(batched.ucr_pcs, scalar.ucr_pcs)
+    assert batched.region_totals == scalar.region_totals
+    assert sorted(batched.region_counts) == sorted(scalar.region_counts)
+    for rid, counts in batched.region_counts.items():
+        reference = scalar.region_counts[rid]
+        assert counts.dtype == reference.dtype
+        assert np.array_equal(counts, reference)
+
+
+def assert_ledgers_identical(batched: CostLedger,
+                             scalar: CostLedger) -> None:
+    assert batched.attribution_ops == scalar.attribution_ops
+    assert batched.tree_maintenance_ops == scalar.tree_maintenance_ops
+
+
+class TestBatchedMatchesScalar:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_list_attribution(self, seed):
+        rng = np.random.default_rng(seed)
+        registry = random_registry(rng)
+        pcs = random_pcs(rng)
+        batched_ledger, scalar_ledger = CostLedger(), CostLedger()
+        batched = make_attributor("list", registry, batched_ledger)
+        scalar = make_attributor("list-scalar", registry, scalar_ledger)
+        assert_results_identical(batched.attribute(pcs),
+                                 scalar.attribute(pcs))
+        assert_ledgers_identical(batched_ledger, scalar_ledger)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_tree_attribution(self, seed):
+        rng = np.random.default_rng(seed)
+        registry = random_registry(rng)
+        pcs = random_pcs(rng)
+        batched_ledger, scalar_ledger = CostLedger(), CostLedger()
+        batched = make_attributor("tree", registry, batched_ledger)
+        scalar = make_attributor("tree-scalar", registry, scalar_ledger)
+        assert_results_identical(batched.attribute(pcs),
+                                 scalar.attribute(pcs))
+        assert_ledgers_identical(batched_ledger, scalar_ledger)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_registry_growth_between_intervals(self, seed):
+        # The monitor's real access pattern: attribute, form new regions,
+        # attribute again (tree rebuild path included).
+        rng = np.random.default_rng(seed)
+        registry = random_registry(rng, max_regions=6)
+        batched_ledger, scalar_ledger = CostLedger(), CostLedger()
+        batched = make_attributor("tree", registry, batched_ledger)
+        scalar = make_attributor("tree-scalar", registry, scalar_ledger)
+        for _ in range(3):
+            pcs = random_pcs(rng)
+            assert_results_identical(batched.attribute(pcs),
+                                     scalar.attribute(pcs))
+            start = int(rng.integers(0x5000, 0x6000)) & ~0x3
+            if not registry.has_span(start, start + 0x40):
+                registry.add(start, start + 0x40)
+        assert_ledgers_identical(batched_ledger, scalar_ledger)
+
+
+def monitor_pipeline(seed: int, attribution: str) -> RegionMonitor:
+    program = random_program(seed, duration_cycles=5_000_000)
+    stream = simulate_sampling(program.regions, program.workload, 25_000,
+                               seed=seed)
+    monitor = RegionMonitor(program.binary,
+                            MonitorThresholds(buffer_size=256),
+                            attribution=attribution)
+    monitor.process_stream(stream)
+    return monitor
+
+
+def assert_monitors_identical(batched: RegionMonitor,
+                              scalar: RegionMonitor) -> None:
+    assert batched.intervals_processed == scalar.intervals_processed
+    assert batched.phase_change_counts() == scalar.phase_change_counts()
+    assert batched.stable_time_fractions() == scalar.stable_time_fractions()
+    for mine, reference in zip(batched.reports, scalar.reports):
+        assert mine.region_samples == reference.region_samples
+        assert mine.ucr_fraction == reference.ucr_fraction
+    assert_ledgers_identical(batched.ledger, scalar.ledger)
+
+
+class TestMonitorPipelineEquivalence:
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_list_pipeline(self, seed):
+        assert_monitors_identical(monitor_pipeline(seed, "list"),
+                                  monitor_pipeline(seed, "list-scalar"))
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_tree_pipeline(self, seed):
+        assert_monitors_identical(monitor_pipeline(seed, "tree"),
+                                  monitor_pipeline(seed, "tree-scalar"))
+
+
+class TestCachedMatchesFresh:
+    @given(st.sampled_from(("181.mcf", "254.gap", "164.gzip")), seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_cached_monitored_run(self, name, seed):
+        config = ExperimentConfig(scale=0.02, seed=seed % 100)
+        model = benchmark_for(name, config)
+        store = cache_module.get_cache()
+        store.clear()
+        try:
+            cached = monitored_run(model, 45_000, config)
+            assert monitored_run(model, 45_000, config) is cached
+            with cache_module.cache_disabled():
+                fresh = monitored_run(model, 45_000, config)
+            assert fresh is not cached
+            assert_monitors_identical(cached, fresh)
+        finally:
+            store.clear()

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.costs import CostLedger
-from repro.regions.attribution import (ListAttributor, TreeAttributor,
+from repro.regions.attribution import (ListAttributor, ScalarListAttributor,
+                                       ScalarTreeAttributor, TreeAttributor,
                                        make_attributor)
 from repro.regions.registry import RegionRegistry
 
@@ -148,6 +149,13 @@ class TestFactory:
         registry = RegionRegistry()
         assert isinstance(make_attributor("list", registry), ListAttributor)
         assert isinstance(make_attributor("tree", registry), TreeAttributor)
+
+    def test_scalar_reference_strategies(self):
+        registry = RegionRegistry()
+        assert isinstance(make_attributor("list-scalar", registry),
+                          ScalarListAttributor)
+        assert isinstance(make_attributor("tree-scalar", registry),
+                          ScalarTreeAttributor)
 
     def test_unknown_strategy(self):
         with pytest.raises(ValueError, match="list.*tree"):
