@@ -95,7 +95,14 @@ def previous_snapshot() -> tuple[str, dict] | None:
 
 def compare(current: dict, previous: dict,
             threshold: float) -> list[str]:
-    """Median-regression report lines; empty when everything is fine."""
+    """Median-regression report lines; empty when everything is fine.
+
+    Only benchmarks present in *both* snapshots are compared: a test
+    added since the previous snapshot (a growing suite is the normal
+    case) has no baseline and is never a regression, and a removed test
+    simply stops being tracked.  :func:`membership_changes` reports both
+    sets for the log.
+    """
     regressions = []
     before = previous.get("benchmarks", {})
     for name, stats in current["benchmarks"].items():
@@ -109,6 +116,14 @@ def compare(current: dict, previous: dict,
                 f"{stats['median']:.4f}s ({ratio:.2f}x, "
                 f"threshold {1.0 + threshold:.2f}x)")
     return regressions
+
+
+def membership_changes(current: dict,
+                       previous: dict) -> tuple[list[str], list[str]]:
+    """(added, removed) benchmark names between two snapshots."""
+    now = set(current.get("benchmarks", {}))
+    before = set(previous.get("benchmarks", {}))
+    return sorted(now - before), sorted(before - now)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -137,8 +152,13 @@ def main(argv: list[str] | None = None) -> int:
     if baseline is not None:
         path, previous = baseline
         regressions = compare(snapshot, previous, args.threshold)
+        added, removed = membership_changes(snapshot, previous)
         print(f"compared {len(snapshot['benchmarks'])} benchmarks "
               f"against {os.path.basename(path)}")
+        if added:
+            print(f"  new (no baseline, informational): {', '.join(added)}")
+        if removed:
+            print(f"  no longer present: {', '.join(removed)}")
     else:
         print("no previous snapshot; recording the first trajectory point")
 

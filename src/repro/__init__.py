@@ -10,6 +10,9 @@ The package layers, bottom up:
   synthetic SPEC CPU2000 suite the paper evaluates on.
 * :mod:`repro.sampling` — the PMU simulator: periodic cycle sampling into
   the 2032-entry user buffer.
+* :mod:`repro.faults` — declarative, seed-deterministic PMU fault
+  injection (interrupt drops, PC skid, period jitter/drift, duplicates,
+  bit corruption, stall windows) for the robustness experiments.
 * :mod:`repro.core` — the detectors: the centroid-based Global Phase
   Detector (Figure 1) and the Pearson-correlation Local Phase Detector
   (Figure 12), plus pluggable similarity measures.
@@ -39,9 +42,15 @@ from repro.core import (GlobalPhaseDetector, GpdThresholds,
                         MonitorThresholds, PhaseEvent, PhaseEventKind,
                         PhaseState, RegionHistogram, pearson_r)
 from repro.costs import CostLedger
-from repro.errors import ReproError
+from repro.errors import FaultError, ReproError
 from repro.core.performance import CompositeGlobalDetector
-from repro.monitor import OnlineSession, RegionMonitor, SelfMonitor, Verdict
+from repro.faults import (DuplicateSamples, FaultPlan, InterruptStall,
+                          PcBitCorruption, PcSkid, PeriodDrift,
+                          PeriodJitter, SampleDrop, inject,
+                          simulate_faulty_sampling)
+from repro.monitor import (OnlineSession, RegionMonitor, RegionWatchdog,
+                           SelfMonitor, Verdict, WatchdogConfig,
+                           WatchdogEvent)
 from repro.optimizer import RtoConfig, RTOSystem, compare_policies
 from repro.program import (BinaryBuilder, RegionSpec, SyntheticBinary,
                            WorkloadScript)
@@ -66,11 +75,25 @@ __all__ = [
     "pearson_r",
     "CostLedger",
     "ReproError",
+    "FaultError",
     "CompositeGlobalDetector",
+    "FaultPlan",
+    "SampleDrop",
+    "PcSkid",
+    "PeriodJitter",
+    "PeriodDrift",
+    "DuplicateSamples",
+    "PcBitCorruption",
+    "InterruptStall",
+    "inject",
+    "simulate_faulty_sampling",
     "OnlineSession",
     "RegionMonitor",
+    "RegionWatchdog",
     "SelfMonitor",
     "Verdict",
+    "WatchdogConfig",
+    "WatchdogEvent",
     "RtoConfig",
     "RTOSystem",
     "compare_policies",

@@ -102,6 +102,9 @@ def pearson_r_strict(x: Sequence[float] | np.ndarray,
     sum_y2 = float((ya * ya).sum())
     var_x = sum_x2 - (sum_x * sum_x) / n
     var_y = sum_y2 - (sum_y * sum_y) / n
+    if not (math.isfinite(var_x) and math.isfinite(var_y)):
+        # NaN/inf contamination (corrupted counts): undefined, never NaN out.
+        return None
     if var_x <= 0.0 or var_y <= 0.0:
         return None
     numerator = sum_xy - (sum_x * sum_y) / n

@@ -133,11 +133,26 @@ class GlobalPhaseDetector:
         return self._interval_index + 1
 
     def observe_buffer(self, pcs: Sequence[int] | np.ndarray) -> PhaseEvent | None:
-        """Process one full sample buffer; return the phase change, if any."""
-        return self.observe_centroid(centroid(pcs))
+        """Process one full sample buffer; return the phase change, if any.
+
+        A starved buffer (fewer samples than the ``min_buffer_samples``
+        threshold, including an empty one) is insufficient data: the
+        interval is recorded, the state and centroid history hold, and no
+        event fires — degraded sampling must not flap the machine.
+        """
+        buffer = np.asarray(pcs)
+        if buffer.size < self.thresholds.min_buffer_samples:
+            return self._observe_starved()
+        return self.observe_centroid(centroid(buffer))
 
     def observe_centroid(self, value: float) -> PhaseEvent | None:
-        """Process one interval given its precomputed centroid."""
+        """Process one interval given its precomputed centroid.
+
+        A non-finite centroid (corrupted samples upstream) is treated as
+        insufficient data, like a starved buffer.
+        """
+        if not np.isfinite(value):
+            return self._observe_starved()
         self._interval_index += 1
         band: BandOfStability | None = None
         ratio = float("inf")
@@ -157,6 +172,19 @@ class GlobalPhaseDetector:
         if event is not None:
             self.events.append(event)
         return event
+
+    def _observe_starved(self) -> None:
+        """Record an insufficient-data interval: state and history hold."""
+        self._interval_index += 1
+        self.observations.append(GpdObservation(
+            interval_index=self._interval_index,
+            centroid_value=float("nan"),
+            band=None,
+            drift_ratio=float("inf"),
+            state=self._state,
+            event=None,
+        ))
+        return None
 
     def stable_interval_count(self) -> int:
         """Number of processed intervals that ended in a declared-stable phase."""

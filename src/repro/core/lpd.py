@@ -181,6 +181,17 @@ class LocalPhaseDetector:
             self.events.append(event)
         return event
 
+    def reset(self) -> None:
+        """Re-enter the initial unstable state, dropping the stable set.
+
+        Used by the watchdog's graceful-degradation path: a deoptimized
+        region re-evaluates its phase from scratch, while the cumulative
+        ``events``/``observations`` records (figure statistics) survive.
+        """
+        self._state = PhaseState.UNSTABLE
+        self._stable_set = None
+        self._last_r = 0.0
+
     def stable_time_fraction(self) -> float:
         """Fraction of the region's active intervals spent stable (Fig 14)."""
         if self.active_intervals == 0:
@@ -210,6 +221,10 @@ class LocalPhaseDetector:
             raise ValueError(
                 f"histogram has {counts.size} slots, detector expects "
                 f"{self.n_instructions}")
+        if counts.sum() < self.thresholds.min_interval_samples:
+            # Starved interval (lost interrupts, dropped samples): too few
+            # samples to trust a comparison — insufficient data, hold.
+            return None
         return counts.copy()
 
     def _step(self, counts: np.ndarray, interval_index: int) -> PhaseEvent | None:

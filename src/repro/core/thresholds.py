@@ -66,6 +66,11 @@ class GpdThresholds:
         "timer"; the exact duration is not given — we default to 2).
     history_length:
         Number of past centroids kept for computing ``E`` and ``SD``.
+    min_buffer_samples:
+        Minimum samples a delivered buffer needs before its centroid is
+        trusted; starved buffers (fault injection, lost interrupts) hold
+        the detector instead of feeding it a noise centroid.  The default
+        of 1 preserves the paper's behavior on ideal streams.
     """
 
     th1: float = 0.01
@@ -75,6 +80,7 @@ class GpdThresholds:
     thickness_divisor: float = 6.0
     dwell_intervals: int = 2
     history_length: int = 8
+    min_buffer_samples: int = 1
 
     def __post_init__(self) -> None:
         _require(0.0 < self.th1 <= self.th2 <= self.th3 <= self.th4,
@@ -85,6 +91,8 @@ class GpdThresholds:
                  "dwell_intervals must be at least 1")
         _require(self.history_length >= 2,
                  "history_length must be at least 2")
+        _require(self.min_buffer_samples >= 1,
+                 "min_buffer_samples must be at least 1")
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,18 +116,27 @@ class LpdThresholds:
         ``adaptive_floor``.
     adaptive_floor:
         Lower bound of the adaptive threshold.
+    min_interval_samples:
+        Minimum samples a region must receive in an interval before the
+        interval is compared against the stable set; starved intervals
+        (fault injection, lost interrupts) count as "insufficient data"
+        and hold the r-value, exactly like the paper's no-sample rule.
+        The default of 1 preserves the paper's behavior.
     """
 
     r_threshold: float = DEFAULT_R_THRESHOLD
     adaptive: bool = False
     adaptive_reference_size: int = 256
     adaptive_floor: float = 0.6
+    min_interval_samples: int = 1
 
     def __post_init__(self) -> None:
         _require(-1.0 < self.r_threshold <= 1.0,
                  "r_threshold must lie in (-1, 1]")
         _require(self.adaptive_reference_size >= 1,
                  "adaptive_reference_size must be positive")
+        _require(self.min_interval_samples >= 1,
+                 "min_interval_samples must be at least 1")
         if self.adaptive:
             _require(-1.0 < self.adaptive_floor <= self.r_threshold,
                      "adaptive_floor must lie in (-1, r_threshold]")

@@ -36,5 +36,9 @@ class SamplingError(ReproError):
     """The PMU simulator was driven with invalid parameters."""
 
 
+class FaultError(ReproError):
+    """A fault plan could not be applied to a sample stream."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown or bad target."""

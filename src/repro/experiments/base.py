@@ -19,9 +19,18 @@ from repro.core import MonitorThresholds
 from repro.core.gpd import GlobalPhaseDetector
 from repro.experiments.cache import GLOBAL_CACHE, GpdKey, MonitorKey, StreamKey
 from repro.experiments.config import ExperimentConfig
+from repro.faults.inject import inject
+from repro.faults.model import FaultPlan
 from repro.monitor import RegionMonitor
 from repro.program.spec2000 import BenchmarkModel, get_benchmark
 from repro.sampling import SampleStream, simulate_sampling
+
+
+def _fault_token(plan: FaultPlan | None) -> tuple:
+    """Cache-key component for a fault plan (empty: ideal stream)."""
+    if plan is None or plan.is_empty:
+        return ()
+    return plan.token()
 
 
 @dataclass(frozen=True)
@@ -62,17 +71,30 @@ def benchmark_for(name: str, config: ExperimentConfig) -> BenchmarkModel:
 
 
 def stream_for(model: BenchmarkModel, period: int,
-               config: ExperimentConfig) -> SampleStream:
-    """Simulate one benchmark run at a sampling period (cached)."""
+               config: ExperimentConfig,
+               plan: FaultPlan | None = None) -> SampleStream:
+    """Simulate one benchmark run at a sampling period (cached).
+
+    With a non-empty fault *plan* the ideal stream is simulated (and
+    cached) first, then the plan is injected deterministically from the
+    experiment seed; the faulted stream is cached under its own key.  An
+    empty plan is byte-identical to no plan — same key, same object.
+    """
+    faults = _fault_token(plan)
     key = StreamKey(benchmark=model.name, scale=config.scale,
-                    period=period, seed=config.seed)
+                    period=period, seed=config.seed, faults=faults)
+    if not faults:
+        return GLOBAL_CACHE.stream(
+            key, lambda: simulate_sampling(model.regions, model.workload,
+                                           period, seed=config.seed))
     return GLOBAL_CACHE.stream(
-        key, lambda: simulate_sampling(model.regions, model.workload,
-                                       period, seed=config.seed))
+        key, lambda: inject(stream_for(model, period, config), plan,
+                            seed=config.seed))
 
 
 def gpd_run(model: BenchmarkModel, period: int,
-            config: ExperimentConfig) -> GlobalPhaseDetector:
+            config: ExperimentConfig,
+            plan: FaultPlan | None = None) -> GlobalPhaseDetector:
     """Run the global phase detector over one benchmark stream (cached).
 
     The returned detector is a shared, completed run — read-only.
@@ -80,15 +102,17 @@ def gpd_run(model: BenchmarkModel, period: int,
     :func:`~repro.analysis.metrics.run_gpd` directly with their ledger.
     """
     key = GpdKey(benchmark=model.name, scale=config.scale, period=period,
-                 seed=config.seed, buffer_size=config.buffer_size)
+                 seed=config.seed, buffer_size=config.buffer_size,
+                 faults=_fault_token(plan))
     return GLOBAL_CACHE.detector(
-        key, lambda: run_gpd(stream_for(model, period, config),
+        key, lambda: run_gpd(stream_for(model, period, config, plan),
                              config.buffer_size))
 
 
 def monitored_run(model: BenchmarkModel, period: int,
                   config: ExperimentConfig,
-                  attribution: str = "list") -> RegionMonitor:
+                  attribution: str = "list",
+                  plan: FaultPlan | None = None) -> RegionMonitor:
     """Run a region monitor over one benchmark stream (cached).
 
     The returned monitor is a shared, completed run — read-only.
@@ -96,10 +120,10 @@ def monitored_run(model: BenchmarkModel, period: int,
     key = MonitorKey(benchmark=model.name, scale=config.scale,
                      period=period, seed=config.seed,
                      buffer_size=config.buffer_size,
-                     attribution=attribution)
+                     attribution=attribution, faults=_fault_token(plan))
 
     def compute() -> RegionMonitor:
-        stream = stream_for(model, period, config)
+        stream = stream_for(model, period, config, plan)
         monitor = RegionMonitor(
             model.binary,
             MonitorThresholds(buffer_size=config.buffer_size),

@@ -46,12 +46,18 @@ T = TypeVar("T")
 
 @dataclass(frozen=True, slots=True)
 class StreamKey:
-    """Identity of one simulated PMU stream."""
+    """Identity of one simulated PMU stream.
+
+    ``faults`` is the applied :meth:`~repro.faults.FaultPlan.token`
+    (empty tuple: the ideal, un-faulted stream), so faulted and ideal
+    artifacts of the same run never collide.
+    """
 
     benchmark: str
     scale: float
     period: int
     seed: int
+    faults: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +70,7 @@ class MonitorKey:
     seed: int
     buffer_size: int
     attribution: str
+    faults: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,6 +82,7 @@ class GpdKey:
     period: int
     seed: int
     buffer_size: int
+    faults: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,13 +91,16 @@ class WarmTask:
 
     ``kind`` selects the artifact: ``"stream"`` (simulation only),
     ``"gpd"`` (stream + global detector) or ``"monitor"`` (stream +
-    region-monitor run with the given attribution strategy).
+    region-monitor run with the given attribution strategy).  ``faults``
+    carries a fault-plan token; workers rebuild the plan with
+    :meth:`~repro.faults.FaultPlan.from_token`.
     """
 
     kind: str
     benchmark: str
     period: int
     attribution: str = "list"
+    faults: tuple = ()
 
 
 @dataclass(frozen=True)

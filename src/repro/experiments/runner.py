@@ -31,7 +31,8 @@ import time
 from typing import Callable
 
 from repro.errors import ExperimentError
-from repro.experiments import (extra_detector_zoo, extra_interval_size,
+from repro.experiments import (extra_detector_zoo, extra_fault_sweep,
+                               extra_interval_size,
                                fig02_mcf_region_chart,
                                fig03_gpd_phase_changes,
                                fig04_gpd_stable_time,
@@ -53,7 +54,7 @@ _MODULES = (
     fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
     fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
     fig16_interval_tree, fig17_speedup, extra_detector_zoo,
-    extra_interval_size,
+    extra_fault_sweep, extra_interval_size,
 )
 
 #: Registry of every reproducible figure (Figures 1 and 12 are state
@@ -113,23 +114,33 @@ def collect_warm_tasks(experiment_ids: list[str],
 def _warm_worker(payload: tuple[WarmTask, ExperimentConfig]):
     """Compute one warm task in a worker process.
 
-    Returns every artifact the task produced (the stream plus the
-    derived detector/monitor) so the parent can seed its cache with all
-    of them.  Determinism: everything is derived from (benchmark, scale,
-    period, seed), so a worker's result is bit-identical to what the
-    parent would have computed serially.
+    Returns every artifact the task produced (the ideal stream, the
+    faulted stream for fault-carrying tasks, and the derived
+    detector/monitor) so the parent can seed its cache with all of
+    them.  Determinism: everything is derived from (benchmark, scale,
+    period, seed, faults), so a worker's result is bit-identical to
+    what the parent would have computed serially.
     """
     task, config = payload
     model = base.benchmark_for(task.benchmark, config)
-    stream = base.stream_for(model, task.period, config)
+    plan = None
+    if task.faults:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_token(task.faults)
+    streams = {(): base.stream_for(model, task.period, config)}
+    if plan is not None:
+        streams[task.faults] = base.stream_for(model, task.period, config,
+                                               plan=plan)
     detector = None
     monitor = None
     if task.kind == "gpd":
-        detector = base.gpd_run(model, task.period, config)
+        detector = base.gpd_run(model, task.period, config, plan=plan)
     elif task.kind == "monitor":
         monitor = base.monitored_run(model, task.period, config,
-                                     attribution=task.attribution)
-    return task, stream, detector, monitor
+                                     attribution=task.attribution,
+                                     plan=plan)
+    return task, streams, detector, monitor
 
 
 def warm_cache_parallel(tasks: list[WarmTask], config: ExperimentConfig,
@@ -143,34 +154,36 @@ def warm_cache_parallel(tasks: list[WarmTask], config: ExperimentConfig,
         return 0
     store = cache.get_cache()
     if jobs <= 1 or len(tasks) == 1:
-        for task, stream, detector, monitor in map(
+        for task, streams, detector, monitor in map(
                 _warm_worker, ((t, config) for t in tasks)):
-            _seed_cache(store, config, task, stream, detector, monitor)
+            _seed_cache(store, config, task, streams, detector, monitor)
         return len(tasks)
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for task, stream, detector, monitor in pool.map(
+        for task, streams, detector, monitor in pool.map(
                 _warm_worker, ((t, config) for t in tasks), chunksize=1):
-            _seed_cache(store, config, task, stream, detector, monitor)
+            _seed_cache(store, config, task, streams, detector, monitor)
     return len(tasks)
 
 
 def _seed_cache(store: cache.SimulationCache, config: ExperimentConfig,
-                task: WarmTask, stream, detector, monitor) -> None:
+                task: WarmTask, streams: dict, detector, monitor) -> None:
     """Inject one warm task's artifacts into the parent cache."""
-    store.put_stream(
-        cache.StreamKey(task.benchmark, config.scale, task.period,
-                        config.seed), stream)
+    for faults, stream in streams.items():
+        store.put_stream(
+            cache.StreamKey(task.benchmark, config.scale, task.period,
+                            config.seed, faults), stream)
     if detector is not None:
         store.put_detector(
             cache.GpdKey(task.benchmark, config.scale, task.period,
-                         config.seed, config.buffer_size), detector)
+                         config.seed, config.buffer_size, task.faults),
+            detector)
     if monitor is not None:
         store.put_monitor(
             cache.MonitorKey(task.benchmark, config.scale, task.period,
                              config.seed, config.buffer_size,
-                             task.attribution), monitor)
+                             task.attribution, task.faults), monitor)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -218,10 +231,16 @@ def main(argv: list[str] | None = None) -> int:
         tasks = collect_warm_tasks(requested, config)
         if tasks:
             warm_started = time.time()
-            warmed = warm_cache_parallel(tasks, config, args.jobs)
-            print(f"warmed {warmed} shared runs with {args.jobs} workers "
-                  f"({time.time() - warm_started:.1f}s)")
-            print()
+            try:
+                warmed = warm_cache_parallel(tasks, config, args.jobs)
+            except Exception as exc:  # degrade to serial, don't abort
+                print(f"warm phase failed ({type(exc).__name__}: {exc}); "
+                      f"figures will compute their runs serially",
+                      file=sys.stderr)
+            else:
+                print(f"warmed {warmed} shared runs with {args.jobs} "
+                      f"workers ({time.time() - warm_started:.1f}s)")
+                print()
 
     profiler = None
     if args.profile:
@@ -231,9 +250,17 @@ def main(argv: list[str] | None = None) -> int:
         profiler.enable()
 
     results = []
+    failures: list[tuple[str, Exception]] = []
     for experiment_id in requested:
         started = time.time()
-        result = run_experiment(experiment_id, config)
+        try:
+            result = run_experiment(experiment_id, config)
+        except Exception as exc:  # keep regenerating the other figures
+            failures.append((experiment_id, exc))
+            print(f"[{experiment_id}] FAILED: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            print()
+            continue
         results.append(result)
         print(result.to_table())
         print(f"  ({time.time() - started:.1f}s)")
@@ -254,6 +281,13 @@ def main(argv: list[str] | None = None) -> int:
 
         written = export_results(results, args.out)
         print(f"exported {len(written)} files to {args.out}")
+    if failures:
+        print(f"{len(failures)}/{len(requested)} experiments failed:",
+              file=sys.stderr)
+        for experiment_id, exc in failures:
+            print(f"  {experiment_id}: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 

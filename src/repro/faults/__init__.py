@@ -1,0 +1,29 @@
+"""Fault injection for PMU sample streams + graceful degradation.
+
+The paper's robustness claim — local phase detection is less sensitive to
+sampling noise than the centroid scheme — is only meaningful if the
+pipeline is actually stressed with realistic sampling faults.  This
+package provides the declarative fault model
+(:mod:`repro.faults.model`), the deterministic stream transformers
+(:mod:`repro.faults.inject`), and pairs with the watchdog/degradation
+controller in :mod:`repro.monitor.watchdog`.
+"""
+
+from repro.faults.inject import inject, simulate_faulty_sampling
+from repro.faults.model import (DuplicateSamples, FaultPlan, FaultSpec,
+                                InterruptStall, PcBitCorruption, PcSkid,
+                                PeriodDrift, PeriodJitter, SampleDrop)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "SampleDrop",
+    "PcSkid",
+    "PeriodJitter",
+    "PeriodDrift",
+    "DuplicateSamples",
+    "PcBitCorruption",
+    "InterruptStall",
+    "inject",
+    "simulate_faulty_sampling",
+]

@@ -3,11 +3,17 @@
 from repro.monitor.online import OnlineSession
 from repro.monitor.region_monitor import IntervalReport, RegionMonitor
 from repro.monitor.self_monitoring import SelfMonitor, Verdict
+from repro.monitor.watchdog import (RegionWatchdog, WatchdogAction,
+                                    WatchdogConfig, WatchdogEvent)
 
 __all__ = [
     "IntervalReport",
     "OnlineSession",
     "RegionMonitor",
+    "RegionWatchdog",
     "SelfMonitor",
     "Verdict",
+    "WatchdogAction",
+    "WatchdogConfig",
+    "WatchdogEvent",
 ]

@@ -26,7 +26,10 @@ import numpy as np
 from repro.core.gpd import GlobalPhaseDetector
 from repro.core.states import PhaseEvent
 from repro.core.thresholds import GpdThresholds, MonitorThresholds
+from repro.errors import SamplingError
 from repro.monitor.region_monitor import IntervalReport, RegionMonitor
+from repro.monitor.watchdog import (RegionWatchdog, WatchdogConfig,
+                                    WatchdogEvent)
 from repro.program.binary import SyntheticBinary
 from repro.sampling.buffer import SampleBuffer
 from repro.sampling.events import SampleStream
@@ -63,12 +66,18 @@ class OnlineSession:
         disable the global channel.
     run_gpd:
         Whether to run the centroid GPD alongside the region monitor.
+    watchdog:
+        Optional :class:`~repro.monitor.watchdog.WatchdogConfig`; when
+        given (and a region monitor is running) a
+        :class:`~repro.monitor.watchdog.RegionWatchdog` observes every
+        interval and degrades starved / stuck-unstable regions.
     """
 
     def __init__(self, binary: SyntheticBinary | None = None,
                  monitor_thresholds: MonitorThresholds | None = None,
                  gpd_thresholds: GpdThresholds | None = None,
                  run_gpd: bool = True,
+                 watchdog: WatchdogConfig | None = None,
                  **monitor_kwargs) -> None:
         thresholds = monitor_thresholds or MonitorThresholds()
         self.gpd: GlobalPhaseDetector | None = (
@@ -80,12 +89,16 @@ class OnlineSession:
             raise ValueError(
                 "an online session needs a binary (for region "
                 "monitoring), run_gpd=True, or both")
+        self.watchdog: RegionWatchdog | None = None
+        if watchdog is not None and self.monitor is not None:
+            self.watchdog = RegionWatchdog(watchdog, self.monitor)
         self._buffer = SampleBuffer(thresholds.buffer_size,
                                     self._on_overflow)
         self._global_callbacks: list[GlobalChangeCallback] = []
         self._local_callbacks: list[LocalChangeCallback] = []
         self.stats = _SessionStats()
         self.reports: list[IntervalReport] = []
+        self.watchdog_events: list[WatchdogEvent] = []
 
     # -- subscriptions ------------------------------------------------------
 
@@ -105,13 +118,35 @@ class OnlineSession:
         return self._buffer.push(int(pc))
 
     def feed_many(self, pcs: np.ndarray) -> int:
-        """Deliver a batch of samples; returns completed-interval count."""
-        pcs = np.asarray(pcs, dtype=np.int64)
+        """Deliver a batch of samples; returns completed-interval count.
+
+        The batch must be a non-empty one-dimensional integer array —
+        float PCs would be silently truncated and an empty batch is
+        always a driver bug, so both raise
+        :class:`~repro.errors.SamplingError` instead of misbehaving.
+        """
+        pcs = np.asarray(pcs)
+        if pcs.ndim != 1:
+            raise SamplingError(
+                f"feed_many expects a 1-D sample batch, got shape "
+                f"{pcs.shape}")
+        if pcs.size == 0:
+            raise SamplingError("feed_many received an empty batch")
+        if not np.issubdtype(pcs.dtype, np.integer):
+            raise SamplingError(
+                f"feed_many expects integer PCs, got dtype {pcs.dtype}")
+        pcs = pcs.astype(np.int64, copy=False)
         self.stats.samples += int(pcs.size)
         return self._buffer.push_many(pcs)
 
     def feed_stream(self, stream: SampleStream) -> int:
         """Deliver a whole simulated stream; returns intervals completed."""
+        if not isinstance(stream, SampleStream):
+            raise SamplingError(
+                f"feed_stream expects a SampleStream, got "
+                f"{type(stream).__name__}")
+        if stream.n_samples == 0:
+            raise SamplingError("feed_stream received an empty stream")
         return self.feed_many(stream.pcs)
 
     @property
@@ -136,6 +171,9 @@ class OnlineSession:
                 self.stats.local_events += 1
                 for callback in self._local_callbacks:
                     callback(rid, event)
+            if self.watchdog is not None:
+                self.watchdog_events.extend(
+                    self.watchdog.observe_interval(report))
 
     # -- inspection -------------------------------------------------------------
 
@@ -152,4 +190,6 @@ class OnlineSession:
         if self.monitor is not None:
             summary["monitored_regions"] = len(self.monitor.live_regions())
             summary["ucr_median"] = self.monitor.ucr.median()
+        if self.watchdog is not None:
+            summary["watchdog"] = self.watchdog.summary()
         return summary

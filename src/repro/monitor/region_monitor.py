@@ -122,9 +122,15 @@ class RegionMonitor:
         self._measure = measure
         self._detectors: dict[int, LocalPhaseDetector] = {}
         self._retired: dict[int, tuple[Region, LocalPhaseDetector]] = {}
+        self._quarantined: dict[int, Region] = {}
         self._activity: dict[int, RegionActivity] = {}
         self._formed_at: dict[int, int] = {}
         self._interval_index = -1
+        #: Optional predicate consulted for every newly formed region; a
+        #: ``True`` verdict drops the region immediately (its samples stay
+        #: in the UCR).  The watchdog uses this to keep a quarantined span
+        #: from being re-formed while its backoff is running.
+        self.formation_veto = None
         self.reports: list[IntervalReport] = []
         #: Per-region data-cache miss-rate observations (interval, rate),
         #: recorded when miss flags accompany the samples.  This is the
@@ -154,7 +160,8 @@ class RegionMonitor:
         return region
 
     def detector(self, rid: int) -> LocalPhaseDetector:
-        """The local phase detector of a live or retired region."""
+        """The local phase detector of a live, quarantined or retired
+        region."""
         if rid in self._detectors:
             return self._detectors[rid]
         if rid in self._retired:
@@ -162,9 +169,11 @@ class RegionMonitor:
         raise RegionError(f"no detector for region id {rid}")
 
     def region_record(self, rid: int) -> Region:
-        """The region record for a live or retired region id."""
+        """The region record for a live, quarantined or retired region."""
         if rid in self.registry:
             return self.registry.get(rid)
+        if rid in self._quarantined:
+            return self._quarantined[rid]
         if rid in self._retired:
             return self._retired[rid][0]
         raise RegionError(f"no region with id {rid}")
@@ -174,10 +183,42 @@ class RegionMonitor:
         return self.registry.regions()
 
     def all_regions(self) -> list[Region]:
-        """Live plus pruned regions."""
+        """Live plus quarantined plus pruned regions."""
         regions = self.registry.regions() \
+            + list(self._quarantined.values()) \
             + [region for region, _ in self._retired.values()]
         return sorted(regions, key=lambda r: r.rid)
+
+    # -- graceful degradation (watchdog surface) -------------------------------
+
+    def quarantine(self, rid: int) -> Region:
+        """Deoptimize a region: its span re-enters the UCR.
+
+        The region leaves the registry (so attribution sends its samples
+        back to the unmonitored code region) but keeps its detector and
+        statistics, unlike pruning.  Returns the quarantined record.
+        """
+        if rid in self._quarantined:
+            return self._quarantined[rid]
+        region = self.registry.remove(rid)
+        self._quarantined[rid] = region
+        return region
+
+    def release(self, rid: int) -> Region:
+        """Re-admit a quarantined region under its original id."""
+        try:
+            region = self._quarantined.pop(rid)
+        except KeyError:
+            raise RegionError(f"region id {rid} is not quarantined") from None
+        return self.registry.reinsert(region)
+
+    def quarantined_regions(self) -> list[Region]:
+        """Regions currently quarantined by the watchdog."""
+        return sorted(self._quarantined.values(), key=lambda r: r.rid)
+
+    def reset_detector(self, rid: int) -> None:
+        """Reset a region's phase machine to unstable (keeps statistics)."""
+        self.detector(rid).reset()
 
     def region_by_name(self, name: str) -> Region:
         """Look up a region (live or retired) by its ``start-end`` name."""
@@ -217,6 +258,12 @@ class RegionMonitor:
         if self.ucr.record(result.ucr_fraction, index):
             formation_outcome = self.formation.form(result.ucr_pcs, index)
             for region in formation_outcome.new_regions:
+                if self.formation_veto is not None \
+                        and self.formation_veto(region):
+                    # Span suppressed (watchdog backoff): drop it again —
+                    # its samples stay in the UCR.
+                    self.registry.remove(region.rid)
+                    continue
                 self._install_region(region)
 
         # 3. Local phase detection per live region.  Regions formed this

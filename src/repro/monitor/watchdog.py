@@ -1,0 +1,277 @@
+"""Per-region watchdog: graceful degradation under faulty sampling.
+
+Fault injection (:mod:`repro.faults`) exposes two pathological region
+states the plain monitor tolerates forever:
+
+* **starved** — a monitored region stops receiving samples (drop bursts,
+  interrupt stalls, a phase migration the formation logic has already
+  replaced), so its detector holds its last verdict indefinitely while a
+  deployed optimization keeps running on stale evidence;
+* **stuck-unstable** — a region keeps receiving samples but never
+  stabilizes (noisy sampling, corrupted PCs, a genuinely phase-less
+  region), so the monitor pays full per-interval detection cost for a
+  region that will never be optimized.
+
+The :class:`RegionWatchdog` trips on either condition and *deoptimizes*
+the region: any deployed trace must be unpatched (the RTO integration
+does this on the emitted event), the region's phase machine resets, and —
+in quarantine mode — the region leaves the monitored set so its samples
+re-enter the UCR.  Re-optimization is retried with a bounded budget and
+exponential (in intervals) backoff: trip *k* waits
+``backoff_intervals * backoff_factor**(k-1)`` intervals before the region
+may be monitored or deployed again, and after ``retry_budget`` trips the
+region is blacklisted for the rest of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigError
+from repro.monitor.region_monitor import IntervalReport, RegionMonitor
+from repro.regions.region import Region
+
+__all__ = ["WatchdogConfig", "WatchdogAction", "WatchdogEvent",
+           "RegionWatchdog"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True, slots=True)
+class WatchdogConfig:
+    """Degradation-policy knobs.
+
+    Attributes
+    ----------
+    starvation_intervals:
+        Consecutive intervals without samples after which a live region
+        counts as starved.
+    stuck_unstable_intervals:
+        Consecutive sampled-but-unstable intervals after which a region
+        counts as stuck.
+    retry_budget:
+        Deoptimize/re-admit cycles allowed per region before it is
+        blacklisted for the rest of the run.
+    backoff_intervals:
+        Backoff after the first trip, in intervals.
+    backoff_factor:
+        Multiplier applied to the backoff on every further trip.
+    quarantine:
+        Whether a tripped region also leaves the monitored set (samples
+        re-enter the UCR) until its backoff expires.  With ``False`` the
+        watchdog only gates deployments and resets the detector.
+    """
+
+    starvation_intervals: int = 8
+    stuck_unstable_intervals: int = 24
+    retry_budget: int = 3
+    backoff_intervals: int = 8
+    backoff_factor: float = 2.0
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.starvation_intervals >= 1,
+                 "starvation_intervals must be at least 1")
+        _require(self.stuck_unstable_intervals >= 1,
+                 "stuck_unstable_intervals must be at least 1")
+        _require(self.retry_budget >= 1, "retry_budget must be at least 1")
+        _require(self.backoff_intervals >= 1,
+                 "backoff_intervals must be at least 1")
+        _require(self.backoff_factor >= 1.0,
+                 "backoff_factor must be at least 1")
+
+
+class WatchdogAction(Enum):
+    """What the watchdog did to a region."""
+
+    DEOPTIMIZE = "deoptimize"
+    RETRY = "retry"
+    GIVE_UP = "give_up"
+
+
+@dataclass(frozen=True, slots=True)
+class WatchdogEvent:
+    """One watchdog decision, for logs, tests and the RTO integration."""
+
+    interval_index: int
+    rid: int
+    action: WatchdogAction
+    reason: str
+    detail: str = ""
+
+
+@dataclass
+class _RegionRecord:
+    region: Region
+    starved_streak: int = 0
+    unstable_streak: int = 0
+    trips: int = 0
+    retry_at: int | None = None
+    blacklisted: bool = False
+    quarantined: bool = False
+    first_seen: int = field(default=-1)
+
+
+class RegionWatchdog:
+    """Watches a :class:`RegionMonitor`'s per-interval reports.
+
+    Feed every interval's :class:`IntervalReport` through
+    :meth:`observe_interval`; the watchdog tracks per-region starvation
+    and stuck-unstable streaks, trips the degradation path, manages the
+    backoff/retry cycle, and answers :meth:`allows_deploy` for the
+    optimizer.
+    """
+
+    def __init__(self, config: WatchdogConfig | None = None,
+                 monitor: RegionMonitor | None = None) -> None:
+        self.config = config or WatchdogConfig()
+        self.monitor = monitor
+        self._records: dict[int, _RegionRecord] = {}
+        self.events: list[WatchdogEvent] = []
+        if monitor is not None and self.config.quarantine:
+            monitor.formation_veto = self._veto_formation
+
+    # -- policy queries ------------------------------------------------------
+
+    def allows_deploy(self, rid: int) -> bool:
+        """Whether the optimizer may (re)deploy into this region."""
+        record = self._records.get(rid)
+        if record is None:
+            return True
+        return not (record.blacklisted or record.quarantined
+                    or record.retry_at is not None)
+
+    def is_blacklisted(self, rid: int) -> bool:
+        """Whether the region exhausted its retry budget."""
+        record = self._records.get(rid)
+        return record is not None and record.blacklisted
+
+    def trip_count(self, rid: int) -> int:
+        """Number of times the region's degradation path fired."""
+        record = self._records.get(rid)
+        return 0 if record is None else record.trips
+
+    def _veto_formation(self, region: Region) -> bool:
+        """Formation veto: suppress spans that are backing off."""
+        for record in self._records.values():
+            if record.region.start == region.start \
+                    and record.region.end == region.end \
+                    and (record.blacklisted or record.retry_at is not None):
+                return True
+        return False
+
+    # -- the per-interval hook ----------------------------------------------
+
+    def observe_interval(self, report: IntervalReport,
+                         monitor: RegionMonitor | None = None
+                         ) -> list[WatchdogEvent]:
+        """Update streaks from one interval; returns the actions taken."""
+        monitor = monitor if monitor is not None else self.monitor
+        if monitor is None:
+            raise ConfigError(
+                "RegionWatchdog needs a monitor (constructor or call)")
+        index = report.interval_index
+        fired: list[WatchdogEvent] = []
+
+        for region in monitor.live_regions():
+            record = self._records.get(region.rid)
+            if record is None:
+                record = _RegionRecord(region=region, first_seen=index)
+                self._records[region.rid] = record
+                continue  # a region's first interval was its formation
+            n_samples = report.region_samples.get(region.rid, 0)
+            if n_samples == 0:
+                record.starved_streak += 1
+            else:
+                record.starved_streak = 0
+                detector = monitor.detector(region.rid)
+                if detector.in_stable_phase:
+                    record.unstable_streak = 0
+                else:
+                    record.unstable_streak += 1
+            event = self._maybe_trip(record, index, monitor)
+            if event is not None:
+                fired.append(event)
+
+        fired.extend(self._retry_due(index, monitor))
+        self.events.extend(fired)
+        return fired
+
+    # -- internals ------------------------------------------------------------
+
+    def _maybe_trip(self, record: _RegionRecord, index: int,
+                    monitor: RegionMonitor) -> WatchdogEvent | None:
+        config = self.config
+        if record.blacklisted or record.retry_at is not None:
+            return None
+        if record.starved_streak >= config.starvation_intervals:
+            reason = "starved"
+            streak = record.starved_streak
+        elif record.unstable_streak >= config.stuck_unstable_intervals:
+            reason = "stuck-unstable"
+            streak = record.unstable_streak
+        else:
+            return None
+
+        record.trips += 1
+        record.starved_streak = 0
+        record.unstable_streak = 0
+        monitor.reset_detector(record.region.rid)
+        if record.trips >= self.config.retry_budget:
+            record.blacklisted = True
+            if config.quarantine and record.region.rid in monitor.registry:
+                monitor.quarantine(record.region.rid)
+                record.quarantined = True
+            return WatchdogEvent(
+                interval_index=index, rid=record.region.rid,
+                action=WatchdogAction.GIVE_UP, reason=reason,
+                detail=f"streak={streak}, budget exhausted "
+                       f"after {record.trips} trips")
+
+        backoff = int(config.backoff_intervals
+                      * config.backoff_factor ** (record.trips - 1))
+        record.retry_at = index + max(backoff, 1)
+        if config.quarantine and record.region.rid in monitor.registry:
+            monitor.quarantine(record.region.rid)
+            record.quarantined = True
+        return WatchdogEvent(
+            interval_index=index, rid=record.region.rid,
+            action=WatchdogAction.DEOPTIMIZE, reason=reason,
+            detail=f"streak={streak}, trip {record.trips}/"
+                   f"{config.retry_budget}, retry at interval "
+                   f"{record.retry_at}")
+
+    def _retry_due(self, index: int,
+                   monitor: RegionMonitor) -> list[WatchdogEvent]:
+        fired: list[WatchdogEvent] = []
+        for record in self._records.values():
+            if record.retry_at is None or index < record.retry_at:
+                continue
+            record.retry_at = None
+            if record.quarantined:
+                monitor.release(record.region.rid)
+                record.quarantined = False
+            fired.append(WatchdogEvent(
+                interval_index=index, rid=record.region.rid,
+                action=WatchdogAction.RETRY, reason="backoff elapsed",
+                detail=f"trip {record.trips}/{self.config.retry_budget}"))
+        return fired
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Aggregate counters (for session summaries and logs)."""
+        return {
+            "watched_regions": len(self._records),
+            "deoptimizations": sum(
+                1 for e in self.events
+                if e.action is WatchdogAction.DEOPTIMIZE),
+            "retries": sum(1 for e in self.events
+                           if e.action is WatchdogAction.RETRY),
+            "blacklisted": sum(1 for r in self._records.values()
+                               if r.blacklisted),
+        }

@@ -34,6 +34,8 @@ from repro.costs import CostLedger
 from repro.errors import ConfigError
 from repro.monitor.region_monitor import RegionMonitor
 from repro.monitor.self_monitoring import SelfMonitor
+from repro.monitor.watchdog import (RegionWatchdog, WatchdogAction,
+                                    WatchdogConfig)
 from repro.optimizer.optimization import (DEFAULT_DEPLOY_COST, Optimization,
                                           OptimizationKind)
 from repro.optimizer.timing import RtoTiming, TimingModel
@@ -72,6 +74,11 @@ class RtoConfig:
         Thresholds for the ORIG policy's detector.
     monitor:
         Thresholds for the LPD policy's region monitor.
+    watchdog:
+        Optional watchdog/degradation policy (LPD policy only): starved
+        or stuck-unstable regions are deoptimized (their traces
+        unpatched) and retried with bounded budget and exponential
+        backoff.
     """
 
     policy: str = "lpd"
@@ -81,6 +88,7 @@ class RtoConfig:
     self_monitoring: bool = False
     gpd: GpdThresholds = field(default_factory=GpdThresholds)
     monitor: MonitorThresholds = field(default_factory=MonitorThresholds)
+    watchdog: WatchdogConfig | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in ("orig", "lpd"):
@@ -110,6 +118,8 @@ class RtoResult:
     stable_fraction:
         Fraction of intervals the driving detector called stable (GPD
         declaration for ORIG; mean per-region stable fraction for LPD).
+    n_watchdog_deopts:
+        Regions deoptimized by the watchdog (0 without a watchdog).
     """
 
     policy: str
@@ -119,6 +129,7 @@ class RtoResult:
     n_undone: int
     ledger: CostLedger
     stable_fraction: float
+    n_watchdog_deopts: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -217,7 +228,8 @@ class RTOSystem:
 
     def _finish(self, policy: str, stream: SampleStream, traces: TraceCache,
                 ledger: CostLedger, stable_fraction: float,
-                n_undone: int, buffer_size: int) -> RtoResult:
+                n_undone: int, buffer_size: int,
+                n_watchdog_deopts: int = 0) -> RtoResult:
         n_intervals = stream.n_intervals(buffer_size)
         timing_model = self._timing_model(n_intervals, buffer_size)
         active = traces.active_matrix(n_intervals, timing_model.region_order)
@@ -233,7 +245,8 @@ class RTOSystem:
                          n_deployments=traces.n_deployments,
                          n_unpatches=traces.n_unpatches,
                          n_undone=n_undone, ledger=ledger,
-                         stable_fraction=stable_fraction)
+                         stable_fraction=stable_fraction,
+                         n_watchdog_deopts=n_watchdog_deopts)
 
     def _run_orig(self, stream: SampleStream) -> RtoResult:
         buffer_size = self.config.monitor.buffer_size
@@ -265,8 +278,11 @@ class RTOSystem:
         span_index = self._span_index()
         candidates = self._candidates()
         self_monitor = SelfMonitor() if self.config.self_monitoring else None
+        watchdog = (RegionWatchdog(self.config.watchdog, monitor)
+                    if self.config.watchdog is not None else None)
         undone: set[str] = set()
         n_undone = 0
+        n_watchdog_deopts = 0
         traces = TraceCache()
 
         for interval, window in stream.intervals(buffer_size):
@@ -277,14 +293,27 @@ class RTOSystem:
                 if name is None or name not in candidates:
                     continue
                 if event.kind is PhaseEventKind.BECAME_STABLE:
-                    if name not in undone:
-                        if traces.deploy(name, interval) \
-                                and self_monitor is not None:
-                            self_monitor.mark_deployed(rid)
+                    if name in undone:
+                        continue
+                    if watchdog is not None \
+                            and not watchdog.allows_deploy(rid):
+                        continue  # backoff running or blacklisted
+                    if traces.deploy(name, interval) \
+                            and self_monitor is not None:
+                        self_monitor.mark_deployed(rid)
                 else:
                     if traces.unpatch(name, interval) \
                             and self_monitor is not None:
                         self_monitor.mark_unpatched(rid)
+            if watchdog is not None:
+                for wd_event in watchdog.observe_interval(report):
+                    if wd_event.action is WatchdogAction.RETRY:
+                        continue
+                    n_watchdog_deopts += 1
+                    region = monitor.region_record(wd_event.rid)
+                    name = span_index.get((region.start, region.end))
+                    if name is not None and name in candidates:
+                        traces.unpatch(name, interval)
             if self_monitor is not None:
                 self._self_monitor_step(monitor, traces, span_index,
                                         candidates, self_monitor, undone,
@@ -295,7 +324,8 @@ class RTOSystem:
         stable_fraction = (float(np.mean(list(fractions.values())))
                            if fractions else 0.0)
         return self._finish("lpd", stream, traces, monitor.ledger,
-                            stable_fraction, n_undone, buffer_size)
+                            stable_fraction, n_undone, buffer_size,
+                            n_watchdog_deopts=n_watchdog_deopts)
 
     def _self_monitor_step(self, monitor: RegionMonitor, traces: TraceCache,
                            span_index: dict[tuple[int, int], str],
@@ -323,16 +353,22 @@ def compare_policies(binary: SyntheticBinary,
                      regions: dict[str, RegionSpec],
                      workload: WorkloadScript, sampling_period: int,
                      seed: int = 0,
-                     config_overrides: dict | None = None
-                     ) -> tuple[RtoResult, RtoResult, float]:
+                     config_overrides: dict | None = None,
+                     fault_plan=None) -> tuple[RtoResult, RtoResult, float]:
     """Run ORIG and LPD on the same stream; return both plus the speedup.
 
     The returned float is the Figure 17 statistic: the relative speedup of
-    RTO_LPD over RTO_ORIG.
+    RTO_LPD over RTO_ORIG.  With a ``fault_plan``
+    (:class:`~repro.faults.FaultPlan`) both policies run over the same
+    *faulted* stream — the adversarial-sampling variant of the comparison.
     """
     overrides = config_overrides or {}
     stream = simulate_sampling(regions, workload, sampling_period,
                                seed=seed)
+    if fault_plan is not None:
+        from repro.faults.inject import inject
+
+        stream = inject(stream, fault_plan, seed=seed)
     orig = RTOSystem(binary, regions, workload, sampling_period,
                      RtoConfig(policy="orig", **overrides),
                      seed=seed).run(stream)

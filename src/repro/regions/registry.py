@@ -54,6 +54,24 @@ class RegionRegistry:
         self._version += 1
         return region
 
+    def reinsert(self, region: Region) -> Region:
+        """Re-register a previously removed region, keeping its id.
+
+        Used by the watchdog's quarantine/release cycle: a quarantined
+        region keeps its identity (detector, statistics) across the
+        excursion through the UCR.
+        """
+        if region.rid in self._regions:
+            raise RegionError(f"region id {region.rid} is already live")
+        if self.has_span(region.start, region.end):
+            raise RegionError(
+                f"span [{region.start:#x}, {region.end:#x}) is already "
+                f"monitored")
+        self._regions[region.rid] = region
+        self._next_rid = max(self._next_rid, region.rid + 1)
+        self._version += 1
+        return region
+
     # -- queries ------------------------------------------------------------
 
     @property

@@ -1,0 +1,110 @@
+"""Detector-hardening tests: NaN-safe Pearson and starvation gates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import pearson_r, pearson_r_strict
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.lpd import LocalPhaseDetector
+from repro.core.thresholds import GpdThresholds, LpdThresholds
+from repro.errors import ConfigError
+
+
+class TestNanSafePearson:
+    def test_nan_input_is_undefined_not_nan(self):
+        x = np.array([1.0, float("nan"), 3.0])
+        y = np.array([1.0, 2.0, 3.0])
+        assert pearson_r_strict(x, y) is None
+        assert pearson_r(x, y) == 0.0  # degenerate fallback, never NaN
+
+    def test_inf_input_is_undefined(self):
+        x = np.array([1.0, float("inf"), 3.0])
+        assert pearson_r_strict(x, x) is None
+
+    def test_finite_inputs_unaffected(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([2.0, 4.0, 6.0, 8.0])
+        assert pearson_r_strict(x, y) == pytest.approx(1.0)
+
+
+class TestLpdStarvationGate:
+    def test_min_interval_samples_validated(self):
+        with pytest.raises(ConfigError):
+            LpdThresholds(min_interval_samples=0)
+
+    def test_starved_interval_holds_state(self):
+        thresholds = LpdThresholds(min_interval_samples=8)
+        detector = LocalPhaseDetector(n_instructions=16,
+                                      thresholds=thresholds)
+        full = np.zeros(16)
+        full[3] = 40.0
+        starved = np.zeros(16)
+        starved[3] = 2.0  # samples present, but under the gate
+        for index in range(10):
+            detector.observe(full, index)
+        assert detector.in_stable_phase
+        events_before = detector.phase_change_count()
+        for index in range(10, 20):
+            detector.observe(starved, index)
+        # Insufficient data: the verdict holds, no spurious transitions.
+        assert detector.in_stable_phase
+        assert detector.phase_change_count() == events_before
+
+    def test_default_gate_keeps_seed_behavior(self):
+        default = LocalPhaseDetector(n_instructions=16)
+        gated = LocalPhaseDetector(n_instructions=16,
+                                   thresholds=LpdThresholds(
+                                       min_interval_samples=1))
+        rng = np.random.default_rng(0)
+        for index in range(20):
+            counts = rng.integers(0, 20, size=16).astype(float)
+            default.observe(counts, index)
+            gated.observe(counts, index)
+        assert default.state is gated.state
+        assert default.phase_change_count() == gated.phase_change_count()
+
+    def test_reset_returns_to_unstable(self):
+        detector = LocalPhaseDetector(n_instructions=16)
+        full = np.zeros(16)
+        full[5] = 30.0
+        for index in range(10):
+            detector.observe(full, index)
+        assert detector.in_stable_phase
+        changes = detector.phase_change_count()
+        detector.reset()
+        assert not detector.in_stable_phase
+        assert detector.phase_change_count() == changes  # history kept
+
+
+class TestGpdStarvationGate:
+    def test_min_buffer_samples_validated(self):
+        with pytest.raises(ConfigError):
+            GpdThresholds(min_buffer_samples=0)
+
+    def test_starved_buffer_does_not_move_centroid(self):
+        thresholds = GpdThresholds(min_buffer_samples=4)
+        detector = GlobalPhaseDetector(thresholds)
+        buffer = np.full(64, 0x4000, dtype=np.int64)
+        for _ in range(10):
+            detector.observe_buffer(buffer)
+        state_before = detector.state
+        for _ in range(5):
+            detector.observe_buffer(np.array([1], dtype=np.int64))
+        assert detector.state is state_before
+        starved = detector.observations[-1]
+        assert math.isnan(starved.centroid_value)
+        assert starved.event is None
+
+    def test_non_finite_centroid_routed_to_starved(self):
+        detector = GlobalPhaseDetector()
+        detector.observe_centroid(0x4000)
+        event = detector.observe_centroid(float("nan"))
+        assert event is None
+        assert math.isnan(detector.observations[-1].centroid_value)
+
+    def test_empty_buffer_does_not_crash(self):
+        detector = GlobalPhaseDetector()
+        assert detector.observe_buffer(
+            np.array([], dtype=np.int64)) is None

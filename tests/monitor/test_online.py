@@ -131,3 +131,59 @@ class TestConfiguration:
                                 attribution="tree")
         session.feed_stream(stream)
         assert session.monitor.ledger.tree_maintenance_ops > 0
+
+
+class TestFeedValidation:
+    def test_feed_many_rejects_2d(self):
+        from repro.errors import SamplingError
+
+        binary, _ = build_setup()
+        session = OnlineSession(binary, thresholds(), run_gpd=False)
+        with pytest.raises(SamplingError):
+            session.feed_many(np.zeros((4, 4), dtype=np.int64))
+
+    def test_feed_many_rejects_empty(self):
+        from repro.errors import SamplingError
+
+        binary, _ = build_setup()
+        session = OnlineSession(binary, thresholds(), run_gpd=False)
+        with pytest.raises(SamplingError):
+            session.feed_many(np.array([], dtype=np.int64))
+
+    def test_feed_many_rejects_float_pcs(self):
+        from repro.errors import SamplingError
+
+        binary, _ = build_setup()
+        session = OnlineSession(binary, thresholds(), run_gpd=False)
+        with pytest.raises(SamplingError):
+            session.feed_many(np.array([1.5, 2.5]))
+
+    def test_feed_many_accepts_any_int_dtype(self):
+        binary, _ = build_setup()
+        session = OnlineSession(binary, thresholds(), run_gpd=False)
+        session.feed_many(np.full(4, 0x20010, dtype=np.int32))
+        assert session.stats.samples == 4
+
+    def test_feed_stream_rejects_non_stream(self):
+        from repro.errors import SamplingError
+
+        binary, _ = build_setup()
+        session = OnlineSession(binary, thresholds(), run_gpd=False)
+        with pytest.raises(SamplingError):
+            session.feed_stream(np.full(4, 0x20010, dtype=np.int64))
+
+    def test_feed_stream_rejects_empty_stream(self):
+        from repro.errors import SamplingError
+        from repro.sampling.events import SampleStream
+
+        binary, stream = build_setup()
+        empty = SampleStream(
+            pcs=np.array([], dtype=np.int64),
+            cycles=np.array([], dtype=np.int64),
+            dcache_miss=np.array([], dtype=np.float64),
+            region_ids=np.array([], dtype=np.int64),
+            region_names=stream.region_names,
+            sampling_period=stream.sampling_period, total_cycles=0)
+        session = OnlineSession(binary, thresholds(), run_gpd=False)
+        with pytest.raises(SamplingError):
+            session.feed_stream(empty)

@@ -1,0 +1,225 @@
+"""Watchdog tests: starvation/stuck-region degradation and recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import MonitorThresholds
+from repro.errors import ConfigError
+from repro.monitor import (OnlineSession, RegionMonitor, RegionWatchdog,
+                           WatchdogAction, WatchdogConfig)
+from repro.program.binary import BinaryBuilder, loop, straight
+
+
+def tiny_binary():
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("p", [loop("l", body=12), straight(4)], at=0x20000)
+    return builder.build()
+
+
+def make_monitor(buffer_size=8):
+    binary = tiny_binary()
+    return binary, RegionMonitor(binary,
+                                 MonitorThresholds(buffer_size=buffer_size))
+
+
+def hot_pcs(binary, size=8, seed=0):
+    span = binary.loop_span("l")
+    rng = np.random.default_rng(seed)
+    return (span[0] + 4 * rng.integers(0, 12, size=size)).astype(np.int64)
+
+
+EMPTY = np.array([], dtype=np.int64)
+
+
+class TestWatchdogConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WatchdogConfig(starvation_intervals=0)
+        with pytest.raises(ConfigError):
+            WatchdogConfig(stuck_unstable_intervals=0)
+        with pytest.raises(ConfigError):
+            WatchdogConfig(retry_budget=0)
+        with pytest.raises(ConfigError):
+            WatchdogConfig(backoff_intervals=0)
+        with pytest.raises(ConfigError):
+            WatchdogConfig(backoff_factor=0.5)
+
+    def test_needs_a_monitor(self):
+        watchdog = RegionWatchdog(WatchdogConfig())
+        with pytest.raises(ConfigError):
+            watchdog.observe_interval(object())
+
+
+class TestStarvation:
+    def form_then_starve(self, config, n_starved):
+        binary, monitor = make_monitor()
+        watchdog = RegionWatchdog(config, monitor)
+        hot = hot_pcs(binary)
+        events = []
+        index = 0
+        report = monitor.process_interval(hot, index)
+        events += watchdog.observe_interval(report)
+        rid = monitor.live_regions()[0].rid
+        for _ in range(n_starved):
+            index += 1
+            report = monitor.process_interval(EMPTY, index)
+            events += watchdog.observe_interval(report)
+        return monitor, watchdog, rid, events, index
+
+    def test_trips_after_streak(self):
+        config = WatchdogConfig(starvation_intervals=3,
+                                backoff_intervals=100)
+        monitor, watchdog, rid, events, _ = self.form_then_starve(config, 3)
+        assert [e.action for e in events] == [WatchdogAction.DEOPTIMIZE]
+        assert events[0].rid == rid
+        assert events[0].reason == "starved"
+        assert watchdog.trip_count(rid) == 1
+        assert not watchdog.allows_deploy(rid)
+        # Quarantined: out of the live set but still fully queryable.
+        assert monitor.live_regions() == []
+        assert monitor.region_record(rid).rid == rid
+        assert not monitor.detector(rid).in_stable_phase
+
+    def test_no_trip_below_streak(self):
+        config = WatchdogConfig(starvation_intervals=4)
+        _, watchdog, rid, events, _ = self.form_then_starve(config, 3)
+        assert events == []
+        assert watchdog.allows_deploy(rid)
+
+    def test_retry_after_backoff_restores_region(self):
+        config = WatchdogConfig(starvation_intervals=2,
+                                backoff_intervals=3, retry_budget=5)
+        monitor, watchdog, rid, events, index = self.form_then_starve(
+            config, 2)
+        assert monitor.live_regions() == []
+        retried = []
+        for _ in range(4):
+            index += 1
+            report = monitor.process_interval(EMPTY, index)
+            retried += watchdog.observe_interval(report)
+        assert [e.action for e in retried] == [WatchdogAction.RETRY]
+        assert monitor.live_regions()[0].rid == rid
+        assert watchdog.allows_deploy(rid)
+
+    def test_backoff_grows_exponentially(self):
+        config = WatchdogConfig(starvation_intervals=2,
+                                backoff_intervals=2, backoff_factor=2.0,
+                                retry_budget=10)
+        monitor, watchdog, rid, events, index = self.form_then_starve(
+            config, 40)
+        deopts = [e for e in watchdog.events
+                  if e.action is WatchdogAction.DEOPTIMIZE]
+        retries = [e for e in watchdog.events
+                   if e.action is WatchdogAction.RETRY]
+        assert len(deopts) >= 3
+        # Gap between trip k and its retry: 2 * 2**(k-1) intervals.
+        gaps = [r.interval_index - d.interval_index
+                for d, r in zip(deopts, retries)]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_quarantine_false_keeps_region_live(self):
+        config = WatchdogConfig(starvation_intervals=2,
+                                backoff_intervals=100, quarantine=False)
+        monitor, watchdog, rid, events, _ = self.form_then_starve(config, 2)
+        assert [e.action for e in events] == [WatchdogAction.DEOPTIMIZE]
+        assert monitor.live_regions()[0].rid == rid  # still monitored
+        assert not watchdog.allows_deploy(rid)       # but not deployable
+
+
+class TestStuckUnstableIntegration:
+    """A region that keeps sampling but never stabilizes must burn
+    through the whole retry budget and end blacklisted."""
+
+    def run_flapping(self, config, n_intervals=120):
+        binary, monitor = make_monitor(buffer_size=8)
+        watchdog = RegionWatchdog(config, monitor)
+        span = binary.loop_span("l")
+        # Alternating single-slot histograms: consecutive intervals never
+        # correlate, so the detector can never leave UNSTABLE.
+        slot_a = np.full(8, span[0] + 0, dtype=np.int64)
+        slot_b = np.full(8, span[0] + 4 * 9, dtype=np.int64)
+        for index in range(n_intervals):
+            pcs = slot_a if index % 2 == 0 else slot_b
+            report = monitor.process_interval(pcs, index)
+            watchdog.observe_interval(report)
+        return monitor, watchdog
+
+    def test_retry_budget_exhausted(self):
+        config = WatchdogConfig(starvation_intervals=50,
+                                stuck_unstable_intervals=5,
+                                retry_budget=3, backoff_intervals=2,
+                                backoff_factor=2.0)
+        monitor, watchdog = self.run_flapping(config)
+        actions = [e.action for e in watchdog.events]
+        assert actions.count(WatchdogAction.DEOPTIMIZE) == 2
+        assert actions.count(WatchdogAction.RETRY) == 2
+        assert actions.count(WatchdogAction.GIVE_UP) == 1
+        # Trip order: deopt, retry, deopt, retry, give up.
+        assert actions[-1] is WatchdogAction.GIVE_UP
+        rid = watchdog.events[-1].rid
+        assert watchdog.is_blacklisted(rid)
+        assert watchdog.trip_count(rid) == 3
+        assert not watchdog.allows_deploy(rid)
+        # Blacklisted and quarantined for good: the formation veto keeps
+        # the span from re-forming even though its samples stay hot.
+        assert monitor.live_regions() == []
+        summary = watchdog.summary()
+        assert summary["blacklisted"] == 1
+        assert summary["deoptimizations"] == 2
+        assert summary["retries"] == 2
+
+    def test_stable_region_never_trips(self):
+        binary, monitor = make_monitor(buffer_size=8)
+        config = WatchdogConfig(stuck_unstable_intervals=3,
+                                starvation_intervals=3)
+        watchdog = RegionWatchdog(config, monitor)
+        hot = hot_pcs(binary)
+        for index in range(30):
+            report = monitor.process_interval(hot, index)
+            watchdog.observe_interval(report)
+        assert watchdog.events == []
+        assert monitor.live_regions()
+
+
+class TestOnlineSessionIntegration:
+    def test_session_records_watchdog_events(self):
+        binary = tiny_binary()
+        session = OnlineSession(
+            binary=binary, run_gpd=False,
+            monitor_thresholds=MonitorThresholds(buffer_size=8),
+            watchdog=WatchdogConfig(starvation_intervals=2,
+                                    backoff_intervals=2, retry_budget=2))
+        hot = hot_pcs(binary, size=8)
+        session.feed_many(hot)  # forms the region
+        cold = np.full(8 * 12, 0x9000000, dtype=np.int64)
+        session.feed_many(cold)  # starves it
+        actions = [e.action for e in session.watchdog_events]
+        assert WatchdogAction.DEOPTIMIZE in actions
+        assert "watchdog" in session.summary()
+
+    def test_session_without_watchdog_has_no_summary_key(self):
+        binary = tiny_binary()
+        session = OnlineSession(
+            binary=binary, run_gpd=False,
+            monitor_thresholds=MonitorThresholds(buffer_size=8))
+        session.feed_many(hot_pcs(binary))
+        assert session.watchdog is None
+        assert "watchdog" not in session.summary()
+
+
+class TestRtoIntegration:
+    def test_watchdog_run_completes_and_counts_deopts(self):
+        from repro.faults import FaultPlan, SampleDrop
+        from repro.optimizer import compare_policies
+        from repro.program.spec2000 import get_benchmark
+
+        model = get_benchmark("164.gzip", scale=0.05)
+        orig, lpd, speedup = compare_policies(
+            model.binary, model.regions, model.workload, 45_000, seed=7,
+            config_overrides={"watchdog": WatchdogConfig(
+                starvation_intervals=4, retry_budget=2,
+                backoff_intervals=4)},
+            fault_plan=FaultPlan((SampleDrop(rate=0.2, burst_mean=4.0),)))
+        assert lpd.n_watchdog_deopts >= 0
+        assert orig.n_watchdog_deopts == 0  # orig policy has no watchdog
+        assert np.isfinite(speedup)

@@ -1,0 +1,159 @@
+"""Property-based tests for the fault-injection subsystem (hypothesis).
+
+Pins the injector's contract: a plan is a pure function of
+``(stream, plan, seed)``; cycle stamps stay monotone; PCs stay inside
+the stream's observed text range unless the plan corrupts bits; and the
+empty / all-no-op plan is byte-identical (the same object, even).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (DuplicateSamples, FaultPlan, InterruptStall,
+                          PcBitCorruption, PcSkid, PeriodDrift,
+                          PeriodJitter, SampleDrop, inject)
+from repro.program.behavior import RegionSpec
+from repro.program.workload import Steady, WorkloadScript, mixture
+from repro.sampling.pmu import simulate_sampling
+
+REGIONS = {
+    "a": RegionSpec("a", 0x1000, 0x1200),
+    "b": RegionSpec("b", 0x9000, 0x9200),
+}
+SCRIPT = WorkloadScript([Steady(3_000_000,
+                                mixture(("a", 0.5), ("b", 0.5)))])
+
+_STREAM_CACHE: dict[int, object] = {}
+
+
+def stream_for_seed(seed: int):
+    if seed not in _STREAM_CACHE:
+        _STREAM_CACHE[seed] = simulate_sampling(REGIONS, SCRIPT, 1000,
+                                                seed=seed)
+    return _STREAM_CACHE[seed]
+
+
+rates = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+positive_rates = st.floats(min_value=0.01, max_value=0.5, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=500)
+
+
+@st.composite
+def fault_plans(draw, with_corruption=True):
+    """An arbitrary valid plan of 0-4 specs."""
+    choices = [
+        lambda: SampleDrop(rate=draw(rates),
+                           burst_mean=draw(st.floats(1.0, 8.0))),
+        lambda: PcSkid(distribution=draw(st.sampled_from(
+            ["gaussian", "exponential"])),
+            scale=draw(st.floats(0.0, 10.0))),
+        lambda: PeriodJitter(fraction=draw(st.floats(0.0, 0.45))),
+        lambda: PeriodDrift(rate=draw(st.floats(-0.5, 2.0))),
+        lambda: DuplicateSamples(rate=draw(rates)),
+        lambda: InterruptStall(rate=draw(rates),
+                               max_window=draw(st.integers(2, 6))),
+    ]
+    if with_corruption:
+        choices.append(lambda: PcBitCorruption(
+            rate=draw(rates), bit_width=draw(st.integers(1, 30))))
+    n_specs = draw(st.integers(min_value=0, max_value=4))
+    makers = draw(st.lists(st.sampled_from(choices), min_size=n_specs,
+                           max_size=n_specs))
+    return FaultPlan(tuple(maker() for maker in makers))
+
+
+def assert_streams_equal(first, second):
+    assert np.array_equal(first.pcs, second.pcs)
+    assert np.array_equal(first.cycles, second.cycles)
+    assert np.array_equal(first.dcache_miss, second.dcache_miss)
+    assert np.array_equal(first.region_ids, second.region_ids)
+    if first.instr_delta is None:
+        assert second.instr_delta is None
+    else:
+        assert np.array_equal(first.instr_delta, second.instr_delta)
+
+
+class TestInjectorDeterminism:
+    @given(fault_plans(), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_output(self, plan, seed):
+        stream = stream_for_seed(0)
+        assert_streams_equal(inject(stream, plan, seed=seed),
+                             inject(stream, plan, seed=seed))
+
+    @given(fault_plans())
+    @settings(max_examples=20, deadline=None)
+    def test_token_roundtrip_preserves_output(self, plan):
+        stream = stream_for_seed(0)
+        rebuilt = FaultPlan.from_token(plan.token())
+        assert_streams_equal(inject(stream, plan, seed=3),
+                             inject(stream, rebuilt, seed=3))
+
+
+class TestStreamInvariants:
+    @given(fault_plans(), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_stay_monotone(self, plan, seed):
+        stream = stream_for_seed(1)
+        out = inject(stream, plan, seed=seed)
+        assert np.all(np.diff(out.cycles) >= 0)
+
+    @given(fault_plans(with_corruption=False), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_pcs_stay_in_text_range_without_corruption(self, plan, seed):
+        stream = stream_for_seed(1)
+        out = inject(stream, plan, seed=seed)
+        assert not plan.allows_corruption
+        if out.n_samples:
+            assert out.pcs.min() >= stream.pcs.min()
+            assert out.pcs.max() <= stream.pcs.max()
+
+    @given(fault_plans(), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_arrays_stay_parallel(self, plan, seed):
+        stream = stream_for_seed(1)
+        out = inject(stream, plan, seed=seed)
+        n = out.n_samples
+        assert out.cycles.size == n
+        assert out.dcache_miss.size == n
+        assert out.region_ids.size == n
+        if out.instr_delta is not None:
+            assert out.instr_delta.size == n
+
+
+class TestNoOpPlans:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_empty_plan_returns_same_object(self, seed):
+        stream = stream_for_seed(2)
+        assert inject(stream, FaultPlan(()), seed=seed) is stream
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_zero_rate_plan_returns_same_object(self, seed):
+        stream = stream_for_seed(2)
+        plan = FaultPlan((SampleDrop(rate=0.0), PcSkid(scale=0.0),
+                          PeriodJitter(fraction=0.0),
+                          DuplicateSamples(rate=0.0),
+                          PcBitCorruption(rate=0.0),
+                          InterruptStall(rate=0.0)))
+        assert inject(stream, plan, seed=seed) is stream
+
+    @given(fault_plans(), seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_downstream_pipeline_never_crashes(self, plan, seed):
+        # The monitor must degrade through any valid faulted stream.
+        from repro.core import MonitorThresholds
+        from repro.monitor import RegionMonitor
+        from repro.program import BinaryBuilder
+        from repro.program.binary import loop
+
+        stream = stream_for_seed(3)
+        out = inject(stream, plan, seed=seed)
+        builder = BinaryBuilder()
+        builder.procedure("a", [loop("la", body=120)], at=0x1000)
+        builder.procedure("b", [loop("lb", body=120)], at=0x9000)
+        monitor = RegionMonitor(builder.build(),
+                                MonitorThresholds(buffer_size=256))
+        monitor.process_stream(out)  # must not raise
