@@ -66,6 +66,7 @@ def slim_snapshot(payload: dict) -> dict:
             "extra_info": bench.get("extra_info", {}),
         }
     return {
+        # repro: allow[wall-clock] metadata stamp, excluded from comparison
         "datetime": datetime.datetime.now(
             datetime.timezone.utc).isoformat(),
         "git_rev": _git_rev(),
@@ -163,6 +164,7 @@ def main(argv: list[str] | None = None) -> int:
         print("no previous snapshot; recording the first trajectory point")
 
     if not args.dry_run:
+        # repro: allow[wall-clock] output filename stamp only
         stamp = datetime.datetime.now().strftime("%Y%m%d-%H%M%S")
         out_path = os.path.join(REPO_ROOT, f"BENCH_{stamp}.json")
         with open(out_path, "w") as handle:

@@ -5,7 +5,8 @@ from repro.optimizer import compare_policies
 
 scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
 periods = (100_000, 800_000, 1_500_000)
-print(f"{'benchmark':<12}" + "".join(f"{p//1000:>8}k" for p in periods) + "   (orig stable% / lpd stable%)")
+header = "".join(f"{p//1000:>8}k" for p in periods)
+print(f"{'benchmark':<12}" + header + "   (orig stable% / lpd stable%)")
 for name in FIG17_BENCHMARKS:
     model = get_benchmark(name, scale)
     row = f"{name:<12}"

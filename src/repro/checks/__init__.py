@@ -1,0 +1,34 @@
+"""``repro-check``: the repo's custom static-analysis suite.
+
+Three pass families guard the bit-identical reproduction contract:
+
+* :mod:`repro.checks.determinism` — AST lint against unseeded RNGs,
+  wall-clock reads, hash-order set iteration, and float ``==``;
+* :mod:`repro.checks.cachekeys` — audit that every simulation input is
+  represented in its memoization key;
+* :mod:`repro.checks.statemachine` — model checker proving the
+  LPD/GPD implementations complete, deterministic, and equivalent to
+  the declarative Figure 12 / Figure 1 transition tables.
+
+Run ``repro-check`` (or ``python -m repro.checks.cli``) at the repo root;
+see :mod:`repro.checks.cli` for the flag reference, inline
+``# repro: allow[rule]`` suppressions, and the baseline workflow.
+"""
+
+from repro.checks.baseline import Baseline
+from repro.checks.findings import Finding, Severity, sort_findings
+from repro.checks.registry import (ALL_RULES, DEFAULT_PATHS, CheckReport,
+                                   run_checks)
+from repro.checks.suppress import SuppressionIndex
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "CheckReport",
+    "DEFAULT_PATHS",
+    "Finding",
+    "Severity",
+    "SuppressionIndex",
+    "run_checks",
+    "sort_findings",
+]

@@ -1,0 +1,88 @@
+"""Baseline file support: grandfathering pre-existing findings.
+
+The baseline is a JSON file (``repro-check-baseline.json`` at the repo
+root by convention) listing fingerprints of accepted findings.  A run
+fails only on findings *not* in the baseline; baselined findings that no
+longer occur are reported as stale so the file shrinks monotonically.
+``repro-check --write-baseline`` regenerates it from the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checks.findings import Finding
+from repro.errors import ConfigError
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings ledger.
+
+    Attributes
+    ----------
+    entries:
+        ``fingerprint -> short description`` of each accepted finding
+        (the description is informational; matching is by fingerprint).
+    """
+
+    entries: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unreadable baseline file {path}: {exc}")
+        if data.get("version") != BASELINE_VERSION:
+            raise ConfigError(
+                f"baseline file {path} has unsupported version "
+                f"{data.get('version')!r} (expected {BASELINE_VERSION})")
+        entries = data.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ConfigError(f"baseline file {path}: 'findings' must be "
+                              f"a fingerprint -> description object")
+        return cls(entries=dict(entries))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Build a baseline accepting exactly the given findings."""
+        return cls(entries={
+            f.fingerprint(): f.render() for f in findings})
+
+    def write(self, path: Path) -> None:
+        """Serialize, keys sorted so the file diffs cleanly."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(self.entries.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                        + "\n", encoding="utf-8")
+
+    def split(self, findings: list[Finding]) -> tuple[
+            list[Finding], list[Finding], list[str]]:
+        """Partition *findings* against the baseline.
+
+        Returns ``(new, accepted, stale)``: findings not in the baseline,
+        findings the baseline grandfathers, and baseline fingerprints that
+        matched nothing (candidates for removal).
+        """
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            fp = finding.fingerprint()
+            if fp in self.entries:
+                accepted.append(finding)
+                seen.add(fp)
+            else:
+                new.append(finding)
+        stale = [fp for fp in self.entries if fp not in seen]
+        return new, accepted, stale

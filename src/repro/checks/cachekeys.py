@@ -1,0 +1,237 @@
+"""Cache-key audit: every knob that shapes a run must be in its key.
+
+The PR-2 bug class this guards against: a simulation helper grows a new
+input (a config field, a parameter, a fault knob) that changes the
+computed artifact but is *not* part of the ``StreamKey``/``GpdKey``/
+``MonitorKey`` it is cached under — so stale artifacts are silently
+served.  Three static rules:
+
+``cache-key-field``
+    In ``experiments/base.py``, every parameter of a helper that builds a
+    ``*Key`` — and every ``config.<field>`` the helper reads — must appear
+    inside the key constructor call.
+``cache-key-no-faults``
+    Every key dataclass in ``experiments/cache.py`` (and ``WarmTask``)
+    must carry a ``faults`` field, and derived keys (``GpdKey``,
+    ``MonitorKey``) must contain every field of ``StreamKey`` — an
+    artifact's key cannot be coarser than its input stream's.
+``fault-token-incomplete``
+    A ``FaultSpec`` subclass in ``faults/model.py`` that overrides
+    ``token()`` must mention every one of its dataclass fields; the
+    inherited ``token()`` enumerates ``fields(self)`` and is always safe.
+
+All three are pure AST analyses — nothing is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.checks.findings import Finding, Severity
+
+__all__ = ["audit_cache_keys", "audit_base_helpers", "audit_key_classes",
+           "audit_fault_tokens"]
+
+
+def _parse(path: Path) -> ast.Module | None:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"),
+                         filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[str]:
+    """Names of the annotated fields of a dataclass body."""
+    return [stmt.target.id for stmt in cls.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)]
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _config_attrs_in(node: ast.AST, config_names: set[str]) -> set[str]:
+    return {n.attr for n in ast.walk(node)
+            if isinstance(n, ast.Attribute)
+            and isinstance(n.value, ast.Name)
+            and n.value.id in config_names}
+
+
+def audit_key_classes(cache_path: Path, rel: str) -> tuple[
+        list[Finding], set[str]]:
+    """Check the key dataclasses; return findings and the key class names."""
+    findings: list[Finding] = []
+    tree = _parse(cache_path)
+    if tree is None:
+        return findings, set()
+
+    key_classes: dict[str, ast.ClassDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and (
+                node.name.endswith("Key") or node.name == "WarmTask"):
+            key_classes[node.name] = node
+
+    for name, cls in key_classes.items():
+        if "faults" not in _dataclass_fields(cls):
+            findings.append(Finding(
+                rule="cache-key-no-faults", severity=Severity.ERROR,
+                path=rel, line=cls.lineno,
+                message=f"{name} has no 'faults' field: faulted and ideal "
+                        f"artifacts of the same run would collide"))
+
+    stream = key_classes.get("StreamKey")
+    if stream is not None:
+        stream_fields = set(_dataclass_fields(stream))
+        for derived in ("GpdKey", "MonitorKey"):
+            cls = key_classes.get(derived)
+            if cls is None:
+                continue
+            missing = stream_fields - set(_dataclass_fields(cls))
+            if missing:
+                findings.append(Finding(
+                    rule="cache-key-no-faults", severity=Severity.ERROR,
+                    path=rel, line=cls.lineno,
+                    message=f"{derived} lacks StreamKey field(s) "
+                            f"{sorted(missing)}: a derived artifact's key "
+                            f"cannot be coarser than its stream's"))
+    return findings, set(key_classes) - {"WarmTask"}
+
+
+def audit_base_helpers(base_path: Path, rel: str,
+                       key_names: set[str]) -> list[Finding]:
+    """Check that simulation helpers key on everything they consume."""
+    findings: list[Finding] = []
+    tree = _parse(base_path)
+    if tree is None:
+        return findings
+
+    for func in tree.body:
+        if not isinstance(func, ast.FunctionDef):
+            continue
+        key_calls = [node for node in ast.walk(func)
+                     if isinstance(node, ast.Call)
+                     and isinstance(node.func, ast.Name)
+                     and node.func.id in key_names]
+        if not key_calls:
+            continue
+        key_call = key_calls[0]
+
+        params = [a.arg for a in (func.args.posonlyargs + func.args.args
+                                  + func.args.kwonlyargs)]
+        config_names = {p for p in params if "config" in p.lower()}
+
+        keyed_names: set[str] = set()
+        keyed_config_attrs: set[str] = set()
+        for kw in key_call.keywords:
+            keyed_names |= _names_in(kw.value)
+            keyed_config_attrs |= _config_attrs_in(kw.value, config_names)
+
+        # A parameter may flow into the key through a local, e.g.
+        # ``faults = _fault_token(plan)`` then ``faults=faults``: chase
+        # single-target assignments to a fixpoint.
+        assigns = [stmt for stmt in ast.walk(func)
+                   if isinstance(stmt, ast.Assign)
+                   and len(stmt.targets) == 1
+                   and isinstance(stmt.targets[0], ast.Name)]
+        changed = True
+        while changed:
+            changed = False
+            for stmt in assigns:
+                if stmt.targets[0].id in keyed_names:
+                    rhs_names = _names_in(stmt.value)
+                    if not rhs_names <= keyed_names:
+                        keyed_names |= rhs_names
+                        keyed_config_attrs |= _config_attrs_in(
+                            stmt.value, config_names)
+                        changed = True
+
+        for param in params:
+            if param in keyed_names:
+                continue
+            findings.append(Finding(
+                rule="cache-key-field", severity=Severity.ERROR,
+                path=rel, line=func.lineno,
+                message=f"{func.name}() parameter '{param}' does not "
+                        f"appear in its {key_call.func.id}: a caller can "
+                        f"vary it without invalidating the cache"))
+
+        read_attrs = _config_attrs_in(func, config_names)
+        for attr in sorted(read_attrs - keyed_config_attrs):
+            findings.append(Finding(
+                rule="cache-key-field", severity=Severity.ERROR,
+                path=rel, line=func.lineno,
+                message=f"{func.name}() reads config.{attr} but its "
+                        f"{key_call.func.id} does not include it; stale "
+                        f"artifacts would be served across {attr} values"))
+    return findings
+
+
+def audit_fault_tokens(model_path: Path, rel: str) -> list[Finding]:
+    """Check FaultSpec subclasses that override ``token()``."""
+    findings: list[Finding] = []
+    tree = _parse(model_path)
+    if tree is None:
+        return findings
+
+    kinds: dict[str, str] = {}
+    for cls in tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        bases = {b.id for b in cls.bases if isinstance(b, ast.Name)}
+        if "FaultSpec" not in bases:
+            continue
+
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "kind"
+                            for t in stmt.targets)
+                    and isinstance(stmt.value, ast.Constant)):
+                kind = str(stmt.value.value)
+                if kind in kinds:
+                    findings.append(Finding(
+                        rule="fault-kind-collision", severity=Severity.ERROR,
+                        path=rel, line=cls.lineno,
+                        message=f"{cls.name} reuses kind '{kind}' already "
+                                f"taken by {kinds[kind]}: their cache "
+                                f"tokens would be indistinguishable"))
+                else:
+                    kinds[kind] = cls.name
+
+        token_def = next((stmt for stmt in cls.body
+                          if isinstance(stmt, ast.FunctionDef)
+                          and stmt.name == "token"), None)
+        if token_def is None:
+            continue  # inherited token() enumerates fields(self): safe
+        mentioned = {n.attr for n in ast.walk(token_def)
+                     if isinstance(n, ast.Attribute)}
+        mentioned |= {n.value for n in ast.walk(token_def)
+                      if isinstance(n, ast.Constant)
+                      and isinstance(n.value, str)}
+        for field_name in _dataclass_fields(cls):
+            if field_name not in mentioned:
+                findings.append(Finding(
+                    rule="fault-token-incomplete", severity=Severity.ERROR,
+                    path=rel, line=token_def.lineno,
+                    message=f"{cls.name}.token() omits field "
+                            f"'{field_name}': two specs differing only in "
+                            f"{field_name} would share a cache key"))
+    return findings
+
+
+def audit_cache_keys(repo_root: Path) -> list[Finding]:
+    """Run all three cache-key rules against the repo's source tree."""
+    src = repo_root / "src" / "repro"
+    findings: list[Finding] = []
+    cache_rel = "src/repro/experiments/cache.py"
+    key_findings, key_names = audit_key_classes(
+        src / "experiments" / "cache.py", cache_rel)
+    findings += key_findings
+    findings += audit_base_helpers(
+        src / "experiments" / "base.py", "src/repro/experiments/base.py",
+        key_names or {"StreamKey", "GpdKey", "MonitorKey"})
+    findings += audit_fault_tokens(
+        src / "faults" / "model.py", "src/repro/faults/model.py")
+    return findings

@@ -1,0 +1,136 @@
+"""The ``repro-check`` command-line entry point.
+
+Usage::
+
+    repro-check                         # lint src/ and scripts/, all passes
+    repro-check --format json           # machine-readable findings
+    repro-check --write-baseline        # grandfather the current findings
+    repro-check --rules unseeded-rng,wall-clock src/repro/faults
+    repro-check --list-rules
+
+Exit status: 0 when no *new* (non-baselined, non-suppressed) findings
+exist, 1 when there are new findings, 2 on a configuration error.  Stale
+baseline entries are reported but do not fail the run — remove them with
+``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.checks.baseline import Baseline
+from repro.checks.registry import (ALL_RULES, DEFAULT_PATHS, CheckReport,
+                                   run_checks)
+from repro.errors import ConfigError
+
+DEFAULT_BASELINE = "repro-check-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Static-analysis suite guarding the repo's "
+                    "bit-identical reproduction contract.")
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files or directories to scan (default: "
+             f"{' '.join(DEFAULT_PATHS)})")
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root the scan is relative to (default: cwd)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE} at the root, if present)")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline file and exit")
+    parser.add_argument(
+        "--rules", default=None, metavar="R1,R2",
+        help="comma-separated rule ids to restrict the run to")
+    parser.add_argument(
+        "--no-model-checker", action="store_true",
+        help="skip the LPD/GPD state-machine model checker")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with a one-line description and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.list_rules:
+        width = max(len(rule) for rule in ALL_RULES)
+        for rule, description in sorted(ALL_RULES.items()):
+            print(f"{rule:<{width}}  {description}", file=out)
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"repro-check: root {args.root!r} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    rules: set[str] | None = None
+    if args.rules:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = rules - set(ALL_RULES)
+        if unknown:
+            print(f"repro-check: unknown rule(s) {sorted(unknown)}; "
+                  f"see --list-rules", file=sys.stderr)
+            return 2
+
+    paths = tuple(args.paths) if args.paths else DEFAULT_PATHS
+    baseline_path = root / (args.baseline or DEFAULT_BASELINE)
+
+    try:
+        findings = run_checks(root, paths=paths, rules=rules,
+                              model_checker=not args.no_model_checker)
+    except ConfigError as exc:
+        print(f"repro-check: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).write(baseline_path)
+        print(f"repro-check: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}", file=out)
+        return 0
+
+    try:
+        baseline = Baseline.load(baseline_path)
+    except ConfigError as exc:
+        print(f"repro-check: {exc}", file=sys.stderr)
+        return 2
+    report = CheckReport(findings, baseline)
+
+    if args.format == "json":
+        json.dump(report.to_json(), out, indent=2)
+        out.write("\n")
+    else:
+        for finding in report.new:
+            print(finding.render(), file=out)
+        if report.accepted:
+            print(f"repro-check: {len(report.accepted)} baselined "
+                  f"finding(s) suppressed", file=out)
+        if report.stale:
+            print(f"repro-check: {len(report.stale)} stale baseline "
+                  f"entr{'y' if len(report.stale) == 1 else 'ies'} — "
+                  f"refresh with --write-baseline", file=out)
+        verdict = "clean" if report.clean else (
+            f"{len(report.new)} new finding(s)")
+        print(f"repro-check: {verdict}", file=out)
+
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,267 @@
+"""Determinism lint: AST rules guarding the bit-identical guarantee.
+
+The repo's contract is that every figure is a pure function of
+``(benchmark, scale, period, seed, ...)``.  Four statically detectable
+defect classes break that contract; each is a rule here:
+
+``unseeded-rng``
+    Module-level ``random.*`` / ``numpy.random.*`` draws share hidden
+    global state, and ``np.random.default_rng()`` / ``random.Random()``
+    without a seed pull OS entropy.  Simulation code must thread an
+    explicit seeded generator.
+``wall-clock``
+    ``time.time``, ``datetime.now`` and friends make output depend on
+    when the run happened.  Progress diagnostics are legitimate — annotate
+    them ``# repro: allow[wall-clock] <reason>``.
+``unordered-iter``
+    Iterating a set (literal, ``set()``/``frozenset()`` call, set
+    comprehension, or a set-algebra expression such as
+    ``a.keys() | b.keys()``) feeds hash-order into whatever consumes the
+    loop.  Wrap in ``sorted(...)`` to pin the order.
+``float-equality``
+    ``==``/``!=`` against a non-integral float literal (``r == 0.8``) is
+    almost always a rounding bug in detector code; integral sentinels
+    (``0.0``, ``1.0``) are exactly representable and exempt.
+
+The analysis is intraprocedural and alias-aware for imports
+(``import numpy as np``, ``from time import time``); it does not do type
+inference, so a set bound to a variable and iterated later is out of
+scope — the rules aim at the idioms that actually appear in this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.findings import Finding, Severity
+
+__all__ = ["DeterminismLint", "lint_source"]
+
+#: Legacy/global numpy.random entry points that are deterministic-safe to
+#: reference (constructors that take an explicit seed, and typing names).
+_NUMPY_RANDOM_SAFE = frozenset({
+    "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox",
+    "MT19937", "SFC64",
+})
+
+#: Wall-clock callables by resolved dotted path.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Iteration-consuming builtins whose output exposes element order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+#: Set-algebra method names that yield sets.
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+
+class _ImportTable:
+    """Resolve names/attribute chains to dotted module paths."""
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0])
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports never target stdlib random/time
+        for alias in node.names:
+            self._aliases[alias.asname or alias.name] = (
+                f"{node.module}.{alias.name}")
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path of a Name/Attribute chain, or ``None``."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self._aliases.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+class DeterminismLint(ast.NodeVisitor):
+    """One-file AST walk emitting determinism findings."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self._imports = _ImportTable()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _emit(self, rule: str, severity: Severity, node: ast.AST,
+              message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, severity=severity, path=self.path,
+            line=getattr(node, "lineno", 0), message=message))
+
+    def _is_set_expression(self, node: ast.expr) -> bool:
+        """Whether *node* statically evaluates to a set."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return self._is_setlike_operand(func.value) or any(
+                    self._is_setlike_operand(arg) for arg in node.args)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return (self._is_setlike_operand(node.left)
+                    and self._is_setlike_operand(node.right))
+        return False
+
+    def _is_setlike_operand(self, node: ast.expr) -> bool:
+        """Set expression, or a ``.keys()`` view (set-like under ``|&^-``)."""
+        if self._is_set_expression(node):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "keys"
+                and not node.args and not node.keywords)
+
+    def _check_iteration(self, iterable: ast.expr, context: str) -> None:
+        if self._is_set_expression(iterable):
+            self._emit(
+                "unordered-iter", Severity.ERROR, iterable,
+                f"{context} iterates a set in hash order; "
+                f"wrap it in sorted(...) to pin the order")
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self._imports.add_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._imports.add_import_from(node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension_node(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self._check_iteration(comp.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension_node
+    visit_DictComp = _visit_comprehension_node
+    visit_GeneratorExp = _visit_comprehension_node
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set keeps it unordered but harmless;
+        # only iteration that *materializes an order* is flagged.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call_rng(node)
+        self._check_call_wall_clock(node)
+        self._check_call_ordering(node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (node.left, comparator):
+                if (isinstance(side, ast.Constant)
+                        and isinstance(side.value, float)
+                        and not side.value.is_integer()):
+                    self._emit(
+                        "float-equality", Severity.WARNING, node,
+                        f"exact comparison against float literal "
+                        f"{side.value!r}; use a threshold comparison "
+                        f"or math.isclose")
+                    break
+        self.generic_visit(node)
+
+    # -- rule bodies -------------------------------------------------------
+
+    def _check_call_rng(self, node: ast.Call) -> None:
+        path = self._imports.resolve(node.func)
+        if path is None:
+            return
+        if path.startswith("numpy.random."):
+            func = path.removeprefix("numpy.random.")
+            if func == "default_rng":
+                if not node.args and not node.keywords:
+                    self._emit(
+                        "unseeded-rng", Severity.ERROR, node,
+                        "np.random.default_rng() without a seed draws OS "
+                        "entropy; pass an explicit seed")
+            elif func == "RandomState":
+                if not node.args and not node.keywords:
+                    self._emit(
+                        "unseeded-rng", Severity.ERROR, node,
+                        "np.random.RandomState() without a seed draws OS "
+                        "entropy; pass an explicit seed")
+            elif func not in _NUMPY_RANDOM_SAFE and "." not in func:
+                self._emit(
+                    "unseeded-rng", Severity.ERROR, node,
+                    f"numpy.random.{func} uses the hidden global RNG; "
+                    f"thread a np.random.default_rng(seed) generator")
+        elif path == "random.Random":
+            if not node.args and not node.keywords:
+                self._emit(
+                    "unseeded-rng", Severity.ERROR, node,
+                    "random.Random() without a seed draws OS entropy; "
+                    "pass an explicit seed")
+        elif path.startswith("random.") and "." not in path.removeprefix(
+                "random."):
+            self._emit(
+                "unseeded-rng", Severity.ERROR, node,
+                f"{path} uses the hidden global RNG; "
+                f"use random.Random(seed) or a numpy generator")
+
+    def _check_call_wall_clock(self, node: ast.Call) -> None:
+        path = self._imports.resolve(node.func)
+        if path in _WALL_CLOCK:
+            self._emit(
+                "wall-clock", Severity.ERROR, node,
+                f"{path}() makes output depend on when the run happened; "
+                f"derive times from the simulation, or annotate "
+                f"diagnostics with '# repro: allow[wall-clock] <reason>'")
+
+    def _check_call_ordering(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS:
+            if node.args and self._is_set_expression(node.args[0]):
+                self._check_iteration(node.args[0], f"{func.id}()")
+        elif (isinstance(func, ast.Attribute) and func.attr == "join"
+                and node.args and self._is_set_expression(node.args[0])):
+            self._check_iteration(node.args[0], "str.join")
+
+
+def lint_source(path: str, source: str) -> list[Finding]:
+    """Run the determinism lint over one file's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="parse-error", severity=Severity.ERROR, path=path,
+            line=exc.lineno or 0, message=f"cannot parse: {exc.msg}")]
+    lint = DeterminismLint(path)
+    lint.visit(tree)
+    return lint.findings

@@ -1,0 +1,81 @@
+"""Structured findings emitted by ``repro-check`` passes.
+
+Every pass reports :class:`Finding` records — rule id, severity,
+``file:line`` anchor, message — which the CLI renders as text or JSON and
+matches against the baseline file.  A finding's :meth:`Finding.fingerprint`
+deliberately excludes the line number, so unrelated edits above a
+grandfathered finding do not resurrect it.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; the CLI fails the build on ``ERROR``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One defect reported by a pass.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier, e.g. ``"unseeded-rng"``.
+    severity:
+        :class:`Severity` of the finding.
+    path:
+        Repo-relative path of the offending file (or a symbolic location
+        such as ``"<lpd machine>"`` for model-checker findings).
+    line:
+        1-based line number; 0 when the finding has no line anchor.
+    message:
+        Human-readable description of the defect.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        payload = f"{self.rule}\x00{self.path}\x00{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        """``path:line`` (or just ``path`` for anchorless findings)."""
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def render(self) -> str:
+        """One text line: ``path:line: severity [rule] message``."""
+        return f"{self.location()}: {self.severity} [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable form (the ``--format json`` record)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Canonical report order: by path, line, rule, message."""
+    return sorted(findings,
+                  key=lambda f: (f.path, f.line, f.rule, f.message))

@@ -1,0 +1,125 @@
+"""Pass registry and repo-level driver for ``repro-check``.
+
+Three pass families run by default:
+
+* the per-file determinism lint (:mod:`repro.checks.determinism`) over
+  every ``.py`` file under the scanned paths;
+* the cache-key audit (:mod:`repro.checks.cachekeys`) over the cache,
+  simulation-helper and fault-model modules;
+* the state-machine model checker (:mod:`repro.checks.statemachine`)
+  over the declarative LPD/GPD tables and their implementations.
+
+Inline ``# repro: allow[rule]`` suppressions are applied to every
+file-anchored finding; suppressions that never fire are reported
+(``unused-suppression``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.checks.baseline import Baseline
+from repro.checks.cachekeys import audit_cache_keys
+from repro.checks.determinism import lint_source
+from repro.checks.findings import Finding, sort_findings
+from repro.checks.statemachine import run_model_checker
+from repro.checks.suppress import SuppressionIndex
+
+__all__ = ["ALL_RULES", "DEFAULT_PATHS", "CheckReport", "run_checks"]
+
+#: Every rule id a default run can emit (``repro-check --list-rules``).
+ALL_RULES: dict[str, str] = {
+    "unseeded-rng": "module-level or OS-entropy RNG use",
+    "wall-clock": "time.time/datetime.now in simulation paths",
+    "unordered-iter": "iteration over a set in hash order",
+    "float-equality": "exact == against a non-integral float literal",
+    "parse-error": "file could not be parsed",
+    "unused-suppression": "allow[...] comment that suppresses nothing",
+    "cache-key-field": "simulation input missing from its cache key",
+    "cache-key-no-faults": "cache key without fault-plan discrimination",
+    "fault-token-incomplete": "FaultSpec.token() omitting a field",
+    "fault-kind-collision": "two FaultSpecs sharing a kind tag",
+    "fsm-incomplete": "transition table missing a (state, input) pair",
+    "fsm-nondeterministic": "duplicate rules for a (state, input) pair",
+    "fsm-unreachable-state": "state unreachable from the initial state",
+    "fsm-unknown-state": "rule references an undeclared state/input",
+    "fsm-phase-change-label": "phase_change flag contradicts the boundary",
+    "fsm-divergence": "implementation disagrees with the declarative table",
+}
+
+#: Directories scanned by default, relative to the repo root.
+DEFAULT_PATHS = ("src", "scripts")
+
+
+class CheckReport:
+    """Everything one ``repro-check`` run produced."""
+
+    def __init__(self, findings: list[Finding], baseline: Baseline) -> None:
+        self.findings = findings
+        self.new, self.accepted, self.stale = baseline.split(findings)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run should pass (no non-baselined findings)."""
+        return not self.new
+
+    def to_json(self) -> dict:
+        """The ``--format json`` payload."""
+        return {
+            "new": [f.to_json() for f in self.new],
+            "accepted": [f.to_json() for f in self.accepted],
+            "stale_baseline_entries": sorted(self.stale),
+            "counts": {
+                "new": len(self.new),
+                "accepted": len(self.accepted),
+                "stale": len(self.stale),
+            },
+        }
+
+
+def _python_files(root: Path, paths: tuple[str, ...]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        target = root / entry
+        if target.is_file() and target.suffix == ".py":
+            files.append(target)
+        elif target.is_dir():
+            files.extend(p for p in sorted(target.rglob("*.py"))
+                         if not any(part.startswith(".")
+                                    for part in p.parts))
+    return files
+
+
+def run_checks(root: Path, paths: tuple[str, ...] = DEFAULT_PATHS,
+               rules: set[str] | None = None,
+               model_checker: bool = True) -> list[Finding]:
+    """Run every pass; return suppression-filtered, sorted findings."""
+    findings: list[Finding] = []
+    indexes: dict[str, SuppressionIndex] = {}
+
+    for file_path in _python_files(root, paths):
+        rel = file_path.relative_to(root).as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        indexes[rel] = SuppressionIndex.from_source(rel, source)
+        findings.extend(lint_source(rel, source))
+
+    findings.extend(audit_cache_keys(root))
+    if model_checker:
+        findings.extend(run_model_checker())
+
+    kept: list[Finding] = []
+    for finding in findings:
+        index = indexes.get(finding.path)
+        if index is not None and index.is_suppressed(finding.rule,
+                                                     finding.line):
+            continue
+        kept.append(finding)
+    for rel in sorted(indexes):
+        kept.extend(indexes[rel].unused_findings())
+
+    if rules is not None:
+        kept = [f for f in kept if f.rule in rules]
+    return sort_findings(kept)

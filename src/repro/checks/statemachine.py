@@ -1,0 +1,438 @@
+"""Model checker for the LPD (Fig 12) and GPD (Fig 1) state machines.
+
+The declarative ground truth lives in :mod:`repro.core.states`
+(:func:`~repro.core.states.lpd_machine_spec`,
+:func:`~repro.core.states.gpd_machine_spec`).  This module proves four
+properties about each table and then checks the *implementations* against
+them:
+
+* **completeness** — every (state, input-class) pair has exactly one rule
+  and every target state exists (``fsm-incomplete`` / ``fsm-unknown-state``);
+* **determinism** — no (state, input-class) pair has two rules
+  (``fsm-nondeterministic``);
+* **reachability** — every state is reachable from the initial state
+  (``fsm-unreachable-state``);
+* **phase-change labeling** — a rule is marked ``phase_change`` exactly
+  when it crosses the machine's stable/unstable boundary
+  (``fsm-phase-change-label``);
+* **equivalence** — driving the real ``LocalPhaseDetector`` /
+  ``GlobalPhaseDetector`` through synthesized inputs reproduces the
+  table edge for edge (``fsm-divergence``).
+
+Equivalence is checked two ways.  Exhaustively: for every reachable
+(state, input) pair a fresh detector is steered into ``state`` along a
+shortest input path and fed one probe input, comparing next state, the
+emitted phase-change event, and (LPD) the stable-set update/freeze
+behavior.  End to end: whole synthetic centroid trajectories are run
+through the GPD black-box, each interval's observation is classified back
+into an input class, and the spec's replay must match the observed state
+sequence step for step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.checks.findings import Finding, Severity
+from repro.core.centroid import BandOfStability
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.lpd import LocalPhaseDetector
+from repro.core.states import (GPD_NO_BAND, LPD_DISSIMILAR, LPD_SIMILAR,
+                               MachineSpec, PhaseState, classify_gpd_input,
+                               gpd_machine_spec, lpd_machine_spec)
+from repro.core.thresholds import GpdThresholds, LpdThresholds
+
+__all__ = ["check_spec", "check_lpd_equivalence", "check_gpd_equivalence",
+           "check_gpd_trajectories", "run_model_checker",
+           "LPD_IMPL_PATH", "GPD_IMPL_PATH"]
+
+LPD_IMPL_PATH = "src/repro/core/lpd.py"
+GPD_IMPL_PATH = "src/repro/core/gpd.py"
+SPEC_PATH = "src/repro/core/states.py"
+
+
+def _finding(rule: str, path: str, message: str) -> Finding:
+    return Finding(rule=rule, severity=Severity.ERROR, path=path, line=0,
+                   message=message)
+
+
+# ---------------------------------------------------------------------------
+# Table-level properties
+# ---------------------------------------------------------------------------
+
+def check_spec(spec: MachineSpec, path: str = SPEC_PATH) -> list[Finding]:
+    """Completeness, determinism, reachability, phase-change labeling."""
+    findings: list[Finding] = []
+    known = set(spec.states)
+
+    seen: dict[tuple[str, str], int] = {}
+    for rule in spec.rules:
+        pair = (rule.state, rule.input)
+        seen[pair] = seen.get(pair, 0) + 1
+        if rule.state not in known:
+            findings.append(_finding(
+                "fsm-unknown-state", path,
+                f"{spec.name}: rule source state '{rule.state}' is not a "
+                f"declared state"))
+        if rule.next_state not in known:
+            findings.append(_finding(
+                "fsm-unknown-state", path,
+                f"{spec.name}: rule ({rule.state}, {rule.input}) targets "
+                f"undeclared state '{rule.next_state}'"))
+        if rule.input not in spec.inputs:
+            findings.append(_finding(
+                "fsm-unknown-state", path,
+                f"{spec.name}: rule on undeclared input '{rule.input}'"))
+
+    for pair, count in seen.items():
+        if count > 1:
+            findings.append(_finding(
+                "fsm-nondeterministic", path,
+                f"{spec.name}: {count} rules for (state={pair[0]}, "
+                f"input={pair[1]}); a machine must be deterministic"))
+
+    for state in spec.states:
+        for input_class in spec.inputs:
+            if (state, input_class) not in seen:
+                findings.append(_finding(
+                    "fsm-incomplete", path,
+                    f"{spec.name}: no rule for (state={state}, "
+                    f"input={input_class})"))
+
+    table = spec.table()
+    reached = {spec.initial}
+    frontier = deque([spec.initial])
+    while frontier:
+        state = frontier.popleft()
+        for input_class in spec.inputs:
+            rule = table.get((state, input_class))
+            if rule is None or not rule.reachable:
+                continue
+            if rule.next_state in known and rule.next_state not in reached:
+                reached.add(rule.next_state)
+                frontier.append(rule.next_state)
+    for state in spec.states:
+        if state not in reached:
+            findings.append(_finding(
+                "fsm-unreachable-state", path,
+                f"{spec.name}: state '{state}' is unreachable from "
+                f"'{spec.initial}'"))
+
+    for rule in spec.rules:
+        if rule.state not in known or rule.next_state not in known:
+            continue
+        crosses = spec.is_stable(rule.state) != spec.is_stable(rule.next_state)
+        if rule.phase_change != crosses:
+            expected = "crosses" if crosses else "does not cross"
+            findings.append(_finding(
+                "fsm-phase-change-label", path,
+                f"{spec.name}: rule ({rule.state}, {rule.input}) -> "
+                f"{rule.next_state} {expected} the stable boundary but is "
+                f"marked phase_change={rule.phase_change}"))
+    return findings
+
+
+def _shortest_paths(spec: MachineSpec) -> dict[str, list[str]]:
+    """Shortest input sequence from the initial state to each state."""
+    table = spec.table()
+    paths: dict[str, list[str]] = {spec.initial: []}
+    frontier = deque([spec.initial])
+    while frontier:
+        state = frontier.popleft()
+        for input_class in spec.inputs:
+            rule = table.get((state, input_class))
+            if rule is None or not rule.reachable:
+                continue
+            if rule.next_state not in paths:
+                paths[rule.next_state] = paths[state] + [input_class]
+                frontier.append(rule.next_state)
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# LPD equivalence (black-box, scripted similarity measure)
+# ---------------------------------------------------------------------------
+
+class _ScriptedMeasure:
+    """Similarity measure returning a pre-programmed score per interval."""
+
+    name = "scripted"
+
+    def __init__(self, scores: Iterable[float]) -> None:
+        self._scores: deque[float] = deque(scores)
+
+    def __call__(self, stable: np.ndarray, current: np.ndarray) -> float:
+        return self._scores.popleft()
+
+
+def _lpd_histogram(step: int, slots: int = 4) -> np.ndarray:
+    """A distinct, non-empty histogram per step (stable-set tracking)."""
+    return np.arange(1.0, slots + 1.0) + float(step)
+
+
+def check_lpd_equivalence(
+        spec: MachineSpec | None = None,
+        thresholds: LpdThresholds | None = None) -> list[Finding]:
+    """Exhaustive (state, input) probe of ``LocalPhaseDetector``."""
+    spec = spec or lpd_machine_spec()
+    thresholds = thresholds or LpdThresholds()
+    r_hi = min(1.0, thresholds.r_threshold + 0.05)
+    r_lo = max(-1.0, thresholds.r_threshold - 0.5)
+    score_of = {LPD_SIMILAR: r_hi, LPD_DISSIMILAR: r_lo}
+    table = spec.table()
+    findings: list[Finding] = []
+
+    for state, path in sorted(_shortest_paths(spec).items()):
+        for probe in spec.inputs:
+            rule = table.get((state, probe))
+            if rule is None or not rule.reachable:
+                continue
+            inputs = path + [probe]
+            measure = _ScriptedMeasure(score_of[i] for i in inputs)
+            det = LocalPhaseDetector(n_instructions=4,
+                                     thresholds=thresholds, measure=measure)
+            # Priming interval: establishes the first stable set, no step.
+            expected_set = _lpd_histogram(0)
+            det.observe(expected_set, interval_index=0)
+            if det.state.value != spec.initial:
+                findings.append(_finding(
+                    "fsm-divergence", LPD_IMPL_PATH,
+                    f"lpd: implementation starts in '{det.state.value}' "
+                    f"but the table's initial state is '{spec.initial}'"))
+                return findings
+
+            model_state = spec.initial
+            diverged = False
+            for step, input_class in enumerate(inputs, start=1):
+                step_rule = table[(model_state, input_class)]
+                model_state = step_rule.next_state
+                counts = _lpd_histogram(step)
+                event = det.observe(counts, interval_index=step)
+                if step_rule.updates_stable_set:
+                    expected_set = counts
+                where = (f"after path {inputs[:step]} from initial "
+                         f"(probing ({state}, {probe}))")
+                if det.state.value != step_rule.next_state:
+                    findings.append(_finding(
+                        "fsm-divergence", LPD_IMPL_PATH,
+                        f"lpd: implementation reached '{det.state.value}' "
+                        f"but the table says '{step_rule.next_state}' "
+                        f"{where}"))
+                    diverged = True
+                if (event is not None) != step_rule.phase_change:
+                    findings.append(_finding(
+                        "fsm-divergence", LPD_IMPL_PATH,
+                        f"lpd: implementation "
+                        f"{'emitted' if event else 'did not emit'} a phase "
+                        f"change but the table says phase_change="
+                        f"{step_rule.phase_change} {where}"))
+                    diverged = True
+                actual_set = det.stable_set()
+                if (actual_set is None
+                        or not np.array_equal(actual_set, expected_set)):
+                    findings.append(_finding(
+                        "fsm-divergence", LPD_IMPL_PATH,
+                        f"lpd: stable set does not match the table's "
+                        f"update/freeze behavior {where}"))
+                    diverged = True
+                if diverged:
+                    break  # downstream steps would only repeat the report
+            if diverged and len(findings) > 20:
+                return findings
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# GPD equivalence (exhaustive per-step probes + trajectory replay)
+# ---------------------------------------------------------------------------
+
+def _gpd_ratio_samples(bucket: str, th: GpdThresholds) -> list[float]:
+    """Representative drift ratios per bucket: midpoint and upper edge."""
+    if bucket == "tight":
+        return [0.0, th.th1 / 2.0, th.th1]
+    if bucket == "tolerable":
+        return [(th.th1 + th.th2) / 2.0, th.th2]
+    if bucket == "moderate":
+        return [(th.th2 + th.th3) / 2.0, th.th3]
+    if bucket == "large":
+        return [(th.th3 + th.th4) / 2.0, th.th4]
+    return [th.th4 * 2.0, float("inf")]
+
+
+def _gpd_band(thickness: str, th: GpdThresholds) -> BandOfStability:
+    expectation = 1000.0
+    limit = expectation / th.thickness_divisor
+    sd = limit * (0.5 if thickness == "thin" else 2.0)
+    return BandOfStability(expectation=expectation, sd=sd)
+
+
+def _set_gpd_state(det: GlobalPhaseDetector, spec: MachineSpec,
+                   state: str) -> None:
+    phase = spec.phase_state(state)
+    det._state = phase
+    det._declared_stable = spec.is_stable(state)
+    if "@" in state:
+        det._timer = int(state.split("@", 1)[1])
+
+
+def _gpd_model_state(det: GlobalPhaseDetector) -> str:
+    if det.state is PhaseState.LESS_STABLE:
+        return f"{det.state.value}@{det._timer}"
+    return det.state.value
+
+
+def check_gpd_equivalence(
+        spec: MachineSpec | None = None,
+        thresholds: GpdThresholds | None = None) -> list[Finding]:
+    """Exhaustive (state, input) probe of ``GlobalPhaseDetector._step``.
+
+    Each reachable pair is probed with several concrete drift ratios per
+    bucket (midpoint and threshold edge) and both band thicknesses, so
+    off-by-one threshold comparisons (``<`` vs ``<=``) cannot hide.
+    """
+    thresholds = thresholds or GpdThresholds()
+    spec = spec or gpd_machine_spec(thresholds.dwell_intervals)
+    table = spec.table()
+    findings: list[Finding] = []
+
+    for (state, input_class), rule in sorted(table.items()):
+        if not rule.reachable:
+            continue
+        if input_class == GPD_NO_BAND:
+            probes: list[tuple[BandOfStability | None, float]] = [
+                (None, float("inf"))]
+        else:
+            bucket, thickness = input_class.rsplit("_", 1)
+            band = _gpd_band(thickness, thresholds)
+            probes = [(band, ratio)
+                      for ratio in _gpd_ratio_samples(bucket, thresholds)]
+        for band, ratio in probes:
+            det = GlobalPhaseDetector(thresholds)
+            _set_gpd_state(det, spec, state)
+            event = det._step(band, ratio)
+            reached = _gpd_model_state(det)
+            where = (f"(state={state}, input={input_class}, "
+                     f"ratio={ratio:g})")
+            if reached != rule.next_state:
+                findings.append(_finding(
+                    "fsm-divergence", GPD_IMPL_PATH,
+                    f"gpd: implementation reached '{reached}' but the "
+                    f"table says '{rule.next_state}' at {where}"))
+            if (event is not None) != rule.phase_change:
+                findings.append(_finding(
+                    "fsm-divergence", GPD_IMPL_PATH,
+                    f"gpd: implementation "
+                    f"{'emitted' if event else 'did not emit'} a phase "
+                    f"change but the table says phase_change="
+                    f"{rule.phase_change} at {where}"))
+            if det.in_stable_phase != spec.is_stable(rule.next_state):
+                findings.append(_finding(
+                    "fsm-divergence", GPD_IMPL_PATH,
+                    f"gpd: declared-stable flag is {det.in_stable_phase} "
+                    f"but '{rule.next_state}' is "
+                    f"{'stable' if spec.is_stable(rule.next_state) else 'unstable'}"
+                    f" at {where}"))
+    return findings
+
+
+def _trajectory_sequences(th: GpdThresholds) -> list[list[float]]:
+    """Synthetic centroid trajectories covering the interesting edges."""
+    base = 1000.0
+    sequences = [
+        # Settle into stability, then collapse far out of band.
+        [base] * (th.history_length + th.dwell_intervals + 4)
+        + [base * 4.0] * 3,
+        # Settle, take a moderate excursion (grace state), recover.
+        [base] * (th.history_length + th.dwell_intervals + 4)
+        + [base * (1.0 + th.th3)] + [base] * 4,
+        # Settle, two consecutive moderate excursions (revocation).
+        [base] * (th.history_length + th.dwell_intervals + 4)
+        + [base * (1.0 + th.th3)] * 2 + [base] * 4,
+        # Never settles: alternating far-apart centroids (thick band).
+        [base, base * 2.0] * 8,
+    ]
+    rng = np.random.default_rng(20060325)
+    for scale in (0.001, 0.02, 0.2):
+        walk = base * (1.0 + scale * rng.standard_normal(60)).cumprod()
+        sequences.append([float(v) for v in np.abs(walk) + 1.0])
+    return sequences
+
+
+def check_gpd_trajectories(
+        spec: MachineSpec | None = None,
+        thresholds: GpdThresholds | None = None,
+        sequences: Sequence[Sequence[float]] | None = None) -> list[Finding]:
+    """Black-box replay: run centroid trajectories through the detector,
+    classify each interval's observation into an input class, and require
+    the spec's walk to match the observed state sequence step for step."""
+    thresholds = thresholds or GpdThresholds()
+    spec = spec or gpd_machine_spec(thresholds.dwell_intervals)
+    table = spec.table()
+    findings: list[Finding] = []
+
+    for seq_index, sequence in enumerate(
+            sequences or _trajectory_sequences(thresholds)):
+        det = GlobalPhaseDetector(thresholds)
+        for value in sequence:
+            det.observe_centroid(value)
+        model_state = spec.initial
+        for obs in det.observations:
+            has_band = obs.band is not None
+            thin = (has_band
+                    and not obs.band.is_too_thick(thresholds.thickness_divisor))
+            input_class = classify_gpd_input(
+                obs.drift_ratio, thin, thresholds.th1, thresholds.th2,
+                thresholds.th3, thresholds.th4, has_band=has_band)
+            rule = table.get((model_state, input_class))
+            if rule is None:
+                findings.append(_finding(
+                    "fsm-incomplete", SPEC_PATH,
+                    f"gpd: trajectory {seq_index} interval "
+                    f"{obs.interval_index} hit uncovered pair "
+                    f"(state={model_state}, input={input_class})"))
+                break
+            model_state = rule.next_state
+            where = (f"trajectory {seq_index} interval "
+                     f"{obs.interval_index} (input={input_class})")
+            if spec.phase_state(model_state) is not obs.state:
+                findings.append(_finding(
+                    "fsm-divergence", GPD_IMPL_PATH,
+                    f"gpd: implementation in '{obs.state.value}' but the "
+                    f"table says '{model_state}' at {where}"))
+                break
+            if (obs.event is not None) != rule.phase_change:
+                findings.append(_finding(
+                    "fsm-divergence", GPD_IMPL_PATH,
+                    f"gpd: event mismatch (table phase_change="
+                    f"{rule.phase_change}) at {where}"))
+                break
+    return findings
+
+
+def run_model_checker(
+        lpd_spec: MachineSpec | None = None,
+        gpd_spec: MachineSpec | None = None) -> list[Finding]:
+    """All model-checker passes over both machines."""
+    lpd = lpd_spec or lpd_machine_spec()
+    gpd = gpd_spec or gpd_machine_spec(GpdThresholds().dwell_intervals)
+    findings = check_spec(lpd) + check_spec(gpd)
+    # Property violations in a table make equivalence noise; still run the
+    # drivers (mutation tests rely on divergence being reported) but guard
+    # against tables too broken to walk.
+    try:
+        findings += check_lpd_equivalence(lpd)
+    except KeyError as exc:
+        findings.append(_finding(
+            "fsm-incomplete", SPEC_PATH,
+            f"lpd: equivalence walk aborted on uncovered pair {exc}"))
+    try:
+        findings += check_gpd_equivalence(gpd)
+        findings += check_gpd_trajectories(gpd)
+    except KeyError as exc:
+        findings.append(_finding(
+            "fsm-incomplete", SPEC_PATH,
+            f"gpd: equivalence walk aborted on uncovered pair {exc}"))
+    return findings

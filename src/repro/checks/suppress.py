@@ -1,0 +1,85 @@
+"""Inline suppression comments: ``# repro: allow[rule]``.
+
+A finding is suppressed when the flagged line (or the line directly above
+it, for statements too long to annotate in place) carries an allow comment
+naming the finding's rule — or ``allow[*]`` for any rule.  Everything after
+the closing bracket is free-form justification and is encouraged::
+
+    started = time.time()  # repro: allow[wall-clock] progress diagnostics
+
+Suppressions that never fire are themselves reported (rule
+``unused-suppression``) so stale annotations cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.checks.findings import Finding, Severity
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """(line, text) of every real comment token — docstrings that merely
+    *mention* the allow syntax must not register as suppressions."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        return [(tok.start[0], tok.string) for tok in tokens
+                if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        # Unparseable file: fall back to raw lines (the lint will report
+        # a parse-error finding for it anyway).
+        return list(enumerate(source.splitlines(), start=1))
+
+
+class SuppressionIndex:
+    """Per-file index of ``# repro: allow[...]`` comments."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: line -> set of allowed rule names ("*" allows everything)
+        self._allows: dict[int, set[str]] = {}
+        self._used: set[int] = set()
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "SuppressionIndex":
+        """Scan *source* for allow comments, one index per file."""
+        index = cls(path)
+        for lineno, text in _comment_lines(source):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")
+                     if part.strip()}
+            if rules:
+                index._allows[lineno] = rules
+        return index
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether a finding of *rule* at *line* is allowed (and mark the
+        suppression as used)."""
+        for candidate in (line, line - 1):
+            rules = self._allows.get(candidate)
+            if rules is not None and (rule in rules or "*" in rules):
+                self._used.add(candidate)
+                return True
+        return False
+
+    def unused_findings(self) -> list[Finding]:
+        """A ``unused-suppression`` warning per allow that never fired."""
+        findings: list[Finding] = []
+        for lineno in sorted(self._allows):
+            if lineno in self._used:
+                continue
+            rules = ",".join(sorted(self._allows[lineno]))
+            findings.append(Finding(
+                rule="unused-suppression",
+                severity=Severity.WARNING,
+                path=self.path,
+                line=lineno,
+                message=f"allow[{rules}] suppresses nothing on this line",
+            ))
+        return findings

@@ -19,8 +19,11 @@ from repro.core.similarity import (MEASURES, CosineSimilarity,
                                    ManhattanOverlap, PearsonSimilarity,
                                    SimilarityMeasure, TopKJaccard,
                                    get_measure)
-from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
-                               count_phase_changes, is_stable_state,
+from repro.core.states import (MachineSpec, PhaseEvent, PhaseEventKind,
+                               PhaseState, TransitionRule,
+                               classify_gpd_input, classify_lpd_input,
+                               count_phase_changes, gpd_machine_spec,
+                               is_stable_state, lpd_machine_spec,
                                transition_crosses_boundary)
 from repro.core.thresholds import (DEFAULT_BUFFER_SIZE, DEFAULT_R_THRESHOLD,
                                    DEFAULT_UCR_THRESHOLD, GpdThresholds,
@@ -51,11 +54,17 @@ __all__ = [
     "SimilarityMeasure",
     "TopKJaccard",
     "get_measure",
+    "MachineSpec",
     "PhaseEvent",
     "PhaseEventKind",
     "PhaseState",
+    "TransitionRule",
+    "classify_gpd_input",
+    "classify_lpd_input",
     "count_phase_changes",
+    "gpd_machine_spec",
     "is_stable_state",
+    "lpd_machine_spec",
     "transition_crosses_boundary",
     "DEFAULT_BUFFER_SIZE",
     "DEFAULT_R_THRESHOLD",

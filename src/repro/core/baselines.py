@@ -158,7 +158,9 @@ class BasicBlockVectorDetector(_ChunkedIntervalDetector):
         total_prev = sum(previous.values()) or 1
         total_curr = sum(current.values()) or 1
         distance = 0.0
-        for chunk in previous.keys() | current.keys():
+        # Sorted so the float accumulation order (and thus the exact
+        # distance) never depends on set hash order.
+        for chunk in sorted(previous.keys() | current.keys()):
             distance += abs(previous.get(chunk, 0) / total_prev
                             - current.get(chunk, 0) / total_curr)
         return 0.5 * distance

@@ -1,4 +1,4 @@
-"""Phase states and phase-change events shared by both detectors.
+"""Phase states, phase-change events, and declarative machine specs.
 
 The paper's two detectors (the centroid-based *Global Phase Detector* of
 Figure 1 and the Pearson-correlation *Local Phase Detector* of Figure 12)
@@ -10,13 +10,22 @@ The paper draws "dotted" transitions for the edges that constitute a *phase
 change*: crossing the boundary between the stable side of the machine and the
 unstable side.  :func:`is_stable_state` defines that boundary and
 :class:`PhaseEvent` records each crossing.
+
+This module also carries the *declarative* transition tables of both
+machines (:func:`lpd_machine_spec`, :func:`gpd_machine_spec`): every
+(state, input-class) pair of each machine written out as data.  They are
+the single source of truth the ``repro-check`` model checker
+(:mod:`repro.checks.statemachine`) verifies the imperative
+``LocalPhaseDetector``/``GlobalPhaseDetector`` implementations against —
+completeness, determinism, reachability, phase-change labeling, and
+step-for-step equivalence.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
 
 
 class PhaseState(enum.Enum):
@@ -98,3 +107,269 @@ def count_phase_changes(events: Iterable[PhaseEvent]) -> int:
 def transition_crosses_boundary(before: PhaseState, after: PhaseState) -> bool:
     """Return ``True`` if moving *before* → *after* is a phase change."""
     return is_stable_state(before) != is_stable_state(after)
+
+
+# ---------------------------------------------------------------------------
+# Declarative machine specifications (model-checker ground truth)
+# ---------------------------------------------------------------------------
+
+#: LPD input classes: one per interval with samples, after the priming
+#: interval.  ``SIMILAR`` means ``r >= r_t``; ``DISSIMILAR`` means
+#: ``r < r_t``.  (No-sample and starved intervals do not reach the machine.)
+LPD_SIMILAR = "similar"
+LPD_DISSIMILAR = "dissimilar"
+
+#: GPD input classes: the drift-ratio bucket relative to TH1..TH4 crossed
+#: with the band-thickness predicate ``SD < E / divisor``.  Thickness only
+#: matters for leaving the unstable state; enumerating it everywhere lets
+#: the model checker prove it is *ignored* everywhere else.  ``NO_BAND`` is
+#: the warm-up input (fewer than two centroids in the history).
+GPD_NO_BAND = "no_band"
+_GPD_BUCKETS = ("tight", "tolerable", "moderate", "large", "collapse")
+_GPD_THICKNESS = ("thin", "thick")
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionRule:
+    """One declarative edge: ``(state, input) -> next_state``.
+
+    Model-state labels are :class:`PhaseState` values, except the GPD's
+    dwell-timer expansion ``less_stable@k`` (k tight intervals still owed
+    before the stable declaration).
+
+    Attributes
+    ----------
+    state, input, next_state:
+        The edge, as labels.
+    phase_change:
+        Whether the paper draws this edge dotted (a stable/unstable
+        boundary crossing).  Stored redundantly so the checker can verify
+        the labeling against the machine's stable-state set.
+    updates_stable_set:
+        LPD only: whether the interval's histogram replaces the stable
+        set on this edge (the paper's "the stable set of samples is
+        updated ... till the state moves to an unstable state").
+    reachable:
+        ``False`` for pairs the implementation can never present (e.g.
+        a non-warm-up GPD state with no band: the centroid history only
+        grows).  The table stays total; equivalence driving skips them.
+    """
+
+    state: str
+    input: str
+    next_state: str
+    phase_change: bool = False
+    updates_stable_set: bool = False
+    reachable: bool = True
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete declarative finite-state machine.
+
+    Attributes
+    ----------
+    name:
+        ``"lpd"`` or ``"gpd"``.
+    states:
+        All model-state labels, in a canonical order.
+    inputs:
+        The full input alphabet.
+    initial:
+        Start state label.
+    stable_states:
+        Labels on the stable side of the phase boundary (the LPD uses
+        :func:`is_stable_state`; the GPD's declared-stable flag is a pure
+        function of state: ``{stable, less_unstable}``).
+    rules:
+        The transition table as written — possibly with authoring
+        mistakes, which is exactly what the model checker looks for.
+    """
+
+    name: str
+    states: tuple[str, ...]
+    inputs: tuple[str, ...]
+    initial: str
+    stable_states: frozenset[str]
+    rules: tuple[TransitionRule, ...] = field(default_factory=tuple)
+
+    def table(self) -> dict[tuple[str, str], TransitionRule]:
+        """The rules as a ``(state, input) -> rule`` mapping.
+
+        Duplicate pairs keep the *first* rule, mirroring what a
+        pattern-matching implementation would do; the model checker's
+        determinism pass reports the duplicates themselves.
+        """
+        mapping: dict[tuple[str, str], TransitionRule] = {}
+        for rule in self.rules:
+            mapping.setdefault((rule.state, rule.input), rule)
+        return mapping
+
+    def next_state(self, state: str, input_class: str) -> str:
+        """Follow one edge; raises ``KeyError`` on an incomplete table."""
+        return self.table()[(state, input_class)].next_state
+
+    def is_stable(self, state: str) -> bool:
+        """Whether *state* sits on the stable side of the boundary."""
+        return state in self.stable_states
+
+    def phase_state(self, state: str) -> PhaseState:
+        """Map a model-state label to the implementation's PhaseState."""
+        return PhaseState(state.split("@", 1)[0])
+
+    def walk(self, inputs: Iterable[str]) -> Iterator[TransitionRule]:
+        """Replay an input sequence from the initial state, yielding the
+        rule taken at each step (the model checker's trajectory oracle)."""
+        state = self.initial
+        table = self.table()
+        for input_class in inputs:
+            rule = table[(state, input_class)]
+            yield rule
+            state = rule.next_state
+
+
+def lpd_machine_spec() -> MachineSpec:
+    """The paper's Figure 12 machine as a declarative table.
+
+    Four states, two input classes (``r >= r_t`` / ``r < r_t``); both
+    dotted edges — declaring a stable phase out of ``LESS_UNSTABLE`` and
+    revoking one out of ``LESS_STABLE`` — are marked ``phase_change``.
+    """
+    U = PhaseState.UNSTABLE.value
+    LU = PhaseState.LESS_UNSTABLE.value
+    S = PhaseState.STABLE.value
+    LS = PhaseState.LESS_STABLE.value
+    sim, dis = LPD_SIMILAR, LPD_DISSIMILAR
+    return MachineSpec(
+        name="lpd",
+        states=(U, LU, S, LS),
+        inputs=(sim, dis),
+        initial=U,
+        stable_states=frozenset({S, LS}),
+        rules=(
+            TransitionRule(U, sim, LU, updates_stable_set=True),
+            TransitionRule(U, dis, U, updates_stable_set=True),
+            TransitionRule(LU, sim, S, phase_change=True),
+            TransitionRule(LU, dis, U, updates_stable_set=True),
+            TransitionRule(S, sim, S),
+            TransitionRule(S, dis, LS),
+            TransitionRule(LS, sim, S),
+            TransitionRule(LS, dis, U, phase_change=True,
+                           updates_stable_set=True),
+        ),
+    )
+
+
+def gpd_input_classes() -> tuple[str, ...]:
+    """The GPD input alphabet: ``no_band`` plus bucket × thickness."""
+    return (GPD_NO_BAND,) + tuple(
+        f"{bucket}_{thickness}"
+        for bucket in _GPD_BUCKETS for thickness in _GPD_THICKNESS)
+
+
+def classify_gpd_input(ratio: float, band_thin: bool,
+                       th1: float = 0.01, th2: float = 0.05,
+                       th3: float = 0.10, th4: float = 0.67,
+                       has_band: bool = True) -> str:
+    """Map one observed interval to its declarative input class.
+
+    *ratio* is the drift ratio ``delta / E``; *band_thin* is the paper's
+    ``SD < E / 6`` predicate for the interval's band of stability.
+    """
+    if not has_band:
+        return GPD_NO_BAND
+    if ratio <= th1:
+        bucket = "tight"
+    elif ratio <= th2:
+        bucket = "tolerable"
+    elif ratio <= th3:
+        bucket = "moderate"
+    elif ratio <= th4:
+        bucket = "large"
+    else:
+        bucket = "collapse"
+    return f"{bucket}_{'thin' if band_thin else 'thick'}"
+
+
+def classify_lpd_input(r_value: float, threshold: float) -> str:
+    """Map one LPD interval's similarity score to its input class."""
+    return LPD_SIMILAR if r_value >= threshold else LPD_DISSIMILAR
+
+
+def gpd_machine_spec(dwell_intervals: int = 2) -> MachineSpec:
+    """The paper's Figure 1 machine as a declarative table.
+
+    The less-stable dwell timer is expanded into explicit states
+    ``less_stable@k`` (k tight intervals still owed), making the machine a
+    pure FSM over (state, input-class) that can be enumerated exhaustively.
+    ``dwell_intervals`` must match the ``GpdThresholds`` the implementation
+    runs with.
+    """
+    if dwell_intervals < 1:
+        raise ValueError("dwell_intervals must be at least 1")
+    W = PhaseState.WARMUP.value
+    U = PhaseState.UNSTABLE.value
+    S = PhaseState.STABLE.value
+    LU = PhaseState.LESS_UNSTABLE.value
+
+    def ls(k: int) -> str:
+        return f"{PhaseState.LESS_STABLE.value}@{k}"
+
+    dwell_states = tuple(ls(k) for k in range(dwell_intervals, 0, -1))
+    inputs = gpd_input_classes()
+    rules: list[TransitionRule] = []
+
+    def every(bucket_filter: Callable[[str], bool], state: str,
+              next_state: str,
+              phase_change: bool = False) -> None:
+        """One rule per (bucket, thickness) input matching the filter."""
+        for bucket in _GPD_BUCKETS:
+            if not bucket_filter(bucket):
+                continue
+            for thickness in _GPD_THICKNESS:
+                rules.append(TransitionRule(
+                    state, f"{bucket}_{thickness}", next_state,
+                    phase_change=phase_change))
+
+    # WARMUP: the first interval with a band moves to UNSTABLE without
+    # consulting the ratio (the implementation's `if band is not None`).
+    rules.append(TransitionRule(W, GPD_NO_BAND, W))
+    every(lambda b: True, W, U)
+
+    # UNSTABLE: leave only on drift <= TH3 *and* a thin band.
+    rules.append(TransitionRule(U, GPD_NO_BAND, U, reachable=False))
+    for bucket in ("tight", "tolerable", "moderate"):
+        rules.append(TransitionRule(U, f"{bucket}_thin", ls(dwell_intervals)))
+        rules.append(TransitionRule(U, f"{bucket}_thick", U))
+    every(lambda b: b in ("large", "collapse"), U, U)
+
+    # LESS_STABLE@k: tight drift ticks the timer down; tolerable drift
+    # pauses it; anything beyond TH2 falls back to UNSTABLE.
+    for k in range(dwell_intervals, 0, -1):
+        here = ls(k)
+        tick_target = S if k == 1 else ls(k - 1)
+        rules.append(TransitionRule(here, GPD_NO_BAND, here, reachable=False))
+        every(lambda b: b == "tight", here, tick_target,
+              phase_change=(k == 1))
+        every(lambda b: b == "tolerable", here, here)
+        every(lambda b: b in ("moderate", "large", "collapse"), here, U)
+
+    # STABLE: tolerate up to TH2; grace excursion up to TH4; collapse past.
+    rules.append(TransitionRule(S, GPD_NO_BAND, S, reachable=False))
+    every(lambda b: b in ("tight", "tolerable"), S, S)
+    every(lambda b: b in ("moderate", "large"), S, LU)
+    every(lambda b: b == "collapse", S, U, phase_change=True)
+
+    # LESS_UNSTABLE: recover on tight drift, revoke on anything else.
+    rules.append(TransitionRule(LU, GPD_NO_BAND, LU, reachable=False))
+    every(lambda b: b == "tight", LU, S)
+    every(lambda b: b != "tight", LU, U, phase_change=True)
+
+    return MachineSpec(
+        name="gpd",
+        states=(W, U) + dwell_states + (S, LU),
+        inputs=inputs,
+        initial=W,
+        stable_states=frozenset({S, LU}),
+        rules=tuple(rules),
+    )

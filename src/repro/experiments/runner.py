@@ -226,11 +226,11 @@ def main(argv: list[str] | None = None) -> int:
     if requested == ["all"] or requested == []:
         requested = list(DEFAULT_SET)
 
-    started_total = time.time()
+    started_total = time.time()  # repro: allow[wall-clock] progress timer
     if args.jobs > 1 and not args.no_cache:
         tasks = collect_warm_tasks(requested, config)
         if tasks:
-            warm_started = time.time()
+            warm_started = time.time()  # repro: allow[wall-clock] progress timer
             try:
                 warmed = warm_cache_parallel(tasks, config, args.jobs)
             except Exception as exc:  # degrade to serial, don't abort
@@ -238,8 +238,9 @@ def main(argv: list[str] | None = None) -> int:
                       f"figures will compute their runs serially",
                       file=sys.stderr)
             else:
+                warm_secs = time.time() - warm_started  # repro: allow[wall-clock] progress timer
                 print(f"warmed {warmed} shared runs with {args.jobs} "
-                      f"workers ({time.time() - warm_started:.1f}s)")
+                      f"workers ({warm_secs:.1f}s)")
                 print()
 
     profiler = None
@@ -252,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     results = []
     failures: list[tuple[str, Exception]] = []
     for experiment_id in requested:
-        started = time.time()
+        started = time.time()  # repro: allow[wall-clock] progress timer
         try:
             result = run_experiment(experiment_id, config)
         except Exception as exc:  # keep regenerating the other figures
@@ -263,7 +264,8 @@ def main(argv: list[str] | None = None) -> int:
             continue
         results.append(result)
         print(result.to_table())
-        print(f"  ({time.time() - started:.1f}s)")
+        fig_secs = time.time() - started  # repro: allow[wall-clock] progress timer
+        print(f"  ({fig_secs:.1f}s)")
         print()
 
     if profiler is not None:
@@ -274,7 +276,8 @@ def main(argv: list[str] | None = None) -> int:
         stats.sort_stats("cumulative").print_stats(20)
 
     if not args.no_cache:
-        print(f"total {time.time() - started_total:.1f}s; "
+        total_secs = time.time() - started_total  # repro: allow[wall-clock] progress timer
+        print(f"total {total_secs:.1f}s; "
               f"cache: {cache.get_cache().stats()}")
     if args.out is not None:
         from repro.analysis.export import export_results

@@ -1,0 +1,172 @@
+"""Unit tests for the cache-key audit pass (synthetic modules)."""
+
+import textwrap
+
+from repro.checks.cachekeys import (audit_base_helpers, audit_cache_keys,
+                                    audit_fault_tokens, audit_key_classes)
+
+REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[2]
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestBaseHelperAudit:
+    KEYS = {"StreamKey", "GpdKey", "MonitorKey"}
+
+    def test_fully_keyed_helper_is_clean(self, tmp_path):
+        path = write(tmp_path, "base.py", """
+            def stream_for(model, period, config, plan=None):
+                faults = _fault_token(plan)
+                key = StreamKey(benchmark=model.name, scale=config.scale,
+                                period=period, seed=config.seed,
+                                faults=faults)
+                return CACHE.stream(key, lambda: simulate(config.seed))
+        """)
+        assert audit_base_helpers(path, "base.py", self.KEYS) == []
+
+    def test_unkeyed_parameter_is_caught(self, tmp_path):
+        path = write(tmp_path, "base.py", """
+            def stream_for(model, period, config, jitter=0.0):
+                key = StreamKey(benchmark=model.name, scale=config.scale,
+                                period=period, seed=config.seed)
+                return CACHE.stream(key, lambda: simulate(jitter))
+        """)
+        findings = audit_base_helpers(path, "base.py", self.KEYS)
+        assert [f.rule for f in findings] == ["cache-key-field"]
+        assert "jitter" in findings[0].message
+
+    def test_unkeyed_config_read_is_caught(self, tmp_path):
+        path = write(tmp_path, "base.py", """
+            def gpd_run(model, period, config):
+                key = GpdKey(benchmark=model.name, period=period,
+                             seed=config.seed)
+                return CACHE.detector(
+                    key, lambda: run(model, config.buffer_size))
+        """)
+        findings = audit_base_helpers(path, "base.py", self.KEYS)
+        assert any("buffer_size" in f.message for f in findings)
+
+    def test_parameter_flowing_through_local_is_keyed(self, tmp_path):
+        path = write(tmp_path, "base.py", """
+            def stream_for(model, period, config, plan=None):
+                token = derive(plan)
+                wrapped = normalize(token)
+                key = StreamKey(benchmark=model.name, scale=config.scale,
+                                period=period, seed=config.seed,
+                                faults=wrapped)
+                return CACHE.stream(key, lambda: simulate(plan))
+        """)
+        assert audit_base_helpers(path, "base.py", self.KEYS) == []
+
+    def test_helper_without_key_is_ignored(self, tmp_path):
+        path = write(tmp_path, "base.py", """
+            def benchmark_for(name, config):
+                return get_benchmark(name, scale=config.scale)
+        """)
+        assert audit_base_helpers(path, "base.py", self.KEYS) == []
+
+
+class TestKeyClassAudit:
+    def test_key_without_faults_is_caught(self, tmp_path):
+        path = write(tmp_path, "cache.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class StreamKey:
+                benchmark: str
+                seed: int
+        """)
+        findings, names = audit_key_classes(path, "cache.py")
+        assert [f.rule for f in findings] == ["cache-key-no-faults"]
+        assert names == {"StreamKey"}
+
+    def test_derived_key_coarser_than_stream_is_caught(self, tmp_path):
+        path = write(tmp_path, "cache.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class StreamKey:
+                benchmark: str
+                seed: int
+                faults: tuple = ()
+
+            @dataclass(frozen=True)
+            class GpdKey:
+                benchmark: str
+                buffer_size: int
+                faults: tuple = ()
+        """)
+        findings, _ = audit_key_classes(path, "cache.py")
+        assert any("seed" in f.message for f in findings)
+
+
+class TestFaultTokenAudit:
+    def test_inherited_token_is_clean(self, tmp_path):
+        path = write(tmp_path, "model.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SampleDrop(FaultSpec):
+                kind = "drop"
+                rate: float = 0.0
+                burst_mean: float = 1.0
+        """)
+        assert audit_fault_tokens(path, "model.py") == []
+
+    def test_token_override_omitting_a_field_is_caught(self, tmp_path):
+        path = write(tmp_path, "model.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class PcSkid(FaultSpec):
+                kind = "skid"
+                distribution: str = "exponential"
+                scale: float = 0.0
+
+                def token(self):
+                    return (self.kind, self.scale)
+        """)
+        findings = audit_fault_tokens(path, "model.py")
+        assert [f.rule for f in findings] == ["fault-token-incomplete"]
+        assert "distribution" in findings[0].message
+
+    def test_complete_token_override_is_clean(self, tmp_path):
+        path = write(tmp_path, "model.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class PcSkid(FaultSpec):
+                kind = "skid"
+                distribution: str = "exponential"
+                scale: float = 0.0
+
+                def token(self):
+                    return (self.kind, self.distribution, self.scale)
+        """)
+        assert audit_fault_tokens(path, "model.py") == []
+
+    def test_kind_collision_is_caught(self, tmp_path):
+        path = write(tmp_path, "model.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SampleDrop(FaultSpec):
+                kind = "drop"
+                rate: float = 0.0
+
+            @dataclass(frozen=True)
+            class BurstyDrop(FaultSpec):
+                kind = "drop"
+                rate: float = 0.0
+        """)
+        findings = audit_fault_tokens(path, "model.py")
+        assert [f.rule for f in findings] == ["fault-kind-collision"]
+
+
+def test_repo_cache_keys_audit_clean():
+    """The in-tree cache/base/fault modules pass the audit."""
+    assert audit_cache_keys(REPO_ROOT) == []

@@ -1,0 +1,231 @@
+"""Unit tests for the determinism lint rules."""
+
+import textwrap
+
+from repro.checks.determinism import lint_source
+from repro.checks.suppress import SuppressionIndex
+
+
+def lint(snippet):
+    return lint_source("snippet.py", textwrap.dedent(snippet))
+
+
+def rules(snippet):
+    return [f.rule for f in lint(snippet)]
+
+
+class TestUnseededRng:
+    def test_global_random_module_draw(self):
+        assert rules("""
+            import random
+            x = random.random()
+        """) == ["unseeded-rng"]
+
+    def test_from_import_draw(self):
+        assert rules("""
+            from random import randint
+            x = randint(1, 6)
+        """) == ["unseeded-rng"]
+
+    def test_unseeded_random_instance(self):
+        assert rules("""
+            import random
+            rng = random.Random()
+        """) == ["unseeded-rng"]
+
+    def test_seeded_random_instance_is_fine(self):
+        assert rules("""
+            import random
+            rng = random.Random(7)
+        """) == []
+
+    def test_numpy_global_draw(self):
+        assert rules("""
+            import numpy as np
+            x = np.random.rand(3)
+        """) == ["unseeded-rng"]
+
+    def test_numpy_aliased_submodule(self):
+        assert rules("""
+            import numpy.random as npr
+            x = npr.randint(0, 10)
+        """) == ["unseeded-rng"]
+
+    def test_unseeded_default_rng(self):
+        assert rules("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """) == ["unseeded-rng"]
+
+    def test_seeded_default_rng_is_fine(self):
+        assert rules("""
+            import numpy as np
+            rng = np.random.default_rng(123)
+            x = rng.random()
+        """) == []
+
+    def test_from_import_default_rng(self):
+        assert rules("""
+            from numpy.random import default_rng
+            rng = default_rng()
+        """) == ["unseeded-rng"]
+
+    def test_unrelated_random_attribute_is_fine(self):
+        # A local object with a .random() method is not the module.
+        assert rules("""
+            x = obj.random()
+        """) == []
+
+
+class TestWallClock:
+    def test_time_time(self):
+        assert rules("""
+            import time
+            t = time.time()
+        """) == ["wall-clock"]
+
+    def test_from_import_time(self):
+        assert rules("""
+            from time import perf_counter
+            t = perf_counter()
+        """) == ["wall-clock"]
+
+    def test_datetime_now(self):
+        assert rules("""
+            from datetime import datetime
+            stamp = datetime.now()
+        """) == ["wall-clock"]
+
+    def test_simulated_time_is_fine(self):
+        assert rules("""
+            t = stream.total_cycles / frequency
+        """) == []
+
+
+class TestUnorderedIter:
+    def test_for_over_set_literal(self):
+        assert rules("""
+            for x in {1, 2, 3}:
+                print(x)
+        """) == ["unordered-iter"]
+
+    def test_for_over_set_call(self):
+        assert rules("""
+            for x in set(values):
+                print(x)
+        """) == ["unordered-iter"]
+
+    def test_keys_union_binop(self):
+        assert rules("""
+            for k in a.keys() | b.keys():
+                total += a.get(k, 0)
+        """) == ["unordered-iter"]
+
+    def test_sorted_wrapping_is_fine(self):
+        assert rules("""
+            for x in sorted(set(values)):
+                print(x)
+            for k in sorted(a.keys() | b.keys()):
+                print(k)
+        """) == []
+
+    def test_list_of_set(self):
+        assert rules("""
+            items = list(set(values))
+        """) == ["unordered-iter"]
+
+    def test_join_of_set_comp(self):
+        assert rules("""
+            text = ",".join({str(v) for v in values})
+        """) == ["unordered-iter"]
+
+    def test_comprehension_over_set(self):
+        assert rules("""
+            doubled = [2 * x for x in {1, 2, 3}]
+        """) == ["unordered-iter"]
+
+    def test_dict_iteration_is_fine(self):
+        # Dicts preserve insertion order; only sets are flagged.
+        assert rules("""
+            for k in mapping:
+                print(k)
+            for k in mapping.keys():
+                print(k)
+        """) == []
+
+    def test_len_and_membership_are_fine(self):
+        assert rules("""
+            n = len(set(values))
+            ok = x in {1, 2, 3}
+        """) == []
+
+
+class TestFloatEquality:
+    def test_nonintegral_literal(self):
+        findings = lint("""
+            if r == 0.8:
+                pass
+        """)
+        assert [f.rule for f in findings] == ["float-equality"]
+
+    def test_not_equal(self):
+        assert rules("""
+            changed = value != 2.5
+        """) == ["float-equality"]
+
+    def test_integral_sentinels_are_fine(self):
+        assert rules("""
+            if total == 0.0 or scale == 1.0:
+                pass
+        """) == []
+
+    def test_ordering_comparisons_are_fine(self):
+        assert rules("""
+            if r >= 0.8:
+                pass
+        """) == []
+
+
+class TestSuppression:
+    def test_trailing_allow(self):
+        source = "import time\nt = time.time()  # repro: allow[wall-clock] diag\n"
+        findings = lint_source("f.py", source)
+        index = SuppressionIndex.from_source("f.py", source)
+        assert [f for f in findings
+                if not index.is_suppressed(f.rule, f.line)] == []
+        assert index.unused_findings() == []
+
+    def test_preceding_line_allow(self):
+        source = ("import time\n"
+                  "# repro: allow[wall-clock] diag\n"
+                  "t = time.time()\n")
+        findings = lint_source("f.py", source)
+        index = SuppressionIndex.from_source("f.py", source)
+        assert [f for f in findings
+                if not index.is_suppressed(f.rule, f.line)] == []
+
+    def test_wildcard_allow(self):
+        source = "import time\nt = time.time()  # repro: allow[*]\n"
+        index = SuppressionIndex.from_source("f.py", source)
+        assert index.is_suppressed("wall-clock", 2)
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = "import time\nt = time.time()  # repro: allow[unseeded-rng]\n"
+        index = SuppressionIndex.from_source("f.py", source)
+        assert not index.is_suppressed("wall-clock", 2)
+
+    def test_unused_suppression_reported(self):
+        source = "x = 1  # repro: allow[wall-clock]\n"
+        index = SuppressionIndex.from_source("f.py", source)
+        unused = index.unused_findings()
+        assert len(unused) == 1
+        assert unused[0].rule == "unused-suppression"
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        source = '"""Use # repro: allow[wall-clock] to suppress."""\n'
+        index = SuppressionIndex.from_source("f.py", source)
+        assert index.unused_findings() == []
+
+    def test_parse_error_reported(self):
+        findings = lint_source("f.py", "def broken(:\n")
+        assert [f.rule for f in findings] == ["parse-error"]

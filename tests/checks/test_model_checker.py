@@ -1,0 +1,197 @@
+"""Model-checker tests: the real machines verify, corrupted tables don't.
+
+The mutation-style tests are the acceptance proof for the checker itself:
+each one corrupts a single entry of a declarative transition table and
+asserts that ``repro-check`` reports the divergence between the (still
+correct) implementation and the (now wrong) spec.
+"""
+
+import dataclasses
+
+from repro.checks.statemachine import (check_gpd_equivalence,
+                                       check_gpd_trajectories,
+                                       check_lpd_equivalence, check_spec,
+                                       run_model_checker)
+from repro.core.states import (LPD_DISSIMILAR, LPD_SIMILAR, PhaseState,
+                               TransitionRule, gpd_machine_spec,
+                               lpd_machine_spec)
+from repro.core.thresholds import GpdThresholds, LpdThresholds
+
+
+def replace_rule(spec, state, input_class, **changes):
+    """Copy *spec* with one rule's fields changed."""
+    rules = []
+    hit = False
+    for rule in spec.rules:
+        if rule.state == state and rule.input == input_class:
+            rule = dataclasses.replace(rule, **changes)
+            hit = True
+        rules.append(rule)
+    assert hit, f"no rule ({state}, {input_class})"
+    return dataclasses.replace(spec, rules=tuple(rules))
+
+
+def drop_rule(spec, state, input_class):
+    rules = tuple(r for r in spec.rules
+                  if not (r.state == state and r.input == input_class))
+    assert len(rules) == len(spec.rules) - 1
+    return dataclasses.replace(spec, rules=rules)
+
+
+class TestHealthySpecs:
+    def test_lpd_spec_properties_hold(self):
+        assert check_spec(lpd_machine_spec()) == []
+
+    def test_gpd_spec_properties_hold(self):
+        assert check_spec(gpd_machine_spec()) == []
+
+    def test_gpd_spec_properties_hold_for_other_dwells(self):
+        for dwell in (1, 3, 5):
+            assert check_spec(gpd_machine_spec(dwell)) == []
+
+    def test_lpd_implementation_matches_table(self):
+        assert check_lpd_equivalence() == []
+
+    def test_gpd_implementation_matches_table(self):
+        assert check_gpd_equivalence() == []
+
+    def test_gpd_trajectories_match_table(self):
+        assert check_gpd_trajectories() == []
+
+    def test_full_model_checker_is_clean(self):
+        assert run_model_checker() == []
+
+    def test_gpd_equivalence_with_nondefault_thresholds(self):
+        th = GpdThresholds(th1=0.02, th2=0.06, th3=0.2, th4=0.5,
+                           dwell_intervals=3)
+        spec = gpd_machine_spec(3)
+        assert check_gpd_equivalence(spec, th) == []
+        assert check_gpd_trajectories(spec, th) == []
+
+    def test_lpd_equivalence_with_nondefault_threshold(self):
+        th = LpdThresholds(r_threshold=0.5)
+        assert check_lpd_equivalence(thresholds=th) == []
+
+
+class TestLpdMutations:
+    def test_wrong_next_state_is_caught(self):
+        # Corrupt Figure 12: claim LESS_UNSTABLE + similar stays put
+        # instead of declaring a stable phase.
+        mutated = replace_rule(
+            lpd_machine_spec(), PhaseState.LESS_UNSTABLE.value, LPD_SIMILAR,
+            next_state=PhaseState.LESS_UNSTABLE.value, phase_change=False)
+        findings = check_lpd_equivalence(mutated)
+        assert any(f.rule == "fsm-divergence" for f in findings)
+
+    def test_wrong_phase_change_flag_is_caught_by_spec_check(self):
+        mutated = replace_rule(
+            lpd_machine_spec(), PhaseState.LESS_STABLE.value, LPD_DISSIMILAR,
+            phase_change=False)
+        findings = check_spec(mutated)
+        assert any(f.rule == "fsm-phase-change-label" for f in findings)
+
+    def test_wrong_phase_change_flag_is_caught_by_equivalence(self):
+        mutated = replace_rule(
+            lpd_machine_spec(), PhaseState.STABLE.value, LPD_DISSIMILAR,
+            phase_change=True)
+        findings = check_lpd_equivalence(mutated)
+        assert any(f.rule == "fsm-divergence" for f in findings)
+
+    def test_wrong_stable_set_behavior_is_caught(self):
+        # Claim the stable set keeps updating after stabilization.
+        mutated = replace_rule(
+            lpd_machine_spec(), PhaseState.STABLE.value, LPD_SIMILAR,
+            updates_stable_set=True)
+        findings = check_lpd_equivalence(mutated)
+        assert any("stable set" in f.message for f in findings)
+
+    def test_missing_rule_is_caught(self):
+        mutated = drop_rule(lpd_machine_spec(),
+                            PhaseState.UNSTABLE.value, LPD_DISSIMILAR)
+        findings = check_spec(mutated)
+        assert any(f.rule == "fsm-incomplete" for f in findings)
+
+    def test_duplicate_rule_is_caught(self):
+        spec = lpd_machine_spec()
+        extra = TransitionRule(PhaseState.UNSTABLE.value, LPD_SIMILAR,
+                               PhaseState.STABLE.value, phase_change=True)
+        mutated = dataclasses.replace(spec, rules=spec.rules + (extra,))
+        findings = check_spec(mutated)
+        assert any(f.rule == "fsm-nondeterministic" for f in findings)
+
+    def test_unknown_target_state_is_caught(self):
+        mutated = replace_rule(
+            lpd_machine_spec(), PhaseState.UNSTABLE.value, LPD_SIMILAR,
+            next_state="limbo")
+        findings = check_spec(mutated)
+        assert any(f.rule == "fsm-unknown-state" for f in findings)
+
+    def test_unreachable_state_is_caught(self):
+        # Divert every edge into LESS_UNSTABLE away from it.
+        mutated = replace_rule(
+            lpd_machine_spec(), PhaseState.UNSTABLE.value, LPD_SIMILAR,
+            next_state=PhaseState.UNSTABLE.value)
+        findings = check_spec(mutated)
+        assert any(f.rule == "fsm-unreachable-state" for f in findings)
+
+
+class TestGpdMutations:
+    def test_wrong_collapse_target_is_caught(self):
+        # Claim a collapse from STABLE only demotes to the grace state.
+        mutated = replace_rule(
+            gpd_machine_spec(), PhaseState.STABLE.value, "collapse_thin",
+            next_state=PhaseState.LESS_UNSTABLE.value, phase_change=False)
+        findings = check_gpd_equivalence(mutated)
+        assert any(f.rule == "fsm-divergence" for f in findings)
+
+    def test_wrong_thickness_gate_is_caught(self):
+        # Claim a thick band still lets the detector leave UNSTABLE.
+        spec = gpd_machine_spec()
+        mutated = replace_rule(
+            spec, PhaseState.UNSTABLE.value, "tight_thick",
+            next_state=f"{PhaseState.LESS_STABLE.value}@2")
+        findings = check_gpd_equivalence(mutated)
+        assert any(f.rule == "fsm-divergence" for f in findings)
+
+    def test_wrong_dwell_tick_is_caught(self):
+        # Claim the dwell timer expires one interval early.
+        mutated = replace_rule(
+            gpd_machine_spec(), f"{PhaseState.LESS_STABLE.value}@2",
+            "tight_thin", next_state=PhaseState.STABLE.value,
+            phase_change=True)
+        findings = check_gpd_equivalence(mutated)
+        assert any(f.rule == "fsm-divergence" for f in findings)
+
+    def test_trajectory_replay_catches_divergence(self):
+        # The same early-expiry corruption must also fail the black-box
+        # trajectory replay (no private state poking involved).
+        mutated = replace_rule(
+            gpd_machine_spec(), f"{PhaseState.LESS_STABLE.value}@2",
+            "tight_thin", next_state=PhaseState.STABLE.value,
+            phase_change=True)
+        findings = check_gpd_trajectories(mutated)
+        assert any(f.rule in ("fsm-divergence", "fsm-incomplete")
+                   for f in findings)
+
+    def test_run_model_checker_reports_mutation(self):
+        mutated = replace_rule(
+            gpd_machine_spec(), PhaseState.LESS_UNSTABLE.value,
+            "tight_thin", next_state=PhaseState.UNSTABLE.value,
+            phase_change=True)
+        findings = run_model_checker(gpd_spec=mutated)
+        assert any(f.rule == "fsm-divergence" for f in findings)
+
+    def test_dwell_mismatch_is_caught(self):
+        # Spec built for dwell=3 but implementation runs dwell=2.
+        spec = gpd_machine_spec(3)
+        findings = check_gpd_equivalence(spec, GpdThresholds())
+        assert any(f.rule == "fsm-divergence" for f in findings)
+
+
+def test_mutated_initial_state_breaks_reachability():
+    spec = lpd_machine_spec()
+    mutated = dataclasses.replace(spec, initial=PhaseState.STABLE.value)
+    findings = check_spec(mutated)
+    # UNSTABLE is still reachable (dissimilar edges), but the machine no
+    # longer matches the implementation's start state.
+    assert check_lpd_equivalence(mutated) != [] or findings != []

@@ -2,8 +2,11 @@
 
 import pytest
 
-from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
-                               count_phase_changes, is_stable_state,
+from repro.core.states import (GPD_NO_BAND, LPD_DISSIMILAR, LPD_SIMILAR,
+                               PhaseEvent, PhaseEventKind, PhaseState,
+                               classify_gpd_input, classify_lpd_input,
+                               count_phase_changes, gpd_machine_spec,
+                               is_stable_state, lpd_machine_spec,
                                transition_crosses_boundary)
 
 
@@ -47,3 +50,58 @@ class TestPhaseEvent:
         assert count_phase_changes(events) == 2
         assert count_phase_changes([]) == 0
         assert count_phase_changes(iter(events)) == 2
+
+
+class TestMachineSpecs:
+    def test_lpd_spec_shape(self):
+        spec = lpd_machine_spec()
+        assert spec.name == "lpd"
+        assert len(spec.states) == 4
+        assert len(spec.inputs) == 2
+        assert len(spec.rules) == 8
+        assert spec.initial == PhaseState.UNSTABLE.value
+
+    def test_gpd_spec_shape(self):
+        spec = gpd_machine_spec(dwell_intervals=2)
+        # WARMUP, UNSTABLE, less_stable@2, less_stable@1, STABLE,
+        # LESS_UNSTABLE — and 11 input classes each.
+        assert len(spec.states) == 6
+        assert len(spec.inputs) == 11
+        assert len(spec.rules) == 6 * 11
+
+    def test_gpd_spec_rejects_bad_dwell(self):
+        with pytest.raises(ValueError):
+            gpd_machine_spec(dwell_intervals=0)
+
+    def test_walk_replays_the_declare_path(self):
+        spec = lpd_machine_spec()
+        taken = list(spec.walk([LPD_SIMILAR, LPD_SIMILAR]))
+        assert [r.next_state for r in taken] == [
+            PhaseState.LESS_UNSTABLE.value, PhaseState.STABLE.value]
+        assert [r.phase_change for r in taken] == [False, True]
+
+    def test_table_is_total(self):
+        for spec in (lpd_machine_spec(), gpd_machine_spec()):
+            table = spec.table()
+            for state in spec.states:
+                for input_class in spec.inputs:
+                    assert (state, input_class) in table
+
+    def test_phase_state_strips_dwell_suffix(self):
+        spec = gpd_machine_spec()
+        assert spec.phase_state("less_stable@2") is PhaseState.LESS_STABLE
+        assert spec.phase_state("stable") is PhaseState.STABLE
+
+    def test_classify_lpd_input(self):
+        assert classify_lpd_input(0.85, 0.8) == LPD_SIMILAR
+        assert classify_lpd_input(0.8, 0.8) == LPD_SIMILAR
+        assert classify_lpd_input(0.79, 0.8) == LPD_DISSIMILAR
+
+    def test_classify_gpd_input(self):
+        assert classify_gpd_input(0.0, True) == "tight_thin"
+        assert classify_gpd_input(0.01, False) == "tight_thick"
+        assert classify_gpd_input(0.03, True) == "tolerable_thin"
+        assert classify_gpd_input(0.08, True) == "moderate_thin"
+        assert classify_gpd_input(0.5, True) == "large_thin"
+        assert classify_gpd_input(float("inf"), True) == "collapse_thin"
+        assert classify_gpd_input(9.9, True, has_band=False) == GPD_NO_BAND

@@ -1,7 +1,6 @@
 """Robustness tests: the monitor under degenerate and adversarial input."""
 
 import numpy as np
-import pytest
 
 from repro.core import MonitorThresholds
 from repro.monitor import RegionMonitor

@@ -8,7 +8,6 @@ from repro.program.behavior import RegionSpec, bottleneck_profile
 from repro.program.binary import BinaryBuilder, loop, straight
 from repro.program.spec2000 import INTERVAL_45K
 from repro.program.workload import Periodic, Steady, WorkloadScript, mixture
-from repro.sampling import simulate_sampling
 
 BUFFER = 2032
 

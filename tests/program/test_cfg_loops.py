@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AddressError
 from repro.program.cfg import ControlFlowGraph
-from repro.program.instructions import BasicBlock, Instruction, Opcode
+from repro.program.instructions import BasicBlock, Instruction
 from repro.program.loops import find_natural_loops, innermost_loop_containing
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AddressError
 from repro.program.binary import BinaryBuilder, call, loop, straight
-from repro.program.instructions import BasicBlock, Instruction, Opcode
+from repro.program.instructions import BasicBlock, Instruction
 from repro.program.procedures import Procedure
 
 

@@ -1,7 +1,6 @@
 """Tests for hot-path trace selection and trace-based formation."""
 
 import numpy as np
-import pytest
 
 from repro.core import MonitorThresholds
 from repro.monitor import RegionMonitor
