@@ -1,0 +1,81 @@
+"""Telemetry-path benchmarks: the disabled fast path and the sink costs.
+
+The contract under test: with only the default ``NullSink`` attached the
+bus is *disabled* and every instrumentation site reduces to one attribute
+load and a falsy branch — no event objects are constructed.  The gated
+micro-benchmarks in ``test_micro_bench.py`` (``test_gpd_interval``,
+``test_lpd_interval``, ``test_monitor_interval_pipeline``) measure that
+overhead end-to-end against the pre-telemetry trajectory snapshot; the
+benchmarks here isolate the bus primitives themselves so a future
+regression is attributable.
+"""
+
+import numpy as np
+
+from repro.core.lpd import LocalPhaseDetector
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import StateTransition
+from repro.telemetry.sinks import InMemorySink, MetricsSink
+
+RNG = np.random.default_rng(42)
+
+
+def test_bus_disabled_check(benchmark):
+    """The per-site cost when telemetry is off: a bool attribute read."""
+    bus = EventBus()
+    assert not bus.enabled
+
+    def guarded_site():
+        hits = 0
+        for _ in range(1000):
+            if bus.enabled:
+                hits += 1  # pragma: no cover - never taken
+        return hits
+
+    assert benchmark(guarded_site) == 0
+
+
+def test_bus_emit_inmemory(benchmark):
+    """Construct-and-emit cost with a recording sink attached."""
+    bus = EventBus(sinks=[InMemorySink()])
+    assert bus.enabled
+    state = {"i": 0}
+
+    def emit_one():
+        state["i"] += 1
+        bus.emit(StateTransition(
+            interval_index=state["i"], detector="lpd", rid=3,
+            state_from="stable", state_to="stable", metric=0.97))
+
+    benchmark(emit_one)
+
+
+def test_bus_emit_metrics(benchmark):
+    """Construct-and-emit cost with metric aggregation attached."""
+    bus = EventBus(sinks=[MetricsSink()])
+    state = {"i": 0}
+
+    def emit_one():
+        state["i"] += 1
+        bus.emit(StateTransition(
+            interval_index=state["i"], detector="lpd", rid=3,
+            state_from="stable", state_to="stable", metric=0.97))
+
+    benchmark(emit_one)
+
+
+def test_lpd_interval_with_sink(benchmark):
+    """The instrumented LPD interval with a live sink (vs. the gated
+    ``test_lpd_interval``, which runs the same step with the bus off)."""
+    counts = RNG.integers(0, 100, size=256).astype(float)
+    bus = EventBus(sinks=[InMemorySink()])
+    detector = LocalPhaseDetector(n_instructions=256, telemetry=bus,
+                                  region_id=1)
+    state = {"i": 0}
+
+    def observe():
+        state["i"] += 1
+        return detector.observe(counts, state["i"])
+
+    benchmark(observe)
+    assert detector.active_intervals > 0

@@ -9,6 +9,14 @@ threshold (default 25%).  The accumulating ``BENCH_*.json`` files are the
 repository's performance trajectory — each snapshot also records the
 host's CPU count and the git revision it measured.
 
+Telemetry-overhead gate: the detector hot-path benchmarks listed in
+:data:`TELEMETRY_GATED` run with the default disabled telemetry bus, so
+their trajectory *is* the NullSink overhead budget.  They are held to a
+much tighter threshold (``--telemetry-threshold``, default 2%) than the
+general 25% noise allowance — the single ``bus.enabled`` check per
+instrumentation site must stay free — and their deltas are always printed
+even when they pass.
+
 Usage::
 
     python scripts/bench_compare.py                      # full suite
@@ -32,6 +40,19 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: Snapshot filename pattern; the lexicographic sort of the timestamp is
 #: the chronological order.
 SNAPSHOT_PATTERN = "BENCH_*.json"
+
+#: Benchmarks on the telemetry-instrumented detector hot path, gated at
+#: ``--telemetry-threshold`` instead of the general ``--threshold``.
+#: Matched by substring against the pytest-benchmark fullname.
+TELEMETRY_GATED = (
+    "test_gpd_interval",
+    "test_lpd_interval",
+    "test_monitor_interval_pipeline",
+)
+
+
+def _is_telemetry_gated(name: str) -> bool:
+    return any(pattern in name for pattern in TELEMETRY_GATED)
 
 
 def run_benchmarks(select: str, pytest_args: list[str]) -> dict:
@@ -94,29 +115,44 @@ def previous_snapshot() -> tuple[str, dict] | None:
         return paths[-1], json.load(handle)
 
 
-def compare(current: dict, previous: dict,
-            threshold: float) -> list[str]:
-    """Median-regression report lines; empty when everything is fine.
+def compare(current: dict, previous: dict, threshold: float,
+            telemetry_threshold: float | None = None
+            ) -> tuple[list[str], list[str]]:
+    """(regressions, telemetry-delta report lines) against a baseline.
 
     Only benchmarks present in *both* snapshots are compared: a test
     added since the previous snapshot (a growing suite is the normal
     case) has no baseline and is never a regression, and a removed test
     simply stops being tracked.  :func:`membership_changes` reports both
     sets for the log.
+
+    Benchmarks matching :data:`TELEMETRY_GATED` are held to
+    *telemetry_threshold* (``None``: same as *threshold*) and their
+    deltas are always reported, pass or fail.
     """
     regressions = []
+    telemetry_report = []
     before = previous.get("benchmarks", {})
     for name, stats in current["benchmarks"].items():
         old = before.get(name)
         if old is None or old["median"] <= 0:
             continue
         ratio = stats["median"] / old["median"]
-        if ratio > 1.0 + threshold:
+        gated = (telemetry_threshold is not None
+                 and _is_telemetry_gated(name))
+        limit = telemetry_threshold if gated else threshold
+        if gated:
+            telemetry_report.append(
+                f"{name}: median {old['median'] * 1e6:.1f}us -> "
+                f"{stats['median'] * 1e6:.1f}us "
+                f"({(ratio - 1.0) * 100.0:+.2f}%, "
+                f"budget {limit * 100.0:+.1f}%)")
+        if ratio > 1.0 + limit:
             regressions.append(
                 f"{name}: median {old['median']:.4f}s -> "
                 f"{stats['median']:.4f}s ({ratio:.2f}x, "
-                f"threshold {1.0 + threshold:.2f}x)")
-    return regressions
+                f"threshold {1.0 + limit:.2f}x)")
+    return regressions, telemetry_report
 
 
 def membership_changes(current: dict,
@@ -136,6 +172,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed median regression fraction "
                              "(default 0.25 = 25%%)")
+    parser.add_argument("--telemetry-threshold", type=float, default=0.02,
+                        help="allowed median regression fraction for the "
+                             "telemetry-gated detector hot-path "
+                             "benchmarks (default 0.02 = 2%%)")
     parser.add_argument("--dry-run", action="store_true",
                         help="compare only; do not write a new snapshot")
     parser.add_argument("pytest_args", nargs="*",
@@ -152,7 +192,8 @@ def main(argv: list[str] | None = None) -> int:
     regressions: list[str] = []
     if baseline is not None:
         path, previous = baseline
-        regressions = compare(snapshot, previous, args.threshold)
+        regressions, telemetry_report = compare(
+            snapshot, previous, args.threshold, args.telemetry_threshold)
         added, removed = membership_changes(snapshot, previous)
         print(f"compared {len(snapshot['benchmarks'])} benchmarks "
               f"against {os.path.basename(path)}")
@@ -160,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  new (no baseline, informational): {', '.join(added)}")
         if removed:
             print(f"  no longer present: {', '.join(removed)}")
+        if telemetry_report:
+            print("telemetry overhead (NullSink hot path vs baseline):")
+            for line in telemetry_report:
+                print(" ", line)
     else:
         print("no previous snapshot; recording the first trajectory point")
 

@@ -14,6 +14,7 @@ from repro.core.thresholds import GpdThresholds
 from repro.costs import CostLedger
 from repro.monitor.region_monitor import RegionMonitor
 from repro.sampling.events import SampleStream
+from repro.telemetry.bus import EventBus
 
 __all__ = [
     "run_gpd",
@@ -26,9 +27,14 @@ __all__ = [
 
 def run_gpd(stream: SampleStream, buffer_size: int,
             thresholds: GpdThresholds | None = None,
-            ledger: CostLedger | None = None) -> GlobalPhaseDetector:
-    """Feed every interval centroid of a stream to a fresh GPD."""
-    detector = GlobalPhaseDetector(thresholds)
+            ledger: CostLedger | None = None,
+            telemetry: EventBus | None = None) -> GlobalPhaseDetector:
+    """Feed every interval centroid of a stream to a fresh GPD.
+
+    *telemetry* (``None``: the process-wide bus) receives the detector's
+    event stream; it never influences the run's result.
+    """
+    detector = GlobalPhaseDetector(thresholds, telemetry=telemetry)
     centroids = stream.centroids(buffer_size)
     for value in centroids:
         if ledger is not None:

@@ -9,7 +9,11 @@ served.  Three static rules:
 ``cache-key-field``
     In ``experiments/base.py``, every parameter of a helper that builds a
     ``*Key`` — and every ``config.<field>`` the helper reads — must appear
-    inside the key constructor call.
+    inside the key constructor call.  Parameters named in
+    :data:`RESULT_INERT_PARAMS` are exempt: they are observability plumbing
+    that provably cannot change the computed artifact (the telemetry bus
+    carries events *out* of a run; nothing reads it back), so keying on
+    them would only fragment the cache.
 ``cache-key-no-faults``
     Every key dataclass in ``experiments/cache.py`` (and ``WarmTask``)
     must carry a ``faults`` field, and derived keys (``GpdKey``,
@@ -31,7 +35,13 @@ from pathlib import Path
 from repro.checks.findings import Finding, Severity
 
 __all__ = ["audit_cache_keys", "audit_base_helpers", "audit_key_classes",
-           "audit_fault_tokens"]
+           "audit_fault_tokens", "RESULT_INERT_PARAMS"]
+
+#: Helper parameters exempt from ``cache-key-field``: observability
+#: plumbing that cannot alter the computed artifact.  Keep this list
+#: short and justified — every entry must be write-only from the
+#: computation's point of view.
+RESULT_INERT_PARAMS = frozenset({"telemetry"})
 
 
 def _parse(path: Path) -> ast.Module | None:
@@ -149,7 +159,7 @@ def audit_base_helpers(base_path: Path, rel: str,
                         changed = True
 
         for param in params:
-            if param in keyed_names:
+            if param in keyed_names or param in RESULT_INERT_PARAMS:
                 continue
             findings.append(Finding(
                 rule="cache-key-field", severity=Severity.ERROR,

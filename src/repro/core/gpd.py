@@ -58,6 +58,8 @@ import numpy as np
 from repro.core.centroid import BandOfStability, CentroidHistory, centroid
 from repro.core.states import PhaseEvent, PhaseEventKind, PhaseState
 from repro.core.thresholds import GpdThresholds
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import NO_REGION, PhaseChange, StateTransition
 
 __all__ = ["GlobalPhaseDetector", "GpdObservation"]
 
@@ -100,8 +102,10 @@ class GlobalPhaseDetector:
     :attr:`events` and :attr:`observations`.
     """
 
-    def __init__(self, thresholds: GpdThresholds | None = None) -> None:
+    def __init__(self, thresholds: GpdThresholds | None = None,
+                 telemetry: EventBus | None = None) -> None:
         self.thresholds = thresholds or GpdThresholds()
+        self._telemetry = telemetry if telemetry is not None else get_bus()
         self._history = CentroidHistory(self.thresholds.history_length)
         self._state = PhaseState.WARMUP
         self._declared_stable = False
@@ -239,14 +243,31 @@ class GlobalPhaseDetector:
                 self._state = PhaseState.UNSTABLE
                 self._declared_stable = False
 
+        event: PhaseEvent | None = None
         if self._declared_stable != before_declared:
             kind = (PhaseEventKind.BECAME_STABLE if self._declared_stable
                     else PhaseEventKind.BECAME_UNSTABLE)
-            return PhaseEvent(
+            event = PhaseEvent(
                 interval_index=self._interval_index,
                 kind=kind,
                 state_from=before,
                 state_to=self._state,
                 detail=f"drift_ratio={ratio:.4g}",
             )
-        return None
+
+        bus = self._telemetry
+        if bus.enabled:
+            # JSON traces carry finite numbers only; an infinite drift
+            # ratio (warm-up, degenerate band) travels as -1.0.
+            metric = ratio if np.isfinite(ratio) else -1.0
+            bus.emit(StateTransition(
+                interval_index=self._interval_index, detector="gpd",
+                rid=NO_REGION, state_from=before.value,
+                state_to=self._state.value, metric=metric))
+            if event is not None:
+                bus.emit(PhaseChange(
+                    interval_index=self._interval_index, detector="gpd",
+                    rid=NO_REGION, kind=event.kind.value,
+                    state_from=before.value, state_to=self._state.value,
+                    detail=event.detail))
+        return event

@@ -49,6 +49,9 @@ from repro.core.similarity import PearsonSimilarity, SimilarityMeasure
 from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
                                is_stable_state)
 from repro.core.thresholds import LpdThresholds
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import (PhaseChange, StableSetFrozen,
+                                    StableSetUpdated, StateTransition)
 
 __all__ = ["LocalPhaseDetector", "LpdObservation"]
 
@@ -91,17 +94,28 @@ class LocalPhaseDetector:
         LPD knobs; defaults to the paper's r_t = 0.8, non-adaptive.
     measure:
         Similarity strategy; defaults to the paper's Pearson correlation.
+    telemetry:
+        Event bus to emit :class:`~repro.telemetry.events.StateTransition`
+        / phase-change / stable-set events into; defaults to the
+        process-wide bus (disabled unless a sink is attached).
+    region_id:
+        The monitored region's id, used as the event label (``-1`` for a
+        detector running outside a region monitor).
     """
 
     def __init__(self,
                  n_instructions: int,
                  thresholds: LpdThresholds | None = None,
-                 measure: SimilarityMeasure | None = None) -> None:
+                 measure: SimilarityMeasure | None = None,
+                 telemetry: EventBus | None = None,
+                 region_id: int = -1) -> None:
         if n_instructions < 1:
             raise ValueError("a region must contain at least one instruction")
         self.n_instructions = n_instructions
         self.thresholds = thresholds or LpdThresholds()
         self.measure: SimilarityMeasure = measure or PearsonSimilarity()
+        self._telemetry = telemetry if telemetry is not None else get_bus()
+        self._rid = region_id
         self._state = PhaseState.UNSTABLE
         self._stable_set: np.ndarray | None = None
         self._last_r = 0.0
@@ -164,6 +178,9 @@ class LocalPhaseDetector:
             # The paper: "After two intervals, an r-value can be computed."
             self._stable_set = counts
             event = None
+            if self._telemetry.enabled:
+                self._telemetry.emit(StableSetUpdated(interval_index,
+                                                      self._rid))
         else:
             self._last_r = float(self.measure(self._stable_set, counts))
             event = self._step(counts, interval_index)
@@ -230,18 +247,23 @@ class LocalPhaseDetector:
     def _step(self, counts: np.ndarray, interval_index: int) -> PhaseEvent | None:
         similar = self._last_r >= self.effective_threshold
         before = self._state
+        set_updated = False
+        set_frozen = False
 
         if self._state is PhaseState.UNSTABLE:
             self._state = (PhaseState.LESS_UNSTABLE if similar
                            else PhaseState.UNSTABLE)
             self._stable_set = counts
+            set_updated = True
         elif self._state is PhaseState.LESS_UNSTABLE:
             if similar:
                 self._state = PhaseState.STABLE
                 # Stable set frozen from here on.
+                set_frozen = True
             else:
                 self._state = PhaseState.UNSTABLE
                 self._stable_set = counts
+                set_updated = True
         elif self._state is PhaseState.STABLE:
             if not similar:
                 self._state = PhaseState.LESS_STABLE
@@ -251,16 +273,35 @@ class LocalPhaseDetector:
             else:
                 self._state = PhaseState.UNSTABLE
                 self._stable_set = counts
+                set_updated = True
 
+        event: PhaseEvent | None = None
         if is_stable_state(before) != is_stable_state(self._state):
             kind = (PhaseEventKind.BECAME_STABLE
                     if is_stable_state(self._state)
                     else PhaseEventKind.BECAME_UNSTABLE)
-            return PhaseEvent(
+            event = PhaseEvent(
                 interval_index=interval_index,
                 kind=kind,
                 state_from=before,
                 state_to=self._state,
                 detail=f"r={self._last_r:.4f}",
             )
-        return None
+
+        bus = self._telemetry
+        if bus.enabled:
+            bus.emit(StateTransition(
+                interval_index=interval_index, detector="lpd",
+                rid=self._rid, state_from=before.value,
+                state_to=self._state.value, metric=self._last_r))
+            if set_updated:
+                bus.emit(StableSetUpdated(interval_index, self._rid))
+            if set_frozen:
+                bus.emit(StableSetFrozen(interval_index, self._rid))
+            if event is not None:
+                bus.emit(PhaseChange(
+                    interval_index=interval_index, detector="lpd",
+                    rid=self._rid, kind=event.kind.value,
+                    state_from=before.value, state_to=self._state.value,
+                    detail=event.detail))
+        return event

@@ -24,6 +24,7 @@ from repro.faults.model import FaultPlan
 from repro.monitor import RegionMonitor
 from repro.program.spec2000 import BenchmarkModel, get_benchmark
 from repro.sampling import SampleStream, simulate_sampling
+from repro.telemetry.bus import EventBus
 
 
 def _fault_token(plan: FaultPlan | None) -> tuple:
@@ -94,28 +95,35 @@ def stream_for(model: BenchmarkModel, period: int,
 
 def gpd_run(model: BenchmarkModel, period: int,
             config: ExperimentConfig,
-            plan: FaultPlan | None = None) -> GlobalPhaseDetector:
+            plan: FaultPlan | None = None,
+            telemetry: EventBus | None = None) -> GlobalPhaseDetector:
     """Run the global phase detector over one benchmark stream (cached).
 
     The returned detector is a shared, completed run — read-only.
     Experiments that need fresh cost charging (fig15) call
     :func:`~repro.analysis.metrics.run_gpd` directly with their ledger.
+    *telemetry* (``None``: the process-wide bus) is result-inert and
+    deliberately not part of the key; a cache hit emits a ``CacheHit``
+    instead of re-playing the run's events.
     """
     key = GpdKey(benchmark=model.name, scale=config.scale, period=period,
                  seed=config.seed, buffer_size=config.buffer_size,
                  faults=_fault_token(plan))
     return GLOBAL_CACHE.detector(
         key, lambda: run_gpd(stream_for(model, period, config, plan),
-                             config.buffer_size))
+                             config.buffer_size, telemetry=telemetry))
 
 
 def monitored_run(model: BenchmarkModel, period: int,
                   config: ExperimentConfig,
                   attribution: str = "list",
-                  plan: FaultPlan | None = None) -> RegionMonitor:
+                  plan: FaultPlan | None = None,
+                  telemetry: EventBus | None = None) -> RegionMonitor:
     """Run a region monitor over one benchmark stream (cached).
 
     The returned monitor is a shared, completed run — read-only.
+    *telemetry* (``None``: the process-wide bus) is result-inert and
+    deliberately not part of the key.
     """
     key = MonitorKey(benchmark=model.name, scale=config.scale,
                      period=period, seed=config.seed,
@@ -127,7 +135,7 @@ def monitored_run(model: BenchmarkModel, period: int,
         monitor = RegionMonitor(
             model.binary,
             MonitorThresholds(buffer_size=config.buffer_size),
-            attribution=attribution)
+            attribution=attribution, telemetry=telemetry)
         monitor.process_stream(stream)
         return monitor
 

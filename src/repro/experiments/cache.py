@@ -27,6 +27,14 @@ every computation is seeded by its key.  The cache is bounded LRU so
 full-scale sweeps cannot grow memory without limit, and it can be
 disabled globally (the runner's ``--no-cache``) or temporarily
 (:func:`cache_disabled`).
+
+Telemetry: every memoized lookup emits a
+:class:`~repro.telemetry.events.CacheHit` or
+:class:`~repro.telemetry.events.CacheMiss` on the process bus (nothing
+when the cache is disabled — there is no lookup to report).  Telemetry is
+deliberately *not* part of any cache key: it is result-inert, and a cache
+hit therefore re-plays no pipeline events — the trace records the hit
+itself instead.
 """
 
 from __future__ import annotations
@@ -36,6 +44,9 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, TypeVar
+
+from repro.telemetry.bus import get_bus
+from repro.telemetry.events import CacheHit, CacheMiss
 
 __all__ = ["StreamKey", "MonitorKey", "GpdKey", "WarmTask", "CacheStats",
            "SimulationCache", "GLOBAL_CACHE", "get_cache", "set_enabled",
@@ -141,15 +152,21 @@ class SimulationCache:
 
     # -- generic memoization ------------------------------------------------
 
-    def _memoize(self, store: OrderedDict, key, compute: Callable[[], T]) -> T:
+    def _memoize(self, store: OrderedDict, key, compute: Callable[[], T],
+                 kind: str) -> T:
         if not self.enabled:
             return compute()
         with self._lock:
+            bus = get_bus()
             if key in store:
                 store.move_to_end(key)
                 self.hits += 1
+                if bus.enabled:
+                    bus.emit(CacheHit(kind=kind, key=repr(key)))
                 return store[key]
             self.misses += 1
+            if bus.enabled:
+                bus.emit(CacheMiss(kind=kind, key=repr(key)))
             value = compute()
             store[key] = value
             while len(store) > self.max_entries:
@@ -169,15 +186,15 @@ class SimulationCache:
 
     def stream(self, key: StreamKey, compute: Callable[[], T]) -> T:
         """The stream for *key*, computing and retaining it on a miss."""
-        return self._memoize(self._streams, key, compute)
+        return self._memoize(self._streams, key, compute, "stream")
 
     def monitor(self, key: MonitorKey, compute: Callable[[], T]) -> T:
         """The monitor run for *key*, computing and retaining on a miss."""
-        return self._memoize(self._monitors, key, compute)
+        return self._memoize(self._monitors, key, compute, "monitor")
 
     def detector(self, key: GpdKey, compute: Callable[[], T]) -> T:
         """The GPD run for *key*, computing and retaining on a miss."""
-        return self._memoize(self._detectors, key, compute)
+        return self._memoize(self._detectors, key, compute, "gpd")
 
     def put_stream(self, key: StreamKey, value) -> None:
         """Inject a stream computed elsewhere (a worker process)."""

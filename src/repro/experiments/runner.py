@@ -20,7 +20,15 @@ The performance engine behind the runner:
   (benchmark, scale, period, seed), so results are bit-identical to a
   serial run at any job count;
 * ``--profile`` prints a cProfile top-20 cumulative table for the figure
-  phase, so hot-path work is measured rather than guessed.
+  phase, so hot-path work is measured rather than guessed;
+* ``--trace FILE`` attaches a JSONL trace sink to the process telemetry
+  bus for the whole run, so every detector transition, phase change,
+  region event and cache lookup of the selected figures lands in FILE
+  (inspect with ``repro-trace``).  Tracing disables the parallel warm
+  phase: worker processes have their own (disabled) bus, and a trace
+  that silently omitted the warmed runs' events would be misleading.
+  The sink is flushed after every figure — including failed ones — so a
+  partial trace is always valid JSONL up to its last record.
 """
 
 from __future__ import annotations
@@ -209,6 +217,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--out", type=str, default=None, metavar="DIR",
                         help="also export results (JSON + CSV) into DIR")
+    parser.add_argument("--trace", type=str, default=None, metavar="FILE",
+                        help="write a JSONL telemetry trace of the run to "
+                             "FILE (disables the parallel warm phase; "
+                             "inspect with repro-trace)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -225,6 +237,19 @@ def main(argv: list[str] | None = None) -> int:
     requested = args.experiments
     if requested == ["all"] or requested == []:
         requested = list(DEFAULT_SET)
+
+    trace_sink = None
+    if args.trace is not None:
+        from repro.telemetry.bus import get_bus
+        from repro.telemetry.sinks import JsonlTraceSink
+
+        trace_sink = JsonlTraceSink(args.trace)
+        get_bus().attach(trace_sink)
+        if args.jobs > 1:
+            print("tracing: parallel warm phase disabled (worker "
+                  "processes would not contribute to the trace)",
+                  file=sys.stderr)
+            args.jobs = 1
 
     started_total = time.time()  # repro: allow[wall-clock] progress timer
     if args.jobs > 1 and not args.no_cache:
@@ -252,21 +277,36 @@ def main(argv: list[str] | None = None) -> int:
 
     results = []
     failures: list[tuple[str, Exception]] = []
-    for experiment_id in requested:
-        started = time.time()  # repro: allow[wall-clock] progress timer
-        try:
-            result = run_experiment(experiment_id, config)
-        except Exception as exc:  # keep regenerating the other figures
-            failures.append((experiment_id, exc))
-            print(f"[{experiment_id}] FAILED: "
-                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+    try:
+        for experiment_id in requested:
+            started = time.time()  # repro: allow[wall-clock] progress timer
+            try:
+                result = run_experiment(experiment_id, config)
+            except Exception as exc:  # keep regenerating the other figures
+                failures.append((experiment_id, exc))
+                print(f"[{experiment_id}] FAILED: "
+                      f"{type(exc).__name__}: {exc}", file=sys.stderr)
+                print()
+                # The events leading up to the failure are exactly what a
+                # post-mortem needs: make sure they are on disk.
+                if trace_sink is not None:
+                    trace_sink.flush()
+                continue
+            results.append(result)
+            print(result.to_table())
+            fig_secs = time.time() - started  # repro: allow[wall-clock] progress timer
+            print(f"  ({fig_secs:.1f}s)")
             print()
-            continue
-        results.append(result)
-        print(result.to_table())
-        fig_secs = time.time() - started  # repro: allow[wall-clock] progress timer
-        print(f"  ({fig_secs:.1f}s)")
-        print()
+            if trace_sink is not None:
+                trace_sink.flush()
+    finally:
+        if trace_sink is not None:
+            from repro.telemetry.bus import get_bus
+
+            get_bus().detach(trace_sink)
+            trace_sink.close()
+            print(f"trace: {args.trace} "
+                  f"({trace_sink.records_written} records)")
 
     if profiler is not None:
         import pstats

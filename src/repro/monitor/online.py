@@ -33,6 +33,8 @@ from repro.monitor.watchdog import (RegionWatchdog, WatchdogConfig,
 from repro.program.binary import SyntheticBinary
 from repro.sampling.buffer import SampleBuffer
 from repro.sampling.events import SampleStream
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import IntervalClosed, SampleBatch
 
 __all__ = ["OnlineSession", "GlobalChangeCallback", "LocalChangeCallback"]
 
@@ -71,6 +73,10 @@ class OnlineSession:
         given (and a region monitor is running) a
         :class:`~repro.monitor.watchdog.RegionWatchdog` observes every
         interval and degrades starved / stuck-unstable regions.
+    telemetry:
+        Event bus threaded through the session's monitor, detector and
+        watchdog; defaults to the process-wide bus (disabled unless a
+        sink is attached).
     """
 
     def __init__(self, binary: SyntheticBinary | None = None,
@@ -78,12 +84,16 @@ class OnlineSession:
                  gpd_thresholds: GpdThresholds | None = None,
                  run_gpd: bool = True,
                  watchdog: WatchdogConfig | None = None,
+                 telemetry: EventBus | None = None,
                  **monitor_kwargs) -> None:
         thresholds = monitor_thresholds or MonitorThresholds()
+        self._telemetry = telemetry if telemetry is not None else get_bus()
         self.gpd: GlobalPhaseDetector | None = (
-            GlobalPhaseDetector(gpd_thresholds) if run_gpd else None)
+            GlobalPhaseDetector(gpd_thresholds, telemetry=self._telemetry)
+            if run_gpd else None)
         self.monitor: RegionMonitor | None = (
-            RegionMonitor(binary, thresholds, **monitor_kwargs)
+            RegionMonitor(binary, thresholds, telemetry=self._telemetry,
+                          **monitor_kwargs)
             if binary is not None else None)
         if self.gpd is None and self.monitor is None:
             raise ValueError(
@@ -91,7 +101,8 @@ class OnlineSession:
                 "monitoring), run_gpd=True, or both")
         self.watchdog: RegionWatchdog | None = None
         if watchdog is not None and self.monitor is not None:
-            self.watchdog = RegionWatchdog(watchdog, self.monitor)
+            self.watchdog = RegionWatchdog(watchdog, self.monitor,
+                                           telemetry=self._telemetry)
         self._buffer = SampleBuffer(thresholds.buffer_size,
                                     self._on_overflow)
         self._global_callbacks: list[GlobalChangeCallback] = []
@@ -137,6 +148,10 @@ class OnlineSession:
                 f"feed_many expects integer PCs, got dtype {pcs.dtype}")
         pcs = pcs.astype(np.int64, copy=False)
         self.stats.samples += int(pcs.size)
+        bus = self._telemetry
+        if bus.enabled:
+            bus.emit(SampleBatch(cumulative_samples=self.stats.samples,
+                                 batch_size=int(pcs.size)))
         return self._buffer.push_many(pcs)
 
     def feed_stream(self, stream: SampleStream) -> int:
@@ -164,6 +179,14 @@ class OnlineSession:
                 self.stats.global_events += 1
                 for callback in self._global_callbacks:
                     callback(event)
+        if self.monitor is None:
+            # GPD-only sessions have no region monitor to close the
+            # interval; -1.0 marks the UCR fraction as not applicable.
+            bus = self._telemetry
+            if bus.enabled:
+                bus.emit(IntervalClosed(interval_index=interval_index,
+                                        n_samples=int(pcs.size),
+                                        ucr_fraction=-1.0, n_regions=0))
         if self.monitor is not None:
             report = self.monitor.process_interval(pcs, interval_index)
             self.reports.append(report)

@@ -36,6 +36,8 @@ from repro.regions.region import Region
 from repro.regions.registry import RegionRegistry
 from repro.regions.ucr import UcrTracker
 from repro.sampling.events import SampleStream
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import IntervalClosed, RegionFormed
 
 __all__ = ["IntervalReport", "RegionMonitor"]
 
@@ -93,6 +95,9 @@ class RegionMonitor:
         Optional eviction policy for cold regions.
     ledger:
         Cost ledger; a fresh one is created if not supplied.
+    telemetry:
+        Event bus for the monitor and its per-region detectors; defaults
+        to the process-wide bus (disabled unless a sink is attached).
     """
 
     def __init__(self, binary: SyntheticBinary,
@@ -103,8 +108,10 @@ class RegionMonitor:
                  trace_formation: bool = False,
                  annotations=None,
                  pruning: PruningPolicy | None = None,
-                 ledger: CostLedger | None = None) -> None:
+                 ledger: CostLedger | None = None,
+                 telemetry: EventBus | None = None) -> None:
         self.binary = binary
+        self._telemetry = telemetry if telemetry is not None else get_bus()
         self.thresholds = thresholds or MonitorThresholds()
         self.ledger = ledger if ledger is not None else CostLedger()
         self.registry = RegionRegistry()
@@ -145,10 +152,17 @@ class RegionMonitor:
         detector = LocalPhaseDetector(
             n_instructions=region.n_instructions,
             thresholds=self.thresholds.lpd,
-            measure=self._measure)
+            measure=self._measure,
+            telemetry=self._telemetry,
+            region_id=region.rid)
         self._detectors[region.rid] = detector
         self._activity[region.rid] = RegionActivity(rid=region.rid)
         self._formed_at[region.rid] = max(region.formed_at_interval, 0)
+        if self._telemetry.enabled:
+            self._telemetry.emit(RegionFormed(
+                interval_index=region.formed_at_interval,
+                rid=region.rid, start=region.start, end=region.end,
+                kind=region.kind.value))
 
     def add_region(self, start: int, end: int) -> Region:
         """Manually register a region (bypassing formation)."""
@@ -315,6 +329,11 @@ class RegionMonitor:
             region_samples=region_samples,
             pruned=tuple(pruned))
         self.reports.append(report)
+        if self._telemetry.enabled:
+            self._telemetry.emit(IntervalClosed(
+                interval_index=index, n_samples=int(pcs.size),
+                ucr_fraction=float(result.ucr_fraction),
+                n_regions=len(self.registry)))
         return report
 
     def process_stream(self, stream: SampleStream,

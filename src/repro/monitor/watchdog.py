@@ -31,6 +31,9 @@ from enum import Enum
 from repro.errors import ConfigError
 from repro.monitor.region_monitor import IntervalReport, RegionMonitor
 from repro.regions.region import Region
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import (Deoptimization, RegionBlacklisted,
+                                    RegionQuarantined)
 
 __all__ = ["WatchdogConfig", "WatchdogAction", "WatchdogEvent",
            "RegionWatchdog"]
@@ -127,9 +130,11 @@ class RegionWatchdog:
     """
 
     def __init__(self, config: WatchdogConfig | None = None,
-                 monitor: RegionMonitor | None = None) -> None:
+                 monitor: RegionMonitor | None = None,
+                 telemetry: EventBus | None = None) -> None:
         self.config = config or WatchdogConfig()
         self.monitor = monitor
+        self._telemetry = telemetry if telemetry is not None else get_bus()
         self._records: dict[int, _RegionRecord] = {}
         self.events: list[WatchdogEvent] = []
         if monitor is not None and self.config.quarantine:
@@ -221,13 +226,20 @@ class RegionWatchdog:
         record.starved_streak = 0
         record.unstable_streak = 0
         monitor.reset_detector(record.region.rid)
+        rid = record.region.rid
+        bus = self._telemetry
         if record.trips >= self.config.retry_budget:
             record.blacklisted = True
-            if config.quarantine and record.region.rid in monitor.registry:
-                monitor.quarantine(record.region.rid)
+            if config.quarantine and rid in monitor.registry:
+                monitor.quarantine(rid)
                 record.quarantined = True
+            if bus.enabled:
+                bus.emit(Deoptimization(index, rid, reason, "give_up"))
+                bus.emit(RegionBlacklisted(index, rid, reason))
+                if record.quarantined:
+                    bus.emit(RegionQuarantined(index, rid, reason))
             return WatchdogEvent(
-                interval_index=index, rid=record.region.rid,
+                interval_index=index, rid=rid,
                 action=WatchdogAction.GIVE_UP, reason=reason,
                 detail=f"streak={streak}, budget exhausted "
                        f"after {record.trips} trips")
@@ -235,11 +247,15 @@ class RegionWatchdog:
         backoff = int(config.backoff_intervals
                       * config.backoff_factor ** (record.trips - 1))
         record.retry_at = index + max(backoff, 1)
-        if config.quarantine and record.region.rid in monitor.registry:
-            monitor.quarantine(record.region.rid)
+        if config.quarantine and rid in monitor.registry:
+            monitor.quarantine(rid)
             record.quarantined = True
+        if bus.enabled:
+            bus.emit(Deoptimization(index, rid, reason, "deoptimize"))
+            if record.quarantined:
+                bus.emit(RegionQuarantined(index, rid, reason))
         return WatchdogEvent(
-            interval_index=index, rid=record.region.rid,
+            interval_index=index, rid=rid,
             action=WatchdogAction.DEOPTIMIZE, reason=reason,
             detail=f"streak={streak}, trip {record.trips}/"
                    f"{config.retry_budget}, retry at interval "

@@ -45,6 +45,8 @@ from repro.program.binary import SyntheticBinary
 from repro.program.workload import WorkloadScript
 from repro.sampling.events import SampleStream
 from repro.sampling.pmu import simulate_sampling
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import NO_REGION, Deoptimization
 
 __all__ = ["RtoConfig", "RtoResult", "RTOSystem", "compare_policies"]
 
@@ -160,18 +162,23 @@ class RTOSystem:
     seed:
         PMU seed — use the same seed across policies for a paired
         comparison.
+    telemetry:
+        Event bus threaded through the policy's detectors and the
+        deoptimization events; defaults to the process-wide bus.
     """
 
     def __init__(self, binary: SyntheticBinary,
                  regions: dict[str, RegionSpec], workload: WorkloadScript,
                  sampling_period: int, config: RtoConfig | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 telemetry: EventBus | None = None) -> None:
         self.binary = binary
         self.regions = dict(regions)
         self.workload = workload
         self.sampling_period = sampling_period
         self.config = config or RtoConfig()
         self.seed = seed
+        self._telemetry = telemetry if telemetry is not None else get_bus()
 
     # -- candidate plumbing ----------------------------------------------
 
@@ -256,15 +263,21 @@ class RTOSystem:
         shares = self._share_matrix(stream, n_intervals, buffer_size, names)
         centroids = stream.centroids(buffer_size)
 
-        detector = GlobalPhaseDetector(self.config.gpd)
+        detector = GlobalPhaseDetector(self.config.gpd,
+                                       telemetry=self._telemetry)
         ledger = CostLedger()
         traces = TraceCache()
+        bus = self._telemetry
         for interval in range(n_intervals):
             ledger.charge_gpd_interval(buffer_size)
             event = detector.observe_centroid(float(centroids[interval]))
             if event is not None \
                     and event.kind is PhaseEventKind.BECAME_UNSTABLE:
-                traces.unpatch_all(interval)
+                unpatched = traces.unpatch_all(interval)
+                if bus.enabled and unpatched:
+                    bus.emit(Deoptimization(interval, NO_REGION,
+                                            "global-phase-change",
+                                            "unpatch_all"))
             if detector.in_stable_phase:
                 for column, name in enumerate(names):
                     if shares[interval, column] >= self.config.hot_share:
@@ -274,12 +287,15 @@ class RTOSystem:
 
     def _run_lpd(self, stream: SampleStream) -> RtoResult:
         buffer_size = self.config.monitor.buffer_size
-        monitor = RegionMonitor(self.binary, self.config.monitor)
+        monitor = RegionMonitor(self.binary, self.config.monitor,
+                                telemetry=self._telemetry)
         span_index = self._span_index()
         candidates = self._candidates()
         self_monitor = SelfMonitor() if self.config.self_monitoring else None
-        watchdog = (RegionWatchdog(self.config.watchdog, monitor)
+        watchdog = (RegionWatchdog(self.config.watchdog, monitor,
+                                   telemetry=self._telemetry)
                     if self.config.watchdog is not None else None)
+        bus = self._telemetry
         undone: set[str] = set()
         n_undone = 0
         n_watchdog_deopts = 0
@@ -302,9 +318,13 @@ class RTOSystem:
                             and self_monitor is not None:
                         self_monitor.mark_deployed(rid)
                 else:
-                    if traces.unpatch(name, interval) \
-                            and self_monitor is not None:
-                        self_monitor.mark_unpatched(rid)
+                    if traces.unpatch(name, interval):
+                        if bus.enabled:
+                            bus.emit(Deoptimization(interval, rid,
+                                                    "local-phase-change",
+                                                    "unpatch"))
+                        if self_monitor is not None:
+                            self_monitor.mark_unpatched(rid)
             if watchdog is not None:
                 for wd_event in watchdog.observe_interval(report):
                     if wd_event.action is WatchdogAction.RETRY:
@@ -313,7 +333,9 @@ class RTOSystem:
                     region = monitor.region_record(wd_event.rid)
                     name = span_index.get((region.start, region.end))
                     if name is not None and name in candidates:
-                        traces.unpatch(name, interval)
+                        if traces.unpatch(name, interval) and bus.enabled:
+                            bus.emit(Deoptimization(interval, wd_event.rid,
+                                                    "watchdog", "unpatch"))
             if self_monitor is not None:
                 self._self_monitor_step(monitor, traces, span_index,
                                         candidates, self_monitor, undone,
@@ -345,6 +367,10 @@ class RTOSystem:
             self_monitor.observe(region.rid, metric)
             if deployed and self_monitor.should_undo(region.rid):
                 traces.unpatch(name, interval)
+                bus = self._telemetry
+                if bus.enabled:
+                    bus.emit(Deoptimization(interval, region.rid,
+                                            "self-monitor", "unpatch"))
                 self_monitor.mark_unpatched(region.rid)
                 undone.add(name)
 

@@ -1,0 +1,44 @@
+"""Telemetry: structured tracing and metrics for the online pipeline.
+
+The subsystem has four layers (see ``docs/architecture.md`` §Telemetry):
+
+* :mod:`repro.telemetry.events` — frozen dataclass events carrying
+  virtual time only (interval ids, cumulative sample counts);
+* :mod:`repro.telemetry.bus` — the :class:`EventBus` instrumented
+  components emit into, disabled (zero-overhead) by default;
+* :mod:`repro.telemetry.sinks` / :mod:`repro.telemetry.metrics` —
+  pluggable consumers: null, in-memory, schema-versioned JSONL, and a
+  metrics registry with Prometheus-style text exposition;
+* :mod:`repro.telemetry.cli` — the ``repro-trace`` inspection CLI
+  (``summary``, ``timeline``, ``regions``, ``validate``).
+
+Telemetry is result-inert by contract: with the default
+:class:`NullSink`, every figure and cache key is bit-identical to an
+uninstrumented run, and enabling a sink only *observes* the pipeline.
+"""
+
+from repro.telemetry.bus import EventBus, capture, get_bus
+from repro.telemetry.events import (EVENT_TYPES, SCHEMA_VERSION, CacheHit,
+                                    CacheMiss, Deoptimization,
+                                    IntervalClosed, PhaseChange,
+                                    RegionBlacklisted, RegionFormed,
+                                    RegionQuarantined, SampleBatch,
+                                    StableSetFrozen, StableSetUpdated,
+                                    StateTransition, TelemetryEvent)
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry)
+from repro.telemetry.sinks import (InMemorySink, JsonlTraceSink,
+                                   MetricsSink, NullSink, Sink)
+from repro.telemetry.trace import (from_record, read_trace, to_record,
+                                   validate_trace)
+
+__all__ = [
+    "EventBus", "get_bus", "capture",
+    "TelemetryEvent", "SampleBatch", "IntervalClosed", "StateTransition",
+    "PhaseChange", "StableSetFrozen", "StableSetUpdated", "RegionFormed",
+    "RegionQuarantined", "RegionBlacklisted", "Deoptimization", "CacheHit",
+    "CacheMiss", "EVENT_TYPES", "SCHEMA_VERSION",
+    "Sink", "NullSink", "InMemorySink", "JsonlTraceSink", "MetricsSink",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "to_record", "from_record", "read_trace", "validate_trace",
+]

@@ -1,0 +1,298 @@
+"""The ``repro-trace`` command-line entry point.
+
+Render and validate JSONL traces written by
+:class:`~repro.telemetry.sinks.JsonlTraceSink`::
+
+    repro-trace validate trace.jsonl        # schema + sequencing check
+    repro-trace summary trace.jsonl         # event/region/cache overview
+    repro-trace summary trace.jsonl --prometheus
+    repro-trace timeline trace.jsonl        # per-region phase timelines
+    repro-trace timeline trace.jsonl --detector gpd
+    repro-trace regions trace.jsonl --rid 3 # transition matrix + audit
+
+Exit status: 0 on success, 1 when ``validate`` finds problems, 2 on a
+usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.telemetry.events import (Deoptimization, IntervalClosed,
+                                    PhaseChange, RegionBlacklisted,
+                                    RegionFormed, RegionQuarantined,
+                                    SampleBatch, StableSetFrozen,
+                                    StableSetUpdated, StateTransition,
+                                    TelemetryEvent)
+from repro.telemetry.sinks import MetricsSink
+from repro.telemetry.trace import read_trace, validate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Inspect JSONL telemetry traces of the online "
+                    "phase-detection pipeline.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser(
+        "validate", help="check schema, field types and sequencing")
+    validate.add_argument("trace", help="trace file (JSONL)")
+
+    summary = sub.add_parser(
+        "summary", help="event counts, per-region totals, cache hit rate")
+    summary.add_argument("trace", help="trace file (JSONL)")
+    summary.add_argument("--prometheus", action="store_true",
+                         help="print the metrics-registry text exposition "
+                              "instead of the table")
+
+    timeline = sub.add_parser(
+        "timeline", help="per-region (or GPD) phase-state timeline")
+    timeline.add_argument("trace", help="trace file (JSONL)")
+    timeline.add_argument("--detector", choices=("lpd", "gpd"),
+                          default="lpd",
+                          help="which detector's transitions to render")
+    timeline.add_argument("--rid", type=int, default=None,
+                          help="restrict to one region id")
+
+    regions = sub.add_parser(
+        "regions", help="per-region formation, transition matrix, "
+                        "stable-set and watchdog audit")
+    regions.add_argument("trace", help="trace file (JSONL)")
+    regions.add_argument("--rid", type=int, default=None,
+                         help="restrict to one region id")
+    return parser
+
+
+def _load(path: str) -> list[TelemetryEvent]:
+    problems = validate_trace(path)
+    if problems:
+        lines = "\n  ".join(problems[:10])
+        raise SystemExit(f"repro-trace: {path} is not a valid trace:\n"
+                         f"  {lines}")
+    return list(read_trace(path))
+
+
+# -- summary -----------------------------------------------------------------
+
+def cmd_summary(events: list[TelemetryEvent], prometheus: bool,
+                out) -> int:
+    if prometheus:
+        sink = MetricsSink()
+        for event in events:
+            sink.emit(event)
+        out.write(sink.registry.to_text())
+        return 0
+
+    by_type: dict[str, int] = {}
+    for event in events:
+        by_type[event.etype] = by_type.get(event.etype, 0) + 1
+    print(f"{len(events)} events", file=out)
+    for etype in sorted(by_type):
+        print(f"  {etype:<22} {by_type[etype]}", file=out)
+
+    intervals = [e for e in events if isinstance(e, IntervalClosed)]
+    samples = sum(e.batch_size for e in events
+                  if isinstance(e, SampleBatch))
+    if intervals:
+        print(f"intervals: {len(intervals)} "
+              f"(last index {intervals[-1].interval_index})", file=out)
+    if samples:
+        print(f"samples delivered: {samples}", file=out)
+
+    per_region: dict[int, dict[str, int]] = {}
+    for event in events:
+        if isinstance(event, StateTransition) and event.detector == "lpd":
+            row = per_region.setdefault(
+                event.rid, {"transitions": 0, "changes": 0})
+            row["transitions"] += 1
+        elif isinstance(event, PhaseChange) and event.detector == "lpd":
+            row = per_region.setdefault(
+                event.rid, {"transitions": 0, "changes": 0})
+            row["changes"] += 1
+    if per_region:
+        print("per-region (lpd):", file=out)
+        print(f"  {'rid':>5}  {'transitions':>11}  {'changes':>7}",
+              file=out)
+        for rid in sorted(per_region):
+            row = per_region[rid]
+            print(f"  {rid:>5}  {row['transitions']:>11}  "
+                  f"{row['changes']:>7}", file=out)
+
+    gpd_changes = sum(1 for e in events if isinstance(e, PhaseChange)
+                      and e.detector == "gpd")
+    gpd_steps = sum(1 for e in events if isinstance(e, StateTransition)
+                    and e.detector == "gpd")
+    if gpd_steps:
+        print(f"gpd: {gpd_steps} transitions, {gpd_changes} phase changes",
+              file=out)
+
+    hits = by_type.get("cache_hit", 0)
+    misses = by_type.get("cache_miss", 0)
+    if hits or misses:
+        rate = hits / (hits + misses)
+        print(f"cache: {hits} hits / {misses} misses "
+              f"({100.0 * rate:.1f}% hit rate)", file=out)
+
+    deopts = [e for e in events if isinstance(e, Deoptimization)]
+    if deopts:
+        reasons: dict[str, int] = {}
+        for event in deopts:
+            tag = f"{event.reason}/{event.action}"
+            reasons[tag] = reasons.get(tag, 0) + 1
+        rendered = ", ".join(f"{tag}: {count}"
+                             for tag, count in sorted(reasons.items()))
+        print(f"deoptimizations: {len(deopts)} ({rendered})", file=out)
+    return 0
+
+
+# -- timeline ----------------------------------------------------------------
+
+def _segments(transitions: list[StateTransition]
+              ) -> list[tuple[int, int, str]]:
+    """Collapse a transition list into (first, last, state) segments."""
+    segments: list[tuple[int, int, str]] = []
+    for event in transitions:
+        if segments and segments[-1][2] == event.state_to:
+            first, _, state = segments[-1]
+            segments[-1] = (first, event.interval_index, state)
+        else:
+            segments.append((event.interval_index, event.interval_index,
+                             event.state_to))
+    return segments
+
+
+def cmd_timeline(events: list[TelemetryEvent], detector: str,
+                 rid: int | None, out) -> int:
+    spans = {e.rid: e for e in events if isinstance(e, RegionFormed)}
+    streams: dict[int, list[StateTransition]] = {}
+    for event in events:
+        if isinstance(event, StateTransition) \
+                and event.detector == detector:
+            streams.setdefault(event.rid, []).append(event)
+    if rid is not None:
+        streams = {rid: streams[rid]} if rid in streams else {}
+    if not streams:
+        scope = f"rid {rid}" if rid is not None else f"{detector} events"
+        print(f"no transitions for {scope} in this trace", file=out)
+        return 0
+    for region_id in sorted(streams):
+        formed = spans.get(region_id)
+        label = (f"region {region_id} "
+                 f"[{formed.start:#x}-{formed.end:#x}]" if formed
+                 else ("gpd" if region_id < 0
+                       else f"region {region_id}"))
+        rendered = "  ".join(
+            f"[{first}-{last}] {state}" if first != last
+            else f"[{first}] {state}"
+            for first, last, state in _segments(streams[region_id]))
+        print(f"{label}: {rendered}", file=out)
+    return 0
+
+
+# -- regions -----------------------------------------------------------------
+
+def cmd_regions(events: list[TelemetryEvent], rid: int | None,
+                out) -> int:
+    formed = {e.rid: e for e in events if isinstance(e, RegionFormed)}
+    rids = sorted(formed)
+    transitions: dict[int, list[StateTransition]] = {}
+    for event in events:
+        if isinstance(event, StateTransition) and event.detector == "lpd":
+            transitions.setdefault(event.rid, []).append(event)
+            if event.rid not in formed:
+                rids = sorted(set(rids) | {event.rid})
+    if rid is not None:
+        rids = [rid] if rid in rids else []
+    if not rids:
+        print("no region events in this trace", file=out)
+        return 0
+
+    audits: dict[int, list[str]] = {}
+    for event in events:
+        if isinstance(event, Deoptimization) and event.rid >= 0:
+            audits.setdefault(event.rid, []).append(
+                f"interval {event.interval_index}: {event.action} "
+                f"({event.reason})")
+        elif isinstance(event, RegionQuarantined):
+            audits.setdefault(event.rid, []).append(
+                f"interval {event.interval_index}: quarantined "
+                f"({event.reason})")
+        elif isinstance(event, RegionBlacklisted):
+            audits.setdefault(event.rid, []).append(
+                f"interval {event.interval_index}: blacklisted "
+                f"({event.reason})")
+
+    for region_id in rids:
+        info = formed.get(region_id)
+        if info is not None:
+            print(f"region {region_id}  [{info.start:#x}-{info.end:#x}]  "
+                  f"kind={info.kind}  formed at interval "
+                  f"{info.interval_index}", file=out)
+        else:
+            print(f"region {region_id}  (formation not in trace)",
+                  file=out)
+        steps = transitions.get(region_id, [])
+        matrix: dict[tuple[str, str], int] = {}
+        for event in steps:
+            edge = (event.state_from, event.state_to)
+            matrix[edge] = matrix.get(edge, 0) + 1
+        if matrix:
+            print("  transitions:", file=out)
+            for (src, dst), count in sorted(matrix.items()):
+                print(f"    {src:>13} -> {dst:<13} {count}", file=out)
+        frozen = sum(1 for e in events if isinstance(e, StableSetFrozen)
+                     and e.rid == region_id)
+        updated = sum(1 for e in events
+                      if isinstance(e, StableSetUpdated)
+                      and e.rid == region_id)
+        changes = sum(1 for e in events if isinstance(e, PhaseChange)
+                      and e.detector == "lpd" and e.rid == region_id)
+        print(f"  phase changes: {changes}; stable set: {frozen} "
+              f"freeze(s), {updated} update(s)", file=out)
+        for line in audits.get(region_id, []):
+            print(f"  watchdog: {line}", file=out)
+    return 0
+
+
+# -- entry point -------------------------------------------------------------
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "validate":
+        if not Path(args.trace).exists():
+            print(f"repro-trace: no such trace {args.trace!r}",
+                  file=sys.stderr)
+            return 2
+        problems = validate_trace(args.trace)
+        if problems:
+            for problem in problems:
+                print(problem, file=out)
+            print(f"repro-trace: {len(problems)} problem(s)", file=out)
+            return 1
+        count = sum(1 for _ in read_trace(args.trace))
+        print(f"repro-trace: valid ({count} event record(s))", file=out)
+        return 0
+
+    try:
+        events = _load(args.trace)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.command == "summary":
+        return cmd_summary(events, args.prometheus, out)
+    if args.command == "timeline":
+        return cmd_timeline(events, args.detector, args.rid, out)
+    return cmd_regions(events, args.rid, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,236 @@
+"""Typed telemetry events for the online phase-detection pipeline.
+
+Every event is a small frozen dataclass carrying **virtual time** only —
+interval indexes and cumulative sample counts, never wall clock — so an
+instrumented run stays a pure function of its configuration and the
+determinism lint / bit-identical caching contracts hold with telemetry
+enabled.  Field values are restricted to JSON scalars (``int``, ``float``,
+``str``) so a trace record round-trips losslessly through the JSONL
+schema in :mod:`repro.telemetry.trace`; detector states and region kinds
+travel as their enum ``.value`` strings for the same reason.
+
+The taxonomy mirrors what the paper's figures aggregate post-hoc:
+per-interval sample delivery, every detector state transition, the
+phase-change edges, stable-set freezes/updates, region lifecycle
+(formation, quarantine, blacklist), deoptimizations, and simulation-cache
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+__all__ = [
+    "SCHEMA_VERSION", "NO_REGION", "TelemetryEvent", "SampleBatch",
+    "IntervalClosed",
+    "StateTransition", "PhaseChange", "StableSetFrozen", "StableSetUpdated",
+    "RegionFormed", "RegionQuarantined", "RegionBlacklisted",
+    "Deoptimization", "CacheHit", "CacheMiss", "EVENT_TYPES", "event_fields",
+]
+
+#: Version of the JSONL trace record layout; bumped on any incompatible
+#: change to an event's field set.
+SCHEMA_VERSION = 1
+
+#: Sentinel for "no region" in events whose emitter has no region scope
+#: (the global detector, whole-cache unpatches).
+NO_REGION = -1
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """Base class of every telemetry event (never emitted as-is).
+
+    ``etype`` is the event's wire tag: the ``"etype"`` field of its JSONL
+    record and the key of :data:`EVENT_TYPES`.
+    """
+
+    etype: ClassVar[str] = ""
+
+
+@dataclass(frozen=True, slots=True)
+class SampleBatch(TelemetryEvent):
+    """A batch of PMU samples entered the pipeline.
+
+    ``cumulative_samples`` is the session's running sample count *after*
+    this batch — the finest-grained virtual clock the pipeline has.
+    """
+
+    etype: ClassVar[str] = "sample_batch"
+
+    cumulative_samples: int
+    batch_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalClosed(TelemetryEvent):
+    """One buffer-overflow interval finished processing.
+
+    ``ucr_fraction`` is ``-1.0`` for GPD-only sessions (no region monitor,
+    so no unmonitored-code-region accounting).
+    """
+
+    etype: ClassVar[str] = "interval_closed"
+
+    interval_index: int
+    n_samples: int
+    ucr_fraction: float
+    n_regions: int
+
+
+@dataclass(frozen=True, slots=True)
+class StateTransition(TelemetryEvent):
+    """One detector machine step (including self-loops).
+
+    ``detector`` is ``"lpd"`` or ``"gpd"``; ``rid`` is the region id for
+    local detectors and ``-1`` for the global one.  ``metric`` is the
+    r-value (LPD) or the drift ratio (GPD, clamped to ``-1.0`` when the
+    band is degenerate and the true ratio is infinite: JSON has no inf).
+    """
+
+    etype: ClassVar[str] = "state_transition"
+
+    interval_index: int
+    detector: str
+    rid: int
+    state_from: str
+    state_to: str
+    metric: float
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseChange(TelemetryEvent):
+    """A stable/unstable boundary crossing (the paper's dotted edges)."""
+
+    etype: ClassVar[str] = "phase_change"
+
+    interval_index: int
+    detector: str
+    rid: int
+    kind: str
+    state_from: str
+    state_to: str
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class StableSetFrozen(TelemetryEvent):
+    """A region's stable set froze (its phase stabilized)."""
+
+    etype: ClassVar[str] = "stable_set_frozen"
+
+    interval_index: int
+    rid: int
+
+
+@dataclass(frozen=True, slots=True)
+class StableSetUpdated(TelemetryEvent):
+    """A region's stable set was replaced with the current histogram."""
+
+    etype: ClassVar[str] = "stable_set_updated"
+
+    interval_index: int
+    rid: int
+
+
+@dataclass(frozen=True, slots=True)
+class RegionFormed(TelemetryEvent):
+    """A region entered the monitored set."""
+
+    etype: ClassVar[str] = "region_formed"
+
+    interval_index: int
+    rid: int
+    start: int
+    end: int
+    kind: str
+
+
+@dataclass(frozen=True, slots=True)
+class RegionQuarantined(TelemetryEvent):
+    """The watchdog removed a region from the monitored set."""
+
+    etype: ClassVar[str] = "region_quarantined"
+
+    interval_index: int
+    rid: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class RegionBlacklisted(TelemetryEvent):
+    """A region exhausted its watchdog retry budget."""
+
+    etype: ClassVar[str] = "region_blacklisted"
+
+    interval_index: int
+    rid: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class Deoptimization(TelemetryEvent):
+    """A deployed optimization was withdrawn (or a region degraded).
+
+    ``action`` distinguishes the emitters: ``"deoptimize"``/``"give_up"``
+    from the watchdog, ``"unpatch"`` from the RTO's per-region policy,
+    ``"unpatch_all"`` from the ORIG policy's global response (``rid`` is
+    ``-1`` there).
+    """
+
+    etype: ClassVar[str] = "deoptimization"
+
+    interval_index: int
+    rid: int
+    reason: str
+    action: str
+
+
+@dataclass(frozen=True, slots=True)
+class CacheHit(TelemetryEvent):
+    """The simulation cache served a stored artifact.
+
+    Cache traffic is configuration-level, not interval-level, so these two
+    events carry no virtual-time field — only the store ``kind``
+    (``stream``/``gpd``/``monitor``) and the deterministic key repr.
+    """
+
+    etype: ClassVar[str] = "cache_hit"
+
+    kind: str
+    key: str
+
+
+@dataclass(frozen=True, slots=True)
+class CacheMiss(TelemetryEvent):
+    """The simulation cache computed (and retained) a fresh artifact."""
+
+    etype: ClassVar[str] = "cache_miss"
+
+    kind: str
+    key: str
+
+
+#: Wire tag -> event class, for decoding and validating trace records.
+EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
+    cls.etype: cls
+    for cls in (
+        SampleBatch, IntervalClosed, StateTransition, PhaseChange,
+        StableSetFrozen, StableSetUpdated, RegionFormed, RegionQuarantined,
+        RegionBlacklisted, Deoptimization, CacheHit, CacheMiss,
+    )
+}
+
+#: JSON scalar types an event field may use (int before float: a bool is
+#: an int in Python, but events never carry bools).
+_FIELD_TYPES: dict[str, type] = {"int": int, "float": float, "str": str}
+
+
+def event_fields(cls: type[TelemetryEvent]) -> dict[str, type]:
+    """``field name -> python type`` for one event class.
+
+    Annotations are strings (``from __future__ import annotations``), and
+    events only ever use JSON scalars, so the lookup is a direct map.
+    """
+    return {f.name: _FIELD_TYPES[str(f.type)] for f in fields(cls)}

@@ -1,0 +1,182 @@
+"""Metrics registry: counters, gauges and bounded histograms.
+
+A :class:`MetricsRegistry` is a deterministic, label-aware metric store
+with a Prometheus-style text exposition (:meth:`MetricsRegistry.to_text`).
+Labels carry the pipeline's two natural dimensions — per-region (``rid``)
+and per-detector (``lpd``/``gpd``) — plus whatever the caller needs.
+
+Determinism: metric identity is ``(name, sorted(labels))``, exposition
+output is sorted, and histograms use fixed bucket bounds, so the rendered
+text of a run is itself a reproducible artifact.  Nothing here reads the
+clock; rate computation is the consumer's job (the virtual clock is the
+interval index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = ["MetricKey", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_FRACTION_BUCKETS", "DEFAULT_R_VALUE_BUCKETS"]
+
+#: Bucket upper bounds for fraction-valued observations (UCR share).
+DEFAULT_FRACTION_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                            1.0)
+
+#: Bucket upper bounds for Pearson r observations (the LPD's metric).
+DEFAULT_R_VALUE_BUCKETS = (-0.5, 0.0, 0.25, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricKey:
+    """Identity of one metric series: name plus sorted label pairs."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, labels: dict[str, str]) -> "MetricKey":
+        return cls(name, tuple(sorted((str(k), str(v))
+                                      for k, v in labels.items())))
+
+    def render_labels(self) -> str:
+        """The ``{k="v",...}`` exposition suffix (empty without labels)."""
+        if not self.labels:
+            return ""
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return "{" + inner + "}"
+
+
+@dataclass(slots=True)
+class Counter:
+    """Monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError("a counter can only increase")
+        self.value += amount
+
+
+@dataclass(slots=True)
+class Gauge:
+    """Point-in-time value (last write wins)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Bounded histogram: fixed bucket bounds plus sum and count.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in the implicit overflow (``+Inf``) bucket, so memory is
+    bounded regardless of the observed range.
+    """
+
+    bounds: tuple[float, ...] = DEFAULT_FRACTION_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    overflow: int = 0
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bounds or list(self.bounds) != sorted(self.bounds):
+            raise ConfigError("histogram bounds must be sorted, non-empty")
+        if not self.counts:
+            self.counts = [0] * len(self.bounds)
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.n += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs."""
+        pairs: list[tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            pairs.append((f"{bound:g}", running))
+        pairs.append(("+Inf", running + self.overflow))
+        return pairs
+
+
+class MetricsRegistry:
+    """Create-or-get store of labelled counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[MetricKey, Counter | Gauge | Histogram] = {}
+        self._help: dict[str, str] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, kind: str, factory, name: str, help_text: str,
+             labels: dict[str, str]):
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ConfigError(
+                f"metric {name!r} already registered as a {known}")
+        self._kinds[name] = kind
+        if help_text:
+            self._help.setdefault(name, help_text)
+        key = MetricKey.make(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                **labels: str) -> Counter:
+        """The counter series for ``(name, labels)``."""
+        return self._get("counter", Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        """The gauge series for ``(name, labels)``."""
+        return self._get("gauge", Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  bounds: tuple[float, ...] = DEFAULT_FRACTION_BUCKETS,
+                  **labels: str) -> Histogram:
+        """The histogram series for ``(name, labels)``."""
+        return self._get("histogram", lambda: Histogram(bounds=bounds),
+                         name, help_text, labels)
+
+    def series(self) -> list[tuple[MetricKey, Counter | Gauge | Histogram]]:
+        """Every registered series in deterministic order."""
+        return sorted(self._metrics.items(),
+                      key=lambda item: (item[0].name, item[0].labels))
+
+    def to_text(self) -> str:
+        """Prometheus text-exposition dump of every series (sorted)."""
+        lines: list[str] = []
+        last_name = None
+        for key, metric in self.series():
+            if key.name != last_name:
+                help_text = self._help.get(key.name)
+                if help_text:
+                    lines.append(f"# HELP {key.name} {help_text}")
+                lines.append(f"# TYPE {key.name} {self._kinds[key.name]}")
+                last_name = key.name
+            suffix = key.render_labels()
+            if isinstance(metric, Histogram):
+                for le, count in metric.cumulative():
+                    bucket_key = MetricKey.make(
+                        key.name, dict(key.labels) | {"le": le})
+                    lines.append(f"{key.name}_bucket"
+                                 f"{bucket_key.render_labels()} {count}")
+                lines.append(f"{key.name}_sum{suffix} {metric.total:g}")
+                lines.append(f"{key.name}_count{suffix} {metric.n}")
+            else:
+                lines.append(f"{key.name}{suffix} {metric.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,171 @@
+"""Event sinks: where emitted telemetry goes.
+
+The sink contract is three methods — :meth:`Sink.emit`, :meth:`Sink.flush`,
+:meth:`Sink.close` — all of which must be observation-only: a sink never
+mutates pipeline state, never raises on well-formed events, and never
+consults wall clock.  Four implementations:
+
+* :class:`NullSink` — drops everything; the default.  A bus holding only
+  null sinks reports ``enabled = False``, so instrumentation sites skip
+  event construction entirely (the zero-overhead fast path).
+* :class:`InMemorySink` — accumulates events in a list (tests, ad-hoc
+  inspection).
+* :class:`JsonlTraceSink` — schema-versioned JSONL writer for the
+  ``repro-trace`` CLI; strict JSON (NaN/inf rejected), one record per
+  line, flushed line-atomically so a partial trace is still valid.
+* :class:`MetricsSink` — folds the event stream into a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` (counters, gauges,
+  bounded histograms with per-region / per-detector labels).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.events import (CacheHit, CacheMiss, Deoptimization,
+                                    IntervalClosed, PhaseChange, RegionFormed,
+                                    SampleBatch, StateTransition,
+                                    TelemetryEvent)
+from repro.telemetry.metrics import (DEFAULT_FRACTION_BUCKETS,
+                                     DEFAULT_R_VALUE_BUCKETS,
+                                     MetricsRegistry)
+from repro.telemetry.trace import header_record, to_record
+
+__all__ = ["Sink", "NullSink", "InMemorySink", "JsonlTraceSink",
+           "MetricsSink"]
+
+
+class Sink:
+    """Base sink: the interface every sink implements."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Consume one event (must not mutate it)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push any buffered output to durable storage (no-op default)."""
+
+    def close(self) -> None:
+        """Flush and release resources; idempotent (no-op default)."""
+
+
+class NullSink(Sink):
+    """Drops every event.  Holding only null sinks keeps a bus disabled."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Accumulates events in order; the test and inspection sink."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def by_type(self, event_cls: type) -> list[TelemetryEvent]:
+        """Every captured event of one class, in emission order."""
+        return [e for e in self.events if isinstance(e, event_cls)]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlTraceSink(Sink):
+    """Writes a schema-versioned JSONL trace file.
+
+    The header record is written on construction; every event appends one
+    sorted-key strict-JSON line (``allow_nan=False`` — events are required
+    to carry finite numbers, see the virtual-time rule).  Each record is
+    written with a single ``write`` call ending in a newline, so flushing
+    at any point yields a valid trace prefix — the runner relies on this
+    to leave a readable partial trace behind a failed figure.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._seq = 0
+        self.records_written = 0
+        self._file.write(json.dumps(header_record(), sort_keys=True,
+                                    allow_nan=False) + "\n")
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self._seq += 1
+        line = json.dumps(to_record(event, self._seq), sort_keys=True,
+                          allow_nan=False)
+        self._file.write(line + "\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+class MetricsSink(Sink):
+    """Derives registry metrics from the event stream.
+
+    Keeping aggregation in a sink means instrumentation sites emit events
+    once and every consumer (JSONL trace, metrics, tests) sees the same
+    stream.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+
+    def emit(self, event: TelemetryEvent) -> None:
+        registry = self.registry
+        registry.counter("repro_events_total",
+                         "telemetry events by type",
+                         etype=event.etype).inc()
+        if isinstance(event, StateTransition):
+            registry.counter("repro_state_transitions_total",
+                             "detector machine steps",
+                             detector=event.detector,
+                             rid=str(event.rid)).inc()
+            if event.detector == "lpd":
+                registry.histogram("repro_lpd_r_value",
+                                   "per-interval Pearson r",
+                                   bounds=DEFAULT_R_VALUE_BUCKETS,
+                                   rid=str(event.rid)).observe(event.metric)
+        elif isinstance(event, PhaseChange):
+            registry.counter("repro_phase_changes_total",
+                             "stable/unstable boundary crossings",
+                             detector=event.detector, rid=str(event.rid),
+                             kind=event.kind).inc()
+        elif isinstance(event, IntervalClosed):
+            registry.counter("repro_intervals_total",
+                             "buffer-overflow intervals processed").inc()
+            registry.gauge("repro_regions_live",
+                           "monitored regions after the latest interval"
+                           ).set(event.n_regions)
+            if event.ucr_fraction >= 0.0:
+                registry.histogram("repro_ucr_fraction",
+                                   "per-interval unmonitored sample share",
+                                   bounds=DEFAULT_FRACTION_BUCKETS
+                                   ).observe(event.ucr_fraction)
+        elif isinstance(event, SampleBatch):
+            registry.counter("repro_samples_total",
+                             "PMU samples delivered").inc(event.batch_size)
+        elif isinstance(event, Deoptimization):
+            registry.counter("repro_deoptimizations_total",
+                             "optimizations withdrawn",
+                             reason=event.reason, action=event.action).inc()
+        elif isinstance(event, RegionFormed):
+            registry.counter("repro_regions_formed_total",
+                             "regions entering the monitored set",
+                             kind=event.kind).inc()
+        elif isinstance(event, (CacheHit, CacheMiss)):
+            outcome = "hit" if isinstance(event, CacheHit) else "miss"
+            registry.counter("repro_cache_requests_total",
+                             "simulation-cache lookups",
+                             kind=event.kind, outcome=outcome).inc()

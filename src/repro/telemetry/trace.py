@@ -1,0 +1,162 @@
+"""JSONL trace schema: encode, decode, read and validate.
+
+A trace file is line-delimited JSON.  The first record is a header::
+
+    {"etype": "trace_header", "schema": "repro-trace", "seq": 0, "v": 1}
+
+and every later record is one event::
+
+    {"etype": "state_transition", "seq": 17, "v": 1, "interval_index": 4,
+     "detector": "lpd", "rid": 2, "state_from": "unstable",
+     "state_to": "less_unstable", "metric": 0.93}
+
+``seq`` is a per-file monotonic counter (virtual ordering, not time);
+``v`` is the schema version.  Keys are sorted and NaN/inf are rejected at
+write time, so every record is strict JSON and the decoder round-trips
+events exactly (`tests/telemetry/test_trace_roundtrip.py`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.telemetry.events import (EVENT_TYPES, SCHEMA_VERSION,
+                                    TelemetryEvent, event_fields)
+
+__all__ = ["HEADER_ETYPE", "header_record", "to_record", "from_record",
+           "read_trace", "validate_trace"]
+
+#: Wire tag of the per-file header record.
+HEADER_ETYPE = "trace_header"
+
+
+def header_record() -> dict:
+    """The trace file's first record."""
+    return {"etype": HEADER_ETYPE, "schema": "repro-trace", "seq": 0,
+            "v": SCHEMA_VERSION}
+
+
+def to_record(event: TelemetryEvent, seq: int) -> dict:
+    """Encode one event as a JSON-ready record."""
+    record: dict = {"etype": event.etype, "seq": seq, "v": SCHEMA_VERSION}
+    for name in event_fields(type(event)):
+        record[name] = getattr(event, name)
+    return record
+
+
+def from_record(record: dict) -> TelemetryEvent:
+    """Decode one record back into its event dataclass.
+
+    Raises ``ValueError`` on an unknown ``etype`` or a field mismatch —
+    :func:`validate_trace` reports the same problems without raising.
+    """
+    problems = _record_problems(record)
+    if problems:
+        raise ValueError("; ".join(problems))
+    cls = EVENT_TYPES[record["etype"]]
+    kwargs = {name: ftype(record[name])
+              for name, ftype in event_fields(cls).items()}
+    return cls(**kwargs)
+
+
+def _record_problems(record: dict) -> list[str]:
+    """Schema problems of one event record (empty list: conforming)."""
+    etype = record.get("etype")
+    cls = EVENT_TYPES.get(etype) if isinstance(etype, str) else None
+    if cls is None:
+        return [f"unknown etype {etype!r}"]
+    problems: list[str] = []
+    if record.get("v") != SCHEMA_VERSION:
+        problems.append(f"schema version {record.get('v')!r}, "
+                        f"expected {SCHEMA_VERSION}")
+    if not isinstance(record.get("seq"), int):
+        problems.append("missing or non-integer seq")
+    expected = event_fields(cls)
+    for name, ftype in expected.items():
+        if name not in record:
+            problems.append(f"{etype}: missing field {name!r}")
+        elif ftype is float:
+            if not isinstance(record[name], (int, float)) \
+                    or isinstance(record[name], bool):
+                problems.append(f"{etype}: field {name!r} is not a number")
+        elif not isinstance(record[name], ftype) \
+                or isinstance(record[name], bool):
+            problems.append(f"{etype}: field {name!r} is not "
+                            f"{ftype.__name__}")
+    extras = set(record) - set(expected) - {"etype", "seq", "v"}
+    for name in sorted(extras):
+        problems.append(f"{etype}: unexpected field {name!r}")
+    return problems
+
+
+def read_trace(path: str | Path) -> Iterator[TelemetryEvent]:
+    """Yield every event of a trace file, skipping the header.
+
+    Raises ``ValueError`` on malformed input; use :func:`validate_trace`
+    first when the file is untrusted.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if lineno == 1 and record.get("etype") == HEADER_ETYPE:
+                continue
+            yield from_record(record)
+
+
+def validate_trace(path: str | Path) -> list[str]:
+    """Structurally validate a trace file; returns problem strings.
+
+    Checks: parseable strict JSON per line, a version-matched header
+    record first, known event types, exact per-type field sets and scalar
+    types, and a strictly increasing ``seq``.  An empty list means the
+    trace conforms to schema version :data:`SCHEMA_VERSION`.
+    """
+    problems: list[str] = []
+    last_seq = -1
+    saw_header = False
+    try:
+        handle = open(path, encoding="utf-8")
+    except OSError as exc:
+        return [f"cannot open trace: {exc}"]
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                problems.append(f"line {lineno}: blank line")
+                continue
+            if not line.endswith("\n"):
+                problems.append(f"line {lineno}: truncated record "
+                                f"(no trailing newline)")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: invalid JSON ({exc.msg})")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"line {lineno}: record is not an object")
+                continue
+            if lineno == 1:
+                if record.get("etype") != HEADER_ETYPE:
+                    problems.append("line 1: missing trace_header record")
+                elif record.get("v") != SCHEMA_VERSION:
+                    problems.append(
+                        f"line 1: header schema version "
+                        f"{record.get('v')!r}, expected {SCHEMA_VERSION}")
+                else:
+                    saw_header = True
+                    last_seq = 0
+                continue
+            for problem in _record_problems(record):
+                problems.append(f"line {lineno}: {problem}")
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                if seq <= last_seq:
+                    problems.append(f"line {lineno}: seq {seq} is not "
+                                    f"greater than previous {last_seq}")
+                last_seq = seq
+    if not saw_header and not problems:
+        problems.append("empty trace (no header record)")
+    return problems

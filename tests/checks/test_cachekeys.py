@@ -2,8 +2,9 @@
 
 import textwrap
 
-from repro.checks.cachekeys import (audit_base_helpers, audit_cache_keys,
-                                    audit_fault_tokens, audit_key_classes)
+from repro.checks.cachekeys import (RESULT_INERT_PARAMS, audit_base_helpers,
+                                    audit_cache_keys, audit_fault_tokens,
+                                    audit_key_classes)
 
 REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[2]
 
@@ -68,6 +69,35 @@ class TestBaseHelperAudit:
                 return get_benchmark(name, scale=config.scale)
         """)
         assert audit_base_helpers(path, "base.py", self.KEYS) == []
+
+    def test_result_inert_param_is_exempt(self, tmp_path):
+        # ``telemetry`` is observability plumbing: it carries events out
+        # of the run and provably cannot change the artifact, so the
+        # allowlist keeps it out of the key without a finding.
+        path = write(tmp_path, "base.py", """
+            def stream_for(model, period, config, telemetry=None):
+                key = StreamKey(benchmark=model.name, scale=config.scale,
+                                period=period, seed=config.seed)
+                return CACHE.stream(
+                    key, lambda: simulate(config.seed, telemetry))
+        """)
+        assert audit_base_helpers(path, "base.py", self.KEYS) == []
+
+    def test_allowlist_does_not_leak_to_other_params(self, tmp_path):
+        # The exemption is by exact name: an unkeyed parameter sitting
+        # next to ``telemetry`` is still flagged.
+        path = write(tmp_path, "base.py", """
+            def stream_for(model, period, config, telemetry=None,
+                           jitter=0.0):
+                key = StreamKey(benchmark=model.name, scale=config.scale,
+                                period=period, seed=config.seed)
+                return CACHE.stream(
+                    key, lambda: simulate(jitter, telemetry))
+        """)
+        findings = audit_base_helpers(path, "base.py", self.KEYS)
+        assert [f.rule for f in findings] == ["cache-key-field"]
+        assert "jitter" in findings[0].message
+        assert all("telemetry" not in f.message for f in findings)
 
 
 class TestKeyClassAudit:
@@ -165,6 +195,11 @@ class TestFaultTokenAudit:
         """)
         findings = audit_fault_tokens(path, "model.py")
         assert [f.rule for f in findings] == ["fault-kind-collision"]
+
+
+def test_allowlist_stays_minimal():
+    """Growing the exemption list must be a deliberate, reviewed act."""
+    assert RESULT_INERT_PARAMS == {"telemetry"}
 
 
 def test_repo_cache_keys_audit_clean():

@@ -192,3 +192,36 @@ class TestRunner:
         table = result.to_table()
         assert "[fig08]" in table
         assert "note:" in table
+
+
+class TestMainTrace:
+    def test_trace_flag_writes_a_valid_trace(self, tmp_path, capsys):
+        from repro.telemetry.bus import get_bus
+        from repro.telemetry.trace import validate_trace
+
+        path = tmp_path / "run.jsonl"
+        assert main(["fig08", "--scale", "0.05", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace: {path}" in out
+        assert validate_trace(path) == []
+        # The sink was detached again: the global bus is back to its
+        # zero-overhead default.
+        assert not get_bus().enabled
+
+    def test_failed_figure_leaves_a_valid_partial_trace(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import runner
+        from repro.telemetry.trace import validate_trace
+
+        def boom(config):
+            raise RuntimeError("mid-figure crash")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig08", boom)
+        path = tmp_path / "partial.jsonl"
+        assert main(["fig08", "--scale", "0.05",
+                     "--trace", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        # The failure summary flushed and closed the sink: whatever
+        # made it to disk is a well-formed trace prefix.
+        assert validate_trace(path) == []

@@ -1,0 +1,121 @@
+"""Telemetry is result-inert: instrumented runs are bit-identical.
+
+The subsystem's core contract — and the reason ``telemetry`` may be
+exempted from cache keys: attaching any sink must not perturb a single
+bit of any pipeline output.  Hypothesis drives random programs, sampling
+periods and fault plans through the monitor, GPD and RTO with telemetry
+off (default disabled bus) and on (recording sink), and compares the
+complete observable state.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MonitorThresholds
+from repro.core.gpd import GlobalPhaseDetector
+from repro.faults import FaultPlan, SampleDrop, inject
+from repro.monitor import RegionMonitor
+from repro.program.generator import random_program
+from repro.sampling import simulate_sampling
+from repro.telemetry.bus import EventBus
+from repro.telemetry.sinks import InMemorySink
+
+seeds = st.integers(min_value=0, max_value=2_000)
+drop_rates = st.floats(min_value=0.0, max_value=0.4, allow_nan=False)
+
+
+def _stream(seed, drop_rate=0.0, period=25_000):
+    program = random_program(seed)
+    stream = simulate_sampling(program.regions, program.workload, period,
+                               seed=seed)
+    if drop_rate > 0.0:
+        plan = FaultPlan((SampleDrop(rate=drop_rate),))
+        stream = inject(stream, plan, seed=seed)
+    return program, stream
+
+
+def _monitor_state(monitor):
+    """Everything figure code reads off a finished monitor run."""
+    regions, matrix = monitor.region_sample_matrix()
+    return {
+        "spans": [(r.rid, r.start, r.end) for r in regions],
+        "matrix": matrix.copy(),
+        "fractions": monitor.stable_time_fractions(),
+        "ucr": monitor.ucr.median(),
+        "events": [(rid, e.interval_index, e.kind, e.state_from, e.state_to)
+                   for report in monitor.reports
+                   for rid, e in report.events],
+    }
+
+
+def _assert_monitor_states_equal(a, b):
+    assert a["spans"] == b["spans"]
+    assert np.array_equal(a["matrix"], b["matrix"])
+    assert a["fractions"] == b["fractions"]
+    assert a["ucr"] == b["ucr"]
+    assert a["events"] == b["events"]
+
+
+class TestMonitorInert:
+    @given(seeds, drop_rates)
+    @settings(max_examples=15, deadline=None)
+    def test_monitor_run_identical_with_telemetry_on(self, seed, rate):
+        program, stream = _stream(seed, rate)
+        thresholds = MonitorThresholds(buffer_size=512)
+
+        off = RegionMonitor(program.binary, thresholds)
+        off.process_stream(stream)
+
+        sink = InMemorySink()
+        on = RegionMonitor(program.binary, thresholds,
+                           telemetry=EventBus(sinks=[sink]))
+        on.process_stream(stream)
+
+        _assert_monitor_states_equal(_monitor_state(off),
+                                     _monitor_state(on))
+        # The instrumented run actually observed the pipeline.
+        assert len(sink.events) > 0
+
+
+class TestGpdInert:
+    @given(seeds, drop_rates)
+    @settings(max_examples=15, deadline=None)
+    def test_gpd_run_identical_with_telemetry_on(self, seed, rate):
+        _, stream = _stream(seed, rate)
+        centroids = stream.centroids(512)
+
+        off = GlobalPhaseDetector()
+        on = GlobalPhaseDetector(telemetry=EventBus(
+            sinks=[InMemorySink()]))
+        for value in centroids:
+            off.observe_centroid(float(value))
+            on.observe_centroid(float(value))
+
+        assert off.state is on.state
+        assert off.in_stable_phase == on.in_stable_phase
+        assert [(o.interval_index, o.centroid_value, o.drift_ratio,
+                 o.state) for o in off.observations] \
+            == [(o.interval_index, o.centroid_value, o.drift_ratio,
+                 o.state) for o in on.observations]
+        assert [(e.interval_index, e.kind) for e in off.events] \
+            == [(e.interval_index, e.kind) for e in on.events]
+
+
+class TestFigurePayloadInert:
+    @given(seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_breakdown_rows_identical(self, seed):
+        """The actual figure payload (fig13/fig14 rows) is bit-identical."""
+        from repro.analysis.metrics import lpd_region_breakdown
+
+        program, stream = _stream(seed)
+        thresholds = MonitorThresholds(buffer_size=512)
+
+        off = RegionMonitor(program.binary, thresholds)
+        off.process_stream(stream)
+        on = RegionMonitor(program.binary, thresholds,
+                           telemetry=EventBus(sinks=[InMemorySink()]))
+        on.process_stream(stream)
+
+        assert lpd_region_breakdown(off) == lpd_region_breakdown(on)

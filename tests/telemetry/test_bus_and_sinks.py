@@ -1,0 +1,207 @@
+"""EventBus semantics and the four sink implementations."""
+
+import json
+
+import pytest
+
+from repro.telemetry.bus import EventBus, capture, get_bus
+from repro.telemetry.events import (IntervalClosed, SampleBatch,
+                                    StateTransition)
+from repro.telemetry.sinks import (InMemorySink, JsonlTraceSink, MetricsSink,
+                                   NullSink, Sink)
+from repro.telemetry.trace import validate_trace
+
+
+def _transition(i=0, rid=1):
+    return StateTransition(interval_index=i, detector="lpd", rid=rid,
+                           state_from="unstable", state_to="stable",
+                           metric=0.9)
+
+
+class TestEventBus:
+    def test_default_bus_is_disabled(self):
+        assert EventBus().enabled is False
+
+    def test_null_sinks_keep_bus_disabled(self):
+        assert EventBus(sinks=[NullSink(), NullSink()]).enabled is False
+
+    def test_non_null_sink_enables(self):
+        assert EventBus(sinks=[InMemorySink()]).enabled is True
+
+    def test_attach_detach_recompute_enabled(self):
+        bus = EventBus()
+        sink = InMemorySink()
+        bus.attach(sink)
+        assert bus.enabled
+        bus.detach(sink)
+        assert not bus.enabled
+
+    def test_detach_unknown_sink_is_noop(self):
+        bus = EventBus()
+        bus.detach(InMemorySink())
+        assert not bus.enabled
+
+    def test_emit_fans_out_in_attachment_order(self):
+        first, second = InMemorySink(), InMemorySink()
+        bus = EventBus(sinks=[first, second])
+        event = _transition()
+        bus.emit(event)
+        assert first.events == [event]
+        assert second.events == [event]
+
+    def test_close_resets_to_disabled_null_state(self):
+        bus = EventBus(sinks=[InMemorySink()])
+        bus.close()
+        assert not bus.enabled
+        assert all(isinstance(s, NullSink) for s in bus.sinks)
+
+    def test_global_bus_is_a_disabled_singleton(self):
+        assert get_bus() is get_bus()
+        assert not get_bus().enabled
+
+    def test_capture_attaches_then_detaches(self):
+        bus = EventBus()
+        with capture(InMemorySink(), bus=bus) as sink:
+            assert bus.enabled
+            bus.emit(_transition())
+        assert not bus.enabled
+        assert len(sink.events) == 1
+
+    def test_capture_detaches_on_error(self):
+        bus = EventBus()
+        with pytest.raises(RuntimeError):
+            with capture(InMemorySink(), bus=bus):
+                raise RuntimeError("boom")
+        assert not bus.enabled
+
+    def test_capture_defaults_to_global_bus(self):
+        with capture(InMemorySink()) as sink:
+            assert get_bus().enabled
+            get_bus().emit(_transition())
+        assert not get_bus().enabled
+        assert len(sink.events) == 1
+
+
+class TestSinkContract:
+    def test_base_sink_emit_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Sink().emit(_transition())
+
+    def test_flush_and_close_default_to_noop(self):
+        sink = NullSink()
+        sink.flush()
+        sink.close()
+
+    def test_null_sink_drops_events(self):
+        NullSink().emit(_transition())
+
+
+class TestInMemorySink:
+    def test_accumulates_in_order(self):
+        sink = InMemorySink()
+        events = [_transition(i) for i in range(3)]
+        for event in events:
+            sink.emit(event)
+        assert sink.events == events
+
+    def test_by_type_filters(self):
+        sink = InMemorySink()
+        sink.emit(_transition())
+        sink.emit(SampleBatch(cumulative_samples=5, batch_size=5))
+        assert len(sink.by_type(StateTransition)) == 1
+        assert len(sink.by_type(SampleBatch)) == 1
+        assert sink.by_type(IntervalClosed) == []
+
+    def test_clear(self):
+        sink = InMemorySink()
+        sink.emit(_transition())
+        sink.clear()
+        assert sink.events == []
+
+
+class TestJsonlTraceSink:
+    def test_header_written_on_construction(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["etype"] == "trace_header"
+        assert header["seq"] == 0
+
+    def test_records_have_increasing_seq_and_sorted_keys(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.emit(_transition(0))
+        sink.emit(_transition(1))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1, 2]
+        for line in lines:
+            keys = list(json.loads(line))
+            assert keys == sorted(keys)
+
+    def test_records_written_counter(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        assert sink.records_written == 0
+        sink.emit(_transition())
+        assert sink.records_written == 1
+        sink.close()
+
+    def test_flush_leaves_valid_prefix(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.emit(_transition(0))
+        sink.flush()
+        # Not closed: what is on disk must already be a valid trace.
+        assert validate_trace(path) == []
+        sink.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+        sink.flush()
+
+    def test_rejects_non_finite_metric(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        bad = StateTransition(interval_index=0, detector="gpd", rid=-1,
+                              state_from="warmup", state_to="warmup",
+                              metric=float("inf"))
+        with pytest.raises(ValueError):
+            sink.emit(bad)
+        sink.close()
+
+
+class TestMetricsSink:
+    def test_counts_events_by_type(self):
+        sink = MetricsSink()
+        sink.emit(_transition())
+        sink.emit(SampleBatch(cumulative_samples=8, batch_size=8))
+        text = sink.registry.to_text()
+        assert 'repro_events_total{etype="state_transition"} 1' in text
+        assert 'repro_samples_total 8' in text
+
+    def test_per_region_transition_labels(self):
+        sink = MetricsSink()
+        sink.emit(_transition(rid=1))
+        sink.emit(_transition(rid=1))
+        sink.emit(_transition(rid=2))
+        counter = sink.registry.counter("repro_state_transitions_total",
+                                        detector="lpd", rid="1")
+        assert counter.value == 2
+
+    def test_interval_closed_updates_gauge_and_histogram(self):
+        sink = MetricsSink()
+        sink.emit(IntervalClosed(interval_index=0, n_samples=100,
+                                 ucr_fraction=0.25, n_regions=3))
+        assert sink.registry.gauge("repro_regions_live").value == 3
+        hist = sink.registry.histogram("repro_ucr_fraction")
+        assert hist.n == 1
+
+    def test_na_ucr_fraction_not_observed(self):
+        sink = MetricsSink()
+        sink.emit(IntervalClosed(interval_index=0, n_samples=100,
+                                 ucr_fraction=-1.0, n_regions=0))
+        assert sink.registry.histogram("repro_ucr_fraction").n == 0

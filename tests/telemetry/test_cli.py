@@ -1,0 +1,150 @@
+"""The ``repro-trace`` CLI: every subcommand, every exit status."""
+
+import json
+
+import pytest
+
+from repro.telemetry.cli import main
+from repro.telemetry.events import (Deoptimization, IntervalClosed,
+                                    PhaseChange, RegionFormed, SampleBatch,
+                                    StateTransition)
+from repro.telemetry.sinks import JsonlTraceSink
+from repro.telemetry.trace import header_record
+
+
+@pytest.fixture
+def trace(tmp_path):
+    """A small hand-built trace: one region's life plus GPD activity."""
+    path = tmp_path / "run.jsonl"
+    sink = JsonlTraceSink(path)
+    events = [
+        SampleBatch(cumulative_samples=16, batch_size=16),
+        RegionFormed(interval_index=0, rid=1, start=0x2000, end=0x2400,
+                     kind="loop"),
+        StateTransition(1, "lpd", 1, "unstable", "less_unstable", 0.9),
+        StateTransition(2, "lpd", 1, "less_unstable", "stable", 0.95),
+        PhaseChange(2, "lpd", 1, "became_stable", "less_unstable",
+                    "stable", "r=0.95"),
+        StateTransition(2, "gpd", -1, "warmup", "unstable", -1.0),
+        IntervalClosed(interval_index=2, n_samples=16, ucr_fraction=0.5,
+                       n_regions=1),
+        Deoptimization(interval_index=9, rid=1, reason="watchdog",
+                       action="unpatch"),
+    ]
+    for event in events:
+        sink.emit(event)
+    sink.close()
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_trace_exit_zero(self, trace, capsys):
+        assert main(["validate", trace]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out and "8 event record(s)" in out
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_corrupt_trace_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(header_record()) + "\n"
+                        + '{"etype": "mystery", "seq": 1, "v": 1}\n')
+        assert main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "unknown etype" in out and "1 problem(s)" in out
+
+
+class TestSummary:
+    def test_counts_and_sections(self, trace, capsys):
+        assert main(["summary", trace]) == 0
+        out = capsys.readouterr().out
+        assert "8 events" in out
+        assert "state_transition" in out
+        assert "samples delivered: 16" in out
+        assert "per-region (lpd):" in out
+        assert "gpd: 1 transitions, 0 phase changes" in out
+        assert "deoptimizations: 1 (watchdog/unpatch: 1)" in out
+
+    def test_prometheus_exposition(self, trace, capsys):
+        assert main(["summary", trace, "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_events_total counter" in out
+        assert 'repro_state_transitions_total{detector="lpd",rid="1"} 2' \
+            in out
+
+    def test_rejects_invalid_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["summary", str(path)]) == 2
+        assert "not a valid trace" in capsys.readouterr().err
+
+
+class TestTimeline:
+    def test_lpd_timeline_collapses_segments(self, trace, capsys):
+        assert main(["timeline", trace]) == 0
+        out = capsys.readouterr().out
+        assert "region 1 [0x2000-0x2400]:" in out
+        assert "[1] less_unstable" in out
+        assert "[2] stable" in out
+
+    def test_gpd_timeline(self, trace, capsys):
+        assert main(["timeline", trace, "--detector", "gpd"]) == 0
+        out = capsys.readouterr().out
+        assert "gpd:" in out and "unstable" in out
+
+    def test_rid_filter_miss_reports_empty(self, trace, capsys):
+        assert main(["timeline", trace, "--rid", "42"]) == 0
+        assert "no transitions" in capsys.readouterr().out
+
+
+class TestRegions:
+    def test_region_report(self, trace, capsys):
+        assert main(["regions", trace]) == 0
+        out = capsys.readouterr().out
+        assert "region 1  [0x2000-0x2400]  kind=loop" in out
+        assert "unstable" in out and "->" in out
+        assert "phase changes: 1" in out
+        assert "watchdog: interval 9: unpatch (watchdog)" in out
+
+    def test_rid_filter(self, trace, capsys):
+        assert main(["regions", trace, "--rid", "1"]) == 0
+        assert "region 1" in capsys.readouterr().out
+
+    def test_empty_filter_reports_no_regions(self, trace, capsys):
+        assert main(["regions", trace, "--rid", "99"]) == 0
+        assert "no region events" in capsys.readouterr().out
+
+
+class TestEndToEnd:
+    def test_cli_reads_a_pipeline_trace(self, tmp_path, capsys):
+        """Generate a real trace via the runner path and inspect it."""
+        import numpy as np
+
+        from repro.core import MonitorThresholds
+        from repro.monitor import OnlineSession
+        from repro.program.binary import BinaryBuilder, loop
+        from repro.telemetry.bus import EventBus
+
+        builder = BinaryBuilder(base=0x10000)
+        builder.procedure("p", [loop("l", body=12)], at=0x20000)
+        binary = builder.build()
+        path = tmp_path / "session.jsonl"
+        sink = JsonlTraceSink(path)
+        session = OnlineSession(
+            binary=binary,
+            monitor_thresholds=MonitorThresholds(buffer_size=8),
+            run_gpd=False, telemetry=EventBus(sinks=[sink]))
+        span = binary.loop_span("l")
+        rng = np.random.default_rng(5)
+        for _ in range(12):
+            session.feed_many(
+                (span[0] + 4 * rng.integers(0, 12, size=8)).astype(
+                    np.int64))
+        sink.close()
+
+        assert main(["validate", str(path)]) == 0
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-region (lpd):" in out

@@ -1,0 +1,78 @@
+"""The event taxonomy: registration, immutability, JSON-scalar fields."""
+
+import dataclasses
+
+import pytest
+
+from repro.telemetry.events import (EVENT_TYPES, NO_REGION, SCHEMA_VERSION,
+                                    CacheHit, Deoptimization, IntervalClosed,
+                                    PhaseChange, RegionFormed, SampleBatch,
+                                    StateTransition, TelemetryEvent,
+                                    event_fields)
+
+
+class TestTaxonomy:
+    def test_every_event_type_registered_under_its_etype(self):
+        for etype, cls in EVENT_TYPES.items():
+            assert cls.etype == etype
+            assert issubclass(cls, TelemetryEvent)
+
+    def test_twelve_event_types(self):
+        assert len(EVENT_TYPES) == 12
+
+    def test_etypes_are_unique_snake_case(self):
+        for etype in EVENT_TYPES:
+            assert etype == etype.lower()
+            assert " " not in etype
+
+    def test_schema_version_is_positive_int(self):
+        assert isinstance(SCHEMA_VERSION, int) and SCHEMA_VERSION >= 1
+
+    def test_no_region_sentinel(self):
+        assert NO_REGION == -1
+
+
+class TestEventClasses:
+    def test_events_are_frozen(self):
+        event = SampleBatch(cumulative_samples=10, batch_size=10)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.batch_size = 11
+
+    def test_events_compare_by_value(self):
+        a = StateTransition(1, "lpd", 2, "unstable", "stable", 0.9)
+        b = StateTransition(1, "lpd", 2, "unstable", "stable", 0.9)
+        assert a == b
+
+    @pytest.mark.parametrize("cls", sorted(EVENT_TYPES.values(),
+                                           key=lambda c: c.etype))
+    def test_fields_are_json_scalars(self, cls):
+        mapping = event_fields(cls)
+        assert mapping, f"{cls.__name__} has no payload fields"
+        for name, ftype in mapping.items():
+            assert ftype in (int, float, str), (cls.__name__, name)
+
+    def test_event_fields_matches_dataclass_fields(self):
+        mapping = event_fields(IntervalClosed)
+        assert mapping == {"interval_index": int, "n_samples": int,
+                           "ucr_fraction": float, "n_regions": int}
+
+    def test_region_formed_carries_span_and_kind(self):
+        event = RegionFormed(interval_index=3, rid=1, start=0x1000,
+                             end=0x2000, kind="loop")
+        assert (event.start, event.end, event.kind) == (0x1000, 0x2000,
+                                                        "loop")
+
+    def test_deoptimization_actions_documented(self):
+        event = Deoptimization(interval_index=5, rid=NO_REGION,
+                               reason="global-phase-change",
+                               action="unpatch_all")
+        assert event.rid == NO_REGION
+
+    def test_cache_events_carry_no_virtual_time(self):
+        assert set(event_fields(CacheHit)) == {"kind", "key"}
+
+    def test_phase_change_kind_is_string(self):
+        event = PhaseChange(interval_index=2, detector="gpd", rid=NO_REGION,
+                            kind="became_stable", state_from="less_stable",
+                            state_to="stable", detail="")
+        assert isinstance(event.kind, str)

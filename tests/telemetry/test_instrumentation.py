@@ -1,0 +1,244 @@
+"""Instrumentation wiring: the pipeline emits the documented events.
+
+Each test runs a small real pipeline with an ``InMemorySink`` on an
+isolated :class:`EventBus` and asserts the event stream's shape.  No test
+touches the process-wide bus, so they are safe under pytest-xdist-style
+ordering.
+"""
+
+import numpy as np
+
+from repro.core import MonitorThresholds
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.lpd import LocalPhaseDetector
+from repro.experiments.cache import (GpdKey, SimulationCache, StreamKey,
+                                     cache_disabled)
+from repro.monitor import (OnlineSession, RegionMonitor, RegionWatchdog,
+                           WatchdogConfig)
+from repro.program.binary import BinaryBuilder, loop, straight
+from repro.telemetry.bus import EventBus, capture, get_bus
+from repro.telemetry.events import (NO_REGION, CacheHit, CacheMiss,
+                                    Deoptimization, IntervalClosed,
+                                    PhaseChange, RegionFormed,
+                                    RegionQuarantined, SampleBatch,
+                                    StableSetFrozen, StableSetUpdated,
+                                    StateTransition)
+from repro.telemetry.sinks import InMemorySink
+
+
+def tiny_binary():
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("p", [loop("l", body=12), straight(4)], at=0x20000)
+    return builder.build()
+
+
+def hot_pcs(binary, size=8, seed=0):
+    span = binary.loop_span("l")
+    rng = np.random.default_rng(seed)
+    return (span[0] + 4 * rng.integers(0, 12, size=size)).astype(np.int64)
+
+
+def bus_with_sink():
+    sink = InMemorySink()
+    return EventBus(sinks=[sink]), sink
+
+
+class TestLpdInstrumentation:
+    def run_stable(self, n=8):
+        bus, sink = bus_with_sink()
+        detector = LocalPhaseDetector(n_instructions=16, telemetry=bus,
+                                      region_id=7)
+        counts = np.linspace(1.0, 16.0, 16)
+        for i in range(n):
+            detector.observe(counts, i)
+        return detector, sink
+
+    def test_every_active_interval_emits_a_transition(self):
+        detector, sink = self.run_stable(8)
+        transitions = sink.by_type(StateTransition)
+        # The priming interval installs the stable set without a machine
+        # step; every later interval is one step.
+        assert len(transitions) == 7
+        assert {e.detector for e in transitions} == {"lpd"}
+        assert {e.rid for e in transitions} == {7}
+
+    def test_stabilization_emits_phase_change_and_freeze(self):
+        detector, sink = self.run_stable(8)
+        assert detector.in_stable_phase
+        changes = sink.by_type(PhaseChange)
+        assert [e.kind for e in changes] == ["became_stable"]
+        assert len(sink.by_type(StableSetFrozen)) == 1
+        assert sink.by_type(StableSetUpdated)  # pre-freeze updates
+
+    def test_starved_interval_emits_nothing(self):
+        bus, sink = bus_with_sink()
+        detector = LocalPhaseDetector(n_instructions=16, telemetry=bus)
+        detector.observe(np.zeros(16), 0)
+        assert sink.events == []
+
+    def test_disabled_bus_emits_nothing(self):
+        bus = EventBus()
+        detector = LocalPhaseDetector(n_instructions=16, telemetry=bus)
+        counts = np.linspace(1.0, 16.0, 16)
+        for i in range(6):
+            detector.observe(counts, i)
+        assert detector.active_intervals == 6  # pipeline ran normally
+
+
+class TestGpdInstrumentation:
+    def test_transitions_carry_finite_metric(self):
+        bus, sink = bus_with_sink()
+        detector = GlobalPhaseDetector(telemetry=bus)
+        for value in (100.0, 101.0, 100.5, 100.2, 100.4, 100.3, 100.1,
+                      100.2, 100.3):
+            detector.observe_centroid(value)
+        transitions = sink.by_type(StateTransition)
+        assert transitions
+        assert {e.rid for e in transitions} == {NO_REGION}
+        assert {e.detector for e in transitions} == {"gpd"}
+        assert all(np.isfinite(e.metric) for e in transitions)
+
+    def test_declaration_emits_phase_change(self):
+        bus, sink = bus_with_sink()
+        detector = GlobalPhaseDetector(telemetry=bus)
+        for _ in range(30):
+            detector.observe_centroid(100.0)
+        assert detector.in_stable_phase
+        changes = sink.by_type(PhaseChange)
+        assert changes and changes[0].kind == "became_stable"
+
+
+class TestMonitorInstrumentation:
+    def test_formation_and_interval_closed(self):
+        binary = tiny_binary()
+        bus, sink = bus_with_sink()
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=8),
+                                telemetry=bus)
+        monitor.process_interval(hot_pcs(binary), 0)
+        formed = sink.by_type(RegionFormed)
+        assert len(formed) == len(monitor.live_regions()) == 1
+        assert formed[0].kind
+        closed = sink.by_type(IntervalClosed)
+        assert len(closed) == 1
+        assert closed[0].n_samples == 8
+        assert closed[0].n_regions == 1
+        assert 0.0 <= closed[0].ucr_fraction <= 1.0
+
+    def test_per_region_detectors_tagged_with_rid(self):
+        binary = tiny_binary()
+        bus, sink = bus_with_sink()
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=8),
+                                telemetry=bus)
+        pcs = hot_pcs(binary)
+        for i in range(6):
+            monitor.process_interval(pcs, i)
+        rid = monitor.region_record(monitor.live_regions()[0].rid).rid
+        lpd_events = [e for e in sink.by_type(StateTransition)
+                      if e.detector == "lpd"]
+        assert lpd_events
+        assert {e.rid for e in lpd_events} == {rid}
+
+
+class TestWatchdogInstrumentation:
+    def test_starvation_trip_emits_deopt_and_quarantine(self):
+        binary = tiny_binary()
+        bus, sink = bus_with_sink()
+        monitor = RegionMonitor(binary, MonitorThresholds(buffer_size=8),
+                                telemetry=bus)
+        watchdog = RegionWatchdog(
+            WatchdogConfig(starvation_intervals=2, backoff_intervals=100),
+            monitor, telemetry=bus)
+        empty = np.array([], dtype=np.int64)
+        watchdog.observe_interval(monitor.process_interval(
+            hot_pcs(binary), 0))
+        for i in range(1, 3):
+            watchdog.observe_interval(monitor.process_interval(empty, i))
+        deopts = sink.by_type(Deoptimization)
+        assert [e.action for e in deopts] == ["deoptimize"]
+        assert deopts[0].reason == "starved"
+        quarantined = sink.by_type(RegionQuarantined)
+        assert len(quarantined) == 1
+        assert quarantined[0].rid == deopts[0].rid
+
+
+class TestOnlineSessionInstrumentation:
+    def test_feed_many_emits_sample_batches(self):
+        binary = tiny_binary()
+        bus, sink = bus_with_sink()
+        session = OnlineSession(binary=binary,
+                                monitor_thresholds=MonitorThresholds(
+                                    buffer_size=8),
+                                run_gpd=False, telemetry=bus)
+        session.feed_many(hot_pcs(binary, size=16))
+        batches = sink.by_type(SampleBatch)
+        assert len(batches) == 1
+        assert batches[0].batch_size == 16
+        assert batches[0].cumulative_samples == 16
+        assert len(sink.by_type(IntervalClosed)) == 2
+
+    def test_gpd_only_session_closes_intervals_with_na_ucr(self):
+        bus, sink = bus_with_sink()
+        session = OnlineSession(monitor_thresholds=MonitorThresholds(
+            buffer_size=8), run_gpd=True, telemetry=bus)
+        rng = np.random.default_rng(3)
+        session.feed_many(rng.integers(0x10000, 0x20000, size=24))
+        closed = sink.by_type(IntervalClosed)
+        assert len(closed) == 3
+        assert {e.ucr_fraction for e in closed} == {-1.0}
+        assert {e.n_regions for e in closed} == {0}
+
+
+class TestCacheInstrumentation:
+    def test_hit_and_miss_events(self):
+        store = SimulationCache()
+        key = StreamKey("181.mcf", 1.0, 45000, 7)
+        with capture(InMemorySink()) as sink:
+            store.stream(key, lambda: "artifact")
+            store.stream(key, lambda: "artifact")
+        misses = sink.by_type(CacheMiss)
+        hits = sink.by_type(CacheHit)
+        assert len(misses) == len(hits) == 1
+        assert misses[0].kind == hits[0].kind == "stream"
+        assert "181.mcf" in hits[0].key
+
+    def test_kinds_distinguish_stores(self):
+        store = SimulationCache()
+        with capture(InMemorySink()) as sink:
+            store.detector(GpdKey("181.mcf", 1.0, 45000, 7, 2032),
+                           lambda: "gpd-run")
+        assert sink.by_type(CacheMiss)[0].kind == "gpd"
+
+    def test_disabled_cache_emits_nothing(self):
+        store = SimulationCache()
+        store.enabled = False
+        key = StreamKey("181.mcf", 1.0, 45000, 7)
+        with capture(InMemorySink()) as sink:
+            store.stream(key, lambda: "artifact")
+        assert sink.events == []
+
+    def test_cache_disabled_context_emits_nothing_globally(self):
+        with capture(InMemorySink()) as sink, cache_disabled():
+            from repro.experiments.cache import GLOBAL_CACHE
+
+            GLOBAL_CACHE.stream(StreamKey("x", 1.0, 1, 1), lambda: None)
+        assert sink.events == []
+
+
+class TestDefaultBusSafety:
+    def test_components_default_to_the_disabled_global_bus(self):
+        assert not get_bus().enabled
+        detector = LocalPhaseDetector(n_instructions=16)
+        counts = np.linspace(1.0, 16.0, 16)
+        for i in range(4):
+            detector.observe(counts, i)
+        # Nothing to assert beyond "no crash": the global bus is disabled
+        # and no sink observed anything.
+        assert detector.active_intervals == 4
+
+    def test_region_id_defaults_to_no_region(self):
+        bus, sink = bus_with_sink()
+        detector = LocalPhaseDetector(n_instructions=16, telemetry=bus)
+        counts = np.linspace(1.0, 16.0, 16)
+        detector.observe(counts, 0)
+        detector.observe(counts, 1)
+        assert {e.rid for e in sink.by_type(StateTransition)} == {NO_REGION}

@@ -1,0 +1,101 @@
+"""MetricsRegistry: counters, gauges, histograms, text exposition."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.metrics import (DEFAULT_FRACTION_BUCKETS, Counter, Gauge,
+                                     Histogram, MetricKey, MetricsRegistry)
+
+
+class TestMetricKey:
+    def test_labels_are_sorted_for_identity(self):
+        a = MetricKey.make("m", {"b": "2", "a": "1"})
+        b = MetricKey.make("m", {"a": "1", "b": "2"})
+        assert a == b
+
+    def test_render_labels(self):
+        key = MetricKey.make("m", {"rid": "3", "detector": "lpd"})
+        assert key.render_labels() == '{detector="lpd",rid="3"}'
+        assert MetricKey("m").render_labels() == ""
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets_and_overflow(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1]
+        assert hist.overflow == 1
+        assert hist.n == 3
+        assert hist.cumulative() == [("1", 1), ("2", 2), ("+Inf", 3)]
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ConfigError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram(bounds=())
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", rid="1")
+        a.inc()
+        assert registry.counter("hits", rid="1").value == 1.0
+        assert registry.counter("hits", rid="2").value == 0.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ConfigError):
+            registry.gauge("m")
+
+    def test_series_is_deterministically_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", rid="2")
+        registry.counter("a", rid="1")
+        names = [(key.name, key.labels) for key, _ in registry.series()]
+        assert names == sorted(names)
+
+    def test_to_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_intervals_total", "intervals").inc(4)
+        registry.gauge("repro_regions_live", "live regions").set(2)
+        text = registry.to_text()
+        assert "# HELP repro_intervals_total intervals" in text
+        assert "# TYPE repro_intervals_total counter" in text
+        assert "repro_intervals_total 4" in text
+        assert "repro_regions_live 2" in text
+        assert text.endswith("\n")
+
+    def test_to_text_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("frac", "fractions",
+                                  bounds=DEFAULT_FRACTION_BUCKETS)
+        hist.observe(0.15)
+        text = registry.to_text()
+        assert 'frac_bucket{le="0.1"} 0' in text
+        assert 'frac_bucket{le="0.2"} 1' in text
+        assert 'frac_bucket{le="+Inf"} 1' in text
+        assert "frac_sum 0.15" in text
+        assert "frac_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_text() == ""

@@ -1,0 +1,118 @@
+"""RTO instrumentation: both policies narrate their deoptimizations."""
+
+from repro.optimizer import RtoConfig, RTOSystem
+from repro.program.behavior import RegionSpec, bottleneck_profile
+from repro.program.binary import BinaryBuilder, loop, straight
+from repro.program.spec2000 import INTERVAL_45K
+from repro.program.workload import Periodic, Steady, WorkloadScript, mixture
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import (NO_REGION, Deoptimization, PhaseChange,
+                                    StateTransition)
+from repro.telemetry.sinks import InMemorySink
+
+
+def build_system():
+    builder = BinaryBuilder(base=0x10000)
+    builder.procedure("p_a", [loop("a", body=28)], at=0x20000)
+    builder.procedure("p_b", [loop("b", body=44)], at=0x90000)
+    builder.procedure("cold", [straight(32)], at=0x16000)
+    binary = builder.build()
+    regions = {
+        # Region 'a' has two profiles so a workload can flip its *local*
+        # behavior — the trigger for LPD-driven unpatches.
+        "a": RegionSpec("a", *binary.loop_span("a"),
+                        profiles={"main": bottleneck_profile(32, {9: 200.0}),
+                                  "alt": bottleneck_profile(32, {25: 200.0})},
+                        dpi=0.10, opt_potential=0.30),
+        "b": RegionSpec("b", *binary.loop_span("b"),
+                        profiles={"main": bottleneck_profile(48, {20: 150.0})},
+                        dpi=0.02, opt_potential=0.10),
+        "cold_code": RegionSpec("cold_code", binary.procedure("cold").start,
+                                binary.procedure("cold").end, is_loop=False),
+    }
+    return binary, regions
+
+
+def globally_flapping_workload(intervals=60):
+    """Region *shares* flap (the GPD flaps, local behavior is steady)."""
+    mix_a = mixture(("a", 0.70), ("b", 0.20), ("cold_code", 0.10))
+    mix_b = mixture(("a", 0.20), ("b", 0.70), ("cold_code", 0.10))
+    return WorkloadScript([Periodic(
+        intervals * INTERVAL_45K, (mix_a, mix_b),
+        switch_period=12 * INTERVAL_45K)])
+
+
+def locally_flapping_workload(intervals=80):
+    """Region 'a' alternates its internal profile (local phase changes)."""
+    mix_main = mixture(("a", 0.55, "main"), ("b", 0.35), ("cold_code", 0.10))
+    mix_alt = mixture(("a", 0.55, "alt"), ("b", 0.35), ("cold_code", 0.10))
+    return WorkloadScript([Periodic(
+        intervals * INTERVAL_45K, (mix_main, mix_alt),
+        switch_period=16 * INTERVAL_45K)])
+
+
+def steady_workload(intervals=40):
+    return WorkloadScript([Steady(
+        intervals * INTERVAL_45K,
+        mixture(("a", 0.55), ("b", 0.35), ("cold_code", 0.10)))])
+
+
+def run_with_sink(policy, workload, **config_kwargs):
+    binary, regions = build_system()
+    sink = InMemorySink()
+    bus = EventBus(sinks=[sink])
+    system = RTOSystem(binary, regions, workload, 45_000,
+                       RtoConfig(policy=policy, **config_kwargs), seed=3,
+                       telemetry=bus)
+    return system.run(), sink
+
+
+class TestOrigPolicy:
+    def test_gpd_transitions_flow_through_the_system_bus(self):
+        result, sink = run_with_sink("orig", steady_workload())
+        gpd = [e for e in sink.by_type(StateTransition)
+               if e.detector == "gpd"]
+        assert gpd and result.stable_fraction > 0
+
+    def test_global_unpatch_all_emitted_on_flap(self):
+        result, sink = run_with_sink("orig", globally_flapping_workload())
+        assert result.n_unpatches > 0
+        deopts = sink.by_type(Deoptimization)
+        assert deopts
+        assert {e.action for e in deopts} == {"unpatch_all"}
+        assert {e.rid for e in deopts} == {NO_REGION}
+        assert {e.reason for e in deopts} == {"global-phase-change"}
+
+
+class TestLpdPolicy:
+    def test_share_flapping_does_not_unpatch_locally(self):
+        # The paper's claim, visible in the event stream: regions whose
+        # *share* flaps but whose local behavior is steady stay deployed.
+        result, sink = run_with_sink("lpd", globally_flapping_workload())
+        assert result.n_unpatches == 0
+        assert sink.by_type(Deoptimization) == []
+
+    def test_local_unpatches_carry_region_ids(self):
+        result, sink = run_with_sink("lpd", locally_flapping_workload())
+        assert result.n_unpatches > 0
+        deopts = [e for e in sink.by_type(Deoptimization)
+                  if e.action == "unpatch"]
+        assert deopts
+        assert {e.reason for e in deopts} == {"local-phase-change"}
+        assert all(e.rid >= 0 for e in deopts)
+
+    def test_event_stream_matches_result_counters(self):
+        result, sink = run_with_sink("lpd", locally_flapping_workload())
+        unpatch_events = [e for e in sink.by_type(Deoptimization)
+                          if e.action == "unpatch"]
+        # Every recorded unpatch of a candidate trace is narrated; the
+        # trace-cache counter also counts non-candidate regions, so the
+        # event count is a lower bound that must still be consistent.
+        assert 0 < len(unpatch_events) <= result.n_unpatches
+
+    def test_lpd_emits_per_region_phase_changes(self):
+        _, sink = run_with_sink("lpd", locally_flapping_workload())
+        changes = [e for e in sink.by_type(PhaseChange)
+                   if e.detector == "lpd"]
+        assert changes
+        assert all(e.rid >= 0 for e in changes)

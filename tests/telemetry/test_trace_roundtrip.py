@@ -1,0 +1,143 @@
+"""Trace schema: round-trip fidelity and validation of corrupted files."""
+
+import json
+
+import pytest
+
+from repro.telemetry.events import (EVENT_TYPES, CacheMiss, Deoptimization,
+                                    IntervalClosed, PhaseChange,
+                                    RegionBlacklisted, RegionFormed,
+                                    RegionQuarantined, SampleBatch,
+                                    StableSetFrozen, StableSetUpdated,
+                                    StateTransition, CacheHit)
+from repro.telemetry.sinks import JsonlTraceSink
+from repro.telemetry.trace import (from_record, header_record, read_trace,
+                                   to_record, validate_trace)
+
+#: One representative instance of every event type.
+SPECIMENS = [
+    SampleBatch(cumulative_samples=2032, batch_size=2032),
+    IntervalClosed(interval_index=0, n_samples=2032, ucr_fraction=0.42,
+                   n_regions=3),
+    StateTransition(interval_index=1, detector="lpd", rid=2,
+                    state_from="unstable", state_to="less_unstable",
+                    metric=0.85),
+    PhaseChange(interval_index=2, detector="gpd", rid=-1,
+                kind="became_stable", state_from="less_stable",
+                state_to="stable", detail="drift_ratio=0.004"),
+    StableSetFrozen(interval_index=3, rid=2),
+    StableSetUpdated(interval_index=4, rid=2),
+    RegionFormed(interval_index=5, rid=2, start=0x2000, end=0x2400,
+                 kind="loop"),
+    RegionQuarantined(interval_index=6, rid=2, reason="starved"),
+    RegionBlacklisted(interval_index=7, rid=2, reason="stuck-unstable"),
+    Deoptimization(interval_index=8, rid=2, reason="watchdog",
+                   action="unpatch"),
+    CacheHit(kind="stream", key="StreamKey(benchmark='181.mcf', ...)"),
+    CacheMiss(kind="monitor", key="MonitorKey(benchmark='181.mcf', ...)"),
+]
+
+
+def test_specimens_cover_every_event_type():
+    assert {type(e).etype for e in SPECIMENS} == set(EVENT_TYPES)
+
+
+@pytest.mark.parametrize("event", SPECIMENS,
+                         ids=[type(e).etype for e in SPECIMENS])
+def test_record_roundtrip_is_lossless(event):
+    record = to_record(event, seq=9)
+    # Through actual JSON, as the file format would.
+    decoded = json.loads(json.dumps(record, sort_keys=True,
+                                    allow_nan=False))
+    assert from_record(decoded) == event
+
+
+def test_file_roundtrip_preserves_order(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlTraceSink(path)
+    for event in SPECIMENS:
+        sink.emit(event)
+    sink.close()
+    assert validate_trace(path) == []
+    assert list(read_trace(path)) == SPECIMENS
+
+
+def test_from_record_rejects_unknown_etype():
+    with pytest.raises(ValueError, match="unknown etype"):
+        from_record({"etype": "no_such_event", "seq": 1, "v": 1})
+
+
+def test_from_record_rejects_missing_field():
+    record = to_record(SPECIMENS[0], seq=1)
+    del record["batch_size"]
+    with pytest.raises(ValueError, match="batch_size"):
+        from_record(record)
+
+
+def test_from_record_rejects_extra_field():
+    record = to_record(SPECIMENS[0], seq=1)
+    record["wall_time"] = 12.5
+    with pytest.raises(ValueError, match="wall_time"):
+        from_record(record)
+
+
+def test_from_record_rejects_bool_for_int():
+    record = to_record(SPECIMENS[0], seq=1)
+    record["batch_size"] = True
+    with pytest.raises(ValueError):
+        from_record(record)
+
+
+def test_from_record_rejects_version_mismatch():
+    record = to_record(SPECIMENS[0], seq=1)
+    record["v"] = 99
+    with pytest.raises(ValueError, match="version"):
+        from_record(record)
+
+
+class TestValidateTrace:
+    def _write(self, path, lines):
+        path.write_text("".join(line + "\n" for line in lines))
+
+    def test_missing_file(self, tmp_path):
+        problems = validate_trace(tmp_path / "absent.jsonl")
+        assert problems and "cannot open" in problems[0]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert validate_trace(path) == ["empty trace (no header record)"]
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record = to_record(SPECIMENS[0], seq=1)
+        self._write(path, [json.dumps(record)])
+        assert any("trace_header" in p for p in validate_trace(path))
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, [json.dumps(header_record()), "{not json"])
+        assert any("invalid JSON" in p for p in validate_trace(path))
+
+    def test_non_monotonic_seq(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, [
+            json.dumps(header_record()),
+            json.dumps(to_record(SPECIMENS[0], seq=2)),
+            json.dumps(to_record(SPECIMENS[0], seq=2)),
+        ])
+        assert any("seq 2" in p for p in validate_trace(path))
+
+    def test_truncated_last_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        full = json.dumps(header_record()) + "\n" \
+            + json.dumps(to_record(SPECIMENS[0], seq=1))
+        path.write_text(full[:-5])  # simulated crash mid-write
+        assert validate_trace(path) != []
+
+    def test_valid_trace_has_no_problems(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.emit(SPECIMENS[2])
+        sink.close()
+        assert validate_trace(path) == []
