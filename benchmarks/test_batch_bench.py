@@ -1,0 +1,97 @@
+"""Fleet-scale benchmarks: the batch backend vs the scalar detectors.
+
+The batch backend exists for multi-tenant monitoring — N streams, each
+with a handful of region detectors plus a global detector, advanced in
+lockstep.  These benchmarks time the *detector-stepping* stage (the part
+batching vectorizes; region formation and attribution are per-lane
+Python either way) at fleet sizes of 64, 256 and 1024 streams, feeding
+both paths identical inputs.
+
+``scripts/bench_compare.py`` gates on the 256-stream pair: the batch
+path must hold at least a 5x throughput advantage over the scalar loop
+(see ``FLEET_SPEEDUP_FLOOR`` there).  The bit-equality of the two paths
+is proven separately by ``tests/batch/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchGpdBank, BatchLpdBank
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.lpd import LocalPhaseDetector
+
+#: Region detector rows per stream and their histogram widths — a fleet
+#: runs one binary, so widths repeat across streams (which is what lets
+#: the bank form dense same-width groups).
+WIDTHS = (12, 16, 20, 24, 28, 32, 48, 64)
+#: GPD sample-buffer length per interval.
+BUFFER = 504
+#: Intervals stepped per timed run.
+INTERVALS = 24
+#: Distinct pre-generated interval inputs, cycled (bounds setup memory).
+CYCLE = 8
+
+FLEET_SIZES = [64, 256, 1024]
+SCALAR_SIZES = [64, 256]  # the 1024-stream scalar loop is too slow to time
+
+
+def _fleet_inputs(n_streams):
+    """Identical per-interval inputs for both paths, cycled."""
+    rng = np.random.default_rng(7)
+    lpd_cycle = [
+        {w: rng.integers(1, 50, size=(n_streams, w)).astype(np.float64)
+         for w in WIDTHS}
+        for _ in range(CYCLE)]
+    gpd_cycle = [
+        rng.integers(0x4000_0000, 0x4100_0000, size=(n_streams, BUFFER))
+        for _ in range(CYCLE)]
+    return lpd_cycle, gpd_cycle
+
+
+def _run_scalar(n_streams, lpd_cycle, gpd_cycle):
+    lpds = [[LocalPhaseDetector(w) for w in WIDTHS]
+            for _ in range(n_streams)]
+    gpds = [GlobalPhaseDetector() for _ in range(n_streams)]
+    for interval in range(INTERVALS):
+        blocks = lpd_cycle[interval % CYCLE]
+        buffers = gpd_cycle[interval % CYCLE]
+        for stream in range(n_streams):
+            row = lpds[stream]
+            for j, width in enumerate(WIDTHS):
+                row[j].observe(blocks[width][stream], interval)
+            gpds[stream].observe_buffer(buffers[stream])
+    return gpds
+
+
+def _run_batch(n_streams, lpd_cycle, gpd_cycle):
+    lpd_bank = BatchLpdBank()
+    group_views = {w: [lpd_bank.add_detector(w) for _ in range(n_streams)]
+                   for w in WIDTHS}
+    gpd_bank = BatchGpdBank()
+    gpd_views = [gpd_bank.add_detector() for _ in range(n_streams)]
+    for interval in range(INTERVALS):
+        blocks = lpd_cycle[interval % CYCLE]
+        buffers = gpd_cycle[interval % CYCLE]
+        for width in WIDTHS:
+            lpd_bank.observe_rows(group_views[width], blocks[width],
+                                  interval)
+        gpd_bank.observe_buffers(list(zip(gpd_views, buffers)))
+    return gpd_views
+
+
+@pytest.mark.parametrize("n_streams", SCALAR_SIZES)
+def test_fleet_step_scalar(benchmark, n_streams):
+    lpd_cycle, gpd_cycle = _fleet_inputs(n_streams)
+    gpds = benchmark.pedantic(_run_scalar, args=(n_streams, lpd_cycle,
+                                                 gpd_cycle),
+                              rounds=3, iterations=1)
+    assert all(g.intervals_seen == INTERVALS for g in gpds)
+
+
+@pytest.mark.parametrize("n_streams", FLEET_SIZES)
+def test_fleet_step_batch(benchmark, n_streams):
+    lpd_cycle, gpd_cycle = _fleet_inputs(n_streams)
+    views = benchmark.pedantic(_run_batch, args=(n_streams, lpd_cycle,
+                                                 gpd_cycle),
+                               rounds=3, iterations=1)
+    assert all(v.intervals_seen == INTERVALS for v in views)

@@ -17,6 +17,11 @@ general 25% noise allowance — the single ``bus.enabled`` check per
 instrumentation site must stay free — and their deltas are always printed
 even when they pass.
 
+Fleet gate: when the snapshot contains the 256-stream fleet-stepping
+pair from ``benchmarks/test_batch_bench.py``, the batch backend's median
+must beat the scalar loop's by at least ``--fleet-min-speedup`` (default
+5x).  This is a within-snapshot ratio, so it is immune to host speed.
+
 Usage::
 
     python scripts/bench_compare.py                      # full suite
@@ -50,9 +55,40 @@ TELEMETRY_GATED = (
     "test_monitor_interval_pipeline",
 )
 
+#: Within-snapshot fleet gate: the batch backend must keep at least this
+#: throughput multiple over the scalar detector loop on the 256-stream
+#: fleet-stepping benchmark pair (``benchmarks/test_batch_bench.py``).
+#: Unlike the cross-snapshot thresholds this compares two benchmarks of
+#: the *current* run, so host speed cancels out.
+FLEET_SPEEDUP_FLOOR = 5.0
+FLEET_SCALAR_BENCH = "test_fleet_step_scalar[256]"
+FLEET_BATCH_BENCH = "test_fleet_step_batch[256]"
+
 
 def _is_telemetry_gated(name: str) -> bool:
     return any(pattern in name for pattern in TELEMETRY_GATED)
+
+
+def fleet_gate(snapshot: dict,
+               floor: float = FLEET_SPEEDUP_FLOOR) -> tuple[str, bool] | None:
+    """Check the batch-over-scalar fleet speedup within one snapshot.
+
+    Returns ``(report line, passed)``, or ``None`` when the snapshot does
+    not contain both fleet benchmarks (e.g. a ``--select`` run that
+    skipped ``test_batch_bench.py``).
+    """
+    benches = snapshot.get("benchmarks", {})
+    scalar = next((s for name, s in benches.items()
+                   if FLEET_SCALAR_BENCH in name), None)
+    batch = next((s for name, s in benches.items()
+                  if FLEET_BATCH_BENCH in name), None)
+    if scalar is None or batch is None or batch["median"] <= 0:
+        return None
+    speedup = scalar["median"] / batch["median"]
+    line = (f"fleet-256 stepping: scalar {scalar['median']:.4f}s / "
+            f"batch {batch['median']:.4f}s = {speedup:.2f}x "
+            f"(floor {floor:.1f}x)")
+    return line, speedup >= floor
 
 
 def run_benchmarks(select: str, pytest_args: list[str]) -> dict:
@@ -176,6 +212,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed median regression fraction for the "
                              "telemetry-gated detector hot-path "
                              "benchmarks (default 0.02 = 2%%)")
+    parser.add_argument("--fleet-min-speedup", type=float,
+                        default=FLEET_SPEEDUP_FLOOR,
+                        help="required batch-over-scalar speedup on the "
+                             "256-stream fleet benchmark pair "
+                             "(default 5.0; 0 disables the gate)")
     parser.add_argument("--dry-run", action="store_true",
                         help="compare only; do not write a new snapshot")
     parser.add_argument("pytest_args", nargs="*",
@@ -208,6 +249,15 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print("no previous snapshot; recording the first trajectory point")
 
+    fleet_failure = None
+    if args.fleet_min_speedup > 0:
+        checked = fleet_gate(snapshot, args.fleet_min_speedup)
+        if checked is not None:
+            line, passed = checked
+            print(line)
+            if not passed:
+                fleet_failure = line
+
     if not args.dry_run:
         # repro: allow[wall-clock] output filename stamp only
         stamp = datetime.datetime.now().strftime("%Y%m%d-%H%M%S")
@@ -217,13 +267,18 @@ def main(argv: list[str] | None = None) -> int:
             handle.write("\n")
         print(f"wrote {os.path.basename(out_path)}")
 
+    failed = False
     if regressions:
         print("MEDIAN REGRESSIONS:")
         for line in regressions:
             print(" ", line)
-        return 1
-    print("no median regressions beyond threshold")
-    return 0
+        failed = True
+    else:
+        print("no median regressions beyond threshold")
+    if fleet_failure is not None:
+        print(f"FLEET SPEEDUP BELOW FLOOR: {fleet_failure}")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

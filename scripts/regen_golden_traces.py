@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate every golden telemetry trace fixture.
+
+One command::
+
+    python scripts/regen_golden_traces.py
+
+re-runs each pinned pipeline (see ``tests/fixtures/traces/golden.py``)
+and rewrites the committed JSONL fixtures in place.  Run it after an
+*intentional* change to pipeline behavior or the trace schema, review
+the diff, and commit the updated files together with the change that
+caused them — the replay test fails until the fixtures match again.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from tests.fixtures.traces.golden import (GOLDEN_TRACES, TRACE_DIR,  # noqa: E402
+                                          write_golden_trace)
+
+
+def main() -> int:
+    for name in GOLDEN_TRACES:
+        path = write_golden_trace(name, TRACE_DIR)
+        size = path.stat().st_size
+        print(f"wrote {path.relative_to(REPO_ROOT)} ({size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,411 @@
+"""Batched global phase detection: many GPD streams in lockstep.
+
+A :class:`BatchGpdBank` keeps N ``GlobalPhaseDetector``-equivalent rows:
+an integer state vector stepped through tables compiled from
+:func:`~repro.core.states.gpd_machine_spec` (the dwell timer expanded
+into explicit ``less_stable@k`` states, exactly as the model checker
+verifies), a shared ``(N, history_length)`` centroid-history matrix kept
+oldest-first, and per-row threshold columns.  Band statistics are
+computed by grouping rows on their exact history fill count — no padding
+— so every mean/std reduces through the same pairwise tree as the
+scalar ``CentroidHistory.band()`` (see :mod:`repro.batch.kernels`).
+
+Each row is exposed as a :class:`BatchGlobalPhaseDetector` view that
+mirrors the scalar detector's read surface; ``tests/batch/`` proves the
+two bit-identical on states, phase-change indices and drift ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.batch.kernels import batched_band_stats, batched_centroid
+from repro.batch.tables import CompiledMachine, compile_machine
+from repro.core.centroid import BandOfStability
+from repro.core.gpd import GpdObservation
+from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
+                               gpd_machine_spec)
+from repro.core.thresholds import GpdThresholds
+from repro.errors import ConfigError
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import NO_REGION, PhaseChange, StateTransition
+
+__all__ = ["BatchGpdBank", "BatchGlobalPhaseDetector"]
+
+_MIN_CAPACITY = 16
+
+
+@dataclass
+class _StepRecord:
+    """Compact log of one bank step (lazy ``observations``)."""
+
+    handles: np.ndarray
+    interval_indices: np.ndarray
+    centroids: np.ndarray
+    had_band: np.ndarray
+    expectations: np.ndarray
+    sds: np.ndarray
+    ratios: np.ndarray
+    states: np.ndarray
+    events: dict[int, PhaseEvent] = field(default_factory=dict)
+
+
+class BatchGpdBank:
+    """Vectorized storage and stepping for many global phase detectors.
+
+    All rows share ``dwell_intervals`` (it shapes the compiled machine)
+    and ``history_length`` (it shapes the history matrix); the numeric
+    thresholds TH1..TH4, the thickness divisor and the starvation floor
+    are per-row columns.
+    """
+
+    def __init__(self, dwell_intervals: int = 2,
+                 history_length: int = 8) -> None:
+        self.dwell_intervals = dwell_intervals
+        self.history_length = history_length
+        self.machine: CompiledMachine = compile_machine(
+            gpd_machine_spec(dwell_intervals))
+        self._stable_vec = self.machine.stable
+        self._input_no_band = self.machine.input_index["no_band"]
+        self._n = 0
+        capacity = _MIN_CAPACITY
+        self._state = np.full(capacity, self.machine.initial, dtype=np.int64)
+        self._interval = np.full(capacity, -1, dtype=np.int64)
+        self._hist = np.zeros((capacity, history_length), dtype=np.float64)
+        self._hist_n = np.zeros(capacity, dtype=np.int64)
+        self._th1 = np.zeros(capacity, dtype=np.float64)
+        self._th2 = np.zeros(capacity, dtype=np.float64)
+        self._th3 = np.zeros(capacity, dtype=np.float64)
+        self._th4 = np.zeros(capacity, dtype=np.float64)
+        self._divisor = np.zeros(capacity, dtype=np.float64)
+        self._min_buffer = np.zeros(capacity, dtype=np.int64)
+        self._stable_obs = np.zeros(capacity, dtype=np.int64)
+        self._buses: list[EventBus] = []
+        self._thresholds: list[GpdThresholds] = []
+        self._events: list[list[PhaseEvent]] = []
+        self._observations: list[list[GpdObservation]] = []
+        self._distinct_buses: list[EventBus] = []
+        self._log: list[_StepRecord] = []
+        self._materialized_logs = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self) -> None:
+        capacity = self._state.size * 2
+        for name in ("_state", "_interval", "_hist_n", "_th1", "_th2",
+                     "_th3", "_th4", "_divisor", "_min_buffer",
+                     "_stable_obs"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[:self._n] = old[:self._n]
+            setattr(self, name, grown)
+        self._state[self._n:] = self.machine.initial
+        self._interval[self._n:] = -1
+        hist = np.zeros((capacity, self.history_length), dtype=np.float64)
+        hist[:self._n] = self._hist[:self._n]
+        self._hist = hist
+
+    def add_detector(self, thresholds: GpdThresholds | None = None,
+                     telemetry: EventBus | None = None
+                     ) -> "BatchGlobalPhaseDetector":
+        """Allocate one detector row; returns its scalar-compatible view."""
+        thresholds = thresholds or GpdThresholds()
+        if thresholds.dwell_intervals != self.dwell_intervals:
+            raise ConfigError(
+                f"bank compiled for dwell_intervals="
+                f"{self.dwell_intervals}, got {thresholds.dwell_intervals}")
+        if thresholds.history_length != self.history_length:
+            raise ConfigError(
+                f"bank sized for history_length={self.history_length}, "
+                f"got {thresholds.history_length}")
+        bus = telemetry if telemetry is not None else get_bus()
+        if self._n == self._state.size:
+            self._grow()
+        handle = self._n
+        self._n += 1
+        self._state[handle] = self.machine.initial
+        self._interval[handle] = -1
+        self._hist_n[handle] = 0
+        self._th1[handle] = thresholds.th1
+        self._th2[handle] = thresholds.th2
+        self._th3[handle] = thresholds.th3
+        self._th4[handle] = thresholds.th4
+        self._divisor[handle] = thresholds.thickness_divisor
+        self._min_buffer[handle] = thresholds.min_buffer_samples
+        self._stable_obs[handle] = 0
+        self._buses.append(bus)
+        if not any(bus is seen for seen in self._distinct_buses):
+            self._distinct_buses.append(bus)
+        self._thresholds.append(thresholds)
+        self._events.append([])
+        self._observations.append([])
+        return BatchGlobalPhaseDetector(self, handle)
+
+    # -- the vectorized step ---------------------------------------------------
+
+    def observe_buffers(self, items: list) -> list[PhaseEvent | None]:
+        """Process one full sample buffer per row, in lockstep.
+
+        *items* is ``[(view, pcs_1d_array), ...]``; buffers below a row's
+        ``min_buffer_samples`` take the starved hold, the rest go through
+        a batched centroid.  All non-starved buffers must share one
+        length (sessions deliver fixed-size intervals); mixed lengths
+        fall back to per-row centroids, which are bit-identical anyway.
+        """
+        values = np.full(len(items), np.nan, dtype=np.float64)
+        live: list[int] = []
+        buffers = []
+        for position, (view, pcs) in enumerate(items):
+            buffer = np.asarray(pcs)
+            if buffer.size < self._min_buffer[view._handle]:
+                continue  # starved: NaN routes to the held path below
+            live.append(position)
+            buffers.append(buffer)
+        if buffers:
+            lengths = {b.size for b in buffers}
+            if len(lengths) == 1:
+                values[live] = batched_centroid(np.stack(buffers))
+            else:
+                for position, buffer in zip(live, buffers):
+                    values[position] = batched_centroid(
+                        buffer[np.newaxis, :])[0]
+        starved = np.ones(len(items), dtype=bool)
+        starved[live] = False
+        return self.observe_centroids([view for view, _ in items], values,
+                                      starved_mask=starved)
+
+    def observe_centroids(self, views: list, values: np.ndarray,
+                          starved_mask: np.ndarray | None = None
+                          ) -> list[PhaseEvent | None]:
+        """Advance one interval per row given precomputed centroids.
+
+        A non-finite centroid — or a ``starved_mask`` entry — takes the
+        scalar's insufficient-data path: the interval is counted, state
+        and history hold.  Each row may appear at most once per call.
+        """
+        k = len(views)
+        values = np.asarray(values, dtype=np.float64)
+        handles = np.fromiter((view._handle for view in views),
+                              dtype=np.int64, count=k)
+        live = np.isfinite(values)
+        if starved_mask is not None:
+            live &= ~starved_mask
+        self._interval[handles] += 1
+        indices = self._interval[handles]
+        before_all = self._state[handles].copy()
+        results: list[PhaseEvent | None] = [None] * k
+
+        expectations = np.zeros(k, dtype=np.float64)
+        sds = np.zeros(k, dtype=np.float64)
+        had_band = np.zeros(k, dtype=bool)
+        ratios = np.full(k, np.inf, dtype=np.float64)
+
+        if live.any():
+            live_positions = np.flatnonzero(live)
+            live_handles = handles[live_positions]
+            live_values = values[live_positions]
+            fills = self._hist_n[live_handles]
+            banded = fills >= 2
+            # Band statistics, grouped by exact history fill count.
+            for fill in np.unique(fills[banded]):
+                sel = fills == fill
+                block = self._hist[live_handles[sel], :fill]
+                expectation, sd = batched_band_stats(block)
+                expectations[live_positions[sel]] = expectation
+                sds[live_positions[sel]] = sd
+            had_band[live_positions] = banded
+
+            E = expectations[live_positions]
+            SD = sds[live_positions]
+            lower = E - SD
+            upper = E + SD
+            delta = np.where(
+                live_values < lower, lower - live_values,
+                np.where(live_values > upper, live_values - upper, 0.0))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                raw_ratio = delta / E
+            ratio = np.where(E > 0.0, raw_ratio,
+                             np.where(delta > 0.0, np.inf, 0.0))
+            ratio = np.where(banded, ratio, np.inf)
+            ratios[live_positions] = ratio
+
+            thin = SD < E / self._divisor[live_handles]
+            bucket = np.full(live_handles.size, 4, dtype=np.int64)
+            bucket[ratio <= self._th4[live_handles]] = 3
+            bucket[ratio <= self._th3[live_handles]] = 2
+            bucket[ratio <= self._th2[live_handles]] = 1
+            bucket[ratio <= self._th1[live_handles]] = 0
+            inputs = 1 + 2 * bucket + np.where(thin, 0, 1)
+            inputs[~banded] = self._input_no_band
+
+            before = self._state[live_handles]
+            after = self.machine.next_state[before, inputs]
+            changed = self.machine.phase_change[before, inputs]
+            self._state[live_handles] = after
+            self._stable_obs[live_handles] += self._stable_vec[after]
+
+            # Push the centroid (after the band was computed, like the
+            # scalar: the current interval joins the history for next time).
+            fill_room = fills < self.history_length
+            if fill_room.any():
+                grow_handles = live_handles[fill_room]
+                self._hist[grow_handles, fills[fill_room]] = \
+                    live_values[fill_room]
+                self._hist_n[grow_handles] += 1
+            full = ~fill_room
+            if full.any():
+                full_handles = live_handles[full]
+                self._hist[full_handles, :-1] = self._hist[full_handles, 1:]
+                self._hist[full_handles, -1] = live_values[full]
+
+            phase_states = self.machine.phase_states
+            for j in np.flatnonzero(changed):
+                position = int(live_positions[j])
+                handle = int(live_handles[j])
+                stable_after = bool(self._stable_vec[after[j]])
+                event = PhaseEvent(
+                    interval_index=int(indices[position]),
+                    kind=(PhaseEventKind.BECAME_STABLE if stable_after
+                          else PhaseEventKind.BECAME_UNSTABLE),
+                    state_from=phase_states[int(before[j])],
+                    state_to=phase_states[int(after[j])],
+                    detail=f"drift_ratio={float(ratio[j]):.4g}")
+                results[position] = event
+                self._events[handle].append(event)
+
+        starved_positions = np.flatnonzero(~live)
+        if starved_positions.size:
+            starved_handles = handles[starved_positions]
+            self._stable_obs[starved_handles] += \
+                self._stable_vec[self._state[starved_handles]]
+
+        self._log.append(_StepRecord(
+            handles=handles,
+            interval_indices=indices.copy(),
+            centroids=np.where(live, values, np.nan),
+            had_band=had_band,
+            expectations=expectations,
+            sds=sds,
+            ratios=ratios,
+            states=self._state[handles],
+            events={p: e for p, e in enumerate(results) if e is not None}))
+
+        if any(bus.enabled for bus in self._distinct_buses):
+            self._emit_telemetry(handles, indices, live, before_all,
+                                 ratios, results)
+        return results
+
+    # -- telemetry replay (cold path) ------------------------------------------
+
+    def _emit_telemetry(self, handles, indices, live, before_all, ratios,
+                        results) -> None:
+        record = self._log[-1]
+        phase_states = self.machine.phase_states
+        for position in range(handles.size):
+            if not live[position]:
+                continue  # the scalar's starved path emits nothing
+            handle = int(handles[position])
+            bus = self._buses[handle]
+            if not bus.enabled:
+                continue
+            index = int(indices[position])
+            ratio = float(ratios[position])
+            state_from = phase_states[int(before_all[position])].value
+            state_to = phase_states[int(record.states[position])].value
+            event = results[position]
+            metric = ratio if np.isfinite(ratio) else -1.0
+            bus.emit(StateTransition(
+                interval_index=index, detector="gpd", rid=NO_REGION,
+                state_from=state_from, state_to=state_to, metric=metric))
+            if event is not None:
+                bus.emit(PhaseChange(
+                    interval_index=index, detector="gpd", rid=NO_REGION,
+                    kind=event.kind.value, state_from=state_from,
+                    state_to=state_to, detail=event.detail))
+
+    # -- lazy observation materialization --------------------------------------
+
+    def materialize_observations(self) -> None:
+        """Expand pending step records into per-row observation lists."""
+        phase_states = self.machine.phase_states
+        for record in self._log[self._materialized_logs:]:
+            for position in range(record.handles.size):
+                handle = int(record.handles[position])
+                band = None
+                if record.had_band[position]:
+                    band = BandOfStability(
+                        expectation=float(record.expectations[position]),
+                        sd=float(record.sds[position]))
+                self._observations[handle].append(GpdObservation(
+                    interval_index=int(record.interval_indices[position]),
+                    centroid_value=float(record.centroids[position]),
+                    band=band,
+                    drift_ratio=float(record.ratios[position]),
+                    state=phase_states[int(record.states[position])],
+                    event=record.events.get(position)))
+        self._materialized_logs = len(self._log)
+
+
+class BatchGlobalPhaseDetector:
+    """Scalar-compatible view of one :class:`BatchGpdBank` row."""
+
+    __slots__ = ("_bank", "_handle")
+
+    def __init__(self, bank: BatchGpdBank, handle: int) -> None:
+        self._bank = bank
+        self._handle = handle
+
+    @property
+    def thresholds(self) -> GpdThresholds:
+        return self._bank._thresholds[self._handle]
+
+    @property
+    def state(self) -> PhaseState:
+        """Current machine state."""
+        return self._bank.machine.phase_states[
+            int(self._bank._state[self._handle])]
+
+    @property
+    def in_stable_phase(self) -> bool:
+        """Whether the detector currently declares a stable phase."""
+        return bool(self._bank._stable_vec[
+            int(self._bank._state[self._handle])])
+
+    @property
+    def intervals_seen(self) -> int:
+        """Number of intervals processed so far."""
+        return int(self._bank._interval[self._handle]) + 1
+
+    @property
+    def events(self) -> list[PhaseEvent]:
+        """Phase changes emitted so far (live list, like the scalar's)."""
+        return self._bank._events[self._handle]
+
+    @property
+    def observations(self) -> list[GpdObservation]:
+        """Per-interval records, materialized from the bank's step log."""
+        self._bank.materialize_observations()
+        return self._bank._observations[self._handle]
+
+    def observe_buffer(self, pcs) -> PhaseEvent | None:
+        """Process one full sample buffer (single-row batch)."""
+        return self._bank.observe_buffers([(self, pcs)])[0]
+
+    def observe_centroid(self, value: float) -> PhaseEvent | None:
+        """Process one interval given its precomputed centroid."""
+        return self._bank.observe_centroids(
+            [self], np.asarray([value], dtype=np.float64))[0]
+
+    def stable_interval_count(self) -> int:
+        """Processed intervals that ended in a declared-stable phase."""
+        return int(self._bank._stable_obs[self._handle])
+
+    def stable_time_fraction(self) -> float:
+        """Fraction of intervals spent in a declared-stable phase."""
+        seen = self.intervals_seen
+        if seen == 0:
+            return 0.0
+        return self.stable_interval_count() / seen

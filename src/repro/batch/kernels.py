@@ -1,0 +1,120 @@
+"""Row-wise numeric kernels, bit-identical to their scalar counterparts.
+
+Bit-equality notes
+------------------
+NumPy reduces float64 arrays with pairwise summation, and the reduction
+tree depends only on the number of elements reduced — ``X.sum(axis=-1)``
+over a C-contiguous 2-D array reduces each row through exactly the same
+tree as ``X[i].sum()`` does for the 1-D row.  Zero-padding rows would
+change the element count and therefore the tree, so the batch backend
+never pads reductions: LPD detector rows are grouped by exact histogram
+width (:mod:`repro.batch.lpd`) and GPD history rows by exact fill count
+(:mod:`repro.batch.gpd`), and every kernel here receives equal-width
+groups.  Elementwise arithmetic (``+ - * /``, ``sqrt``, comparisons) is
+IEEE-754 double in both NumPy and pure Python, so replicating the scalar
+operation *sequence* per row yields bit-identical results — which the
+differential conformance suite (``tests/batch/``) asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.correlation import _degenerate_r
+
+__all__ = ["batched_pearson", "batched_centroid", "batched_band_stats"]
+
+#: np.allclose defaults, used by the scalar degenerate-case resolution.
+_ALLCLOSE_RTOL = 1.0e-5
+_ALLCLOSE_ATOL = 1.0e-8
+
+
+def _degenerate_rows(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`repro.core.correlation._degenerate_r`.
+
+    The scalar resolves zero-variance pairs with
+    ``np.allclose(v, v[0])`` per side; this replicates the finite-input
+    formula ``|v_i - v_0| <= atol + rtol * |v_0|`` vectorized, and falls
+    back to the scalar helper for rows containing non-finite values
+    (np.allclose treats those by equality, not tolerance).
+    """
+    finite = np.isfinite(x).all(axis=1) & np.isfinite(y).all(axis=1)
+    x0 = x[:, :1]
+    y0 = y[:, :1]
+    x_flat = np.all(np.abs(x - x0) <= _ALLCLOSE_ATOL
+                    + _ALLCLOSE_RTOL * np.abs(x0), axis=1)
+    y_flat = np.all(np.abs(y - y0) <= _ALLCLOSE_ATOL
+                    + _ALLCLOSE_RTOL * np.abs(y0), axis=1)
+    out = np.where(x_flat & y_flat, 1.0, 0.0)
+    if not finite.all():
+        for i in np.flatnonzero(~finite):
+            out[i] = _degenerate_r(x[i], y[i])
+    return out
+
+
+def batched_pearson(stable: np.ndarray, current: np.ndarray) -> np.ndarray:
+    """Pearson's r per row, bit-identical to ``pearson_r(row_x, row_y)``.
+
+    Parameters
+    ----------
+    stable, current:
+        C-contiguous float64 arrays of shape ``(k, n)``: one stable-set
+        and one current-interval histogram per row.  All rows share the
+        same width ``n`` (callers group by width; see module docstring).
+
+    Returns
+    -------
+    np.ndarray
+        ``(k,)`` float64 r-values in [-1, 1], degenerate rows resolved by
+        the detector's convention (both-flat -> 1.0, else 0.0).
+    """
+    k, n = stable.shape
+    if n < 2:
+        return _degenerate_rows(stable, current)
+    # inf/nan rows produce nan variances here and route to the
+    # degenerate fallback below, so their warnings are noise
+    with np.errstate(invalid="ignore", over="ignore"):
+        sum_x = stable.sum(axis=1)
+        sum_y = current.sum(axis=1)
+        sum_xy = (stable * current).sum(axis=1)
+        sum_x2 = (stable * stable).sum(axis=1)
+        sum_y2 = (current * current).sum(axis=1)
+        var_x = sum_x2 - (sum_x * sum_x) / n
+        var_y = sum_y2 - (sum_y * sum_y) / n
+    defined = (np.isfinite(var_x) & np.isfinite(var_y)
+               & (var_x > 0.0) & (var_y > 0.0))
+    out = np.empty(k, dtype=np.float64)
+    if defined.any():
+        with np.errstate(invalid="ignore", divide="ignore"):
+            numerator = sum_xy - (sum_x * sum_y) / n
+            r = numerator / np.sqrt(var_x * var_y)
+        np.copyto(out, np.minimum(1.0, np.maximum(-1.0, r)),
+                  where=defined)
+    undefined = ~defined
+    if undefined.any():
+        out[undefined] = _degenerate_rows(stable[undefined],
+                                          current[undefined])
+    return out
+
+
+def batched_centroid(buffers: np.ndarray) -> np.ndarray:
+    """Mean PC per row, bit-identical to ``centroid(row)``.
+
+    *buffers* is ``(k, B)``, any integer or float dtype; rows are
+    converted to float64 exactly (PCs are far below 2**53) before the
+    row-wise mean.
+    """
+    block = np.ascontiguousarray(buffers, dtype=np.float64)
+    return block.mean(axis=1)
+
+
+def batched_band_stats(history: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(expectation, sd) per row of an equal-fill centroid-history block.
+
+    *history* is ``(k, n)`` with ``n >= 2``: the retained centroids of k
+    detectors, oldest first, all with the same fill count (callers group
+    rows by fill).  Matches ``CentroidHistory.band()``: population mean
+    and standard deviation (ddof=0) over the retained values.
+    """
+    block = np.ascontiguousarray(history, dtype=np.float64)
+    return block.mean(axis=1), block.std(axis=1)

@@ -1,0 +1,545 @@
+"""Batched local phase detection: one bank, many detector rows.
+
+A :class:`BatchLpdBank` holds the state of N ``LocalPhaseDetector``
+-equivalent rows in flat NumPy arrays — integer machine states, last-r
+values, per-row thresholds — plus width-grouped stable-set matrices, and
+advances any subset of rows per call with vectorized kernels.  Each row
+is exposed through a :class:`BatchLocalPhaseDetector` view whose surface
+mirrors the scalar detector (``state``, ``last_r``, ``events``,
+``observations``, ``reset()``, ...) so region monitors, watchdogs and
+figure code consume either interchangeably.
+
+Bit-equality design (enforced by ``tests/batch/``):
+
+* stable-set and current histograms are grouped by *exact* width — no
+  padding — so row-wise reductions share the scalar's pairwise-summation
+  tree (see :mod:`repro.batch.kernels`);
+* the state machine steps through integer tables compiled from
+  :func:`~repro.core.states.lpd_machine_spec`, the same table the
+  ``repro-check`` model checker proves equivalent to the imperative
+  detector;
+* priming, starvation (``sum < min_interval_samples``) and the no-sample
+  hold replicate the scalar control flow branch for branch.
+
+Observation records are materialized lazily: the hot path appends one
+compact array record per call, and per-row ``LpdObservation`` lists are
+built only when a view's ``observations`` is first read.  Phase events
+are rare and constructed eagerly, because monitors and watchdogs consume
+them per interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.batch.kernels import batched_pearson
+from repro.batch.tables import CompiledMachine, compile_machine
+from repro.core.histogram import RegionHistogram
+from repro.core.lpd import LpdObservation
+from repro.core.similarity import PearsonSimilarity, SimilarityMeasure
+from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
+                               lpd_machine_spec)
+from repro.core.thresholds import LpdThresholds
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import (PhaseChange, StableSetFrozen,
+                                    StableSetUpdated, StateTransition)
+
+__all__ = ["BatchLpdBank", "BatchLocalPhaseDetector"]
+
+#: Bank growth floor (rows); capacities double beyond it.
+_MIN_CAPACITY = 16
+
+
+class _SetStore:
+    """Stable-set rows of one histogram width, densely packed."""
+
+    __slots__ = ("width", "rows", "used")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.rows = np.zeros((_MIN_CAPACITY, width), dtype=np.float64)
+        self.used = 0
+
+    def alloc(self) -> int:
+        if self.used == self.rows.shape[0]:
+            grown = np.zeros((self.rows.shape[0] * 2, self.width),
+                             dtype=np.float64)
+            grown[:self.used] = self.rows
+            self.rows = grown
+        slot = self.used
+        self.used += 1
+        return slot
+
+
+@dataclass
+class _StepRecord:
+    """Compact log of one ``observe_many`` call (lazy observations)."""
+
+    handles: np.ndarray
+    interval_indices: np.ndarray
+    had_samples: np.ndarray
+    r_values: np.ndarray
+    states: np.ndarray
+    events: dict[int, PhaseEvent] = field(default_factory=dict)
+
+
+class BatchLpdBank:
+    """Vectorized storage and stepping for many local phase detectors."""
+
+    def __init__(self) -> None:
+        self.machine: CompiledMachine = compile_machine(lpd_machine_spec())
+        self._input_similar = self.machine.input_index["similar"]
+        self._input_dissimilar = self.machine.input_index["dissimilar"]
+        self._stable_vec = self.machine.stable
+        self._n = 0
+        capacity = _MIN_CAPACITY
+        self._state = np.zeros(capacity, dtype=np.int64)
+        self._last_r = np.zeros(capacity, dtype=np.float64)
+        self._active = np.zeros(capacity, dtype=np.int64)
+        self._stable_ivals = np.zeros(capacity, dtype=np.int64)
+        self._threshold = np.zeros(capacity, dtype=np.float64)
+        self._min_samples = np.zeros(capacity, dtype=np.float64)
+        self._width = np.zeros(capacity, dtype=np.int64)
+        self._has_set = np.zeros(capacity, dtype=bool)
+        self._set_slot = np.zeros(capacity, dtype=np.int64)
+        self._sets: dict[int, _SetStore] = {}
+        # Plain-list mirror of _width: the observe_many item loop reads one
+        # width per item, and list indexing beats a NumPy scalar lookup there.
+        self._width_py: list[int] = []
+        self._has_custom = False
+        # Per-row Python objects.
+        self._rids: list[int] = []
+        self._buses: list[EventBus] = []
+        self._thresholds: list[LpdThresholds] = []
+        self._measures: list[SimilarityMeasure] = []
+        self._custom_measure: list[bool] = []
+        self._events: list[list[PhaseEvent]] = []
+        self._observations: list[list[LpdObservation]] = []
+        self._distinct_buses: list[EventBus] = []
+        self._log: list[_StepRecord] = []
+        self._materialized_logs = 0
+        self._shared_pearson = PearsonSimilarity()
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- row allocation ------------------------------------------------------
+
+    def _grow(self) -> None:
+        capacity = self._state.size * 2
+        for name in ("_state", "_last_r", "_active", "_stable_ivals",
+                     "_threshold", "_min_samples", "_width", "_has_set",
+                     "_set_slot"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[:self._n] = old[:self._n]
+            setattr(self, name, grown)
+
+    def add_detector(self,
+                     n_instructions: int,
+                     thresholds: LpdThresholds | None = None,
+                     measure: SimilarityMeasure | None = None,
+                     telemetry: EventBus | None = None,
+                     region_id: int = -1) -> "BatchLocalPhaseDetector":
+        """Allocate one detector row; returns its scalar-compatible view."""
+        if n_instructions < 1:
+            raise ValueError("a region must contain at least one instruction")
+        thresholds = thresholds or LpdThresholds()
+        bus = telemetry if telemetry is not None else get_bus()
+        if self._n == self._state.size:
+            self._grow()
+        handle = self._n
+        self._n += 1
+        self._state[handle] = self.machine.initial
+        self._last_r[handle] = 0.0
+        self._threshold[handle] = thresholds.threshold_for_size(n_instructions)
+        self._min_samples[handle] = thresholds.min_interval_samples
+        self._width[handle] = n_instructions
+        self._width_py.append(n_instructions)
+        self._has_set[handle] = False
+        store = self._sets.get(n_instructions)
+        if store is None:
+            store = self._sets[n_instructions] = _SetStore(n_instructions)
+        self._set_slot[handle] = store.alloc()
+        self._rids.append(region_id)
+        self._buses.append(bus)
+        if not any(bus is seen for seen in self._distinct_buses):
+            self._distinct_buses.append(bus)
+        self._thresholds.append(thresholds)
+        pearson = measure is None or type(measure) is PearsonSimilarity
+        self._measures.append(measure if measure is not None
+                              else self._shared_pearson)
+        self._custom_measure.append(not pearson)
+        if not pearson:
+            self._has_custom = True
+        self._events.append([])
+        self._observations.append([])
+        return BatchLocalPhaseDetector(self, handle)
+
+    def reset_row(self, handle: int) -> None:
+        """Scalar ``reset()``: back to UNSTABLE, stable set dropped."""
+        self._state[handle] = self.machine.initial
+        self._has_set[handle] = False
+        self._last_r[handle] = 0.0
+
+    # -- the vectorized step -------------------------------------------------
+
+    def observe_many(self, items: list) -> list[PhaseEvent | None]:
+        """Advance many rows by one interval each, in lockstep.
+
+        *items* is a list of ``(detector_view, histogram, interval_index)``
+        triples — histogram ``None`` (or empty / starved) holds the row
+        exactly like the scalar detector.  Each row may appear at most
+        once per call.  Returns the phase event (or ``None``) per item,
+        in order.
+        """
+        k = len(items)
+        results: list[PhaseEvent | None] = [None] * k
+        handle_list: list[int] = [0] * k
+        index_list: list[int] = [0] * k
+        active_mask = np.zeros(k, dtype=bool)
+        # item position -> (state_before, updated, frozen) for stepped rows,
+        # consumed by the ordered telemetry replay below.
+        primed: list[int] = []
+        stepped: dict[int, tuple[int, bool, bool]] = {}
+        # width -> ([item position], [float64 counts row], [from ndarray])
+        groups: dict[int,
+                     tuple[list[int], list[np.ndarray], list[bool]]] = {}
+        width_py = self._width_py
+
+        for position, (view, histogram, interval_index) in enumerate(items):
+            handle = view._handle
+            handle_list[position] = handle
+            index_list[position] = interval_index
+            if histogram is None:
+                continue
+            from_hist = isinstance(histogram, RegionHistogram)
+            if from_hist:
+                if histogram.is_empty():
+                    continue
+                counts = np.asarray(histogram.counts, dtype=np.float64)
+            else:
+                counts = np.asarray(histogram, dtype=np.float64)
+            width = width_py[handle]
+            if counts.size != width:
+                # The scalar checks an ndarray's zero sum before its size.
+                if not from_hist and counts.sum() == 0:
+                    continue
+                raise ValueError(
+                    f"histogram has {counts.size} slots, detector expects "
+                    f"{width}")
+            position_list, rows, source_flags = groups.setdefault(
+                width, ([], [], []))
+            position_list.append(position)
+            rows.append(counts)
+            # Only ndarray-sourced rows get the zero-sum hold (a
+            # RegionHistogram resolves emptiness via is_empty()).
+            source_flags.append(not from_hist)
+
+        handles = np.array(handle_list, dtype=np.int64)
+        indices = np.array(index_list, dtype=np.int64)
+
+        for width, (position_list, rows, source_flags) in groups.items():
+            counts_block = np.stack(rows)
+            positions = np.asarray(position_list, dtype=np.int64)
+            from_ndarray = np.asarray(source_flags, dtype=bool)
+            self._step_group(width, counts_block, positions,
+                             handles[positions], from_ndarray, indices,
+                             active_mask, primed, stepped, results)
+
+        self._finish_step(handles, indices, active_mask, primed, stepped,
+                          results)
+        return results
+
+    def observe_rows(self, views: list, counts_block: np.ndarray,
+                     interval_index: int) -> list[PhaseEvent | None]:
+        """Advance a fixed same-width population from one dense block.
+
+        The fleet fast path: *views* is a population of rows sharing one
+        histogram width and *counts_block* a ``(len(views), width)``
+        matrix holding each row's interval histogram.  Equivalent to
+        ``observe_many([(view, row, interval_index), ...])`` — same
+        kernels, same zero-sum/starvation holds, bit-identical state —
+        minus the per-item Python, which dominates at fleet scale.  Rows
+        with mixed widths or ``RegionHistogram`` inputs must go through
+        :meth:`observe_many`.
+        """
+        k = len(views)
+        counts_block = np.ascontiguousarray(counts_block, dtype=np.float64)
+        if counts_block.shape[0] != k:
+            raise ValueError(
+                f"counts block has {counts_block.shape[0]} rows for "
+                f"{k} views")
+        handles = np.fromiter((view._handle for view in views),
+                              dtype=np.int64, count=k)
+        width = counts_block.shape[1] if k else 0
+        if k:
+            widths = self._width[handles]
+            if not np.all(widths == width):
+                expected = int(widths[widths != width][0])
+                raise ValueError(
+                    f"histogram has {width} slots, detector expects "
+                    f"{expected}")
+        indices = np.full(k, interval_index, dtype=np.int64)
+        results: list[PhaseEvent | None] = [None] * k
+        active_mask = np.zeros(k, dtype=bool)
+        primed: list[int] = []
+        stepped: dict[int, tuple[int, bool, bool]] = {}
+        if k:
+            self._step_group(width, counts_block,
+                             np.arange(k, dtype=np.int64), handles,
+                             np.ones(k, dtype=bool), indices, active_mask,
+                             primed, stepped, results)
+        self._finish_step(handles, indices, active_mask, primed, stepped,
+                          results)
+        return results
+
+    def _step_group(self, width: int, counts_block: np.ndarray,
+                    positions: np.ndarray, group_handles: np.ndarray,
+                    from_ndarray: np.ndarray, indices: np.ndarray,
+                    active_mask: np.ndarray, primed: list,
+                    stepped: dict, results: list) -> None:
+        """Step one same-width group; mutates the per-call accumulators."""
+        sums = counts_block.sum(axis=1)
+        zero_hold = from_ndarray & (sums == 0)
+        starved = sums < self._min_samples[group_handles]
+        live = ~(zero_hold | starved)
+        if not live.any():
+            return
+        live_positions = positions[live]
+        live_handles = group_handles[live]
+        live_counts = counts_block[live]
+        active_mask[live_positions] = True
+        self._active[live_handles] += 1
+
+        store = self._sets[width]
+        slots = self._set_slot[live_handles]
+        prime_sel = ~self._has_set[live_handles]
+        if prime_sel.any():
+            store.rows[slots[prime_sel]] = live_counts[prime_sel]
+            self._has_set[live_handles[prime_sel]] = True
+            primed.extend(int(p) for p in live_positions[prime_sel])
+
+        step_sel = ~prime_sel
+        if not step_sel.any():
+            return
+        step_positions = live_positions[step_sel]
+        step_handles = live_handles[step_sel]
+        step_counts = live_counts[step_sel]
+        stable_rows = store.rows[slots[step_sel]]
+        r = batched_pearson(stable_rows, step_counts)
+        if self._has_custom:
+            for j in np.flatnonzero(
+                    [self._custom_measure[h] for h in step_handles]):
+                measure = self._measures[step_handles[j]]
+                r[j] = float(measure(stable_rows[j], step_counts[j]))
+        self._last_r[step_handles] = r
+
+        similar = r >= self._threshold[step_handles]
+        inputs = np.where(similar, self._input_similar,
+                          self._input_dissimilar)
+        before = self._state[step_handles]
+        after = self.machine.next_state[before, inputs]
+        changed = self.machine.phase_change[before, inputs]
+        updated = self.machine.updates_stable_set[before, inputs]
+        frozen = changed & self._stable_vec[after]
+        if updated.any():
+            store.rows[slots[step_sel][updated]] = step_counts[updated]
+        self._state[step_handles] = after
+
+        phase_states = self.machine.phase_states
+        for j in range(step_positions.size):
+            position = int(step_positions[j])
+            stepped[position] = (int(before[j]), bool(updated[j]),
+                                 bool(frozen[j]))
+            if changed[j]:
+                stable_after = bool(self._stable_vec[after[j]])
+                event = PhaseEvent(
+                    interval_index=int(indices[position]),
+                    kind=(PhaseEventKind.BECAME_STABLE if stable_after
+                          else PhaseEventKind.BECAME_UNSTABLE),
+                    state_from=phase_states[int(before[j])],
+                    state_to=phase_states[int(after[j])],
+                    detail=f"r={float(r[j]):.4f}")
+                results[position] = event
+                self._events[int(step_handles[j])].append(event)
+
+    def _finish_step(self, handles: np.ndarray, indices: np.ndarray,
+                     active_mask: np.ndarray, primed: list, stepped: dict,
+                     results: list) -> None:
+        """Close one bank step: stable-time accounting, log, telemetry."""
+        if active_mask.any():
+            active_handles = handles[active_mask]
+            self._stable_ivals[active_handles] += \
+                self._stable_vec[self._state[active_handles]]
+
+        self._log.append(_StepRecord(
+            handles=handles,
+            interval_indices=indices,
+            had_samples=active_mask,
+            r_values=self._last_r[handles],
+            states=self._state[handles],
+            events={p: e for p, e in enumerate(results) if e is not None}))
+
+        if any(bus.enabled for bus in self._distinct_buses):
+            self._emit_telemetry(handles, indices, primed, stepped, results)
+
+    # -- telemetry replay (cold path) ----------------------------------------
+
+    def _emit_telemetry(self, handles, indices, primed, stepped,
+                        results) -> None:
+        """Re-emit per item, in order, exactly as the scalar detector."""
+        primed_set = set(primed)
+        phase_states = self.machine.phase_states
+        for position in range(handles.size):
+            handle = int(handles[position])
+            bus = self._buses[handle]
+            if not bus.enabled:
+                continue
+            index = int(indices[position])
+            rid = self._rids[handle]
+            if position in primed_set:
+                bus.emit(StableSetUpdated(index, rid))
+                continue
+            info = stepped.get(position)
+            if info is None:
+                continue
+            before, updated, frozen = info
+            state_from = phase_states[before].value
+            state_to = phase_states[int(self._state[handle])].value
+            bus.emit(StateTransition(
+                interval_index=index, detector="lpd", rid=rid,
+                state_from=state_from, state_to=state_to,
+                metric=float(self._last_r[handle])))
+            if updated:
+                bus.emit(StableSetUpdated(index, rid))
+            if frozen:
+                bus.emit(StableSetFrozen(index, rid))
+            event = results[position]
+            if event is not None:
+                bus.emit(PhaseChange(
+                    interval_index=index, detector="lpd", rid=rid,
+                    kind=event.kind.value, state_from=state_from,
+                    state_to=state_to, detail=event.detail))
+
+    # -- lazy observation materialization ------------------------------------
+
+    def materialize_observations(self) -> None:
+        """Expand pending step records into per-row observation lists."""
+        phase_states = self.machine.phase_states
+        for record in self._log[self._materialized_logs:]:
+            for position in range(record.handles.size):
+                handle = int(record.handles[position])
+                self._observations[handle].append(LpdObservation(
+                    interval_index=int(record.interval_indices[position]),
+                    r_value=float(record.r_values[position]),
+                    had_samples=bool(record.had_samples[position]),
+                    state=phase_states[int(record.states[position])],
+                    event=record.events.get(position)))
+        self._materialized_logs = len(self._log)
+
+
+class BatchLocalPhaseDetector:
+    """Scalar-compatible view of one :class:`BatchLpdBank` row.
+
+    Mirrors the read surface of
+    :class:`~repro.core.lpd.LocalPhaseDetector`; ``observe`` routes
+    through the bank as a single-item batch (bit-identical — a size-1
+    group reduces through the same tree as the scalar 1-D arrays).
+    """
+
+    __slots__ = ("_bank", "_handle")
+
+    def __init__(self, bank: BatchLpdBank, handle: int) -> None:
+        self._bank = bank
+        self._handle = handle
+
+    # -- identity and configuration -----------------------------------------
+
+    @property
+    def n_instructions(self) -> int:
+        return int(self._bank._width[self._handle])
+
+    @property
+    def thresholds(self) -> LpdThresholds:
+        return self._bank._thresholds[self._handle]
+
+    @property
+    def measure(self) -> SimilarityMeasure:
+        return self._bank._measures[self._handle]
+
+    @property
+    def effective_threshold(self) -> float:
+        """The r-threshold in force for this region's size."""
+        return float(self._bank._threshold[self._handle])
+
+    # -- live state -----------------------------------------------------------
+
+    @property
+    def state(self) -> PhaseState:
+        """Current machine state."""
+        return self._bank.machine.phase_states[
+            int(self._bank._state[self._handle])]
+
+    @property
+    def in_stable_phase(self) -> bool:
+        """Whether the region is currently in a locally stable phase."""
+        return bool(self._bank._stable_vec[
+            int(self._bank._state[self._handle])])
+
+    @property
+    def last_r(self) -> float:
+        """Most recently reported similarity value (0 before execution)."""
+        return float(self._bank._last_r[self._handle])
+
+    @property
+    def active_intervals(self) -> int:
+        return int(self._bank._active[self._handle])
+
+    @property
+    def stable_intervals(self) -> int:
+        return int(self._bank._stable_ivals[self._handle])
+
+    @property
+    def events(self) -> list[PhaseEvent]:
+        """Phase changes emitted so far (live list, like the scalar's)."""
+        return self._bank._events[self._handle]
+
+    @property
+    def observations(self) -> list[LpdObservation]:
+        """Per-interval records, materialized from the bank's step log."""
+        self._bank.materialize_observations()
+        return self._bank._observations[self._handle]
+
+    def stable_set(self) -> np.ndarray | None:
+        """Copy of the current stable-set histogram, or ``None`` if unset."""
+        bank = self._bank
+        if not bank._has_set[self._handle]:
+            return None
+        store = bank._sets[int(bank._width[self._handle])]
+        return store.rows[int(bank._set_slot[self._handle])].copy()
+
+    # -- actions ---------------------------------------------------------------
+
+    def observe(self, histogram, interval_index: int) -> PhaseEvent | None:
+        """Process one interval for this row only (single-item batch)."""
+        return self._bank.observe_many(
+            [(self, histogram, interval_index)])[0]
+
+    def reset(self) -> None:
+        """Re-enter the initial unstable state, dropping the stable set."""
+        self._bank.reset_row(self._handle)
+
+    # -- statistics ------------------------------------------------------------
+
+    def stable_time_fraction(self) -> float:
+        """Fraction of the region's active intervals spent stable."""
+        if self.active_intervals == 0:
+            return 0.0
+        return self.stable_intervals / self.active_intervals
+
+    def phase_change_count(self) -> int:
+        """Number of phase changes emitted so far."""
+        return len(self.events)

@@ -1,0 +1,124 @@
+"""Lockstep batch runs: many streams through shared detector banks.
+
+The batch backend's speed comes from advancing *populations* per call —
+state machines cannot be vectorized over time (each interval depends on
+the last), so these helpers vectorize over streams and regions instead.
+Ragged populations are fine: a stream that runs out of intervals simply
+stops being stepped, exactly as its scalar twin would have stopped, so
+the bit-equality contract holds per stream regardless of the mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.batch.gpd import BatchGlobalPhaseDetector, BatchGpdBank
+from repro.batch.lpd import BatchLpdBank
+from repro.core.thresholds import GpdThresholds, MonitorThresholds
+from repro.costs import CostLedger
+from repro.monitor.region_monitor import IntervalReport, RegionMonitor
+from repro.program.binary import SyntheticBinary
+from repro.sampling.events import SampleStream
+from repro.telemetry.bus import EventBus
+
+__all__ = ["batch_monitor", "process_stream_batch", "run_gpd_batch"]
+
+
+def run_gpd_batch(streams: list[SampleStream], buffer_size: int,
+                  thresholds: GpdThresholds | None = None,
+                  ledgers: list[CostLedger] | None = None,
+                  telemetry: list[EventBus | None] | None = None
+                  ) -> list[BatchGlobalPhaseDetector]:
+    """Run one GPD per stream, all advanced in lockstep.
+
+    The batched twin of :func:`repro.analysis.metrics.run_gpd`: each
+    returned view is bit-identical to the scalar detector the same
+    stream would have produced.  *ledgers* / *telemetry* are optional
+    per-stream lists (``None`` entries fall back to the scalar
+    defaults).
+    """
+    thresholds = thresholds or GpdThresholds()
+    bank = BatchGpdBank(dwell_intervals=thresholds.dwell_intervals,
+                        history_length=thresholds.history_length)
+    buses = telemetry or [None] * len(streams)
+    views = [bank.add_detector(thresholds, telemetry=bus)
+             for bus in buses]
+    centroid_tracks = [stream.centroids(buffer_size) for stream in streams]
+    horizon = max((track.size for track in centroid_tracks), default=0)
+    for step in range(horizon):
+        live_views = []
+        live_values = []
+        for row, track in enumerate(centroid_tracks):
+            if step >= track.size:
+                continue  # this stream already ended (ragged population)
+            if ledgers is not None and ledgers[row] is not None:
+                ledgers[row].charge_gpd_interval(buffer_size)
+            live_views.append(views[row])
+            live_values.append(float(track[step]))
+        bank.observe_centroids(
+            live_views, np.asarray(live_values, dtype=np.float64))
+    return views
+
+
+def batch_monitor(binary: SyntheticBinary, bank: BatchLpdBank,
+                  thresholds: MonitorThresholds | None = None,
+                  **kwargs) -> RegionMonitor:
+    """A :class:`RegionMonitor` whose detectors live in a shared bank.
+
+    Identical to constructing the monitor directly except that every
+    region formed gets a :class:`~repro.batch.lpd.BatchLocalPhaseDetector`
+    row in *bank*, so many monitors can be stepped together by
+    :func:`process_stream_batch`.
+    """
+    return RegionMonitor(binary, thresholds,
+                         detector_factory=bank.add_detector, **kwargs)
+
+
+def process_stream_batch(pairs: list[tuple[RegionMonitor, SampleStream]],
+                         bank: BatchLpdBank,
+                         track_misses: bool = False
+                         ) -> list[list[IntervalReport]]:
+    """Process many (monitor, stream) pairs in interval lockstep.
+
+    Every monitor must have been built over *bank* (see
+    :func:`batch_monitor`).  Each interval round splits the scalar
+    pipeline: all monitors attribute and account
+    (:meth:`~repro.monitor.region_monitor.RegionMonitor.begin_interval`),
+    then one :meth:`~repro.batch.lpd.BatchLpdBank.observe_many` steps
+    every region of every monitor, then all monitors close their
+    interval.  Per-monitor results and telemetry are bit-identical to
+    ``monitor.process_stream(stream)`` — give each monitor its own bus
+    if cross-monitor event interleaving matters.
+    """
+    buffer_sizes = [monitor.thresholds.buffer_size for monitor, _ in pairs]
+    totals = [stream.n_intervals(size)
+              for (_, stream), size in zip(pairs, buffer_sizes)]
+    reports: list[list[IntervalReport]] = [[] for _ in pairs]
+    horizon = max(totals, default=0)
+    for step in range(horizon):
+        round_rows = []  # (pair position, pending)
+        items = []       # bank observe items, all monitors concatenated
+        for position, (monitor, stream) in enumerate(pairs):
+            if step >= totals[position]:
+                continue
+            size = buffer_sizes[position]
+            window = slice(step * size, (step + 1) * size)
+            miss = stream.dcache_miss[window] if track_misses else None
+            pending = monitor.begin_interval(stream.pcs[window], step,
+                                             miss_flags=miss)
+            round_rows.append((position, pending))
+            for rid, counts in pending.to_observe:
+                items.append((monitor._detectors[rid], counts, step))
+        outcomes = bank.observe_many(items)
+        cursor = 0
+        for position, pending in round_rows:
+            monitor = pairs[position][0]
+            events = []
+            for rid, _ in pending.to_observe:
+                event = outcomes[cursor]
+                cursor += 1
+                if event is not None:
+                    events.append((rid, event))
+            reports[position].append(
+                monitor.finish_interval(pending, events))
+    return reports

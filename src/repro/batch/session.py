@@ -1,0 +1,369 @@
+"""Multi-tenant online sessions advanced in lockstep.
+
+A :class:`BatchSession` hosts N lanes, each the equivalent of one
+:class:`~repro.monitor.online.OnlineSession` — its own telemetry bus,
+region monitor, watchdog, fault-injected stream and callbacks — but all
+local detectors live in one shared :class:`~repro.batch.lpd.BatchLpdBank`
+and all global detectors in one :class:`~repro.batch.gpd.BatchGpdBank`,
+so every interval round steps the whole fleet with a handful of
+vectorized calls instead of N Python pipelines.
+
+Equivalence contract: per lane, results and telemetry are bit-identical
+to feeding the same samples to a scalar ``OnlineSession`` — same states,
+same phase-change indices, same stable-set freezes, same watchdog
+deoptimizations (the conformance suite in ``tests/batch/`` holds the
+backend to this).  Lanes are mutually invisible: each lane's bus sees
+exactly the event sequence its scalar twin would emit, and lanes may
+start, starve and end at different intervals (ragged fleets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batch.gpd import BatchGlobalPhaseDetector, BatchGpdBank
+from repro.batch.lpd import BatchLpdBank
+from repro.core.states import PhaseEvent
+from repro.core.thresholds import GpdThresholds, MonitorThresholds
+from repro.errors import SamplingError
+from repro.faults.inject import inject
+from repro.faults.model import FaultPlan
+from repro.monitor.online import GlobalChangeCallback, LocalChangeCallback
+from repro.monitor.region_monitor import IntervalReport, RegionMonitor
+from repro.monitor.watchdog import (RegionWatchdog, WatchdogConfig,
+                                    WatchdogEvent)
+from repro.program.binary import SyntheticBinary
+from repro.sampling.events import SampleStream
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import IntervalClosed, SampleBatch
+
+__all__ = ["BatchLane", "BatchSession"]
+
+
+@dataclass
+class LaneStats:
+    """Mirror of the scalar session's counters, per lane."""
+
+    intervals: int = 0
+    samples: int = 0
+    global_events: int = 0
+    local_events: int = 0
+
+
+class BatchLane:
+    """One stream's pipeline inside a :class:`BatchSession`.
+
+    Create via :meth:`BatchSession.add_lane`.  Feeding only queues
+    samples; intervals complete when the owning session next runs
+    :meth:`BatchSession.process_ready` (which the session-level feed
+    helpers call for you).
+    """
+
+    def __init__(self, session: "BatchSession", index: int, name: str,
+                 telemetry: EventBus,
+                 gpd: BatchGlobalPhaseDetector | None,
+                 monitor: RegionMonitor | None,
+                 watchdog: RegionWatchdog | None) -> None:
+        self.session = session
+        self.index = index
+        self.name = name
+        self.telemetry = telemetry
+        self.gpd = gpd
+        self.monitor = monitor
+        self.watchdog = watchdog
+        self.stats = LaneStats()
+        self.reports: list[IntervalReport] = []
+        self.watchdog_events: list[WatchdogEvent] = []
+        self._global_callbacks: list[GlobalChangeCallback] = []
+        self._local_callbacks: list[LocalChangeCallback] = []
+        self._queued: list[np.ndarray] = []
+        self._queued_fill = 0
+        self._interval_index = -1
+
+    # -- subscriptions -------------------------------------------------------
+
+    def on_global_change(self, callback: GlobalChangeCallback) -> None:
+        """Register a callback for this lane's global phase changes."""
+        self._global_callbacks.append(callback)
+
+    def on_local_change(self, callback: LocalChangeCallback) -> None:
+        """Register a callback for this lane's per-region phase changes."""
+        self._local_callbacks.append(callback)
+
+    # -- feeding (queue only; the session drains) ----------------------------
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples queued since the last completed interval."""
+        return self._queued_fill
+
+    def feed_many(self, pcs: np.ndarray) -> int:
+        """Queue a batch of samples; returns full intervals now pending.
+
+        Validation matches ``OnlineSession.feed_many`` exactly — a
+        non-1-D, empty or non-integer batch raises
+        :class:`~repro.errors.SamplingError`.
+        """
+        pcs = np.asarray(pcs)
+        if pcs.ndim != 1:
+            raise SamplingError(
+                f"feed_many expects a 1-D sample batch, got shape "
+                f"{pcs.shape}")
+        if pcs.size == 0:
+            raise SamplingError("feed_many received an empty batch")
+        if not np.issubdtype(pcs.dtype, np.integer):
+            raise SamplingError(
+                f"feed_many expects integer PCs, got dtype {pcs.dtype}")
+        pcs = pcs.astype(np.int64, copy=False)
+        self.stats.samples += int(pcs.size)
+        bus = self.telemetry
+        if bus.enabled:
+            bus.emit(SampleBatch(cumulative_samples=self.stats.samples,
+                                 batch_size=int(pcs.size)))
+        self._queued.append(pcs)
+        self._queued_fill += int(pcs.size)
+        return self._queued_fill // self.session.buffer_size
+
+    def feed_stream(self, stream: SampleStream) -> int:
+        """Queue a whole simulated stream."""
+        if not isinstance(stream, SampleStream):
+            raise SamplingError(
+                f"feed_stream expects a SampleStream, got "
+                f"{type(stream).__name__}")
+        if stream.n_samples == 0:
+            raise SamplingError("feed_stream received an empty stream")
+        return self.feed_many(stream.pcs)
+
+    def _take_interval(self) -> np.ndarray:
+        """Dequeue exactly one buffer's worth of samples."""
+        size = self.session.buffer_size
+        if len(self._queued) > 1 or self._queued[0].size != size:
+            merged = np.concatenate(self._queued)
+            self._queued = [merged[size:]] if merged.size > size else []
+            buffer = merged[:size]
+        else:
+            buffer = self._queued.pop(0)
+        self._queued_fill -= size
+        return buffer
+
+    def summary(self) -> dict:
+        """Status dictionary, shaped like ``OnlineSession.summary()``."""
+        summary = {
+            "intervals": self.stats.intervals,
+            "samples": self.stats.samples,
+            "global_events": self.stats.global_events,
+            "local_events": self.stats.local_events,
+        }
+        if self.gpd is not None:
+            summary["gpd_stable"] = self.gpd.in_stable_phase
+        if self.monitor is not None:
+            summary["monitored_regions"] = len(self.monitor.live_regions())
+            summary["ucr_median"] = self.monitor.ucr.median()
+        if self.watchdog is not None:
+            summary["watchdog"] = self.watchdog.summary()
+        return summary
+
+
+class BatchSession:
+    """N online phase-detection pipelines sharing vectorized banks.
+
+    Parameters mirror :class:`~repro.monitor.online.OnlineSession`; they
+    are the *defaults* each :meth:`add_lane` inherits.  All lanes share
+    one buffer size (interval lockstep needs a common interval length)
+    and, when the GPD channel is on, one set of GPD thresholds (the
+    compiled machine is shared).
+    """
+
+    def __init__(self, binary: SyntheticBinary | None = None,
+                 monitor_thresholds: MonitorThresholds | None = None,
+                 gpd_thresholds: GpdThresholds | None = None,
+                 run_gpd: bool = True,
+                 watchdog: WatchdogConfig | None = None,
+                 telemetry: EventBus | None = None,
+                 **monitor_kwargs) -> None:
+        self.monitor_thresholds = monitor_thresholds or MonitorThresholds()
+        self.buffer_size = self.monitor_thresholds.buffer_size
+        self.gpd_thresholds = (gpd_thresholds or GpdThresholds()
+                               if run_gpd else None)
+        self.run_gpd = run_gpd
+        if binary is None and not run_gpd:
+            raise ValueError(
+                "an online session needs a binary (for region "
+                "monitoring), run_gpd=True, or both")
+        self._binary = binary
+        self._watchdog_config = watchdog
+        self._default_bus = telemetry if telemetry is not None else get_bus()
+        self._monitor_kwargs = monitor_kwargs
+        self.lpd_bank = BatchLpdBank()
+        self.gpd_bank: BatchGpdBank | None = None
+        if run_gpd:
+            self.gpd_bank = BatchGpdBank(
+                dwell_intervals=self.gpd_thresholds.dwell_intervals,
+                history_length=self.gpd_thresholds.history_length)
+        self.lanes: list[BatchLane] = []
+
+    # -- lane management -----------------------------------------------------
+
+    def add_lane(self, stream: SampleStream | None = None,
+                 plan: FaultPlan | None = None, seed: int = 7,
+                 telemetry: EventBus | None = None,
+                 name: str | None = None) -> BatchLane:
+        """Add one pipeline; optionally queue its (fault-injected) stream.
+
+        *plan* is applied to *stream* with :func:`repro.faults.inject`
+        before queueing — per-lane fault plans, exactly as a scalar
+        harness would inject per session.  *telemetry* defaults to the
+        session bus; give each lane its own bus when per-lane traces
+        matter.
+        """
+        index = len(self.lanes)
+        bus = telemetry if telemetry is not None else self._default_bus
+        name = name or f"lane{index}"
+        gpd = None
+        if self.gpd_bank is not None:
+            gpd = self.gpd_bank.add_detector(self.gpd_thresholds,
+                                             telemetry=bus)
+        monitor = None
+        watchdog = None
+        if self._binary is not None:
+            monitor = RegionMonitor(
+                self._binary, self.monitor_thresholds, telemetry=bus,
+                detector_factory=self.lpd_bank.add_detector,
+                **self._monitor_kwargs)
+            if self._watchdog_config is not None:
+                watchdog = RegionWatchdog(self._watchdog_config, monitor,
+                                          telemetry=bus)
+        lane = BatchLane(self, index, name, bus, gpd, monitor, watchdog)
+        self.lanes.append(lane)
+        if stream is not None:
+            if plan is not None and not plan.is_empty:
+                stream = inject(stream, plan, seed=seed)
+            lane.feed_stream(stream)
+        return lane
+
+    # -- feeding -------------------------------------------------------------
+
+    def feed(self, padded: np.ndarray,
+             lengths: np.ndarray | list[int] | None = None) -> list[int]:
+        """Deliver one padded sample batch to every lane, then process.
+
+        *padded* is ``(n_lanes, k)``; row i's first ``lengths[i]``
+        entries are lane i's samples (the rest is padding, never read).
+        A length of zero skips the lane this round — the ragged-fleet
+        case where a stream has ended or produced nothing.  Returns the
+        number of intervals each lane completed.
+        """
+        padded = np.asarray(padded)
+        if padded.ndim != 2 or padded.shape[0] != len(self.lanes):
+            raise SamplingError(
+                f"feed expects a ({len(self.lanes)}, k) padded batch, "
+                f"got shape {padded.shape}")
+        if lengths is None:
+            lengths = [padded.shape[1]] * len(self.lanes)
+        before = [lane.stats.intervals for lane in self.lanes]
+        for lane, row, length in zip(self.lanes, padded, lengths):
+            if length:
+                lane.feed_many(row[:int(length)])
+        self.process_ready()
+        return [lane.stats.intervals - count
+                for lane, count in zip(self.lanes, before)]
+
+    def run(self) -> list[int]:
+        """Process everything queued; returns per-lane interval counts."""
+        before = [lane.stats.intervals for lane in self.lanes]
+        self.process_ready()
+        return [lane.stats.intervals - count
+                for lane, count in zip(self.lanes, before)]
+
+    # -- the lockstep overflow path -------------------------------------------
+
+    def process_ready(self) -> int:
+        """Drain queued samples, one interval round at a time.
+
+        Each round takes one full buffer from every lane that has one
+        and replays the scalar overflow path with the per-detector work
+        batched: all GPD rows step in one call, then all monitors
+        attribute, then every region of every lane steps in one call.
+        Returns the total number of intervals processed.
+        """
+        size = self.buffer_size
+        rounds = 0
+        while True:
+            ready = [lane for lane in self.lanes
+                     if lane._queued_fill >= size]
+            if not ready:
+                return rounds
+            rounds += len(ready)
+            buffers = []
+            for lane in ready:
+                buffer = lane._take_interval()
+                lane.stats.intervals += 1
+                lane._interval_index += 1
+                buffers.append(buffer)
+
+            if self.gpd_bank is not None:
+                events = self.gpd_bank.observe_buffers(
+                    [(lane.gpd, buffer)
+                     for lane, buffer in zip(ready, buffers)])
+                for lane, event in zip(ready, events):
+                    if event is not None:
+                        lane.stats.global_events += 1
+                        for callback in lane._global_callbacks:
+                            callback(event)
+
+            pendings = []
+            items = []
+            for lane, buffer in zip(ready, buffers):
+                if lane.monitor is None:
+                    # GPD-only lane: no monitor closes the interval;
+                    # -1.0 marks the UCR fraction as not applicable.
+                    if lane.telemetry.enabled:
+                        lane.telemetry.emit(IntervalClosed(
+                            interval_index=lane._interval_index,
+                            n_samples=int(buffer.size),
+                            ucr_fraction=-1.0, n_regions=0))
+                    pendings.append(None)
+                    continue
+                pending = lane.monitor.begin_interval(
+                    buffer, lane._interval_index)
+                pendings.append(pending)
+                for rid, counts in pending.to_observe:
+                    items.append((lane.monitor._detectors[rid], counts,
+                                  lane._interval_index))
+            outcomes = self.lpd_bank.observe_many(items)
+            cursor = 0
+            for lane, pending in zip(ready, pendings):
+                if pending is None:
+                    continue
+                events: list[tuple[int, PhaseEvent]] = []
+                for rid, _ in pending.to_observe:
+                    event = outcomes[cursor]
+                    cursor += 1
+                    if event is not None:
+                        events.append((rid, event))
+                report = lane.monitor.finish_interval(pending, events)
+                lane.reports.append(report)
+                for rid, event in report.events:
+                    lane.stats.local_events += 1
+                    for callback in lane._local_callbacks:
+                        callback(rid, event)
+                if lane.watchdog is not None:
+                    lane.watchdog_events.extend(
+                        lane.watchdog.observe_interval(report))
+
+    # -- inspection ------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Fleet-level counters plus per-lane summaries."""
+        return {
+            "lanes": len(self.lanes),
+            "intervals": sum(lane.stats.intervals for lane in self.lanes),
+            "samples": sum(lane.stats.samples for lane in self.lanes),
+            "global_events": sum(lane.stats.global_events
+                                 for lane in self.lanes),
+            "local_events": sum(lane.stats.local_events
+                                for lane in self.lanes),
+            "per_lane": {lane.name: lane.summary() for lane in self.lanes},
+        }

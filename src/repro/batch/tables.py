@@ -1,0 +1,111 @@
+"""Compile declarative machine specs into integer transition tables.
+
+The scalar detectors branch on enum states; the batch backend keeps one
+integer state per detector row and steps every row with two fancy-indexed
+table lookups (``next_state[state, input]``).  The tables are compiled
+from the same :class:`~repro.core.states.MachineSpec` objects the
+``repro-check`` model checker verifies against the imperative detectors,
+so the vectorized step inherits the checker's equivalence guarantee:
+spec == imperative (checked) and table == spec (compiled here, by
+construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.states import MachineSpec, PhaseState
+from repro.errors import ConfigError
+
+__all__ = ["CompiledMachine", "compile_machine"]
+
+
+@dataclass(frozen=True)
+class CompiledMachine:
+    """A :class:`MachineSpec` lowered to dense integer lookup tables.
+
+    Attributes
+    ----------
+    spec:
+        The source spec (kept for introspection and error messages).
+    state_index, input_index:
+        Label -> row/column maps for the tables below.
+    next_state:
+        ``(S, I)`` int64 table of successor state indices.
+    phase_change:
+        ``(S, I)`` bool table: the edge crosses the stable/unstable
+        boundary (the paper's dotted transitions).
+    updates_stable_set:
+        ``(S, I)`` bool table (LPD only; all-False for the GPD).
+    stable:
+        ``(S,)`` bool vector: the state sits on the stable side.  For the
+        GPD this is the declared-stable flag, which the spec fixes as a
+        pure function of state.
+    initial:
+        Index of the start state.
+    phase_states:
+        Per state index, the :class:`PhaseState` the implementation
+        reports (dwell states ``less_stable@k`` map to ``LESS_STABLE``).
+    """
+
+    spec: MachineSpec
+    state_index: dict[str, int]
+    input_index: dict[str, int]
+    next_state: np.ndarray
+    phase_change: np.ndarray
+    updates_stable_set: np.ndarray
+    stable: np.ndarray
+    initial: int
+    phase_states: tuple[PhaseState, ...]
+
+
+def compile_machine(spec: MachineSpec) -> CompiledMachine:
+    """Lower *spec* to dense arrays; reject incomplete tables.
+
+    An incomplete spec (a missing ``(state, input)`` pair) would leave a
+    hole the vectorized step silently reads as garbage, so it is a
+    configuration error here even though :meth:`MachineSpec.next_state`
+    only raises lazily.
+    """
+    state_index = {label: i for i, label in enumerate(spec.states)}
+    input_index = {label: i for i, label in enumerate(spec.inputs)}
+    n_states = len(spec.states)
+    n_inputs = len(spec.inputs)
+    next_state = np.full((n_states, n_inputs), -1, dtype=np.int64)
+    phase_change = np.zeros((n_states, n_inputs), dtype=bool)
+    updates = np.zeros((n_states, n_inputs), dtype=bool)
+
+    table = spec.table()
+    for state in spec.states:
+        for input_class in spec.inputs:
+            rule = table.get((state, input_class))
+            if rule is None:
+                raise ConfigError(
+                    f"machine {spec.name!r} has no rule for "
+                    f"({state!r}, {input_class!r})")
+            row = state_index[state]
+            col = input_index[input_class]
+            next_state[row, col] = state_index[rule.next_state]
+            phase_change[row, col] = rule.phase_change
+            updates[row, col] = rule.updates_stable_set
+
+    stable = np.array([spec.is_stable(label) for label in spec.states],
+                      dtype=bool)
+    phase_states = tuple(spec.phase_state(label) for label in spec.states)
+    next_state.setflags(write=False)
+    phase_change.setflags(write=False)
+    updates.setflags(write=False)
+    stable.setflags(write=False)
+    return CompiledMachine(
+        spec=spec,
+        state_index=state_index,
+        input_index=input_index,
+        next_state=next_state,
+        phase_change=phase_change,
+        updates_stable_set=updates,
+        stable=stable,
+        initial=state_index[spec.initial],
+        phase_states=phase_states,
+    )

@@ -73,7 +73,14 @@ class StreamKey:
 
 @dataclass(frozen=True, slots=True)
 class MonitorKey:
-    """Identity of one completed region-monitor run."""
+    """Identity of one completed region-monitor run.
+
+    ``backend`` is the *result-equivalence class* of the execution
+    backend, not the backend itself: backends the conformance suite
+    proves bit-identical map to the same token (see
+    :func:`repro.experiments.base._backend_token`), so they share
+    entries by construction.
+    """
 
     benchmark: str
     scale: float
@@ -82,11 +89,16 @@ class MonitorKey:
     buffer_size: int
     attribution: str
     faults: tuple = ()
+    backend: str = "scalar"
 
 
 @dataclass(frozen=True, slots=True)
 class GpdKey:
-    """Identity of one completed global-phase-detector run."""
+    """Identity of one completed global-phase-detector run.
+
+    ``backend`` follows the same equivalence-class rule as
+    :class:`MonitorKey`.
+    """
 
     benchmark: str
     scale: float
@@ -94,6 +106,7 @@ class GpdKey:
     seed: int
     buffer_size: int
     faults: tuple = ()
+    backend: str = "scalar"
 
 
 @dataclass(frozen=True, slots=True)

@@ -40,7 +40,7 @@ from typing import Callable
 
 from repro.errors import ExperimentError
 from repro.experiments import (extra_detector_zoo, extra_fault_sweep,
-                               extra_interval_size,
+                               extra_fleet, extra_interval_size,
                                fig02_mcf_region_chart,
                                fig03_gpd_phase_changes,
                                fig04_gpd_stable_time,
@@ -62,7 +62,7 @@ _MODULES = (
     fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
     fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
     fig16_interval_tree, fig17_speedup, extra_detector_zoo,
-    extra_fault_sweep, extra_interval_size,
+    extra_fault_sweep, extra_fleet, extra_interval_size,
 )
 
 #: Registry of every reproducible figure (Figures 1 and 12 are state

@@ -39,7 +39,7 @@ from repro.sampling.events import SampleStream
 from repro.telemetry.bus import EventBus, get_bus
 from repro.telemetry.events import IntervalClosed, RegionFormed
 
-__all__ = ["IntervalReport", "RegionMonitor"]
+__all__ = ["IntervalReport", "PendingInterval", "RegionMonitor"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +71,28 @@ class IntervalReport:
     pruned: tuple[int, ...] = ()
 
 
+@dataclass
+class PendingInterval:
+    """An interval attributed and accounted, but not yet phase-detected.
+
+    Produced by :meth:`RegionMonitor.begin_interval`; consumed by
+    :meth:`RegionMonitor.observe_pending` and
+    :meth:`RegionMonitor.finish_interval`.  The split lets a batch
+    harness gather the ``to_observe`` work of many monitors and step all
+    their detectors in one vectorized call between the two halves.
+    """
+
+    index: int
+    n_samples: int
+    ucr_fraction: float
+    formation: FormationOutcome | None
+    region_samples: dict[int, int]
+    #: ``(rid, counts)`` pairs in registry order — the detector
+    #: observations this interval owes, with ``counts`` already extracted
+    #: exactly as the scalar pipeline would pass them.
+    to_observe: list[tuple[int, np.ndarray | None]]
+
+
 class RegionMonitor:
     """Online region monitoring with local phase detection.
 
@@ -98,6 +120,11 @@ class RegionMonitor:
     telemetry:
         Event bus for the monitor and its per-region detectors; defaults
         to the process-wide bus (disabled unless a sink is attached).
+    detector_factory:
+        Optional callable built like ``LocalPhaseDetector`` (same keyword
+        arguments) that supplies each region's detector.  The batch
+        backend passes a bank-row allocator here; anything returned must
+        honor the ``LocalPhaseDetector`` surface.
     """
 
     def __init__(self, binary: SyntheticBinary,
@@ -109,7 +136,8 @@ class RegionMonitor:
                  annotations=None,
                  pruning: PruningPolicy | None = None,
                  ledger: CostLedger | None = None,
-                 telemetry: EventBus | None = None) -> None:
+                 telemetry: EventBus | None = None,
+                 detector_factory=None) -> None:
         self.binary = binary
         self._telemetry = telemetry if telemetry is not None else get_bus()
         self.thresholds = thresholds or MonitorThresholds()
@@ -127,6 +155,7 @@ class RegionMonitor:
         self.ucr = UcrTracker(self.thresholds.ucr_threshold)
         self.pruning = pruning
         self._measure = measure
+        self._detector_factory = detector_factory or LocalPhaseDetector
         self._detectors: dict[int, LocalPhaseDetector] = {}
         self._retired: dict[int, tuple[Region, LocalPhaseDetector]] = {}
         self._quarantined: dict[int, Region] = {}
@@ -149,7 +178,7 @@ class RegionMonitor:
     # -- region plumbing ------------------------------------------------------
 
     def _install_region(self, region: Region) -> None:
-        detector = LocalPhaseDetector(
+        detector = self._detector_factory(
             n_instructions=region.n_instructions,
             thresholds=self.thresholds.lpd,
             measure=self._measure,
@@ -252,6 +281,22 @@ class RegionMonitor:
         ``miss_flags`` (optional, one bool per sample) enables per-region
         data-cache miss-rate tracking for self-monitoring.
         """
+        pending = self.begin_interval(pcs, interval_index, miss_flags)
+        events = self.observe_pending(pending)
+        return self.finish_interval(pending, events)
+
+    def begin_interval(self, pcs: np.ndarray,
+                       interval_index: int | None = None,
+                       miss_flags: np.ndarray | None = None
+                       ) -> PendingInterval:
+        """Attribute and account one buffer; defer phase detection.
+
+        Runs steps 1-2 of the pipeline (attribution, UCR/formation) plus
+        the per-region bookkeeping of step 3 (sample counts, cost
+        charges, miss rates, activity), and returns the deferred detector
+        observations.  ``process_interval`` is exactly ``begin`` +
+        ``observe_pending`` + ``finish``.
+        """
         self._interval_index = (self._interval_index + 1
                                 if interval_index is None
                                 else interval_index)
@@ -280,11 +325,11 @@ class RegionMonitor:
                     continue
                 self._install_region(region)
 
-        # 3. Local phase detection per live region.  Regions formed this
-        #    interval start observing from the next one (their samples for
-        #    this interval were counted as UCR).
-        events: list[tuple[int, PhaseEvent]] = []
+        # 3a. Per-region accounting.  Regions formed this interval start
+        #     observing from the next one (their samples for this
+        #     interval were counted as UCR).
         region_samples: dict[int, int] = {}
+        to_observe: list[tuple[int, np.ndarray | None]] = []
         new_rids = set()
         if formation_outcome is not None:
             new_rids = {r.rid for r in formation_outcome.new_regions}
@@ -303,12 +348,33 @@ class RegionMonitor:
                     self._miss_rates.setdefault(rid, []).append(
                         (index, rate))
             self.ledger.charge_lpd_state()
-            event = self._detectors[rid].observe(counts, index)
-            if event is not None:
-                events.append((rid, event))
+            to_observe.append((rid, counts))
             self._activity[rid].record(n_samples, result.n_samples)
 
-        # 4. Pruning.
+        return PendingInterval(
+            index=index,
+            n_samples=int(pcs.size),
+            ucr_fraction=result.ucr_fraction,
+            formation=formation_outcome,
+            region_samples=region_samples,
+            to_observe=to_observe)
+
+    def observe_pending(self, pending: PendingInterval
+                        ) -> list[tuple[int, PhaseEvent]]:
+        """Step 3b: run the deferred detector observations, one by one."""
+        events: list[tuple[int, PhaseEvent]] = []
+        for rid, counts in pending.to_observe:
+            event = self._detectors[rid].observe(counts, pending.index)
+            if event is not None:
+                events.append((rid, event))
+        return events
+
+    def finish_interval(self, pending: PendingInterval,
+                        events: list[tuple[int, PhaseEvent]]
+                        ) -> IntervalReport:
+        """Steps 4-5: pruning, report assembly, interval telemetry."""
+        index = pending.index
+
         pruned: list[int] = []
         if self.pruning is not None:
             for region in list(self.registry.regions()):
@@ -323,16 +389,16 @@ class RegionMonitor:
 
         report = IntervalReport(
             interval_index=index,
-            ucr_fraction=result.ucr_fraction,
-            formation=formation_outcome,
+            ucr_fraction=pending.ucr_fraction,
+            formation=pending.formation,
             events=tuple(events),
-            region_samples=region_samples,
+            region_samples=pending.region_samples,
             pruned=tuple(pruned))
         self.reports.append(report)
         if self._telemetry.enabled:
             self._telemetry.emit(IntervalClosed(
-                interval_index=index, n_samples=int(pcs.size),
-                ucr_fraction=float(result.ucr_fraction),
+                interval_index=index, n_samples=pending.n_samples,
+                ucr_fraction=float(pending.ucr_fraction),
                 n_regions=len(self.registry)))
         return report
 

@@ -3,14 +3,11 @@
 import pytest
 
 from repro.analysis.comparison import SchemeResult, compare_detectors
-from repro.program.spec2000 import get_benchmark
-from repro.sampling import simulate_sampling
+from tests.conftest import model_stream
 
 
 def stream_and_binary(name="187.facerec", scale=0.2):
-    model = get_benchmark(name, scale)
-    stream = simulate_sampling(model.regions, model.workload, 45_000,
-                               seed=7)
+    model, stream = model_stream(name, scale, period=45_000, seed=7)
     return stream, model.binary
 
 

@@ -70,6 +70,12 @@ class TestPhaseClassifier:
         with pytest.raises(ConfigError):
             PhaseClassifier().phase_signature(0)
 
+    def test_phase_signature_returns_a_copy(self):
+        classifier = PhaseClassifier()
+        classifier.classify(PHASE_A)
+        classifier.phase_signature(0)[:] = 0.0
+        assert classifier.phase_signature(0).sum() == pytest.approx(1.0)
+
     def test_parameter_validation(self):
         with pytest.raises(ConfigError):
             PhaseClassifier(distance_threshold=0.0)
@@ -124,6 +130,24 @@ class TestMarkovPredictor:
     def test_order_validation(self):
         with pytest.raises(ConfigError):
             MarkovPhasePredictor(order=0)
+
+    def test_unseen_context_falls_back_to_shorter_order(self):
+        predictor = MarkovPhasePredictor(order=2)
+        predictor.observe_sequence([0, 1, 0, 1])
+        # History is now (0, 1); poison it to the never-seen (1, 1) while
+        # keeping the order-1 context 1 -> 0 intact.
+        predictor._history = [1, 1]
+        assert predictor.predict() == 0
+
+    def test_last_value_fallback_with_empty_table(self):
+        predictor = MarkovPhasePredictor(order=1)
+        predictor.observe(5)  # learns nothing (no prior history)
+        assert predictor.predict() == 5
+
+    def test_history_is_bounded_by_order(self):
+        predictor = MarkovPhasePredictor(order=3)
+        predictor.observe_sequence(list(range(10)))
+        assert predictor._history == [7, 8, 9]
 
 
 class TestEndToEnd:

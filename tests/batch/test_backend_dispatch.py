@@ -1,0 +1,109 @@
+"""The experiment layer's backend dispatch and cache equivalence classes.
+
+``backend="batch"`` must produce the same results as the scalar path
+*and* share its cache entries — the conformance suite next door proves
+the bit-equality that justifies mapping both backends to one key class.
+An unknown backend must fail loudly before any cache traffic.
+"""
+
+import pytest
+
+from repro.batch.lpd import BatchLpdBank
+from repro.batch.run import batch_monitor, process_stream_batch
+from repro.core import MonitorThresholds
+from repro.errors import ConfigError
+from repro.experiments.base import (benchmark_for, gpd_run, monitored_run,
+                                    stream_for)
+from repro.experiments.cache import GLOBAL_CACHE, cache_disabled
+from repro.experiments.config import ExperimentConfig
+from repro.monitor import RegionMonitor
+
+# an unusual configuration so these keys collide with no other test's
+CONFIG = ExperimentConfig(scale=0.04, seed=23)
+PERIOD = 30_000
+
+
+class TestBackendDispatch:
+    def test_unknown_backend_rejected(self):
+        model = benchmark_for("181.mcf", CONFIG)
+        with pytest.raises(ConfigError, match="unknown backend"):
+            gpd_run(model, PERIOD, CONFIG, backend="simd")
+        with pytest.raises(ConfigError, match="unknown backend"):
+            monitored_run(model, PERIOD, CONFIG, backend="simd")
+
+    def test_gpd_backends_share_one_cache_entry(self):
+        model = benchmark_for("181.mcf", CONFIG)
+        scalar = gpd_run(model, PERIOD, CONFIG, backend="scalar")
+        batch = gpd_run(model, PERIOD, CONFIG, backend="batch")
+        # bit-identical backends map to the same key: the batch request
+        # must return the cached scalar artifact itself
+        assert batch is scalar
+
+    def test_monitor_backends_share_one_cache_entry(self):
+        model = benchmark_for("181.mcf", CONFIG)
+        scalar = monitored_run(model, PERIOD, CONFIG, backend="scalar")
+        batch = monitored_run(model, PERIOD, CONFIG, backend="batch")
+        assert batch is scalar
+
+    def test_gpd_batch_compute_matches_scalar(self):
+        model = benchmark_for("181.mcf", CONFIG)
+        with cache_disabled():
+            scalar = gpd_run(model, PERIOD, CONFIG, backend="scalar")
+            batch = gpd_run(model, PERIOD, CONFIG, backend="batch")
+        assert batch is not scalar
+        assert batch.state == scalar.state
+        assert batch.events == scalar.events
+        assert batch.stable_interval_count() == scalar.stable_interval_count()
+        assert batch.intervals_seen == scalar.intervals_seen
+
+    def test_monitor_batch_compute_matches_scalar(self):
+        model = benchmark_for("181.mcf", CONFIG)
+        with cache_disabled():
+            scalar = monitored_run(model, PERIOD, CONFIG, backend="scalar")
+            batch = monitored_run(model, PERIOD, CONFIG, backend="batch")
+        assert batch is not scalar
+        assert batch.phase_change_counts() == scalar.phase_change_counts()
+        assert batch.stable_time_fractions() == scalar.stable_time_fractions()
+        assert len(batch.reports) == len(scalar.reports)
+        for a, b in zip(scalar.reports, batch.reports):
+            assert a.events == b.events
+            assert a.region_samples == b.region_samples
+            assert a.ucr_fraction == b.ucr_fraction
+
+    def test_cache_stats_reflect_shared_entries(self):
+        config = ExperimentConfig(scale=0.04, seed=29)
+        model = benchmark_for("164.gzip", config)
+        before = GLOBAL_CACHE.stats()
+        gpd_run(model, PERIOD, config, backend="batch")
+        gpd_run(model, PERIOD, config, backend="scalar")
+        after = GLOBAL_CACHE.stats()
+        # first call misses (stream + detector), second hits the entry
+        # the batch backend populated
+        assert after.hits >= before.hits + 1
+
+
+class TestProcessStreamBatch:
+    def test_multi_stream_monitors_match_scalar(self):
+        config = ExperimentConfig(scale=0.05, seed=7)
+        model = benchmark_for("176.gcc", config)
+        thresholds = MonitorThresholds(buffer_size=config.buffer_size)
+        streams = [stream_for(model, period, config)
+                   for period in (30_000, 60_000)]
+
+        bank = BatchLpdBank()
+        pairs = [(batch_monitor(model.binary, bank, thresholds), stream)
+                 for stream in streams]
+        reports = process_stream_batch(pairs, bank)
+
+        for (monitor, stream), batch_reports in zip(pairs, reports):
+            scalar = RegionMonitor(model.binary, thresholds)
+            scalar_reports = scalar.process_stream(stream)
+            assert len(scalar_reports) == len(batch_reports)
+            for a, b in zip(scalar_reports, batch_reports):
+                assert a.events == b.events
+                assert a.region_samples == b.region_samples
+                assert a.ucr_fraction == b.ucr_fraction
+            assert scalar.phase_change_counts() \
+                == monitor.phase_change_counts()
+            assert scalar.stable_time_fractions() \
+                == monitor.stable_time_fractions()

@@ -1,0 +1,147 @@
+"""Differential conformance: BatchGpdBank vs the scalar GPD oracle.
+
+Random centroid tracks (tight clusters, wild jumps, NaN gaps), random
+buffer sizes (starvation path) and real benchmark streams of unequal
+length (the ragged population) advance through both paths; every
+observable — states, bands, drift ratios, events, observations, cost
+charges and the full telemetry stream — must match exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import run_gpd
+from repro.batch.gpd import BatchGpdBank
+from repro.batch.run import run_gpd_batch
+from repro.core.gpd import GlobalPhaseDetector
+from repro.core.thresholds import GpdThresholds
+from repro.costs import CostLedger
+from repro.errors import ConfigError
+from repro.telemetry.bus import EventBus
+from repro.telemetry.sinks import InMemorySink
+from tests.conftest import model_stream
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_centroid(rng):
+    """NaN gap / wild jump / tight cluster, weighted toward clusters."""
+    mode = rng.integers(0, 8)
+    if mode == 0:
+        return float("nan")
+    if mode < 3:
+        return float(rng.uniform(0.0, 1e6))
+    return 5e5 + float(rng.normal(0.0, 300.0))
+
+
+def assert_detectors_identical(scalar, view):
+    assert scalar.state == view.state
+    assert scalar.in_stable_phase == view.in_stable_phase
+    assert scalar.intervals_seen == view.intervals_seen
+    assert scalar.events == view.events
+    assert scalar.stable_interval_count() == view.stable_interval_count()
+    assert scalar.stable_time_fraction() == view.stable_time_fraction()
+    assert len(scalar.observations) == len(view.observations)
+    for a, b in zip(scalar.observations, view.observations):
+        assert a.interval_index == b.interval_index
+        assert a.centroid_value == b.centroid_value \
+            or (a.centroid_value != a.centroid_value
+                and b.centroid_value != b.centroid_value)
+        assert (a.band is None) == (b.band is None)
+        if a.band is not None:
+            assert a.band.expectation == b.band.expectation
+            assert a.band.sd == b.band.sd
+        assert a.drift_ratio == b.drift_ratio
+        assert a.state == b.state
+        assert a.event == b.event
+
+
+class TestBankConformance:
+    @given(seeds,
+           st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=80))
+    @settings(max_examples=15, deadline=None)
+    def test_random_centroid_tracks_bit_identical(self, seed, n_detectors,
+                                                  n_intervals):
+        rng = np.random.default_rng(seed)
+        bus_s, bus_b = EventBus(), EventBus()
+        sink_s, sink_b = InMemorySink(), InMemorySink()
+        bus_s.attach(sink_s)
+        bus_b.attach(sink_b)
+        thresholds = GpdThresholds()
+        bank = BatchGpdBank(dwell_intervals=thresholds.dwell_intervals,
+                            history_length=thresholds.history_length)
+        scalars = [GlobalPhaseDetector(thresholds, telemetry=bus_s)
+                   for _ in range(n_detectors)]
+        views = [bank.add_detector(thresholds, telemetry=bus_b)
+                 for _ in range(n_detectors)]
+        for _ in range(n_intervals):
+            values = [random_centroid(rng) for _ in range(n_detectors)]
+            scalar_events = [scalars[i].observe_centroid(values[i])
+                             for i in range(n_detectors)]
+            batch_events = bank.observe_centroids(
+                views, np.asarray(values, dtype=np.float64))
+            assert scalar_events == batch_events
+        for scalar, view in zip(scalars, views):
+            assert_detectors_identical(scalar, view)
+        assert sink_s.events == sink_b.events
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_buffer_path_with_starvation(self, seed):
+        rng = np.random.default_rng(seed)
+        thresholds = GpdThresholds()
+        bank = BatchGpdBank(dwell_intervals=thresholds.dwell_intervals,
+                            history_length=thresholds.history_length)
+        scalars = [GlobalPhaseDetector(thresholds) for _ in range(4)]
+        views = [bank.add_detector(thresholds) for _ in range(4)]
+        for _ in range(40):
+            buffers = [rng.integers(0, 1 << 20,
+                                    size=int(rng.integers(0, 600)))
+                       for _ in range(4)]
+            scalar_events = [scalars[i].observe_buffer(buffers[i])
+                             for i in range(4)]
+            batch_events = bank.observe_buffers(
+                list(zip(views, buffers)))
+            assert scalar_events == batch_events
+        for scalar, view in zip(scalars, views):
+            assert_detectors_identical(scalar, view)
+
+    def test_single_detector_delegates(self):
+        rng = np.random.default_rng(5)
+        thresholds = GpdThresholds()
+        bank = BatchGpdBank()
+        scalar = GlobalPhaseDetector(thresholds)
+        view = bank.add_detector(thresholds)
+        for _ in range(60):
+            value = random_centroid(rng)
+            assert scalar.observe_centroid(value) \
+                == view.observe_centroid(value)
+        assert_detectors_identical(scalar, view)
+
+    def test_mismatched_machine_config_rejected(self):
+        bank = BatchGpdBank(dwell_intervals=2, history_length=8)
+        with pytest.raises(ConfigError, match="dwell"):
+            bank.add_detector(GpdThresholds(dwell_intervals=5))
+
+
+class TestRunGpdBatch:
+    def test_ragged_real_streams_match_scalar(self):
+        # three real streams of different lengths: the longest keeps
+        # stepping after the others end
+        names = ["181.mcf", "164.gzip", "178.galgel"]
+        streams = [model_stream(name, 0.05, 45_000, seed=9 + i)[1]
+                   for i, name in enumerate(names)]
+        buffer_size = 1016
+        batch_ledgers = [CostLedger() for _ in streams]
+        views = run_gpd_batch(streams, buffer_size, ledgers=batch_ledgers)
+        for stream, view, ledger in zip(streams, views, batch_ledgers):
+            scalar_ledger = CostLedger()
+            scalar = run_gpd(stream, buffer_size, ledger=scalar_ledger)
+            assert_detectors_identical(scalar, view)
+            assert scalar_ledger.total_ops == ledger.total_ops
+
+    def test_empty_population(self):
+        assert run_gpd_batch([], 1016) == []

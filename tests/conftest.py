@@ -1,0 +1,81 @@
+"""Suite-level hooks and shared builders for the test tree.
+
+Two things live here:
+
+* the ``--shuffle-seed`` option — CI runs the suite twice with different
+  seeds to flush out inter-test coupling (cache leakage, bus state), so
+  every test must pass in any collection order;
+* the shared stream/plan builders that many test modules used to
+  duplicate: :func:`model_stream` simulates (and memoizes) a benchmark
+  sampling run, :func:`drop_plan` builds the standard bursty-loss fault
+  plan.  Both are importable (``from tests.conftest import model_stream``)
+  and exposed as fixtures for new tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.inject import inject
+from repro.faults.model import FaultPlan, SampleDrop
+from repro.program.spec2000 import get_benchmark
+from repro.sampling import simulate_sampling
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shuffle-seed", type=int, default=None,
+        help="shuffle test collection order with this seed "
+             "(flushes out inter-test coupling)")
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = config.getoption("--shuffle-seed")
+    if seed is not None:
+        random.Random(seed).shuffle(items)
+
+
+#: Memoized (model, ideal stream) pairs — streams are read-only test
+#: inputs, so modules sharing a configuration share the simulation.
+_STREAM_CACHE: dict[tuple, tuple] = {}
+
+
+def model_stream(name: str, scale: float = 0.05, period: int = 45_000,
+                 seed: int = 7, plan: FaultPlan | None = None,
+                 plan_seed: int | None = None):
+    """(benchmark model, sample stream) for a standard test run.
+
+    The ideal stream is memoized per ``(name, scale, period, seed)``;
+    a fault *plan* is injected on top (seeded by *plan_seed*, default
+    *seed*) without touching the cached ideal stream.
+    """
+    key = (name, scale, period, seed)
+    if key not in _STREAM_CACHE:
+        model = get_benchmark(name, scale)
+        stream = simulate_sampling(model.regions, model.workload, period,
+                                   seed=seed)
+        _STREAM_CACHE[key] = (model, stream)
+    model, stream = _STREAM_CACHE[key]
+    if plan is not None and not plan.is_empty:
+        stream = inject(stream, plan,
+                        seed=plan_seed if plan_seed is not None else seed)
+    return model, stream
+
+
+def drop_plan(rate: float = 0.2, burst_mean: float = 4.0) -> FaultPlan:
+    """The standard bursty sample-drop fault plan used across tests."""
+    return FaultPlan((SampleDrop(rate=rate, burst_mean=burst_mean),))
+
+
+@pytest.fixture
+def bench_stream():
+    """Fixture handle on :func:`model_stream`."""
+    return model_stream
+
+
+@pytest.fixture
+def make_drop_plan():
+    """Fixture handle on :func:`drop_plan`."""
+    return drop_plan

@@ -1,0 +1,80 @@
+"""Golden-trace builders: the pinned telemetry streams of two runs.
+
+A golden trace is a schema-versioned JSONL file capturing every
+telemetry event of one deterministic pipeline run.  The replay test
+(``tests/telemetry/test_golden_traces.py``) re-runs each builder and
+asserts the regenerated file is *byte-identical* to the committed
+fixture — any change to event ordering, event payloads, pipeline
+numerics or the trace schema shows up as a diff on a reviewable text
+file instead of a silent behavior change.
+
+To regenerate after an intentional change::
+
+    python scripts/regen_golden_traces.py
+
+Both builders force ``cache_disabled()`` so a warm experiment cache can
+never swallow the run (a cache hit would emit nothing), and both route
+telemetry through a private bus so unrelated process-wide sinks cannot
+leak records into the fixture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.base import benchmark_for, gpd_run, monitored_run
+from repro.experiments.cache import cache_disabled
+from repro.experiments.config import ExperimentConfig
+from repro.faults.model import FaultPlan, SampleDrop
+from repro.telemetry.bus import EventBus
+from repro.telemetry.sinks import JsonlTraceSink
+
+__all__ = ["GOLDEN_TRACES", "TRACE_DIR", "write_golden_trace"]
+
+#: Directory the committed fixtures live in.
+TRACE_DIR = Path(__file__).resolve().parent
+
+#: Shared run configuration (small scale keeps the fixtures reviewable).
+CONFIG = ExperimentConfig(scale=0.05, seed=7)
+PERIOD = 45_000
+BENCHMARK = "181.mcf"
+
+#: The faultsweep rung pinned by the second fixture (its ``drop20`` plan).
+DROP20 = FaultPlan((SampleDrop(rate=0.20, burst_mean=4.0),))
+
+
+def _fig13_style_run(bus: EventBus) -> None:
+    """A fig13-style monitored run: 181.mcf regions at the 45k period."""
+    model = benchmark_for(BENCHMARK, CONFIG)
+    with cache_disabled():
+        monitored_run(model, PERIOD, CONFIG, telemetry=bus)
+
+
+def _faultsweep_drop20_run(bus: EventBus) -> None:
+    """One faultsweep rung: GPD + monitor behind the drop20 plan."""
+    model = benchmark_for(BENCHMARK, CONFIG)
+    with cache_disabled():
+        gpd_run(model, PERIOD, CONFIG, plan=DROP20, telemetry=bus)
+        monitored_run(model, PERIOD, CONFIG, plan=DROP20, telemetry=bus)
+
+
+#: Fixture file name -> builder.  Adding a pinned run = adding an entry
+#: here and committing the regenerated file.
+GOLDEN_TRACES = {
+    "fig13_mcf_45k.jsonl": _fig13_style_run,
+    "faultsweep_mcf_drop20.jsonl": _faultsweep_drop20_run,
+}
+
+
+def write_golden_trace(name: str, directory: Path | str = TRACE_DIR) -> Path:
+    """Run one builder and write its trace; returns the file path."""
+    builder = GOLDEN_TRACES[name]
+    path = Path(directory) / name
+    bus = EventBus()
+    sink = JsonlTraceSink(path)
+    bus.attach(sink)
+    try:
+        builder(bus)
+    finally:
+        sink.close()
+    return path

@@ -13,24 +13,20 @@ from repro.core import MonitorThresholds
 from repro.monitor import RegionMonitor
 from repro.optimizer import compare_policies
 from repro.program.spec2000 import get_benchmark
-from repro.sampling import simulate_sampling
+from tests.conftest import model_stream
 
 SCALE = 0.25
 SEED = 7
 
 
 def gpd_stats(name, period, scale=SCALE):
-    model = get_benchmark(name, scale)
-    stream = simulate_sampling(model.regions, model.workload, period,
-                               seed=SEED)
+    _, stream = model_stream(name, scale, period, seed=SEED)
     detector = run_gpd(stream, 2032)
     return len(detector.events), detector.stable_time_fraction()
 
 
 def monitor_for(name, period, scale=SCALE):
-    model = get_benchmark(name, scale)
-    stream = simulate_sampling(model.regions, model.workload, period,
-                               seed=SEED)
+    model, stream = model_stream(name, scale, period, seed=SEED)
     monitor = RegionMonitor(model.binary, MonitorThresholds())
     monitor.process_stream(stream)
     return model, monitor
@@ -122,9 +118,7 @@ class TestLpdRobustness:
         # The paper's proposed size-based threshold (section 3.2.2).
         from repro.core.thresholds import LpdThresholds
 
-        model = get_benchmark("188.ammp", SCALE)
-        stream = simulate_sampling(model.regions, model.workload, 45_000,
-                                   seed=SEED)
+        model, stream = model_stream("188.ammp", SCALE, 45_000, seed=SEED)
         adaptive = RegionMonitor(model.binary, MonitorThresholds(
             lpd=LpdThresholds(adaptive=True)))
         adaptive.process_stream(stream)
@@ -150,9 +144,7 @@ class TestUcrClaims:
         assert monitor.ucr.n_triggers <= 3
 
     def test_interprocedural_extension_fixes_gap(self):
-        model = get_benchmark("254.gap", 0.1)
-        stream = simulate_sampling(model.regions, model.workload, 45_000,
-                                   seed=SEED)
+        model, stream = model_stream("254.gap", 0.1, 45_000, seed=SEED)
         monitor = RegionMonitor(model.binary, MonitorThresholds(),
                                 interprocedural=True)
         monitor.process_stream(stream)

@@ -11,22 +11,18 @@ from repro.analysis.metrics import run_gpd
 from repro.core import MonitorThresholds
 from repro.monitor import RegionMonitor
 from repro.program.spec2000 import get_benchmark
-from repro.sampling import simulate_sampling
+from tests.conftest import model_stream
 
 SEED = 7
 
 
 def gpd_changes(name, period, scale=0.3):
-    model = get_benchmark(name, scale)
-    stream = simulate_sampling(model.regions, model.workload, period,
-                               seed=SEED)
+    _, stream = model_stream(name, scale, period, seed=SEED)
     return len(run_gpd(stream, 2032).events)
 
 
 def monitor_at(name, scale=0.2, period=45_000, **kwargs):
-    model = get_benchmark(name, scale)
-    stream = simulate_sampling(model.regions, model.workload, period,
-                               seed=SEED)
+    model, stream = model_stream(name, scale, period, seed=SEED)
     monitor = RegionMonitor(model.binary, MonitorThresholds(), **kwargs)
     monitor.process_stream(stream)
     return model, monitor
@@ -69,18 +65,15 @@ class TestCrossDetectorConsistency:
     def test_seed_invariance_of_shapes(self):
         """The qualitative shape must not depend on the PMU seed."""
         for seed in (1, 2, 3):
-            model = get_benchmark("178.galgel", 0.3)
-            stream = simulate_sampling(model.regions, model.workload,
-                                       45_000, seed=seed)
+            _, stream = model_stream("178.galgel", 0.3, 45_000, seed=seed)
             detector = run_gpd(stream, 2032)
             assert len(detector.events) >= 10, f"seed {seed}"
 
     def test_gpd_flapper_is_lpd_stable(self):
         """The core thesis on a second flapper (galgel): global churn,
         local calm."""
-        model, monitor = monitor_at("178.galgel", scale=0.3)
-        stream = simulate_sampling(model.regions, model.workload, 45_000,
-                                   seed=SEED)
+        _model, monitor = monitor_at("178.galgel", scale=0.3)
+        _, stream = model_stream("178.galgel", 0.3, 45_000, seed=SEED)
         gpd = run_gpd(stream, 2032)
         assert len(gpd.events) >= 10
         for fraction in monitor.stable_time_fractions().values():

@@ -91,6 +91,36 @@ class TestVerdicts:
         assert monitor.verdict(0) is Verdict.BENEFICIAL
 
 
+    def test_tolerance_boundary_is_inclusive(self):
+        # dyadic values so the relative change is float-exact
+        monitor = SelfMonitor(verify_intervals=1, tolerance=0.125)
+        feed(monitor, 0, [1.0])
+        monitor.mark_deployed(0)
+        feed(monitor, 0, [0.875])  # exactly -12.5%: beneficial, not neutral
+        assert monitor.verdict(0) is Verdict.BENEFICIAL
+        monitor = SelfMonitor(verify_intervals=1, tolerance=0.125)
+        feed(monitor, 1, [1.0])
+        monitor.mark_deployed(1)
+        feed(monitor, 1, [1.125])  # exactly +12.5%: harmful
+        assert monitor.verdict(1) is Verdict.HARMFUL
+
+    def test_redeploy_clears_stale_window(self):
+        monitor = self.monitor_with_baseline()
+        feed(monitor, 0, [0.05, 0.05, 0.05])
+        assert monitor.verdict(0) is Verdict.BENEFICIAL
+        monitor.mark_deployed(0)  # a new optimization: fresh verification
+        assert monitor.verdict(0) is Verdict.UNDECIDED
+
+    def test_regions_are_independent(self):
+        monitor = SelfMonitor(verify_intervals=1)
+        for rid, (before, after) in {0: (1.0, 0.5), 1: (0.5, 1.0)}.items():
+            feed(monitor, rid, [before])
+            monitor.mark_deployed(rid)
+            feed(monitor, rid, [after])
+        assert monitor.verdict(0) is Verdict.BENEFICIAL
+        assert monitor.verdict(1) is Verdict.HARMFUL
+
+
 class TestBookkeeping:
     def test_baseline_window_bounded(self):
         monitor = SelfMonitor(baseline_window=4)

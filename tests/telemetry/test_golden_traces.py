@@ -1,0 +1,63 @@
+"""Golden-trace replay: regenerated traces must match the fixtures byte
+for byte.
+
+These are the repository's broadest regression net: one fixture pins the
+complete telemetry stream of a fig13-style monitored run, the other a
+faultsweep rung behind the drop20 plan.  A failure here means pipeline
+behavior, event ordering or the trace schema changed — if the change was
+intentional, regenerate with ``python scripts/regen_golden_traces.py``
+and commit the diff alongside it.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.events import SCHEMA_VERSION
+from repro.telemetry.trace import read_trace, validate_trace
+from tests.fixtures.traces.golden import (GOLDEN_TRACES, TRACE_DIR,
+                                          write_golden_trace)
+
+NAMES = sorted(GOLDEN_TRACES)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_exists_and_validates(name):
+    path = TRACE_DIR / name
+    assert path.is_file(), \
+        f"missing fixture {name}; run scripts/regen_golden_traces.py"
+    assert validate_trace(path) == []
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_pins_current_schema_version(name):
+    with open(TRACE_DIR / name, encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+    assert header["etype"] == "trace_header"
+    assert header["v"] == SCHEMA_VERSION, \
+        "schema version moved; regenerate the golden traces"
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_replay_is_byte_identical(name, tmp_path):
+    regenerated = write_golden_trace(name, tmp_path)
+    fixture_bytes = (TRACE_DIR / name).read_bytes()
+    regenerated_bytes = regenerated.read_bytes()
+    if fixture_bytes != regenerated_bytes:
+        fixture_events = list(read_trace(TRACE_DIR / name))
+        new_events = list(read_trace(regenerated))
+        divergence = next(
+            (i for i, (a, b) in enumerate(zip(fixture_events, new_events))
+             if a != b),
+            min(len(fixture_events), len(new_events)))
+        pytest.fail(
+            f"{name} diverges from its fixture at event {divergence} "
+            f"({len(fixture_events)} pinned vs {len(new_events)} "
+            f"regenerated); if intentional, run "
+            f"scripts/regen_golden_traces.py and commit the diff")
+
+
+def test_fixture_traces_are_nonempty():
+    for name in NAMES:
+        events = list(read_trace(TRACE_DIR / name))
+        assert len(events) > 100, name
