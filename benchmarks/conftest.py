@@ -14,6 +14,13 @@ from repro.experiments.config import ExperimentConfig
 #: Workload scale used by figure-level benchmarks.
 BENCH_SCALE = 0.1
 
+#: Rounds for the gated fleet/engine benchmarks.  The trajectory
+#: snapshots gate on these medians (``scripts/bench_compare.py``), so
+#: they need a real distribution — rounds=1 records stddev 0 and makes
+#: every gate a coin flip on scheduler noise.  Figure-level benchmarks
+#: stay at ``once`` (minutes each; their thresholds are loose).
+STEADY_ROUNDS = 5
+
 
 @pytest.fixture(autouse=True)
 def _cold_cache():
@@ -38,3 +45,14 @@ def once(benchmark, fn, *args, **kwargs):
     """Run a heavy benchmark exactly once (still timed)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
                               iterations=1)
+
+
+def steady(benchmark, fn, *args, **kwargs):
+    """Run a gated benchmark at :data:`STEADY_ROUNDS` rounds.
+
+    For the engine/fleet benchmarks whose medians are regression-gated:
+    enough rounds for the median and stddev to mean something, still one
+    iteration per round (each round is a full run).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=STEADY_ROUNDS, iterations=1)

@@ -5,16 +5,26 @@ with a handful of region detectors plus a global detector, advanced in
 lockstep.  These benchmarks time the *detector-stepping* stage (the part
 batching vectorizes; region formation and attribution are per-lane
 Python either way) at fleet sizes of 64, 256 and 1024 streams, feeding
-both paths identical inputs.
+both paths identical inputs.  Detector allocation happens in benchmark
+setup for both paths, so the medians compare stepping throughput alone;
+the batch path steps pinned row groups
+(:meth:`~repro.batch.lpd.BatchLpdBank.observe_grouped` /
+:meth:`~repro.batch.gpd.BatchGpdBank.observe_block`), the production
+fast path a lockstep :class:`~repro.batch.session.BatchSession` runs.
 
 ``scripts/bench_compare.py`` gates on the 256-stream pair: the batch
-path must hold at least a 5x throughput advantage over the scalar loop
-(see ``FLEET_SPEEDUP_FLOOR`` there).  The bit-equality of the two paths
-is proven separately by ``tests/batch/``.
+path must hold at least a 25x throughput advantage over the scalar loop
+(``FLEET_SPEEDUP_FLOOR`` there) and an absolute stream-interval
+throughput floor (``FLEET_THROUGHPUT_FLOOR``); each batch benchmark
+records its measured ``stream_intervals_per_sec`` in ``extra_info``.
+The bit-equality of the two paths is proven separately by
+``tests/batch/``.
 """
 
 import numpy as np
 import pytest
+
+from conftest import STEADY_ROUNDS
 
 from repro.batch import BatchGpdBank, BatchLpdBank
 from repro.core.gpd import GlobalPhaseDetector
@@ -48,50 +58,79 @@ def _fleet_inputs(n_streams):
     return lpd_cycle, gpd_cycle
 
 
-def _run_scalar(n_streams, lpd_cycle, gpd_cycle):
+def _scalar_fleet(n_streams):
     lpds = [[LocalPhaseDetector(w) for w in WIDTHS]
             for _ in range(n_streams)]
     gpds = [GlobalPhaseDetector() for _ in range(n_streams)]
+    return lpds, gpds
+
+
+def _run_scalar(lpds, gpds, lpd_cycle, gpd_cycle):
     for interval in range(INTERVALS):
         blocks = lpd_cycle[interval % CYCLE]
         buffers = gpd_cycle[interval % CYCLE]
-        for stream in range(n_streams):
-            row = lpds[stream]
+        for stream, (row, gpd) in enumerate(zip(lpds, gpds)):
             for j, width in enumerate(WIDTHS):
                 row[j].observe(blocks[width][stream], interval)
-            gpds[stream].observe_buffer(buffers[stream])
+            gpd.observe_buffer(buffers[stream])
     return gpds
 
 
-def _run_batch(n_streams, lpd_cycle, gpd_cycle):
+def _batch_fleet(n_streams):
+    """Banks with pinned groups: the coalesced fleet fast path."""
     lpd_bank = BatchLpdBank()
-    group_views = {w: [lpd_bank.add_detector(w) for _ in range(n_streams)]
-                   for w in WIDTHS}
+    lpd_groups = {
+        w: lpd_bank.make_group(lpd_bank.add_detectors(w, n_streams))
+        for w in WIDTHS}
     gpd_bank = BatchGpdBank()
-    gpd_views = [gpd_bank.add_detector() for _ in range(n_streams)]
+    gpd_views = gpd_bank.add_detectors(n_streams)
+    gpd_group = gpd_bank.make_group(gpd_views)
+    return lpd_bank, lpd_groups, gpd_bank, gpd_group, gpd_views
+
+
+def _run_batch(lpd_bank, lpd_groups, gpd_bank, gpd_group, gpd_views,
+               lpd_cycle, gpd_cycle):
     for interval in range(INTERVALS):
         blocks = lpd_cycle[interval % CYCLE]
-        buffers = gpd_cycle[interval % CYCLE]
-        for width in WIDTHS:
-            lpd_bank.observe_rows(group_views[width], blocks[width],
-                                  interval)
-        gpd_bank.observe_buffers(list(zip(gpd_views, buffers)))
+        for width, group in lpd_groups.items():
+            lpd_bank.observe_grouped(group, blocks[width], interval)
+        gpd_bank.observe_block(gpd_group, gpd_cycle[interval % CYCLE])
     return gpd_views
+
+
+def _throughput(benchmark, n_streams) -> None:
+    try:
+        median = benchmark.stats.stats.median
+    except AttributeError:  # pragma: no cover - harness internals moved
+        return
+    if median > 0:
+        benchmark.extra_info["stream_intervals_per_sec"] = round(
+            n_streams * INTERVALS / median, 1)
 
 
 @pytest.mark.parametrize("n_streams", SCALAR_SIZES)
 def test_fleet_step_scalar(benchmark, n_streams):
     lpd_cycle, gpd_cycle = _fleet_inputs(n_streams)
-    gpds = benchmark.pedantic(_run_scalar, args=(n_streams, lpd_cycle,
-                                                 gpd_cycle),
-                              rounds=3, iterations=1)
+
+    def setup():
+        lpds, gpds = _scalar_fleet(n_streams)
+        return (lpds, gpds, lpd_cycle, gpd_cycle), {}
+
+    gpds = benchmark.pedantic(_run_scalar, setup=setup,
+                              rounds=STEADY_ROUNDS, iterations=1)
     assert all(g.intervals_seen == INTERVALS for g in gpds)
+    _throughput(benchmark, n_streams)
 
 
 @pytest.mark.parametrize("n_streams", FLEET_SIZES)
 def test_fleet_step_batch(benchmark, n_streams):
     lpd_cycle, gpd_cycle = _fleet_inputs(n_streams)
-    views = benchmark.pedantic(_run_batch, args=(n_streams, lpd_cycle,
-                                                 gpd_cycle),
-                               rounds=3, iterations=1)
+
+    def setup():
+        banks = _batch_fleet(n_streams)
+        return (*banks, lpd_cycle, gpd_cycle), {}
+
+    views = benchmark.pedantic(_run_batch, setup=setup,
+                               rounds=STEADY_ROUNDS, iterations=1)
     assert all(v.intervals_seen == INTERVALS for v in views)
+    _throughput(benchmark, n_streams)

@@ -18,7 +18,7 @@ the engine-vs-seed ratio for this host.
 
 import time
 
-from conftest import once
+from conftest import steady
 
 from repro.experiments import cache as cache_module
 from repro.experiments import (fig03_gpd_phase_changes,
@@ -54,7 +54,7 @@ def test_fig03_fig04_pair_engine(benchmark, bench_config):
         return fig04_gpd_stable_time.run(bench_config,
                                          benchmarks=FIG3_SUBSET)
 
-    result = once(benchmark, pair)
+    result = steady(benchmark, pair)
     assert result.rows
 
     started = time.perf_counter()
@@ -74,7 +74,7 @@ def test_fig13_fig14_pair_engine(benchmark, bench_config):
         return fig14_lpd_stable_time.run(bench_config,
                                          benchmarks=FIG13_SUBSET)
 
-    result = once(benchmark, pair)
+    result = steady(benchmark, pair)
     assert result.rows
 
     # Seed equivalent: each figure re-simulates and re-monitors every
@@ -99,7 +99,7 @@ def test_monitor_scalar_reference(benchmark, bench_config):
             return monitored_run(model, 45_000, bench_config,
                                  attribution="list-scalar")
 
-    monitor = once(benchmark, run)
+    monitor = steady(benchmark, run)
     assert monitor.intervals_processed > 0
 
 
@@ -112,5 +112,5 @@ def test_monitor_batched(benchmark, bench_config):
             return monitored_run(model, 45_000, bench_config,
                                  attribution="list")
 
-    monitor = once(benchmark, run)
+    monitor = steady(benchmark, run)
     assert monitor.intervals_processed > 0

@@ -17,10 +17,14 @@ general 25% noise allowance — the single ``bus.enabled`` check per
 instrumentation site must stay free — and their deltas are always printed
 even when they pass.
 
-Fleet gate: when the snapshot contains the 256-stream fleet-stepping
+Fleet gates: when the snapshot contains the 256-stream fleet-stepping
 pair from ``benchmarks/test_batch_bench.py``, the batch backend's median
 must beat the scalar loop's by at least ``--fleet-min-speedup`` (default
-5x).  This is a within-snapshot ratio, so it is immune to host speed.
+25x; a within-snapshot ratio, so immune to host speed), and the batch
+benchmark's recorded ``stream_intervals_per_sec`` must clear the
+absolute ``--fleet-min-throughput`` floor (default 50,000 — deliberately
+conservative so only a real hot-path collapse, not a slow CI host,
+trips it).
 
 Usage::
 
@@ -60,9 +64,17 @@ TELEMETRY_GATED = (
 #: fleet-stepping benchmark pair (``benchmarks/test_batch_bench.py``).
 #: Unlike the cross-snapshot thresholds this compares two benchmarks of
 #: the *current* run, so host speed cancels out.
-FLEET_SPEEDUP_FLOOR = 5.0
+FLEET_SPEEDUP_FLOOR = 25.0
 FLEET_SCALAR_BENCH = "test_fleet_step_scalar[256]"
 FLEET_BATCH_BENCH = "test_fleet_step_batch[256]"
+
+#: Absolute floor on the 256-stream batch benchmark's recorded
+#: ``stream_intervals_per_sec`` (written to ``extra_info`` by the
+#: benchmark itself).  Set well below the measured ~120k/s on a single
+#: noisy core so it catches the hot path falling off a cliff (e.g. the
+#: coalesced slice path silently degrading to per-item gathers), not
+#: ordinary host variance.
+FLEET_THROUGHPUT_FLOOR = 50_000.0
 
 
 def _is_telemetry_gated(name: str) -> bool:
@@ -89,6 +101,27 @@ def fleet_gate(snapshot: dict,
             f"batch {batch['median']:.4f}s = {speedup:.2f}x "
             f"(floor {floor:.1f}x)")
     return line, speedup >= floor
+
+
+def throughput_gate(snapshot: dict, floor: float = FLEET_THROUGHPUT_FLOOR
+                    ) -> tuple[str, bool] | None:
+    """Check the absolute fleet throughput recorded by the batch bench.
+
+    Reads ``stream_intervals_per_sec`` from the 256-stream batch
+    benchmark's ``extra_info``; returns ``(report line, passed)`` or
+    ``None`` when the benchmark (or the metric) is absent.
+    """
+    benches = snapshot.get("benchmarks", {})
+    batch = next((s for name, s in benches.items()
+                  if FLEET_BATCH_BENCH in name), None)
+    if batch is None:
+        return None
+    rate = batch.get("extra_info", {}).get("stream_intervals_per_sec")
+    if rate is None:
+        return None
+    line = (f"fleet-256 throughput: {rate:,.0f} stream-intervals/sec "
+            f"(floor {floor:,.0f})")
+    return line, rate >= floor
 
 
 def run_benchmarks(select: str, pytest_args: list[str]) -> dict:
@@ -216,7 +249,12 @@ def main(argv: list[str] | None = None) -> int:
                         default=FLEET_SPEEDUP_FLOOR,
                         help="required batch-over-scalar speedup on the "
                              "256-stream fleet benchmark pair "
-                             "(default 5.0; 0 disables the gate)")
+                             "(default 25.0; 0 disables the gate)")
+    parser.add_argument("--fleet-min-throughput", type=float,
+                        default=FLEET_THROUGHPUT_FLOOR,
+                        help="required absolute stream-intervals/sec on "
+                             "the 256-stream batch fleet benchmark "
+                             "(default 50000; 0 disables the gate)")
     parser.add_argument("--dry-run", action="store_true",
                         help="compare only; do not write a new snapshot")
     parser.add_argument("pytest_args", nargs="*",
@@ -257,6 +295,14 @@ def main(argv: list[str] | None = None) -> int:
             print(line)
             if not passed:
                 fleet_failure = line
+    throughput_failure = None
+    if args.fleet_min_throughput > 0:
+        checked = throughput_gate(snapshot, args.fleet_min_throughput)
+        if checked is not None:
+            line, passed = checked
+            print(line)
+            if not passed:
+                throughput_failure = line
 
     if not args.dry_run:
         # repro: allow[wall-clock] output filename stamp only
@@ -277,6 +323,9 @@ def main(argv: list[str] | None = None) -> int:
         print("no median regressions beyond threshold")
     if fleet_failure is not None:
         print(f"FLEET SPEEDUP BELOW FLOOR: {fleet_failure}")
+        failed = True
+    if throughput_failure is not None:
+        print(f"FLEET THROUGHPUT BELOW FLOOR: {throughput_failure}")
         failed = True
     return 1 if failed else 0
 

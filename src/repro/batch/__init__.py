@@ -26,11 +26,19 @@ Entry points:
 * ``backend="batch"`` on :func:`repro.experiments.base.monitored_run` /
   :func:`~repro.experiments.base.gpd_run`;
 * the low-level :class:`BatchLpdBank` / :class:`BatchGpdBank` for custom
-  harnesses.
+  harnesses, with :class:`LpdRowGroup` / :class:`GpdRowGroup` pinning
+  fixed populations onto the compiled block-stepping fast path,
+  :class:`ShardRing` queueing samples zero-copy, and
+  :class:`FleetRegrouper` re-coalescing churned fleets
+  (:mod:`repro.batch.compiled` documents the kernel backends).
 """
 
-from repro.batch.gpd import BatchGlobalPhaseDetector, BatchGpdBank
-from repro.batch.lpd import BatchLocalPhaseDetector, BatchLpdBank
+from repro.batch.gpd import (BatchGlobalPhaseDetector, BatchGpdBank,
+                             GpdRowGroup)
+from repro.batch.lpd import (BatchLocalPhaseDetector, BatchLpdBank,
+                             LpdRowGroup)
+from repro.batch.regroup import FleetRegrouper
+from repro.batch.rings import ShardRing
 from repro.batch.run import process_stream_batch, run_gpd_batch
 from repro.batch.session import BatchLane, BatchSession
 
@@ -41,6 +49,10 @@ __all__ = [
     "BatchLpdBank",
     "BatchLane",
     "BatchSession",
+    "FleetRegrouper",
+    "GpdRowGroup",
+    "LpdRowGroup",
+    "ShardRing",
     "process_stream_batch",
     "run_gpd_batch",
 ]

@@ -1,0 +1,159 @@
+"""Compiled kernel backends for the batch hot path.
+
+Two interchangeable implementations of the interval kernels live here:
+
+* :mod:`repro.batch.compiled.numpy_backend` — the pure-NumPy reference,
+  always available (NumPy is the package's only hard dependency);
+* :mod:`repro.batch.compiled.numba_backend` — nopython twins compiled
+  with Numba, installed via the optional ``repro[compiled]`` extra.
+
+Selection happens once, at import time:
+
+1. If the ``REPRO_NO_JIT`` environment variable is set (to anything but
+   ``0``/empty), the NumPy backend is forced — CI uses this to prove the
+   fallback bit-identical on its own.
+2. Otherwise Numba is imported if present, and every JIT kernel is run
+   through a bit-equality probe against the reference on widths spanning
+   all of NumPy's pairwise-summation regimes (sequential, unrolled
+   block, recursive split) including strided ring-buffer views.  Any
+   single mismatching byte — e.g. a NumPy build whose SIMD reduction
+   tree differs from the scalar algorithm the JIT replicates — rejects
+   the JIT backend for the whole process.
+
+Backend choice is therefore *result-inert by construction*: no caller
+can observe anything but speed (the cache-key audit allowlists it; see
+``repro-check``).  :func:`kernel_backend` reports which backend won and
+:func:`selection_reason` why, for diagnostics and telemetry.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.batch.compiled import numpy_backend
+
+__all__ = ["kernel_backend", "selection_reason", "pearson_core",
+           "pearson_cached", "centroid_rows", "band_stats_rows",
+           "lpd_step", "fsm_step", "gpd_classify", "ENV_FLAG"]
+
+#: Set (non-empty, non-"0") to force the pure-NumPy fallback.
+ENV_FLAG = "REPRO_NO_JIT"
+
+#: Probe widths covering every pairwise-summation regime: sequential
+#: (< 8), one unrolled block (<= 128) with and without a remainder
+#: tail, and recursive splits (> 128) including the session buffer size.
+_PROBE_WIDTHS = (1, 2, 3, 5, 7, 8, 9, 12, 16, 31, 64, 127, 128, 129,
+                 200, 504, 600)
+_PROBE_ROWS = 3
+
+
+def _bit_equal(a, b) -> bool:
+    return a.tobytes() == b.tobytes()
+
+
+def _probe_matches(jit, ref) -> bool:
+    """True iff every JIT float kernel matches the reference bitwise.
+
+    The integer kernels (``lpd_step``/``fsm_step``/``gpd_classify``) are
+    exact by construction — table lookups and comparisons have no
+    rounding — but are probed too so a miscompilation cannot slip in.
+    """
+    rng = np.random.default_rng(20260808)
+    for n in _PROBE_WIDTHS:
+        shape = (_PROBE_ROWS, n)
+        x = np.floor(rng.uniform(0.0, 50.0, size=shape))
+        y = np.floor(rng.uniform(0.0, 50.0, size=shape))
+        x[0, :] = 3.0  # a degenerate (flat) row exercises `defined`
+        if n >= 2:
+            r_jit, defined_jit = jit.pearson_core(x, y)
+            r_ref, defined_ref = ref.pearson_core(x, y)
+            if not (_bit_equal(r_jit, r_ref)
+                    and _bit_equal(defined_jit, defined_ref)):
+                return False
+            # cached variant fed the sums its caller caches
+            sum_x = x.sum(axis=1)
+            sum_x2 = (x * x).sum(axis=1)
+            out_jit = jit.pearson_cached(x, y, sum_x, sum_x2)
+            out_ref = ref.pearson_cached(x, y, sum_x, sum_x2)
+            if not all(_bit_equal(a, b)
+                       for a, b in zip(out_jit, out_ref)):
+                return False
+        pcs = rng.integers(0, 2 ** 40, size=(_PROBE_ROWS, n + 2))
+        strided = pcs[:, 1:n + 1]  # unit inner stride, offset rows
+        if not _bit_equal(jit.centroid_rows(strided),
+                          ref.centroid_rows(strided)):
+            return False
+        if n >= 2:
+            values = rng.uniform(1.0, 1e9, size=shape)
+            mean_jit, sd_jit = jit.band_stats_rows(values)
+            mean_ref, sd_ref = ref.band_stats_rows(values)
+            if not (_bit_equal(mean_jit, mean_ref)
+                    and _bit_equal(sd_jit, sd_ref)):
+                return False
+    # integer kernels: one randomized table round-trip
+    n_states, n_inputs, k = 5, 4, 64
+    next_state = rng.integers(0, n_states, size=(n_states, n_inputs))
+    change = rng.integers(0, 2, size=(n_states, n_inputs)).astype(bool)
+    updates = rng.integers(0, 2, size=(n_states, n_inputs)).astype(bool)
+    stable = rng.integers(0, 2, size=n_states).astype(bool)
+    before = rng.integers(0, n_states, size=k)
+    r = rng.uniform(-1.0, 1.0, size=k)
+    threshold = rng.uniform(-1.0, 1.0, size=k)
+    lpd_jit = jit.lpd_step(before, r, threshold, 1, 2, next_state, change,
+                           updates, stable)
+    lpd_ref = ref.lpd_step(before, r, threshold, 1, 2, next_state, change,
+                           updates, stable)
+    if not all(_bit_equal(a, b) for a, b in zip(lpd_jit, lpd_ref)):
+        return False
+    inputs = rng.integers(0, n_inputs, size=k)
+    fsm_jit = jit.fsm_step(before, inputs, next_state, change)
+    fsm_ref = ref.fsm_step(before, inputs, next_state, change)
+    if not all(_bit_equal(a, b) for a, b in zip(fsm_jit, fsm_ref)):
+        return False
+    ratio = np.where(rng.integers(0, 4, size=k) == 0, np.inf,
+                     rng.uniform(0.0, 2.0, size=k))
+    thin = rng.integers(0, 2, size=k).astype(bool)
+    banded = rng.integers(0, 2, size=k).astype(bool)
+    ths = [np.full(k, v) for v in (0.2, 0.5, 1.0, 1.5)]
+    cls_jit = jit.gpd_classify(ratio, thin, banded, *ths, 0)
+    cls_ref = ref.gpd_classify(ratio, thin, banded, *ths, 0)
+    return _bit_equal(cls_jit, cls_ref)
+
+
+def _select():
+    """Pick the backend module and record why; never raises."""
+    if os.environ.get(ENV_FLAG, "") not in ("", "0"):
+        return numpy_backend, f"forced by {ENV_FLAG}"
+    try:
+        from repro.batch.compiled import numba_backend
+    except ImportError:
+        return numpy_backend, "numba not installed"
+    try:
+        if not _probe_matches(numba_backend, numpy_backend):
+            return numpy_backend, "probe found a bitwise mismatch"
+    except Exception as error:  # a broken JIT must never take down import
+        return numpy_backend, f"probe failed: {type(error).__name__}"
+    return numba_backend, "numba kernels bit-identical on probe"
+
+
+_backend, _reason = _select()
+
+pearson_core = _backend.pearson_core
+pearson_cached = _backend.pearson_cached
+centroid_rows = _backend.centroid_rows
+band_stats_rows = _backend.band_stats_rows
+lpd_step = _backend.lpd_step
+fsm_step = _backend.fsm_step
+gpd_classify = _backend.gpd_classify
+
+
+def kernel_backend() -> str:
+    """Name of the backend in force: ``"numba"`` or ``"numpy"``."""
+    return _backend.NAME
+
+
+def selection_reason() -> str:
+    """Human-readable account of how the backend was chosen."""
+    return _reason

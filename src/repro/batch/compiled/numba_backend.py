@@ -1,0 +1,221 @@
+"""Numba-JIT kernel backend: nopython twins of the NumPy reference.
+
+Importing this module requires ``numba``; the package selector
+(:mod:`repro.batch.compiled`) only does so when the import succeeds AND
+an import-time probe shows every kernel bit-identical to
+:mod:`repro.batch.compiled.numpy_backend` on this platform.  The float
+kernels therefore replicate NumPy's *exact* reduction order:
+
+* ``_pairwise_sum`` is NumPy's pairwise summation — sequential below 8
+  elements, an 8-accumulator unrolled block up to 128, then halved
+  recursion with the split rounded down to a multiple of 8;
+* means divide the pairwise sum by the row length once, like
+  ``np.mean``;
+* the standard deviation mirrors ``np.std``'s two-pass form (mean,
+  subtract, square, pairwise sum, divide, sqrt).
+
+Everything compiles with ``cache=True`` so CI pays the JIT once, and
+``fastmath`` stays off — reassociation is precisely what the
+bit-equality contract forbids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+NAME = "numba"
+
+__all__ = ["NAME", "pearson_core", "pearson_cached", "centroid_rows",
+           "band_stats_rows", "lpd_step", "fsm_step", "gpd_classify"]
+
+#: NumPy's PW_BLOCKSIZE: the unrolled-block ceiling of pairwise_sum.
+_PW_BLOCKSIZE = 128
+
+
+@njit(cache=True)
+def _pairwise_sum(a, lo, n):
+    if n < 8:
+        res = 0.0
+        for i in range(n):
+            res += a[lo + i]
+        return res
+    if n <= _PW_BLOCKSIZE:
+        r0 = a[lo]
+        r1 = a[lo + 1]
+        r2 = a[lo + 2]
+        r3 = a[lo + 3]
+        r4 = a[lo + 4]
+        r5 = a[lo + 5]
+        r6 = a[lo + 6]
+        r7 = a[lo + 7]
+        i = 8
+        limit = n - (n % 8)
+        while i < limit:
+            r0 += a[lo + i]
+            r1 += a[lo + i + 1]
+            r2 += a[lo + i + 2]
+            r3 += a[lo + i + 3]
+            r4 += a[lo + i + 4]
+            r5 += a[lo + i + 5]
+            r6 += a[lo + i + 6]
+            r7 += a[lo + i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            res += a[lo + i]
+            i += 1
+        return res
+    n2 = n // 2
+    n2 -= n2 % 8
+    return _pairwise_sum(a, lo, n2) + _pairwise_sum(a, lo + n2, n - n2)
+
+
+@njit(cache=True)
+def pearson_core(stable, current):
+    k, n = stable.shape
+    r = np.zeros(k, dtype=np.float64)
+    defined = np.zeros(k, dtype=np.bool_)
+    scratch = np.empty(n, dtype=np.float64)
+    for i in range(k):
+        x = stable[i]
+        y = current[i]
+        sum_x = _pairwise_sum(x, 0, n)
+        sum_y = _pairwise_sum(y, 0, n)
+        for j in range(n):
+            scratch[j] = x[j] * y[j]
+        sum_xy = _pairwise_sum(scratch, 0, n)
+        for j in range(n):
+            scratch[j] = x[j] * x[j]
+        sum_x2 = _pairwise_sum(scratch, 0, n)
+        for j in range(n):
+            scratch[j] = y[j] * y[j]
+        sum_y2 = _pairwise_sum(scratch, 0, n)
+        var_x = sum_x2 - (sum_x * sum_x) / n
+        var_y = sum_y2 - (sum_y * sum_y) / n
+        if (np.isfinite(var_x) and np.isfinite(var_y)
+                and var_x > 0.0 and var_y > 0.0):
+            numerator = sum_xy - (sum_x * sum_y) / n
+            raw = numerator / np.sqrt(var_x * var_y)
+            r[i] = min(1.0, max(-1.0, raw))
+            defined[i] = True
+    return r, defined
+
+
+@njit(cache=True)
+def pearson_cached(stable, current, sum_x_cached, sum_x2_cached):
+    k, n = stable.shape
+    r = np.zeros(k, dtype=np.float64)
+    defined = np.zeros(k, dtype=np.bool_)
+    sum_y_out = np.empty(k, dtype=np.float64)
+    sum_y2_out = np.empty(k, dtype=np.float64)
+    scratch = np.empty(n, dtype=np.float64)
+    for i in range(k):
+        x = stable[i]
+        y = current[i]
+        sum_x = sum_x_cached[i]
+        sum_x2 = sum_x2_cached[i]
+        sum_y = _pairwise_sum(y, 0, n)
+        for j in range(n):
+            scratch[j] = x[j] * y[j]
+        sum_xy = _pairwise_sum(scratch, 0, n)
+        for j in range(n):
+            scratch[j] = y[j] * y[j]
+        sum_y2 = _pairwise_sum(scratch, 0, n)
+        sum_y_out[i] = sum_y
+        sum_y2_out[i] = sum_y2
+        var_x = sum_x2 - (sum_x * sum_x) / n
+        var_y = sum_y2 - (sum_y * sum_y) / n
+        if (np.isfinite(var_x) and np.isfinite(var_y)
+                and var_x > 0.0 and var_y > 0.0):
+            numerator = sum_xy - (sum_x * sum_y) / n
+            raw = numerator / np.sqrt(var_x * var_y)
+            r[i] = min(1.0, max(-1.0, raw))
+            defined[i] = True
+    return r, defined, sum_y_out, sum_y2_out
+
+
+@njit(cache=True)
+def centroid_rows(block):
+    k, n = block.shape
+    out = np.empty(k, dtype=np.float64)
+    scratch = np.empty(n, dtype=np.float64)
+    for i in range(k):
+        row = block[i]
+        for j in range(n):
+            scratch[j] = row[j]
+        out[i] = _pairwise_sum(scratch, 0, n) / n
+    return out
+
+
+@njit(cache=True)
+def band_stats_rows(block):
+    k, n = block.shape
+    mean = np.empty(k, dtype=np.float64)
+    sd = np.empty(k, dtype=np.float64)
+    scratch = np.empty(n, dtype=np.float64)
+    for i in range(k):
+        row = block[i]
+        m = _pairwise_sum(row, 0, n) / n
+        mean[i] = m
+        for j in range(n):
+            d = row[j] - m
+            scratch[j] = d * d
+        sd[i] = np.sqrt(_pairwise_sum(scratch, 0, n) / n)
+    return mean, sd
+
+
+@njit(cache=True)
+def lpd_step(before, r, threshold, similar_input, dissimilar_input,
+             next_state, phase_change, updates_stable_set, stable):
+    k = before.size
+    after = np.empty(k, dtype=np.int64)
+    changed = np.empty(k, dtype=np.bool_)
+    updated = np.empty(k, dtype=np.bool_)
+    frozen = np.empty(k, dtype=np.bool_)
+    for i in range(k):
+        inp = similar_input if r[i] >= threshold[i] else dissimilar_input
+        s = before[i]
+        nxt = next_state[s, inp]
+        after[i] = nxt
+        c = phase_change[s, inp]
+        changed[i] = c
+        updated[i] = updates_stable_set[s, inp]
+        frozen[i] = c and stable[nxt]
+    return after, changed, updated, frozen
+
+
+@njit(cache=True)
+def fsm_step(before, inputs, next_state, phase_change):
+    k = before.size
+    after = np.empty(k, dtype=np.int64)
+    changed = np.empty(k, dtype=np.bool_)
+    for i in range(k):
+        s = before[i]
+        inp = inputs[i]
+        after[i] = next_state[s, inp]
+        changed[i] = phase_change[s, inp]
+    return after, changed
+
+
+@njit(cache=True)
+def gpd_classify(ratio, thin, banded, th1, th2, th3, th4, no_band_input):
+    k = ratio.size
+    inputs = np.empty(k, dtype=np.int64)
+    for i in range(k):
+        if not banded[i]:
+            inputs[i] = no_band_input
+            continue
+        value = ratio[i]
+        if value <= th1[i]:
+            bucket = 0
+        elif value <= th2[i]:
+            bucket = 1
+        elif value <= th3[i]:
+            bucket = 2
+        elif value <= th4[i]:
+            bucket = 3
+        else:
+            bucket = 4
+        inputs[i] = 1 + 2 * bucket + (0 if thin[i] else 1)
+    return inputs

@@ -1,0 +1,160 @@
+"""Pure-NumPy kernel backend: the reference implementation.
+
+This module is the *definition* of the kernel contract — the Numba
+backend (:mod:`repro.batch.compiled.numba_backend`) must reproduce every
+function here bit-for-bit or the package selector refuses to use it.
+NumPy reduces float64 rows with pairwise summation whose tree depends
+only on the element count (and unit inner stride), so all callers group
+rows by exact width and never pad; see :mod:`repro.batch.kernels`.
+
+Every function takes plain ndarrays and returns plain ndarrays — no
+Python objects — so the two backends stay drop-in interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NAME = "numpy"
+
+__all__ = ["NAME", "pearson_core", "pearson_cached", "centroid_rows",
+           "band_stats_rows", "lpd_step", "fsm_step", "gpd_classify"]
+
+
+def pearson_core(stable: np.ndarray, current: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise Pearson r over ``(k, n)`` float64 blocks, ``n >= 2``.
+
+    Returns ``(r, defined)``: where ``defined`` is False (zero or
+    non-finite variance on either side) the r entry is 0.0 and the
+    caller must resolve the row through the scalar degenerate
+    convention.  Defined entries are clamped to [-1, 1].
+    """
+    k, n = stable.shape
+    # inf/nan rows produce nan variances here and route to the
+    # degenerate fallback in the caller, so their warnings are noise
+    with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+        sum_x = stable.sum(axis=1)
+        sum_y = current.sum(axis=1)
+        sum_xy = (stable * current).sum(axis=1)
+        sum_x2 = (stable * stable).sum(axis=1)
+        sum_y2 = (current * current).sum(axis=1)
+        var_x = sum_x2 - (sum_x * sum_x) / n
+        var_y = sum_y2 - (sum_y * sum_y) / n
+        defined = (np.isfinite(var_x) & np.isfinite(var_y)
+                   & (var_x > 0.0) & (var_y > 0.0))
+        if bool(defined.all()):
+            # Hot shape: every row well-conditioned.  Same operation
+            # sequence as below, minus the zero-fill and masked copy.
+            numerator = sum_xy - (sum_x * sum_y) / n
+            r = numerator / np.sqrt(var_x * var_y)
+            np.maximum(r, -1.0, out=r)
+            np.minimum(r, 1.0, out=r)
+            return r, defined
+        r = np.zeros(k, dtype=np.float64)
+        if defined.any():
+            numerator = sum_xy - (sum_x * sum_y) / n
+            raw = numerator / np.sqrt(var_x * var_y)
+            np.copyto(r, np.minimum(1.0, np.maximum(-1.0, raw)),
+                      where=defined)
+    return r, defined
+
+
+def pearson_cached(stable: np.ndarray, current: np.ndarray,
+                   sum_x: np.ndarray, sum_x2: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray]:
+    """:func:`pearson_core` with the stable-side sums precomputed.
+
+    *sum_x* / *sum_x2* must hold exactly what ``stable.sum(axis=1)`` and
+    ``(stable * stable).sum(axis=1)`` would produce (the LPD bank caches
+    them across intervals, refreshing entries from the current-side sums
+    whenever a stable set is replaced — same data, same reduction tree,
+    same bits).  Returns ``(r, defined, sum_y, sum_y2)`` so the caller
+    can perform exactly that refresh without extra reductions.
+    """
+    k, n = stable.shape
+    with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+        sum_y = current.sum(axis=1)
+        sum_xy = (stable * current).sum(axis=1)
+        sum_y2 = (current * current).sum(axis=1)
+        var_x = sum_x2 - (sum_x * sum_x) / n
+        var_y = sum_y2 - (sum_y * sum_y) / n
+        defined = (np.isfinite(var_x) & np.isfinite(var_y)
+                   & (var_x > 0.0) & (var_y > 0.0))
+        if bool(defined.all()):
+            numerator = sum_xy - (sum_x * sum_y) / n
+            r = numerator / np.sqrt(var_x * var_y)
+            np.maximum(r, -1.0, out=r)
+            np.minimum(r, 1.0, out=r)
+            return r, defined, sum_y, sum_y2
+        r = np.zeros(k, dtype=np.float64)
+        if defined.any():
+            numerator = sum_xy - (sum_x * sum_y) / n
+            raw = numerator / np.sqrt(var_x * var_y)
+            np.copyto(r, np.minimum(1.0, np.maximum(-1.0, raw)),
+                      where=defined)
+    return r, defined, sum_y, sum_y2
+
+
+def centroid_rows(block: np.ndarray) -> np.ndarray:
+    """Row means of a ``(k, B)`` block, float64 accumulation.
+
+    Accepts integer or float dtype and any row stride with unit inner
+    stride (ring-buffer column slices included): NumPy's cast-and-reduce
+    produces the same bits as converting the row first, which
+    ``tests/batch/test_kernels.py`` pins against the scalar centroid.
+    """
+    return block.mean(axis=1)
+
+
+def band_stats_rows(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Population (mean, std) per row of an equal-fill float64 block."""
+    return block.mean(axis=1), block.std(axis=1)
+
+
+def lpd_step(before: np.ndarray, r: np.ndarray, threshold: np.ndarray,
+             similar_input: int, dissimilar_input: int,
+             next_state: np.ndarray, phase_change: np.ndarray,
+             updates_stable_set: np.ndarray, stable: np.ndarray
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One fused LPD transition per row: classify r, step the tables.
+
+    Returns ``(after, changed, updated, frozen)`` — successor states,
+    phase-change flags, stable-set-update flags and the froze-this-step
+    flags (``changed & stable[after]``).
+    """
+    inputs = np.where(r >= threshold, similar_input, dissimilar_input)
+    after = next_state[before, inputs]
+    changed = phase_change[before, inputs]
+    updated = updates_stable_set[before, inputs]
+    frozen = changed & stable[after]
+    return after, changed, updated, frozen
+
+
+def fsm_step(before: np.ndarray, inputs: np.ndarray,
+             next_state: np.ndarray, phase_change: np.ndarray
+             ) -> tuple[np.ndarray, np.ndarray]:
+    """Generic table step: ``(after, changed)`` for precomputed inputs."""
+    return next_state[before, inputs], phase_change[before, inputs]
+
+
+def gpd_classify(ratio: np.ndarray, thin: np.ndarray, banded: np.ndarray,
+                 th1: np.ndarray, th2: np.ndarray, th3: np.ndarray,
+                 th4: np.ndarray, no_band_input: int) -> np.ndarray:
+    """Map drift ratios to GPD input-class indices.
+
+    Implements the paper's bucket scheme: five drift buckets split by
+    TH1..TH4, each doubled by the thin/thick band flag, plus the
+    ``no_band`` class for rows without two retained centroids.  Input
+    indices follow the spec's input ordering (``no_band`` first, then
+    bucket-major thin/thick pairs).
+    """
+    bucket = np.full(ratio.size, 4, dtype=np.int64)
+    bucket[ratio <= th4] = 3
+    bucket[ratio <= th3] = 2
+    bucket[ratio <= th2] = 1
+    bucket[ratio <= th1] = 0
+    inputs = 1 + 2 * bucket + np.where(thin, 0, 1)
+    inputs[~banded] = no_band_input
+    return inputs

@@ -10,6 +10,13 @@ computed by grouping rows on their exact history fill count — no padding
 — so every mean/std reduces through the same pairwise tree as the
 scalar ``CentroidHistory.band()`` (see :mod:`repro.batch.kernels`).
 
+The fleet fast path is :meth:`BatchGpdBank.observe_block`: a pinned
+:class:`GpdRowGroup` (contiguous handles become slices) consumes a
+``(k, B)`` sample block — typically a zero-copy ring-buffer view from
+:mod:`repro.batch.rings` — computing centroids without materializing a
+converted copy, and in the steady state (every history full) one dense
+band-stats call and one fused classify-and-step cover the whole fleet.
+
 Each row is exposed as a :class:`BatchGlobalPhaseDetector` view that
 mirrors the scalar detector's read surface; ``tests/batch/`` proves the
 two bit-identical on states, phase-change indices and drift ratios.
@@ -21,6 +28,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.batch import compiled
+from repro.batch.indexing import as_slice
 from repro.batch.kernels import batched_band_stats, batched_centroid
 from repro.batch.tables import CompiledMachine, compile_machine
 from repro.core.centroid import BandOfStability
@@ -32,7 +41,7 @@ from repro.errors import ConfigError
 from repro.telemetry.bus import EventBus, get_bus
 from repro.telemetry.events import NO_REGION, PhaseChange, StateTransition
 
-__all__ = ["BatchGpdBank", "BatchGlobalPhaseDetector"]
+__all__ = ["BatchGpdBank", "BatchGlobalPhaseDetector", "GpdRowGroup"]
 
 _MIN_CAPACITY = 16
 
@@ -50,6 +59,22 @@ class _StepRecord:
     ratios: np.ndarray
     states: np.ndarray
     events: dict[int, PhaseEvent] = field(default_factory=dict)
+
+
+class GpdRowGroup:
+    """A pinned GPD population; contiguous handles index by slice."""
+
+    __slots__ = ("k", "handles", "index")
+
+    def __init__(self, handles: np.ndarray, index) -> None:
+        self.k = handles.size
+        self.handles = handles
+        self.index = index  # slice | int64 array (bank columns)
+
+    @property
+    def coalesced(self) -> bool:
+        """Whether bank columns are addressed by one slice."""
+        return isinstance(self.index, slice)
 
 
 class BatchGpdBank:
@@ -93,26 +118,26 @@ class BatchGpdBank:
     def __len__(self) -> int:
         return self._n
 
-    def _grow(self) -> None:
-        capacity = self._state.size * 2
+    def _reserve(self, capacity: int) -> None:
+        if capacity <= self._state.size:
+            return
+        size = self._state.size
+        while size < capacity:
+            size *= 2
         for name in ("_state", "_interval", "_hist_n", "_th1", "_th2",
                      "_th3", "_th4", "_divisor", "_min_buffer",
                      "_stable_obs"):
             old = getattr(self, name)
-            grown = np.zeros(capacity, dtype=old.dtype)
+            grown = np.zeros(size, dtype=old.dtype)
             grown[:self._n] = old[:self._n]
             setattr(self, name, grown)
         self._state[self._n:] = self.machine.initial
         self._interval[self._n:] = -1
-        hist = np.zeros((capacity, self.history_length), dtype=np.float64)
+        hist = np.zeros((size, self.history_length), dtype=np.float64)
         hist[:self._n] = self._hist[:self._n]
         self._hist = hist
 
-    def add_detector(self, thresholds: GpdThresholds | None = None,
-                     telemetry: EventBus | None = None
-                     ) -> "BatchGlobalPhaseDetector":
-        """Allocate one detector row; returns its scalar-compatible view."""
-        thresholds = thresholds or GpdThresholds()
+    def _check_thresholds(self, thresholds: GpdThresholds) -> GpdThresholds:
         if thresholds.dwell_intervals != self.dwell_intervals:
             raise ConfigError(
                 f"bank compiled for dwell_intervals="
@@ -121,11 +146,10 @@ class BatchGpdBank:
             raise ConfigError(
                 f"bank sized for history_length={self.history_length}, "
                 f"got {thresholds.history_length}")
-        bus = telemetry if telemetry is not None else get_bus()
-        if self._n == self._state.size:
-            self._grow()
-        handle = self._n
-        self._n += 1
+        return thresholds
+
+    def _init_row(self, handle: int, thresholds: GpdThresholds,
+                  bus: EventBus) -> None:
         self._state[handle] = self.machine.initial
         self._interval[handle] = -1
         self._hist_n[handle] = 0
@@ -142,7 +166,61 @@ class BatchGpdBank:
         self._thresholds.append(thresholds)
         self._events.append([])
         self._observations.append([])
+
+    def add_detector(self, thresholds: GpdThresholds | None = None,
+                     telemetry: EventBus | None = None
+                     ) -> "BatchGlobalPhaseDetector":
+        """Allocate one detector row; returns its scalar-compatible view."""
+        thresholds = self._check_thresholds(thresholds or GpdThresholds())
+        bus = telemetry if telemetry is not None else get_bus()
+        self._reserve(self._n + 1)
+        handle = self._n
+        self._n += 1
+        self._init_row(handle, thresholds, bus)
         return BatchGlobalPhaseDetector(self, handle)
+
+    def add_detectors(self, count: int,
+                      thresholds: GpdThresholds | None = None,
+                      telemetry: EventBus | None = None
+                      ) -> list["BatchGlobalPhaseDetector"]:
+        """Allocate *count* rows with contiguous handles (fleet path)."""
+        if count < 0:
+            raise ValueError(f"cannot allocate {count} detector rows")
+        thresholds = self._check_thresholds(thresholds or GpdThresholds())
+        bus = telemetry if telemetry is not None else get_bus()
+        self._reserve(self._n + count)
+        start = self._n
+        self._n = start + count
+        sel = slice(start, start + count)
+        self._state[sel] = self.machine.initial
+        self._interval[sel] = -1
+        self._hist_n[sel] = 0
+        self._th1[sel] = thresholds.th1
+        self._th2[sel] = thresholds.th2
+        self._th3[sel] = thresholds.th3
+        self._th4[sel] = thresholds.th4
+        self._divisor[sel] = thresholds.thickness_divisor
+        self._min_buffer[sel] = thresholds.min_buffer_samples
+        self._stable_obs[sel] = 0
+        self._buses.extend([bus] * count)
+        if not any(bus is seen for seen in self._distinct_buses):
+            self._distinct_buses.append(bus)
+        self._thresholds.extend([thresholds] * count)
+        self._events.extend([] for _ in range(count))
+        self._observations.extend([] for _ in range(count))
+        return [BatchGlobalPhaseDetector(self, handle)
+                for handle in range(start, start + count)]
+
+    def make_group(self, views: list) -> GpdRowGroup:
+        """Pin *views* into a reusable row group for block stepping."""
+        handles = np.fromiter((view._handle for view in views),
+                              dtype=np.int64, count=len(views))
+        index = as_slice(handles)
+        return GpdRowGroup(handles, index if index is not None else handles)
+
+    def telemetry_live(self) -> bool:
+        """Whether any bus attached to this bank is currently enabled."""
+        return any(bus.enabled for bus in self._distinct_buses)
 
     # -- the vectorized step ---------------------------------------------------
 
@@ -177,6 +255,28 @@ class BatchGpdBank:
         return self.observe_centroids([view for view, _ in items], values,
                                       starved_mask=starved)
 
+    def observe_block(self, group: GpdRowGroup,
+                      block: np.ndarray) -> list[PhaseEvent | None]:
+        """Advance a pinned group from one ``(k, B)`` sample block.
+
+        The fleet fast path: *block* holds one full interval buffer per
+        group row — typically a zero-copy column slice of a
+        :class:`~repro.batch.rings.ShardRing` — and centroids accumulate
+        straight off the (integer) view, bit-identical to the scalar
+        conversion.  Rows whose ``min_buffer_samples`` exceeds ``B``
+        take the starved hold, exactly as in :meth:`observe_buffers`.
+        """
+        if block.ndim != 2 or block.shape[0] != group.k:
+            raise ValueError(
+                f"sample block shape {block.shape} does not match "
+                f"group of {group.k} rows")
+        starved = self._min_buffer[group.index] > block.shape[1]
+        values = batched_centroid(block)
+        if starved.any():
+            values = np.where(starved, np.nan, values)
+        return self._advance_centroids(group.handles, group, values,
+                                       starved if starved.any() else None)
+
     def observe_centroids(self, views: list, values: np.ndarray,
                           starved_mask: np.ndarray | None = None
                           ) -> list[PhaseEvent | None]:
@@ -186,16 +286,24 @@ class BatchGpdBank:
         scalar's insufficient-data path: the interval is counted, state
         and history hold.  Each row may appear at most once per call.
         """
-        k = len(views)
         values = np.asarray(values, dtype=np.float64)
         handles = np.fromiter((view._handle for view in views),
-                              dtype=np.int64, count=k)
+                              dtype=np.int64, count=len(views))
+        return self._advance_centroids(handles, None, values, starved_mask)
+
+    def _advance_centroids(self, handles: np.ndarray,
+                           group: GpdRowGroup | None, values: np.ndarray,
+                           starved_mask: np.ndarray | None
+                           ) -> list[PhaseEvent | None]:
+        k = handles.size
+        index = group.index if group is not None else handles
+        telemetry_live = self.telemetry_live()
         live = np.isfinite(values)
         if starved_mask is not None:
             live &= ~starved_mask
-        self._interval[handles] += 1
-        indices = self._interval[handles]
-        before_all = self._state[handles].copy()
+        self._interval[index] += 1
+        indices = self._interval[index]
+        before_all = self._state[index].copy() if telemetry_live else None
         results: list[PhaseEvent | None] = [None] * k
 
         expectations = np.zeros(k, dtype=np.float64)
@@ -204,22 +312,53 @@ class BatchGpdBank:
         ratios = np.full(k, np.inf, dtype=np.float64)
 
         if live.any():
-            live_positions = np.flatnonzero(live)
-            live_handles = handles[live_positions]
-            live_values = values[live_positions]
-            fills = self._hist_n[live_handles]
+            if bool(live.all()) and group is not None:
+                live_positions = None
+                live_index = group.index
+                live_handles = handles
+                live_values = values
+            else:
+                live_positions = np.flatnonzero(live)
+                live_handles = handles[live_positions]
+                live_index = live_handles
+                live_values = values[live_positions]
+            fills = self._hist_n[live_index]
             banded = fills >= 2
-            # Band statistics, grouped by exact history fill count.
-            for fill in np.unique(fills[banded]):
-                sel = fills == fill
-                block = self._hist[live_handles[sel], :fill]
-                expectation, sd = batched_band_stats(block)
-                expectations[live_positions[sel]] = expectation
-                sds[live_positions[sel]] = sd
-            had_band[live_positions] = banded
+            history = self.history_length
+            steady = history >= 2 and bool(np.all(fills == history))
+            if steady:
+                # Steady state: every history full -> one dense view.
+                expectation, sd = batched_band_stats(self._hist[live_index])
+                if live_positions is None:
+                    expectations[:] = expectation
+                    sds[:] = sd
+                    had_band[:] = True
+                else:
+                    expectations[live_positions] = expectation
+                    sds[live_positions] = sd
+                    had_band[live_positions] = True
+                E, SD = expectation, sd
+            else:
+                # Band statistics, grouped by exact history fill count.
+                for fill in np.unique(fills[banded]):
+                    sel = fills == fill
+                    block = self._hist[live_handles[sel], :fill]
+                    expectation, sd = batched_band_stats(block)
+                    if live_positions is None:
+                        expectations[sel] = expectation
+                        sds[sel] = sd
+                    else:
+                        expectations[live_positions[sel]] = expectation
+                        sds[live_positions[sel]] = sd
+                if live_positions is None:
+                    had_band[:] = banded
+                    E = expectations
+                    SD = sds
+                else:
+                    had_band[live_positions] = banded
+                    E = expectations[live_positions]
+                    SD = sds[live_positions]
 
-            E = expectations[live_positions]
-            SD = sds[live_positions]
             lower = E - SD
             upper = E + SD
             delta = np.where(
@@ -229,62 +368,74 @@ class BatchGpdBank:
                 raw_ratio = delta / E
             ratio = np.where(E > 0.0, raw_ratio,
                              np.where(delta > 0.0, np.inf, 0.0))
-            ratio = np.where(banded, ratio, np.inf)
-            ratios[live_positions] = ratio
+            if not steady:
+                ratio = np.where(banded, ratio, np.inf)
+            if live_positions is None:
+                ratios[:] = ratio
+            else:
+                ratios[live_positions] = ratio
 
-            thin = SD < E / self._divisor[live_handles]
-            bucket = np.full(live_handles.size, 4, dtype=np.int64)
-            bucket[ratio <= self._th4[live_handles]] = 3
-            bucket[ratio <= self._th3[live_handles]] = 2
-            bucket[ratio <= self._th2[live_handles]] = 1
-            bucket[ratio <= self._th1[live_handles]] = 0
-            inputs = 1 + 2 * bucket + np.where(thin, 0, 1)
-            inputs[~banded] = self._input_no_band
-
-            before = self._state[live_handles]
-            after = self.machine.next_state[before, inputs]
-            changed = self.machine.phase_change[before, inputs]
-            self._state[live_handles] = after
-            self._stable_obs[live_handles] += self._stable_vec[after]
+            thin = SD < E / self._divisor[live_index]
+            machine = self.machine
+            inputs = compiled.gpd_classify(
+                ratio, thin, banded, self._th1[live_index],
+                self._th2[live_index], self._th3[live_index],
+                self._th4[live_index], self._input_no_band)
+            before = self._state[live_index]
+            if isinstance(live_index, slice):
+                before = before.copy()  # the write below must not alias it
+            after, changed = compiled.fsm_step(
+                before, inputs, machine.next_state, machine.phase_change)
+            self._state[live_index] = after
+            self._stable_obs[live_index] += self._stable_vec[after]
 
             # Push the centroid (after the band was computed, like the
             # scalar: the current interval joins the history for next time).
-            fill_room = fills < self.history_length
-            if fill_room.any():
-                grow_handles = live_handles[fill_room]
-                self._hist[grow_handles, fills[fill_room]] = \
-                    live_values[fill_room]
-                self._hist_n[grow_handles] += 1
-            full = ~fill_room
-            if full.any():
-                full_handles = live_handles[full]
-                self._hist[full_handles, :-1] = self._hist[full_handles, 1:]
-                self._hist[full_handles, -1] = live_values[full]
+            if steady:
+                # Full everywhere: shift left, append. The overlapping
+                # slice assignment is safe (NumPy buffers on overlap).
+                self._hist[live_index, :-1] = self._hist[live_index, 1:]
+                self._hist[live_index, -1] = live_values
+            else:
+                fill_room = fills < history
+                if fill_room.any():
+                    grow_handles = live_handles[fill_room]
+                    self._hist[grow_handles, fills[fill_room]] = \
+                        live_values[fill_room]
+                    self._hist_n[grow_handles] += 1
+                full = ~fill_room
+                if full.any():
+                    full_handles = live_handles[full]
+                    self._hist[full_handles, :-1] = \
+                        self._hist[full_handles, 1:]
+                    self._hist[full_handles, -1] = live_values[full]
 
-            phase_states = self.machine.phase_states
-            for j in np.flatnonzero(changed):
-                position = int(live_positions[j])
-                handle = int(live_handles[j])
-                stable_after = bool(self._stable_vec[after[j]])
-                event = PhaseEvent(
-                    interval_index=int(indices[position]),
-                    kind=(PhaseEventKind.BECAME_STABLE if stable_after
-                          else PhaseEventKind.BECAME_UNSTABLE),
-                    state_from=phase_states[int(before[j])],
-                    state_to=phase_states[int(after[j])],
-                    detail=f"drift_ratio={float(ratio[j]):.4g}")
-                results[position] = event
-                self._events[handle].append(event)
+            changed_rows = np.flatnonzero(changed)
+            if changed_rows.size:
+                phase_states = machine.phase_states
+                for j in changed_rows:
+                    position = (int(j) if live_positions is None
+                                else int(live_positions[j]))
+                    handle = int(live_handles[j])
+                    stable_after = bool(self._stable_vec[after[j]])
+                    event = PhaseEvent(
+                        interval_index=int(indices[position]),
+                        kind=(PhaseEventKind.BECAME_STABLE if stable_after
+                              else PhaseEventKind.BECAME_UNSTABLE),
+                        state_from=phase_states[int(before[j])],
+                        state_to=phase_states[int(after[j])],
+                        detail=f"drift_ratio={float(ratio[j]):.4g}")
+                    results[position] = event
+                    self._events[handle].append(event)
 
-        starved_positions = np.flatnonzero(~live)
-        if starved_positions.size:
-            starved_handles = handles[starved_positions]
+        if not bool(live.all()):
+            starved_handles = handles[~live]
             self._stable_obs[starved_handles] += \
                 self._stable_vec[self._state[starved_handles]]
 
         self._log.append(_StepRecord(
             handles=handles,
-            interval_indices=indices.copy(),
+            interval_indices=np.asarray(indices).copy(),
             centroids=np.where(live, values, np.nan),
             had_band=had_band,
             expectations=expectations,
@@ -293,7 +444,7 @@ class BatchGpdBank:
             states=self._state[handles],
             events={p: e for p, e in enumerate(results) if e is not None}))
 
-        if any(bus.enabled for bus in self._distinct_buses):
+        if telemetry_live:
             self._emit_telemetry(handles, indices, live, before_all,
                                  ratios, results)
         return results

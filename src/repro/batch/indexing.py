@@ -1,0 +1,29 @@
+"""Index coalescing: turn contiguous gathers into views.
+
+Row groups (:mod:`repro.batch.lpd`, :mod:`repro.batch.gpd`) and the
+regrouper (:mod:`repro.batch.regroup`) index bank columns and stable-set
+stores by handle arrays.  When a population's handles are contiguous and
+ascending — the common case after bulk allocation or slot compaction —
+indexing with the equivalent :class:`slice` makes every gather a view
+and every scatter a strided store, which is where the fleet fast path's
+zero-copy claim comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_slice"]
+
+
+def as_slice(values: np.ndarray) -> slice | None:
+    """The equivalent slice for contiguous ascending values, else None."""
+    if values.size == 0:
+        return slice(0, 0)
+    start = int(values[0])
+    if int(values[-1]) - start + 1 != values.size:
+        return None
+    if not np.array_equal(
+            values, np.arange(start, start + values.size, dtype=np.int64)):
+        return None
+    return slice(start, start + values.size)

@@ -14,15 +14,22 @@ groups.  Elementwise arithmetic (``+ - * /``, ``sqrt``, comparisons) is
 IEEE-754 double in both NumPy and pure Python, so replicating the scalar
 operation *sequence* per row yields bit-identical results — which the
 differential conformance suite (``tests/batch/``) asserts.
+
+The inner loops live in :mod:`repro.batch.compiled`, which selects a
+Numba-JIT implementation when available (and bit-verified at import) or
+the pure-NumPy reference otherwise; this module keeps the stable public
+surface plus the degenerate-row resolution that needs Python objects.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import compiled
 from repro.core.correlation import _degenerate_r
 
-__all__ = ["batched_pearson", "batched_centroid", "batched_band_stats"]
+__all__ = ["batched_pearson", "batched_pearson_cached", "batched_centroid",
+           "batched_band_stats"]
 
 #: np.allclose defaults, used by the scalar degenerate-case resolution.
 _ALLCLOSE_RTOL = 1.0e-5
@@ -58,9 +65,10 @@ def batched_pearson(stable: np.ndarray, current: np.ndarray) -> np.ndarray:
     Parameters
     ----------
     stable, current:
-        C-contiguous float64 arrays of shape ``(k, n)``: one stable-set
-        and one current-interval histogram per row.  All rows share the
-        same width ``n`` (callers group by width; see module docstring).
+        float64 arrays of shape ``(k, n)`` with unit inner stride: one
+        stable-set and one current-interval histogram per row.  All rows
+        share the same width ``n`` (callers group by width; see module
+        docstring).
 
     Returns
     -------
@@ -68,44 +76,51 @@ def batched_pearson(stable: np.ndarray, current: np.ndarray) -> np.ndarray:
         ``(k,)`` float64 r-values in [-1, 1], degenerate rows resolved by
         the detector's convention (both-flat -> 1.0, else 0.0).
     """
-    k, n = stable.shape
+    _, n = stable.shape
     if n < 2:
         return _degenerate_rows(stable, current)
-    # inf/nan rows produce nan variances here and route to the
-    # degenerate fallback below, so their warnings are noise
-    with np.errstate(invalid="ignore", over="ignore"):
-        sum_x = stable.sum(axis=1)
-        sum_y = current.sum(axis=1)
-        sum_xy = (stable * current).sum(axis=1)
-        sum_x2 = (stable * stable).sum(axis=1)
-        sum_y2 = (current * current).sum(axis=1)
-        var_x = sum_x2 - (sum_x * sum_x) / n
-        var_y = sum_y2 - (sum_y * sum_y) / n
-    defined = (np.isfinite(var_x) & np.isfinite(var_y)
-               & (var_x > 0.0) & (var_y > 0.0))
-    out = np.empty(k, dtype=np.float64)
-    if defined.any():
-        with np.errstate(invalid="ignore", divide="ignore"):
-            numerator = sum_xy - (sum_x * sum_y) / n
-            r = numerator / np.sqrt(var_x * var_y)
-        np.copyto(out, np.minimum(1.0, np.maximum(-1.0, r)),
-                  where=defined)
-    undefined = ~defined
-    if undefined.any():
-        out[undefined] = _degenerate_rows(stable[undefined],
-                                          current[undefined])
-    return out
+    r, defined = compiled.pearson_core(stable, current)
+    if not defined.all():
+        undefined = ~defined
+        r[undefined] = _degenerate_rows(stable[undefined],
+                                        current[undefined])
+    return r
+
+
+def batched_pearson_cached(stable: np.ndarray, current: np.ndarray,
+                           sum_x: np.ndarray, sum_x2: np.ndarray
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`batched_pearson` with the stable-side sums precomputed.
+
+    *sum_x* / *sum_x2* must be bitwise what ``stable.sum(axis=1)`` and
+    ``(stable * stable).sum(axis=1)`` would return; the LPD bank caches
+    them per stable-set slot.  Returns ``(r, sum_y, sum_y2)`` — the
+    current-side sums let the caller refresh its cache for rows whose
+    stable set is being replaced by *current* (same data, same reduction
+    tree, same bits as recomputing later).
+    """
+    _, n = stable.shape
+    if n < 2:
+        return (_degenerate_rows(stable, current), current.sum(axis=1),
+                (current * current).sum(axis=1))
+    r, defined, sum_y, sum_y2 = compiled.pearson_cached(
+        stable, current, sum_x, sum_x2)
+    if not defined.all():
+        undefined = ~defined
+        r[undefined] = _degenerate_rows(stable[undefined],
+                                        current[undefined])
+    return r, sum_y, sum_y2
 
 
 def batched_centroid(buffers: np.ndarray) -> np.ndarray:
     """Mean PC per row, bit-identical to ``centroid(row)``.
 
-    *buffers* is ``(k, B)``, any integer or float dtype; rows are
-    converted to float64 exactly (PCs are far below 2**53) before the
-    row-wise mean.
+    *buffers* is ``(k, B)``, any integer or float dtype with unit inner
+    stride (ring-buffer column slices qualify); values are accumulated
+    in float64 exactly as the scalar conversion would (PCs are far below
+    2**53), without materializing a converted copy.
     """
-    block = np.ascontiguousarray(buffers, dtype=np.float64)
-    return block.mean(axis=1)
+    return compiled.centroid_rows(np.asarray(buffers))
 
 
 def batched_band_stats(history: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -116,5 +131,4 @@ def batched_band_stats(history: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     rows by fill).  Matches ``CentroidHistory.band()``: population mean
     and standard deviation (ddof=0) over the retained values.
     """
-    block = np.ascontiguousarray(history, dtype=np.float64)
-    return block.mean(axis=1), block.std(axis=1)
+    return compiled.band_stats_rows(np.asarray(history, dtype=np.float64))

@@ -17,9 +17,18 @@ Bit-equality design (enforced by ``tests/batch/``):
 * the state machine steps through integer tables compiled from
   :func:`~repro.core.states.lpd_machine_spec`, the same table the
   ``repro-check`` model checker proves equivalent to the imperative
-  detector;
+  detector; the fused classify-and-step runs in one compiled call
+  (:mod:`repro.batch.compiled`);
 * priming, starvation (``sum < min_interval_samples``) and the no-sample
   hold replicate the scalar control flow branch for branch.
+
+The hot path is the *row group*: a :class:`LpdRowGroup` pins a
+same-width population once — contiguous bank columns and stable-set
+slots become slices, so per-interval stepping touches no Python per row
+and gathers become views.  ``observe_many`` remains the fully general
+(and slower) per-item door; sessions regroup through
+:mod:`repro.batch.regroup` so churn (resets, quarantines, ragged ends)
+re-coalesces instead of stranding rows in the item loop.
 
 Observation records are materialized lazily: the hot path appends one
 compact array record per call, and per-row ``LpdObservation`` lists are
@@ -34,7 +43,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.batch.kernels import batched_pearson
+from repro.batch import compiled
+from repro.batch.indexing import as_slice
+from repro.batch.kernels import batched_pearson_cached
 from repro.batch.tables import CompiledMachine, compile_machine
 from repro.core.histogram import RegionHistogram
 from repro.core.lpd import LpdObservation
@@ -46,36 +57,101 @@ from repro.telemetry.bus import EventBus, get_bus
 from repro.telemetry.events import (PhaseChange, StableSetFrozen,
                                     StableSetUpdated, StateTransition)
 
-__all__ = ["BatchLpdBank", "BatchLocalPhaseDetector"]
+__all__ = ["BatchLpdBank", "BatchLocalPhaseDetector", "LpdRowGroup"]
 
 #: Bank growth floor (rows); capacities double beyond it.
 _MIN_CAPACITY = 16
 
 
 class _SetStore:
-    """Stable-set rows of one histogram width, densely packed."""
+    """Stable-set rows of one histogram width, densely packed.
 
-    __slots__ = ("width", "rows", "used")
+    Rows are allocated from a freelist (single rows) or the tail (blocks,
+    which must be contiguous).  ``epoch`` increments whenever existing
+    rows are *relocated* (group compaction) so cached row groups can
+    detect that their slot slices went stale.
+
+    ``sum1``/``sum2`` cache each slot's row sum and sum of squares —
+    the stable-side reductions of the Pearson kernel, which otherwise
+    dominate the steady-state step even though stable sets change
+    rarely.  A slot's cache entry is valid only while ``fresh`` is True;
+    writers either refresh the sums bit-exactly alongside the row or
+    clear the flag and let the next step recompute lazily.
+    """
+
+    __slots__ = ("width", "rows", "used", "free", "epoch",
+                 "sum1", "sum2", "fresh")
 
     def __init__(self, width: int) -> None:
         self.width = width
         self.rows = np.zeros((_MIN_CAPACITY, width), dtype=np.float64)
         self.used = 0
+        self.free: list[int] = []
+        self.epoch = 0
+        self.sum1 = np.zeros(_MIN_CAPACITY, dtype=np.float64)
+        self.sum2 = np.zeros(_MIN_CAPACITY, dtype=np.float64)
+        self.fresh = np.zeros(_MIN_CAPACITY, dtype=bool)
+
+    def _reserve(self, capacity: int) -> None:
+        if capacity <= self.rows.shape[0]:
+            return
+        size = self.rows.shape[0]
+        while size < capacity:
+            size *= 2
+        grown = np.zeros((size, self.width), dtype=np.float64)
+        grown[:self.used] = self.rows[:self.used]
+        self.rows = grown
+        for name in ("sum1", "sum2", "fresh"):
+            old = getattr(self, name)
+            big = np.zeros(size, dtype=old.dtype)
+            big[:self.used] = old[:self.used]
+            setattr(self, name, big)
 
     def alloc(self) -> int:
-        if self.used == self.rows.shape[0]:
-            grown = np.zeros((self.rows.shape[0] * 2, self.width),
-                             dtype=np.float64)
-            grown[:self.used] = self.rows
-            self.rows = grown
-        slot = self.used
-        self.used += 1
+        if self.free:
+            slot = self.free.pop()
+        else:
+            self._reserve(self.used + 1)
+            slot = self.used
+            self.used += 1
+        self.fresh[slot] = False
         return slot
+
+    def alloc_block(self, count: int) -> int:
+        """Allocate *count* contiguous slots; returns the first index.
+
+        Prefers a contiguous run from the freelist — repeated group
+        compactions under churn (quarantine/release cycles) then recycle
+        the slots they released instead of growing the store tail
+        without bound.
+        """
+        if count and len(self.free) >= count:
+            self.free.sort()
+            run = 1
+            for i in range(1, len(self.free)):
+                if self.free[i] == self.free[i - 1] + 1:
+                    run += 1
+                    if run == count:
+                        start = self.free[i - count + 1]
+                        del self.free[i - count + 1:i + 1]
+                        self.fresh[start:start + count] = False
+                        return start
+                else:
+                    run = 1
+        self._reserve(self.used + count)
+        start = self.used
+        self.used += count
+        self.fresh[start:start + count] = False
+        return start
+
+    def release(self, slots: np.ndarray) -> None:
+        """Return slots to the freelist (contents need not be cleared)."""
+        self.free.extend(int(slot) for slot in slots)
 
 
 @dataclass
 class _StepRecord:
-    """Compact log of one ``observe_many`` call (lazy observations)."""
+    """Compact log of one bank step (lazy observations)."""
 
     handles: np.ndarray
     interval_indices: np.ndarray
@@ -83,6 +159,38 @@ class _StepRecord:
     r_values: np.ndarray
     states: np.ndarray
     events: dict[int, PhaseEvent] = field(default_factory=dict)
+
+
+class LpdRowGroup:
+    """A pinned same-width population, stepped with zero per-row Python.
+
+    Built by :meth:`BatchLpdBank.make_group`; when the member rows'
+    handles (bank columns) and stable-set slots are contiguous — always
+    true for :meth:`BatchLpdBank.add_detectors` populations, restored
+    for churned ones by slot compaction — indexing degenerates to
+    slices and every gather in the step becomes a view.
+    """
+
+    __slots__ = ("width", "k", "handles", "index", "slots", "slot_index",
+                 "store", "epoch")
+
+    def __init__(self, width: int, handles: np.ndarray,
+                 index, slots: np.ndarray, slot_index,
+                 store: _SetStore) -> None:
+        self.width = width
+        self.k = handles.size
+        self.handles = handles
+        self.index = index          # slice | int64 array (bank columns)
+        self.slots = slots
+        self.slot_index = slot_index  # slice | int64 array (store rows)
+        self.store = store
+        self.epoch = store.epoch
+
+    @property
+    def coalesced(self) -> bool:
+        """Whether both bank columns and stable-set slots are slices."""
+        return (isinstance(self.index, slice)
+                and isinstance(self.slot_index, slice))
 
 
 class BatchLpdBank:
@@ -127,42 +235,29 @@ class BatchLpdBank:
 
     # -- row allocation ------------------------------------------------------
 
-    def _grow(self) -> None:
-        capacity = self._state.size * 2
+    def _reserve(self, capacity: int) -> None:
+        if capacity <= self._state.size:
+            return
+        size = self._state.size
+        while size < capacity:
+            size *= 2
         for name in ("_state", "_last_r", "_active", "_stable_ivals",
                      "_threshold", "_min_samples", "_width", "_has_set",
                      "_set_slot"):
             old = getattr(self, name)
-            grown = np.zeros(capacity, dtype=old.dtype)
+            grown = np.zeros(size, dtype=old.dtype)
             grown[:self._n] = old[:self._n]
             setattr(self, name, grown)
 
-    def add_detector(self,
-                     n_instructions: int,
-                     thresholds: LpdThresholds | None = None,
-                     measure: SimilarityMeasure | None = None,
-                     telemetry: EventBus | None = None,
-                     region_id: int = -1) -> "BatchLocalPhaseDetector":
-        """Allocate one detector row; returns its scalar-compatible view."""
-        if n_instructions < 1:
-            raise ValueError("a region must contain at least one instruction")
-        thresholds = thresholds or LpdThresholds()
-        bus = telemetry if telemetry is not None else get_bus()
-        if self._n == self._state.size:
-            self._grow()
-        handle = self._n
-        self._n += 1
-        self._state[handle] = self.machine.initial
-        self._last_r[handle] = 0.0
-        self._threshold[handle] = thresholds.threshold_for_size(n_instructions)
-        self._min_samples[handle] = thresholds.min_interval_samples
-        self._width[handle] = n_instructions
-        self._width_py.append(n_instructions)
-        self._has_set[handle] = False
-        store = self._sets.get(n_instructions)
+    def _store_for(self, width: int) -> _SetStore:
+        store = self._sets.get(width)
         if store is None:
-            store = self._sets[n_instructions] = _SetStore(n_instructions)
-        self._set_slot[handle] = store.alloc()
+            store = self._sets[width] = _SetStore(width)
+        return store
+
+    def _register_row(self, thresholds: LpdThresholds, bus: EventBus,
+                      measure: SimilarityMeasure | None,
+                      region_id: int) -> None:
         self._rids.append(region_id)
         self._buses.append(bus)
         if not any(bus is seen for seen in self._distinct_buses):
@@ -176,13 +271,140 @@ class BatchLpdBank:
             self._has_custom = True
         self._events.append([])
         self._observations.append([])
+
+    def add_detector(self,
+                     n_instructions: int,
+                     thresholds: LpdThresholds | None = None,
+                     measure: SimilarityMeasure | None = None,
+                     telemetry: EventBus | None = None,
+                     region_id: int = -1) -> "BatchLocalPhaseDetector":
+        """Allocate one detector row; returns its scalar-compatible view."""
+        if n_instructions < 1:
+            raise ValueError("a region must contain at least one instruction")
+        thresholds = thresholds or LpdThresholds()
+        bus = telemetry if telemetry is not None else get_bus()
+        self._reserve(self._n + 1)
+        handle = self._n
+        self._n += 1
+        self._state[handle] = self.machine.initial
+        self._last_r[handle] = 0.0
+        self._threshold[handle] = thresholds.threshold_for_size(n_instructions)
+        self._min_samples[handle] = thresholds.min_interval_samples
+        self._width[handle] = n_instructions
+        self._width_py.append(n_instructions)
+        self._has_set[handle] = False
+        self._set_slot[handle] = self._store_for(n_instructions).alloc()
+        self._register_row(thresholds, bus, measure, region_id)
         return BatchLocalPhaseDetector(self, handle)
+
+    def add_detectors(self,
+                      n_instructions: int,
+                      count: int,
+                      thresholds: LpdThresholds | None = None,
+                      telemetry: EventBus | None = None,
+                      region_ids: list[int] | None = None
+                      ) -> list["BatchLocalPhaseDetector"]:
+        """Allocate *count* same-width rows with contiguous handles/slots.
+
+        The fleet allocator: populations built this way group into pure
+        slices (:meth:`make_group` finds them already coalesced).  All
+        rows share *thresholds* and *telemetry*; *region_ids* defaults
+        to ``-1`` per row.
+        """
+        if n_instructions < 1:
+            raise ValueError("a region must contain at least one instruction")
+        if count < 0:
+            raise ValueError(f"cannot allocate {count} detector rows")
+        thresholds = thresholds or LpdThresholds()
+        bus = telemetry if telemetry is not None else get_bus()
+        self._reserve(self._n + count)
+        start = self._n
+        stop = start + count
+        self._n = stop
+        sel = slice(start, stop)
+        self._state[sel] = self.machine.initial
+        self._last_r[sel] = 0.0
+        self._threshold[sel] = thresholds.threshold_for_size(n_instructions)
+        self._min_samples[sel] = thresholds.min_interval_samples
+        self._width[sel] = n_instructions
+        self._width_py.extend([n_instructions] * count)
+        self._has_set[sel] = False
+        store = self._store_for(n_instructions)
+        first_slot = store.alloc_block(count)
+        self._set_slot[sel] = np.arange(first_slot, first_slot + count,
+                                        dtype=np.int64)
+        rids = region_ids if region_ids is not None else [-1] * count
+        self._rids.extend(rids)
+        self._buses.extend([bus] * count)
+        if not any(bus is seen for seen in self._distinct_buses):
+            self._distinct_buses.append(bus)
+        self._thresholds.extend([thresholds] * count)
+        self._measures.extend([self._shared_pearson] * count)
+        self._custom_measure.extend([False] * count)
+        self._events.extend([] for _ in range(count))
+        self._observations.extend([] for _ in range(count))
+        return [BatchLocalPhaseDetector(self, handle)
+                for handle in range(start, stop)]
 
     def reset_row(self, handle: int) -> None:
         """Scalar ``reset()``: back to UNSTABLE, stable set dropped."""
         self._state[handle] = self.machine.initial
         self._has_set[handle] = False
         self._last_r[handle] = 0.0
+
+    # -- row groups ----------------------------------------------------------
+
+    def make_group(self, views: list, compact: bool = True) -> LpdRowGroup:
+        """Pin *views* (all one width) into a reusable row group.
+
+        With *compact* (the default), stable-set slots that are not
+        already contiguous are relocated into one fresh contiguous block
+        — O(group) once, after which every step gathers by slice.
+        Compaction bumps the store epoch, invalidating any *other*
+        group over relocated rows (stepping a stale group raises), so
+        callers that cache groups must rebuild them after building a
+        newer compacted group over the same width; see
+        :mod:`repro.batch.regroup`.
+        """
+        k = len(views)
+        handles = np.fromiter((view._handle for view in views),
+                              dtype=np.int64, count=k)
+        if k == 0:
+            return LpdRowGroup(0, handles, slice(0, 0), handles,
+                               slice(0, 0), _SetStore(1))
+        widths = self._width[handles]
+        width = int(widths[0])
+        if not np.all(widths == width):
+            other = int(widths[widths != width][0])
+            raise ValueError(
+                f"row group mixes widths {width} and {other}; group rows "
+                f"by exact histogram width")
+        store = self._sets[width]
+        slots = self._set_slot[handles].copy()
+        index = as_slice(handles)
+        slot_index = as_slice(slots)
+        if slot_index is None and compact:
+            first = store.alloc_block(k)
+            dest = np.arange(first, first + k, dtype=np.int64)
+            store.rows[dest] = store.rows[slots]
+            # relocation preserves bits, so the sum cache moves with it
+            store.sum1[dest] = store.sum1[slots]
+            store.sum2[dest] = store.sum2[slots]
+            store.fresh[dest] = store.fresh[slots]
+            store.release(slots)
+            self._set_slot[handles] = dest
+            store.epoch += 1
+            slots = dest
+            slot_index = slice(first, first + k)
+        return LpdRowGroup(width, handles,
+                           index if index is not None else handles,
+                           slots,
+                           slot_index if slot_index is not None else slots,
+                           store)
+
+    def telemetry_live(self) -> bool:
+        """Whether any bus attached to this bank is currently enabled."""
+        return any(bus.enabled for bus in self._distinct_buses)
 
     # -- the vectorized step -------------------------------------------------
 
@@ -204,9 +426,10 @@ class BatchLpdBank:
         # consumed by the ordered telemetry replay below.
         primed: list[int] = []
         stepped: dict[int, tuple[int, bool, bool]] = {}
-        # width -> ([item position], [float64 counts row], [from ndarray])
-        groups: dict[int,
-                     tuple[list[int], list[np.ndarray], list[bool]]] = {}
+        event_positions: list[int] = []
+        telemetry_live = self.telemetry_live()
+        # width -> ([item position], [float64 counts row])
+        groups: dict[int, tuple[list[int], list[np.ndarray]]] = {}
         width_py = self._width_py
 
         for position, (view, histogram, interval_index) in enumerate(items):
@@ -230,41 +453,38 @@ class BatchLpdBank:
                 raise ValueError(
                     f"histogram has {counts.size} slots, detector expects "
                     f"{width}")
-            position_list, rows, source_flags = groups.setdefault(
-                width, ([], [], []))
+            position_list, rows = groups.setdefault(width, ([], []))
             position_list.append(position)
             rows.append(counts)
-            # Only ndarray-sourced rows get the zero-sum hold (a
-            # RegionHistogram resolves emptiness via is_empty()).
-            source_flags.append(not from_hist)
 
         handles = np.array(handle_list, dtype=np.int64)
         indices = np.array(index_list, dtype=np.int64)
 
-        for width, (position_list, rows, source_flags) in groups.items():
+        for width, (position_list, rows) in groups.items():
             counts_block = np.stack(rows)
             positions = np.asarray(position_list, dtype=np.int64)
-            from_ndarray = np.asarray(source_flags, dtype=bool)
-            self._step_group(width, counts_block, positions,
-                             handles[positions], from_ndarray, indices,
-                             active_mask, primed, stepped, results)
+            group_handles = handles[positions]
+            group = LpdRowGroup(width, group_handles, group_handles,
+                                self._set_slot[group_handles],
+                                self._set_slot[group_handles],
+                                self._sets[width])
+            self._advance_group(group, counts_block, indices, positions,
+                                active_mask, primed, stepped, results,
+                                event_positions, telemetry_live)
 
         self._finish_step(handles, indices, active_mask, primed, stepped,
-                          results)
+                          results, event_positions, telemetry_live)
         return results
 
     def observe_rows(self, views: list, counts_block: np.ndarray,
                      interval_index: int) -> list[PhaseEvent | None]:
         """Advance a fixed same-width population from one dense block.
 
-        The fleet fast path: *views* is a population of rows sharing one
-        histogram width and *counts_block* a ``(len(views), width)``
-        matrix holding each row's interval histogram.  Equivalent to
-        ``observe_many([(view, row, interval_index), ...])`` — same
-        kernels, same zero-sum/starvation holds, bit-identical state —
-        minus the per-item Python, which dominates at fleet scale.  Rows
-        with mixed widths or ``RegionHistogram`` inputs must go through
-        :meth:`observe_many`.
+        Equivalent to ``observe_many([(view, row, interval_index), ...])``
+        — same kernels, same starvation holds, bit-identical state —
+        minus the per-item Python.  For a population stepped every
+        interval, build the group once with :meth:`make_group` and call
+        :meth:`observe_grouped` instead; this door rebuilds it per call.
         """
         k = len(views)
         counts_block = np.ascontiguousarray(counts_block, dtype=np.float64)
@@ -272,118 +492,242 @@ class BatchLpdBank:
             raise ValueError(
                 f"counts block has {counts_block.shape[0]} rows for "
                 f"{k} views")
-        handles = np.fromiter((view._handle for view in views),
-                              dtype=np.int64, count=k)
-        width = counts_block.shape[1] if k else 0
-        if k:
-            widths = self._width[handles]
-            if not np.all(widths == width):
-                expected = int(widths[widths != width][0])
-                raise ValueError(
-                    f"histogram has {width} slots, detector expects "
-                    f"{expected}")
-        indices = np.full(k, interval_index, dtype=np.int64)
+        if k == 0:
+            self._finish_step(np.zeros(0, dtype=np.int64),
+                              np.zeros(0, dtype=np.int64),
+                              np.zeros(0, dtype=bool), [], {}, [], [],
+                              self.telemetry_live())
+            return []
+        width = counts_block.shape[1]
+        widths = self._width[
+            np.fromiter((view._handle for view in views),
+                        dtype=np.int64, count=k)]
+        if not np.all(widths == width):
+            expected = int(widths[widths != width][0])
+            raise ValueError(
+                f"histogram has {width} slots, detector expects "
+                f"{expected}")
+        group = self.make_group(views, compact=False)
+        return self.observe_grouped(group, counts_block, interval_index)
+
+    def observe_grouped(self, group: LpdRowGroup, counts_block: np.ndarray,
+                        interval_index: int) -> list[PhaseEvent | None]:
+        """Advance a pinned row group by one interval from a dense block.
+
+        The fleet fast path: *counts_block* is ``(group.k, group.width)``
+        float64 (unit inner stride; ring-buffer views qualify), row i
+        feeding group row i.  Starved and all-zero rows hold exactly as
+        in ``observe_many``.
+        """
+        k = group.k
+        if counts_block.shape != (k, group.width):
+            raise ValueError(
+                f"counts block shape {counts_block.shape} does not match "
+                f"group ({k}, {group.width})")
         results: list[PhaseEvent | None] = [None] * k
         active_mask = np.zeros(k, dtype=bool)
         primed: list[int] = []
         stepped: dict[int, tuple[int, bool, bool]] = {}
-        if k:
-            self._step_group(width, counts_block,
-                             np.arange(k, dtype=np.int64), handles,
-                             np.ones(k, dtype=bool), indices, active_mask,
-                             primed, stepped, results)
-        self._finish_step(handles, indices, active_mask, primed, stepped,
-                          results)
+        event_positions: list[int] = []
+        telemetry_live = self.telemetry_live()
+        indices = np.full(k, interval_index, dtype=np.int64)
+        self._advance_group(group, counts_block, indices, None, active_mask,
+                            primed, stepped, results, event_positions,
+                            telemetry_live)
+        self._finish_step(group.handles, indices, active_mask, primed,
+                          stepped, results, event_positions, telemetry_live,
+                          index=group.index)
         return results
 
-    def _step_group(self, width: int, counts_block: np.ndarray,
-                    positions: np.ndarray, group_handles: np.ndarray,
-                    from_ndarray: np.ndarray, indices: np.ndarray,
-                    active_mask: np.ndarray, primed: list,
-                    stepped: dict, results: list) -> None:
-        """Step one same-width group; mutates the per-call accumulators."""
-        sums = counts_block.sum(axis=1)
-        zero_hold = from_ndarray & (sums == 0)
-        starved = sums < self._min_samples[group_handles]
-        live = ~(zero_hold | starved)
+    # -- the group step core -------------------------------------------------
+
+    def _advance_group(self, group: LpdRowGroup, block: np.ndarray,
+                       call_indices: np.ndarray, positions: np.ndarray | None,
+                       active_mask: np.ndarray, primed: list, stepped: dict,
+                       results: list, event_positions: list,
+                       telemetry_live: bool) -> None:
+        """Step one same-width group; mutates the per-call accumulators.
+
+        *positions* maps group rows to item positions in the enclosing
+        call (``None`` means identity: group row i is item i).  The hot
+        shape — every row live and primed, no telemetry — runs without
+        any per-row Python.
+        """
+        k = group.k
+        if k == 0:
+            return
+        if group.epoch != group.store.epoch:
+            raise RuntimeError(
+                "stale row group: stable-set slots were relocated by a "
+                "newer compaction; rebuild the group with make_group()")
+        block = np.asarray(block, dtype=np.float64)
+        sums = block.sum(axis=1)
+        # min_interval_samples >= 1 (validated by LpdThresholds), so the
+        # scalar's all-zero hold is subsumed by the starvation hold.
+        live = sums >= self._min_samples[group.index]
         if not live.any():
             return
-        live_positions = positions[live]
-        live_handles = group_handles[live]
-        live_counts = counts_block[live]
-        active_mask[live_positions] = True
-        self._active[live_handles] += 1
+        if bool(live.all()):
+            row_index = group.index
+            slot_index = group.slot_index
+            live_block = block
+            live_positions = positions
+        else:
+            live_rows = np.flatnonzero(live)
+            row_index = group.handles[live_rows]
+            slot_index = group.slots[live_rows]
+            live_block = block[live_rows]
+            live_positions = (live_rows if positions is None
+                              else positions[live_rows])
+        if live_positions is None:
+            active_mask[:k] = live
+        else:
+            active_mask[live_positions] = True
+        self._active[row_index] += 1
 
-        store = self._sets[width]
-        slots = self._set_slot[live_handles]
-        prime_sel = ~self._has_set[live_handles]
-        if prime_sel.any():
-            store.rows[slots[prime_sel]] = live_counts[prime_sel]
-            self._has_set[live_handles[prime_sel]] = True
-            primed.extend(int(p) for p in live_positions[prime_sel])
-
-        step_sel = ~prime_sel
-        if not step_sel.any():
+        prime_sel = ~self._has_set[row_index]
+        if not prime_sel.any():
+            self._advance_rows(row_index, slot_index, group.store,
+                               live_block, live_positions, call_indices,
+                               stepped, results, event_positions,
+                               telemetry_live)
             return
-        step_positions = live_positions[step_sel]
-        step_handles = live_handles[step_sel]
-        step_counts = live_counts[step_sel]
-        stable_rows = store.rows[slots[step_sel]]
-        r = batched_pearson(stable_rows, step_counts)
+
+        # Cold path: some rows prime (first interval after alloc/reset).
+        row_arr = (group.handles if isinstance(row_index, slice)
+                   else row_index)
+        slot_arr = (group.slots if isinstance(slot_index, slice)
+                    else slot_index)
+        pos_arr = (np.arange(live_block.shape[0], dtype=np.int64)
+                   if live_positions is None else live_positions)
+        prime_rows = row_arr[prime_sel]
+        prime_slots = slot_arr[prime_sel]
+        group.store.rows[prime_slots] = live_block[prime_sel]
+        group.store.fresh[prime_slots] = False
+        self._has_set[prime_rows] = True
+        self._stable_ivals[prime_rows] += \
+            self._stable_vec[self._state[prime_rows]]
+        primed.extend(int(p) for p in pos_arr[prime_sel])
+        step_sel = ~prime_sel
+        if step_sel.any():
+            self._advance_rows(row_arr[step_sel], slot_arr[step_sel],
+                               group.store, live_block[step_sel],
+                               pos_arr[step_sel], call_indices, stepped,
+                               results, event_positions, telemetry_live)
+
+    def _advance_rows(self, row_index, slot_index, store, counts,
+                      live_positions, call_indices, stepped: dict,
+                      results: list, event_positions: list,
+                      telemetry_live: bool) -> None:
+        """Pearson + fused FSM step for rows that all hold a stable set.
+
+        *row_index* / *slot_index* are slices (views all the way down)
+        or int64 arrays; *counts* is the matching ``(m, width)`` block.
+        """
+        stable_rows = store.rows[slot_index]
+        stale = ~store.fresh[slot_index]
+        if stale.any():
+            # Lazy refresh: slots written without sums (priming, alloc).
+            # A gathered copy keeps the width and unit inner stride, so
+            # these reductions are bit-identical to the original rows'.
+            if isinstance(slot_index, slice):
+                stale_slots = np.flatnonzero(stale) + slot_index.start
+            else:
+                stale_slots = slot_index[stale]
+            stale_rows = store.rows[stale_slots]
+            store.sum1[stale_slots] = stale_rows.sum(axis=1)
+            store.sum2[stale_slots] = (stale_rows * stale_rows).sum(axis=1)
+            store.fresh[stale_slots] = True
+        r, sum_y, sum_y2 = batched_pearson_cached(
+            stable_rows, counts, store.sum1[slot_index],
+            store.sum2[slot_index])
         if self._has_custom:
-            for j in np.flatnonzero(
-                    [self._custom_measure[h] for h in step_handles]):
-                measure = self._measures[step_handles[j]]
-                r[j] = float(measure(stable_rows[j], step_counts[j]))
-        self._last_r[step_handles] = r
-
-        similar = r >= self._threshold[step_handles]
-        inputs = np.where(similar, self._input_similar,
-                          self._input_dissimilar)
-        before = self._state[step_handles]
-        after = self.machine.next_state[before, inputs]
-        changed = self.machine.phase_change[before, inputs]
-        updated = self.machine.updates_stable_set[before, inputs]
-        frozen = changed & self._stable_vec[after]
+            handle_iter = (range(row_index.start, row_index.stop)
+                           if isinstance(row_index, slice) else row_index)
+            for j, handle in enumerate(handle_iter):
+                if self._custom_measure[handle]:
+                    measure = self._measures[handle]
+                    r[j] = float(measure(stable_rows[j], counts[j]))
+        self._last_r[row_index] = r
+        machine = self.machine
+        before = self._state[row_index]
+        if isinstance(row_index, slice):
+            before = before.copy()  # the write below must not alias it
+        after, changed, updated, frozen = compiled.lpd_step(
+            before, r, self._threshold[row_index], self._input_similar,
+            self._input_dissimilar, machine.next_state,
+            machine.phase_change, machine.updates_stable_set,
+            self._stable_vec)
         if updated.any():
-            store.rows[slots[step_sel][updated]] = step_counts[updated]
-        self._state[step_handles] = after
+            # The replacement row *is* the current interval, whose sums
+            # the kernel just reduced — refresh the cache from those
+            # instead of invalidating (same data, same tree, same bits).
+            if isinstance(slot_index, slice):
+                store.rows[slot_index][updated] = counts[updated]
+                store.sum1[slot_index][updated] = sum_y[updated]
+                store.sum2[slot_index][updated] = sum_y2[updated]
+                store.fresh[slot_index][updated] = True
+            else:
+                replaced = slot_index[updated]
+                store.rows[replaced] = counts[updated]
+                store.sum1[replaced] = sum_y[updated]
+                store.sum2[replaced] = sum_y2[updated]
+                store.fresh[replaced] = True
+        self._state[row_index] = after
+        self._stable_ivals[row_index] += self._stable_vec[after]
 
-        phase_states = self.machine.phase_states
-        for j in range(step_positions.size):
-            position = int(step_positions[j])
-            stepped[position] = (int(before[j]), bool(updated[j]),
-                                 bool(frozen[j]))
-            if changed[j]:
+        changed_rows = np.flatnonzero(changed)
+        if changed_rows.size:
+            phase_states = machine.phase_states
+            for j in changed_rows:
+                position = (int(j) if live_positions is None
+                            else int(live_positions[j]))
+                handle = (row_index.start + int(j)
+                          if isinstance(row_index, slice)
+                          else int(row_index[j]))
                 stable_after = bool(self._stable_vec[after[j]])
                 event = PhaseEvent(
-                    interval_index=int(indices[position]),
+                    interval_index=int(call_indices[position]),
                     kind=(PhaseEventKind.BECAME_STABLE if stable_after
                           else PhaseEventKind.BECAME_UNSTABLE),
                     state_from=phase_states[int(before[j])],
                     state_to=phase_states[int(after[j])],
                     detail=f"r={float(r[j]):.4f}")
                 results[position] = event
-                self._events[int(step_handles[j])].append(event)
+                event_positions.append(position)
+                self._events[handle].append(event)
+        if telemetry_live:
+            for j in range(counts.shape[0]):
+                position = (int(j) if live_positions is None
+                            else int(live_positions[j]))
+                stepped[position] = (int(before[j]), bool(updated[j]),
+                                     bool(frozen[j]))
 
     def _finish_step(self, handles: np.ndarray, indices: np.ndarray,
                      active_mask: np.ndarray, primed: list, stepped: dict,
-                     results: list) -> None:
-        """Close one bank step: stable-time accounting, log, telemetry."""
-        if active_mask.any():
-            active_handles = handles[active_mask]
-            self._stable_ivals[active_handles] += \
-                self._stable_vec[self._state[active_handles]]
+                     results: list, event_positions: list,
+                     telemetry_live: bool, index=None) -> None:
+        """Close one bank step: log record, then ordered telemetry.
 
+        *index* is an optional slice equivalent to *handles* (from a
+        coalesced group) — the record snapshots then copy through strided
+        loads instead of gathers.
+        """
+        if isinstance(index, slice):
+            r_values = self._last_r[index].copy()
+            states = self._state[index].copy()
+        else:
+            r_values = self._last_r[handles]
+            states = self._state[handles]
         self._log.append(_StepRecord(
             handles=handles,
             interval_indices=indices,
             had_samples=active_mask,
-            r_values=self._last_r[handles],
-            states=self._state[handles],
-            events={p: e for p, e in enumerate(results) if e is not None}))
-
-        if any(bus.enabled for bus in self._distinct_buses):
+            r_values=r_values,
+            states=states,
+            events={position: results[position]
+                    for position in event_positions}))
+        if telemetry_live:
             self._emit_telemetry(handles, indices, primed, stepped, results)
 
     # -- telemetry replay (cold path) ----------------------------------------

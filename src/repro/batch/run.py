@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.batch.gpd import BatchGlobalPhaseDetector, BatchGpdBank
 from repro.batch.lpd import BatchLpdBank
+from repro.batch.regroup import FleetRegrouper
 from repro.core.thresholds import GpdThresholds, MonitorThresholds
 from repro.costs import CostLedger
 from repro.monitor.region_monitor import IntervalReport, RegionMonitor
@@ -40,9 +41,13 @@ def run_gpd_batch(streams: list[SampleStream], buffer_size: int,
     thresholds = thresholds or GpdThresholds()
     bank = BatchGpdBank(dwell_intervals=thresholds.dwell_intervals,
                         history_length=thresholds.history_length)
-    buses = telemetry or [None] * len(streams)
-    views = [bank.add_detector(thresholds, telemetry=bus)
-             for bus in buses]
+    if telemetry is None:
+        # Bulk-allocated rows share the default bus and get contiguous
+        # handles, so downstream groups coalesce to slices.
+        views = bank.add_detectors(len(streams), thresholds)
+    else:
+        views = [bank.add_detector(thresholds, telemetry=bus)
+                 for bus in telemetry]
     centroid_tracks = [stream.centroids(buffer_size) for stream in streams]
     horizon = max((track.size for track in centroid_tracks), default=0)
     for step in range(horizon):
@@ -84,20 +89,22 @@ def process_stream_batch(pairs: list[tuple[RegionMonitor, SampleStream]],
     :func:`batch_monitor`).  Each interval round splits the scalar
     pipeline: all monitors attribute and account
     (:meth:`~repro.monitor.region_monitor.RegionMonitor.begin_interval`),
-    then one :meth:`~repro.batch.lpd.BatchLpdBank.observe_many` steps
-    every region of every monitor, then all monitors close their
-    interval.  Per-monitor results and telemetry are bit-identical to
-    ``monitor.process_stream(stream)`` — give each monitor its own bus
-    if cross-monitor event interleaving matters.
+    then a :class:`~repro.batch.regroup.FleetRegrouper` steps every
+    region of every monitor through its cached width-grouped plan, then
+    all monitors close their interval.  Per-monitor results and
+    telemetry are bit-identical to ``monitor.process_stream(stream)`` —
+    give each monitor its own bus if cross-monitor event interleaving
+    matters.
     """
     buffer_sizes = [monitor.thresholds.buffer_size for monitor, _ in pairs]
     totals = [stream.n_intervals(size)
               for (_, stream), size in zip(pairs, buffer_sizes)]
     reports: list[list[IntervalReport]] = [[] for _ in pairs]
+    regrouper = FleetRegrouper(bank)
     horizon = max(totals, default=0)
     for step in range(horizon):
-        round_rows = []  # (pair position, pending)
-        items = []       # bank observe items, all monitors concatenated
+        round_rows = []      # (pair position, pending)
+        participants = []    # regrouper round, all monitors concatenated
         for position, (monitor, stream) in enumerate(pairs):
             if step >= totals[position]:
                 continue
@@ -107,9 +114,8 @@ def process_stream_batch(pairs: list[tuple[RegionMonitor, SampleStream]],
             pending = monitor.begin_interval(stream.pcs[window], step,
                                              miss_flags=miss)
             round_rows.append((position, pending))
-            for rid, counts in pending.to_observe:
-                items.append((monitor._detectors[rid], counts, step))
-        outcomes = bank.observe_many(items)
+            participants.append((monitor, pending))
+        outcomes = regrouper.observe_round(participants)
         cursor = 0
         for position, pending in round_rows:
             monitor = pairs[position][0]

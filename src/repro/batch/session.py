@@ -23,8 +23,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.batch.gpd import BatchGlobalPhaseDetector, BatchGpdBank
+from repro.batch.gpd import BatchGlobalPhaseDetector, BatchGpdBank, GpdRowGroup
 from repro.batch.lpd import BatchLpdBank
+from repro.batch.regroup import FleetRegrouper
+from repro.batch.rings import ShardRing
 from repro.core.states import PhaseEvent
 from repro.core.thresholds import GpdThresholds, MonitorThresholds
 from repro.errors import SamplingError
@@ -78,8 +80,6 @@ class BatchLane:
         self.watchdog_events: list[WatchdogEvent] = []
         self._global_callbacks: list[GlobalChangeCallback] = []
         self._local_callbacks: list[LocalChangeCallback] = []
-        self._queued: list[np.ndarray] = []
-        self._queued_fill = 0
         self._interval_index = -1
 
     # -- subscriptions -------------------------------------------------------
@@ -97,14 +97,16 @@ class BatchLane:
     @property
     def pending_samples(self) -> int:
         """Samples queued since the last completed interval."""
-        return self._queued_fill
+        return self.session._ring.fill(self.index)
 
     def feed_many(self, pcs: np.ndarray) -> int:
         """Queue a batch of samples; returns full intervals now pending.
 
         Validation matches ``OnlineSession.feed_many`` exactly — a
         non-1-D, empty or non-integer batch raises
-        :class:`~repro.errors.SamplingError`.
+        :class:`~repro.errors.SamplingError`.  Samples land in the
+        session's preallocated :class:`~repro.batch.rings.ShardRing`, so
+        interval completion later hands the banks direct views.
         """
         pcs = np.asarray(pcs)
         if pcs.ndim != 1:
@@ -116,15 +118,12 @@ class BatchLane:
         if not np.issubdtype(pcs.dtype, np.integer):
             raise SamplingError(
                 f"feed_many expects integer PCs, got dtype {pcs.dtype}")
-        pcs = pcs.astype(np.int64, copy=False)
         self.stats.samples += int(pcs.size)
         bus = self.telemetry
         if bus.enabled:
             bus.emit(SampleBatch(cumulative_samples=self.stats.samples,
                                  batch_size=int(pcs.size)))
-        self._queued.append(pcs)
-        self._queued_fill += int(pcs.size)
-        return self._queued_fill // self.session.buffer_size
+        return self.session._ring.push(self.index, pcs)
 
     def feed_stream(self, stream: SampleStream) -> int:
         """Queue a whole simulated stream."""
@@ -137,16 +136,8 @@ class BatchLane:
         return self.feed_many(stream.pcs)
 
     def _take_interval(self) -> np.ndarray:
-        """Dequeue exactly one buffer's worth of samples."""
-        size = self.session.buffer_size
-        if len(self._queued) > 1 or self._queued[0].size != size:
-            merged = np.concatenate(self._queued)
-            self._queued = [merged[size:]] if merged.size > size else []
-            buffer = merged[:size]
-        else:
-            buffer = self._queued.pop(0)
-        self._queued_fill -= size
-        return buffer
+        """Dequeue one buffer's worth of samples (a ring view)."""
+        return self.session._ring.take_interval(self.index)
 
     def summary(self) -> dict:
         """Status dictionary, shaped like ``OnlineSession.summary()``."""
@@ -203,6 +194,10 @@ class BatchSession:
                 dwell_intervals=self.gpd_thresholds.dwell_intervals,
                 history_length=self.gpd_thresholds.history_length)
         self.lanes: list[BatchLane] = []
+        self._ring = ShardRing(0, self.buffer_size)
+        self._regrouper = FleetRegrouper(self.lpd_bank)
+        self._gpd_group: GpdRowGroup | None = None
+        self._gpd_group_key: bytes | None = None
 
     # -- lane management -----------------------------------------------------
 
@@ -237,6 +232,7 @@ class BatchSession:
                                           telemetry=bus)
         lane = BatchLane(self, index, name, bus, gpd, monitor, watchdog)
         self.lanes.append(lane)
+        self._ring.add_lane()
         if stream is not None:
             if plan is not None and not plan.is_empty:
                 stream = inject(stream, plan, seed=seed)
@@ -279,34 +275,47 @@ class BatchSession:
 
     # -- the lockstep overflow path -------------------------------------------
 
+    def _gpd_group_for(self, ready_indices: np.ndarray) -> GpdRowGroup:
+        """The pinned GPD row group for this round's ready lanes, cached.
+
+        Every lane has one GPD row allocated in lane order, so the group
+        over a contiguous ready set coalesces to a slice; the group is
+        rebuilt only when the ready set changes (ragged fleets).
+        """
+        key = ready_indices.tobytes()
+        if self._gpd_group_key != key:
+            self._gpd_group = self.gpd_bank.make_group(
+                [self.lanes[int(i)].gpd for i in ready_indices])
+            self._gpd_group_key = key
+        return self._gpd_group
+
     def process_ready(self) -> int:
         """Drain queued samples, one interval round at a time.
 
-        Each round takes one full buffer from every lane that has one
-        and replays the scalar overflow path with the per-detector work
-        batched: all GPD rows step in one call, then all monitors
-        attribute, then every region of every lane steps in one call.
-        Returns the total number of intervals processed.
+        Each round pops one full buffer per ready lane straight out of
+        the shard ring — for a lockstep fleet that is a single 2-D view,
+        no copies — and replays the scalar overflow path with the
+        per-detector work batched: all GPD rows step in one block call,
+        then all monitors attribute, then every region of every lane
+        steps through the regrouper's cached plan.  Returns the total
+        number of intervals processed.
         """
-        size = self.buffer_size
+        ring = self._ring
         rounds = 0
         while True:
-            ready = [lane for lane in self.lanes
-                     if lane._queued_fill >= size]
-            if not ready:
+            ready_indices = ring.ready_lanes()
+            if ready_indices.size == 0:
                 return rounds
+            ready = [self.lanes[int(i)] for i in ready_indices]
             rounds += len(ready)
-            buffers = []
+            block = ring.take_round(ready_indices)
             for lane in ready:
-                buffer = lane._take_interval()
                 lane.stats.intervals += 1
                 lane._interval_index += 1
-                buffers.append(buffer)
 
             if self.gpd_bank is not None:
-                events = self.gpd_bank.observe_buffers(
-                    [(lane.gpd, buffer)
-                     for lane, buffer in zip(ready, buffers)])
+                events = self.gpd_bank.observe_block(
+                    self._gpd_group_for(ready_indices), block)
                 for lane, event in zip(ready, events):
                     if event is not None:
                         lane.stats.global_events += 1
@@ -314,8 +323,8 @@ class BatchSession:
                             callback(event)
 
             pendings = []
-            items = []
-            for lane, buffer in zip(ready, buffers):
+            participants = []
+            for lane, buffer in zip(ready, block):
                 if lane.monitor is None:
                     # GPD-only lane: no monitor closes the interval;
                     # -1.0 marks the UCR fraction as not applicable.
@@ -329,10 +338,8 @@ class BatchSession:
                 pending = lane.monitor.begin_interval(
                     buffer, lane._interval_index)
                 pendings.append(pending)
-                for rid, counts in pending.to_observe:
-                    items.append((lane.monitor._detectors[rid], counts,
-                                  lane._interval_index))
-            outcomes = self.lpd_bank.observe_many(items)
+                participants.append((lane.monitor, pending))
+            outcomes = self._regrouper.observe_round(participants)
             cursor = 0
             for lane, pending in zip(ready, pendings):
                 if pending is None:

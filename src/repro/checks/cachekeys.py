@@ -37,11 +37,20 @@ from repro.checks.findings import Finding, Severity
 __all__ = ["audit_cache_keys", "audit_base_helpers", "audit_key_classes",
            "audit_fault_tokens", "RESULT_INERT_PARAMS"]
 
-#: Helper parameters exempt from ``cache-key-field``: observability
-#: plumbing that cannot alter the computed artifact.  Keep this list
-#: short and justified — every entry must be write-only from the
-#: computation's point of view.
-RESULT_INERT_PARAMS = frozenset({"telemetry"})
+#: Helper parameters exempt from ``cache-key-field``: knobs that
+#: provably cannot alter the computed artifact.  Keep this list short
+#: and justified — every entry must be result-inert by construction.
+#:
+#: ``telemetry``
+#:     Observability plumbing; the bus carries events *out* of a run
+#:     and nothing reads it back (write-only).
+#: ``kernel_backend``
+#:     Which compiled-kernel implementation steps the batch hot path
+#:     (``repro.batch.compiled``).  Selection is bit-inert by contract:
+#:     the Numba backend is only ever chosen after an import-time probe
+#:     shows it bitwise identical to the NumPy reference, so keying on
+#:     it would fragment the cache across identical artifacts.
+RESULT_INERT_PARAMS = frozenset({"telemetry", "kernel_backend"})
 
 
 def _parse(path: Path) -> ast.Module | None:

@@ -1,0 +1,126 @@
+"""Backend selection for the compiled kernels, and its guarantees.
+
+The selector in :mod:`repro.batch.compiled` must (a) always produce a
+working backend, (b) honour ``REPRO_NO_JIT``, and (c) refuse a JIT
+backend that is not bit-identical to the NumPy reference — the probe is
+the load-bearing piece, so it is exercised directly with a deliberately
+wrong twin as well as with the honest one.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.batch import compiled
+from repro.batch.compiled import numpy_backend
+
+
+class TestSelection:
+    def test_backend_and_reason_are_coherent(self):
+        name = compiled.kernel_backend()
+        reason = compiled.selection_reason()
+        assert name in ("numpy", "numba")
+        if name == "numba":
+            assert "bit-identical" in reason
+        else:
+            assert any(key in reason for key in
+                       (compiled.ENV_FLAG, "not installed", "probe"))
+
+    def test_bound_kernels_come_from_the_selected_backend(self):
+        assert compiled.pearson_core.__module__.endswith(
+            f"{compiled.kernel_backend()}_backend")
+
+    def test_env_flag_forces_the_fallback(self):
+        # a subprocess, because selection is pinned at import time
+        code = (
+            "from repro.batch import compiled;"
+            "assert compiled.kernel_backend() == 'numpy',"
+            " compiled.kernel_backend();"
+            "assert compiled.ENV_FLAG in compiled.selection_reason(),"
+            " compiled.selection_reason()")
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", "REPRO_NO_JIT": "1"},
+            capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+
+
+class TestProbe:
+    def test_reference_backend_passes_its_own_probe(self):
+        assert compiled._probe_matches(numpy_backend, numpy_backend)
+
+    def test_one_ulp_pearson_drift_is_rejected(self):
+        # the smallest possible float deviation — anything np.allclose
+        # would wave through — must still fail the bitwise probe
+        class OffByOneUlp:
+            def __getattr__(self, name):
+                return getattr(numpy_backend, name)
+
+            @staticmethod
+            def pearson_core(stable, current):
+                r, defined = numpy_backend.pearson_core(stable, current)
+                r = np.where(defined, np.nextafter(r, np.inf), r)
+                return r, defined
+
+        assert not compiled._probe_matches(OffByOneUlp(), numpy_backend)
+
+    def test_wrong_integer_kernel_is_rejected(self):
+        class WrongTables:
+            def __getattr__(self, name):
+                return getattr(numpy_backend, name)
+
+            @staticmethod
+            def gpd_classify(ratio, thin, banded, th1, th2, th3, th4,
+                             no_band_input):
+                out = numpy_backend.gpd_classify(
+                    ratio, thin, banded, th1, th2, th3, th4, no_band_input)
+                out[0] += 1
+                return out
+
+        assert not compiled._probe_matches(WrongTables(), numpy_backend)
+
+    def test_crashing_candidate_falls_back_instead_of_raising(
+            self, monkeypatch):
+        # a JIT module whose every kernel explodes (a miscompiled or
+        # ABI-broken extension) must yield the reference, not an error
+        import types
+
+        def _boom(*args, **kwargs):
+            raise RuntimeError("miscompiled")
+
+        fake = types.ModuleType("repro.batch.compiled.numba_backend")
+        fake.__getattr__ = lambda name: _boom
+        monkeypatch.setitem(
+            sys.modules, "repro.batch.compiled.numba_backend", fake)
+        monkeypatch.setattr(compiled, "numba_backend", fake, raising=False)
+        monkeypatch.delenv(compiled.ENV_FLAG, raising=False)
+        backend, reason = compiled._select()
+        assert backend is numpy_backend
+        assert reason.startswith("probe failed")
+
+
+class TestCachedKernel:
+    def test_pearson_cached_matches_pearson_core(self):
+        rng = np.random.default_rng(11)
+        for n in (2, 8, 64, 504):
+            x = np.floor(rng.uniform(0.0, 50.0, size=(5, n)))
+            y = np.floor(rng.uniform(0.0, 50.0, size=(5, n)))
+            x[0, :] = 7.0  # one degenerate row
+            r_ref, defined_ref = compiled.pearson_core(x, y)
+            r, defined, sum_y, sum_y2 = compiled.pearson_cached(
+                x, y, x.sum(axis=1), (x * x).sum(axis=1))
+            assert r.tobytes() == r_ref.tobytes()
+            assert defined.tobytes() == defined_ref.tobytes()
+            assert sum_y.tobytes() == y.sum(axis=1).tobytes()
+            assert sum_y2.tobytes() == (y * y).sum(axis=1).tobytes()
+
+
+class TestNumbaParity:
+    """Direct parity checks, skipped where numba is absent."""
+
+    def test_numba_backend_passes_the_probe(self):
+        pytest.importorskip("numba")
+        from repro.batch.compiled import numba_backend
+        assert compiled._probe_matches(numba_backend, numpy_backend)
