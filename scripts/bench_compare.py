@@ -26,6 +26,15 @@ absolute ``--fleet-min-throughput`` floor (default 50,000 — deliberately
 conservative so only a real hot-path collapse, not a slow CI host,
 trips it).
 
+Snapshot-overhead gate: when the snapshot contains the serving pair
+from ``benchmarks/test_serve_bench.py`` (the same batch applications
+with and without one shard snapshot appended), the snapshot's marginal
+cost amortized over the default checkpoint cadence must stay under
+``--snapshot-max-overhead`` (default 5%).  Like the fleet speedup this
+is a within-snapshot ratio, so host speed cancels; the recovery
+benchmark's median (restore + journal replay) rides along in the
+trajectory unguarded.
+
 Usage::
 
     python scripts/bench_compare.py                      # full suite
@@ -76,6 +85,15 @@ FLEET_BATCH_BENCH = "test_fleet_step_batch[256]"
 #: ordinary host variance.
 FLEET_THROUGHPUT_FLOOR = 50_000.0
 
+#: Ceiling on the amortized checkpoint cost: one snapshot per
+#: ``ServeConfig.snapshot_every`` applied batches may consume at most
+#: this fraction of the batch-application throughput
+#: (``benchmarks/test_serve_bench.py`` records the applies-per-round
+#: and cadence in ``extra_info``).
+SNAPSHOT_OVERHEAD_CEILING = 0.05
+SERVE_PLAIN_BENCH = "test_serve_apply_plain"
+SERVE_SNAPSHOT_BENCH = "test_serve_apply_snapshotted"
+
 
 def _is_telemetry_gated(name: str) -> bool:
     return any(pattern in name for pattern in TELEMETRY_GATED)
@@ -122,6 +140,41 @@ def throughput_gate(snapshot: dict, floor: float = FLEET_THROUGHPUT_FLOOR
     line = (f"fleet-256 throughput: {rate:,.0f} stream-intervals/sec "
             f"(floor {floor:,.0f})")
     return line, rate >= floor
+
+
+def snapshot_overhead_gate(snapshot: dict,
+                           ceiling: float = SNAPSHOT_OVERHEAD_CEILING
+                           ) -> tuple[str, bool] | None:
+    """Check the amortized shard-snapshot cost within one snapshot.
+
+    The serving benchmark pair times identical batch-application rounds,
+    one with a single checkpoint appended; the median difference is the
+    cost of one checkpoint.  Amortized over the default cadence
+    (``snapshot_every``, recorded by the benchmark), that cost must stay
+    under *ceiling* as a fraction of plain throughput.  Returns
+    ``(report line, passed)`` or ``None`` when the pair (or its
+    recorded parameters) is absent.
+    """
+    benches = snapshot.get("benchmarks", {})
+    plain = next((s for name, s in benches.items()
+                  if SERVE_PLAIN_BENCH in name), None)
+    snapped = next((s for name, s in benches.items()
+                    if SERVE_SNAPSHOT_BENCH in name), None)
+    if plain is None or snapped is None or plain["median"] <= 0:
+        return None
+    extra = snapped.get("extra_info", {})
+    applies = extra.get("applies_per_round")
+    cadence = extra.get("snapshot_every")
+    if not applies or not cadence:
+        return None
+    # One checkpoint per `cadence` applies; the pair measured `applies`.
+    overhead = ((snapped["median"] / plain["median"]) - 1.0) \
+        * applies / cadence
+    line = (f"serve snapshot overhead: plain {plain['median']:.4f}s / "
+            f"+snapshot {snapped['median']:.4f}s, amortized over "
+            f"cadence {cadence} = {overhead * 100.0:.2f}% "
+            f"(ceiling {ceiling * 100.0:.1f}%)")
+    return line, overhead <= ceiling
 
 
 def run_benchmarks(select: str, pytest_args: list[str]) -> dict:
@@ -255,6 +308,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="required absolute stream-intervals/sec on "
                              "the 256-stream batch fleet benchmark "
                              "(default 50000; 0 disables the gate)")
+    parser.add_argument("--snapshot-max-overhead", type=float,
+                        default=SNAPSHOT_OVERHEAD_CEILING,
+                        help="allowed amortized shard-snapshot cost as a "
+                             "fraction of serving throughput "
+                             "(default 0.05 = 5%%; 0 disables the gate)")
     parser.add_argument("--dry-run", action="store_true",
                         help="compare only; do not write a new snapshot")
     parser.add_argument("pytest_args", nargs="*",
@@ -303,6 +361,15 @@ def main(argv: list[str] | None = None) -> int:
             print(line)
             if not passed:
                 throughput_failure = line
+    snapshot_failure = None
+    if args.snapshot_max_overhead > 0:
+        checked = snapshot_overhead_gate(snapshot,
+                                         args.snapshot_max_overhead)
+        if checked is not None:
+            line, passed = checked
+            print(line)
+            if not passed:
+                snapshot_failure = line
 
     if not args.dry_run:
         # repro: allow[wall-clock] output filename stamp only
@@ -326,6 +393,9 @@ def main(argv: list[str] | None = None) -> int:
         failed = True
     if throughput_failure is not None:
         print(f"FLEET THROUGHPUT BELOW FLOOR: {throughput_failure}")
+        failed = True
+    if snapshot_failure is not None:
+        print(f"SNAPSHOT OVERHEAD ABOVE CEILING: {snapshot_failure}")
         failed = True
     return 1 if failed else 0
 

@@ -499,6 +499,16 @@ class BatchGpdBank:
                     event=record.events.get(position)))
         self._materialized_logs = len(self._log)
 
+    def discard_observation_history(self) -> None:
+        """Drop pending step records without materializing them.
+
+        See :meth:`BatchLpdBank.discard_observation_history` — same
+        contract: bounded state for event-only consumers, at the price
+        of observation history before the discard.
+        """
+        self._log.clear()
+        self._materialized_logs = 0
+
 
 class BatchGlobalPhaseDetector:
     """Scalar-compatible view of one :class:`BatchGpdBank` row."""

@@ -784,6 +784,21 @@ class BatchLpdBank:
                     event=record.events.get(position)))
         self._materialized_logs = len(self._log)
 
+    def discard_observation_history(self) -> None:
+        """Drop pending step records without materializing them.
+
+        The step log exists only to expand per-row observation
+        histories on demand; it grows with every interval stepped.
+        Callers that consume events incrementally and never ask for
+        observations (the serving layer, which pickles the bank into
+        shard snapshots) discard it to keep their state bounded.
+        Observations already materialized are kept; a later
+        :meth:`materialize_observations` covers only steps taken after
+        the discard.
+        """
+        self._log.clear()
+        self._materialized_logs = 0
+
 
 class BatchLocalPhaseDetector:
     """Scalar-compatible view of one :class:`BatchLpdBank` row.

@@ -55,6 +55,43 @@ class ShardRing:
     def n_lanes(self) -> int:
         return self.data.shape[0]
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Serialize only logical state: per-lane unread samples.
+
+        The preallocated matrix is scratch capacity — freed columns hold
+        stale samples that are never read again — so a snapshot carries
+        just each lane's unread run, re-linearized.  Restoring rebuilds
+        the matrix at the same capacity with every read pointer at
+        column zero; the unread sample *sequence*, which is the only
+        thing :meth:`take_interval`/:meth:`take_round` ever observe, is
+        preserved exactly.
+        """
+        unread = []
+        for lane in range(self.data.shape[0]):
+            fill = int(self._fill[lane])
+            read = int(self._read[lane])
+            first = min(fill, self.capacity - read)
+            row = np.empty(fill, dtype=np.int64)
+            row[:first] = self.data[lane, read:read + first]
+            if first < fill:
+                row[first:] = self.data[lane, :fill - first]
+            unread.append(row)
+        return {"interval_size": self.interval_size,
+                "capacity": self.capacity, "unread": unread}
+
+    def __setstate__(self, state: dict) -> None:
+        self.interval_size = state["interval_size"]
+        self.capacity = state["capacity"]
+        unread = state["unread"]
+        self.data = np.zeros((len(unread), self.capacity), dtype=np.int64)
+        self._read = np.zeros(len(unread), dtype=np.int64)
+        self._fill = np.zeros(len(unread), dtype=np.int64)
+        for lane, row in enumerate(unread):
+            self.data[lane, :row.size] = row
+            self._fill[lane] = row.size
+
     def add_lane(self) -> int:
         """Append one empty lane row; returns its index."""
         lane = self.data.shape[0]

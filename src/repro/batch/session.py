@@ -360,6 +360,21 @@ class BatchSession:
                     lane.watchdog_events.extend(
                         lane.watchdog.observe_interval(report))
 
+    def discard_observation_history(self) -> None:
+        """Drop the banks' pending step records (lazy observation logs).
+
+        The logs exist only to materialize per-detector observation
+        histories on demand and grow with every interval processed —
+        dead weight for callers that consume events through incremental
+        extraction.  The serving layer calls this before every shard
+        snapshot so snapshot size and cost stay flat over worker
+        uptime.  Already-materialized observations are kept; a later
+        ``materialize_observations`` covers only subsequent steps.
+        """
+        self.lpd_bank.discard_observation_history()
+        if self.gpd_bank is not None:
+            self.gpd_bank.discard_observation_history()
+
     # -- inspection ------------------------------------------------------------
 
     def summary(self) -> dict:

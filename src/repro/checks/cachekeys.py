@@ -20,11 +20,19 @@ served.  Three static rules:
     ``MonitorKey``) must contain every field of ``StreamKey`` — an
     artifact's key cannot be coarser than its input stream's.
 ``fault-token-incomplete``
-    A ``FaultSpec`` subclass in ``faults/model.py`` that overrides
-    ``token()`` must mention every one of its dataclass fields; the
-    inherited ``token()`` enumerates ``fields(self)`` and is always safe.
+    A ``FaultSpec`` subclass in ``faults/model.py`` — or a
+    ``ServiceFaultSpec`` subclass in ``faults/service.py`` — that
+    overrides ``token()`` must mention every one of its dataclass
+    fields; the inherited ``token()`` enumerates ``fields(self)`` and
+    is always safe.
+``snapshot-field-drift``
+    The serve layer's :data:`~repro.serve.snapshot.SNAPSHOT_FIELDS`
+    schema tuple must list exactly the fields of ``ShardSnapshot``, in
+    order.  The codec checks this at runtime too, but only on the
+    paths a test happens to execute; the static rule makes the drift a
+    check-suite failure the moment the dataclass is edited.
 
-All three are pure AST analyses — nothing is imported or executed.
+All of these are pure AST analyses — nothing is imported or executed.
 """
 
 from __future__ import annotations
@@ -35,7 +43,8 @@ from pathlib import Path
 from repro.checks.findings import Finding, Severity
 
 __all__ = ["audit_cache_keys", "audit_base_helpers", "audit_key_classes",
-           "audit_fault_tokens", "RESULT_INERT_PARAMS"]
+           "audit_fault_tokens", "audit_snapshot_fields",
+           "RESULT_INERT_PARAMS"]
 
 #: Helper parameters exempt from ``cache-key-field``: knobs that
 #: provably cannot alter the computed artifact.  Keep this list short
@@ -189,7 +198,14 @@ def audit_base_helpers(base_path: Path, rel: str,
 
 
 def audit_fault_tokens(model_path: Path, rel: str) -> list[Finding]:
-    """Check FaultSpec subclasses that override ``token()``."""
+    """Check FaultSpec-shaped subclasses that override ``token()``.
+
+    Applies to both fault hierarchies: stream-level ``FaultSpec``
+    subclasses (``faults/model.py``) and service-level
+    ``ServiceFaultSpec`` subclasses (``faults/service.py``) — any base
+    name ending in ``FaultSpec`` opts a class in.  Kind-tag collisions
+    are checked within one file, matching the per-registry namespaces.
+    """
     findings: list[Finding] = []
     tree = _parse(model_path)
     if tree is None:
@@ -200,7 +216,7 @@ def audit_fault_tokens(model_path: Path, rel: str) -> list[Finding]:
         if not isinstance(cls, ast.ClassDef):
             continue
         bases = {b.id for b in cls.bases if isinstance(b, ast.Name)}
-        if "FaultSpec" not in bases:
+        if not any(base.endswith("FaultSpec") for base in bases):
             continue
 
         for stmt in cls.body:
@@ -240,8 +256,65 @@ def audit_fault_tokens(model_path: Path, rel: str) -> list[Finding]:
     return findings
 
 
+def audit_snapshot_fields(snapshot_path: Path, rel: str) -> list[Finding]:
+    """Check SNAPSHOT_FIELDS against the ShardSnapshot dataclass.
+
+    The snapshot codec's schema tuple and the dataclass it describes
+    live a screenful apart; a field added to one but not the other
+    makes every snapshot un-decodable (best case) or silently drops
+    state (worst case, if the runtime guard were ever loosened).
+    """
+    findings: list[Finding] = []
+    tree = _parse(snapshot_path)
+    if tree is None:
+        return findings
+
+    declared: tuple[str, ...] | None = None
+    declared_line = 1
+    snapshot_cls: ast.ClassDef | None = None
+    for node in tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "SNAPSHOT_FIELDS"):
+            declared_line = node.lineno
+            if isinstance(node.value, ast.Tuple):
+                values = [e.value for e in node.value.elts
+                          if isinstance(e, ast.Constant)
+                          and isinstance(e.value, str)]
+                if len(values) == len(node.value.elts):
+                    declared = tuple(values)
+        elif isinstance(node, ast.ClassDef) and node.name == "ShardSnapshot":
+            snapshot_cls = node
+
+    if declared is None:
+        findings.append(Finding(
+            rule="snapshot-field-drift", severity=Severity.ERROR,
+            path=rel, line=declared_line,
+            message="SNAPSHOT_FIELDS is missing or is not a literal tuple "
+                    "of field-name strings; the snapshot schema cannot be "
+                    "audited"))
+        return findings
+    if snapshot_cls is None:
+        findings.append(Finding(
+            rule="snapshot-field-drift", severity=Severity.ERROR,
+            path=rel, line=declared_line,
+            message="ShardSnapshot dataclass not found; SNAPSHOT_FIELDS "
+                    "describes nothing"))
+        return findings
+
+    actual = tuple(_dataclass_fields(snapshot_cls))
+    if actual != declared:
+        findings.append(Finding(
+            rule="snapshot-field-drift", severity=Severity.ERROR,
+            path=rel, line=snapshot_cls.lineno,
+            message=f"ShardSnapshot fields {actual} drifted from "
+                    f"SNAPSHOT_FIELDS {declared}: update both and bump "
+                    f"SNAPSHOT_VERSION"))
+    return findings
+
+
 def audit_cache_keys(repo_root: Path) -> list[Finding]:
-    """Run all three cache-key rules against the repo's source tree."""
+    """Run every cache-key/schema rule against the repo's source tree."""
     src = repo_root / "src" / "repro"
     findings: list[Finding] = []
     cache_rel = "src/repro/experiments/cache.py"
@@ -253,4 +326,8 @@ def audit_cache_keys(repo_root: Path) -> list[Finding]:
         key_names or {"StreamKey", "GpdKey", "MonitorKey"})
     findings += audit_fault_tokens(
         src / "faults" / "model.py", "src/repro/faults/model.py")
+    findings += audit_fault_tokens(
+        src / "faults" / "service.py", "src/repro/faults/service.py")
+    findings += audit_snapshot_fields(
+        src / "serve" / "snapshot.py", "src/repro/serve/snapshot.py")
     return findings

@@ -39,6 +39,7 @@ ALL_RULES: dict[str, str] = {
     "cache-key-no-faults": "cache key without fault-plan discrimination",
     "fault-token-incomplete": "FaultSpec.token() omitting a field",
     "fault-kind-collision": "two FaultSpecs sharing a kind tag",
+    "snapshot-field-drift": "ShardSnapshot out of sync with SNAPSHOT_FIELDS",
     "fsm-incomplete": "transition table missing a (state, input) pair",
     "fsm-nondeterministic": "duplicate rules for a (state, input) pair",
     "fsm-unreachable-state": "state unreachable from the initial state",

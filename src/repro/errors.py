@@ -42,3 +42,11 @@ class FaultError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown or bad target."""
+
+
+class ServeError(ReproError):
+    """The fleet serving layer was misconfigured or misdriven."""
+
+
+class SnapshotError(ServeError):
+    """A worker snapshot could not be encoded, written or restored."""

@@ -34,12 +34,14 @@ The performance engine behind the runner:
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from typing import Callable
 
 from repro.errors import ExperimentError
-from repro.experiments import (extra_detector_zoo, extra_fault_sweep,
+from repro.experiments import (extra_chaos, extra_detector_zoo,
+                               extra_fault_sweep,
                                extra_fleet, extra_interval_size,
                                fig02_mcf_region_chart,
                                fig03_gpd_phase_changes,
@@ -61,7 +63,7 @@ _MODULES = (
     fig06_ucr_median, fig07_ucr_over_time, fig08_pearson_properties,
     fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
     fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
-    fig16_interval_tree, fig17_speedup, extra_detector_zoo,
+    fig16_interval_tree, fig17_speedup, extra_chaos, extra_detector_zoo,
     extra_fault_sweep, extra_fleet, extra_interval_size,
 )
 
@@ -194,8 +196,49 @@ def _seed_cache(store: cache.SimulationCache, config: ExperimentConfig,
                              task.attribution, task.faults), monitor)
 
 
+class _GracefulExit(Exception):
+    """SIGTERM/SIGINT arrived: stop between figures, flush, exit clean."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = signum
+
+
+def _install_signal_handlers() -> dict:
+    """Route SIGTERM/SIGINT into the runner's orderly-stop path.
+
+    An interrupted run must still flush its trace sink (leaving a valid
+    JSONL prefix) and print the partial failure summary; only *real*
+    failures exit nonzero.  Handlers are installed best-effort — inside
+    a non-main thread (embedding test harnesses) signal installation
+    raises and the default behavior is kept.  Returns the previous
+    handlers so an embedding caller can be left untouched.
+    """
+
+    def _handler(signum, frame):
+        raise _GracefulExit(signum)
+
+    previous: dict = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:
+            pass  # not the main thread; leave default handling in place
+    return previous
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` script."""
+    previous = _install_signal_handlers()
+    try:
+        return _run_cli(argv)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def _run_cli(argv: list[str] | None) -> int:
+    """The runner body (signal handlers already installed)."""
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiments", nargs="*", default=["all"],
@@ -277,11 +320,20 @@ def main(argv: list[str] | None = None) -> int:
 
     results = []
     failures: list[tuple[str, Exception]] = []
+    interrupted: int | None = None
     try:
         for experiment_id in requested:
             started = time.time()  # repro: allow[wall-clock] progress timer
             try:
                 result = run_experiment(experiment_id, config)
+            except (_GracefulExit, KeyboardInterrupt) as exc:
+                interrupted = getattr(exc, "signum", signal.SIGINT)
+                print(f"interrupted (signal {interrupted}) during "
+                      f"{experiment_id}; flushing partial results",
+                      file=sys.stderr)
+                if trace_sink is not None:
+                    trace_sink.flush()
+                break
             except Exception as exc:  # keep regenerating the other figures
                 failures.append((experiment_id, exc))
                 print(f"[{experiment_id}] FAILED: "
@@ -299,6 +351,10 @@ def main(argv: list[str] | None = None) -> int:
             print()
             if trace_sink is not None:
                 trace_sink.flush()
+    except (_GracefulExit, KeyboardInterrupt) as exc:
+        interrupted = getattr(exc, "signum", signal.SIGINT)
+        print(f"interrupted (signal {interrupted}); flushing partial "
+              f"results", file=sys.stderr)
     finally:
         if trace_sink is not None:
             from repro.telemetry.bus import get_bus

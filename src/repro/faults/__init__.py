@@ -13,6 +13,10 @@ from repro.faults.inject import inject, simulate_faulty_sampling
 from repro.faults.model import (DuplicateSamples, FaultPlan, FaultSpec,
                                 InterruptStall, PcBitCorruption, PcSkid,
                                 PeriodDrift, PeriodJitter, SampleDrop)
+from repro.faults.service import (DuplicateDelivery, QueueStall,
+                                  ReorderDelivery, ServiceFaultPlan,
+                                  ServiceFaultSpec, TornSnapshot,
+                                  WorkerCrash)
 
 __all__ = [
     "FaultSpec",
@@ -24,6 +28,13 @@ __all__ = [
     "DuplicateSamples",
     "PcBitCorruption",
     "InterruptStall",
+    "ServiceFaultSpec",
+    "ServiceFaultPlan",
+    "WorkerCrash",
+    "TornSnapshot",
+    "QueueStall",
+    "DuplicateDelivery",
+    "ReorderDelivery",
     "inject",
     "simulate_faulty_sampling",
 ]

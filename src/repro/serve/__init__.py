@@ -1,0 +1,66 @@
+"""Crash-tolerant sharded fleet serving for ``BatchSession``.
+
+The serving layer turns the vectorized batch backend into a
+long-running multi-tenant service: streams are consistent-hashed onto
+shard worker processes (:mod:`repro.serve.hashing`,
+:mod:`repro.serve.worker`), batches flow through bounded queues under a
+supervisor that journals, retries, evicts slow consumers and respawns
+dead workers from versioned snapshots
+(:mod:`repro.serve.supervisor`, :mod:`repro.serve.snapshot`,
+:mod:`repro.serve.journal`).
+
+The correctness bar is PR 5's trusted-oracle rule, one level up: a
+sharded run — including runs with injected worker crashes, torn
+snapshot writes, duplicated and reordered deliveries
+(:mod:`repro.faults.service`) — must produce per-stream event sequences
+bit-identical to a clean single-process
+:class:`~repro.batch.session.BatchSession` (``tests/serve/`` and the
+``chaos`` experiment hold the layer to this).
+"""
+
+from repro.serve.config import ServeConfig
+from repro.serve.events import EventCursor, EventRecord, extract_lane_events
+from repro.serve.governor import StreamGovernor
+from repro.serve.hashing import HashRing
+from repro.serve.journal import JournalEntry, ShardJournal
+from repro.serve.messages import (AppliedBatch, Batch, BatchAck, Shutdown,
+                                  SnapshotWritten, WorkerStarted)
+from repro.serve.snapshot import (SNAPSHOT_FIELDS, SNAPSHOT_MAGIC,
+                                  SNAPSHOT_VERSION, ShardSnapshot,
+                                  SnapshotStore, decode_snapshot,
+                                  encode_snapshot, read_snapshot,
+                                  write_snapshot)
+from repro.serve.supervisor import FleetSupervisor
+from repro.serve.worker import (CRASH_EXIT_CODE, ShardWorker,
+                                build_shard_session, worker_main)
+
+__all__ = [
+    "ServeConfig",
+    "FleetSupervisor",
+    "ShardWorker",
+    "worker_main",
+    "build_shard_session",
+    "CRASH_EXIT_CODE",
+    "HashRing",
+    "StreamGovernor",
+    "ShardJournal",
+    "JournalEntry",
+    "ShardSnapshot",
+    "SnapshotStore",
+    "SNAPSHOT_FIELDS",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "encode_snapshot",
+    "decode_snapshot",
+    "read_snapshot",
+    "write_snapshot",
+    "EventRecord",
+    "EventCursor",
+    "extract_lane_events",
+    "Batch",
+    "BatchAck",
+    "AppliedBatch",
+    "Shutdown",
+    "WorkerStarted",
+    "SnapshotWritten",
+]

@@ -1,0 +1,64 @@
+"""Consistent-hash assignment of streams to shards.
+
+Streams are placed on a hash ring with ``replicas`` virtual nodes per
+shard, so adding or removing a shard moves only ``~1/n_shards`` of the
+streams — the property that makes resharding a rolling operation
+instead of a full fleet restart.  Hashes come from :mod:`hashlib`
+(never the process-seeded builtin ``hash``), so an assignment is a pure
+function of the names: every supervisor, worker and test computes the
+same placement regardless of ``PYTHONHASHSEED`` or process boundaries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ServeError
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    """Stable 64-bit ring coordinate for *key*."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping stream names to shard ids."""
+
+    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+        if n_shards < 1:
+            raise ServeError(
+                f"a fleet needs at least one shard, got {n_shards}")
+        if replicas < 1:
+            raise ServeError(
+                f"replicas must be at least 1, got {replicas}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        pairs = sorted(
+            (_point(f"shard{shard}#{replica}"), shard)
+            for shard in range(n_shards)
+            for replica in range(replicas))
+        self._points = [point for point, _ in pairs]
+        self._owners = [shard for _, shard in pairs]
+
+    def shard_for(self, stream: str) -> int:
+        """The shard owning *stream* (first vnode clockwise)."""
+        index = bisect.bisect_right(self._points, _point(stream))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def partition(self, streams: list[str]) -> dict[int, list[str]]:
+        """Group *streams* by owning shard, preserving input order.
+
+        Every shard id appears in the result, possibly with an empty
+        list — a supervisor spawns a worker per shard either way.
+        """
+        assignment: dict[int, list[str]] = {
+            shard: [] for shard in range(self.n_shards)}
+        for stream in streams:
+            assignment[self.shard_for(stream)].append(stream)
+        return assignment

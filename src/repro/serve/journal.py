@@ -1,0 +1,72 @@
+"""Supervisor-side sample journal: the replay source for recovery.
+
+Every batch dispatched to a shard is appended here *before* it is
+enqueued, keyed by the shard-local dispatch sequence.  When a worker
+dies, the supervisor respawns it, learns the sequence its restored
+snapshot covers (``WorkerStarted.restored_seq``) and replays every
+journal entry after it — the worker's per-stream dedupe cursors make
+the overlap with any stale in-flight messages harmless.
+
+Entries are dropped only once they are covered by the shard's
+*second-newest* snapshot (:meth:`SnapshotStore.safe_truncation_seq`),
+so recovery still works when the newest snapshot is torn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = ["JournalEntry", "ShardJournal"]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One dispatched batch, exactly as the worker received it."""
+
+    seq: int
+    stream: str
+    stream_seq: int
+    samples: np.ndarray
+
+
+class ShardJournal:
+    """Ordered in-memory journal of one shard's dispatched batches."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self._entries: list[JournalEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_seq(self) -> int:
+        """Highest journaled sequence (-1 when empty)."""
+        return self._entries[-1].seq if self._entries else -1
+
+    def append(self, seq: int, stream: str, stream_seq: int,
+               samples: np.ndarray) -> JournalEntry:
+        """Record one batch; sequences must be strictly increasing."""
+        if seq <= self.max_seq:
+            raise ServeError(
+                f"journal for shard {self.shard_id} got seq {seq} after "
+                f"{self.max_seq}; dispatch sequences must increase")
+        entry = JournalEntry(seq=seq, stream=stream, stream_seq=stream_seq,
+                             samples=np.array(samples, dtype=np.int64))
+        self._entries.append(entry)
+        return entry
+
+    def entries_after(self, seq: int) -> list[JournalEntry]:
+        """Every retained entry with a sequence greater than *seq*."""
+        return [entry for entry in self._entries if entry.seq > seq]
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop entries with sequence <= *seq*; returns how many."""
+        kept = [entry for entry in self._entries if entry.seq > seq]
+        dropped = len(self._entries) - len(kept)
+        self._entries = kept
+        return dropped

@@ -1,0 +1,95 @@
+"""Wire protocol between the fleet supervisor and its shard workers.
+
+Everything crossing a queue is a small picklable dataclass.  Down the
+shard's input queue go :class:`Batch` and :class:`Shutdown`; up the
+output queue come :class:`WorkerStarted` (once per incarnation),
+:class:`BatchAck` (once per delivered batch — *including* duplicates,
+so the supervisor's outstanding-set always drains), and
+:class:`SnapshotWritten` (after each persisted generation).
+
+Delivery rules the protocol is designed around:
+
+* shard-local ``seq`` increases by one per dispatched message, and each
+  queue is FIFO, so a worker sees its input in dispatch order — except
+  around recovery, where journal replay may overlap stale in-flight
+  messages;
+* per-stream ``stream_seq`` is the dedupe/reorder cursor: a worker
+  applies a stream's batches in exact ``stream_seq`` order no matter
+  how deliveries interleave, stash-parking early arrivals and dropping
+  repeats (acked with an empty ``applied`` tuple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.events import EventRecord
+
+__all__ = ["Batch", "Shutdown", "WorkerStarted", "BatchAck",
+           "AppliedBatch", "SnapshotWritten"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One stream's sample batch, routed to its owning shard."""
+
+    seq: int
+    stream: str
+    stream_seq: int
+    samples: np.ndarray
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Graceful stop: drain, optionally persist a final snapshot, exit."""
+
+    final_snapshot: bool = True
+
+
+@dataclass(frozen=True)
+class WorkerStarted:
+    """A worker incarnation is live and restored through *restored_seq*.
+
+    ``restored_seq`` is -1 for a genesis start; the supervisor replays
+    every journal entry after it.
+    """
+
+    shard: int
+    restored_seq: int
+    lanes: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class AppliedBatch:
+    """One batch actually fed to the session, with its event delta."""
+
+    stream: str
+    stream_seq: int
+    events: tuple[EventRecord, ...]
+    intervals: int
+
+
+@dataclass(frozen=True)
+class BatchAck:
+    """Receipt for one delivered :class:`Batch` message.
+
+    ``applied`` may be empty (duplicate, or parked out-of-order batch)
+    or hold several entries (the arrival that filled a gap drains the
+    stash behind it).
+    """
+
+    shard: int
+    seq: int
+    applied: tuple[AppliedBatch, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class SnapshotWritten:
+    """A snapshot generation covering *seq* reached durable storage."""
+
+    shard: int
+    seq: int
+    path: str
+    n_bytes: int

@@ -1,0 +1,258 @@
+"""Versioned, torn-write-safe snapshots of one shard worker's state.
+
+A shard's recovery unit is the :class:`ShardSnapshot`: the full
+:class:`~repro.batch.session.BatchSession` (detector banks, ring
+buffers, regrouper plans, watchdog records) plus the worker's replay
+bookkeeping (per-stream delivery cursors, the reorder stash, event
+extraction cursors).  The codec wraps a pickle payload in a fixed
+envelope::
+
+    MAGIC (8 bytes) | version u32 | payload_len u64 | crc32 u32 | payload
+
+so a torn write — truncation anywhere, or garbage in the payload — is
+*detected* (:class:`~repro.errors.SnapshotError`), never silently
+restored.  :func:`write_snapshot` is atomic (tmp file + fsync +
+``os.replace``), and a :class:`SnapshotStore` keeps the newest two
+snapshots per shard, so even a snapshot torn by a mid-write crash or a
+byte-level fault leaves an older good generation to fall back to.
+
+Schema discipline: the payload is a plain field dict checked against
+:data:`SNAPSHOT_FIELDS` on both encode and decode, and the
+``snapshot-field-drift`` rule in :mod:`repro.checks.cachekeys` audits —
+statically — that :class:`ShardSnapshot` and :data:`SNAPSHOT_FIELDS`
+never drift apart.  Adding a field without bumping
+:data:`SNAPSHOT_VERSION` is therefore a two-place edit that the check
+suite forces you to make consciously.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SnapshotError
+
+__all__ = ["SNAPSHOT_MAGIC", "SNAPSHOT_VERSION", "SNAPSHOT_FIELDS",
+           "ShardSnapshot", "encode_snapshot", "decode_snapshot",
+           "write_snapshot", "read_snapshot", "SnapshotStore"]
+
+#: File magic: identifies a shard snapshot regardless of extension.
+SNAPSHOT_MAGIC = b"RPROSNAP"
+
+#: Codec version; bump whenever :data:`SNAPSHOT_FIELDS` changes shape.
+SNAPSHOT_VERSION = 1
+
+#: The schema: exactly the fields of :class:`ShardSnapshot`, in order.
+#: ``repro-check`` (rule ``snapshot-field-drift``) keeps this in sync
+#: with the dataclass below.
+SNAPSHOT_FIELDS = ("shard_id", "applied_through", "stream_seqs", "stash",
+                   "event_cursors", "lane_names", "session")
+
+_HEADER = struct.Struct("<IQI")  # version, payload length, crc32
+
+
+@dataclass
+class ShardSnapshot:
+    """Everything a respawned worker needs to resume bit-identically.
+
+    Attributes
+    ----------
+    shard_id:
+        Which shard this snapshot belongs to (sanity-checked on load).
+    applied_through:
+        Highest shard-local dispatch sequence accounted for: every batch
+        with ``seq <= applied_through`` is either applied to the session
+        or parked in ``stash``.  Journal replay resumes after this.
+    stream_seqs:
+        Per-stream next expected delivery sequence (the dedupe cursor).
+    stash:
+        Out-of-order batches parked until their gap fills:
+        ``stream -> {stream_seq: samples}``.
+    event_cursors:
+        Per-stream event extraction cursors
+        (:class:`~repro.serve.events.EventCursor`), so replayed batches
+        re-emit exactly their original event deltas.
+    lane_names:
+        Stream names in lane order (restore-time topology check).
+    session:
+        The full :class:`~repro.batch.session.BatchSession`.
+    """
+
+    shard_id: int
+    applied_through: int
+    stream_seqs: dict[str, int]
+    stash: dict[str, dict[int, Any]]
+    event_cursors: dict[str, Any]
+    lane_names: tuple[str, ...]
+    session: Any
+
+
+def encode_snapshot(snapshot: ShardSnapshot) -> bytes:
+    """Serialize a snapshot into the enveloped wire format."""
+    payload_fields = tuple(f.name for f in fields(snapshot))
+    if payload_fields != SNAPSHOT_FIELDS:
+        raise SnapshotError(
+            f"ShardSnapshot fields {payload_fields} drifted from "
+            f"SNAPSHOT_FIELDS {SNAPSHOT_FIELDS}; bump SNAPSHOT_VERSION "
+            f"and update both")
+    payload_dict = {name: getattr(snapshot, name)
+                    for name in SNAPSHOT_FIELDS}
+    try:
+        payload = pickle.dumps(payload_dict,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SnapshotError(
+            f"snapshot for shard {snapshot.shard_id} is not picklable: "
+            f"{type(exc).__name__}: {exc}") from exc
+    header = _HEADER.pack(SNAPSHOT_VERSION, len(payload),
+                          zlib.crc32(payload))
+    return SNAPSHOT_MAGIC + header + payload
+
+
+def decode_snapshot(blob: bytes) -> ShardSnapshot:
+    """Parse and validate an enveloped snapshot; raise on any damage."""
+    base = len(SNAPSHOT_MAGIC)
+    if len(blob) < base + _HEADER.size:
+        raise SnapshotError(
+            f"snapshot truncated: {len(blob)} bytes is shorter than the "
+            f"envelope header")
+    if blob[:base] != SNAPSHOT_MAGIC:
+        raise SnapshotError(
+            f"bad snapshot magic {blob[:base]!r}; not a shard snapshot")
+    version, payload_len, crc = _HEADER.unpack_from(blob, base)
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version} is not the supported "
+            f"{SNAPSHOT_VERSION}")
+    payload = blob[base + _HEADER.size:]
+    if len(payload) != payload_len:
+        raise SnapshotError(
+            f"snapshot torn: payload holds {len(payload)} of "
+            f"{payload_len} bytes")
+    if zlib.crc32(payload) != crc:
+        raise SnapshotError("snapshot corrupt: payload CRC mismatch")
+    try:
+        payload_dict = pickle.loads(payload)
+    except Exception as exc:
+        raise SnapshotError(
+            f"snapshot payload does not unpickle: "
+            f"{type(exc).__name__}: {exc}") from exc
+    if (not isinstance(payload_dict, dict)
+            or tuple(payload_dict) != SNAPSHOT_FIELDS):
+        got = tuple(payload_dict) if isinstance(payload_dict, dict) else \
+            type(payload_dict).__name__
+        raise SnapshotError(
+            f"snapshot schema mismatch: payload fields {got} != "
+            f"{SNAPSHOT_FIELDS}")
+    return ShardSnapshot(**payload_dict)
+
+
+def write_snapshot(path: str | Path, snapshot: ShardSnapshot) -> int:
+    """Atomically write a snapshot; returns the byte count.
+
+    The blob lands in a same-directory temp file, is fsync'd, and is
+    renamed over *path* — a crash at any point leaves either the old
+    file or the complete new one, never a torn mix (the chaos harness's
+    :class:`~repro.faults.service.TornSnapshot` fault deliberately
+    bypasses this path to prove the *decoder* catches tears too).
+    """
+    path = Path(path)
+    blob = encode_snapshot(snapshot)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise SnapshotError(
+            f"could not write snapshot {path}: {exc}") from exc
+    return len(blob)
+
+
+def read_snapshot(path: str | Path) -> ShardSnapshot:
+    """Read and decode one snapshot file."""
+    try:
+        blob = Path(path).read_bytes()
+    except OSError as exc:
+        raise SnapshotError(
+            f"could not read snapshot {path}: {exc}") from exc
+    return decode_snapshot(blob)
+
+
+class SnapshotStore:
+    """Per-shard snapshot directory keeping the newest *keep* generations.
+
+    Files are named ``shard<id>-<seq>.snap`` with zero-padded sequence
+    numbers, so lexicographic order is recovery order.  ``load_latest``
+    walks newest-first and *skips* damaged generations — a torn newest
+    snapshot degrades recovery to the previous good one (or to genesis),
+    it never aborts it.
+    """
+
+    def __init__(self, directory: str | Path, shard_id: int,
+                 keep: int = 2) -> None:
+        if keep < 1:
+            raise SnapshotError(f"keep must be at least 1, got {keep}")
+        self.directory = Path(directory)
+        self.shard_id = shard_id
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, seq: int) -> Path:
+        return self.directory / f"shard{self.shard_id:03d}-{seq:012d}.snap"
+
+    def _candidates(self) -> list[Path]:
+        """Snapshot files for this shard, oldest first."""
+        pattern = f"shard{self.shard_id:03d}-*.snap"
+        return sorted(self.directory.glob(pattern))
+
+    def seqs(self) -> list[int]:
+        """Sequence numbers on disk, oldest first."""
+        return [int(p.stem.split("-", 1)[1]) for p in self._candidates()]
+
+    def save(self, snapshot: ShardSnapshot) -> Path:
+        """Write one generation and prune beyond the retention window."""
+        path = self.path_for(snapshot.applied_through)
+        write_snapshot(path, snapshot)
+        for stale in self._candidates()[:-self.keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # retention is best-effort; recovery skips damage
+        return path
+
+    def load_latest(self) -> tuple[ShardSnapshot, Path] | None:
+        """Newest *restorable* snapshot, or None for a genesis start."""
+        for path in reversed(self._candidates()):
+            try:
+                snapshot = read_snapshot(path)
+            except SnapshotError:
+                continue
+            if snapshot.shard_id != self.shard_id:
+                continue
+            return snapshot, path
+        return None
+
+    def safe_truncation_seq(self) -> int:
+        """Highest journal seq that is safe to forget.
+
+        Replay must survive the *newest* snapshot being torn, so the
+        journal may only drop entries covered by the second-newest
+        generation.  With fewer than two generations on disk nothing is
+        safe to drop (genesis replay needs everything).
+        """
+        seqs = self.seqs()
+        if len(seqs) < 2:
+            return -1
+        return seqs[-2]

@@ -83,31 +83,60 @@ class JsonlTraceSink(Sink):
     written with a single ``write`` call ending in a newline, so flushing
     at any point yields a valid trace prefix — the runner relies on this
     to leave a readable partial trace behind a failed figure.
+
+    I/O failure never propagates into the detector hot path: a write
+    that raises (disk full, closed descriptor, revoked handle) only
+    increments :attr:`records_dropped` and the
+    ``repro_trace_dropped_total`` counter in :attr:`metrics` — the sink
+    contract says observability must degrade, not take the pipeline
+    down with it.  Construction still raises (an unopenable trace file
+    is a configuration error the caller must see); only the per-event
+    path degrades.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.path = Path(path)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._file = open(self.path, "w", encoding="utf-8")
         self._seq = 0
         self.records_written = 0
+        self.records_dropped = 0
         self._file.write(json.dumps(header_record(), sort_keys=True,
                                     allow_nan=False) + "\n")
+
+    def _count_drop(self, exc: Exception) -> None:
+        self.records_dropped += 1
+        self.metrics.counter("repro_trace_dropped_total",
+                             "trace records lost to sink I/O failure",
+                             error=type(exc).__name__).inc()
 
     def emit(self, event: TelemetryEvent) -> None:
         self._seq += 1
         line = json.dumps(to_record(event, self._seq), sort_keys=True,
                           allow_nan=False)
-        self._file.write(line + "\n")
+        try:
+            self._file.write(line + "\n")
+        except (OSError, ValueError) as exc:
+            # ValueError covers writes on a closed file object.
+            self._count_drop(exc)
+            return
         self.records_written += 1
 
     def flush(self) -> None:
-        if not self._file.closed:
-            self._file.flush()
+        try:
+            if not self._file.closed:
+                self._file.flush()
+        except (OSError, ValueError) as exc:
+            self._count_drop(exc)
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.flush()
-            self._file.close()
+        try:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()
+        except (OSError, ValueError) as exc:
+            self._count_drop(exc)
 
 
 class MetricsSink(Sink):

@@ -1,0 +1,118 @@
+"""``discard_observation_history``: bounded state, unchanged behavior.
+
+The banks' step logs exist only to lazily materialize per-row
+observation histories; the serving layer discards them before every
+shard snapshot (otherwise snapshot size and cost grow linearly with
+worker uptime).  These tests pin the contract: a discard never changes
+future stepping or the event feeds, already-materialized observations
+survive, and only pre-discard *unmaterialized* history is forfeited.
+"""
+
+import numpy as np
+
+from tests.conftest import model_stream
+
+from repro.batch import BatchGpdBank, BatchLpdBank
+from repro.batch.session import BatchSession
+
+WIDTH = 16
+N_ROWS = 4
+BUFFER = 504
+INTERVALS = 12
+CUT = 5  # discard point, mid-run
+
+
+def _lpd_blocks():
+    rng = np.random.default_rng(3)
+    return [rng.integers(1, 50, size=(N_ROWS, WIDTH)).astype(np.float64)
+            for _ in range(INTERVALS)]
+
+
+def _gpd_buffers():
+    rng = np.random.default_rng(4)
+    return [rng.integers(0x4000_0000, 0x4100_0000, size=(N_ROWS, BUFFER))
+            for _ in range(INTERVALS)]
+
+
+def _lpd_run(discard_at=None, materialize_first=False):
+    bank = BatchLpdBank()
+    views = bank.add_detectors(WIDTH, N_ROWS)
+    group = bank.make_group(views)
+    for interval, block in enumerate(_lpd_blocks()):
+        if interval == discard_at:
+            if materialize_first:
+                bank.materialize_observations()
+            bank.discard_observation_history()
+        bank.observe_grouped(group, block, interval)
+    return bank, views
+
+
+def _gpd_run(discard_at=None, materialize_first=False):
+    bank = BatchGpdBank()
+    views = bank.add_detectors(N_ROWS)
+    group = bank.make_group(views)
+    for interval, buffers in enumerate(_gpd_buffers()):
+        if interval == discard_at:
+            if materialize_first:
+                bank.materialize_observations()
+            bank.discard_observation_history()
+        bank.observe_block(group, buffers)
+    return bank, views
+
+
+class TestSteppingIsUnchanged:
+    def test_lpd_events_and_states_match_an_undiscarded_twin(self):
+        _, plain = _lpd_run()
+        _, discarded = _lpd_run(discard_at=CUT)
+        for a, b in zip(plain, discarded):
+            assert a.events == b.events
+            assert a.state == b.state
+
+    def test_gpd_events_and_states_match_an_undiscarded_twin(self):
+        _, plain = _gpd_run()
+        _, discarded = _gpd_run(discard_at=CUT)
+        for a, b in zip(plain, discarded):
+            assert a.events == b.events
+            assert a.state == b.state
+            assert a.intervals_seen == b.intervals_seen
+
+
+class TestObservationContract:
+    def test_unmaterialized_history_before_the_discard_is_forfeited(self):
+        _, views = _gpd_run(discard_at=CUT)
+        for view in views:
+            observations = view.observations
+            assert len(observations) == INTERVALS - CUT
+            assert observations[0].interval_index == CUT
+
+    def test_materialized_history_survives_the_discard(self):
+        _, views = _gpd_run(discard_at=CUT, materialize_first=True)
+        for view in views:
+            assert len(view.observations) == INTERVALS
+            assert [o.interval_index for o in view.observations] == \
+                list(range(INTERVALS))
+
+    def test_lpd_observation_contract(self):
+        _, forfeited = _lpd_run(discard_at=CUT)
+        _, kept = _lpd_run(discard_at=CUT, materialize_first=True)
+        assert all(len(v.observations) == INTERVALS - CUT
+                   for v in forfeited)
+        assert all(len(v.observations) == INTERVALS for v in kept)
+
+    def test_discard_is_idempotent_and_safe_when_empty(self):
+        bank = BatchLpdBank()
+        bank.discard_observation_history()
+        bank.discard_observation_history()
+        assert bank._log == []
+
+
+def test_session_discard_clears_both_banks():
+    model, stream = model_stream("181.mcf")
+    session = BatchSession(binary=model.binary, run_gpd=True)
+    lane = session.add_lane(name="only")
+    lane.feed_many(stream.pcs[:3 * session.buffer_size].astype(np.int64))
+    session.process_ready()
+    assert session.gpd_bank._log
+    session.discard_observation_history()
+    assert session.lpd_bank._log == []
+    assert session.gpd_bank._log == []

@@ -4,7 +4,8 @@ import textwrap
 
 from repro.checks.cachekeys import (RESULT_INERT_PARAMS, audit_base_helpers,
                                     audit_cache_keys, audit_fault_tokens,
-                                    audit_key_classes)
+                                    audit_key_classes,
+                                    audit_snapshot_fields)
 
 REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[2]
 
@@ -209,6 +210,130 @@ class TestFaultTokenAudit:
         """)
         findings = audit_fault_tokens(path, "model.py")
         assert [f.rule for f in findings] == ["fault-kind-collision"]
+
+
+class TestServiceFaultTokenAudit:
+    """The token rules apply to the service-fault hierarchy too."""
+
+    def test_service_spec_with_full_token_is_clean(self, tmp_path):
+        path = write(tmp_path, "service.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class WorkerCrash(ServiceFaultSpec):
+                kind = "worker-crash"
+                shard: int = 0
+                at_seq: int = 0
+        """)
+        assert audit_fault_tokens(path, "service.py") == []
+
+    def test_service_token_override_omitting_a_field_is_caught(
+            self, tmp_path):
+        path = write(tmp_path, "service.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class TornSnapshot(ServiceFaultSpec):
+                kind = "torn-snapshot"
+                shard: int = 0
+                at_seq: int = 0
+                truncate: float = 0.5
+
+                def token(self):
+                    return (self.kind, self.shard, self.at_seq)
+        """)
+        findings = audit_fault_tokens(path, "service.py")
+        assert [f.rule for f in findings] == ["fault-token-incomplete"]
+        assert "truncate" in findings[0].message
+
+    def test_service_kind_collision_is_caught(self, tmp_path):
+        path = write(tmp_path, "service.py", """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class WorkerCrash(ServiceFaultSpec):
+                kind = "worker-crash"
+                shard: int = 0
+
+            @dataclass(frozen=True)
+            class WorkerKill(ServiceFaultSpec):
+                kind = "worker-crash"
+                shard: int = 0
+        """)
+        findings = audit_fault_tokens(path, "service.py")
+        assert [f.rule for f in findings] == ["fault-kind-collision"]
+
+
+class TestSnapshotFieldAudit:
+    GOOD = """
+        from dataclasses import dataclass
+
+        SNAPSHOT_FIELDS = ("shard_id", "session")
+
+        @dataclass
+        class ShardSnapshot:
+            shard_id: int
+            session: object
+    """
+
+    def test_matching_schema_is_clean(self, tmp_path):
+        path = write(tmp_path, "snapshot.py", self.GOOD)
+        assert audit_snapshot_fields(path, "snapshot.py") == []
+
+    def test_extra_dataclass_field_is_caught(self, tmp_path):
+        path = write(tmp_path, "snapshot.py", """
+            from dataclasses import dataclass
+
+            SNAPSHOT_FIELDS = ("shard_id", "session")
+
+            @dataclass
+            class ShardSnapshot:
+                shard_id: int
+                session: object
+                stash: dict
+        """)
+        findings = audit_snapshot_fields(path, "snapshot.py")
+        assert [f.rule for f in findings] == ["snapshot-field-drift"]
+        assert "stash" in findings[0].message
+
+    def test_reordered_fields_are_caught(self, tmp_path):
+        # Order is part of the schema: the payload dict is built in
+        # SNAPSHOT_FIELDS order and checked positionally on decode.
+        path = write(tmp_path, "snapshot.py", """
+            from dataclasses import dataclass
+
+            SNAPSHOT_FIELDS = ("session", "shard_id")
+
+            @dataclass
+            class ShardSnapshot:
+                shard_id: int
+                session: object
+        """)
+        findings = audit_snapshot_fields(path, "snapshot.py")
+        assert [f.rule for f in findings] == ["snapshot-field-drift"]
+
+    def test_non_literal_schema_tuple_is_caught(self, tmp_path):
+        path = write(tmp_path, "snapshot.py", """
+            from dataclasses import dataclass
+
+            SNAPSHOT_FIELDS = tuple(sorted(["shard_id", "session"]))
+
+            @dataclass
+            class ShardSnapshot:
+                shard_id: int
+                session: object
+        """)
+        findings = audit_snapshot_fields(path, "snapshot.py")
+        assert [f.rule for f in findings] == ["snapshot-field-drift"]
+        assert "literal" in findings[0].message
+
+    def test_missing_dataclass_is_caught(self, tmp_path):
+        path = write(tmp_path, "snapshot.py", """
+            SNAPSHOT_FIELDS = ("shard_id", "session")
+        """)
+        findings = audit_snapshot_fields(path, "snapshot.py")
+        assert [f.rule for f in findings] == ["snapshot-field-drift"]
+        assert "ShardSnapshot" in findings[0].message
 
 
 def test_allowlist_stays_minimal():

@@ -1,0 +1,103 @@
+"""Graceful shutdown of the experiments runner on SIGTERM/SIGINT."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments import runner
+
+REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parents[2]
+
+
+class TestInProcess:
+    """Interrupts reach the loop as _GracefulExit / KeyboardInterrupt."""
+
+    @pytest.fixture
+    def fake_experiments(self, monkeypatch):
+        calls = []
+
+        def register(experiment_id, fn):
+            monkeypatch.setitem(runner.EXPERIMENTS, experiment_id, fn)
+            monkeypatch.setitem(runner.TITLES, experiment_id,
+                                experiment_id)
+
+        def interrupted(config):
+            calls.append("interrupted")
+            raise KeyboardInterrupt
+
+        def failing(config):
+            calls.append("failing")
+            raise ValueError("real failure")
+
+        register("fakeint", interrupted)
+        register("fakefail", failing)
+        return calls
+
+    def test_interrupt_alone_exits_zero(self, fake_experiments, capsys):
+        assert runner.main(["fakeint"]) == 0
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_interrupt_skips_the_remaining_figures(self, fake_experiments):
+        assert runner.main(["fakeint", "fakefail"]) == 0
+        assert fake_experiments == ["interrupted"]
+
+    def test_real_failure_before_interrupt_still_fails(
+            self, fake_experiments):
+        assert runner.main(["fakefail", "fakeint"]) == 1
+
+    def test_interrupt_flushes_the_trace(self, fake_experiments, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert runner.main(["fakeint", "--trace", str(trace)]) == 0
+        lines = trace.read_text().splitlines()
+        assert len(lines) >= 1  # at least the header survived the stop
+        for line in lines:
+            json.loads(line)  # every surviving line is complete JSON
+
+    def test_handlers_are_restored_after_main(self, fake_experiments):
+        before = (signal.getsignal(signal.SIGTERM),
+                  signal.getsignal(signal.SIGINT))
+        runner.main(["fakeint"])
+        after = (signal.getsignal(signal.SIGTERM),
+                 signal.getsignal(signal.SIGINT))
+        assert after == before
+
+
+def test_sigterm_mid_run_exits_zero_with_valid_trace(tmp_path):
+    """End to end: a SIGTERM'd runner leaves a valid trace and exits 0."""
+    trace = tmp_path / "trace.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.runner",
+         "fig03", "fig04", "fig08", "--scale", "0.05",
+         "--trace", str(trace)],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        deadline = time.monotonic() + 60.0
+        # Wait until the run is demonstrably inside the figure loop
+        # (the trace header is written once tracing is attached).
+        while time.monotonic() < deadline and (
+                not trace.exists() or trace.stat().st_size == 0):
+            time.sleep(0.05)
+            if process.poll() is not None:
+                break
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=120)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+    assert process.returncode == 0, stderr
+    # Finished before the signal landed, or reported the interruption —
+    # either way the trace must be a valid JSONL prefix.
+    for line in trace.read_text().splitlines():
+        json.loads(line)
+    assert "trace:" in stdout

@@ -1,0 +1,70 @@
+"""Stream governor: suspension backoff, re-admission, blacklisting."""
+
+from repro.monitor.watchdog import WatchdogAction, WatchdogConfig
+from repro.serve.governor import StreamGovernor
+
+
+def make_governor(retry_budget=3, backoff_intervals=4, backoff_factor=2.0):
+    return StreamGovernor(WatchdogConfig(
+        retry_budget=retry_budget, backoff_intervals=backoff_intervals,
+        backoff_factor=backoff_factor))
+
+
+def test_unknown_streams_are_allowed():
+    governor = make_governor()
+    assert governor.allows("s0", 0)
+    assert governor.events == []
+
+
+def test_trip_suspends_with_growing_backoff():
+    governor = make_governor(backoff_intervals=4, backoff_factor=2.0)
+    first = governor.trip("s0", 10)
+    assert first.action is WatchdogAction.DEOPTIMIZE
+    assert not governor.allows("s0", 11)
+    assert not governor.allows("s0", 13)
+    assert governor.allows("s0", 14)  # 10 + 4
+    second = governor.trip("s0", 20)
+    assert second.action is WatchdogAction.DEOPTIMIZE
+    assert not governor.allows("s0", 27)
+    assert governor.allows("s0", 28)  # 20 + 4*2
+
+
+def test_readmission_emits_a_retry_event():
+    governor = make_governor()
+    governor.trip("s0", 0)
+    assert governor.allows("s0", 100)
+    actions = [e.action for e in governor.events]
+    assert actions == [WatchdogAction.DEOPTIMIZE, WatchdogAction.RETRY]
+    retry = governor.events[-1]
+    assert "s0" in retry.detail
+
+
+def test_budget_exhaustion_blacklists_for_good():
+    governor = make_governor(retry_budget=2)
+    governor.trip("s0", 0)
+    assert governor.allows("s0", 1000)
+    event = governor.trip("s0", 1001)
+    assert event.action is WatchdogAction.GIVE_UP
+    assert governor.is_blacklisted("s0")
+    assert not governor.allows("s0", 10_000)
+
+
+def test_streams_are_governed_independently():
+    governor = make_governor()
+    governor.trip("s0", 10)
+    assert governor.allows("s1", 11)
+    assert not governor.allows("s0", 11)
+
+
+def test_summary_counts_each_outcome():
+    governor = make_governor(retry_budget=2)
+    governor.trip("s0", 0)          # suspension
+    governor.allows("s0", 1000)     # re-admission
+    governor.trip("s0", 1001)       # blacklist (GIVE_UP, not a suspension)
+    governor.trip("s1", 5)          # suspension
+    assert governor.summary() == {
+        "governed_streams": 2,
+        "suspensions": 2,
+        "readmissions": 1,
+        "blacklisted": 1,
+    }

@@ -1,0 +1,62 @@
+"""Consistent-hash stream placement: determinism and rebalance bounds."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.hashing import HashRing
+
+STREAMS = [f"stream{i:03d}" for i in range(200)]
+
+
+class TestShardFor:
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(n_shards=4)
+        b = HashRing(n_shards=4)
+        assert [a.shard_for(s) for s in STREAMS] == \
+            [b.shard_for(s) for s in STREAMS]
+
+    def test_placement_lands_in_range(self):
+        ring = HashRing(n_shards=5)
+        assert all(0 <= ring.shard_for(s) < 5 for s in STREAMS)
+
+    def test_single_shard_takes_everything(self):
+        ring = HashRing(n_shards=1)
+        assert {ring.shard_for(s) for s in STREAMS} == {0}
+
+
+class TestPartition:
+    def test_partition_covers_every_stream_once(self):
+        assignment = HashRing(n_shards=4).partition(STREAMS)
+        assigned = [s for streams in assignment.values() for s in streams]
+        assert sorted(assigned) == sorted(STREAMS)
+        assert set(assignment) == {0, 1, 2, 3}
+
+    def test_partition_preserves_submission_order_within_a_shard(self):
+        assignment = HashRing(n_shards=4).partition(STREAMS)
+        order = {s: i for i, s in enumerate(STREAMS)}
+        for streams in assignment.values():
+            ranks = [order[s] for s in streams]
+            assert ranks == sorted(ranks)
+
+    def test_no_shard_is_starved_at_fleet_scale(self):
+        assignment = HashRing(n_shards=4).partition(STREAMS)
+        sizes = [len(streams) for streams in assignment.values()]
+        assert min(sizes) > 0
+        # 64 vnodes per shard keeps the imbalance moderate.
+        assert max(sizes) <= 3 * (len(STREAMS) // 4)
+
+    def test_adding_a_shard_moves_a_minority_of_streams(self):
+        before = HashRing(n_shards=4)
+        after = HashRing(n_shards=5)
+        moved = sum(1 for s in STREAMS
+                    if before.shard_for(s) != after.shard_for(s))
+        # Consistent hashing's point: growth relocates roughly 1/n of
+        # the keys, not all of them (modulo hashing would move ~80%).
+        assert moved < len(STREAMS) // 2
+
+
+def test_invalid_shapes_are_rejected():
+    with pytest.raises(ServeError):
+        HashRing(n_shards=0)
+    with pytest.raises(ServeError):
+        HashRing(n_shards=2, replicas=0)

@@ -1,0 +1,52 @@
+"""Journal semantics: ordering, replay windows, truncation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.journal import ShardJournal
+
+
+def test_appends_record_batches_in_order():
+    journal = ShardJournal(shard_id=0)
+    journal.append(0, "a", 0, np.arange(3))
+    journal.append(1, "b", 0, np.arange(2))
+    journal.append(3, "a", 1, np.arange(4))  # gaps are fine, regressions not
+    assert len(journal) == 3
+    assert journal.max_seq == 3
+
+
+def test_non_increasing_sequence_is_rejected():
+    journal = ShardJournal(shard_id=0)
+    journal.append(5, "a", 0, np.arange(3))
+    with pytest.raises(ServeError, match="must increase"):
+        journal.append(5, "a", 1, np.arange(3))
+    with pytest.raises(ServeError, match="must increase"):
+        journal.append(4, "a", 1, np.arange(3))
+
+
+def test_samples_are_copied_on_append():
+    journal = ShardJournal(shard_id=0)
+    samples = np.arange(4, dtype=np.int64)
+    entry = journal.append(0, "a", 0, samples)
+    samples[0] = 999  # caller mutation must not rewrite history
+    assert entry.samples[0] == 0
+
+
+def test_entries_after_is_the_replay_suffix():
+    journal = ShardJournal(shard_id=0)
+    for seq in range(6):
+        journal.append(seq, "a", seq, np.arange(2))
+    assert [e.seq for e in journal.entries_after(2)] == [3, 4, 5]
+    assert [e.seq for e in journal.entries_after(-1)] == [0, 1, 2, 3, 4, 5]
+    assert journal.entries_after(5) == []
+
+
+def test_truncation_drops_only_the_covered_prefix():
+    journal = ShardJournal(shard_id=0)
+    for seq in range(6):
+        journal.append(seq, "a", seq, np.arange(2))
+    assert journal.truncate_through(3) == 4
+    assert [e.seq for e in journal.entries_after(-1)] == [4, 5]
+    assert journal.truncate_through(3) == 0  # idempotent
+    assert journal.max_seq == 5

@@ -1,0 +1,119 @@
+"""JsonlTraceSink under I/O failure: count drops, never raise."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.events import IntervalClosed
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import JsonlTraceSink
+
+
+class FlakyFile:
+    """A file-object stand-in that fails on command."""
+
+    def __init__(self, real):
+        self.real = real
+        self.fail_with: type[Exception] | None = None
+
+    @property
+    def closed(self):
+        return self.real.closed
+
+    def write(self, data):
+        if self.fail_with is not None:
+            raise self.fail_with("injected sink failure")
+        return self.real.write(data)
+
+    def flush(self):
+        if self.fail_with is not None:
+            raise self.fail_with("injected sink failure")
+        self.real.flush()
+
+    def close(self):
+        self.real.close()
+
+
+def event(i=0):
+    return IntervalClosed(interval_index=i, n_samples=100,
+                          ucr_fraction=0.25, n_regions=1)
+
+
+@pytest.fixture
+def flaky_sink(tmp_path):
+    metrics = MetricsRegistry()
+    sink = JsonlTraceSink(tmp_path / "trace.jsonl", metrics=metrics)
+    flaky = FlakyFile(sink._file)
+    sink._file = flaky
+    yield sink, flaky, metrics
+    flaky.fail_with = None
+    sink.close()
+
+
+def test_write_failure_is_counted_not_raised(flaky_sink):
+    sink, flaky, metrics = flaky_sink
+    sink.emit(event(0))
+    flaky.fail_with = OSError  # disk full / revoked handle
+    sink.emit(event(1))
+    sink.emit(event(2))
+    assert sink.records_written == 1
+    assert sink.records_dropped == 2
+    counter = metrics.counter("repro_trace_dropped_total",
+                              "trace records lost to sink I/O failure",
+                              error="OSError")
+    assert counter.value == 2
+
+
+def test_sink_recovers_when_the_file_heals(flaky_sink):
+    sink, flaky, _ = flaky_sink
+    flaky.fail_with = OSError
+    sink.emit(event(0))
+    flaky.fail_with = None
+    sink.emit(event(1))
+    assert sink.records_written == 1
+    assert sink.records_dropped == 1
+
+
+def test_flush_failure_is_swallowed(flaky_sink):
+    sink, flaky, metrics = flaky_sink
+    sink.emit(event(0))
+    flaky.fail_with = OSError
+    sink.flush()  # must not raise into the runner's finally block
+    assert sink.records_dropped == 1
+
+
+def test_closed_file_counts_as_value_error(tmp_path):
+    metrics = MetricsRegistry()
+    sink = JsonlTraceSink(tmp_path / "trace.jsonl", metrics=metrics)
+    sink._file.close()
+    sink.emit(event(0))  # ValueError path: write on a closed file
+    assert sink.records_dropped == 1
+    counter = metrics.counter("repro_trace_dropped_total",
+                              "trace records lost to sink I/O failure",
+                              error="ValueError")
+    assert counter.value == 1
+    sink.close()  # idempotent, still no raise
+
+
+def test_surviving_records_remain_valid_jsonl(tmp_path):
+    import json
+
+    sink = JsonlTraceSink(tmp_path / "trace.jsonl")
+    flaky = FlakyFile(sink._file)
+    sink._file = flaky
+    sink.emit(event(0))
+    flaky.fail_with = OSError
+    sink.emit(event(1))
+    flaky.fail_with = None
+    sink.emit(event(2))
+    sink.close()
+    lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert len(records) == 3  # header + the two surviving events
+    assert [r["interval_index"] for r in records[1:]] == [0, 2]
+
+
+def test_unopenable_trace_file_still_raises(tmp_path):
+    # Construction failure is a configuration error the caller must
+    # see — only the per-event path degrades.
+    with pytest.raises((OSError, ReproError)):
+        JsonlTraceSink(tmp_path / "missing-dir" / "trace.jsonl")
