@@ -29,6 +29,7 @@ can observe anything but speed (the cache-key audit allowlists it; see
 from __future__ import annotations
 
 import os
+from types import ModuleType
 
 import numpy as np
 
@@ -49,11 +50,11 @@ _PROBE_WIDTHS = (1, 2, 3, 5, 7, 8, 9, 12, 16, 31, 64, 127, 128, 129,
 _PROBE_ROWS = 3
 
 
-def _bit_equal(a, b) -> bool:
+def _bit_equal(a: np.ndarray, b: np.ndarray) -> bool:
     return a.tobytes() == b.tobytes()
 
 
-def _probe_matches(jit, ref) -> bool:
+def _probe_matches(jit: ModuleType, ref: ModuleType) -> bool:
     """True iff every JIT float kernel matches the reference bitwise.
 
     The integer kernels (``lpd_step``/``fsm_step``/``gpd_classify``) are
@@ -122,7 +123,7 @@ def _probe_matches(jit, ref) -> bool:
     return _bit_equal(cls_jit, cls_ref)
 
 
-def _select():
+def _select() -> tuple[ModuleType, str]:
     """Pick the backend module and record why; never raises."""
     if os.environ.get(ENV_FLAG, "") not in ("", "0"):
         return numpy_backend, f"forced by {ENV_FLAG}"

@@ -103,7 +103,7 @@ def pearson_core(stable, current):
 
 
 @njit(cache=True)
-def pearson_cached(stable, current, sum_x_cached, sum_x2_cached):
+def pearson_cached(stable, current, sum_x, sum_x2):
     k, n = stable.shape
     r = np.zeros(k, dtype=np.float64)
     defined = np.zeros(k, dtype=np.bool_)
@@ -113,8 +113,8 @@ def pearson_cached(stable, current, sum_x_cached, sum_x2_cached):
     for i in range(k):
         x = stable[i]
         y = current[i]
-        sum_x = sum_x_cached[i]
-        sum_x2 = sum_x2_cached[i]
+        x_sum = sum_x[i]
+        x_sum2 = sum_x2[i]
         sum_y = _pairwise_sum(y, 0, n)
         for j in range(n):
             scratch[j] = x[j] * y[j]
@@ -124,11 +124,11 @@ def pearson_cached(stable, current, sum_x_cached, sum_x2_cached):
         sum_y2 = _pairwise_sum(scratch, 0, n)
         sum_y_out[i] = sum_y
         sum_y2_out[i] = sum_y2
-        var_x = sum_x2 - (sum_x * sum_x) / n
+        var_x = x_sum2 - (x_sum * x_sum) / n
         var_y = sum_y2 - (sum_y * sum_y) / n
         if (np.isfinite(var_x) and np.isfinite(var_y)
                 and var_x > 0.0 and var_y > 0.0):
-            numerator = sum_xy - (sum_x * sum_y) / n
+            numerator = sum_xy - (x_sum * sum_y) / n
             raw = numerator / np.sqrt(var_x * var_y)
             r[i] = min(1.0, max(-1.0, raw))
             defined[i] = True

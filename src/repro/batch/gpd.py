@@ -66,7 +66,8 @@ class GpdRowGroup:
 
     __slots__ = ("k", "handles", "index")
 
-    def __init__(self, handles: np.ndarray, index) -> None:
+    def __init__(self, handles: np.ndarray,
+                 index: slice | np.ndarray) -> None:
         self.k = handles.size
         self.handles = handles
         self.index = index  # slice | int64 array (bank columns)
@@ -451,8 +452,9 @@ class BatchGpdBank:
 
     # -- telemetry replay (cold path) ------------------------------------------
 
-    def _emit_telemetry(self, handles, indices, live, before_all, ratios,
-                        results) -> None:
+    def _emit_telemetry(self, handles: np.ndarray, indices: np.ndarray,
+                        live: np.ndarray, before_all: np.ndarray,
+                        ratios: np.ndarray, results: list) -> None:
         record = self._log[-1]
         phase_states = self.machine.phase_states
         for position in range(handles.size):
@@ -551,7 +553,7 @@ class BatchGlobalPhaseDetector:
         self._bank.materialize_observations()
         return self._bank._observations[self._handle]
 
-    def observe_buffer(self, pcs) -> PhaseEvent | None:
+    def observe_buffer(self, pcs: np.ndarray) -> PhaseEvent | None:
         """Process one full sample buffer (single-row batch)."""
         return self._bank.observe_buffers([(self, pcs)])[0]
 

@@ -175,7 +175,8 @@ class LpdRowGroup:
                  "store", "epoch")
 
     def __init__(self, width: int, handles: np.ndarray,
-                 index, slots: np.ndarray, slot_index,
+                 index: slice | np.ndarray, slots: np.ndarray,
+                 slot_index: slice | np.ndarray,
                  store: _SetStore) -> None:
         self.width = width
         self.k = handles.size
@@ -615,8 +616,11 @@ class BatchLpdBank:
                                pos_arr[step_sel], call_indices, stepped,
                                results, event_positions, telemetry_live)
 
-    def _advance_rows(self, row_index, slot_index, store, counts,
-                      live_positions, call_indices, stepped: dict,
+    def _advance_rows(self, row_index: slice | np.ndarray,
+                      slot_index: slice | np.ndarray, store: _SetStore,
+                      counts: np.ndarray,
+                      live_positions: np.ndarray | None,
+                      call_indices: np.ndarray, stepped: dict,
                       results: list, event_positions: list,
                       telemetry_live: bool) -> None:
         """Pearson + fused FSM step for rows that all hold a stable set.
@@ -706,7 +710,8 @@ class BatchLpdBank:
     def _finish_step(self, handles: np.ndarray, indices: np.ndarray,
                      active_mask: np.ndarray, primed: list, stepped: dict,
                      results: list, event_positions: list,
-                     telemetry_live: bool, index=None) -> None:
+                     telemetry_live: bool,
+                     index: slice | None = None) -> None:
         """Close one bank step: log record, then ordered telemetry.
 
         *index* is an optional slice equivalent to *handles* (from a
@@ -732,8 +737,9 @@ class BatchLpdBank:
 
     # -- telemetry replay (cold path) ----------------------------------------
 
-    def _emit_telemetry(self, handles, indices, primed, stepped,
-                        results) -> None:
+    def _emit_telemetry(self, handles: np.ndarray, indices: np.ndarray,
+                        primed: list, stepped: dict,
+                        results: list) -> None:
         """Re-emit per item, in order, exactly as the scalar detector."""
         primed_set = set(primed)
         phase_states = self.machine.phase_states
@@ -882,7 +888,8 @@ class BatchLocalPhaseDetector:
 
     # -- actions ---------------------------------------------------------------
 
-    def observe(self, histogram, interval_index: int) -> PhaseEvent | None:
+    def observe(self, histogram: RegionHistogram | np.ndarray | None,
+                interval_index: int) -> PhaseEvent | None:
         """Process one interval for this row only (single-item batch)."""
         return self._bank.observe_many(
             [(self, histogram, interval_index)])[0]

@@ -10,6 +10,8 @@ the bit-equality contract holds per stream regardless of the mix.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.batch.gpd import BatchGlobalPhaseDetector, BatchGpdBank
@@ -67,7 +69,7 @@ def run_gpd_batch(streams: list[SampleStream], buffer_size: int,
 
 def batch_monitor(binary: SyntheticBinary, bank: BatchLpdBank,
                   thresholds: MonitorThresholds | None = None,
-                  **kwargs) -> RegionMonitor:
+                  **kwargs: Any) -> RegionMonitor:
     """A :class:`RegionMonitor` whose detectors live in a shared bank.
 
     Identical to constructing the monitor directly except that every

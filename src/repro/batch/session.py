@@ -20,6 +20,7 @@ start, starve and end at different intervals (ragged fleets).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -173,7 +174,7 @@ class BatchSession:
                  run_gpd: bool = True,
                  watchdog: WatchdogConfig | None = None,
                  telemetry: EventBus | None = None,
-                 **monitor_kwargs) -> None:
+                 **monitor_kwargs: Any) -> None:
         self.monitor_thresholds = monitor_thresholds or MonitorThresholds()
         self.buffer_size = self.monitor_thresholds.buffer_size
         self.gpd_thresholds = (gpd_thresholds or GpdThresholds()

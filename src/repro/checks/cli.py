@@ -23,8 +23,8 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.checks.baseline import Baseline
-from repro.checks.registry import (ALL_RULES, DEFAULT_PATHS, CheckReport,
-                                   run_checks)
+from repro.checks.registry import (ALL_RULES, DEFAULT_PATHS, RULE_FAMILIES,
+                                   CheckReport, run_checks)
 from repro.errors import ConfigError
 
 DEFAULT_BASELINE = "repro-check-baseline.json"
@@ -54,10 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept all current findings into the baseline file and exit")
     parser.add_argument(
         "--rules", default=None, metavar="R1,R2",
-        help="comma-separated rule ids to restrict the run to")
+        help="comma-separated rule ids and/or families "
+             f"({', '.join(sorted(RULE_FAMILIES))}) to restrict the run to")
     parser.add_argument(
         "--no-model-checker", action="store_true",
-        help="skip the LPD/GPD state-machine model checker")
+        help="skip the state-machine and protocol model checkers")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print every rule id with a one-line description and exit")
@@ -70,8 +71,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.list_rules:
         width = max(len(rule) for rule in ALL_RULES)
-        for rule, description in sorted(ALL_RULES.items()):
-            print(f"{rule:<{width}}  {description}", file=out)
+        for family in sorted(RULE_FAMILIES):
+            print(f"[{family}]", file=out)
+            for rule in sorted(RULE_FAMILIES[family]):
+                print(f"  {rule:<{width}}  {ALL_RULES[rule]}", file=out)
         return 0
 
     root = Path(args.root).resolve()
@@ -83,7 +86,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     rules: set[str] | None = None
     if args.rules:
         rules = {r.strip() for r in args.rules.split(",") if r.strip()}
-        unknown = rules - set(ALL_RULES)
+        unknown = rules - set(ALL_RULES) - set(RULE_FAMILIES)
         if unknown:
             print(f"repro-check: unknown rule(s) {sorted(unknown)}; "
                   f"see --list-rules", file=sys.stderr)

@@ -1,17 +1,31 @@
 """Pass registry and repo-level driver for ``repro-check``.
 
-Three pass families run by default:
+Six pass families run by default:
 
 * the per-file determinism lint (:mod:`repro.checks.determinism`) over
   every ``.py`` file under the scanned paths;
 * the cache-key audit (:mod:`repro.checks.cachekeys`) over the cache,
   simulation-helper and fault-model modules;
 * the state-machine model checker (:mod:`repro.checks.statemachine`)
-  over the declarative LPD/GPD tables and their implementations.
+  over the declarative LPD/GPD tables and their implementations;
+* the protocol model checker (:mod:`repro.checks.protocol`) over the
+  fleet-serving delivery discipline, including small-scope schedule
+  exploration against the real ``ShardWorker``;
+* the concurrency/IPC lint (:mod:`repro.checks.concurrency`) over the
+  ``serve`` and ``telemetry`` packages;
+* the kernel-twin contract audit (:mod:`repro.checks.twins`) over
+  ``batch/compiled/``.
+
+Rules are grouped into families (``repro-check --rules protocol``
+enables a whole family; individual rule ids still work).  A ``--rules``
+filter also *skips* passes that cannot produce any requested rule, so
+``--rules twins`` does not pay for schedule exploration.
 
 Inline ``# repro: allow[rule]`` suppressions are applied to every
 file-anchored finding; suppressions that never fire are reported
-(``unused-suppression``).
+(``unused-suppression``) — but only when every rule a suppression names
+was active in the run, so a filtered run cannot mistake a dormant
+suppression for a stale one.
 """
 
 from __future__ import annotations
@@ -20,12 +34,17 @@ from pathlib import Path
 
 from repro.checks.baseline import Baseline
 from repro.checks.cachekeys import audit_cache_keys
+from repro.checks.concurrency import (CONCURRENCY_PATHS, audit_messages,
+                                      lint_concurrency)
 from repro.checks.determinism import lint_source
 from repro.checks.findings import Finding, sort_findings
+from repro.checks.protocol import run_protocol_checker
 from repro.checks.statemachine import run_model_checker
 from repro.checks.suppress import SuppressionIndex
+from repro.checks.twins import audit_twins
 
-__all__ = ["ALL_RULES", "DEFAULT_PATHS", "CheckReport", "run_checks"]
+__all__ = ["ALL_RULES", "RULE_FAMILIES", "DEFAULT_PATHS", "CheckReport",
+           "expand_rules", "run_checks"]
 
 #: Every rule id a default run can emit (``repro-check --list-rules``).
 ALL_RULES: dict[str, str] = {
@@ -46,10 +65,65 @@ ALL_RULES: dict[str, str] = {
     "fsm-unknown-state": "rule references an undeclared state/input",
     "fsm-phase-change-label": "phase_change flag contradicts the boundary",
     "fsm-divergence": "implementation disagrees with the declarative table",
+    "protocol-spec-incomplete": "ProtocolSpec is ill-formed or inexecutable",
+    "protocol-surface-drift": "spec message surface out of sync with serve/messages.py",
+    "protocol-anchor-missing": "spec transition no longer maps onto shipped code",
+    "protocol-invariant": "a delivery-protocol safety invariant is violated",
+    "protocol-impl-divergence": "ShardWorker disagrees with the protocol model",
+    "fork-unsafe-global": "module-level mutable state reachable post-fork",
+    "queue-no-timeout": "blocking queue put/get without a timeout",
+    "message-field-unpicklable": "wire-message field that cannot cross a pipe",
+    "message-schema-drift": "message dataclasses out of sync with MESSAGE_SCHEMA",
+    "signal-handler-blocking": "blocking call inside a signal handler",
+    "unreaped-worker": "process spawner without a join+terminate ladder",
+    "twin-missing": "kernel present in only one backend",
+    "twin-signature-mismatch": "JIT and reference twins disagree on parameters",
+    "twin-export-gap": "kernel absent from the backend selection block",
+    "twin-probe-gap": "kernel not covered by the import-time probe",
+    "twin-dtype-implicit": "kernel allocation without an explicit dtype",
+    "twin-accumulation-order": "sequential loop reduction in a JIT kernel",
+}
+
+#: Family name -> rule ids; ``--rules <family>`` enables all of them.
+RULE_FAMILIES: dict[str, frozenset[str]] = {
+    "determinism": frozenset({
+        "unseeded-rng", "wall-clock", "unordered-iter", "float-equality",
+        "parse-error", "unused-suppression"}),
+    "cachekeys": frozenset({
+        "cache-key-field", "cache-key-no-faults",
+        "fault-token-incomplete", "fault-kind-collision",
+        "snapshot-field-drift"}),
+    "statemachine": frozenset({
+        "fsm-incomplete", "fsm-nondeterministic", "fsm-unreachable-state",
+        "fsm-unknown-state", "fsm-phase-change-label", "fsm-divergence"}),
+    "protocol": frozenset({
+        "protocol-spec-incomplete", "protocol-surface-drift",
+        "protocol-anchor-missing", "protocol-invariant",
+        "protocol-impl-divergence"}),
+    "concurrency": frozenset({
+        "fork-unsafe-global", "queue-no-timeout",
+        "message-field-unpicklable", "message-schema-drift",
+        "signal-handler-blocking", "unreaped-worker"}),
+    "twins": frozenset({
+        "twin-missing", "twin-signature-mismatch", "twin-export-gap",
+        "twin-probe-gap", "twin-dtype-implicit",
+        "twin-accumulation-order"}),
 }
 
 #: Directories scanned by default, relative to the repo root.
 DEFAULT_PATHS = ("src", "scripts")
+
+#: Repo-relative path of the wire-message module.
+_MESSAGES_REL = "src/repro/serve/messages.py"
+
+
+def expand_rules(requested: set[str]) -> set[str]:
+    """Resolve family names to rule ids; unknown names pass through
+    (the CLI validates against ``ALL_RULES`` | ``RULE_FAMILIES``)."""
+    expanded: set[str] = set()
+    for name in requested:
+        expanded |= RULE_FAMILIES.get(name, {name})
+    return expanded
 
 
 class CheckReport:
@@ -94,7 +168,16 @@ def _python_files(root: Path, paths: tuple[str, ...]) -> list[Path]:
 def run_checks(root: Path, paths: tuple[str, ...] = DEFAULT_PATHS,
                rules: set[str] | None = None,
                model_checker: bool = True) -> list[Finding]:
-    """Run every pass; return suppression-filtered, sorted findings."""
+    """Run every pass; return suppression-filtered, sorted findings.
+
+    ``rules`` may hold rule ids and/or family names; passes whose rule
+    sets are disjoint from the request are skipped entirely.
+    """
+    active = expand_rules(rules) if rules is not None else set(ALL_RULES)
+
+    def wants(family: str) -> bool:
+        return bool(RULE_FAMILIES[family] & active)
+
     findings: list[Finding] = []
     indexes: dict[str, SuppressionIndex] = {}
 
@@ -105,11 +188,22 @@ def run_checks(root: Path, paths: tuple[str, ...] = DEFAULT_PATHS,
         except OSError:
             continue
         indexes[rel] = SuppressionIndex.from_source(rel, source)
-        findings.extend(lint_source(rel, source))
+        if wants("determinism"):
+            findings.extend(lint_source(rel, source))
+        if wants("concurrency") \
+                and rel.startswith(CONCURRENCY_PATHS):
+            findings.extend(lint_concurrency(rel, source))
+            if rel == _MESSAGES_REL:
+                findings.extend(audit_messages(rel, source))
 
-    findings.extend(audit_cache_keys(root))
-    if model_checker:
+    if wants("cachekeys"):
+        findings.extend(audit_cache_keys(root))
+    if wants("twins"):
+        findings.extend(audit_twins(root))
+    if model_checker and wants("statemachine"):
         findings.extend(run_model_checker())
+    if model_checker and wants("protocol"):
+        findings.extend(run_protocol_checker(root))
 
     kept: list[Finding] = []
     for finding in findings:
@@ -118,9 +212,10 @@ def run_checks(root: Path, paths: tuple[str, ...] = DEFAULT_PATHS,
                                                      finding.line):
             continue
         kept.append(finding)
+    unrestricted = rules is None
     for rel in sorted(indexes):
-        kept.extend(indexes[rel].unused_findings())
+        kept.extend(indexes[rel].unused_findings(
+            active_rules=None if unrestricted else active))
 
-    if rules is not None:
-        kept = [f for f in kept if f.rule in rules]
+    kept = [f for f in kept if f.rule in active]
     return sort_findings(kept)

@@ -68,13 +68,24 @@ class SuppressionIndex:
                 return True
         return False
 
-    def unused_findings(self) -> list[Finding]:
-        """A ``unused-suppression`` warning per allow that never fired."""
+    def unused_findings(self, active_rules: set[str] | None = None) \
+            -> list[Finding]:
+        """A ``unused-suppression`` warning per allow that never fired.
+
+        When *active_rules* is given (a rule-filtered run), only
+        suppressions whose named rules were **all** active can be judged
+        unused — an allow for a rule that never ran this time is dormant,
+        not stale.  ``allow[*]`` is only judged in unrestricted runs.
+        """
         findings: list[Finding] = []
         for lineno in sorted(self._allows):
             if lineno in self._used:
                 continue
-            rules = ",".join(sorted(self._allows[lineno]))
+            named = self._allows[lineno]
+            if active_rules is not None and \
+                    ("*" in named or not named <= active_rules):
+                continue
+            rules = ",".join(sorted(named))
             findings.append(Finding(
                 rule="unused-suppression",
                 severity=Severity.WARNING,

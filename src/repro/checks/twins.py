@@ -1,0 +1,235 @@
+"""Kernel-twin contract audit for ``batch/compiled/``.
+
+The compiled hot path ships every kernel twice — a Numba JIT version
+and the pure-NumPy reference — and the import-time probe promotes the
+JIT pair only when the two are bit-identical.  That architecture is
+only as strong as its contracts, which these rules verify statically:
+
+``twin-missing``
+    Every public kernel in one backend must exist in the other; a
+    one-sided kernel silently falls back (or crashes) depending on
+    which backend won the probe.
+``twin-signature-mismatch``
+    Twin kernels must take identical parameter names in identical
+    order (and matching defaults) — callers hold references to either
+    module's function, so keyword calls must mean the same thing.
+``twin-export-gap``
+    The package ``__init__`` must re-export every public kernel from
+    the selected backend and list it in ``__all__``; a kernel missing
+    from the selection block pins callers to one backend.
+``twin-probe-gap``
+    ``_probe_matches`` must exercise every exported kernel on both the
+    ``jit`` and ``ref`` modules; an unprobed kernel can ship a
+    miscompilation the differential gate never sees.
+``twin-dtype-implicit``
+    Array allocations (``np.empty``/``zeros``/``ones``/``full``)
+    inside a public kernel must pass an explicit ``dtype=``; inferred
+    dtypes are platform-dependent, which breaks the bit-identical
+    contract between twins.
+``twin-accumulation-order``
+    A ``+=``/``-=`` accumulation inside a loop in a public JIT kernel
+    is a sequential reduction, which disagrees in the last ulp with
+    NumPy's pairwise summation; reductions must route through the
+    backend's ``_pairwise_sum`` replica (itself exempt — it *is* the
+    sanctioned accumulator).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.checks.findings import Finding, Severity
+
+__all__ = ["audit_twins", "COMPILED_DIR"]
+
+#: The compiled-kernel package, relative to the repo root.
+COMPILED_DIR = "src/repro/batch/compiled"
+
+_ALLOCATORS = frozenset({"empty", "zeros", "ones", "full",
+                         "empty_like", "zeros_like", "ones_like",
+                         "full_like"})
+
+
+def _parse(path: Path, rel: str,
+           findings: list[Finding]) -> ast.Module | None:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"))
+    except OSError:
+        findings.append(Finding(
+            rule="twin-missing", severity=Severity.ERROR, path=rel,
+            line=0, message=f"kernel backend {rel} is missing"))
+        return None
+    except SyntaxError:
+        return None  # the determinism lint reports parse-error
+
+
+def _public_kernels(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    return {node.name: node for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+            and not node.name.startswith("_")}
+
+
+def _signature(node: ast.FunctionDef) -> tuple[tuple[str, ...], int]:
+    """(parameter names in order, number of defaults)."""
+    args = node.args
+    names = tuple(a.arg for a in args.posonlyargs + args.args
+                  + args.kwonlyargs)
+    return names, len(args.defaults) + sum(
+        1 for d in args.kw_defaults if d is not None)
+
+
+def _compare_backends(jit_tree: ast.Module, ref_tree: ast.Module,
+                      jit_rel: str, ref_rel: str) -> list[Finding]:
+    findings: list[Finding] = []
+    jit_kernels = _public_kernels(jit_tree)
+    ref_kernels = _public_kernels(ref_tree)
+    for name in sorted(set(ref_kernels) - set(jit_kernels)):
+        findings.append(Finding(
+            rule="twin-missing", severity=Severity.ERROR, path=jit_rel,
+            line=0,
+            message=f"reference kernel {name} has no JIT twin"))
+    for name in sorted(set(jit_kernels) - set(ref_kernels)):
+        findings.append(Finding(
+            rule="twin-missing", severity=Severity.ERROR, path=ref_rel,
+            line=jit_kernels[name].lineno,
+            message=f"JIT kernel {name} has no reference twin — "
+                    f"nothing defines its semantics"))
+    for name in sorted(set(jit_kernels) & set(ref_kernels)):
+        jit_sig = _signature(jit_kernels[name])
+        ref_sig = _signature(ref_kernels[name])
+        if jit_sig != ref_sig:
+            findings.append(Finding(
+                rule="twin-signature-mismatch", severity=Severity.ERROR,
+                path=jit_rel, line=jit_kernels[name].lineno,
+                message=f"{name} signature {jit_sig[0]} (defaults: "
+                        f"{jit_sig[1]}) != reference {ref_sig[0]} "
+                        f"(defaults: {ref_sig[1]}); twins must be "
+                        f"drop-in interchangeable"))
+    return findings
+
+
+def _audit_exports(init_tree: ast.Module, kernels: set[str],
+                   init_rel: str) -> list[Finding]:
+    findings: list[Finding] = []
+    exported: set[str] = set()
+    dunder_all: set[str] = set()
+    probe: ast.FunctionDef | None = None
+    for node in init_tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            target = node.targets[0].id
+            if target == "__all__" and isinstance(node.value,
+                                                  (ast.List, ast.Tuple)):
+                dunder_all = {e.value for e in node.value.elts
+                              if isinstance(e, ast.Constant)
+                              and isinstance(e.value, str)}
+            elif isinstance(node.value, ast.Attribute):
+                exported.add(target)
+        elif isinstance(node, ast.FunctionDef) \
+                and node.name == "_probe_matches":
+            probe = node
+
+    for name in sorted(kernels - exported):
+        findings.append(Finding(
+            rule="twin-export-gap", severity=Severity.ERROR,
+            path=init_rel, line=0,
+            message=f"kernel {name} is not re-exported by the backend "
+                    f"selection block; callers cannot reach the "
+                    f"selected twin"))
+    for name in sorted(kernels - dunder_all):
+        findings.append(Finding(
+            rule="twin-export-gap", severity=Severity.ERROR,
+            path=init_rel, line=0,
+            message=f"kernel {name} missing from __all__"))
+
+    if probe is None:
+        findings.append(Finding(
+            rule="twin-probe-gap", severity=Severity.ERROR,
+            path=init_rel, line=0,
+            message="_probe_matches not found; the JIT backend is "
+                    "promoted without a differential probe"))
+        return findings
+    probed: dict[str, set[str]] = {"jit": set(), "ref": set()}
+    for node in ast.walk(probe):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id in probed:
+            probed[node.value.id].add(node.attr)
+    for name in sorted(kernels):
+        sides = [side for side in ("jit", "ref")
+                 if name not in probed[side]]
+        if sides:
+            findings.append(Finding(
+                rule="twin-probe-gap", severity=Severity.ERROR,
+                path=init_rel, line=probe.lineno,
+                message=f"kernel {name} is never probed on "
+                        f"{' and '.join(sides)}; a bitwise mismatch "
+                        f"in it would not demote the JIT backend"))
+    return findings
+
+
+def _audit_kernel_bodies(tree: ast.Module, rel: str,
+                         jit: bool) -> list[Finding]:
+    findings: list[Finding] = []
+    for kernel in _public_kernels(tree).values():
+        for node in ast.walk(kernel):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _ALLOCATORS \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == "np" \
+                    and node.func.attr not in ("empty_like", "zeros_like",
+                                               "ones_like", "full_like") \
+                    and not any(kw.arg == "dtype"
+                                for kw in node.keywords):
+                findings.append(Finding(
+                    rule="twin-dtype-implicit", severity=Severity.ERROR,
+                    path=rel, line=node.lineno,
+                    message=f"{kernel.name}: np.{node.func.attr} "
+                            f"without an explicit dtype=; inferred "
+                            f"dtypes break the twin contract"))
+        if not jit:
+            continue
+        for loop in ast.walk(kernel):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if isinstance(node, ast.AugAssign) \
+                        and isinstance(node.op, (ast.Add, ast.Sub)) \
+                        and isinstance(node.target, ast.Name):
+                    findings.append(Finding(
+                        rule="twin-accumulation-order",
+                        severity=Severity.ERROR, path=rel,
+                        line=node.lineno,
+                        message=f"{kernel.name}: sequential "
+                                f"accumulation onto "
+                                f"{node.target.id!r} in a loop "
+                                f"disagrees with NumPy's pairwise "
+                                f"summation in the last ulp; route "
+                                f"the reduction through "
+                                f"_pairwise_sum"))
+    return findings
+
+
+def audit_twins(repo_root: Path) -> list[Finding]:
+    """Run every twin-contract rule against ``batch/compiled/``."""
+    findings: list[Finding] = []
+    base = repo_root / COMPILED_DIR
+    if not base.is_dir():
+        return []  # no compiled package in this tree: nothing to audit
+    jit_rel = f"{COMPILED_DIR}/numba_backend.py"
+    ref_rel = f"{COMPILED_DIR}/numpy_backend.py"
+    init_rel = f"{COMPILED_DIR}/__init__.py"
+    jit_tree = _parse(base / "numba_backend.py", jit_rel, findings)
+    ref_tree = _parse(base / "numpy_backend.py", ref_rel, findings)
+    init_tree = _parse(base / "__init__.py", init_rel, findings)
+    if jit_tree is None or ref_tree is None or init_tree is None:
+        return findings
+    findings += _compare_backends(jit_tree, ref_tree, jit_rel, ref_rel)
+    kernels = set(_public_kernels(ref_tree)) \
+        & set(_public_kernels(jit_tree))
+    findings += _audit_exports(init_tree, kernels, init_rel)
+    findings += _audit_kernel_bodies(ref_tree, ref_rel, jit=False)
+    findings += _audit_kernel_bodies(jit_tree, jit_rel, jit=True)
+    return findings

@@ -27,6 +27,10 @@ delta.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.batch.session import BatchLane
 
 __all__ = ["EventRecord", "EventCursor", "extract_lane_events"]
 
@@ -62,7 +66,7 @@ def _merge(records: list[tuple[int, int, int, EventRecord]]
     return tuple(item[3] for item in records)
 
 
-def extract_lane_events(lane, cursor: EventCursor = EventCursor()
+def extract_lane_events(lane: BatchLane, cursor: EventCursor = EventCursor()
                         ) -> tuple[tuple[EventRecord, ...], EventCursor]:
     """New events on *lane* past *cursor*; returns them plus the new cursor.
 

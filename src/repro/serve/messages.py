@@ -28,7 +28,15 @@ import numpy as np
 from repro.serve.events import EventRecord
 
 __all__ = ["Batch", "Shutdown", "WorkerStarted", "BatchAck",
-           "AppliedBatch", "SnapshotWritten"]
+           "AppliedBatch", "SnapshotWritten", "PROTOCOL_VERSION",
+           "MESSAGE_SCHEMA"]
+
+#: Version of the supervisor/worker wire protocol.  Bump whenever a
+#: message gains, loses or renames a field, together with the
+#: ``MESSAGE_SCHEMA`` entry below and the declarative
+#: :func:`repro.checks.protocol.serve_protocol_spec` — the
+#: ``protocol-surface-drift`` rule fails the build when they disagree.
+PROTOCOL_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -93,3 +101,18 @@ class SnapshotWritten:
     seq: int
     path: str
     n_bytes: int
+
+
+#: The wire schema, one field tuple per message, in declaration order.
+#: Receivers (and the ``protocol-surface-drift`` audit) validate
+#: against this registry rather than live dataclass introspection, so
+#: an accidental field change breaks loudly instead of silently
+#: un-pickling into stale consumers.
+MESSAGE_SCHEMA: dict[str, tuple[str, ...]] = {
+    "Batch": ("seq", "stream", "stream_seq", "samples"),
+    "Shutdown": ("final_snapshot",),
+    "WorkerStarted": ("shard", "restored_seq", "lanes"),
+    "AppliedBatch": ("stream", "stream_seq", "events", "intervals"),
+    "BatchAck": ("shard", "seq", "applied"),
+    "SnapshotWritten": ("shard", "seq", "path", "n_bytes"),
+}

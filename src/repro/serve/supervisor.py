@@ -70,7 +70,7 @@ from repro.telemetry.metrics import MetricsRegistry
 __all__ = ["FleetSupervisor"]
 
 
-def _mp_context():
+def _mp_context() -> multiprocessing.context.BaseContext:
     """Fork where available (fast, Linux CI); spawn elsewhere."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
@@ -80,7 +80,8 @@ def _mp_context():
 class _ShardState:
     """Supervisor-side bookkeeping for one shard."""
 
-    def __init__(self, shard_id: int, streams: list[str], ctx,
+    def __init__(self, shard_id: int, streams: list[str],
+                 ctx: multiprocessing.context.BaseContext,
                  config: ServeConfig) -> None:
         self.shard_id = shard_id
         self.streams = list(streams)
@@ -95,7 +96,7 @@ class _ShardState:
         self.journal = ShardJournal(shard_id)
         self.next_seq = 0
         self.unacked: set[int] = set()
-        self.process = None
+        self.process: multiprocessing.process.BaseProcess | None = None
         self.incarnations = 0
         self.started = False
         self.snapshot_seqs: list[int] = []
@@ -324,7 +325,7 @@ class FleetSupervisor:
         self._handle_up(message)
         return True
 
-    def _handle_up(self, message) -> None:
+    def _handle_up(self, message: object) -> None:
         if isinstance(message, WorkerStarted):
             state = self._shards[message.shard]
             state.started = True

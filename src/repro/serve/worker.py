@@ -31,6 +31,8 @@ import os
 import queue
 import signal
 import time
+from types import FrameType
+from typing import Any
 
 import numpy as np
 
@@ -239,7 +241,7 @@ class ShardWorker:
         return None
 
 
-def _flush_and_die(out_q) -> None:
+def _flush_and_die(out_q: Any) -> None:
     """Flush the output queue's feeder thread, then hard-exit.
 
     The injected failure mode is *process loss*, not queue corruption:
@@ -257,11 +259,11 @@ def _flush_and_die(out_q) -> None:
 def worker_main(shard_id: int, streams: tuple[str, ...],
                 config: ServeConfig, snapshot_dir: str,
                 faults: ServiceFaultPlan | None,
-                in_q, out_q) -> None:
+                in_q: Any, out_q: Any) -> None:
     """Process entry point for one shard worker incarnation."""
     terminated = {"flag": False}
 
-    def _on_signal(signum, frame) -> None:
+    def _on_signal(signum: int, frame: FrameType | None) -> None:
         terminated["flag"] = True
 
     signal.signal(signal.SIGTERM, _on_signal)
@@ -270,7 +272,10 @@ def worker_main(shard_id: int, streams: tuple[str, ...],
     store = SnapshotStore(snapshot_dir, shard_id,
                           keep=config.snapshot_keep)
     worker = ShardWorker(shard_id, tuple(streams), config, store, faults)
-    out_q.put(WorkerStarted(shard=shard_id,
+    # The output queue is unbounded (the supervisor's ctx.Queue() with
+    # no maxsize), so these puts never block on capacity — only the
+    # feeder thread writes the pipe, and it survives a dead reader.
+    out_q.put(WorkerStarted(shard=shard_id,  # repro: allow[queue-no-timeout] unbounded output queue
                             restored_seq=worker.restored_seq,
                             lanes=worker.streams))
     while True:
@@ -282,7 +287,7 @@ def worker_main(shard_id: int, streams: tuple[str, ...],
             continue
         if isinstance(message, Shutdown):
             if message.final_snapshot:
-                out_q.put(worker.take_snapshot())
+                out_q.put(worker.take_snapshot())  # repro: allow[queue-no-timeout] unbounded output queue
             return
         if not isinstance(message, Batch):
             continue  # unknown message: ignore, stay alive
@@ -291,12 +296,12 @@ def worker_main(shard_id: int, streams: tuple[str, ...],
             worker.handle_batch(message)
             _flush_and_die(out_q)
         ack = worker.handle_batch(message)
-        out_q.put(ack)
+        out_q.put(ack)  # repro: allow[queue-no-timeout] unbounded output queue
         if crash is not None:
             _flush_and_die(out_q)
         if worker.snapshot_due:
             try:
-                out_q.put(worker.take_snapshot())
+                out_q.put(worker.take_snapshot())  # repro: allow[queue-no-timeout] unbounded output queue
             except SnapshotError:
                 _flush_and_die(out_q)  # torn write == death mid-checkpoint
     # SIGTERM/SIGINT: persist a final snapshot, then exit cleanly.  The
@@ -305,5 +310,5 @@ def worker_main(shard_id: int, streams: tuple[str, ...],
     # exit-time feeder flush must not be allowed to block (a full pipe
     # would turn this exit into a deadlock that the supervisor's own
     # unbounded interpreter-exit joins then inherit).
-    out_q.put(worker.take_snapshot())
+    out_q.put(worker.take_snapshot())  # repro: allow[queue-no-timeout] unbounded output queue
     out_q.cancel_join_thread()

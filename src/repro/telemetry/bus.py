@@ -93,7 +93,11 @@ class EventBus:
 
 
 #: The per-process bus every instrumented component defaults to.
-_GLOBAL_BUS = EventBus()
+#: Fork story: each forked worker inherits a *copy*, which is exactly
+#: the intended per-process semantics — and shard workers never use it
+#: anyway (``build_shard_session`` hands every session its own bus so
+#: snapshots stay picklable).
+_GLOBAL_BUS = EventBus()  # repro: allow[fork-unsafe-global] per-process by design
 
 
 def get_bus() -> EventBus:

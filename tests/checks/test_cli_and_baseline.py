@@ -78,9 +78,79 @@ class TestCli:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         assert "unseeded-rng" in out and "fsm-divergence" in out
+        # Rules are grouped under their family headers.
+        for family in ("determinism", "protocol", "concurrency", "twins"):
+            assert f"[{family}]" in out
+        assert "protocol-invariant" in out
+        assert "twin-missing" in out
+
+    def test_family_name_selects_all_its_rules(self, tmp_path):
+        root = make_project(tmp_path)  # DIRTY carries wall-clock
+        assert main(["--root", str(root), "--no-model-checker",
+                     "--rules", "determinism", "src"]) == 1
+        # ...and a family with no findings in this tree passes.
+        assert main(["--root", str(root), "--no-model-checker",
+                     "--rules", "twins", "src"]) == 0
+
+    def test_family_and_rule_names_mix(self, tmp_path):
+        root = make_project(tmp_path)
+        assert main(["--root", str(root), "--no-model-checker",
+                     "--rules", "twins,wall-clock", "src"]) == 1
 
     def test_bad_root_is_config_error(self, tmp_path):
         assert main(["--root", str(tmp_path / "absent")]) == 2
+
+
+class TestFilteredSuppressionAudit:
+    """Rule-filtered runs must not misjudge dormant suppressions."""
+
+    SOURCE = ("import time\n"
+              "T = time.time()  # repro: allow[wall-clock] fixture\n")
+
+    def test_unrestricted_run_reports_stale_allows(self, tmp_path):
+        root = make_project(
+            tmp_path, "import numpy as np\n"
+                      "X = 1  # repro: allow[wall-clock] nothing here\n")
+        findings = run_checks(root, paths=("src",), model_checker=False)
+        assert [f.rule for f in findings] == ["unused-suppression"]
+
+    def test_filtered_run_skips_dormant_allows(self, tmp_path):
+        # The allow names wall-clock, but only unseeded-rng ran: the
+        # suppression never had a chance to fire, so it is dormant —
+        # not stale — and must not be reported.
+        root = make_project(
+            tmp_path, "X = 1  # repro: allow[wall-clock] dormant\n")
+        findings = run_checks(root, paths=("src",),
+                              rules={"unseeded-rng"},
+                              model_checker=False)
+        assert findings == []
+
+    def test_filtered_run_still_audits_active_rules(self, tmp_path):
+        root = make_project(
+            tmp_path, "X = 1  # repro: allow[wall-clock] stale\n")
+        findings = run_checks(root, paths=("src",),
+                              rules={"wall-clock", "unused-suppression"},
+                              model_checker=False)
+        assert [f.rule for f in findings] == ["unused-suppression"]
+
+    def test_wildcard_allows_only_judged_unrestricted(self, tmp_path):
+        root = make_project(
+            tmp_path, "X = 1  # repro: allow[*] blanket\n")
+        assert run_checks(root, paths=("src",),
+                          rules={"wall-clock", "unused-suppression"},
+                          model_checker=False) == []
+        unrestricted = run_checks(root, paths=("src",),
+                                  model_checker=False)
+        assert [f.rule for f in unrestricted] == ["unused-suppression"]
+
+    def test_serve_and_compiled_suppressions_are_live(self):
+        # Every allow in the serving and compiled layers must still
+        # suppress a real finding (the audit covers those paths too).
+        findings = run_checks(REPO_ROOT)
+        assert not [f for f in findings
+                    if f.rule == "unused-suppression"
+                    and ("serve/" in f.path or "telemetry/" in f.path
+                         or "compiled/" in f.path)]
 
 
 class TestBaseline:

@@ -1,0 +1,191 @@
+"""Concurrency/IPC lint: each rule on minimal dirty and clean sources."""
+
+import textwrap
+
+from repro.checks.concurrency import audit_messages, lint_concurrency
+
+PATH = "src/repro/serve/fake.py"
+
+
+def lint(source):
+    return lint_concurrency(PATH, textwrap.dedent(source))
+
+
+def audit(source):
+    return audit_messages(PATH, textwrap.dedent(source))
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestForkUnsafeGlobal:
+    def test_mutable_module_dict_is_flagged(self):
+        findings = lint("_registry = {}\n")
+        assert rules_of(findings) == {"fork-unsafe-global"}
+        assert "_registry" in findings[0].message
+
+    def test_mutable_constructor_call_is_flagged(self):
+        assert rules_of(lint("import collections\n"
+                             "_events = collections.deque()\n")) \
+            == {"fork-unsafe-global"}
+
+    def test_instance_of_a_class_is_flagged(self):
+        assert rules_of(lint("_BUS = EventBus()\n")) \
+            == {"fork-unsafe-global"}
+
+    def test_constant_case_literals_are_exempt(self):
+        assert lint("FEEDS = {'gpd': 0, 'lpd': 1}\n"
+                    "_RANKS = [1, 2, 3]\n") == []
+
+    def test_constant_immutable_constructors_are_exempt(self):
+        assert lint("import struct\n"
+                    "_HEADER = struct.Struct('<IQI')\n"
+                    "NAMES = frozenset({'a'})\n") == []
+
+    def test_dunders_and_function_locals_are_exempt(self):
+        assert lint("__all__ = ['f']\n"
+                    "def f():\n"
+                    "    cache = {}\n"
+                    "    return cache\n") == []
+
+
+class TestQueueNoTimeout:
+    def test_blocking_get_without_timeout_is_flagged(self):
+        findings = lint("def loop(in_q):\n"
+                        "    return in_q.get()\n")
+        assert rules_of(findings) == {"queue-no-timeout"}
+
+    def test_blocking_put_on_queue_attribute_is_flagged(self):
+        assert rules_of(lint("def send(self, msg):\n"
+                             "    self.out_q.put(msg)\n")) \
+            == {"queue-no-timeout"}
+
+    def test_timeout_and_nowait_variants_are_clean(self):
+        assert lint("def loop(in_q, out_q):\n"
+                    "    m = in_q.get(timeout=0.05)\n"
+                    "    out_q.put_nowait(m)\n"
+                    "    out_q.put(m, block=False)\n") == []
+
+    def test_mapping_get_is_out_of_scope(self):
+        assert lint("def lookup(table, key):\n"
+                    "    return table.get(key)\n") == []
+
+
+class TestSignalHandler:
+    def test_blocking_call_in_registered_handler_is_flagged(self):
+        findings = lint("""\
+            import signal, time
+
+            def _on_term(signum, frame):
+                time.sleep(1.0)
+
+            def install():
+                signal.signal(signal.SIGTERM, _on_term)
+            """)
+        assert rules_of(findings) == {"signal-handler-blocking"}
+        assert "_on_term" in findings[0].message
+
+    def test_flag_setting_handler_is_clean(self):
+        assert lint("""\
+            import signal
+
+            def install(state):
+                def _on_term(signum, frame):
+                    state["terminated"] = True
+                signal.signal(signal.SIGTERM, _on_term)
+            """) == []
+
+    def test_unregistered_function_may_block(self):
+        assert lint("import time\n"
+                    "def helper():\n"
+                    "    time.sleep(0.1)\n") == []
+
+
+class TestUnreapedWorker:
+    SPAWN = ("import multiprocessing\n"
+             "def start(ctx):\n"
+             "    p = ctx.Process(target=print)\n"
+             "    p.start()\n"
+             "    return p\n")
+
+    def test_spawn_without_reaping_is_flagged(self):
+        assert rules_of(lint(self.SPAWN)) == {"unreaped-worker"}
+
+    def test_join_alone_is_not_enough(self):
+        assert rules_of(lint(
+            self.SPAWN + "def stop(p):\n    p.join()\n")) \
+            == {"unreaped-worker"}
+
+    def test_join_plus_terminate_is_clean(self):
+        assert lint(self.SPAWN
+                    + "def stop(p):\n"
+                      "    p.join(timeout=1.0)\n"
+                      "    p.terminate()\n") == []
+
+
+MESSAGES_OK = """\
+    from dataclasses import dataclass
+
+    PROTOCOL_VERSION = 1
+
+    @dataclass(frozen=True)
+    class Ping:
+        seq: int
+
+    MESSAGE_SCHEMA = {"Ping": ("seq",)}
+    """
+
+
+class TestMessageAudit:
+    def test_conforming_module_is_clean(self):
+        assert audit(MESSAGES_OK) == []
+
+    def test_unpicklable_field_is_flagged(self):
+        findings = audit("""\
+            from dataclasses import dataclass
+            from typing import Callable
+
+            PROTOCOL_VERSION = 1
+
+            @dataclass(frozen=True)
+            class Ping:
+                seq: int
+                on_done: Callable[[int], None]
+
+            MESSAGE_SCHEMA = {"Ping": ("seq", "on_done")}
+            """)
+        assert rules_of(findings) == {"message-field-unpicklable"}
+        assert "Ping.on_done" in findings[0].message
+
+    def test_missing_version_is_drift(self):
+        findings = audit(MESSAGES_OK.replace(
+            "PROTOCOL_VERSION = 1", ""))
+        assert rules_of(findings) == {"message-schema-drift"}
+        assert "PROTOCOL_VERSION" in findings[0].message
+
+    def test_missing_schema_registry_is_drift(self):
+        findings = audit(MESSAGES_OK.replace(
+            'MESSAGE_SCHEMA = {"Ping": ("seq",)}', ""))
+        assert rules_of(findings) == {"message-schema-drift"}
+
+    def test_field_drift_is_reported_per_message(self):
+        findings = audit(MESSAGES_OK.replace(
+            '("seq",)', '("seq", "ghost")'))
+        assert rules_of(findings) == {"message-schema-drift"}
+        assert "Ping" in findings[0].message
+
+    def test_stale_schema_entry_is_reported(self):
+        findings = audit(MESSAGES_OK.replace(
+            '{"Ping": ("seq",)}', '{"Ping": ("seq",), "Gone": ()}'))
+        assert rules_of(findings) == {"message-schema-drift"}
+        assert "Gone" in findings[0].message
+
+
+class TestShippedTree:
+    def test_shipped_messages_module_is_conformant(self):
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[2]
+        rel = "src/repro/serve/messages.py"
+        source = (root / rel).read_text(encoding="utf-8")
+        assert audit_messages(rel, source) == []

@@ -1,0 +1,177 @@
+"""Kernel-twin contract audit: drift cases on synthetic backend trees."""
+
+import textwrap
+from pathlib import Path
+
+from repro.checks.twins import COMPILED_DIR, audit_twins
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+JIT_OK = """\
+    import numpy as np
+    from numba import njit
+
+    @njit(cache=True)
+    def _pairwise_sum(a, lo, n):
+        res = 0.0
+        for i in range(n):
+            res += a[lo + i]
+        return res
+
+    @njit(cache=True)
+    def centroid(block):
+        out = np.empty(block.shape[0], dtype=np.float64)
+        for i in range(block.shape[0]):
+            out[i] = _pairwise_sum(block[i], 0, block.shape[1])
+        return out
+    """
+
+REF_OK = """\
+    import numpy as np
+
+    def centroid(block):
+        out = np.empty(block.shape[0], dtype=np.float64)
+        out[:] = np.sum(block, axis=1)
+        return out
+    """
+
+INIT_OK = """\
+    import numpy as np
+    from . import numpy_backend as _ref
+
+    __all__ = ["centroid"]
+
+    def _probe_matches(jit, ref):
+        x = np.ones((2, 4), dtype=np.float64)
+        return jit.centroid(x).tobytes() == ref.centroid(x).tobytes()
+
+    _backend = _ref
+    centroid = _backend.centroid
+    """
+
+
+def make_tree(tmp_path, jit=JIT_OK, ref=REF_OK, init=INIT_OK):
+    base = tmp_path / COMPILED_DIR
+    base.mkdir(parents=True)
+    (base / "numba_backend.py").write_text(textwrap.dedent(jit))
+    (base / "numpy_backend.py").write_text(textwrap.dedent(ref))
+    (base / "__init__.py").write_text(textwrap.dedent(init))
+    return tmp_path
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestTwinPresence:
+    def test_conforming_tree_is_clean(self, tmp_path):
+        assert audit_twins(make_tree(tmp_path)) == []
+
+    def test_jit_only_kernel_has_no_semantics(self, tmp_path):
+        jit = JIT_OK + (
+            "\n"
+            "    @njit(cache=True)\n"
+            "    def extra(block):\n"
+            "        return block\n")
+        findings = audit_twins(make_tree(tmp_path, jit=jit))
+        assert "twin-missing" in rules_of(findings)
+        assert any("extra" in f.message for f in findings)
+
+    def test_reference_only_kernel_is_flagged_too(self, tmp_path):
+        ref = REF_OK + ("\n"
+                        "    def lonely(block):\n"
+                        "        return block\n")
+        findings = audit_twins(make_tree(tmp_path, ref=ref))
+        assert "twin-missing" in rules_of(findings)
+
+    def test_private_helpers_need_no_twin(self, tmp_path):
+        # _pairwise_sum exists only in the JIT backend and is fine.
+        assert audit_twins(make_tree(tmp_path)) == []
+
+
+class TestSignatures:
+    def test_renamed_parameter_is_a_mismatch(self, tmp_path):
+        jit = JIT_OK.replace("def centroid(block):",
+                             "def centroid(rows):").replace(
+            "block.shape", "rows.shape").replace("block[i]", "rows[i]")
+        findings = audit_twins(make_tree(tmp_path, jit=jit))
+        assert "twin-signature-mismatch" in rules_of(findings)
+
+    def test_extra_defaulted_parameter_is_a_mismatch(self, tmp_path):
+        ref = REF_OK.replace("def centroid(block):",
+                             "def centroid(block, scale=1.0):")
+        findings = audit_twins(make_tree(tmp_path, ref=ref))
+        assert "twin-signature-mismatch" in rules_of(findings)
+
+
+class TestExportsAndProbe:
+    def test_unexported_kernel_is_a_gap(self, tmp_path):
+        init = INIT_OK.replace("centroid = _backend.centroid", "")
+        findings = audit_twins(make_tree(tmp_path, init=init))
+        assert "twin-export-gap" in rules_of(findings)
+
+    def test_kernel_missing_from_all_is_a_gap(self, tmp_path):
+        init = INIT_OK.replace('__all__ = ["centroid"]',
+                               '__all__ = []')
+        findings = audit_twins(make_tree(tmp_path, init=init))
+        assert "twin-export-gap" in rules_of(findings)
+
+    def test_unprobed_kernel_is_a_gap(self, tmp_path):
+        init = INIT_OK.replace(
+            "return jit.centroid(x).tobytes() == ref.centroid(x).tobytes()",
+            "return jit.centroid(x) is not None")
+        findings = audit_twins(make_tree(tmp_path, init=init))
+        assert "twin-probe-gap" in rules_of(findings)
+        assert any("ref" in f.message for f in findings)
+
+    def test_missing_probe_function_is_fatal(self, tmp_path):
+        init = INIT_OK.replace("def _probe_matches(jit, ref):",
+                               "def _other(jit, ref):")
+        findings = audit_twins(make_tree(tmp_path, init=init))
+        assert "twin-probe-gap" in rules_of(findings)
+
+
+class TestKernelBodies:
+    def test_implicit_dtype_allocation_is_flagged(self, tmp_path):
+        ref = REF_OK.replace("np.empty(block.shape[0], dtype=np.float64)",
+                             "np.empty(block.shape[0])")
+        findings = audit_twins(make_tree(tmp_path, ref=ref))
+        assert "twin-dtype-implicit" in rules_of(findings)
+
+    def test_loop_accumulation_in_public_jit_kernel_is_flagged(
+            self, tmp_path):
+        jit = JIT_OK + (
+            "\n"
+            "    @njit(cache=True)\n"
+            "    def rowsum(block):\n"
+            "        total = 0.0\n"
+            "        for i in range(block.shape[0]):\n"
+            "            total += block[i, 0]\n"
+            "        return total\n")
+        ref = REF_OK + ("\n"
+                        "    def rowsum(block):\n"
+                        "        return float(np.sum(block[:, 0]))\n")
+        init = INIT_OK.replace('__all__ = ["centroid"]',
+                               '__all__ = ["centroid", "rowsum"]')
+        init = init.replace(
+            "centroid = _backend.centroid",
+            "centroid = _backend.centroid\n"
+            "    rowsum = _backend.rowsum")
+        init = init.replace(
+            "return jit.centroid(x).tobytes() == ref.centroid(x).tobytes()",
+            "a = jit.centroid(x).tobytes() == ref.centroid(x).tobytes()\n"
+            "        b = jit.rowsum(x) == ref.rowsum(x)\n"
+            "        return a and b")
+        findings = audit_twins(make_tree(tmp_path, jit=jit, ref=ref,
+                                         init=init))
+        assert rules_of(findings) == {"twin-accumulation-order"}
+        assert any("rowsum" in f.message for f in findings)
+
+    def test_pairwise_sum_replica_itself_is_exempt(self, tmp_path):
+        # _pairwise_sum is full of loop accumulation — by design.
+        assert audit_twins(make_tree(tmp_path)) == []
+
+
+def test_shipped_compiled_package_is_conformant():
+    findings = audit_twins(REPO_ROOT)
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -56,6 +56,51 @@ def test_streams_are_governed_independently():
     assert not governor.allows("s0", 11)
 
 
+def test_escalation_ladder_suspend_then_blacklist():
+    # The full degradation ladder for one stream: each trip doubles the
+    # backoff, and the trip that exhausts the budget blacklists instead
+    # of suspending — with the event sequence telling the whole story.
+    governor = make_governor(retry_budget=3, backoff_intervals=4,
+                             backoff_factor=2.0)
+    governor.trip("s0", 0)                 # trip 1: suspended until 4
+    assert not governor.allows("s0", 3)
+    assert governor.allows("s0", 4)        # re-admitted (RETRY)
+    governor.trip("s0", 10)                # trip 2: suspended until 18
+    assert not governor.allows("s0", 17)
+    assert governor.allows("s0", 18)       # re-admitted (RETRY)
+    event = governor.trip("s0", 20)        # trip 3 == budget: blacklist
+    assert event.action is WatchdogAction.GIVE_UP
+    assert governor.is_blacklisted("s0")
+    # Blacklisting is terminal: no backoff ever re-admits the stream.
+    assert not governor.allows("s0", 10**9)
+    assert [e.action for e in governor.events] == [
+        WatchdogAction.DEOPTIMIZE, WatchdogAction.RETRY,
+        WatchdogAction.DEOPTIMIZE, WatchdogAction.RETRY,
+        WatchdogAction.GIVE_UP]
+
+
+def test_minimal_backoff_still_suspends_one_sequence():
+    # The smallest legal config (intervals=1, factor=1.0): every trip
+    # suspends for exactly one dispatch sequence — never a no-op.
+    governor = make_governor(retry_budget=5, backoff_intervals=1,
+                             backoff_factor=1.0)
+    governor.trip("s0", 7)
+    assert not governor.allows("s0", 7)
+    assert governor.allows("s0", 8)
+
+
+def test_suspension_boundary_uses_trip_sequence_not_wall_clock():
+    # suspended_until is trip seq + backoff in *shard dispatch
+    # sequences*; re-admission at exactly the boundary is inclusive.
+    governor = make_governor(backoff_intervals=8, backoff_factor=2.0)
+    governor.trip("s0", 100)
+    assert not governor.allows("s0", 107)
+    assert governor.allows("s0", 108)
+    retry = governor.events[-1]
+    assert retry.action is WatchdogAction.RETRY
+    assert retry.interval_index == 108
+
+
 def test_summary_counts_each_outcome():
     governor = make_governor(retry_budget=2)
     governor.trip("s0", 0)          # suspension

@@ -55,6 +55,48 @@ class TestPartition:
         assert moved < len(STREAMS) // 2
 
 
+class TestRingEdgeCases:
+    def test_single_shard_single_replica_is_a_valid_ring(self):
+        # The smallest legal ring: one vnode total.  Lookups past the
+        # last point must wrap to it, so every stream lands on shard 0.
+        ring = HashRing(n_shards=1, replicas=1)
+        assert {ring.shard_for(s) for s in STREAMS} == {0}
+        assignment = ring.partition(STREAMS)
+        assert assignment == {0: STREAMS}
+
+    def test_partition_with_no_streams_still_names_every_shard(self):
+        assignment = HashRing(n_shards=3).partition([])
+        assert assignment == {0: [], 1: [], 2: []}
+
+    def test_removing_a_shard_moves_only_its_streams(self):
+        # Shrinking 5 -> 4 deletes exactly shard 4's vnodes; every
+        # stream that was NOT on shard 4 must keep its old owner.
+        # (This is the property that makes resharding a rolling
+        # operation: survivors' state never migrates.)
+        before = HashRing(n_shards=5)
+        after = HashRing(n_shards=4)
+        displaced = 0
+        for stream in STREAMS:
+            owner = before.shard_for(stream)
+            if owner < 4:
+                assert after.shard_for(stream) == owner
+            else:
+                displaced += 1
+        # The removed shard's streams all land somewhere valid.
+        assert displaced > 0
+        assert all(0 <= after.shard_for(s) < 4 for s in STREAMS)
+
+    def test_replica_count_changes_placement_but_not_validity(self):
+        # Replicas are a balance/stability dial, not a correctness one.
+        sparse = HashRing(n_shards=4, replicas=1)
+        dense = HashRing(n_shards=4, replicas=256)
+        for ring in (sparse, dense):
+            assignment = ring.partition(STREAMS)
+            assigned = [s for streams in assignment.values()
+                        for s in streams]
+            assert sorted(assigned) == sorted(STREAMS)
+
+
 def test_invalid_shapes_are_rejected():
     with pytest.raises(ServeError):
         HashRing(n_shards=0)
