@@ -55,6 +55,14 @@ import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+# The script runs standalone (no installed package, no PYTHONPATH); the
+# machine-identity helper is shared with `repro-bench hunt` so the
+# pairwise guard here and hunt's series segmentation can never drift.
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+from repro.cpd.hunt import machine_fingerprint  # noqa: E402
+
 #: Snapshot filename pattern; the lexicographic sort of the timestamp is
 #: the chronological order.
 SNAPSHOT_PATTERN = "BENCH_*.json"
@@ -334,6 +342,17 @@ def main(argv: list[str] | None = None) -> int:
         added, removed = membership_changes(snapshot, previous)
         print(f"compared {len(snapshot['benchmarks'])} benchmarks "
               f"against {os.path.basename(path)}")
+        current_machine = machine_fingerprint(snapshot)
+        baseline_machine = machine_fingerprint(previous)
+        if current_machine != baseline_machine:
+            print(f"WARNING: baseline {os.path.basename(path)} was "
+                  f"recorded on a different machine\n"
+                  f"  baseline: {baseline_machine}\n"
+                  f"  current:  {current_machine}\n"
+                  f"  cross-machine deltas measure hardware, not code — "
+                  f"treat any regression below with suspicion "
+                  f"(`repro-bench hunt` segments by machine for this "
+                  f"reason)")
         if added:
             print(f"  new (no baseline, informational): {', '.join(added)}")
         if removed:

@@ -25,6 +25,13 @@ served.  Three static rules:
     overrides ``token()`` must mention every one of its dataclass
     fields; the inherited ``token()`` enumerates ``fields(self)`` and
     is always safe.
+``cpd-token-incomplete``
+    A ``*Thresholds`` dataclass in ``cpd/config.py`` must define a
+    ``token()`` that either enumerates ``fields(self)`` (safe by
+    construction, the shipped idiom) or mentions every dataclass field
+    explicitly — CPD configurations feed experiment cache keys and
+    hunt-report parameters, so an omitted knob is a stale-artifact bug
+    of the same class ``fault-token-incomplete`` guards against.
 ``snapshot-field-drift``
     The serve layer's :data:`~repro.serve.snapshot.SNAPSHOT_FIELDS`
     schema tuple must list exactly the fields of ``ShardSnapshot``, in
@@ -43,8 +50,8 @@ from pathlib import Path
 from repro.checks.findings import Finding, Severity
 
 __all__ = ["audit_cache_keys", "audit_base_helpers", "audit_key_classes",
-           "audit_fault_tokens", "audit_snapshot_fields",
-           "RESULT_INERT_PARAMS"]
+           "audit_fault_tokens", "audit_cpd_tokens",
+           "audit_snapshot_fields", "RESULT_INERT_PARAMS"]
 
 #: Helper parameters exempt from ``cache-key-field``: knobs that
 #: provably cannot alter the computed artifact.  Keep this list short
@@ -256,6 +263,53 @@ def audit_fault_tokens(model_path: Path, rel: str) -> list[Finding]:
     return findings
 
 
+def audit_cpd_tokens(config_path: Path, rel: str) -> list[Finding]:
+    """Check CPD threshold dataclasses keep the ``token()`` discipline.
+
+    Any ``*Thresholds`` class in the CPD config module must define a
+    ``token()``; one that enumerates ``fields(self)`` is safe by
+    construction, otherwise every dataclass field must be mentioned —
+    the same rule :func:`audit_fault_tokens` applies to fault specs.
+    """
+    findings: list[Finding] = []
+    tree = _parse(config_path)
+    if tree is None:
+        return findings
+
+    for cls in tree.body:
+        if not isinstance(cls, ast.ClassDef) \
+                or not cls.name.endswith("Thresholds"):
+            continue
+        token_def = next((stmt for stmt in cls.body
+                          if isinstance(stmt, ast.FunctionDef)
+                          and stmt.name == "token"), None)
+        if token_def is None:
+            findings.append(Finding(
+                rule="cpd-token-incomplete", severity=Severity.ERROR,
+                path=rel, line=cls.lineno,
+                message=f"{cls.name} defines no token(): its "
+                        f"configurations cannot discriminate cache keys "
+                        f"or hunt-report parameters"))
+            continue
+        if "fields" in _names_in(token_def):
+            continue  # enumerates fields(self): safe by construction
+        mentioned = {n.attr for n in ast.walk(token_def)
+                     if isinstance(n, ast.Attribute)}
+        mentioned |= {n.value for n in ast.walk(token_def)
+                      if isinstance(n, ast.Constant)
+                      and isinstance(n.value, str)}
+        for field_name in _dataclass_fields(cls):
+            if field_name not in mentioned:
+                findings.append(Finding(
+                    rule="cpd-token-incomplete", severity=Severity.ERROR,
+                    path=rel, line=token_def.lineno,
+                    message=f"{cls.name}.token() omits field "
+                            f"'{field_name}': two configurations "
+                            f"differing only in {field_name} would share "
+                            f"a cache token"))
+    return findings
+
+
 def audit_snapshot_fields(snapshot_path: Path, rel: str) -> list[Finding]:
     """Check SNAPSHOT_FIELDS against the ShardSnapshot dataclass.
 
@@ -328,6 +382,8 @@ def audit_cache_keys(repo_root: Path) -> list[Finding]:
         src / "faults" / "model.py", "src/repro/faults/model.py")
     findings += audit_fault_tokens(
         src / "faults" / "service.py", "src/repro/faults/service.py")
+    findings += audit_cpd_tokens(
+        src / "cpd" / "config.py", "src/repro/cpd/config.py")
     findings += audit_snapshot_fields(
         src / "serve" / "snapshot.py", "src/repro/serve/snapshot.py")
     return findings

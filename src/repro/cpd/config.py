@@ -1,0 +1,130 @@
+"""Threshold configuration for the change-point-detection subsystem.
+
+One frozen dataclass carries every knob of both online detectors
+(:class:`~repro.cpd.detectors.EDivisiveDetector`,
+:class:`~repro.cpd.detectors.CusumDetector`) plus the permutation-test
+seed.  The same cache-key discipline as
+:class:`~repro.faults.model.FaultSpec` applies: :meth:`token` enumerates
+``fields(self)`` so any two configurations that could produce different
+detector behavior produce different tokens, and the ``cpd-token``
+rules in :mod:`repro.checks.cachekeys` audit that statically.
+
+Determinism
+-----------
+The permutation test is the only randomized computation in the
+subsystem.  Its generator is constructed from ``seed`` (salted with the
+owning region id) via :func:`numpy.random.SeedSequence` — never from OS
+entropy — so a detector's full trajectory is a pure function of
+``(thresholds, observation sequence)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True, slots=True)
+class CpdThresholds:
+    """Knobs of the E-divisive and CUSUM change-point detectors.
+
+    Attributes
+    ----------
+    window:
+        Maximum number of recent interval feature vectors the online
+        E-divisive detector keeps.  The split search runs over this
+        window each interval; after a detected change the window is
+        truncated to the post-change suffix.
+    min_segment:
+        Minimum points on each side of a candidate split (the energy
+        statistic needs at least two points per side to form within-
+        segment distances, so this must be >= 2).
+    n_permutations:
+        Permutations drawn per significance test.  The smallest
+        achievable p-value is ``1 / (n_permutations + 1)``, so
+        ``p_threshold`` must stay above that to be reachable.
+    p_threshold:
+        Significance level: a split is declared a change point only when
+        its permutation p-value falls strictly below this.
+    min_effect:
+        Minimum energy divergence ``e(A, B)`` at the best split for the
+        permutation test to even run.  Guards long no-change runs
+        against statistically-significant-but-negligible noise splits
+        (the same role magnitude filters play in industrial CPD
+        systems); measured empirically, true phase boundaries in the
+        suite score >= 0.06 while sampling-noise splits stay <= 0.02.
+    seed:
+        Seed for the permutation generator (see module docstring).
+    stabilize_intervals:
+        Consecutive change-free sampled intervals (with a testable
+        window) required before the detector reports a stable phase.
+    min_interval_samples:
+        Starvation gate, mirroring
+        :attr:`~repro.core.thresholds.LpdThresholds.min_interval_samples`:
+        intervals with fewer samples hold the detector.
+    cusum_baseline:
+        Sampled intervals the CUSUM detector collects to estimate its
+        baseline mean feature and noise scale before testing begins.
+    cusum_drift:
+        The CUSUM slack ``k`` (in baseline noise units) subtracted from
+        each standardized deviation before accumulation; deviations
+        below it decay the statistic instead of growing it.
+    cusum_threshold:
+        The CUSUM decision threshold ``h`` (in baseline noise units):
+        the accumulated statistic crossing it declares a change.
+    """
+
+    window: int = 32
+    min_segment: int = 5
+    n_permutations: int = 199
+    p_threshold: float = 0.01
+    min_effect: float = 0.03
+    seed: int = 7
+    stabilize_intervals: int = 4
+    min_interval_samples: int = 1
+    cusum_baseline: int = 8
+    cusum_drift: float = 1.0
+    cusum_threshold: float = 8.0
+
+    def __post_init__(self) -> None:
+        _require(self.min_segment >= 2,
+                 "min_segment must be at least 2")
+        _require(self.window >= 2 * self.min_segment,
+                 "window must hold at least 2 * min_segment points")
+        _require(self.n_permutations >= 1,
+                 "n_permutations must be at least 1")
+        _require(0.0 < self.p_threshold < 1.0,
+                 "p_threshold must lie in (0, 1)")
+        _require(self.p_threshold > 1.0 / (self.n_permutations + 1),
+                 "p_threshold is unreachable: it must exceed "
+                 "1 / (n_permutations + 1)")
+        _require(self.min_effect >= 0.0,
+                 "min_effect must be non-negative")
+        _require(self.seed >= 0, "seed must be non-negative")
+        _require(self.stabilize_intervals >= 1,
+                 "stabilize_intervals must be at least 1")
+        _require(self.min_interval_samples >= 1,
+                 "min_interval_samples must be at least 1")
+        _require(self.cusum_baseline >= 2,
+                 "cusum_baseline must be at least 2")
+        _require(self.cusum_drift >= 0.0,
+                 "cusum_drift must be non-negative")
+        _require(self.cusum_threshold > 0.0,
+                 "cusum_threshold must be positive")
+
+    def token(self) -> tuple:
+        """Hashable, order-stable encoding of every knob.
+
+        Enumerates ``fields(self)`` so a newly added knob can never be
+        silently omitted — the same discipline as
+        :meth:`repro.faults.model.FaultSpec.token`, audited by the
+        ``cpd-token-incomplete`` rule.
+        """
+        return ("cpd",) + tuple(
+            (f.name, getattr(self, f.name)) for f in fields(self))

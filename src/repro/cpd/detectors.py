@@ -1,0 +1,415 @@
+"""Online change-point detectors honoring the LPD observe contract.
+
+Two detectors, one contract.  Both classes implement the full
+:class:`~repro.core.lpd.LocalPhaseDetector` surface — ``observe()``,
+``reset()``, ``state`` / ``in_stable_phase``, ``events`` /
+``observations``, the activity counters and the Figure 13/14 statistics
+— so they drop into :class:`~repro.monitor.region_monitor.RegionMonitor`
+(via its ``detector_factory`` hook), :class:`~repro.monitor.online.
+OnlineSession` and the :class:`~repro.monitor.watchdog.RegionWatchdog`
+with no new plumbing, and emit the same telemetry taxonomy with their
+own ``detector=`` tags (``"edivisive"`` / ``"cusum"``).
+
+Where LPD is a hand-tuned FSM over a similarity score, these are
+statistical tests over the recent interval history:
+
+``EDivisiveDetector``
+    Keeps a sliding window of per-interval feature distributions,
+    scans every admissible split for the maximum energy statistic
+    (:mod:`repro.cpd.energy`), and gates each candidate through a
+    seeded permutation test.  A significant split is a *change point*:
+    the window is truncated to the post-change suffix and the phase
+    reads unstable until enough change-free intervals accumulate.
+
+``CusumDetector``
+    The classic cheap baseline: estimate a baseline distribution from
+    the first intervals, then accumulate standardized deviations of
+    each interval's distance-to-baseline with drift ``k`` and declare a
+    change when the accumulated statistic crosses ``h``.
+
+Phase semantics differ deliberately from LPD: a CPD phase is "no
+statistically significant change recently", so both detectors also keep
+``change_points`` — every significant detection, including ones fired
+while already unstable — which is what the ``cpd`` scoring experiment
+and `repro-bench hunt` consume.  ``events`` stays the LPD-contract list
+of stable/unstable *boundary crossings* only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from repro.core.histogram import RegionHistogram
+from repro.core.states import (PhaseEvent, PhaseEventKind, PhaseState,
+                               is_stable_state)
+from repro.cpd.config import CpdThresholds
+from repro.cpd.energy import best_split, pairwise_distances, permutation_pvalue
+from repro.telemetry.bus import EventBus, get_bus
+from repro.telemetry.events import PhaseChange, StateTransition
+
+__all__ = ["CpdObservation", "ChangePointDetector", "EDivisiveDetector",
+           "CusumDetector", "cpd_detector_factory"]
+
+
+@dataclass(frozen=True, slots=True)
+class CpdObservation:
+    """Diagnostic record of one interval processed by a CPD detector.
+
+    Mirrors :class:`~repro.core.lpd.LpdObservation`; ``statistic`` is
+    the detector's test statistic (best-split energy ``Q`` for
+    E-divisive, the accumulated CUSUM score) and holds its previous
+    value across sample-starved intervals, like LPD's r-value.
+    """
+
+    interval_index: int
+    statistic: float
+    had_samples: bool
+    state: PhaseState
+    event: PhaseEvent | None
+
+
+class ChangePointDetector:
+    """Shared LPD-contract scaffolding of the CPD detector family.
+
+    Subclasses implement :meth:`_ingest` — consume one normalized
+    feature distribution, update the test statistic, and report whether
+    a change point fired — and the base class runs the two-state
+    stable/unstable machine, the starvation gate, the bookkeeping and
+    the telemetry emission.
+
+    Parameters mirror :class:`~repro.core.lpd.LocalPhaseDetector` so the
+    region monitor's ``detector_factory`` hook can build either family;
+    the LPD-specific ``thresholds``/``measure`` arguments are accepted
+    and ignored (CPD knobs arrive via ``cpd``).
+    """
+
+    #: Telemetry tag (the ``detector=`` field of emitted events).
+    detector_name: ClassVar[str] = ""
+
+    def __init__(self, n_instructions: int,
+                 cpd: CpdThresholds | None = None,
+                 telemetry: EventBus | None = None,
+                 region_id: int = -1) -> None:
+        if n_instructions < 1:
+            raise ValueError("a region must contain at least one instruction")
+        self.n_instructions = n_instructions
+        self.cpd = cpd or CpdThresholds()
+        self._telemetry = telemetry if telemetry is not None else get_bus()
+        self._rid = region_id
+        # Seeded, region-salted generator: the subsystem's only RNG.
+        # Draw count is a pure function of the observation sequence and
+        # reset() leaves the stream position alone, so trajectories stay
+        # deterministic (and telemetry never draws: result-inertness).
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.cpd.seed,
+                                   spawn_key=(region_id + 1,)))
+        self._state = PhaseState.UNSTABLE
+        self._statistic = 0.0
+        self._calm_streak = 0
+        self.events: list[PhaseEvent] = []
+        self.observations: list[CpdObservation] = []
+        #: Interval index of every statistically significant change,
+        #: including ones detected while already unstable.
+        self.change_points: list[int] = []
+        #: p-value (E-divisive) or threshold-relative score (CUSUM) of
+        #: each entry in :attr:`change_points`.
+        self.change_scores: list[float] = []
+        #: Intervals in which the region executed.
+        self.active_intervals = 0
+        #: Active intervals that ended on the stable side of the machine.
+        self.stable_intervals = 0
+
+    # -- public surface (LocalPhaseDetector contract) ---------------------
+
+    @property
+    def state(self) -> PhaseState:
+        """Current machine state (two-state: UNSTABLE / STABLE)."""
+        return self._state
+
+    @property
+    def in_stable_phase(self) -> bool:
+        """Whether no significant change has been seen recently."""
+        return is_stable_state(self._state)
+
+    @property
+    def last_statistic(self) -> float:
+        """Most recent test statistic (0 before any execution)."""
+        return self._statistic
+
+    def observe(self,
+                histogram: RegionHistogram | np.ndarray | None,
+                interval_index: int) -> PhaseEvent | None:
+        """Process one interval's histogram for this region.
+
+        ``None`` / empty / starved intervals hold the statistic and
+        leave the state untouched, exactly like LPD's no-sample rule.
+        Returns the phase change emitted, if any.
+        """
+        counts = self._extract_counts(histogram)
+        if counts is None:
+            self.observations.append(CpdObservation(
+                interval_index=interval_index,
+                statistic=self._statistic,
+                had_samples=False,
+                state=self._state,
+                event=None,
+            ))
+            return None
+
+        self.active_intervals += 1
+        feature = counts / counts.sum()
+        before = self._state
+        changed = self._ingest(feature, interval_index)
+
+        if changed:
+            self._calm_streak = 0
+            self._state = PhaseState.UNSTABLE
+        else:
+            self._calm_streak += 1
+            if (self._state is PhaseState.UNSTABLE
+                    and self._calm_streak >= self.cpd.stabilize_intervals
+                    and self._testable()):
+                self._state = PhaseState.STABLE
+
+        event: PhaseEvent | None = None
+        if is_stable_state(before) != is_stable_state(self._state):
+            kind = (PhaseEventKind.BECAME_STABLE
+                    if is_stable_state(self._state)
+                    else PhaseEventKind.BECAME_UNSTABLE)
+            event = PhaseEvent(
+                interval_index=interval_index,
+                kind=kind,
+                state_from=before,
+                state_to=self._state,
+                detail=f"{self.detector_name} stat={self._statistic:.4f}",
+            )
+
+        if is_stable_state(self._state):
+            self.stable_intervals += 1
+        self.observations.append(CpdObservation(
+            interval_index=interval_index,
+            statistic=self._statistic,
+            had_samples=True,
+            state=self._state,
+            event=event,
+        ))
+        if event is not None:
+            self.events.append(event)
+
+        bus = self._telemetry
+        if bus.enabled:
+            bus.emit(StateTransition(
+                interval_index=interval_index, detector=self.detector_name,
+                rid=self._rid, state_from=before.value,
+                state_to=self._state.value, metric=self._statistic))
+            if event is not None:
+                bus.emit(PhaseChange(
+                    interval_index=interval_index,
+                    detector=self.detector_name,
+                    rid=self._rid, kind=event.kind.value,
+                    state_from=before.value, state_to=self._state.value,
+                    detail=event.detail))
+        return event
+
+    def reset(self) -> None:
+        """Re-enter the initial unstable state, dropping the history.
+
+        Used by the watchdog's graceful-degradation path.  Cumulative
+        records (``events``/``observations``/``change_points``) survive,
+        like :meth:`LocalPhaseDetector.reset`; the permutation generator
+        keeps its stream position so a run stays deterministic.
+        """
+        self._state = PhaseState.UNSTABLE
+        self._statistic = 0.0
+        self._calm_streak = 0
+        self._reset_model()
+
+    def stable_time_fraction(self) -> float:
+        """Fraction of the region's active intervals spent stable."""
+        if self.active_intervals == 0:
+            return 0.0
+        return self.stable_intervals / self.active_intervals
+
+    def phase_change_count(self) -> int:
+        """Number of stable/unstable boundary crossings so far."""
+        return len(self.events)
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _ingest(self, feature: np.ndarray, interval_index: int) -> bool:
+        """Consume one feature distribution; return True on a change."""
+        raise NotImplementedError
+
+    def _reset_model(self) -> None:
+        """Drop subclass model state (window / baseline)."""
+        raise NotImplementedError
+
+    def _testable(self) -> bool:
+        """Whether the detector has enough history to have tested."""
+        raise NotImplementedError
+
+    # -- internals -----------------------------------------------------------
+
+    def _extract_counts(
+            self,
+            histogram: RegionHistogram | np.ndarray | None) -> np.ndarray | None:
+        if histogram is None:
+            return None
+        if isinstance(histogram, RegionHistogram):
+            if histogram.is_empty():
+                return None
+            counts = np.asarray(histogram.counts, dtype=np.float64)
+        else:
+            counts = np.asarray(histogram, dtype=np.float64)
+            if counts.sum() == 0:
+                return None
+        if counts.size != self.n_instructions:
+            raise ValueError(
+                f"histogram has {counts.size} slots, detector expects "
+                f"{self.n_instructions}")
+        if counts.sum() < self.cpd.min_interval_samples:
+            return None
+        return counts.astype(np.float64, copy=True)
+
+
+class EDivisiveDetector(ChangePointDetector):
+    """Streaming E-divisive-means detector with permutation gating."""
+
+    detector_name: ClassVar[str] = "edivisive"
+
+    def __init__(self, n_instructions: int,
+                 cpd: CpdThresholds | None = None,
+                 telemetry: EventBus | None = None,
+                 region_id: int = -1) -> None:
+        super().__init__(n_instructions, cpd, telemetry, region_id)
+        self._window: list[np.ndarray] = []
+
+    def _ingest(self, feature: np.ndarray, interval_index: int) -> bool:
+        cfg = self.cpd
+        self._window.append(feature)
+        if len(self._window) > cfg.window:
+            del self._window[0]
+        if len(self._window) < 2 * cfg.min_segment:
+            return False
+
+        dist = pairwise_distances(np.vstack(self._window))
+        tau, q = best_split(dist, cfg.min_segment)
+        self._statistic = max(q, 0.0)
+        n = float(tau)
+        m = float(len(self._window) - tau)
+        effect = q / (n * m / (n + m)) if q > 0.0 else 0.0
+        if effect < cfg.min_effect:
+            # Negligible (or zero) divergence at every split: skip the
+            # permutation draw.  The skip is itself a deterministic
+            # function of the data, so trajectories stay reproducible.
+            return False
+        p_value = permutation_pvalue(dist, q, cfg.min_segment,
+                                     cfg.n_permutations, self._rng)
+        if p_value >= cfg.p_threshold:
+            return False
+        self.change_points.append(interval_index)
+        self.change_scores.append(p_value)
+        # Restart the window from scratch: the best split can sit within
+        # min_segment of the window edge, so the post-split suffix may
+        # still straddle the boundary and would re-detect it.  A clean
+        # restart costs 2 * min_segment intervals of warm-up instead.
+        self._window.clear()
+        return True
+
+    def _reset_model(self) -> None:
+        self._window.clear()
+
+    def _testable(self) -> bool:
+        return len(self._window) >= 2 * self.cpd.min_segment
+
+
+class CusumDetector(ChangePointDetector):
+    """Tabular CUSUM over distance-to-baseline, the cheap comparison rung."""
+
+    detector_name: ClassVar[str] = "cusum"
+
+    def __init__(self, n_instructions: int,
+                 cpd: CpdThresholds | None = None,
+                 telemetry: EventBus | None = None,
+                 region_id: int = -1) -> None:
+        super().__init__(n_instructions, cpd, telemetry, region_id)
+        self._baseline: list[np.ndarray] = []
+        self._center: np.ndarray | None = None
+        self._noise_mean = 0.0
+        self._noise_scale = 1.0
+
+    def _ingest(self, feature: np.ndarray, interval_index: int) -> bool:
+        cfg = self.cpd
+        if self._center is None:
+            self._baseline.append(feature)
+            if len(self._baseline) < cfg.cusum_baseline:
+                return False
+            stacked = np.vstack(self._baseline)
+            self._center = stacked.mean(axis=0)
+            deviations = np.sqrt(
+                ((stacked - self._center) ** 2).sum(axis=1))
+            self._noise_mean = float(deviations.mean())
+            # The scale estimate from a handful of baseline intervals is
+            # noisy-low, which would let ordinary sampling noise rack up
+            # huge z-values; floor it at a fraction of the mean deviation
+            # (a coefficient-of-variation floor).  Noise-free baselines
+            # keep a tiny positive scale so any real deviation registers
+            # while an identical interval still standardizes to zero.
+            self._noise_scale = max(float(deviations.std()),
+                                    0.25 * self._noise_mean, 1e-12)
+            self._baseline.clear()
+            return False
+
+        deviation = float(np.sqrt(((feature - self._center) ** 2).sum()))
+        z = (deviation - self._noise_mean) / self._noise_scale
+        self._statistic = max(0.0, self._statistic + z - cfg.cusum_drift)
+        if self._statistic <= cfg.cusum_threshold:
+            return False
+        self.change_points.append(interval_index)
+        self.change_scores.append(self._statistic / cfg.cusum_threshold)
+        # Re-learn the baseline from post-change intervals.
+        self._center = None
+        self._statistic = 0.0
+        return True
+
+    def _reset_model(self) -> None:
+        self._baseline.clear()
+        self._center = None
+        self._noise_mean = 0.0
+        self._noise_scale = 1.0
+
+    def _testable(self) -> bool:
+        return self._center is not None
+
+
+def cpd_detector_factory(
+        kind: str,
+        cpd: CpdThresholds | None = None) -> Callable[..., ChangePointDetector]:
+    """Build a ``RegionMonitor``-compatible detector factory.
+
+    The monitor calls its factory with ``LocalPhaseDetector``'s keyword
+    arguments (``n_instructions``/``thresholds``/``measure``/
+    ``telemetry``/``region_id``); the returned builder accepts them,
+    ignores the LPD-only knobs and constructs the requested CPD
+    detector with the closed-over ``cpd`` thresholds::
+
+        OnlineSession(binary,
+                      detector_factory=cpd_detector_factory("edivisive"))
+    """
+    try:
+        detector_cls = {"edivisive": EDivisiveDetector,
+                        "cusum": CusumDetector}[kind]
+    except KeyError:
+        raise ValueError(f"unknown CPD detector kind: {kind!r}") from None
+
+    def build(n_instructions: int, thresholds=None, measure=None,
+              telemetry: EventBus | None = None,
+              region_id: int = -1) -> ChangePointDetector:
+        del thresholds, measure  # LPD-only knobs
+        return detector_cls(n_instructions, cpd=cpd,
+                            telemetry=telemetry, region_id=region_id)
+
+    return build

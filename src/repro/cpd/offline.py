@@ -1,0 +1,113 @@
+"""Offline E-divisive change-point detection for scalar series.
+
+This is the Hunter/MongoDB formulation: given a complete ordered series
+(benchmark medians over commits, in our case), recursively bisect it at
+the most divergent split, keep the split only if a permutation test
+calls it significant, and recurse into both halves.  The result is the
+set of statistically significant change points with their effect sizes.
+
+Everything is deterministic: one seeded generator drives every
+permutation test and the recursion order is fixed (left half first), so
+a given ``(series, knobs)`` pair always yields the same report — the
+property `repro-bench hunt` relies on to be a reproducible CI step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpd.energy import best_split, pairwise_distances, permutation_pvalue
+
+__all__ = ["ChangePoint", "e_divisive"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChangePoint:
+    """One significant change detected in a scalar series.
+
+    Attributes
+    ----------
+    index:
+        Position of the first observation of the *new* regime.
+    p_value:
+        Permutation p-value of the split (within its segment).
+    before_mean / after_mean:
+        Segment means immediately around the split.
+    delta_pct:
+        Relative change in percent (``after/before - 1``); ``inf`` when
+        the before-mean is zero and the after-mean is not.
+    """
+
+    index: int
+    p_value: float
+    before_mean: float
+    after_mean: float
+    delta_pct: float
+
+    @property
+    def confidence(self) -> float:
+        """``1 - p_value``: the report's "confidence" column."""
+        return 1.0 - self.p_value
+
+
+def _segment_split(points: np.ndarray, lo: int, hi: int,
+                   min_segment: int, n_permutations: int,
+                   p_threshold: float,
+                   rng: np.random.Generator) -> tuple[int, float] | None:
+    segment = points[lo:hi]
+    if segment.shape[0] < 2 * min_segment:
+        return None
+    dist = pairwise_distances(segment)
+    tau, q = best_split(dist, min_segment)
+    if q <= 0.0:
+        return None
+    p_value = permutation_pvalue(dist, q, min_segment, n_permutations, rng)
+    if p_value >= p_threshold:
+        return None
+    return lo + tau, p_value
+
+
+def e_divisive(series: np.ndarray | list[float], *,
+               min_segment: int = 3,
+               n_permutations: int = 199,
+               p_threshold: float = 0.05,
+               seed: int = 7) -> list[ChangePoint]:
+    """All significant change points of a scalar series, in index order.
+
+    Hierarchical bisection: find the best split of the whole series,
+    gate it through a permutation test, then recurse into each half
+    until no segment yields a significant split.
+    """
+    points = np.asarray(series, dtype=np.float64).reshape(-1, 1)
+    rng = np.random.default_rng(seed)
+    found: list[tuple[int, float]] = []
+
+    def bisect(lo: int, hi: int) -> None:
+        hit = _segment_split(points, lo, hi, min_segment,
+                             n_permutations, p_threshold, rng)
+        if hit is None:
+            return
+        split, p_value = hit
+        found.append((split, p_value))
+        bisect(lo, split)
+        bisect(split, hi)
+
+    bisect(0, points.shape[0])
+    found.sort()
+
+    flat = points.ravel()
+    boundaries = [0] + [idx for idx, _ in found] + [flat.size]
+    changes: list[ChangePoint] = []
+    for position, (idx, p_value) in enumerate(found):
+        before = float(flat[boundaries[position]:idx].mean())
+        after = float(flat[idx:boundaries[position + 2]].mean())
+        if before != 0.0:
+            delta_pct = (after / before - 1.0) * 100.0
+        else:
+            delta_pct = float("inf") if after != 0.0 else 0.0
+        changes.append(ChangePoint(index=idx, p_value=p_value,
+                                   before_mean=before, after_mean=after,
+                                   delta_pct=delta_pct))
+    return changes

@@ -40,7 +40,7 @@ import time
 from typing import Callable
 
 from repro.errors import ExperimentError
-from repro.experiments import (extra_chaos, extra_detector_zoo,
+from repro.experiments import (extra_chaos, extra_cpd, extra_detector_zoo,
                                extra_fault_sweep,
                                extra_fleet, extra_interval_size,
                                fig02_mcf_region_chart,
@@ -63,8 +63,9 @@ _MODULES = (
     fig06_ucr_median, fig07_ucr_over_time, fig08_pearson_properties,
     fig09_mcf_regions, fig10_mcf_correlation, fig11_gap_regions,
     fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
-    fig16_interval_tree, fig17_speedup, extra_chaos, extra_detector_zoo,
-    extra_fault_sweep, extra_fleet, extra_interval_size,
+    fig16_interval_tree, fig17_speedup, extra_chaos, extra_cpd,
+    extra_detector_zoo, extra_fault_sweep, extra_fleet,
+    extra_interval_size,
 )
 
 #: Registry of every reproducible figure (Figures 1 and 12 are state

@@ -1,0 +1,67 @@
+"""CpdThresholds validation and cache-token discipline."""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.cpd import CpdThresholds
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_construct(self):
+        CpdThresholds()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_segment": 1},
+        {"window": 9, "min_segment": 5},
+        {"n_permutations": 0},
+        {"p_threshold": 0.0},
+        {"p_threshold": 1.0},
+        {"p_threshold": -0.2},
+        {"min_effect": -0.1},
+        {"seed": -1},
+        {"stabilize_intervals": 0},
+        {"min_interval_samples": 0},
+        {"cusum_baseline": 1},
+        {"cusum_drift": -1.0},
+        {"cusum_threshold": 0.0},
+    ])
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            CpdThresholds(**kwargs)
+
+    def test_unreachable_p_threshold_raises(self):
+        # 19 permutations can't produce p < 0.05 (floor is 1/20).
+        with pytest.raises(ConfigError, match="unreachable"):
+            CpdThresholds(n_permutations=19, p_threshold=0.05)
+        CpdThresholds(n_permutations=19, p_threshold=0.06)
+
+
+class TestToken:
+    def test_token_covers_every_field(self):
+        cpd = CpdThresholds()
+        token = cpd.token()
+        assert token[0] == "cpd"
+        named = dict(token[1:])
+        for field in fields(cpd):
+            assert named[field.name] == getattr(cpd, field.name)
+
+    def test_every_knob_changes_the_token(self):
+        base = CpdThresholds()
+        tokens = {base.token()}
+        variants = {
+            "window": 64, "min_segment": 6, "n_permutations": 299,
+            "p_threshold": 0.02, "min_effect": 0.05, "seed": 11,
+            "stabilize_intervals": 3, "min_interval_samples": 2,
+            "cusum_baseline": 12, "cusum_drift": 0.5,
+            "cusum_threshold": 6.0,
+        }
+        assert set(variants) == {f.name for f in fields(base)}
+        for name, value in variants.items():
+            tokens.add(CpdThresholds(**{name: value}).token())
+        assert len(tokens) == len(variants) + 1
+
+    def test_token_is_hashable_and_stable(self):
+        assert CpdThresholds().token() == CpdThresholds().token()
+        assert hash(CpdThresholds().token()) == hash(CpdThresholds().token())

@@ -1,0 +1,221 @@
+"""Online CPD detectors: contract compliance, detection, telemetry tags."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import RegionHistogram
+from repro.core.states import PhaseEventKind, PhaseState
+from repro.cpd import (ChangePointDetector, CpdThresholds, CusumDetector,
+                       EDivisiveDetector, cpd_detector_factory)
+from repro.telemetry.bus import EventBus, capture
+from repro.telemetry.events import PhaseChange, StateTransition
+from repro.telemetry.sinks import InMemorySink
+
+N_BINS = 8
+
+#: Two clearly separated count patterns over N_BINS slots.
+PATTERN_A = np.array([100, 40, 5, 5, 0, 0, 0, 0], dtype=float)
+PATTERN_B = np.array([0, 0, 0, 5, 5, 40, 100, 0], dtype=float)
+
+
+def jittered(pattern, n, seed):
+    """n noisy copies of a count pattern (jitter far below min_effect)."""
+    rng = np.random.default_rng(seed)
+    return [np.maximum(pattern + rng.integers(-2, 3, size=pattern.size), 0)
+            for _ in range(n)]
+
+
+def feed(detector, sequences, start=0):
+    index = start
+    for counts in sequences:
+        detector.observe(counts, index)
+        index += 1
+    return index
+
+
+class TestEDivisiveDetection:
+    def test_detects_an_injected_shift_once(self):
+        detector = EDivisiveDetector(N_BINS)
+        feed(detector, jittered(PATTERN_A, 30, seed=1))
+        feed(detector, jittered(PATTERN_B, 30, seed=2), start=30)
+        assert len(detector.change_points) == 1
+        change = detector.change_points[0]
+        # First testable window containing >= min_segment post-change
+        # points sits a few intervals after the true boundary at 30.
+        assert 30 <= change <= 30 + 2 * detector.cpd.min_segment
+        assert detector.change_scores[0] < detector.cpd.p_threshold
+
+    def test_no_change_series_stays_quiet_and_stabilizes(self):
+        detector = EDivisiveDetector(N_BINS)
+        feed(detector, jittered(PATTERN_A, 40, seed=3))
+        assert detector.change_points == []
+        assert detector.in_stable_phase
+        kinds = [event.kind for event in detector.events]
+        assert kinds == [PhaseEventKind.BECAME_STABLE]
+
+    def test_boundary_crossings_bracket_the_change(self):
+        detector = EDivisiveDetector(N_BINS)
+        feed(detector, jittered(PATTERN_A, 30, seed=1))
+        feed(detector, jittered(PATTERN_B, 30, seed=2), start=30)
+        kinds = [event.kind for event in detector.events]
+        assert kinds == [PhaseEventKind.BECAME_STABLE,
+                         PhaseEventKind.BECAME_UNSTABLE,
+                         PhaseEventKind.BECAME_STABLE]
+        assert detector.phase_change_count() == 3
+        assert detector.events[1].detail.startswith("edivisive ")
+
+    def test_trajectory_is_deterministic(self):
+        def run():
+            detector = EDivisiveDetector(N_BINS, cpd=CpdThresholds(seed=11))
+            feed(detector, jittered(PATTERN_A, 25, seed=4))
+            feed(detector, jittered(PATTERN_B, 25, seed=5), start=25)
+            return (detector.change_points, detector.change_scores,
+                    [o.statistic for o in detector.observations])
+        assert run() == run()
+
+
+class TestCusumHandComputed:
+    def test_z_scored_accumulation_matches_hand_arithmetic(self):
+        # Baseline of 4 distributions: [1,0] x3 and [0.9,0.1].
+        #   center       = [0.975, 0.025]
+        #   deviations   = 0.025*sqrt(2) x3, 0.075*sqrt(2)
+        #   noise_mean   = 0.0530330
+        #   noise_scale  = std = 0.0306186  (above the 0.25*mean floor)
+        # The shifted interval [0,1] deviates by 0.975*sqrt(2), i.e.
+        # z = 43.3013; minus drift 1.0 the statistic lands at 42.3013,
+        # far over h = 8, so it fires immediately with score z'/h.
+        cpd = CpdThresholds(cusum_baseline=4)
+        detector = CusumDetector(2, cpd=cpd)
+        for index, counts in enumerate([[10, 0], [10, 0], [10, 0], [9, 1]]):
+            detector.observe(np.array(counts, dtype=float), index)
+        assert detector.change_points == []
+        detector.observe(np.array([0.0, 10.0]), 4)
+        assert detector.change_points == [4]
+        assert detector.change_scores[0] == pytest.approx(42.3013 / 8.0,
+                                                          rel=1e-4)
+
+    def test_baseline_like_intervals_never_fire(self):
+        detector = CusumDetector(2)
+        rng = np.random.default_rng(6)
+        for index in range(40):
+            counts = np.array([100 + rng.integers(-3, 4),
+                               10 + rng.integers(-3, 4)], dtype=float)
+            detector.observe(counts, index)
+        assert detector.change_points == []
+        assert detector.in_stable_phase
+
+    def test_relearns_baseline_after_a_change(self):
+        detector = CusumDetector(N_BINS)
+        feed(detector, jittered(PATTERN_A, 12, seed=7))
+        feed(detector, jittered(PATTERN_B, 20, seed=8), start=12)
+        assert detector.change_points == [12]
+        # Post-change: baseline relearned from B intervals, stable again.
+        assert detector.in_stable_phase
+
+
+class TestObserveContract:
+    @pytest.mark.parametrize("cls", [EDivisiveDetector, CusumDetector])
+    def test_none_empty_and_starved_intervals_hold(self, cls):
+        cpd = CpdThresholds(min_interval_samples=50)
+        detector = cls(N_BINS, cpd=cpd)
+        feed(detector, jittered(PATTERN_A, 15, seed=9))
+        state = detector.state
+        statistic = detector.last_statistic
+        active = detector.active_intervals
+        assert detector.observe(None, 15) is None
+        assert detector.observe(np.zeros(N_BINS), 16) is None
+        starved = np.zeros(N_BINS)
+        starved[0] = 10  # below min_interval_samples
+        assert detector.observe(starved, 17) is None
+        assert detector.state is state
+        assert detector.last_statistic == statistic
+        assert detector.active_intervals == active
+        held = detector.observations[-3:]
+        assert [o.had_samples for o in held] == [False, False, False]
+        assert all(o.statistic == statistic for o in held)
+
+    def test_region_histogram_input_is_accepted(self):
+        detector = EDivisiveDetector(4)
+        histogram = RegionHistogram.from_counts(0x1000, [5, 10, 2, 3])
+        detector.observe(histogram, 0)
+        assert detector.active_intervals == 1
+        empty = RegionHistogram(0x1000, 0x1000 + 4 * 4)
+        detector.observe(empty, 1)
+        assert detector.active_intervals == 1
+
+    def test_wrong_histogram_width_raises(self):
+        detector = EDivisiveDetector(N_BINS)
+        with pytest.raises(ValueError, match="slots"):
+            detector.observe(np.ones(N_BINS + 1), 0)
+
+    def test_invalid_region_size_raises(self):
+        with pytest.raises(ValueError):
+            EDivisiveDetector(0)
+
+    def test_reset_keeps_records_and_reenters_unstable(self):
+        detector = EDivisiveDetector(N_BINS)
+        feed(detector, jittered(PATTERN_A, 30, seed=1))
+        feed(detector, jittered(PATTERN_B, 10, seed=2), start=30)
+        events = list(detector.events)
+        observations = len(detector.observations)
+        changes = list(detector.change_points)
+        assert changes
+        detector.reset()
+        assert detector.state is PhaseState.UNSTABLE
+        assert not detector.in_stable_phase
+        assert detector.last_statistic == 0.0
+        assert detector.events == events
+        assert len(detector.observations) == observations
+        assert detector.change_points == changes
+
+    def test_activity_statistics(self):
+        detector = EDivisiveDetector(N_BINS)
+        assert detector.stable_time_fraction() == 0.0
+        feed(detector, jittered(PATTERN_A, 20, seed=3))
+        assert detector.active_intervals == 20
+        assert 0.0 < detector.stable_time_fraction() <= 1.0
+        assert detector.stable_intervals \
+            == round(detector.stable_time_fraction() * 20)
+
+
+class TestFactory:
+    def test_builders_accept_the_lpd_keyword_surface(self):
+        for kind, cls in (("edivisive", EDivisiveDetector),
+                          ("cusum", CusumDetector)):
+            build = cpd_detector_factory(kind)
+            detector = build(n_instructions=N_BINS, thresholds=None,
+                             measure=None, telemetry=EventBus(),
+                             region_id=3)
+            assert isinstance(detector, cls)
+            assert isinstance(detector, ChangePointDetector)
+            assert detector.n_instructions == N_BINS
+
+    def test_closed_over_thresholds_reach_the_detector(self):
+        cpd = CpdThresholds(window=20, seed=19)
+        build = cpd_detector_factory("edivisive", cpd=cpd)
+        assert build(n_instructions=4).cpd is cpd
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown CPD detector"):
+            cpd_detector_factory("prophet")
+
+
+class TestTelemetryTags:
+    @pytest.mark.parametrize("cls,tag", [(EDivisiveDetector, "edivisive"),
+                                         (CusumDetector, "cusum")])
+    def test_events_carry_the_detector_tag(self, cls, tag):
+        bus = EventBus()
+        detector = cls(N_BINS, telemetry=bus, region_id=5)
+        with capture(InMemorySink(), bus=bus) as sink:
+            feed(detector, jittered(PATTERN_A, 30, seed=1))
+            feed(detector, jittered(PATTERN_B, 10, seed=2), start=30)
+        transitions = [e for e in sink.events
+                       if isinstance(e, StateTransition)]
+        changes = [e for e in sink.events if isinstance(e, PhaseChange)]
+        assert transitions and changes
+        assert {e.detector for e in transitions} == {tag}
+        assert {e.detector for e in changes} == {tag}
+        assert {e.rid for e in transitions} == {5}
+        # One transition per sampled interval, one change per boundary.
+        assert len(transitions) == detector.active_intervals
+        assert len(changes) == detector.phase_change_count()

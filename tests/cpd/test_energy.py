@@ -1,0 +1,105 @@
+"""Energy-statistic machinery: split scan, tie-breaks, permutation test."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.energy import (best_split, pairwise_distances,
+                              permutation_pvalue, split_statistics)
+
+
+def brute_force_q(points: np.ndarray, tau: int) -> float:
+    """O(n^2) textbook evaluation of Q(tau), independent of the scan."""
+    a, b = points[:tau], points[tau:]
+    n, m = len(a), len(b)
+    cross = np.mean([np.linalg.norm(x - y) for x in a for y in b])
+    within_a = (sum(np.linalg.norm(a[i] - a[j])
+                    for i in range(n) for j in range(n) if i != j)
+                / (n * (n - 1)))
+    within_b = (sum(np.linalg.norm(b[i] - b[j])
+                    for i in range(m) for j in range(m) if i != j)
+                / (m * (m - 1)))
+    return (n * m) / (n + m) * (2 * cross - within_a - within_b)
+
+
+class TestPairwiseDistances:
+    def test_scalar_series_is_absolute_difference(self):
+        dist = pairwise_distances(np.array([0.0, 3.0, 5.0]))
+        expected = np.array([[0, 3, 5], [3, 0, 2], [5, 2, 0]], dtype=float)
+        assert np.allclose(dist, expected)
+
+    def test_vector_rows_are_euclidean(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        dist = pairwise_distances(points)
+        assert dist[0, 1] == pytest.approx(5.0)
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+
+
+class TestSplitStatistics:
+    def test_hand_computed_two_clusters(self):
+        # A = [0, 0], B = [10, 10]: within means are 0, cross mean is 10,
+        # so e = 20 and Q = (2*2/4) * 20 = 20 at the only admissible split.
+        dist = pairwise_distances(np.array([0.0, 0.0, 10.0, 10.0]))
+        stats = split_statistics(dist, min_segment=2)
+        assert stats.shape == (1,)
+        assert stats[0] == pytest.approx(20.0)
+
+    def test_matches_brute_force_on_random_points(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(12, 3))
+        dist = pairwise_distances(points)
+        stats = split_statistics(dist, min_segment=3)
+        for offset, tau in enumerate(range(3, 10)):
+            assert stats[offset] == pytest.approx(
+                brute_force_q(points, tau), rel=1e-9)
+
+    def test_too_short_sequence_yields_empty(self):
+        dist = pairwise_distances(np.arange(3, dtype=float))
+        assert split_statistics(dist, min_segment=2).size == 0
+
+
+class TestBestSplit:
+    def test_finds_the_true_boundary(self):
+        series = np.array([0.0] * 6 + [5.0] * 6)
+        tau, q = best_split(pairwise_distances(series), min_segment=2)
+        assert tau == 6
+        assert q > 0
+
+    def test_ties_break_to_the_earliest_split(self):
+        # A constant series scores identically (zero) at every split.
+        dist = pairwise_distances(np.ones(8))
+        tau, q = best_split(dist, min_segment=2)
+        assert tau == 2
+        assert q == pytest.approx(0.0)
+
+    def test_inadmissible_returns_sentinel(self):
+        dist = pairwise_distances(np.arange(3, dtype=float))
+        assert best_split(dist, min_segment=2) == (0, float("-inf"))
+
+
+class TestPermutationPvalue:
+    def test_bounds_and_floor(self):
+        series = np.array([0.0] * 8 + [50.0] * 8)
+        dist = pairwise_distances(series)
+        _, q = best_split(dist, min_segment=3)
+        p = permutation_pvalue(dist, q, 3, 99,
+                               np.random.default_rng(0))
+        # Add-one estimator: p can never be 0 and never exceeds 1.
+        assert 1.0 / 100 <= p <= 1.0
+        assert p < 0.05
+
+    def test_noise_split_is_not_significant(self):
+        series = np.random.default_rng(5).normal(size=20)
+        dist = pairwise_distances(series)
+        _, q = best_split(dist, min_segment=4)
+        p = permutation_pvalue(dist, q, 4, 199,
+                               np.random.default_rng(1))
+        assert p > 0.01
+
+    def test_deterministic_under_a_fixed_generator(self):
+        series = np.array([0.0, 1.0, 0.5, 4.0, 5.0, 4.5, 0.2, 4.8])
+        dist = pairwise_distances(series)
+        _, q = best_split(dist, min_segment=2)
+        p1 = permutation_pvalue(dist, q, 2, 49, np.random.default_rng(9))
+        p2 = permutation_pvalue(dist, q, 2, 49, np.random.default_rng(9))
+        assert p1 == p2

@@ -1,0 +1,63 @@
+"""Offline (hierarchical) E-divisive over scalar series."""
+
+import numpy as np
+import pytest
+
+from repro.cpd import ChangePoint, e_divisive
+
+
+class TestSingleStep:
+    def test_step_is_found_at_the_exact_index(self):
+        series = [1.0] * 6 + [2.0] * 6
+        changes = e_divisive(series)
+        assert len(changes) == 1
+        change = changes[0]
+        assert change.index == 6
+        assert change.before_mean == pytest.approx(1.0)
+        assert change.after_mean == pytest.approx(2.0)
+        assert change.delta_pct == pytest.approx(100.0)
+        assert change.p_value < 0.05
+        assert change.confidence == pytest.approx(1.0 - change.p_value)
+
+    def test_flat_series_yields_nothing(self):
+        assert e_divisive([3.0] * 12) == []
+
+    def test_noisy_flat_series_yields_nothing(self):
+        rng = np.random.default_rng(2)
+        series = 5.0 + 0.01 * rng.standard_normal(16)
+        assert e_divisive(series, p_threshold=0.01) == []
+
+    def test_too_short_series_yields_nothing(self):
+        assert e_divisive([1.0, 9.0, 1.0, 9.0, 1.0], min_segment=3) == []
+
+
+class TestRecursion:
+    def test_two_steps_are_both_found_with_adjacent_segment_means(self):
+        series = [1.0] * 6 + [4.0] * 6 + [2.0] * 6
+        changes = e_divisive(series)
+        assert [c.index for c in changes] == [6, 12]
+        first, second = changes
+        assert first.before_mean == pytest.approx(1.0)
+        assert first.after_mean == pytest.approx(4.0)
+        assert second.before_mean == pytest.approx(4.0)
+        assert second.after_mean == pytest.approx(2.0)
+        assert second.delta_pct == pytest.approx(-50.0)
+
+    def test_zero_before_mean_reports_infinite_delta(self):
+        changes = e_divisive([0.0] * 6 + [1.0] * 6)
+        assert len(changes) == 1
+        assert changes[0].delta_pct == float("inf")
+
+
+class TestDeterminism:
+    def test_same_inputs_same_report(self):
+        rng = np.random.default_rng(4)
+        series = np.concatenate([rng.normal(1.0, 0.05, 10),
+                                 rng.normal(1.6, 0.05, 10)])
+        assert e_divisive(series, seed=13) == e_divisive(series, seed=13)
+
+    def test_changepoint_is_a_frozen_value_object(self):
+        change = ChangePoint(index=3, p_value=0.01, before_mean=1.0,
+                             after_mean=2.0, delta_pct=100.0)
+        with pytest.raises(AttributeError):
+            change.index = 4

@@ -160,7 +160,8 @@ class TestRunner:
     def test_registry_covers_all_data_figures(self):
         expected = {f"fig{n:02d}" for n in
                     (2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 14, 15, 16, 17)}
-        expected |= {"zoo", "ivalsize", "faultsweep", "fleet", "chaos"}
+        expected |= {"zoo", "ivalsize", "faultsweep", "fleet", "chaos",
+                     "cpd"}
         assert set(EXPERIMENTS) == expected
 
     def test_all_runs_only_the_figures(self):

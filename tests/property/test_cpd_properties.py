@@ -1,0 +1,122 @@
+"""Property tests for the change-point-detection subsystem.
+
+Three families of properties:
+
+* *Quiescence + permutation invariance*: a feature stream whose noise
+  stays below the ``min_effect`` divergence floor never produces a
+  detection — in any observation order.  (The floor makes this exact:
+  the permutation test is never even consulted, so there is no
+  significance level to be unlucky against.)
+* *Detection*: a large injected mean shift is always found — offline at
+  the exact index, online within a bounded lag.
+* *Result-inertness*: attaching a telemetry sink perturbs no bit of a
+  detector trajectory.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpd import (CpdThresholds, CusumDetector, EDivisiveDetector,
+                       e_divisive)
+from repro.telemetry.bus import EventBus, capture
+from repro.telemetry.sinks import InMemorySink
+
+N_BINS = 6
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+#: A base count pattern: one dominant slot plus background mass.
+patterns = st.lists(st.integers(min_value=50, max_value=500),
+                    min_size=N_BINS, max_size=N_BINS)
+
+
+def quiet_stream(pattern, n, seed):
+    """n intervals of one pattern with sub-min_effect count jitter."""
+    rng = np.random.default_rng(seed)
+    base = np.asarray(pattern, dtype=float)
+    return [base + rng.integers(0, 2, size=base.size) for _ in range(n)]
+
+
+class TestQuiescence:
+    @given(pattern=patterns, seed=seeds,
+           n=st.integers(min_value=12, max_value=48))
+    @settings(max_examples=25, deadline=None)
+    def test_sub_effect_noise_never_detects(self, pattern, seed, n):
+        detector = EDivisiveDetector(N_BINS)
+        for index, counts in enumerate(quiet_stream(pattern, n, seed)):
+            detector.observe(counts, index)
+        assert detector.change_points == []
+
+    @given(pattern=patterns, seed=seeds, perm_seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_quiescence_is_permutation_invariant(self, pattern, seed,
+                                                 perm_seed):
+        stream = quiet_stream(pattern, 24, seed)
+        order = np.random.default_rng(perm_seed).permutation(len(stream))
+        detector = EDivisiveDetector(N_BINS)
+        for index, position in enumerate(order):
+            detector.observe(stream[position], index)
+        assert detector.change_points == []
+
+
+class TestDetection:
+    @given(n_before=st.integers(min_value=6, max_value=12),
+           n_after=st.integers(min_value=6, max_value=12),
+           low=st.floats(min_value=0.0, max_value=5.0),
+           gap=st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_offline_step_is_found_at_the_exact_index(self, n_before,
+                                                      n_after, low, gap):
+        series = [low] * n_before + [low + gap] * n_after
+        changes = e_divisive(series, p_threshold=0.05)
+        assert [c.index for c in changes] == [n_before]
+        assert changes[0].after_mean > changes[0].before_mean
+
+    @given(seed=seeds, boundary=st.integers(min_value=15, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_online_shift_is_found_within_bounded_lag(self, seed, boundary):
+        rng = np.random.default_rng(seed)
+        a = np.array([300, 100, 10, 0, 0, 0], dtype=float)
+        b = np.array([0, 0, 0, 10, 100, 300], dtype=float)
+        detector = EDivisiveDetector(N_BINS)
+        for index in range(boundary + 20):
+            base = a if index < boundary else b
+            counts = base + rng.integers(0, 3, size=N_BINS)
+            detector.observe(counts, index)
+        cpd = detector.cpd
+        assert len(detector.change_points) == 1
+        assert boundary <= detector.change_points[0] \
+            <= boundary + 2 * cpd.min_segment
+
+
+class TestResultInertness:
+    @given(pattern=patterns, seed=seeds,
+           boundary=st.integers(min_value=8, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_sink_attachment_changes_no_bit(self, pattern, seed, boundary):
+        rng = np.random.default_rng(seed)
+        shifted = np.roll(np.asarray(pattern, dtype=float), N_BINS // 2)
+        stream = []
+        for index in range(boundary + 15):
+            base = np.asarray(pattern, dtype=float) \
+                if index < boundary else shifted
+            stream.append(base + rng.integers(0, 3, size=N_BINS))
+
+        def trajectory(cls, telemetry):
+            detector = cls(N_BINS, cpd=CpdThresholds(seed=seed % 100),
+                           telemetry=telemetry)
+            for index, counts in enumerate(stream):
+                detector.observe(counts, index)
+            return (detector.change_points, detector.change_scores,
+                    [(o.interval_index, o.statistic, o.state)
+                     for o in detector.observations],
+                    [(e.interval_index, e.kind) for e in detector.events])
+
+        for cls in (EDivisiveDetector, CusumDetector):
+            silent = trajectory(cls, EventBus())
+            bus = EventBus()
+            with capture(InMemorySink(), bus=bus) as sink:
+                loud = trajectory(cls, bus)
+            assert len(sink.events) > 0
+            assert silent == loud
