@@ -32,6 +32,13 @@ served.  Three static rules:
     explicitly — CPD configurations feed experiment cache keys and
     hunt-report parameters, so an omitted knob is a stale-artifact bug
     of the same class ``fault-token-incomplete`` guards against.
+``trace-token-incomplete``
+    A ``*Identity`` dataclass in ``ingest/identity.py`` must define a
+    ``token()`` that either enumerates ``fields(self)`` (safe by
+    construction) or mentions every dataclass field explicitly — the
+    token is the ``trace`` component of experiment cache keys, so a
+    replay knob missing from it means a stale recorded stream can be
+    served across knob values.
 ``snapshot-field-drift``
     The serve layer's :data:`~repro.serve.snapshot.SNAPSHOT_FIELDS`
     schema tuple must list exactly the fields of ``ShardSnapshot``, in
@@ -50,7 +57,7 @@ from pathlib import Path
 from repro.checks.findings import Finding, Severity
 
 __all__ = ["audit_cache_keys", "audit_base_helpers", "audit_key_classes",
-           "audit_fault_tokens", "audit_cpd_tokens",
+           "audit_fault_tokens", "audit_cpd_tokens", "audit_trace_tokens",
            "audit_snapshot_fields", "RESULT_INERT_PARAMS"]
 
 #: Helper parameters exempt from ``cache-key-field``: knobs that
@@ -310,6 +317,54 @@ def audit_cpd_tokens(config_path: Path, rel: str) -> list[Finding]:
     return findings
 
 
+def audit_trace_tokens(identity_path: Path, rel: str) -> list[Finding]:
+    """Check trace identity dataclasses keep the ``token()`` discipline.
+
+    Any ``*Identity`` class in the ingest identity module must define a
+    ``token()``; one that enumerates ``fields(self)`` is safe by
+    construction, otherwise every dataclass field must be mentioned —
+    the token is the ``trace`` discriminator of experiment cache keys
+    (:func:`repro.experiments.base.trace_stream_for`), so an omitted
+    replay knob is exactly the stale-artifact bug class
+    ``cache-key-field`` guards against, one layer down.
+    """
+    findings: list[Finding] = []
+    tree = _parse(identity_path)
+    if tree is None:
+        return findings
+
+    for cls in tree.body:
+        if not isinstance(cls, ast.ClassDef) \
+                or not cls.name.endswith("Identity"):
+            continue
+        token_def = next((stmt for stmt in cls.body
+                          if isinstance(stmt, ast.FunctionDef)
+                          and stmt.name == "token"), None)
+        if token_def is None:
+            findings.append(Finding(
+                rule="trace-token-incomplete", severity=Severity.ERROR,
+                path=rel, line=cls.lineno,
+                message=f"{cls.name} defines no token(): recorded-trace "
+                        f"replays cannot discriminate cache keys"))
+            continue
+        if "fields" in _names_in(token_def):
+            continue  # enumerates fields(self): safe by construction
+        mentioned = {n.attr for n in ast.walk(token_def)
+                     if isinstance(n, ast.Attribute)}
+        mentioned |= {n.value for n in ast.walk(token_def)
+                      if isinstance(n, ast.Constant)
+                      and isinstance(n.value, str)}
+        for field_name in _dataclass_fields(cls):
+            if field_name not in mentioned:
+                findings.append(Finding(
+                    rule="trace-token-incomplete", severity=Severity.ERROR,
+                    path=rel, line=token_def.lineno,
+                    message=f"{cls.name}.token() omits field "
+                            f"'{field_name}': two replays differing only "
+                            f"in {field_name} would share a cache key"))
+    return findings
+
+
 def audit_snapshot_fields(snapshot_path: Path, rel: str) -> list[Finding]:
     """Check SNAPSHOT_FIELDS against the ShardSnapshot dataclass.
 
@@ -384,6 +439,8 @@ def audit_cache_keys(repo_root: Path) -> list[Finding]:
         src / "faults" / "service.py", "src/repro/faults/service.py")
     findings += audit_cpd_tokens(
         src / "cpd" / "config.py", "src/repro/cpd/config.py")
+    findings += audit_trace_tokens(
+        src / "ingest" / "identity.py", "src/repro/ingest/identity.py")
     findings += audit_snapshot_fields(
         src / "serve" / "snapshot.py", "src/repro/serve/snapshot.py")
     return findings

@@ -59,6 +59,7 @@ ALL_RULES: dict[str, str] = {
     "fault-token-incomplete": "FaultSpec.token() omitting a field",
     "fault-kind-collision": "two FaultSpecs sharing a kind tag",
     "cpd-token-incomplete": "CpdThresholds token() missing or omitting a field",
+    "trace-token-incomplete": "TraceIdentity token() missing or omitting a field",
     "snapshot-field-drift": "ShardSnapshot out of sync with SNAPSHOT_FIELDS",
     "fsm-incomplete": "transition table missing a (state, input) pair",
     "fsm-nondeterministic": "duplicate rules for a (state, input) pair",
@@ -93,7 +94,8 @@ RULE_FAMILIES: dict[str, frozenset[str]] = {
     "cachekeys": frozenset({
         "cache-key-field", "cache-key-no-faults",
         "fault-token-incomplete", "fault-kind-collision",
-        "cpd-token-incomplete", "snapshot-field-drift"}),
+        "cpd-token-incomplete", "trace-token-incomplete",
+        "snapshot-field-drift"}),
     "statemachine": frozenset({
         "fsm-incomplete", "fsm-nondeterministic", "fsm-unreachable-state",
         "fsm-unknown-state", "fsm-phase-change-label", "fsm-divergence"}),

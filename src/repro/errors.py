@@ -40,6 +40,10 @@ class FaultError(ReproError):
     """A fault plan could not be applied to a sample stream."""
 
 
+class IngestError(ReproError):
+    """A recorded trace could not be parsed, converted or replayed."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown or bad target."""
 

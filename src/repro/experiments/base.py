@@ -24,6 +24,7 @@ from repro.experiments.cache import GLOBAL_CACHE, GpdKey, MonitorKey, StreamKey
 from repro.experiments.config import ExperimentConfig
 from repro.faults.inject import inject
 from repro.faults.model import FaultPlan
+from repro.ingest import TraceProfile, TraceSource
 from repro.monitor import RegionMonitor
 from repro.program.spec2000 import BenchmarkModel, get_benchmark
 from repro.sampling import SampleStream, simulate_sampling
@@ -114,6 +115,54 @@ def stream_for(model: BenchmarkModel, period: int,
     return GLOBAL_CACHE.stream(
         key, lambda: inject(stream_for(model, period, config), plan,
                             seed=config.seed))
+
+
+def trace_stream_for(profile: TraceProfile, period: int,
+                     config: ExperimentConfig,
+                     cycles_per_ns: float = 1.0,
+                     repeat: int = 1) -> SampleStream:
+    """Replay a recorded trace profile as a sample stream (cached).
+
+    Recorded replays share the synthetic streams' cache: the key's
+    ``benchmark`` is namespaced ``trace:<name>`` and its ``trace`` field
+    carries the full replay identity
+    (:meth:`~repro.ingest.TraceIdentity.token` — content checksum plus
+    ``cycles_per_ns``/``repeat``), so editing a fixture file or varying
+    a replay knob can never serve a stale stream recorded under the
+    same name.
+    """
+    source = TraceSource(profile, period, cycles_per_ns=cycles_per_ns,
+                         repeat=repeat)
+    key = StreamKey(benchmark=f"trace:{profile.name}", scale=config.scale,
+                    period=period, seed=config.seed,
+                    trace=source.identity().token())
+    return GLOBAL_CACHE.stream(key, source.stream)
+
+
+def trace_gpd_run(profile: TraceProfile, period: int,
+                  config: ExperimentConfig,
+                  cycles_per_ns: float = 1.0,
+                  repeat: int = 1) -> GlobalPhaseDetector:
+    """Run the global phase detector over a recorded trace (cached).
+
+    The returned detector is a shared, completed run — read-only.  The
+    key carries the same ``trace`` identity token as
+    :func:`trace_stream_for`, for the same stale-artifact reason.
+    """
+    source = TraceSource(profile, period, cycles_per_ns=cycles_per_ns,
+                         repeat=repeat)
+    key = GpdKey(benchmark=f"trace:{profile.name}", scale=config.scale,
+                 period=period, seed=config.seed,
+                 buffer_size=config.buffer_size,
+                 trace=source.identity().token())
+
+    def compute() -> GlobalPhaseDetector:
+        stream = trace_stream_for(profile, period, config,
+                                  cycles_per_ns=cycles_per_ns,
+                                  repeat=repeat)
+        return run_gpd(stream, config.buffer_size)
+
+    return GLOBAL_CACHE.detector(key, compute)
 
 
 def gpd_run(model: BenchmarkModel, period: int,

@@ -61,7 +61,11 @@ class StreamKey:
 
     ``faults`` is the applied :meth:`~repro.faults.FaultPlan.token`
     (empty tuple: the ideal, un-faulted stream), so faulted and ideal
-    artifacts of the same run never collide.
+    artifacts of the same run never collide.  ``trace`` is the replay
+    identity token of a recorded trace
+    (:meth:`~repro.ingest.TraceIdentity.token` — content checksum plus
+    replay parameters; empty tuple: a synthetic simulation), so two
+    recordings replayed under the same name never collide either.
     """
 
     benchmark: str
@@ -69,6 +73,7 @@ class StreamKey:
     period: int
     seed: int
     faults: tuple = ()
+    trace: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +95,7 @@ class MonitorKey:
     attribution: str
     faults: tuple = ()
     backend: str = "scalar"
+    trace: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,6 +113,7 @@ class GpdKey:
     buffer_size: int
     faults: tuple = ()
     backend: str = "scalar"
+    trace: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)

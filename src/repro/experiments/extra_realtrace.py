@@ -1,0 +1,220 @@
+"""Bonus experiment: the detector zoo on *recorded* executions.
+
+Every numbered figure replays synthetic workload models; this family
+replays the committed fixture corpus of real recordings
+(``tests/fixtures/traces/realtrace/``, see its README for provenance)
+through :mod:`repro.ingest` and runs the full detector zoo — GPD, LPD,
+E-divisive and CUSUM — over each trace.  There is no model-derived
+ground truth for a real execution, so the scoreboard reports what can
+be measured without one: per-detector phase-change counts and
+stable-time fractions, plus cross-detector agreement (tolerant Jaccard
+between the detection sets of every detector pair — detectors that see
+the *same* structure in a recording agree; one that flaps alone does
+not).
+
+The corpus directory can be overridden with ``REPRO_TRACE_CORPUS`` (the
+CI smoke job points it at a subset).  ``config.scale`` trims the number
+of replayed intervals per trace — the recording itself is immutable;
+scaling only shortens the replay.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.metrics import run_gpd
+from repro.core.lpd import LocalPhaseDetector
+from repro.core.states import PhaseEventKind
+from repro.cpd import CpdThresholds, CusumDetector, EDivisiveDetector
+from repro.errors import ExperimentError
+from repro.experiments.base import (ExperimentResult, trace_gpd_run,
+                                    trace_stream_for)
+from repro.experiments.config import (BASE_PERIOD, DEFAULT_CONFIG,
+                                      ExperimentConfig)
+from repro.ingest import TraceProfile, load_profile
+from repro.sampling import SampleStream
+
+EXPERIMENT_ID = "realtrace"
+TITLE = "Recorded traces: detector zoo on real executions"
+
+#: Address-histogram resolution for LPD and the CPD detectors (the
+#: same evidence shape the ``cpd`` scoreboard uses).
+N_BINS = 64
+
+#: Two detections within this many intervals of each other agree.
+MATCH_TOLERANCE = 8
+
+#: Replays never drop below this many intervals, however small the
+#: scale — detectors need a minimum run length to mean anything.
+MIN_INTERVALS = 8
+
+#: The committed fixture corpus (relative to the repo root).
+DEFAULT_CORPUS = (Path(__file__).resolve().parents[3]
+                  / "tests" / "fixtures" / "traces" / "realtrace")
+
+#: Environment override for the corpus directory.
+CORPUS_ENV = "REPRO_TRACE_CORPUS"
+
+DETECTORS = ("gpd", "lpd", "edivisive", "cusum")
+
+
+def corpus_dir() -> Path:
+    """The active corpus directory (env override, else the fixtures)."""
+    override = os.environ.get(CORPUS_ENV)
+    return Path(override) if override else DEFAULT_CORPUS
+
+
+def load_corpus(directory: Path | None = None) -> list[TraceProfile]:
+    """Load every profile in the corpus, sorted by file name."""
+    root = corpus_dir() if directory is None else directory
+    paths = sorted(root.glob("*.json"))
+    if not paths:
+        raise ExperimentError(
+            f"no trace profiles found under {root}; record fixtures with "
+            f"scripts/record_trace.py or point {CORPUS_ENV} elsewhere")
+    return [load_profile(path) for path in paths]
+
+
+def _trim(stream: SampleStream, n_intervals: int,
+          buffer_size: int) -> SampleStream:
+    """The stream's first *n_intervals* whole intervals, as a stream."""
+    n = n_intervals * buffer_size
+    if n >= len(stream.pcs):
+        return stream
+    cycles = stream.cycles[:n]
+    return replace(stream, pcs=stream.pcs[:n], cycles=cycles,
+                   dcache_miss=stream.dcache_miss[:n],
+                   region_ids=stream.region_ids[:n],
+                   total_cycles=int(cycles[-1]) + 1,
+                   instr_delta=(None if stream.instr_delta is None
+                                else stream.instr_delta[:n]))
+
+
+def interval_histograms(stream: SampleStream, buffer_size: int,
+                        n_bins: int = N_BINS) -> np.ndarray:
+    """Per-interval address histograms over the stream's own PC range."""
+    n_intervals = stream.n_intervals(buffer_size)
+    pcs = stream.pcs[:n_intervals * buffer_size].astype(np.float64)
+    edges = np.linspace(pcs.min(), pcs.max() + 1.0, n_bins + 1)
+    histograms = np.empty((n_intervals, n_bins), dtype=np.float64)
+    for index in range(n_intervals):
+        window = pcs[index * buffer_size:(index + 1) * buffer_size]
+        histograms[index] = np.histogram(window, bins=edges)[0]
+    return histograms
+
+
+def _unstable_edges(events) -> list[int]:
+    """Interval indexes of became-unstable crossings (= detections)."""
+    return [event.interval_index for event in events
+            if event.kind is PhaseEventKind.BECAME_UNSTABLE]
+
+
+def agreement(a: list[int], b: list[int],
+              tolerance: int = MATCH_TOLERANCE) -> float:
+    """Tolerant Jaccard between two detection sets.
+
+    Greedy in-order matching: each detection of *a* consumes the first
+    unconsumed detection of *b* within ±*tolerance* intervals; the
+    score is ``matched / (len(a) + len(b) - matched)``.  Two empty sets
+    agree perfectly (both saw a steady run).
+    """
+    if not a and not b:
+        return 1.0
+    unused = sorted(b)
+    matched = 0
+    for index in sorted(a):
+        hit = next((d for d in unused if abs(d - index) <= tolerance),
+                   None)
+        if hit is not None:
+            unused.remove(hit)
+            matched += 1
+    return matched / (len(a) + len(b) - matched)
+
+
+def trace_detections(profile: TraceProfile,
+                     config: ExperimentConfig) -> tuple[dict, dict, int]:
+    """Run the zoo over one trace: detections, stable fractions, length."""
+    stream = trace_stream_for(profile, BASE_PERIOD, config)
+    buffer_size = config.buffer_size
+    n_full = stream.n_intervals(buffer_size)
+    n_use = min(n_full, max(MIN_INTERVALS,
+                            int(round(n_full * config.scale))))
+    if n_use < n_full:
+        stream = _trim(stream, n_use, buffer_size)
+        gpd = run_gpd(stream, buffer_size)
+    else:
+        gpd = trace_gpd_run(profile, BASE_PERIOD, config)
+
+    histograms = interval_histograms(stream, buffer_size)
+    cpd = CpdThresholds(seed=config.seed)
+    lpd = LocalPhaseDetector(n_instructions=N_BINS)
+    edivisive = EDivisiveDetector(N_BINS, cpd=cpd)
+    cusum = CusumDetector(N_BINS, cpd=cpd)
+    for index in range(n_use):
+        counts = histograms[index]
+        lpd.observe(counts, index)
+        edivisive.observe(counts, index)
+        cusum.observe(counts, index)
+
+    detections = {
+        "gpd": _unstable_edges(gpd.events),
+        "lpd": _unstable_edges(lpd.events),
+        "edivisive": list(edivisive.change_points),
+        "cusum": list(cusum.change_points),
+    }
+    stable = {
+        "gpd": gpd.stable_time_fraction(),
+        "lpd": lpd.stable_time_fraction(),
+        "edivisive": edivisive.stable_time_fraction(),
+        "cusum": cusum.stable_time_fraction(),
+    }
+    return detections, stable, n_use
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """One row per (trace, detector); extras carry the full scoreboard."""
+    headers = ["trace", "detector", "intervals", "phase changes",
+               "stable %", "mean agreement"]
+    rows: list[list] = []
+    scoreboard: dict[str, dict] = {}
+    for profile in load_corpus():
+        detections, stable, n_use = trace_detections(profile, config)
+        pairs = {}
+        for i, first in enumerate(DETECTORS):
+            for second in DETECTORS[i + 1:]:
+                pairs[f"{first}/{second}"] = agreement(
+                    detections[first], detections[second])
+        scoreboard[profile.name] = {
+            "intervals": n_use,
+            "checksum": profile.checksum,
+            "detections": detections,
+            "stable": stable,
+            "agreement": pairs,
+        }
+        for detector in DETECTORS:
+            others = [score for pair, score in pairs.items()
+                      if detector in pair.split("/")]
+            rows.append([profile.name, detector, n_use,
+                         len(detections[detector]),
+                         100.0 * stable[detector],
+                         sum(others) / len(others)])
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, headers=headers,
+        rows=rows,
+        notes=("real recordings from tests/fixtures/traces/realtrace "
+               "(see its README for provenance); no model ground truth, "
+               "so agreement is tolerant Jaccard (±"
+               f"{MATCH_TOLERANCE} intervals) between detector pairs"),
+        extras={"scoreboard": scoreboard})
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

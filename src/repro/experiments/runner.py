@@ -43,6 +43,7 @@ from repro.errors import ExperimentError
 from repro.experiments import (extra_chaos, extra_cpd, extra_detector_zoo,
                                extra_fault_sweep,
                                extra_fleet, extra_interval_size,
+                               extra_realtrace,
                                fig02_mcf_region_chart,
                                fig03_gpd_phase_changes,
                                fig04_gpd_stable_time,
@@ -65,7 +66,7 @@ _MODULES = (
     fig13_lpd_phase_changes, fig14_lpd_stable_time, fig15_cost,
     fig16_interval_tree, fig17_speedup, extra_chaos, extra_cpd,
     extra_detector_zoo, extra_fault_sweep, extra_fleet,
-    extra_interval_size,
+    extra_interval_size, extra_realtrace,
 )
 
 #: Registry of every reproducible figure (Figures 1 and 12 are state

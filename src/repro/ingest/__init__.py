@@ -1,0 +1,57 @@
+"""Real-workload ingestion: recorded traces as detector input.
+
+Every stream the detectors see elsewhere in this repository is synthetic
+(:mod:`repro.sampling` simulates a PMU from scripted phase models).  This
+package feeds them *recorded* program executions instead:
+
+1. :mod:`repro.ingest.perfscript` parses ``perf script -F
+   comm,pid,time,ip,sym,dso`` text tolerantly (skip-and-count, never
+   raising into a run);
+2. :mod:`repro.ingest.profile` condenses parsed events into a compact,
+   committable **trace profile** — per-DSO stable offsets plus a
+   provenance manifest and content checksum — so CI replays real
+   recordings with no ``perf`` dependency;
+3. :mod:`repro.ingest.resample` replays a profile at any configured
+   sampling period (zero-order hold over a periodic tick grid, closed
+   under composition: resampling at P then 2P equals direct 2P);
+4. :mod:`repro.ingest.mapping` lays the recorded DSOs out in a stable
+   synthetic address space, so ASLR never changes trace identity;
+5. :mod:`repro.ingest.source` wraps it all as a :class:`TraceSource`
+   producing the same :class:`~repro.sampling.events.SampleStream`
+   contract the PMU simulator does — ``OnlineSession``, ``BatchSession``,
+   the fault injectors and the watchdog work unchanged on recorded data.
+
+Capture tooling lives in ``scripts/record_trace.py``; the committed
+fixture corpus under ``tests/fixtures/traces/realtrace/`` drives the
+``realtrace`` experiment family.
+"""
+
+from repro.ingest.identity import TraceIdentity
+from repro.ingest.mapping import RegionSpaceMapper
+from repro.ingest.perfscript import (ParseStats, PerfEvent,
+                                     format_perf_script, parse_perf_script)
+from repro.ingest.profile import (PROFILE_FORMAT, PROFILE_VERSION,
+                                  TraceProfile, TraceProvenance,
+                                  load_profile, profile_from_events,
+                                  save_profile)
+from repro.ingest.resample import resample_profile, resample_ticks
+from repro.ingest.source import TraceSource
+
+__all__ = [
+    "ParseStats",
+    "PerfEvent",
+    "PROFILE_FORMAT",
+    "PROFILE_VERSION",
+    "RegionSpaceMapper",
+    "TraceIdentity",
+    "TraceProfile",
+    "TraceProvenance",
+    "TraceSource",
+    "format_perf_script",
+    "load_profile",
+    "parse_perf_script",
+    "profile_from_events",
+    "resample_profile",
+    "resample_ticks",
+    "save_profile",
+]

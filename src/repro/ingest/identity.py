@@ -1,0 +1,45 @@
+"""Trace identity tokens for the experiment cache.
+
+A recorded stream's cache identity is *everything that shapes its
+replay*: which recording (the content checksum — never the file name
+alone, a re-recorded fixture must miss), how recorded time maps to
+virtual cycles, and how often the trace is tiled to extend a run.  The
+``trace-token-incomplete`` rule of ``repro-check`` audits this module:
+an ``*Identity`` dataclass must keep its ``token()`` complete, exactly
+like fault-plan and CPD-threshold tokens — the inherited idiom of
+enumerating ``fields(self)`` is safe by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["TraceIdentity"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceIdentity:
+    """Cache-key component of one replayed recording.
+
+    Attributes
+    ----------
+    name:
+        The profile's name (human-readable half of the identity).
+    checksum:
+        The profile's content checksum
+        (:attr:`~repro.ingest.profile.TraceProfile.checksum`).
+    cycles_per_ns:
+        Recorded-nanosecond to virtual-cycle scale factor.
+    repeat:
+        Back-to-back tilings of the recording in the replayed stream.
+    """
+
+    name: str
+    checksum: str
+    cycles_per_ns: float
+    repeat: int
+
+    def token(self) -> tuple:
+        """Hashable cache-key component covering every field."""
+        return ("trace",) + tuple(
+            (f.name, getattr(self, f.name)) for f in fields(self))

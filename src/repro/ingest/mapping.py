@@ -1,0 +1,78 @@
+"""PC-to-region-space mapping: recorded addresses -> stable detector PCs.
+
+The detectors consume program-counter values whose *relative geometry*
+matters (histograms, centroids, region membership), not their absolute
+magnitudes.  Recorded traces, however, carry virtual addresses that
+change run to run: ASLR slides every DSO by a per-execution constant.
+Profiles already store ASLR-free per-DSO offsets
+(:func:`~repro.ingest.profile.profile_from_events`); this module lays
+those DSOs out in one flat synthetic address space:
+
+* DSOs are placed in table order (the profile sorts them by name), each
+  starting at the previous segment's end rounded up to
+  ``INSTRUCTION_BYTES`` plus a guard gap — samples from different DSOs
+  can never alias into one region;
+* a sample's PC is ``segment_base[dso] + offset``.
+
+The layout is a pure function of the profile's DSO table and offsets,
+so the same recording always maps to the same PCs — trace identity is
+the content checksum, never the loader's dice roll.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.errors import IngestError
+from repro.ingest.profile import TraceProfile
+
+__all__ = ["RegionSpaceMapper", "DSO_GUARD_SLOTS"]
+
+#: Instruction slots of dead space between consecutive DSO segments.
+DSO_GUARD_SLOTS = 64
+
+
+class RegionSpaceMapper:
+    """Deterministic flat layout of a profile's DSOs.
+
+    Parameters
+    ----------
+    profile:
+        The recording whose DSO spans define the layout.
+    """
+
+    def __init__(self, profile: TraceProfile) -> None:
+        self.dsos = profile.dsos
+        spans = np.zeros(len(profile.dsos), dtype=np.int64)
+        for i in range(len(profile.dsos)):
+            mask = profile.dso_index == i
+            if np.any(mask):
+                spans[i] = int(profile.offsets[mask].max()) + \
+                    INSTRUCTION_BYTES
+        gap = DSO_GUARD_SLOTS * INSTRUCTION_BYTES
+        aligned = ((spans + INSTRUCTION_BYTES - 1)
+                   // INSTRUCTION_BYTES) * INSTRUCTION_BYTES
+        bases = np.concatenate(([0], np.cumsum(aligned + gap)[:-1]))
+        self.spans = spans
+        self.bases = bases.astype(np.int64)
+
+    def pcs(self, dso_index: np.ndarray,
+            offsets: np.ndarray) -> np.ndarray:
+        """Map sample columns to synthetic PCs (int64)."""
+        dso_index = np.asarray(dso_index)
+        if dso_index.size and (int(dso_index.min()) < 0
+                               or int(dso_index.max()) >= len(self.dsos)):
+            raise IngestError(
+                f"dso_index outside the mapper's {len(self.dsos)}-entry "
+                f"DSO table")
+        return self.bases[dso_index] + np.asarray(offsets, dtype=np.int64)
+
+    def segment(self, dso: str) -> tuple[int, int]:
+        """``(base, span)`` of one DSO's segment in the synthetic space."""
+        try:
+            index = self.dsos.index(dso)
+        except ValueError:
+            raise IngestError(
+                f"DSO {dso!r} is not in the profile's table") from None
+        return int(self.bases[index]), int(self.spans[index])

@@ -1,0 +1,199 @@
+"""Tolerant parser for ``perf script`` sample records.
+
+The expected shape is one sample per line, as produced by::
+
+    perf script -F comm,pid,time,ip,sym,dso
+
+for example::
+
+    python3  4242  1234.567890:  55d2c4e012ab PyEval_EvalFrameDefault+0x12b (/usr/bin/python3.11)
+
+Real ``perf script`` output is messy: comms contain spaces, symbols are
+missing (``[unknown]``), kernel samples interleave with user ones,
+truncated lines appear when a recording is cut short, and multi-process
+recordings interleave comms.  A recorded trace feeds long detector runs,
+so the parser's contract is *skip and count, never raise*: every line
+either yields a :class:`PerfEvent` or increments a named drop counter in
+:class:`ParseStats` — malformed input degrades the sample count, not the
+run.
+
+Timestamps are parsed exactly (decimal seconds -> integer nanoseconds,
+no float round-trip), so formatting with :func:`format_perf_script` and
+re-parsing is lossless.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["PerfEvent", "ParseStats", "parse_perf_script",
+           "format_perf_script"]
+
+#: Core record shape: comm (may contain spaces), pid, seconds timestamp,
+#: hex instruction pointer, then symbol/DSO tail.
+_LINE = re.compile(
+    r"^\s*(?P<comm>.*?)\s+(?P<pid>\d+)\s+"
+    r"(?P<sec>\d+)\.(?P<frac>\d+):\s+"
+    r"(?P<ip>[0-9a-fA-F]+)\s*(?P<rest>.*)$")
+
+#: The DSO is the last parenthesized token of the tail.
+_DSO = re.compile(r"\((?P<dso>[^()]*)\)\s*$")
+
+#: Symbol offset suffix (``main+0x1f4``) stripped from symbol names.
+_SYM_OFFSET = re.compile(r"\+0x[0-9a-fA-F]+$")
+
+
+@dataclass(frozen=True, slots=True)
+class PerfEvent:
+    """One parsed sample record."""
+
+    comm: str
+    pid: int
+    time_ns: int
+    ip: int
+    sym: str
+    dso: str
+
+
+@dataclass
+class ParseStats:
+    """Skip-and-count bookkeeping for one parse.
+
+    Attributes
+    ----------
+    parsed:
+        Records successfully converted to :class:`PerfEvent`.
+    ignored:
+        Blank and ``#``-comment lines (well-formed non-records).
+    reordered:
+        Kept events whose timestamp ran backwards (stable-sorted later
+        by :func:`~repro.ingest.profile.profile_from_events`).
+    dropped:
+        Reason -> count for every rejected line; reasons are
+        ``truncated``, ``bad-time``, ``no-dso``, ``kernel`` and
+        ``other-comm``.
+    """
+
+    parsed: int = 0
+    ignored: int = 0
+    reordered: int = 0
+    dropped: dict[str, int] = field(default_factory=dict)
+
+    def drop(self, reason: str) -> None:
+        """Count one rejected line under *reason*."""
+        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+
+    @property
+    def total_dropped(self) -> int:
+        """Lines rejected across all reasons."""
+        return sum(self.dropped.values())
+
+    def to_json(self) -> dict:
+        """Manifest-ready counters."""
+        return {"parsed": self.parsed, "ignored": self.ignored,
+                "reordered": self.reordered,
+                "dropped": dict(sorted(self.dropped.items()))}
+
+
+def _parse_time_ns(sec: str, frac: str) -> int:
+    """Exact decimal-seconds -> nanoseconds (no float round-trip)."""
+    frac = (frac + "000000000")[:9]
+    return int(sec) * 1_000_000_000 + int(frac)
+
+
+def parse_perf_script(lines: Iterable[str], comm: str | None = None,
+                      keep_kernel: bool = False
+                      ) -> tuple[list[PerfEvent], ParseStats]:
+    """Parse ``perf script`` text into events, skip-and-count style.
+
+    Parameters
+    ----------
+    lines:
+        The text, as an iterable of lines (or a whole string, which is
+        split on newlines).
+    comm:
+        When given, keep only records of this command; others count as
+        ``other-comm`` drops.  Multi-process recordings interleave
+        comms, and a detector stream models *one* program.
+    keep_kernel:
+        Kernel-space samples (bracketed DSOs such as
+        ``[kernel.kallsyms]`` or ``[vdso]``) are dropped by default —
+        region monitoring models user code, and kernel addresses would
+        smear the region space.  Pass ``True`` to keep them.
+
+    Returns the events in file order (timestamps may run backwards;
+    see :attr:`ParseStats.reordered`) and the parse counters.  Never
+    raises on malformed input.
+    """
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    events: list[PerfEvent] = []
+    stats = ParseStats()
+    last_time = -1
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            stats.ignored += 1
+            continue
+        match = _LINE.match(line)
+        if match is None:
+            stats.drop("truncated" if _looks_truncated(stripped)
+                       else "bad-time")
+            continue
+        rest = match.group("rest")
+        dso_match = _DSO.search(rest)
+        if dso_match is None:
+            stats.drop("no-dso")
+            continue
+        dso = dso_match.group("dso").strip()
+        if not dso:
+            stats.drop("no-dso")
+            continue
+        if dso.startswith("[") and not keep_kernel:
+            stats.drop("kernel")
+            continue
+        record_comm = match.group("comm")
+        if comm is not None and record_comm != comm:
+            stats.drop("other-comm")
+            continue
+        sym = _DSO.sub("", rest).strip()
+        sym = _SYM_OFFSET.sub("", sym)
+        if sym == "[unknown]":
+            sym = ""
+        time_ns = _parse_time_ns(match.group("sec"), match.group("frac"))
+        if time_ns < last_time:
+            stats.reordered += 1
+        last_time = max(last_time, time_ns)
+        events.append(PerfEvent(comm=record_comm,
+                                pid=int(match.group("pid")),
+                                time_ns=time_ns,
+                                ip=int(match.group("ip"), 16),
+                                sym=sym, dso=dso))
+        stats.parsed += 1
+    return events, stats
+
+
+def _looks_truncated(stripped: str) -> bool:
+    """Heuristic reason split: a record cut short vs a garbled time."""
+    return ":" not in stripped or stripped.count(" ") < 3
+
+
+def format_perf_script(events: Iterable[PerfEvent]) -> str:
+    """Render events back to ``perf script -F comm,pid,time,ip,sym,dso``
+    text.
+
+    Used by the capture tool's built-in sampler (so environments
+    without ``perf`` still exercise the full parse pipeline) and by the
+    round-trip property suite; :func:`parse_perf_script` inverts it
+    losslessly for events with normalized symbols.
+    """
+    lines = []
+    for event in events:
+        sec, ns = divmod(event.time_ns, 1_000_000_000)
+        sym = event.sym if event.sym else "[unknown]"
+        lines.append(f"{event.comm:>16s} {event.pid:6d} "
+                     f"{sec}.{ns:09d}: {event.ip:16x} "
+                     f"{sym} ({event.dso})")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,272 @@
+"""The compact trace-profile format: committed, checksummed recordings.
+
+A **trace profile** is the intermediate a recording is reduced to
+offline (by ``scripts/record_trace.py``) and the only artifact CI ever
+touches — raw ``perf.data`` files are machine-bound and huge, while a
+profile is a few tens of kilobytes of JSON that replays anywhere:
+
+* a sorted DSO table plus, per sample, ``(dso_index, offset, time_ns)``;
+* offsets are **per-DSO** (``ip - min(ip)`` of that DSO), so ASLR — which
+  slides every mapping of a DSO by one constant — cancels out and the
+  same program recorded twice has the same trace identity;
+* times are rebased to the first sample and stored delta-encoded;
+* a provenance manifest (command, tool, event, nominal period, parse
+  counters) records where the profile came from;
+* a sha256 content checksum covers the DSO table and sample arrays; it
+  is verified on load and feeds the experiment cache keys via
+  :class:`~repro.ingest.identity.TraceIdentity`, so a stale or edited
+  fixture can never be served as a cache hit for the original.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import IngestError
+from repro.ingest.perfscript import ParseStats, PerfEvent
+
+__all__ = ["PROFILE_FORMAT", "PROFILE_VERSION", "TraceProvenance",
+           "TraceProfile", "profile_from_events", "save_profile",
+           "load_profile"]
+
+#: Wire-format tag and schema version of the JSON file.
+PROFILE_FORMAT = "repro-trace-profile"
+PROFILE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceProvenance:
+    """Where a profile came from (the fixture manifest).
+
+    ``command`` is the recorded program invocation, ``tool`` the
+    recorder and its version (``perf script 6.5.0``, ``pysampler
+    cpython-3.11.7``), ``event`` the sampled event (``cycles``,
+    ``task-clock``), ``period_ns`` the nominal nanoseconds between
+    recorded samples, ``comm`` the kept command name and ``parse`` the
+    skip-and-count counters of the conversion.
+    """
+
+    command: str
+    tool: str
+    event: str
+    period_ns: int
+    comm: str = ""
+    parse: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {"command": self.command, "tool": self.tool,
+                "event": self.event, "period_ns": self.period_ns,
+                "comm": self.comm, "parse": dict(self.parse)}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TraceProvenance":
+        return cls(command=str(payload.get("command", "")),
+                   tool=str(payload.get("tool", "")),
+                   event=str(payload.get("event", "")),
+                   period_ns=int(payload.get("period_ns", 0)),
+                   comm=str(payload.get("comm", "")),
+                   parse=dict(payload.get("parse", {})))
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """One recorded execution, reduced to replayable sample columns.
+
+    Attributes
+    ----------
+    name:
+        Short fixture/recording name (cache keys carry it, prefixed
+        ``trace:``).
+    provenance:
+        The manifest (see :class:`TraceProvenance`).
+    dsos:
+        Sorted DSO table; ``dso_index`` indexes into it.
+    dso_index, offsets, times_ns:
+        Parallel per-sample columns: DSO (int32), stable per-DSO byte
+        offset (int64, >= 0) and nanosecond timestamp (int64,
+        non-decreasing, first sample at 0 for freshly converted
+        profiles — resampled ones keep their absolute tick times).
+    """
+
+    name: str
+    provenance: TraceProvenance
+    dsos: tuple[str, ...]
+    dso_index: np.ndarray
+    offsets: np.ndarray
+    times_ns: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.dso_index.size
+        if n == 0:
+            raise IngestError(f"trace profile {self.name!r} has no samples")
+        if self.offsets.size != n or self.times_ns.size != n:
+            raise IngestError(
+                f"trace profile {self.name!r} has ragged columns: "
+                f"{n} dso indexes, {self.offsets.size} offsets, "
+                f"{self.times_ns.size} times")
+        if not self.dsos:
+            raise IngestError(f"trace profile {self.name!r} has no DSOs")
+        if int(self.dso_index.min()) < 0 \
+                or int(self.dso_index.max()) >= len(self.dsos):
+            raise IngestError(
+                f"trace profile {self.name!r} has a dso_index outside "
+                f"its {len(self.dsos)}-entry DSO table")
+        if int(self.offsets.min()) < 0:
+            raise IngestError(
+                f"trace profile {self.name!r} has a negative offset")
+        if np.any(np.diff(self.times_ns) < 0):
+            raise IngestError(
+                f"trace profile {self.name!r} timestamps run backwards "
+                f"(convert with profile_from_events, which sorts)")
+
+    @property
+    def n_samples(self) -> int:
+        """Recorded sample count."""
+        return int(self.dso_index.size)
+
+    @property
+    def duration_ns(self) -> int:
+        """Nanoseconds spanned by the recording."""
+        return int(self.times_ns[-1] - self.times_ns[0])
+
+    @property
+    def checksum(self) -> str:
+        """Content fingerprint: sha256 over the DSO table and columns.
+
+        Deliberately excludes ``name`` and provenance — identity is the
+        *recorded behavior*; renaming a fixture or annotating its
+        manifest does not invalidate cached streams, while touching one
+        sample does.
+        """
+        digest = hashlib.sha256()
+        digest.update("\x00".join(self.dsos).encode("utf-8"))
+        digest.update(self.dso_index.astype("<i4").tobytes())
+        digest.update(self.offsets.astype("<i8").tobytes())
+        digest.update(self.times_ns.astype("<i8").tobytes())
+        return digest.hexdigest()[:16]
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """The committed JSON document (times delta-encoded)."""
+        times = self.times_ns.astype(np.int64)
+        # First delta is the absolute first timestamp, so cumsum on load
+        # recovers resampled profiles (whose times do not start at 0) too.
+        deltas = np.diff(times, prepend=np.int64(0))
+        return {
+            "format": PROFILE_FORMAT,
+            "version": PROFILE_VERSION,
+            "name": self.name,
+            "checksum": self.checksum,
+            "provenance": self.provenance.to_json(),
+            "dsos": list(self.dsos),
+            "samples": {
+                "dso_index": self.dso_index.astype(int).tolist(),
+                "offset": self.offsets.astype(int).tolist(),
+                "time_delta_ns": deltas.astype(int).tolist(),
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict, verify: bool = True) -> "TraceProfile":
+        """Rebuild a profile; verify format, version and checksum."""
+        if payload.get("format") != PROFILE_FORMAT:
+            raise IngestError(
+                f"not a {PROFILE_FORMAT} document "
+                f"(format={payload.get('format')!r})")
+        if int(payload.get("version", -1)) != PROFILE_VERSION:
+            raise IngestError(
+                f"unsupported {PROFILE_FORMAT} version "
+                f"{payload.get('version')!r} (expected {PROFILE_VERSION})")
+        samples = payload.get("samples", {})
+        try:
+            deltas = np.asarray(samples["time_delta_ns"], dtype=np.int64)
+            profile = cls(
+                name=str(payload["name"]),
+                provenance=TraceProvenance.from_json(
+                    payload.get("provenance", {})),
+                dsos=tuple(str(d) for d in payload["dsos"]),
+                dso_index=np.asarray(samples["dso_index"], dtype=np.int32),
+                offsets=np.asarray(samples["offset"], dtype=np.int64),
+                times_ns=np.cumsum(deltas, dtype=np.int64),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IngestError(
+                f"malformed {PROFILE_FORMAT} document: {exc}") from exc
+        declared = payload.get("checksum")
+        if verify and declared != profile.checksum:
+            raise IngestError(
+                f"trace profile {profile.name!r} checksum mismatch: "
+                f"file declares {declared!r}, content hashes to "
+                f"{profile.checksum!r} — the fixture was edited or "
+                f"corrupted")
+        return profile
+
+
+def profile_from_events(events: Iterable[PerfEvent], name: str,
+                        provenance: TraceProvenance,
+                        stats: ParseStats | None = None) -> TraceProfile:
+    """Reduce parsed events to a :class:`TraceProfile`.
+
+    Events are stable-sorted by timestamp (recordings flush ring
+    buffers out of order), times are rebased to the first sample, the
+    DSO table is name-sorted, and each sample's address becomes its
+    offset from the lowest address seen in its DSO — the ASLR-stable
+    coordinate.  *stats*, when given, is recorded into the manifest.
+    """
+    events = list(events)
+    if not events:
+        raise IngestError(
+            f"cannot build trace profile {name!r}: no events survived "
+            f"parsing")
+    order = np.argsort(np.asarray([e.time_ns for e in events],
+                                  dtype=np.int64), kind="stable")
+    events = [events[i] for i in order.tolist()]
+
+    dsos = tuple(sorted({e.dso for e in events}))
+    index_of = {dso: i for i, dso in enumerate(dsos)}
+    dso_index = np.asarray([index_of[e.dso] for e in events],
+                           dtype=np.int32)
+    ips = np.asarray([e.ip for e in events], dtype=np.int64)
+    offsets = np.empty_like(ips)
+    for i in range(len(dsos)):
+        mask = dso_index == i
+        offsets[mask] = ips[mask] - ips[mask].min()
+    times = np.asarray([e.time_ns for e in events], dtype=np.int64)
+    times = times - times[0]
+    if stats is not None:
+        provenance = TraceProvenance(
+            command=provenance.command, tool=provenance.tool,
+            event=provenance.event, period_ns=provenance.period_ns,
+            comm=provenance.comm, parse=stats.to_json())
+    return TraceProfile(name=name, provenance=provenance, dsos=dsos,
+                        dso_index=dso_index, offsets=offsets,
+                        times_ns=times)
+
+
+def save_profile(profile: TraceProfile, path: str | Path) -> Path:
+    """Write the committed JSON document; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(profile.to_json(), indent=1) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_profile(path: str | Path, verify: bool = True) -> TraceProfile:
+    """Load a committed profile, verifying its checksum by default."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IngestError(
+            f"cannot read trace profile {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise IngestError(
+            f"cannot read trace profile {path}: not a JSON object")
+    return TraceProfile.from_json(payload, verify=verify)

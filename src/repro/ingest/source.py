@@ -1,0 +1,122 @@
+"""TraceSource: a recorded profile behind the simulator's stream contract.
+
+:class:`TraceSource` is to recorded data what
+:class:`~repro.sampling.pmu.PMUSimulator` is to synthetic models: it
+produces a :class:`~repro.sampling.events.SampleStream`, so everything
+downstream — ``SampleBuffer`` overflow delivery, ``OnlineSession``,
+``BatchSession`` lanes, fault injection, the watchdog, the experiment
+cache — consumes recorded executions unchanged.
+
+Replay mechanics:
+
+* recorded nanoseconds become virtual cycles through ``cycles_per_ns``
+  (default 1.0: one nanosecond is one cycle, i.e. a nominal 1 GHz
+  machine — only the *relative* time scale matters to the detectors);
+* the trace is resampled onto the configured ``sampling_period`` tick
+  grid (zero-order hold, :mod:`repro.ingest.resample`);
+* sample addresses are laid out ASLR-free by
+  :class:`~repro.ingest.mapping.RegionSpaceMapper`;
+* ``repeat`` tiles the recording back to back (each tile's timeline
+  continues where the previous ended plus one nominal recording gap)
+  so short fixtures can drive long detector runs;
+* the stream's ``region_names`` are the recorded DSOs and
+  ``region_ids`` each sample's DSO index — ground-truth-style labels
+  for charts and agreement scoring, invisible to the detectors.
+
+Everything is a pure function of ``(profile content, sampling_period,
+cycles_per_ns, repeat)``; :meth:`TraceSource.identity` hands the
+experiment cache exactly that fingerprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IngestError
+from repro.ingest.identity import TraceIdentity
+from repro.ingest.mapping import RegionSpaceMapper
+from repro.ingest.profile import TraceProfile
+from repro.ingest.resample import resample_ticks
+from repro.sampling.events import SampleStream
+
+__all__ = ["TraceSource"]
+
+
+class TraceSource:
+    """Replays one trace profile as a :class:`SampleStream`.
+
+    Parameters
+    ----------
+    profile:
+        The recording to replay.
+    sampling_period:
+        Virtual cycles per sampling interrupt (the same knob the PMU
+        simulator takes; the paper sweeps 45k-1.5M).
+    cycles_per_ns:
+        Recorded-time scale: virtual cycles per recorded nanosecond.
+    repeat:
+        Number of back-to-back tilings of the recording.
+    """
+
+    def __init__(self, profile: TraceProfile, sampling_period: int,
+                 cycles_per_ns: float = 1.0, repeat: int = 1) -> None:
+        if sampling_period <= 0:
+            raise IngestError("sampling_period must be positive")
+        if cycles_per_ns <= 0.0:
+            raise IngestError("cycles_per_ns must be positive")
+        if repeat < 1:
+            raise IngestError("repeat must be at least 1")
+        self.profile = profile
+        self.sampling_period = int(sampling_period)
+        self.cycles_per_ns = float(cycles_per_ns)
+        self.repeat = int(repeat)
+        self.mapper = RegionSpaceMapper(profile)
+
+    def identity(self) -> TraceIdentity:
+        """The replay's cache-key fingerprint."""
+        return TraceIdentity(name=self.profile.name,
+                             checksum=self.profile.checksum,
+                             cycles_per_ns=self.cycles_per_ns,
+                             repeat=self.repeat)
+
+    def _cycle_times(self) -> np.ndarray:
+        """Recorded timestamps as virtual cycles, tiled ``repeat`` times.
+
+        Rounding a non-decreasing sequence preserves order; each tile
+        is shifted past the previous one by the recording's span plus
+        one nominal inter-sample gap, so tiles never overlap.
+        """
+        profile = self.profile
+        base = np.rint(profile.times_ns.astype(np.float64)
+                       * self.cycles_per_ns).astype(np.int64)
+        if self.repeat == 1:
+            return base
+        gap_ns = max(profile.provenance.period_ns, 1)
+        stride = int(base[-1]) + max(
+            int(round(gap_ns * self.cycles_per_ns)), 1)
+        tiles = [base + k * stride for k in range(self.repeat)]
+        return np.concatenate(tiles)
+
+    def stream(self) -> SampleStream:
+        """Build the replayed stream (deterministic, cache-friendly)."""
+        profile = self.profile
+        cycle_times = self._cycle_times()
+        ticks, held = resample_ticks(cycle_times, self.sampling_period)
+        if ticks.size == 0:
+            raise IngestError(
+                f"trace {profile.name!r} is shorter than one sampling "
+                f"period ({self.sampling_period} cycles) at "
+                f"cycles_per_ns={self.cycles_per_ns}; nothing to replay")
+        source_index = held % profile.n_samples
+        dso_index = profile.dso_index[source_index]
+        pcs = self.mapper.pcs(dso_index, profile.offsets[source_index])
+        total_cycles = int(cycle_times[-1]) + 1
+        return SampleStream(
+            pcs=pcs,
+            cycles=ticks,
+            dcache_miss=np.zeros(ticks.size, dtype=bool),
+            region_ids=dso_index.astype(np.int32),
+            region_names=profile.dsos,
+            sampling_period=self.sampling_period,
+            total_cycles=total_cycles,
+        )

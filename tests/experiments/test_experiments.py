@@ -161,7 +161,7 @@ class TestRunner:
         expected = {f"fig{n:02d}" for n in
                     (2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 14, 15, 16, 17)}
         expected |= {"zoo", "ivalsize", "faultsweep", "fleet", "chaos",
-                     "cpd"}
+                     "cpd", "realtrace"}
         assert set(EXPERIMENTS) == expected
 
     def test_all_runs_only_the_figures(self):

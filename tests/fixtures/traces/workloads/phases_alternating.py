@@ -1,0 +1,45 @@
+"""Fixture workload: A/B/A/B alternation between two behaviors.
+
+The recurring-phase shape (the paper's facerec pattern): JSON work and
+dict churn alternate twice, so detectors should report phase changes
+at every switch and a recurring structure across the run.
+"""
+
+import json
+import random
+
+JSON_ROUNDS = 800
+CHURN_ROUNDS = 220
+
+rng = random.Random(7)
+
+
+def phase_json(rounds: int) -> int:
+    doc = {"grid": [[rng.random() for _ in range(24)]
+                    for _ in range(24)]}
+    total = 0
+    for _ in range(rounds):
+        total += len(json.loads(json.dumps(doc))["grid"])
+    return total
+
+
+def phase_churn(rounds: int) -> int:
+    total = 0
+    for r in range(rounds):
+        table = {i: [i] * 6 for i in range(9000)}
+        for i in range(0, 9000, 2):
+            del table[i]
+        total += len(table) + r
+    return total
+
+
+def main() -> None:
+    total = 0
+    for _ in range(2):
+        total += phase_json(JSON_ROUNDS)
+        total += phase_churn(CHURN_ROUNDS)
+    print(f"phases done: {total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Fixture workload: deep recursion phase then dict-churn phase.
+
+Phase 1 is pure-Python recursive Fibonacci (one hot code object);
+phase 2 builds and evicts dictionaries (allocator/hashtable heavy) —
+two sharply different interpreter behaviors back to back.
+"""
+
+FIB_ROUNDS = 220
+DICT_ROUNDS = 900
+
+
+def fib(n: int) -> int:
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+
+def phase_fib(rounds: int) -> int:
+    total = 0
+    for _ in range(rounds):
+        total += fib(21)
+    return total
+
+
+def phase_dict(rounds: int) -> int:
+    total = 0
+    for r in range(rounds):
+        table = {}
+        for i in range(12_000):
+            table[(i * 2654435761) & 0xFFFF] = i
+        for key in list(table):
+            if key % 3 == 0:
+                del table[key]
+        total += len(table) + r
+    return total
+
+
+def main() -> None:
+    a = phase_fib(FIB_ROUNDS)
+    b = phase_dict(DICT_ROUNDS)
+    print(f"phases done: {a} {b}")
+
+
+if __name__ == "__main__":
+    main()

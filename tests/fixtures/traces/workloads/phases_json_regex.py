@@ -1,0 +1,61 @@
+"""Fixture workload: three distinct phases of real stdlib work.
+
+Phase 1 serializes/deserializes nested JSON, phase 2 runs regex scans
+over generated text, phase 3 sorts shuffled lists.  Iteration counts
+are fixed so the recorded command fully determines the work; only the
+wall-clock timing (what the sampler measures) varies run to run.
+"""
+
+import json
+import random
+import re
+
+JSON_ROUNDS = 900
+REGEX_ROUNDS = 700
+SORT_ROUNDS = 450
+
+rng = random.Random(1234)
+
+
+def phase_json(rounds: int) -> int:
+    doc = {"users": [{"id": i, "tags": [f"t{j}" for j in range(8)],
+                      "meta": {"score": i * 0.5, "ok": i % 3 == 0}}
+                     for i in range(60)]}
+    total = 0
+    for _ in range(rounds):
+        text = json.dumps(doc, sort_keys=True)
+        total += len(json.loads(text)["users"])
+    return total
+
+
+def phase_regex(rounds: int) -> int:
+    words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+    text = " ".join(rng.choice(words) + str(rng.randrange(1000))
+                    for _ in range(4000))
+    pattern = re.compile(r"(alpha|gamma)(\d+)")
+    total = 0
+    for _ in range(rounds):
+        total += sum(int(m.group(2)) for m in pattern.finditer(text))
+    return total
+
+
+def phase_sort(rounds: int) -> int:
+    base = [rng.random() for _ in range(9000)]
+    total = 0
+    for _ in range(rounds):
+        data = base[:]
+        rng.shuffle(data)
+        data.sort()
+        total += int(data[0] * 1e6)
+    return total
+
+
+def main() -> None:
+    a = phase_json(JSON_ROUNDS)
+    b = phase_regex(REGEX_ROUNDS)
+    c = phase_sort(SORT_ROUNDS)
+    print(f"phases done: {a} {b} {c}")
+
+
+if __name__ == "__main__":
+    main()

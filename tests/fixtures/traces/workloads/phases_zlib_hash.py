@@ -1,0 +1,40 @@
+"""Fixture workload: compression phase then hashing phase.
+
+Both phases spend most of their time in C extension calls, so the
+sampler sees the *call sites* — a realistic profile shape for glue
+code driving native kernels.
+"""
+
+import hashlib
+import random
+import zlib
+
+COMPRESS_ROUNDS = 550
+HASH_ROUNDS = 1100
+
+rng = random.Random(99)
+PAYLOAD = bytes(rng.randrange(64) for _ in range(120_000))
+
+
+def phase_compress(rounds: int) -> int:
+    total = 0
+    for level in range(rounds):
+        total += len(zlib.compress(PAYLOAD, 6))
+    return total
+
+
+def phase_hash(rounds: int) -> int:
+    digest = b""
+    for _ in range(rounds):
+        digest = hashlib.sha256(PAYLOAD + digest).digest()
+    return digest[0]
+
+
+def main() -> None:
+    a = phase_compress(COMPRESS_ROUNDS)
+    b = phase_hash(HASH_ROUNDS)
+    print(f"phases done: {a} {b}")
+
+
+if __name__ == "__main__":
+    main()

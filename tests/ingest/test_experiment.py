@@ -1,0 +1,118 @@
+"""The realtrace experiment family over the committed corpus."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import extra_realtrace
+from repro.experiments.cache import GLOBAL_CACHE
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.extra_realtrace import (DETECTORS, agreement,
+                                               load_corpus, run,
+                                               trace_detections)
+from repro.experiments.runner import EXPERIMENTS
+
+SMALL = ExperimentConfig(scale=0.4, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    GLOBAL_CACHE.clear()
+    yield
+    GLOBAL_CACHE.clear()
+
+
+class TestCorpus:
+    def test_committed_corpus_loads_with_at_least_three_traces(self):
+        profiles = load_corpus()
+        assert len(profiles) >= 3
+        assert len({p.name for p in profiles}) == len(profiles)
+
+    def test_corpus_env_override_is_honored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(extra_realtrace.CORPUS_ENV, str(tmp_path))
+        assert extra_realtrace.corpus_dir() == tmp_path
+        with pytest.raises(ExperimentError, match="no trace profiles"):
+            load_corpus()
+
+
+class TestAgreement:
+    def test_empty_sets_agree_perfectly(self):
+        assert agreement([], []) == 1.0
+
+    def test_disjoint_detections_score_zero(self):
+        assert agreement([5], [50]) == 0.0
+
+    def test_tolerant_match_counts_once(self):
+        # One detection of a matches one of b within tolerance; the
+        # second b detection is unmatched: 1 / (1 + 2 - 1).
+        assert agreement([10], [12, 40]) == 0.5
+
+    def test_agreement_is_symmetric(self):
+        a, b = [3, 20, 41], [5, 44]
+        assert agreement(a, b) == agreement(b, a)
+
+
+class TestScoreboard:
+    def test_full_zoo_runs_over_every_committed_trace(self):
+        result = run(SMALL)
+        profiles = load_corpus()
+        assert result.experiment_id == "realtrace"
+        assert len(result.rows) == len(profiles) * len(DETECTORS)
+        scoreboard = result.extras["scoreboard"]
+        assert set(scoreboard) == {p.name for p in profiles}
+        for name, entry in scoreboard.items():
+            assert set(entry["detections"]) == set(DETECTORS)
+            assert set(entry["stable"]) == set(DETECTORS)
+            for fraction in entry["stable"].values():
+                assert 0.0 <= fraction <= 1.0
+            for score in entry["agreement"].values():
+                assert 0.0 <= score <= 1.0
+            assert entry["intervals"] >= extra_realtrace.MIN_INTERVALS
+
+    def test_scale_trims_the_replay_not_the_recording(self):
+        profile = load_corpus()[0]
+        _, _, n_small = trace_detections(profile, SMALL)
+        _, _, n_full = trace_detections(
+            profile, ExperimentConfig(scale=1.0, seed=7))
+        assert n_small < n_full
+
+    def test_scoreboard_is_deterministic(self):
+        first = run(SMALL)
+        GLOBAL_CACHE.clear()
+        second = run(SMALL)
+        assert first.rows == second.rows
+
+    def test_checksums_in_scoreboard_match_fixtures(self):
+        result = run(SMALL)
+        for profile in load_corpus():
+            entry = result.extras["scoreboard"][profile.name]
+            assert entry["checksum"] == profile.checksum
+
+    def test_registered_with_the_runner(self):
+        assert "realtrace" in EXPERIMENTS
+        assert EXPERIMENTS["realtrace"] is run
+
+    def test_table_renders(self):
+        text = run(SMALL).to_table()
+        assert "realtrace" in text and "gpd" in text
+
+
+class TestTrim:
+    def test_trimmed_stream_keeps_the_contract(self):
+        from repro.experiments.config import BASE_PERIOD
+        from repro.experiments.base import trace_stream_for
+        profile = load_corpus()[0]
+        stream = trace_stream_for(profile, BASE_PERIOD, SMALL)
+        trimmed = extra_realtrace._trim(stream, 10, SMALL.buffer_size)
+        assert len(trimmed.pcs) == 10 * SMALL.buffer_size
+        assert trimmed.total_cycles == int(trimmed.cycles[-1]) + 1
+        assert np.array_equal(trimmed.pcs,
+                              stream.pcs[:len(trimmed.pcs)])
+
+    def test_trim_beyond_length_returns_the_stream_itself(self):
+        from repro.experiments.config import BASE_PERIOD
+        from repro.experiments.base import trace_stream_for
+        profile = load_corpus()[0]
+        stream = trace_stream_for(profile, BASE_PERIOD, SMALL)
+        assert extra_realtrace._trim(stream, 10**6,
+                                     SMALL.buffer_size) is stream

@@ -1,0 +1,138 @@
+"""Parser contract: perf-script text in, events + drop counters out.
+
+The malformed-input corpus below is the satellite's heart: truncated
+lines, interleaved comms, out-of-order timestamps, kernel addresses and
+missing symbols must *never* raise — each rejected line lands in a
+named drop counter and each tolerable oddity is normalized.
+"""
+
+from pathlib import Path
+
+from repro.ingest import format_perf_script, parse_perf_script
+from repro.ingest.perfscript import PerfEvent
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REAL_TEXT = REPO_ROOT / "tests" / "fixtures" / "traces" / "perfscript_py.txt"
+
+GOOD_LINE = ("          python   4242  12.000001000:     55d2c4e012ab "
+             "PyEval_EvalFrameDefault+0x12b (/usr/bin/python3.11)")
+
+
+class TestWellFormed:
+    def test_single_record(self):
+        events, stats = parse_perf_script(GOOD_LINE)
+        assert stats.parsed == 1 and stats.total_dropped == 0
+        event = events[0]
+        assert event.comm == "python"
+        assert event.pid == 4242
+        assert event.time_ns == 12_000_001_000
+        assert event.ip == 0x55D2C4E012AB
+        assert event.sym == "PyEval_EvalFrameDefault"  # +0x offset stripped
+        assert event.dso == "/usr/bin/python3.11"
+
+    def test_timestamps_parse_exactly_without_float_round_trip(self):
+        # 16 significant digits would already lose ns precision in a
+        # float; the parser goes digits -> int directly.
+        line = ("  python  1  90071992.547409919:  10 f (/bin/p)")
+        events, _ = parse_perf_script(line)
+        assert events[0].time_ns == 90_071_992_547_409_919
+
+    def test_short_fraction_is_padded_not_scaled(self):
+        events, _ = parse_perf_script("  python  1  3.5:  10 f (/bin/p)")
+        assert events[0].time_ns == 3_500_000_000
+
+    def test_comm_with_spaces(self):
+        line = ("  Web Content   99  1.000000100:  4f0 paint (/usr/lib/ff)")
+        events, _ = parse_perf_script(line)
+        assert events[0].comm == "Web Content"
+
+    def test_missing_symbol_normalizes_to_empty(self):
+        line = "  python  1  1.0:  4f0 [unknown] (/usr/bin/python3)"
+        events, _ = parse_perf_script(line)
+        assert events[0].sym == ""
+
+    def test_blank_and_comment_lines_are_ignored_not_dropped(self):
+        text = "\n".join(["# header", "", GOOD_LINE, "   "])
+        events, stats = parse_perf_script(text)
+        assert len(events) == 1
+        assert stats.ignored == 3 and stats.total_dropped == 0
+
+
+class TestMalformedCorpus:
+    """Skip-and-count: the adversarial corpus never raises."""
+
+    CORPUS = "\n".join([
+        GOOD_LINE,
+        "  python  4242  12.0000",                       # truncated mid-time
+        "  python  4242",                                 # truncated record
+        "  python  4242  12.000002000:  55d2c4e01300",    # no DSO tail
+        "  python  4242  12.000003000:  9000 sym ()",     # empty DSO
+        "  python  4242  12.000004000:  ffffffff81000000 "
+        "do_syscall_64+0x3f ([kernel.kallsyms])",         # kernel space
+        "  swapper     0  12.000005000:  0 idle (/boot/vmlinuz)",  # other comm
+        "  python  4242  11.999999000:  55d2c4e01310 f (/usr/bin/python3.11)",
+        GOOD_LINE.replace("12.000001000", "12.000006000"),
+    ])
+
+    def test_corpus_never_raises_and_counts_every_drop(self):
+        events, stats = parse_perf_script(self.CORPUS, comm="python")
+        assert stats.parsed == len(events) == 3
+        assert stats.dropped == {"truncated": 2, "no-dso": 2,
+                                 "kernel": 1, "other-comm": 1}
+        assert stats.total_dropped == 6
+
+    def test_out_of_order_timestamps_are_kept_and_counted(self):
+        _, stats = parse_perf_script(self.CORPUS, comm="python")
+        assert stats.reordered == 1  # the 11.999999 line, kept not dropped
+
+    def test_keep_kernel_flag_retains_bracketed_dsos(self):
+        events, stats = parse_perf_script(self.CORPUS, comm="python",
+                                          keep_kernel=True)
+        assert "kernel" not in stats.dropped
+        assert any(e.dso == "[kernel.kallsyms]" for e in events)
+
+    def test_without_comm_filter_every_process_is_kept(self):
+        events, stats = parse_perf_script(self.CORPUS)
+        assert "other-comm" not in stats.dropped
+        assert {e.comm for e in events} == {"python", "swapper"}
+
+    def test_stats_manifest_payload_is_sorted_and_complete(self):
+        _, stats = parse_perf_script(self.CORPUS, comm="python")
+        payload = stats.to_json()
+        assert payload["parsed"] == 3
+        assert list(payload["dropped"]) == sorted(payload["dropped"])
+
+    def test_pure_garbage_yields_empty_not_error(self):
+        events, stats = parse_perf_script("}{ not a record\n\x00\xff junk")
+        assert events == []
+        assert stats.total_dropped == 2
+
+
+class TestFormatting:
+    def test_format_then_parse_is_lossless(self):
+        original = [
+            PerfEvent(comm="python", pid=7, time_ns=1_000_000,
+                      ip=0x4000, sym="main", dso="/bin/app"),
+            PerfEvent(comm="python", pid=7, time_ns=2_500_000,
+                      ip=0x4010, sym="", dso="/bin/app"),
+        ]
+        events, stats = parse_perf_script(format_perf_script(original))
+        assert events == original
+        assert stats.total_dropped == 0
+
+    def test_empty_event_list_formats_to_empty_text(self):
+        assert format_perf_script([]) == ""
+
+
+class TestRealRecording:
+    """The committed perf-script text fixture parses cleanly."""
+
+    def test_committed_text_fixture_parses_without_drops(self):
+        text = REAL_TEXT.read_text(encoding="utf-8")
+        events, stats = parse_perf_script(text, comm="python")
+        assert stats.parsed == len(events) > 500
+        assert stats.total_dropped == 0
+        # Real CPython frames: source files plus the odd frozen module.
+        assert all(e.dso.endswith(".py") or e.dso.startswith("<frozen ")
+                   for e in events)
+        assert sum(e.dso.endswith(".py") for e in events) > 500

@@ -1,0 +1,173 @@
+"""Profile format: ASLR-stable offsets, checksums, strict (de)serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import (PROFILE_FORMAT, PROFILE_VERSION, TraceProfile,
+                          TraceProvenance, load_profile, parse_perf_script,
+                          profile_from_events, save_profile)
+from repro.ingest.perfscript import PerfEvent
+
+PROV = TraceProvenance(command="demo", tool="test", event="cycles",
+                       period_ns=1000)
+
+
+def make_events(base_a=0x7F00_0000, base_b=0x5500_0000):
+    """Two DSOs, interleaved, with deliberately unsorted timestamps."""
+    return [
+        PerfEvent("app", 1, 3_000, base_a + 0x40, "f", "/lib/a.so"),
+        PerfEvent("app", 1, 1_000, base_a + 0x10, "f", "/lib/a.so"),
+        PerfEvent("app", 1, 2_000, base_b + 0x80, "g", "/bin/app"),
+        PerfEvent("app", 1, 4_000, base_b + 0x20, "h", "/bin/app"),
+    ]
+
+
+class TestConversion:
+    def test_events_are_stable_sorted_and_rebased(self):
+        profile = profile_from_events(make_events(), "demo", PROV)
+        assert profile.times_ns.tolist() == [0, 1000, 2000, 3000]
+        assert profile.duration_ns == 3000
+        assert profile.n_samples == 4
+
+    def test_dso_table_is_name_sorted(self):
+        profile = profile_from_events(make_events(), "demo", PROV)
+        assert profile.dsos == ("/bin/app", "/lib/a.so")
+
+    def test_offsets_are_per_dso_minima(self):
+        profile = profile_from_events(make_events(), "demo", PROV)
+        by_dso = {}
+        for i in range(profile.n_samples):
+            by_dso.setdefault(int(profile.dso_index[i]), []).append(
+                int(profile.offsets[i]))
+        # /bin/app saw +0x80 and +0x20 -> offsets {0x60, 0x00};
+        # /lib/a.so saw +0x40 and +0x10 -> offsets {0x30, 0x00}.
+        assert sorted(by_dso[0]) == [0x00, 0x60]
+        assert sorted(by_dso[1]) == [0x00, 0x30]
+
+    def test_aslr_shift_cancels_identity_is_stable(self):
+        # The same recording under different load bases (a fresh ASLR
+        # roll for every DSO) must produce the identical profile.
+        first = profile_from_events(make_events(), "demo", PROV)
+        slid = profile_from_events(
+            make_events(base_a=0x1234_5000, base_b=0x7FFF_0000),
+            "demo", PROV)
+        assert first.checksum == slid.checksum
+        assert np.array_equal(first.offsets, slid.offsets)
+
+    def test_empty_event_list_is_an_ingest_error(self):
+        with pytest.raises(IngestError, match="no events"):
+            profile_from_events([], "demo", PROV)
+
+    def test_parse_stats_land_in_the_manifest(self):
+        events, stats = parse_perf_script(
+            "  app  1  1.0:  40 f (/bin/app)\n  garbage")
+        profile = profile_from_events(events, "demo", PROV, stats=stats)
+        assert profile.provenance.parse["parsed"] == 1
+        assert profile.provenance.parse["dropped"] == {"truncated": 1}
+
+
+class TestValidation:
+    def build(self, **overrides):
+        columns = dict(
+            name="demo", provenance=PROV, dsos=("/bin/app",),
+            dso_index=np.zeros(3, dtype=np.int32),
+            offsets=np.array([0, 16, 32], dtype=np.int64),
+            times_ns=np.array([0, 10, 20], dtype=np.int64))
+        columns.update(overrides)
+        return TraceProfile(**columns)
+
+    def test_well_formed_profile_passes(self):
+        assert self.build().n_samples == 3
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(IngestError, match="no samples"):
+            self.build(dso_index=np.array([], dtype=np.int32))
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(IngestError, match="ragged"):
+            self.build(offsets=np.array([0, 16], dtype=np.int64))
+
+    def test_dso_index_out_of_range_rejected(self):
+        with pytest.raises(IngestError, match="DSO table"):
+            self.build(dso_index=np.array([0, 0, 1], dtype=np.int32))
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(IngestError, match="negative offset"):
+            self.build(offsets=np.array([0, -4, 8], dtype=np.int64))
+
+    def test_backwards_times_rejected(self):
+        with pytest.raises(IngestError, match="backwards"):
+            self.build(times_ns=np.array([0, 20, 10], dtype=np.int64))
+
+
+class TestSerialization:
+    def test_save_load_round_trip_preserves_everything(self, tmp_path):
+        profile = profile_from_events(make_events(), "demo", PROV)
+        path = save_profile(profile, tmp_path / "demo.json")
+        loaded = load_profile(path)
+        assert loaded.name == profile.name
+        assert loaded.dsos == profile.dsos
+        assert loaded.provenance == profile.provenance
+        assert np.array_equal(loaded.dso_index, profile.dso_index)
+        assert np.array_equal(loaded.offsets, profile.offsets)
+        assert np.array_equal(loaded.times_ns, profile.times_ns)
+        assert loaded.checksum == profile.checksum
+
+    def test_checksum_excludes_name_and_provenance(self):
+        profile = profile_from_events(make_events(), "demo", PROV)
+        renamed = profile_from_events(
+            make_events(), "other",
+            TraceProvenance(command="x", tool="y", event="z", period_ns=1))
+        assert renamed.checksum == profile.checksum
+
+    def test_checksum_covers_every_column(self):
+        base = profile_from_events(make_events(), "demo", PROV)
+        for mutation in (
+                dict(dso_index=np.array([0, 0, 1, 0], dtype=np.int32)),
+                dict(offsets=base.offsets + np.int64(16)),
+                dict(times_ns=base.times_ns + np.int64(5)),
+        ):
+            from dataclasses import replace
+            assert replace(base, **{
+                k: np.ascontiguousarray(v) for k, v in mutation.items()
+            }).checksum != base.checksum
+
+    def test_edited_fixture_fails_checksum_verification(self, tmp_path):
+        profile = profile_from_events(make_events(), "demo", PROV)
+        path = save_profile(profile, tmp_path / "demo.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["samples"]["offset"][0] += 64  # the stealth edit
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(IngestError, match="checksum mismatch"):
+            load_profile(path)
+        # verify=False is the explicit escape hatch for forensics.
+        assert load_profile(path, verify=False).n_samples == 4
+
+    def test_wrong_format_and_version_are_rejected(self, tmp_path):
+        profile = profile_from_events(make_events(), "demo", PROV)
+        payload = profile.to_json()
+        bad_format = dict(payload, format="something-else")
+        bad_version = dict(payload, version=PROFILE_VERSION + 1)
+        with pytest.raises(IngestError, match="not a"):
+            TraceProfile.from_json(bad_format)
+        with pytest.raises(IngestError, match="version"):
+            TraceProfile.from_json(bad_version)
+        assert payload["format"] == PROFILE_FORMAT
+
+    def test_malformed_documents_raise_ingest_errors(self, tmp_path):
+        for text in ("not json at all", '["a", "list"]',
+                     json.dumps({"format": PROFILE_FORMAT,
+                                 "version": PROFILE_VERSION,
+                                 "name": "x", "dsos": ["/bin/app"],
+                                 "samples": {}})):
+            path = tmp_path / "bad.json"
+            path.write_text(text, encoding="utf-8")
+            with pytest.raises(IngestError):
+                load_profile(path)
+
+    def test_missing_file_raises_ingest_error(self, tmp_path):
+        with pytest.raises(IngestError, match="cannot read"):
+            load_profile(tmp_path / "absent.json")

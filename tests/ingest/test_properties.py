@@ -1,0 +1,154 @@
+"""Property suite: the ingest pipeline round-trips and composes.
+
+Three laws, each over generated inputs:
+
+* **text round-trip** — perf-script text -> events -> formatted text ->
+  events is lossless for normalized records;
+* **profile round-trip** — events -> compact profile -> JSON -> profile
+  preserves every column, the checksum, and (through TraceSource) the
+  replayed sample buffers bit for bit;
+* **resample composition** — resampling at P then at ``k * P`` equals
+  resampling at ``k * P`` directly, so period normalization is a
+  congruence, not an approximation.
+
+Plus the anchor the whole design hangs on: per-DSO offsets cancel any
+per-DSO load-base shift (ASLR-invariance of trace identity).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ingest import (TraceProvenance, TraceSource, format_perf_script,
+                          parse_perf_script, profile_from_events,
+                          resample_profile)
+from repro.ingest.perfscript import PerfEvent
+
+PROV = TraceProvenance(command="gen", tool="hypothesis", event="cycles",
+                       period_ns=50)
+
+#: Normalized-form constraints: what format_perf_script itself emits.
+comms = st.sampled_from(["python", "gzip", "app-under-test"])
+syms = st.sampled_from(["", "main", "PyEval_EvalFrameDefault", "loop+x"])
+dsos = st.sampled_from(["/bin/app", "/lib/x.so", "/usr/bin/python3.11"])
+
+
+@st.composite
+def event_lists(draw, min_size=1, max_size=40):
+    """Sorted-timestamp event lists over a small DSO pool."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    deltas = draw(st.lists(st.integers(min_value=0, max_value=10_000),
+                           min_size=n, max_size=n))
+    start = draw(st.integers(min_value=0, max_value=10**9))
+    times = np.cumsum([start] + deltas[:-1]).tolist()
+    events = []
+    for i in range(n):
+        events.append(PerfEvent(
+            comm=draw(comms), pid=draw(st.integers(1, 99_999)),
+            time_ns=int(times[i]),
+            ip=draw(st.integers(0x1000, 0x7FFF_FFFF_F000)),
+            sym=draw(syms), dso=draw(dsos)))
+    return events
+
+
+class TestTextRoundTrip:
+    @given(event_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_format_then_parse_is_identity(self, events):
+        parsed, stats = parse_perf_script(format_perf_script(events))
+        assert parsed == events
+        assert stats.parsed == len(events)
+        assert stats.total_dropped == 0
+
+    @given(event_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_double_round_trip_is_stable(self, events):
+        once = format_perf_script(events)
+        twice = format_perf_script(parse_perf_script(once)[0])
+        assert twice == once
+
+
+class TestProfileRoundTrip:
+    @given(event_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_json_round_trip_preserves_columns_and_checksum(self, events):
+        profile = profile_from_events(events, "gen", PROV)
+        reloaded = profile.__class__.from_json(profile.to_json())
+        assert reloaded.dsos == profile.dsos
+        assert np.array_equal(reloaded.dso_index, profile.dso_index)
+        assert np.array_equal(reloaded.offsets, profile.offsets)
+        assert np.array_equal(reloaded.times_ns, profile.times_ns)
+        assert reloaded.checksum == profile.checksum
+
+    @given(event_lists(min_size=5), st.integers(50, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_round_tripped_profile_replays_identical_buffers(self, events,
+                                                             period):
+        profile = profile_from_events(events, "gen", PROV)
+        if int(profile.times_ns[-1]) < period:
+            return  # shorter than one period: nothing to replay
+        reloaded = profile.__class__.from_json(profile.to_json())
+        first = TraceSource(profile, period).stream()
+        second = TraceSource(reloaded, period).stream()
+        assert np.array_equal(first.pcs, second.pcs)
+        assert np.array_equal(first.cycles, second.cycles)
+        assert np.array_equal(first.region_ids, second.region_ids)
+
+    @given(event_lists(), st.integers(0, 2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_aslr_shift_never_changes_identity(self, events, entropy):
+        # Slide every DSO by its own page-aligned constant — exactly
+        # what the loader does between runs — and require the same
+        # checksum, the coordinate the cache keys trust.
+        rng = np.random.default_rng(entropy)
+        shift = {dso: int(rng.integers(0, 1 << 20)) * 0x1000
+                 for dso in {e.dso for e in events}}
+        slid = [PerfEvent(comm=e.comm, pid=e.pid, time_ns=e.time_ns,
+                          ip=e.ip + shift[e.dso], sym=e.sym, dso=e.dso)
+                for e in events]
+        original = profile_from_events(events, "gen", PROV)
+        shifted = profile_from_events(slid, "gen", PROV)
+        assert shifted.checksum == original.checksum
+
+
+class TestResampleComposition:
+    @given(event_lists(min_size=5), st.integers(20, 200),
+           st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_fine_then_coarse_equals_coarse_directly(self, events, period,
+                                                     multiple):
+        profile = profile_from_events(events, "gen", PROV)
+        coarse_period = period * multiple
+        if int(profile.times_ns[-1]) < coarse_period:
+            return  # the coarse grid has no ticks: nothing to compare
+        fine = resample_profile(profile, period)
+        composed = resample_profile(fine, coarse_period)
+        direct = resample_profile(profile, coarse_period)
+        assert np.array_equal(composed.times_ns, direct.times_ns)
+        assert np.array_equal(composed.dso_index, direct.dso_index)
+        assert np.array_equal(composed.offsets, direct.offsets)
+        assert composed.checksum == direct.checksum
+
+    @given(event_lists(min_size=5), st.integers(20, 200), st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_source_periods_compose_the_same_way(self, events, period,
+                                                 multiple):
+        # The same law one layer up: replaying at period P*k equals
+        # replaying the P-resampled profile at P*k.
+        profile = profile_from_events(events, "gen", PROV)
+        coarse = period * multiple
+        if int(profile.times_ns[-1]) < max(coarse, period):
+            return
+        direct = TraceSource(profile, coarse).stream()
+        through_fine = TraceSource(resample_profile(profile, period),
+                                   coarse).stream()
+        assert np.array_equal(direct.cycles, through_fine.cycles)
+        assert np.array_equal(direct.region_ids, through_fine.region_ids)
+        # Both replays hold the *same recorded samples*; the mapper may
+        # place a DSO at a different segment base (resampling can drop
+        # a DSO's largest never-held offset, shrinking its span), so
+        # PCs agree up to one constant shift per DSO.
+        for rid in np.unique(direct.region_ids):
+            mask = direct.region_ids == rid
+            deltas = direct.pcs[mask] - through_fine.pcs[mask]
+            assert np.all(deltas == deltas[0])

@@ -1,0 +1,166 @@
+"""Region-space mapping, resampling and the TraceSource stream contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import INSTRUCTION_BYTES
+from repro.errors import IngestError
+from repro.faults.inject import inject
+from repro.ingest import (TraceProvenance, TraceSource, profile_from_events,
+                          resample_profile, resample_ticks)
+from repro.ingest.mapping import DSO_GUARD_SLOTS, RegionSpaceMapper
+from repro.ingest.perfscript import PerfEvent
+from repro.sampling import SampleStream
+
+PROV = TraceProvenance(command="demo", tool="test", event="cycles",
+                       period_ns=100)
+
+
+def two_dso_profile():
+    events = [
+        PerfEvent("app", 1, t, 0x1000 + (t % 300), "f", "/bin/app")
+        for t in range(0, 5_000, 100)
+    ] + [
+        PerfEvent("app", 1, t, 0x9000 + (t % 500), "g", "/lib/x.so")
+        for t in range(5_000, 10_000, 100)
+    ]
+    return profile_from_events(events, "twodso", PROV)
+
+
+class TestRegionSpaceMapper:
+    def test_segments_are_disjoint_with_guard_gaps(self):
+        profile = two_dso_profile()
+        mapper = RegionSpaceMapper(profile)
+        base_a, span_a = mapper.segment("/bin/app")
+        base_b, span_b = mapper.segment("/lib/x.so")
+        assert base_a == 0
+        assert base_b >= base_a + span_a \
+            + DSO_GUARD_SLOTS * INSTRUCTION_BYTES
+
+    def test_pcs_are_base_plus_offset(self):
+        profile = two_dso_profile()
+        mapper = RegionSpaceMapper(profile)
+        pcs = mapper.pcs(profile.dso_index, profile.offsets)
+        for i, dso in enumerate(profile.dsos):
+            base, span = mapper.segment(dso)
+            mask = profile.dso_index == i
+            assert int(pcs[mask].min()) >= base
+            assert int(pcs[mask].max()) < base + span
+
+    def test_unknown_dso_and_bad_index_raise(self):
+        mapper = RegionSpaceMapper(two_dso_profile())
+        with pytest.raises(IngestError, match="not in the profile"):
+            mapper.segment("/lib/other.so")
+        with pytest.raises(IngestError, match="DSO table"):
+            mapper.pcs(np.array([5]), np.array([0]))
+
+
+class TestResampling:
+    def test_zero_order_hold_reports_latest_sample_at_or_before(self):
+        times = np.array([0, 250, 600], dtype=np.int64)
+        ticks, held = resample_ticks(times, 100)
+        assert ticks.tolist() == [100, 200, 300, 400, 500, 600]
+        assert held.tolist() == [0, 0, 1, 1, 1, 2]
+
+    def test_ticks_before_first_sample_are_dropped(self):
+        ticks, held = resample_ticks(np.array([350, 400], dtype=np.int64),
+                                     100)
+        assert ticks.tolist() == [400]
+        assert held.tolist() == [1]
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(IngestError, match="positive"):
+            resample_ticks(np.array([0, 10], dtype=np.int64), 0)
+        with pytest.raises(IngestError, match="empty"):
+            resample_ticks(np.array([], dtype=np.int64), 100)
+
+    def test_resample_profile_keeps_absolute_tick_times(self):
+        profile = two_dso_profile()
+        coarse = resample_profile(profile, 700)
+        assert coarse.times_ns[0] == 700  # not rebased to zero
+        assert np.all(np.diff(coarse.times_ns) == 700)
+
+    def test_period_longer_than_trace_raises(self):
+        with pytest.raises(IngestError, match="no ticks fit"):
+            resample_profile(two_dso_profile(), 10_000_000)
+
+
+class TestTraceSource:
+    def test_stream_satisfies_the_sampling_contract(self):
+        profile = two_dso_profile()
+        stream = TraceSource(profile, sampling_period=150).stream()
+        assert isinstance(stream, SampleStream)
+        assert stream.pcs.dtype == np.int64
+        assert stream.cycles.dtype == np.int64
+        assert np.all(np.diff(stream.cycles) > 0)
+        assert stream.sampling_period == 150
+        assert stream.region_names == profile.dsos
+        assert stream.total_cycles > int(stream.cycles[-1])
+        assert len(stream.pcs) == len(stream.cycles) \
+            == len(stream.region_ids) == len(stream.dcache_miss)
+
+    def test_region_ids_track_the_recorded_dso(self):
+        profile = two_dso_profile()
+        source = TraceSource(profile, sampling_period=150)
+        stream = source.stream()
+        mapper = source.mapper
+        for i, dso in enumerate(profile.dsos):
+            mask = stream.region_ids == i
+            if np.any(mask):
+                base, span = mapper.segment(dso)
+                assert int(stream.pcs[mask].min()) >= base
+                assert int(stream.pcs[mask].max()) < base + span
+
+    def test_cycles_per_ns_rescales_the_timeline(self):
+        profile = two_dso_profile()
+        slow = TraceSource(profile, 150, cycles_per_ns=1.0).stream()
+        fast = TraceSource(profile, 150, cycles_per_ns=2.0).stream()
+        # Twice the cycles per nanosecond -> twice the ticks (±1).
+        assert abs(len(fast.pcs) - 2 * len(slow.pcs)) <= 2
+
+    def test_repeat_tiles_the_recording_without_overlap(self):
+        profile = two_dso_profile()
+        once = TraceSource(profile, 150).stream()
+        twice = TraceSource(profile, 150, repeat=2).stream()
+        assert len(twice.pcs) > 2 * len(once.pcs) - 4
+        assert np.all(np.diff(twice.cycles) > 0)
+        # The first tile replays identically.
+        n = len(once.pcs)
+        assert np.array_equal(twice.pcs[:n], once.pcs)
+
+    def test_identity_fingerprint_carries_every_replay_knob(self):
+        profile = two_dso_profile()
+        identity = TraceSource(profile, 150, cycles_per_ns=2.0,
+                               repeat=3).identity()
+        token = identity.token()
+        assert token[0] == "trace"
+        payload = dict(token[1:])
+        assert payload["name"] == "twodso"
+        assert payload["checksum"] == profile.checksum
+        assert payload["cycles_per_ns"] == 2.0
+        assert payload["repeat"] == 3
+
+    def test_invalid_replay_parameters_raise(self):
+        profile = two_dso_profile()
+        with pytest.raises(IngestError, match="sampling_period"):
+            TraceSource(profile, 0)
+        with pytest.raises(IngestError, match="cycles_per_ns"):
+            TraceSource(profile, 150, cycles_per_ns=0.0)
+        with pytest.raises(IngestError, match="repeat"):
+            TraceSource(profile, 150, repeat=0)
+
+    def test_trace_shorter_than_one_period_raises(self):
+        profile = two_dso_profile()
+        with pytest.raises(IngestError, match="shorter than one"):
+            TraceSource(profile, 10_000_000).stream()
+
+    def test_fault_injection_applies_to_replayed_streams(self):
+        # The stream contract is what makes the adapter composable:
+        # downstream tooling (here the fault injector) must work on a
+        # recorded stream exactly as on a synthetic one.
+        from tests.conftest import drop_plan
+        stream = TraceSource(two_dso_profile(), 150).stream()
+        faulted = inject(stream, drop_plan(rate=0.5, burst_mean=2.0),
+                         seed=3)
+        assert 0 < len(faulted.pcs) < len(stream.pcs)
+        assert faulted.sampling_period == stream.sampling_period
